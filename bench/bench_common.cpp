@@ -1,0 +1,46 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/env.hpp"
+
+namespace statim::bench {
+
+std::vector<std::string> circuits_from_env() {
+    std::vector<std::string> circuits;
+    if (const auto listed = env_string("STATIM_BENCH_CIRCUITS")) {
+        std::istringstream in(*listed);
+        std::string name;
+        while (std::getline(in, name, ','))
+            if (!name.empty()) circuits.push_back(name);
+    }
+    if (circuits.empty())
+        for (const auto& info : netlist::iscas85_info()) circuits.push_back(info.name);
+    return circuits;
+}
+
+double bench_scale() {
+    return std::clamp(env_double("STATIM_BENCH_SCALE", 1.0), 0.05, 100.0);
+}
+
+int scaled_iterations(const std::string& circuit, int base_for_c432) {
+    const auto& info = netlist::iscas85_info(circuit);
+    const auto& c432 = netlist::iscas85_info("c432");
+    const double gates = info.nodes - 2 - info.inputs;
+    const double gates_c432 = c432.nodes - 2 - c432.inputs;
+    const double raw = base_for_c432 * gates_c432 / gates * bench_scale();
+    return std::max(20, static_cast<int>(raw));
+}
+
+void print_banner(const char* experiment, const char* what) {
+    apply_log_env();
+    std::printf("================================================================\n");
+    std::printf("%s — %s\n", experiment, what);
+    std::printf("scale %.2fx (STATIM_BENCH_SCALE); circuits via STATIM_BENCH_CIRCUITS\n",
+                bench_scale());
+    std::printf("================================================================\n\n");
+}
+
+}  // namespace statim::bench

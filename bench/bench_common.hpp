@@ -1,0 +1,30 @@
+// Shared scaffolding for the paper-table bench binaries.
+//
+// The binaries take no arguments; they scale through environment knobs:
+//   STATIM_BENCH_SCALE     multiplier on iteration budgets (default 1.0)
+//   STATIM_BENCH_CIRCUITS  comma-separated subset (default: all ten)
+//   STATIM_LOG             debug|info|warn|error
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/iscas.hpp"
+
+namespace statim::bench {
+
+/// Circuits to run: STATIM_BENCH_CIRCUITS or all ten paper circuits.
+[[nodiscard]] std::vector<std::string> circuits_from_env();
+
+/// Per-circuit iteration budget for sizing experiments: `base_for_c432`
+/// scaled inversely with gate count (big circuits get fewer iterations so
+/// an argument-free run finishes in minutes), then by STATIM_BENCH_SCALE.
+[[nodiscard]] int scaled_iterations(const std::string& circuit, int base_for_c432);
+
+/// STATIM_BENCH_SCALE (default 1.0, clamped to [0.05, 100]).
+[[nodiscard]] double bench_scale();
+
+/// Prints the standard bench header (circuit list, scale, reminder).
+void print_banner(const char* experiment, const char* what);
+
+}  // namespace statim::bench

@@ -1,0 +1,107 @@
+// Figure 1 — path-delay distributions and the resulting circuit-delay PDFs.
+//
+// Two circuits with the SAME deterministic (nominal) critical delay:
+//   sc.1 "unbalanced": one critical chain, the rest progressively shorter;
+//   sc.2 "balanced wall": every chain near-critical (what deterministic
+//        optimization produces).
+// Under variation the wall's many near-critical paths all contribute to
+// the max, pushing the circuit-delay distribution right: the balanced
+// circuit has the WORSE statistical delay despite the equal nominal delay.
+//
+// Prints (a) the path-count histogram over nominal path delay and (b) the
+// sink delay PDF/percentiles of both circuits — the two panels of Fig. 1.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/context.hpp"
+#include "ssta/metrics.hpp"
+#include "sta/sta.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace statim;
+
+/// `lengths[i]` inverters in chain i; each chain is PI -> INVs -> PO.
+netlist::Netlist make_chains(const std::string& name, const cells::Library& lib,
+                             const std::vector<int>& lengths) {
+    netlist::Netlist nl(name);
+    const CellId inv = lib.require("INV");
+    for (std::size_t c = 0; c < lengths.size(); ++c) {
+        NetId prev = nl.add_net("pi" + std::to_string(c));
+        nl.mark_primary_input(prev);
+        for (int s = 0; s < lengths[c]; ++s) {
+            const NetId next =
+                nl.add_net("n" + std::to_string(c) + "_" + std::to_string(s));
+            (void)nl.add_gate("g" + std::to_string(c) + "_" + std::to_string(s), inv,
+                              {prev}, next);
+            prev = next;
+        }
+        nl.mark_primary_output(prev);
+    }
+    nl.validate(lib);
+    return nl;
+}
+
+void report(const char* title, netlist::Netlist& nl, const cells::Library& lib) {
+    core::Context ctx(nl, lib, prob::TimeGrid(0.001));
+    ctx.run_ssta();
+
+    // Panel (a): path-count histogram over nominal path delay.
+    const sta::StaResult sta = sta::run_sta(ctx.delay_calc());
+    std::map<int, int> histogram;  // delay rounded to 10 ps -> #paths
+    for (NetId po : nl.primary_outputs()) {
+        const double d = sta.arrival[netlist::TimingGraph::node_of_net(po).index()];
+        ++histogram[static_cast<int>(d * 100.0)];
+    }
+    std::printf("%s\n  path delay histogram (nominal):\n", title);
+    for (const auto& [bucket, count] : histogram) {
+        std::printf("    %5.2f ns | ", bucket / 100.0);
+        for (int i = 0; i < count; ++i) std::printf("#");
+        std::printf(" %d\n", count);
+    }
+
+    // Panel (b): circuit-delay distribution.
+    const prob::Pdf& sink = ctx.engine().sink_arrival();
+    std::printf("  nominal critical delay: %.4f ns\n", sta.circuit_delay_ns);
+    std::printf("  statistical circuit delay: mean %.4f ns  sigma %.4f ns  "
+                "p50 %.4f  p99 %.4f ns\n",
+                ssta::mean_ns(ctx.grid(), sink), ssta::stddev_ns(ctx.grid(), sink),
+                ssta::percentile_ns(ctx.grid(), sink, 0.50),
+                ssta::percentile_ns(ctx.grid(), sink, 0.99));
+
+    std::printf("  delay PDF series (ns, probability-per-bin):\n    ");
+    const auto mass = sink.mass();
+    const std::size_t step = std::max<std::size_t>(1, mass.size() / 12);
+    for (std::size_t k = 0; k < mass.size(); k += step)
+        std::printf("(%.3f, %.3g) ",
+                    ctx.grid().time_of(static_cast<double>(sink.first_bin() +
+                                                           static_cast<std::int64_t>(k))),
+                    mass[k]);
+    std::printf("\n\n");
+}
+
+}  // namespace
+
+int main() {
+    bench::print_banner("Figure 1", "balanced 'wall' vs unbalanced path distribution "
+                                    "at equal nominal delay");
+    const cells::Library lib = cells::Library::standard_180nm();
+
+    // Same number of paths and identical longest chain (8 stages).
+    netlist::Netlist unbalanced = make_chains(
+        "sc1_unbalanced", lib, {8, 7, 6, 5, 4, 4, 3, 3, 2, 2, 2, 2});
+    netlist::Netlist balanced = make_chains(
+        "sc2_balanced_wall", lib, {8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8, 8});
+
+    report("sc.1 unbalanced paths:", unbalanced, lib);
+    report("sc.2 wall of critical paths (deterministic optimization):", balanced, lib);
+
+    std::printf("both circuits share the same deterministic delay, but the wall's\n"
+                "near-critical paths shift the statistical distribution right —\n"
+                "the motivation for statistically-aware sizing (paper Fig. 1).\n");
+    return 0;
+}

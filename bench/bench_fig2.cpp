@@ -1,0 +1,66 @@
+// Figure 2 — the optimization objective: a gate resize perturbs the
+// circuit-delay CDF; the sensitivity is the change of the 99-percentile
+// point (the horizontal gap between the two CDFs at probability 0.99).
+//
+// Prints both CDFs (unperturbed and after upsizing the most sensitive
+// gate) as (delay, probability) series plus the measured 99-percentile
+// shift — exactly the ingredients of the paper's Fig. 2 sketch.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/selector.hpp"
+#include "core/trial_resize.hpp"
+#include "prob/ops.hpp"
+#include "ssta/metrics.hpp"
+#include "util/csv.hpp"
+
+int main() {
+    using namespace statim;
+    bench::print_banner("Figure 2", "circuit-delay CDF perturbation under one gate "
+                                    "upsize; objective = 99-percentile shift");
+
+    const cells::Library lib = cells::Library::standard_180nm();
+    netlist::Netlist nl = netlist::make_iscas("c432", lib);
+    core::Context ctx(nl, lib);
+    ctx.run_ssta();
+
+    // Find the most sensitive gate, then recompute its perturbed sink CDF.
+    const core::SelectorConfig sel{core::Objective::percentile(0.99), 0.25, 16.0};
+    const core::Selection best = core::select_pruned(ctx, sel);
+    if (!best.gate.is_valid()) {
+        std::printf("no positive-sensitivity gate (unexpected on min-size c432)\n");
+        return 1;
+    }
+
+    const prob::Pdf unperturbed = ctx.engine().sink_arrival();
+    prob::Pdf perturbed;
+    {
+        core::TrialResize trial(ctx, best.gate, sel.delta_w);
+        core::PerturbationFront front(ctx, sel.objective, trial);
+        while (!front.completed()) front.propagate_one_level(ctx);
+        perturbed = front.sink_pdf();
+    }
+
+    const double p99_before = ssta::percentile_ns(ctx.grid(), unperturbed, 0.99);
+    const double p99_after = ssta::percentile_ns(ctx.grid(), perturbed, 0.99);
+    std::printf("gate %s (+%.2f width): 99-percentile %.4f -> %.4f ns  "
+                "(shift %.4f ns; sensitivity %.4g ns/width)\n",
+                nl.gate(best.gate).name.c_str(), sel.delta_w, p99_before, p99_after,
+                p99_before - p99_after, best.sensitivity);
+    std::printf("max percentile shift (pruning bound Δ): %.4f ns — always >= the "
+                "objective shift\n\n",
+                ctx.grid().dt_ns() *
+                    prob::max_percentile_shift(unperturbed, perturbed));
+
+    std::printf("%-10s %-14s %-14s\n", "delay_ns", "CDF_unperturbed", "CDF_perturbed");
+    const std::int64_t lo = std::min(unperturbed.first_bin(), perturbed.first_bin());
+    const std::int64_t hi = std::max(unperturbed.last_bin(), perturbed.last_bin());
+    const std::int64_t step = std::max<std::int64_t>(1, (hi - lo) / 40);
+    for (std::int64_t b = lo; b <= hi; b += step)
+        std::printf("%-10.4f %-14.5f %-14.5f\n",
+                    ctx.grid().time_of(static_cast<double>(b)), unperturbed.cdf_at(b),
+                    perturbed.cdf_at(b));
+    std::printf("\nthe perturbed CDF sits left of the unperturbed one; the paper's "
+                "objective reads the gap at probability 0.99.\n");
+    return 0;
+}

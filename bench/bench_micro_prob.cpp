@@ -1,0 +1,60 @@
+// Micro benchmarks of the probability kernels (google-benchmark): the
+// inner loops every SSTA pass and every perturbation front is made of.
+#include <benchmark/benchmark.h>
+
+#include "prob/gaussian.hpp"
+#include "prob/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace statim;
+using namespace statim::prob;
+
+Pdf make_pdf(std::size_t bins, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> mass(bins);
+    for (double& m : mass) m = rng.uniform(0.01, 1.0);
+    return Pdf::from_mass(0, std::move(mass));
+}
+
+void BM_Convolve(benchmark::State& state) {
+    const Pdf arrival = make_pdf(static_cast<std::size_t>(state.range(0)), 1);
+    const Pdf edge = make_pdf(static_cast<std::size_t>(state.range(1)), 2);
+    for (auto _ : state) benchmark::DoNotOptimize(convolve(arrival, edge));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Convolve)->Args({64, 16})->Args({256, 32})->Args({1024, 64})->Args({4096, 64});
+
+void BM_StatMax(benchmark::State& state) {
+    const Pdf a = make_pdf(static_cast<std::size_t>(state.range(0)), 3);
+    Pdf b = make_pdf(static_cast<std::size_t>(state.range(0)), 4);
+    b.shift(state.range(0) / 4);  // realistic partial overlap
+    for (auto _ : state) benchmark::DoNotOptimize(stat_max(a, b));
+}
+BENCHMARK(BM_StatMax)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_TruncatedGaussian(benchmark::State& state) {
+    const TimeGrid grid(0.5 / static_cast<double>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(truncated_gaussian(grid, 0.5, 0.05, 3.0));
+}
+BENCHMARK(BM_TruncatedGaussian)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_MaxPercentileShift(benchmark::State& state) {
+    const Pdf a = make_pdf(static_cast<std::size_t>(state.range(0)), 5);
+    Pdf b = a;
+    b.shift(-3);
+    for (auto _ : state) benchmark::DoNotOptimize(max_percentile_shift(a, b));
+}
+BENCHMARK(BM_MaxPercentileShift)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Percentile(benchmark::State& state) {
+    const Pdf a = make_pdf(static_cast<std::size_t>(state.range(0)), 6);
+    for (auto _ : state) benchmark::DoNotOptimize(a.percentile_bin(0.99));
+}
+BENCHMARK(BM_Percentile)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

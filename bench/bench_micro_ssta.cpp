@@ -1,0 +1,94 @@
+// Micro benchmarks of the analysis engines (google-benchmark): full SSTA
+// passes, nominal STA, Monte Carlo samples, front initialization and the
+// two ends of the per-iteration selection.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/selector.hpp"
+#include "core/trial_resize.hpp"
+#include "mc/monte_carlo.hpp"
+#include "netlist/iscas.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+using namespace statim;
+
+struct Fixture {
+    cells::Library lib = cells::Library::standard_180nm();
+    netlist::Netlist nl;
+    core::Context ctx;
+
+    explicit Fixture(const std::string& name)
+        : nl(netlist::make_iscas(name, lib)), ctx(nl, lib) {
+        ctx.run_ssta();
+    }
+};
+
+Fixture& fixture(const std::string& name) {
+    static std::map<std::string, std::unique_ptr<Fixture>> cache;
+    auto& slot = cache[name];
+    if (!slot) slot = std::make_unique<Fixture>(name);
+    return *slot;
+}
+
+const char* kCircuits[] = {"c432", "c880", "c3540"};
+
+void BM_NominalSta(benchmark::State& state) {
+    Fixture& f = fixture(kCircuits[state.range(0)]);
+    std::vector<double> arrival;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sta::run_arrival(f.ctx.delay_calc(), arrival));
+    state.SetLabel(kCircuits[state.range(0)]);
+}
+BENCHMARK(BM_NominalSta)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FullSsta(benchmark::State& state) {
+    Fixture& f = fixture(kCircuits[state.range(0)]);
+    for (auto _ : state) f.ctx.run_ssta();
+    state.SetLabel(kCircuits[state.range(0)]);
+}
+BENCHMARK(BM_FullSsta)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MonteCarlo100(benchmark::State& state) {
+    Fixture& f = fixture(kCircuits[state.range(0)]);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mc::run_monte_carlo(f.ctx.delay_calc(), {100, 1}));
+    state.SetLabel(kCircuits[state.range(0)]);
+}
+BENCHMARK(BM_MonteCarlo100)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FrontInitialize(benchmark::State& state) {
+    Fixture& f = fixture("c432");
+    const core::Objective obj = core::Objective::percentile(0.99);
+    for (auto _ : state) {
+        core::TrialResize trial(f.ctx, GateId{10}, 0.25);
+        core::PerturbationFront front(f.ctx, obj, trial);
+        benchmark::DoNotOptimize(front.bound_sensitivity());
+    }
+}
+BENCHMARK(BM_FrontInitialize);
+
+void BM_SelectPruned(benchmark::State& state) {
+    Fixture& f = fixture(kCircuits[state.range(0)]);
+    const core::SelectorConfig sel{core::Objective::percentile(0.99), 0.25, 16.0};
+    for (auto _ : state) benchmark::DoNotOptimize(core::select_pruned(f.ctx, sel));
+    state.SetLabel(kCircuits[state.range(0)]);
+}
+BENCHMARK(BM_SelectPruned)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SelectBruteForce(benchmark::State& state) {
+    Fixture& f = fixture("c432");
+    const core::SelectorConfig sel{core::Objective::percentile(0.99), 0.25, 16.0};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::select_brute_force(f.ctx, sel, false));
+    state.SetLabel("c432");
+}
+BENCHMARK(BM_SelectBruteForce)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

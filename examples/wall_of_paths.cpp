@@ -1,0 +1,115 @@
+// The "wall of critical paths" demonstration (paper Figure 1).
+//
+// Deterministic optimization balances path delays until many paths are
+// near-critical — a slack "wall". Under process variation every
+// near-critical path can become the longest, so the wall *hurts* the
+// statistical delay. This example sizes the same circuit both ways at the
+// same area and prints the slack histogram plus the statistical delay of
+// both solutions.
+//
+//   ./wall_of_paths [--circuit c432] [--iterations 150] [--bins 20]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "netlist/iscas.hpp"
+#include "ssta/metrics.hpp"
+#include "sta/sta.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+/// Histogram of PO-net slacks (how close each output path is to critical).
+std::vector<int> slack_histogram(const statim::netlist::Netlist& nl,
+                                 const statim::cells::Library& lib, int bins,
+                                 double& max_slack) {
+    using namespace statim;
+    const netlist::TimingGraph graph(nl);
+    const sta::DelayCalc dc(graph, lib);
+    const sta::StaResult sta = sta::run_sta(dc);
+
+    std::vector<double> slacks;
+    for (NetId po : nl.primary_outputs())
+        slacks.push_back(sta.slack(netlist::TimingGraph::node_of_net(po)));
+    max_slack = *std::max_element(slacks.begin(), slacks.end());
+
+    std::vector<int> histogram(bins, 0);
+    for (double s : slacks) {
+        const int b = max_slack > 0.0
+                          ? std::min(bins - 1, static_cast<int>(s / max_slack * bins))
+                          : 0;
+        ++histogram[b];
+    }
+    return histogram;
+}
+
+void print_histogram(const char* title, const std::vector<int>& histogram,
+                     double max_slack) {
+    std::printf("%s (slack 0 .. %.3f ns, left = critical)\n", title, max_slack);
+    for (std::size_t b = 0; b < histogram.size(); ++b) {
+        std::printf("  %5.1f%% |", 100.0 * static_cast<double>(b) /
+                                       static_cast<double>(histogram.size()));
+        for (int i = 0; i < histogram[b]; ++i) std::printf("#");
+        std::printf(" %d\n", histogram[b]);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace statim;
+    try {
+        const CliArgs args(argc, argv);
+        args.validate({"circuit", "iterations", "bins"});
+        const std::string circuit = args.get("circuit", "c432");
+        const int bins = static_cast<int>(args.get_int("bins", 16));
+
+        core::ComparisonConfig cfg;
+        cfg.det_iterations = static_cast<int>(args.get_int("iterations", 150));
+        const cells::Library lib = cells::Library::standard_180nm();
+
+        std::fprintf(stderr, "sizing %s both ways (%d deterministic iterations)...\n",
+                     circuit.c_str(), cfg.det_iterations);
+        const core::ComparisonResult cmp = core::compare_optimizers(circuit, lib, cfg);
+
+        // Rebuild both solutions to inspect their slack profiles.
+        netlist::Netlist nl_det = netlist::make_iscas(circuit, lib);
+        {
+            core::DeterministicSizerConfig det_cfg;
+            det_cfg.max_iterations = cfg.det_iterations;
+            (void)core::run_deterministic_sizing(nl_det, lib, det_cfg);
+        }
+        netlist::Netlist nl_stat = netlist::make_iscas(circuit, lib);
+        {
+            core::Context ctx(nl_stat, lib);
+            core::StatisticalSizerConfig stat_cfg;
+            stat_cfg.max_iterations = 100000;
+            stat_cfg.area_budget = cmp.det.final_area - cmp.det.initial_area;
+            (void)core::run_statistical_sizing(ctx, stat_cfg);
+        }
+
+        double max_slack_det = 0.0, max_slack_stat = 0.0;
+        const auto hist_det = slack_histogram(nl_det, lib, bins, max_slack_det);
+        const auto hist_stat = slack_histogram(nl_stat, lib, bins, max_slack_stat);
+
+        std::printf("\n=== %s at equal area (+%.1f%%) ===\n\n", circuit.c_str(),
+                    cmp.det_area_increase_pct);
+        print_histogram("deterministic solution: PO slack distribution", hist_det,
+                        max_slack_det);
+        std::printf("\n");
+        print_histogram("statistical solution:   PO slack distribution", hist_stat,
+                        max_slack_stat);
+
+        std::printf("\n99-percentile circuit delay:  deterministic %.4f ns   "
+                    "statistical %.4f ns   (%.2f%% better)\n",
+                    cmp.det_objective_ns, cmp.stat_objective_ns, cmp.improvement_pct);
+        std::printf("the deterministic 'wall' (many POs at low slack) costs "
+                    "statistical delay even at identical area.\n");
+        return 0;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,70 @@
+// Standard-cell description and the paper's delay model (EQ 1):
+//
+//     De = Dint + K * Cload / Ccell(w),     Ccell(w) = c_cell * w
+//
+// Dint is the width-independent intrinsic (parasitic) delay; K is the
+// effort-delay coefficient (logical effort g times the process time
+// constant); Ccell scales linearly with the continuous width multiplier w,
+// as do the input pin capacitance and the area. Upsizing a gate therefore
+// speeds the gate itself but adds load to each fanin gate — the trade-off
+// the statistical sizer navigates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace statim::cells {
+
+/// One library cell (master). Widths are per-instance, held by the netlist.
+struct Cell {
+    std::string name;        ///< e.g. "NAND2"
+    int fanin{1};            ///< number of input pins
+    double d_int_ns{0.0};    ///< intrinsic delay Dint (ns)
+    double k_ns{0.0};        ///< effort coefficient K (ns per unit Cload/Ccell)
+    double c_cell_ff{1.0};   ///< cell capacitance Ccell at w = 1 (fF)
+    double c_in_ff{1.0};     ///< input capacitance per pin at w = 1 (fF)
+    double area{1.0};        ///< area at w = 1 (arbitrary units)
+    /// Optional per-input-pin delay multiplier; empty means all pins 1.0.
+    std::vector<double> pin_weight{};
+
+    /// Multiplier of input pin `pin` (1.0 when unspecified).
+    [[nodiscard]] double pin_factor(std::size_t pin) const noexcept {
+        return pin < pin_weight.size() ? pin_weight[pin] : 1.0;
+    }
+};
+
+/// Pin-to-pin nominal delay (ns) of `cell` at width `w` driving `cload_ff`.
+[[nodiscard]] inline double edge_delay_ns(const Cell& cell, double w,
+                                          double cload_ff, std::size_t pin) noexcept {
+    return cell.pin_factor(pin) *
+           (cell.d_int_ns + cell.k_ns * cload_ff / (cell.c_cell_ff * w));
+}
+
+/// Input capacitance (fF) presented by one pin of `cell` at width `w`.
+[[nodiscard]] inline double input_cap_ff(const Cell& cell, double w) noexcept {
+    return cell.c_in_ff * w;
+}
+
+/// Area of `cell` at width `w`.
+[[nodiscard]] inline double cell_area(const Cell& cell, double w) noexcept {
+    return cell.area * w;
+}
+
+/// Continuous sizing bounds and the coordinate-descent step Δw.
+struct SizingPolicy {
+    double min_width{1.0};
+    double max_width{16.0};
+    double delta_w{0.25};
+
+    /// Throws ConfigError if the bounds or step are inconsistent.
+    void validate() const {
+        if (!(min_width > 0.0) || !(max_width >= min_width) || !(delta_w > 0.0))
+            throw ConfigError("SizingPolicy: require 0 < min <= max and delta_w > 0");
+    }
+};
+
+}  // namespace statim::cells

@@ -1,0 +1,133 @@
+#include "cells/liberty_lite.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace statim::cells {
+
+namespace {
+
+/// Splits "key=value"; throws if '=' is missing.
+std::pair<std::string, std::string> split_kv(const std::string& token,
+                                             const std::string& file, int line) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos)
+        throw ParseError(file, line, "expected key=value, got '" + token + "'");
+    return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+double parse_num(const std::string& text, const std::string& file, int line) {
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(text, &used);
+        if (used != text.size()) throw std::invalid_argument(text);
+        return v;
+    } catch (const std::exception&) {
+        throw ParseError(file, line, "malformed number '" + text + "'");
+    }
+}
+
+}  // namespace
+
+Library read_liberty_lite(std::istream& in, const std::string& source_name) {
+    Library lib;
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        const auto hash = raw.find('#');
+        if (hash != std::string::npos) raw.erase(hash);
+        std::istringstream line(raw);
+        std::string keyword;
+        if (!(line >> keyword)) continue;
+
+        if (keyword == "library") {
+            std::string name;
+            if (!(line >> name)) throw ParseError(source_name, line_no, "library needs a name");
+            lib.set_name(name);
+        } else if (keyword == "sigma_fraction") {
+            std::string v;
+            if (!(line >> v)) throw ParseError(source_name, line_no, "missing value");
+            lib.set_sigma_fraction(parse_num(v, source_name, line_no));
+        } else if (keyword == "trunc_k") {
+            std::string v;
+            if (!(line >> v)) throw ParseError(source_name, line_no, "missing value");
+            lib.set_trunc_k(parse_num(v, source_name, line_no));
+        } else if (keyword == "output_load") {
+            std::string v;
+            if (!(line >> v)) throw ParseError(source_name, line_no, "missing value");
+            lib.set_output_load_ff(parse_num(v, source_name, line_no));
+        } else if (keyword == "cell") {
+            Cell cell;
+            if (!(line >> cell.name)) throw ParseError(source_name, line_no, "cell needs a name");
+            std::string token;
+            bool saw_fanin = false;
+            while (line >> token) {
+                auto [key, value] = split_kv(token, source_name, line_no);
+                if (key == "fanin") {
+                    cell.fanin = static_cast<int>(parse_num(value, source_name, line_no));
+                    saw_fanin = true;
+                } else if (key == "d_int") {
+                    cell.d_int_ns = parse_num(value, source_name, line_no);
+                } else if (key == "k") {
+                    cell.k_ns = parse_num(value, source_name, line_no);
+                } else if (key == "c_cell") {
+                    cell.c_cell_ff = parse_num(value, source_name, line_no);
+                } else if (key == "c_in") {
+                    cell.c_in_ff = parse_num(value, source_name, line_no);
+                } else if (key == "area") {
+                    cell.area = parse_num(value, source_name, line_no);
+                } else if (key == "pin_weights") {
+                    std::istringstream weights(value);
+                    std::string piece;
+                    while (std::getline(weights, piece, ','))
+                        cell.pin_weight.push_back(parse_num(piece, source_name, line_no));
+                } else {
+                    throw ParseError(source_name, line_no, "unknown cell key '" + key + "'");
+                }
+            }
+            if (!saw_fanin) throw ParseError(source_name, line_no, "cell missing fanin=");
+            try {
+                (void)lib.add(std::move(cell));
+            } catch (const ConfigError& e) {
+                throw ParseError(source_name, line_no, e.what());
+            }
+        } else {
+            throw ParseError(source_name, line_no, "unknown keyword '" + keyword + "'");
+        }
+    }
+    if (lib.size() == 0)
+        throw ParseError(source_name, line_no, "library defines no cells");
+    return lib;
+}
+
+Library load_liberty_lite(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot open library file: " + path);
+    return read_liberty_lite(in, path);
+}
+
+void write_liberty_lite(std::ostream& out, const Library& lib) {
+    out << "# statim liberty-lite\n";
+    out << "library " << lib.name() << '\n';
+    out << "sigma_fraction " << lib.sigma_fraction() << '\n';
+    out << "trunc_k " << lib.trunc_k() << '\n';
+    out << "output_load " << lib.output_load_ff() << '\n';
+    for (const Cell& c : lib.cells()) {
+        out << "cell " << c.name << " fanin=" << c.fanin << " d_int=" << c.d_int_ns
+            << " k=" << c.k_ns << " c_cell=" << c.c_cell_ff << " c_in=" << c.c_in_ff
+            << " area=" << c.area;
+        if (!c.pin_weight.empty()) {
+            out << " pin_weights=";
+            for (std::size_t i = 0; i < c.pin_weight.size(); ++i) {
+                if (i) out << ',';
+                out << c.pin_weight[i];
+            }
+        }
+        out << '\n';
+    }
+}
+
+}  // namespace statim::cells

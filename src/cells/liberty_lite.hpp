@@ -1,0 +1,32 @@
+// Liberty-lite: a small line-oriented text format for cell libraries, so
+// users can swap in their own constants without recompiling.
+//
+//   # comment
+//   library  mylib
+//   sigma_fraction  0.10
+//   trunc_k  3.0
+//   output_load  10.0
+//   cell NAME fanin=N d_int=... k=... c_cell=... c_in=... area=... \
+//        [pin_weights=a,b,...]
+//
+// All delays in ns, capacitances in fF. Unknown keys raise ParseError.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cells/library.hpp"
+
+namespace statim::cells {
+
+/// Parses a liberty-lite stream. `source_name` labels parse errors.
+[[nodiscard]] Library read_liberty_lite(std::istream& in,
+                                        const std::string& source_name = "<stream>");
+
+/// Parses a liberty-lite file by path.
+[[nodiscard]] Library load_liberty_lite(const std::string& path);
+
+/// Writes `lib` in liberty-lite form (round-trips with read_liberty_lite).
+void write_liberty_lite(std::ostream& out, const Library& lib);
+
+}  // namespace statim::cells

@@ -1,0 +1,100 @@
+#include "cells/library.hpp"
+
+#include <cmath>
+
+namespace statim::cells {
+
+CellId Library::add(Cell cell) {
+    if (cell.name.empty()) throw ConfigError("Library::add: cell needs a name");
+    if (find(cell.name)) throw ConfigError("Library::add: duplicate cell '" + cell.name + "'");
+    if (cell.fanin < 1) throw ConfigError("Library::add: fanin must be >= 1");
+    if (!(cell.d_int_ns >= 0.0) || !(cell.k_ns >= 0.0))
+        throw ConfigError("Library::add: delays must be non-negative");
+    if (!(cell.c_cell_ff > 0.0) || !(cell.c_in_ff > 0.0) || !(cell.area > 0.0))
+        throw ConfigError("Library::add: capacitances and area must be positive");
+    if (!cell.pin_weight.empty() &&
+        cell.pin_weight.size() != static_cast<std::size_t>(cell.fanin))
+        throw ConfigError("Library::add: pin_weight size must equal fanin");
+    for (double w : cell.pin_weight)
+        if (!(w > 0.0)) throw ConfigError("Library::add: pin weights must be positive");
+
+    cells_.push_back(std::move(cell));
+    return CellId{static_cast<std::uint32_t>(cells_.size() - 1)};
+}
+
+std::optional<CellId> Library::find(std::string_view name) const {
+    for (std::size_t i = 0; i < cells_.size(); ++i)
+        if (cells_[i].name == name) return CellId{static_cast<std::uint32_t>(i)};
+    return std::nullopt;
+}
+
+CellId Library::require(std::string_view name) const {
+    if (const auto id = find(name)) return *id;
+    throw ConfigError("Library: no cell named '" + std::string(name) + "'");
+}
+
+std::optional<CellId> Library::find_sized(std::string_view base, int n) const {
+    return find(std::string(base) + std::to_string(n));
+}
+
+void Library::set_sigma_fraction(double f) {
+    if (!(f >= 0.0) || !(f < 1.0))
+        throw ConfigError("Library: sigma_fraction must be in [0, 1)");
+    sigma_fraction_ = f;
+}
+
+void Library::set_trunc_k(double k) {
+    if (!(k > 0.0)) throw ConfigError("Library: trunc_k must be positive");
+    trunc_k_ = k;
+}
+
+void Library::set_output_load_ff(double ff) {
+    if (!(ff >= 0.0)) throw ConfigError("Library: output load must be non-negative");
+    output_load_ff_ = ff;
+}
+
+Library Library::standard_180nm() {
+    // Logical-effort calibration: tau ~= 18 ps, gamma (parasitic of an
+    // inverter) ~= 22 ps, Cin of a unit inverter = 4 fF. K = tau * g,
+    // c_in = 4 fF * g; compound gates (AND/OR) hide an output inverter:
+    // larger Dint, near-inverter K.
+    Library lib;
+    lib.set_name("statim180");
+    lib.set_sigma_fraction(0.10);
+    lib.set_trunc_k(3.0);
+    lib.set_output_load_ff(10.0);
+
+    auto add = [&lib](const char* name, int fanin, double d_int, double k,
+                      double c_cell, double c_in, double area) {
+        Cell c;
+        c.name = name;
+        c.fanin = fanin;
+        c.d_int_ns = d_int;
+        c.k_ns = k;
+        c.c_cell_ff = c_cell;
+        c.c_in_ff = c_in;
+        c.area = area;
+        (void)lib.add(std::move(c));
+    };
+
+    //   name    fanin  Dint    K       Ccell  Cin    area
+    add("INV",   1,     0.022,  0.018,  4.00,  4.00,  1.00);
+    add("BUF",   1,     0.045,  0.012,  8.00,  4.00,  1.80);
+    add("NAND2", 2,     0.030,  0.024,  5.33,  5.33,  1.40);
+    add("NAND3", 3,     0.038,  0.030,  6.67,  6.67,  1.80);
+    add("NAND4", 4,     0.046,  0.036,  8.00,  8.00,  2.20);
+    add("NOR2",  2,     0.032,  0.030,  6.67,  6.67,  1.50);
+    add("NOR3",  3,     0.042,  0.042,  9.33,  9.33,  2.00);
+    add("NOR4",  4,     0.052,  0.054, 12.00, 12.00,  2.50);
+    add("AND2",  2,     0.052,  0.020,  6.00,  5.33,  2.40);
+    add("AND3",  3,     0.060,  0.022,  7.00,  6.67,  2.80);
+    add("AND4",  4,     0.068,  0.024,  8.00,  8.00,  3.20);
+    add("OR2",   2,     0.054,  0.021,  7.00,  6.67,  2.50);
+    add("OR3",   3,     0.064,  0.024,  8.50,  9.33,  3.00);
+    add("OR4",   4,     0.074,  0.027, 10.00, 12.00,  3.50);
+    add("XOR2",  2,     0.060,  0.048,  9.00,  8.00,  3.00);
+    add("XNOR2", 2,     0.062,  0.048,  9.00,  8.00,  3.00);
+    return lib;
+}
+
+}  // namespace statim::cells

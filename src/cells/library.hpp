@@ -1,0 +1,64 @@
+// Cell library: the set of masters plus the statistical delay model
+// parameters (σ as a fraction of nominal, ±kσ truncation) and the load
+// seen by primary outputs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cells/cell.hpp"
+#include "util/types.hpp"
+
+namespace statim::cells {
+
+/// An immutable-after-setup collection of cells with model parameters.
+class Library {
+  public:
+    /// Adds a cell; throws ConfigError on duplicate name or bad parameters.
+    CellId add(Cell cell);
+
+    [[nodiscard]] const Cell& cell(CellId id) const { return cells_.at(id.index()); }
+    [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+
+    /// Cell id by name, or nullopt.
+    [[nodiscard]] std::optional<CellId> find(std::string_view name) const;
+    /// Cell id by name; throws ConfigError when absent.
+    [[nodiscard]] CellId require(std::string_view name) const;
+
+    /// Largest fanin an N-input lookup can satisfy (e.g. NAND<N>).
+    /// Returns the cell named `base` + to_string(n) when present.
+    [[nodiscard]] std::optional<CellId> find_sized(std::string_view base, int n) const;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    /// σ of a gate-delay RV as a fraction of its nominal delay (paper: 0.10).
+    [[nodiscard]] double sigma_fraction() const noexcept { return sigma_fraction_; }
+    void set_sigma_fraction(double f);
+
+    /// Truncation of the Gaussian at ±k·σ (paper: 3.0).
+    [[nodiscard]] double trunc_k() const noexcept { return trunc_k_; }
+    void set_trunc_k(double k);
+
+    /// Capacitive load on each primary output (fF).
+    [[nodiscard]] double output_load_ff() const noexcept { return output_load_ff_; }
+    void set_output_load_ff(double ff);
+
+    [[nodiscard]] const std::vector<Cell>& cells() const noexcept { return cells_; }
+
+    /// The builtin 180 nm-class library used by all benches and examples:
+    /// INV/BUF, NAND2-4, NOR2-4, AND2-4, OR2-4, XOR2, XNOR2 with logical-
+    /// effort-calibrated constants (FO4 inverter delay ~94 ps).
+    [[nodiscard]] static Library standard_180nm();
+
+  private:
+    std::string name_{"unnamed"};
+    std::vector<Cell> cells_;
+    double sigma_fraction_{0.10};
+    double trunc_k_{3.0};
+    double output_load_ff_{10.0};
+};
+
+}  // namespace statim::cells

@@ -1,0 +1,31 @@
+#include "core/context.hpp"
+
+namespace statim::core {
+
+Context::Context(netlist::Netlist& nl, const cells::Library& lib,
+                 const ssta::GridPolicy& policy)
+    : nl_(&nl),
+      lib_(&lib),
+      graph_(nl),
+      delay_calc_(graph_, lib),
+      grid_(ssta::choose_grid(delay_calc_, policy)),
+      edge_delays_(delay_calc_, grid_),
+      engine_(graph_) {}
+
+Context::Context(netlist::Netlist& nl, const cells::Library& lib, prob::TimeGrid grid)
+    : nl_(&nl),
+      lib_(&lib),
+      graph_(nl),
+      delay_calc_(graph_, lib),
+      grid_(grid),
+      edge_delays_(delay_calc_, grid_),
+      engine_(graph_) {}
+
+std::vector<EdgeId> Context::apply_resize(GateId g, double delta_w) {
+    nl_->gate(g).width += delta_w;
+    std::vector<EdgeId> changed = delay_calc_.update_for_resize(g);
+    edge_delays_.update_edges(changed, delay_calc_);
+    return changed;
+}
+
+}  // namespace statim::core

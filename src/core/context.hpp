@@ -1,0 +1,61 @@
+// Analysis context: one circuit bound to every engine the optimizers need.
+//
+// Owns the timing graph, the nominal delay state, the grid, the edge-delay
+// RVs and the SSTA engine, and keeps them consistent as gate widths change.
+// The grid is chosen once, from the minimum-size circuit, and stays fixed
+// through a sizing run so objective values remain comparable across
+// iterations.
+#pragma once
+
+#include "cells/library.hpp"
+#include "netlist/timing_graph.hpp"
+#include "ssta/edge_delays.hpp"
+#include "ssta/engine.hpp"
+#include "ssta/grid_policy.hpp"
+#include "sta/delay_calc.hpp"
+
+namespace statim::core {
+
+class Context {
+  public:
+    /// Binds to `nl` (must outlive the context) with an automatic grid.
+    Context(netlist::Netlist& nl, const cells::Library& lib,
+            const ssta::GridPolicy& policy = {});
+    /// Binds with an explicit grid (e.g. to compare runs on equal footing).
+    Context(netlist::Netlist& nl, const cells::Library& lib, prob::TimeGrid grid);
+
+    Context(const Context&) = delete;
+    Context& operator=(const Context&) = delete;
+
+    [[nodiscard]] netlist::Netlist& nl() noexcept { return *nl_; }
+    [[nodiscard]] const netlist::Netlist& nl() const noexcept { return *nl_; }
+    [[nodiscard]] const cells::Library& lib() const noexcept { return *lib_; }
+    [[nodiscard]] const netlist::TimingGraph& graph() const noexcept { return graph_; }
+    [[nodiscard]] const prob::TimeGrid& grid() const noexcept { return grid_; }
+    [[nodiscard]] sta::DelayCalc& delay_calc() noexcept { return delay_calc_; }
+    [[nodiscard]] const sta::DelayCalc& delay_calc() const noexcept { return delay_calc_; }
+    [[nodiscard]] ssta::EdgeDelays& edge_delays() noexcept { return edge_delays_; }
+    [[nodiscard]] const ssta::EdgeDelays& edge_delays() const noexcept {
+        return edge_delays_;
+    }
+    [[nodiscard]] ssta::SstaEngine& engine() noexcept { return engine_; }
+    [[nodiscard]] const ssta::SstaEngine& engine() const noexcept { return engine_; }
+
+    /// Runs a full SSTA with the current widths.
+    void run_ssta() { engine_.run(edge_delays_); }
+
+    /// Permanently changes gate `g`'s width by `delta_w` and updates the
+    /// nominal delays and edge PDFs. Returns the affected edges.
+    std::vector<EdgeId> apply_resize(GateId g, double delta_w);
+
+  private:
+    netlist::Netlist* nl_;
+    const cells::Library* lib_;
+    netlist::TimingGraph graph_;
+    sta::DelayCalc delay_calc_;
+    prob::TimeGrid grid_;
+    ssta::EdgeDelays edge_delays_;
+    ssta::SstaEngine engine_;
+};
+
+}  // namespace statim::core

@@ -1,0 +1,91 @@
+#include "core/downsize.hpp"
+
+#include "core/front.hpp"
+#include "core/trial_resize.hpp"
+#include "util/error.hpp"
+
+namespace statim::core {
+
+namespace {
+
+/// Exact objective change (ns, negative = better) of shrinking `g` by
+/// delta_w, via a fanout-cone front drain under a live trial resize.
+double downsize_delta_ns(Context& ctx, const Objective& objective, GateId g,
+                         double delta_w) {
+    TrialResize trial(ctx, g, -delta_w);
+    PerturbationFront front(ctx, objective, trial);
+    while (!front.completed()) front.propagate_one_level(ctx);
+    if (!front.sink_pdf().valid()) return 0.0;  // perturbation died out
+    const double base = objective.eval_bins(ctx.engine().sink_arrival());
+    const double pert = objective.eval_bins(front.sink_pdf());
+    return (pert - base) * ctx.grid().dt_ns();
+}
+
+}  // namespace
+
+DownsizeResult run_downsizing(Context& ctx, const DownsizeConfig& config) {
+    if (!(config.delta_w > 0.0))
+        throw ConfigError("DownsizeConfig: delta_w must be positive");
+    if (!(config.min_width > 0.0))
+        throw ConfigError("DownsizeConfig: min_width must be positive");
+    if (config.objective_budget_ns < 0.0)
+        throw ConfigError("DownsizeConfig: objective budget must be >= 0");
+
+    DownsizeResult result;
+    ctx.run_ssta();
+    result.initial_objective_ns =
+        config.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
+    result.initial_area = ctx.nl().total_area(ctx.lib());
+    result.final_objective_ns = result.initial_objective_ns;
+    result.final_area = result.initial_area;
+    result.stop_reason = "iteration budget";
+
+    for (int iter = 1; iter <= config.max_iterations; ++iter) {
+        // Candidate with the least objective damage.
+        GateId best = GateId::invalid();
+        double best_delta = std::numeric_limits<double>::infinity();
+        for (std::size_t gi = 0; gi < ctx.nl().gate_count(); ++gi) {
+            const GateId g{static_cast<std::uint32_t>(gi)};
+            if (ctx.nl().gate(g).width - config.delta_w < config.min_width - 1e-12)
+                continue;
+            const double delta = downsize_delta_ns(ctx, config.objective, g,
+                                                   config.delta_w);
+            if (delta < best_delta || (delta == best_delta && best.is_valid() && g < best)) {
+                best = g;
+                best_delta = delta;
+            }
+        }
+        if (!best.is_valid()) {
+            result.stop_reason = "width floor";
+            break;
+        }
+        // Would this step blow the cumulative budget?
+        const double projected =
+            result.final_objective_ns + best_delta - result.initial_objective_ns;
+        if (projected > config.objective_budget_ns + 1e-12) {
+            result.stop_reason = "objective budget";
+            break;
+        }
+
+        ctx.nl().gate(best).width -= config.delta_w;
+        const auto changed = ctx.delay_calc().update_for_resize(best);
+        ctx.edge_delays().update_edges(changed, ctx.delay_calc());
+        ctx.run_ssta();
+
+        result.iterations = iter;
+        result.final_objective_ns =
+            config.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
+        result.final_area = ctx.nl().total_area(ctx.lib());
+
+        DownsizeRecord record;
+        record.iteration = iter;
+        record.gate = best;
+        record.objective_delta_ns = best_delta;
+        record.objective_after_ns = result.final_objective_ns;
+        record.area_after = result.final_area;
+        result.history.push_back(record);
+    }
+    return result;
+}
+
+}  // namespace statim::core

@@ -1,0 +1,50 @@
+// Area recovery by downsizing — an extension beyond the paper.
+//
+// After (or instead of) upsizing, repeatedly find the gate whose width
+// reduction by Δw hurts the statistical objective least — often it even
+// *helps*, by unloading the gate's fanins — and apply it while the
+// cumulative objective degradation stays within a budget. Uses the same
+// perturbation-front machinery as the sizers (a trial resize with a
+// negative Δw), so each candidate costs one fanout-cone propagation.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/objective.hpp"
+
+namespace statim::core {
+
+struct DownsizeConfig {
+    Objective objective{};
+    double delta_w{0.25};
+    double min_width{1.0};
+    int max_iterations{1000};
+    /// Total allowed increase of the objective relative to the start (ns).
+    double objective_budget_ns{0.0};
+};
+
+struct DownsizeRecord {
+    int iteration{0};
+    GateId gate{GateId::invalid()};
+    double objective_delta_ns{0.0};  ///< signed; negative means it improved
+    double objective_after_ns{0.0};
+    double area_after{0.0};
+};
+
+struct DownsizeResult {
+    std::vector<DownsizeRecord> history;
+    double initial_objective_ns{0.0};
+    double final_objective_ns{0.0};
+    double initial_area{0.0};
+    double final_area{0.0};
+    int iterations{0};
+    std::string stop_reason;
+};
+
+/// Runs the recovery loop; the context's netlist is modified in place.
+[[nodiscard]] DownsizeResult run_downsizing(Context& ctx, const DownsizeConfig& config);
+
+}  // namespace statim::core

@@ -1,0 +1,116 @@
+#include "core/flow.hpp"
+
+#include "netlist/iscas.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace statim::core {
+
+ComparisonResult compare_optimizers(const std::string& circuit_name,
+                                    const cells::Library& lib,
+                                    const ComparisonConfig& config) {
+    ComparisonResult result;
+    result.circuit = circuit_name;
+
+    // Two identical minimum-size copies: one per optimizer.
+    netlist::Netlist nl_det = netlist::make_iscas(circuit_name, lib);
+    netlist::Netlist nl_stat = netlist::make_iscas(circuit_name, lib);
+
+    // One grid for every evaluation, chosen from the min-size circuit.
+    Context ctx_stat(nl_stat, lib, config.grid_policy);
+    const prob::TimeGrid grid = ctx_stat.grid();
+    result.nodes = ctx_stat.graph().node_count();
+    result.edges = ctx_stat.graph().edge_count();
+
+    // Deterministic baseline for the full iteration budget.
+    DeterministicSizerConfig det_cfg;
+    det_cfg.delta_w = config.delta_w;
+    det_cfg.max_width = config.max_width;
+    det_cfg.max_iterations = config.det_iterations;
+    result.det = run_deterministic_sizing(nl_det, lib, det_cfg);
+
+    // Statistical optimizer up to the same added area ("same circuit area").
+    StatisticalSizerConfig stat_cfg;
+    stat_cfg.objective = config.objective;
+    stat_cfg.delta_w = config.delta_w;
+    stat_cfg.max_width = config.max_width;
+    stat_cfg.max_iterations = config.stat_max_iterations;
+    stat_cfg.area_budget = result.det.final_area - result.det.initial_area;
+    stat_cfg.selector = config.selector;
+    result.stat = run_statistical_sizing(ctx_stat, stat_cfg);
+
+    result.initial_objective_ns = result.stat.initial_objective_ns;
+    result.stat_objective_ns = result.stat.final_objective_ns;
+    result.det_area_increase_pct =
+        100.0 * (result.det.final_area - result.det.initial_area) /
+        result.det.initial_area;
+    result.stat_area_increase_pct =
+        100.0 * (result.stat.final_area - result.stat.initial_area) /
+        result.stat.initial_area;
+
+    // Evaluate the deterministic solution statistically on the same grid.
+    {
+        Context ctx_det(nl_det, lib, grid);
+        ctx_det.run_ssta();
+        result.det_objective_ns =
+            config.objective.eval_ns(grid, ctx_det.engine().sink_arrival());
+    }
+    result.improvement_pct = 100.0 *
+                             (result.det_objective_ns - result.stat_objective_ns) /
+                             result.det_objective_ns;
+    return result;
+}
+
+RuntimeComparisonResult compare_runtime(const std::string& circuit_name,
+                                        const cells::Library& lib,
+                                        const RuntimeComparisonConfig& config) {
+    RuntimeComparisonResult result;
+    result.circuit = circuit_name;
+
+    netlist::Netlist nl = netlist::make_iscas(circuit_name, lib);
+    Context ctx(nl, lib, config.grid_policy);
+    result.nodes = ctx.graph().node_count();
+    result.edges = ctx.graph().edge_count();
+
+    const SelectorConfig sel{config.objective, config.delta_w, config.max_width};
+    ctx.run_ssta();
+
+    for (int iter = 1; iter <= config.iterations; ++iter) {
+        const Selection brute = select_brute_force(ctx, sel, false);
+        const Selection pruned = select_pruned(ctx, sel);
+
+        if (config.verify_equal &&
+            (brute.gate != pruned.gate || brute.sensitivity != pruned.sensitivity))
+            throw Error("compare_runtime: pruned selection diverged from brute "
+                        "force on " + circuit_name + " at iteration " +
+                        std::to_string(iter));
+
+        IterationTiming timing;
+        timing.iteration = iter;
+        timing.brute_seconds = brute.stats.seconds;
+        timing.pruned_seconds = pruned.stats.seconds;
+        timing.candidates = pruned.stats.candidates;
+        timing.pruned_candidates = pruned.stats.pruned;
+        timing.completed = pruned.stats.completed;
+        if (config.time_cone) {
+            const Selection cone = select_brute_force(ctx, sel, true);
+            timing.cone_seconds = cone.stats.seconds;
+        }
+        result.per_iteration.push_back(timing);
+
+        result.brute_seconds.add(timing.brute_seconds);
+        result.pruned_seconds.add(timing.pruned_seconds);
+        if (timing.pruned_seconds > 0.0)
+            result.improvement_factor.add(timing.brute_seconds / timing.pruned_seconds);
+        if (timing.candidates > 0)
+            result.pruned_fraction.add(static_cast<double>(timing.pruned_candidates) /
+                                       static_cast<double>(timing.candidates));
+
+        if (!pruned.gate.is_valid()) break;  // nothing left to size
+        (void)ctx.apply_resize(pruned.gate, config.delta_w);
+        ctx.run_ssta();
+    }
+    return result;
+}
+
+}  // namespace statim::core

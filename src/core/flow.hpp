@@ -1,0 +1,93 @@
+// High-level experiment drivers.
+//
+// These functions package the paper's evaluation procedures so that the
+// bench harnesses, the examples and the integration tests share one tested
+// implementation:
+//
+//  * compare_optimizers — Table 1: deterministic baseline for N iterations,
+//    then statistical sizing to the same area budget on an identical copy,
+//    both evaluated at the 99-percentile on a common grid.
+//  * compare_runtime — Table 2: a shared sizing trajectory along which both
+//    the brute-force and the pruned selector are timed on identical states
+//    (their selections are asserted equal on the way).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cells/library.hpp"
+#include "core/sizers.hpp"
+#include "ssta/grid_policy.hpp"
+#include "util/running_stats.hpp"
+
+namespace statim::core {
+
+struct ComparisonConfig {
+    Objective objective{};
+    double delta_w{0.25};
+    double max_width{16.0};
+    int det_iterations{1000};
+    /// Safety cap while the statistical run chases the area budget.
+    int stat_max_iterations{4000};
+    ssta::GridPolicy grid_policy{};
+    SelectorKind selector{SelectorKind::Pruned};
+};
+
+struct ComparisonResult {
+    std::string circuit;
+    std::size_t nodes{0};
+    std::size_t edges{0};
+    double initial_objective_ns{0.0};   ///< min-size circuit, 99-percentile
+    double det_area_increase_pct{0.0};  ///< Table 1 "% inc."
+    double stat_area_increase_pct{0.0};
+    double det_objective_ns{0.0};       ///< Table 1 "deterministic"
+    double stat_objective_ns{0.0};      ///< Table 1 "statistical"
+    double improvement_pct{0.0};        ///< Table 1 "% impr."
+    DetSizingResult det;
+    SizingResult stat;
+};
+
+/// Runs the Table 1 experiment for one circuit from the registry.
+[[nodiscard]] ComparisonResult compare_optimizers(const std::string& circuit_name,
+                                                  const cells::Library& lib,
+                                                  const ComparisonConfig& config);
+
+struct RuntimeComparisonConfig {
+    Objective objective{};
+    double delta_w{0.25};
+    double max_width{16.0};
+    int iterations{20};
+    ssta::GridPolicy grid_policy{};
+    /// Assert that brute force and pruned pick the same gate each step.
+    bool verify_equal{true};
+    /// Also time the cone-limited brute force (ablation).
+    bool time_cone{false};
+};
+
+struct IterationTiming {
+    int iteration{0};
+    double brute_seconds{0.0};
+    double pruned_seconds{0.0};
+    double cone_seconds{0.0};  ///< only when time_cone
+    std::size_t candidates{0};
+    std::size_t pruned_candidates{0};
+    std::size_t completed{0};
+};
+
+struct RuntimeComparisonResult {
+    std::string circuit;
+    std::size_t nodes{0};
+    std::size_t edges{0};
+    std::vector<IterationTiming> per_iteration;
+    RunningStats brute_seconds;
+    RunningStats pruned_seconds;
+    RunningStats improvement_factor;
+    RunningStats pruned_fraction;  ///< pruned candidates / candidates
+};
+
+/// Runs the Table 2 experiment for one circuit from the registry.
+[[nodiscard]] RuntimeComparisonResult compare_runtime(
+    const std::string& circuit_name, const cells::Library& lib,
+    const RuntimeComparisonConfig& config);
+
+}  // namespace statim::core

@@ -1,0 +1,100 @@
+// Perturbation fronts — the paper's core data structure (Sections 3.2/3.3).
+//
+// For a candidate gate x (temporarily upsized by Δw), the front tracks the
+// set of nodes whose arrival-time CDFs differ from the unperturbed SSTA
+// solution (the paper's A'set), advancing level by level toward the sink
+// (PropagateOneLevel, Fig 9). Each computed node i carries the step-CDF
+// perturbation
+//   Δi = max_p [T_step(Ai,p) − T_step(A'i,p)]   (whole bins)
+// and by Theorems 1–4 the maximum Δ over the alive front nodes can only
+// shrink as the front advances, so
+//   Smx = (max(Δmx, 0) + 2 bins) / Δw  >=  Sx = δnf(p*) / Δw
+// is a monotonically tightening upper bound on x's true sensitivity. The
+// zero-clamp covers worsening perturbations (whose negative Δ a max
+// against an unperturbed side input can absorb back to zero); one bin of
+// slack covers the gap between the step CDF the bound lives on and the
+// interpolated percentile the objective reads, and one more covers
+// floating-point knot ties (see front.cpp). The selector uses Smx to prune
+// candidates without propagating them to the sink.
+//
+// Bookkeeping mirrors the paper: a node's entry stays alive until all of
+// its fanouts have computed their perturbed arrivals (fo_count), after
+// which it leaves the front. Nodes whose perturbed arrival equals the
+// unperturbed one bit-for-bit are dropped immediately (the perturbation
+// was absorbed by a max); if the whole front dies, the sensitivity is
+// exactly zero.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/objective.hpp"
+#include "core/trial_resize.hpp"
+#include "prob/pdf.hpp"
+
+namespace statim::core {
+
+class PerturbationFront {
+  public:
+    struct Stats {
+        std::size_t levels_stepped{0};
+        std::size_t nodes_computed{0};
+        std::size_t dead_drops{0};
+    };
+
+    /// The paper's Initialize (Fig 7): seeds the front from the edges the
+    /// live `trial` perturbs and advances it through gate x's own level.
+    /// Must be constructed while `trial` is active; after construction the
+    /// trial may be destroyed (the front never re-reads perturbed edges).
+    PerturbationFront(Context& ctx, const Objective& objective,
+                      const TrialResize& trial);
+
+    /// Advances the shallowest pending level (Fig 9). No-op when completed.
+    void propagate_one_level(const Context& ctx);
+
+    /// True once the front reached the sink or died out.
+    [[nodiscard]] bool completed() const noexcept { return completed_; }
+    /// Smx in ns per unit width; only meaningful while not completed.
+    [[nodiscard]] double bound_sensitivity() const noexcept { return bound_sens_; }
+    /// Sx in ns per unit width; only meaningful once completed.
+    [[nodiscard]] double sensitivity() const noexcept { return sensitivity_; }
+    /// Perturbed sink arrival; invalid Pdf if the front died early.
+    [[nodiscard]] const prob::Pdf& sink_pdf() const noexcept { return sink_pdf_; }
+
+    [[nodiscard]] GateId gate() const noexcept { return gate_; }
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  private:
+    struct Entry {
+        prob::Pdf pdf;               // perturbed arrival (computed only)
+        double delta_bins{0.0};      // Δi
+        std::uint32_t fo_remaining{0};
+        bool computed{false};
+    };
+
+    void schedule(const Context& ctx, NodeId n);
+    void process_level(const Context& ctx);
+    void compute_node(const Context& ctx, NodeId n);
+    void refresh_state();
+
+    GateId gate_;
+    double delta_w_;
+    double dt_ns_;
+    Objective objective_;
+
+    std::unordered_map<std::uint32_t, Entry> aset_;
+    // (level, node) min-heap: levels are processed in increasing order.
+    using Pending = std::pair<std::uint32_t, std::uint32_t>;
+    std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
+
+    double bound_sens_{0.0};
+    double sensitivity_{0.0};
+    bool completed_{false};
+    prob::Pdf sink_pdf_;
+    Stats stats_;
+};
+
+}  // namespace statim::core

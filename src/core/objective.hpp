@@ -1,0 +1,46 @@
+// Optimization objectives over the circuit-delay (sink-arrival) CDF.
+//
+// The paper uses the p-percentile point T(p) with p = 0.99 (Fig. 2) but
+// notes the framework supports any cost defined on the distribution. Both
+// supported objectives are 1-Lipschitz against uniform time shifts, so the
+// perturbation bound Δ = max_p [T(A,p) − T(A',p)] upper-bounds their
+// improvement — the property the pruning algorithm needs:
+//   * Percentile: T(A,p) − T(A',p) ≤ Δ by definition of the max.
+//   * Mean: mean(A) − mean(A') = ∫ (T(A,p) − T(A',p)) dp ≤ Δ.
+#pragma once
+
+#include "prob/grid.hpp"
+#include "prob/pdf.hpp"
+#include "util/error.hpp"
+
+namespace statim::core {
+
+struct Objective {
+    enum class Kind { Percentile, Mean };
+
+    Kind kind{Kind::Percentile};
+    double p{0.99};  ///< used by Kind::Percentile
+
+    /// Cost in fractional bin units (lower is better).
+    [[nodiscard]] double eval_bins(const prob::Pdf& sink) const {
+        switch (kind) {
+            case Kind::Percentile: return sink.percentile_bin(p);
+            case Kind::Mean: return sink.mean_bins();
+        }
+        throw ConfigError("Objective: unknown kind");
+    }
+
+    /// Cost in nanoseconds.
+    [[nodiscard]] double eval_ns(const prob::TimeGrid& grid, const prob::Pdf& sink) const {
+        return grid.time_of(eval_bins(sink));
+    }
+
+    [[nodiscard]] static Objective percentile(double p) {
+        if (!(p > 0.0) || !(p <= 1.0))
+            throw ConfigError("Objective::percentile: p must be in (0, 1]");
+        return Objective{Kind::Percentile, p};
+    }
+    [[nodiscard]] static Objective mean() { return Objective{Kind::Mean, 0.0}; }
+};
+
+}  // namespace statim::core

@@ -1,0 +1,102 @@
+#include "core/report.hpp"
+
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace statim::core {
+
+namespace {
+
+/// Indices of the rows to show: all, or an even subsample including ends.
+std::vector<std::size_t> pick_rows(std::size_t count, std::size_t max_rows) {
+    std::vector<std::size_t> rows;
+    if (max_rows == 0 || count <= max_rows) {
+        rows.resize(count);
+        for (std::size_t i = 0; i < count; ++i) rows[i] = i;
+        return rows;
+    }
+    for (std::size_t i = 0; i < max_rows; ++i)
+        rows.push_back(i * (count - 1) / (max_rows - 1));
+    return rows;
+}
+
+}  // namespace
+
+void print_summary(std::ostream& out, const netlist::Netlist& nl,
+                   const SizingResult& result) {
+    out << nl.name() << ": objective " << format_double(result.initial_objective_ns, 5)
+        << " -> " << format_double(result.final_objective_ns, 5) << " ns ("
+        << format_double(100.0 *
+                             (result.initial_objective_ns - result.final_objective_ns) /
+                             result.initial_objective_ns,
+                         3)
+        << "% better), area " << format_double(result.initial_area, 5) << " -> "
+        << format_double(result.final_area, 5) << " (+"
+        << format_double(100.0 * (result.final_area - result.initial_area) /
+                             result.initial_area,
+                         3)
+        << "%), " << result.iterations << " iterations [" << result.stop_reason
+        << "]\n";
+}
+
+void print_summary(std::ostream& out, const netlist::Netlist& nl,
+                   const DetSizingResult& result) {
+    out << nl.name() << ": nominal delay " << format_double(result.initial_delay_ns, 5)
+        << " -> " << format_double(result.final_delay_ns, 5) << " ns, area "
+        << format_double(result.initial_area, 5) << " -> "
+        << format_double(result.final_area, 5) << ", " << result.iterations
+        << " iterations [" << result.stop_reason << "]\n";
+}
+
+void render_history(std::ostream& out, const netlist::Netlist& nl,
+                    const SizingResult& result, const ReportOptions& options) {
+    std::vector<std::string> header = {"iter", "gate", "sens (ns/w)", "objective (ns)",
+                                       "area", "width"};
+    if (options.include_stats) {
+        header.push_back("cand");
+        header.push_back("pruned");
+        header.push_back("compl");
+    }
+    AsciiTable table(std::move(header));
+    for (std::size_t i : pick_rows(result.history.size(), options.max_rows)) {
+        const IterationRecord& rec = result.history[i];
+        std::vector<std::string> row = {std::to_string(rec.iteration),
+                                        nl.gate(rec.gate).name,
+                                        format_double(rec.sensitivity, 4),
+                                        format_double(rec.objective_after_ns, 6),
+                                        format_double(rec.area_after, 6),
+                                        format_double(rec.width_after, 6)};
+        if (options.include_stats) {
+            row.push_back(std::to_string(rec.stats.candidates));
+            row.push_back(std::to_string(rec.stats.pruned));
+            row.push_back(std::to_string(rec.stats.completed));
+        }
+        table.add_row(std::move(row));
+    }
+    table.print(out);
+}
+
+void write_history_csv(std::ostream& out, const netlist::Netlist& nl,
+                       const SizingResult& result) {
+    CsvWriter csv(out, {"iteration", "gate", "sensitivity_ns_per_w", "objective_ns",
+                        "total_area", "total_width"});
+    for (const IterationRecord& rec : result.history)
+        csv.row({std::to_string(rec.iteration), nl.gate(rec.gate).name,
+                 format_double(rec.sensitivity), format_double(rec.objective_after_ns),
+                 format_double(rec.area_after), format_double(rec.width_after)});
+}
+
+void write_history_csv(std::ostream& out, const netlist::Netlist& nl,
+                       const DetSizingResult& result) {
+    CsvWriter csv(out, {"iteration", "gate", "sensitivity_ns_per_w",
+                        "circuit_delay_ns", "total_area", "total_width"});
+    for (const DetIterationRecord& rec : result.history)
+        csv.row({std::to_string(rec.iteration), nl.gate(rec.gate).name,
+                 format_double(rec.sensitivity),
+                 format_double(rec.circuit_delay_after_ns),
+                 format_double(rec.area_after), format_double(rec.width_after)});
+}
+
+}  // namespace statim::core

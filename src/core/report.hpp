@@ -1,0 +1,35 @@
+// Rendering of sizing results: ASCII tables for terminals, CSV for
+// plotting (the Figure 10 format). Shared by examples, benches and tests.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/sizers.hpp"
+
+namespace statim::core {
+
+/// Options for render_history/write_history_csv.
+struct ReportOptions {
+    /// Print at most this many rows (evenly subsampled); 0 = all.
+    std::size_t max_rows{0};
+    /// Include the selector statistics columns.
+    bool include_stats{true};
+};
+
+/// One-line summary: objective before/after, area before/after, stop reason.
+void print_summary(std::ostream& out, const netlist::Netlist& nl,
+                   const SizingResult& result);
+void print_summary(std::ostream& out, const netlist::Netlist& nl,
+                   const DetSizingResult& result);
+
+/// Per-iteration table of a statistical sizing run.
+void render_history(std::ostream& out, const netlist::Netlist& nl,
+                    const SizingResult& result, const ReportOptions& options = {});
+
+/// Per-iteration CSV (iteration, gate, sensitivity, objective, area, width).
+void write_history_csv(std::ostream& out, const netlist::Netlist& nl,
+                       const SizingResult& result);
+void write_history_csv(std::ostream& out, const netlist::Netlist& nl,
+                       const DetSizingResult& result);
+
+}  // namespace statim::core

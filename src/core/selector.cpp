@@ -1,0 +1,225 @@
+#include "core/selector.hpp"
+
+#include <memory>
+#include <queue>
+
+#include "util/timer.hpp"
+
+namespace statim::core {
+
+namespace {
+
+/// Gates that may still grow by delta_w under the width cap.
+std::vector<GateId> eligible_gates(const Context& ctx, const SelectorConfig& config) {
+    std::vector<GateId> gates;
+    const auto& nl = ctx.nl();
+    for (std::size_t gi = 0; gi < nl.gate_count(); ++gi) {
+        const GateId g{static_cast<std::uint32_t>(gi)};
+        if (nl.gate(g).width + config.delta_w <= config.max_width + 1e-12)
+            gates.push_back(g);
+    }
+    return gates;
+}
+
+/// Replace the incumbent? Strictly greater wins; equal sensitivity falls
+/// back to the lower gate id (matches id-ordered brute-force iteration).
+bool improves(double sens, GateId g, double best_sens, GateId best) {
+    if (sens > best_sens) return true;
+    return sens == best_sens && best.is_valid() && g < best;
+}
+
+}  // namespace
+
+Selection select_pruned(Context& ctx, const SelectorConfig& config) {
+    Timer timer;
+    Selection result;
+    const std::vector<GateId> gates = eligible_gates(ctx, config);
+    result.stats.candidates = gates.size();
+
+    // Initialize every candidate's front (paper Fig 6, steps 3-5).
+    std::vector<std::unique_ptr<PerturbationFront>> fronts;
+    fronts.reserve(gates.size());
+    for (GateId g : gates) {
+        TrialResize trial(ctx, g, config.delta_w);
+        fronts.push_back(
+            std::make_unique<PerturbationFront>(ctx, config.objective, trial));
+    }
+
+    double max_s = 0.0;  // paper step 6
+    auto absorb_completion = [&](std::size_t idx) {
+        PerturbationFront& front = *fronts[idx];
+        if (front.sink_pdf().valid()) ++result.stats.completed;
+        else ++result.stats.died;
+        const double sens = front.sensitivity();
+        if (improves(sens, front.gate(), max_s, result.gate)) {
+            result.gate = front.gate();
+            result.sensitivity = sens;
+            if (sens > max_s) max_s = sens;
+        }
+        result.stats.nodes_computed += front.stats().nodes_computed;
+        result.stats.levels_stepped += front.stats().levels_stepped;
+        fronts[idx].reset();
+    };
+
+    // Max-heap on (bound, candidate); ties pop the lower gate id first.
+    struct HeapEntry {
+        double bound;
+        std::uint32_t idx;
+        std::uint32_t gate_id;
+    };
+    struct Cmp {
+        bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+            if (a.bound != b.bound) return a.bound < b.bound;
+            return a.gate_id > b.gate_id;
+        }
+    };
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, Cmp> heap;
+
+    std::size_t alive = 0;
+    for (std::size_t i = 0; i < fronts.size(); ++i) {
+        if (fronts[i]->completed()) {
+            absorb_completion(i);
+        } else {
+            heap.push({fronts[i]->bound_sensitivity(), static_cast<std::uint32_t>(i),
+                       fronts[i]->gate().value});
+            ++alive;
+        }
+    }
+
+    while (!heap.empty()) {
+        const HeapEntry top = heap.top();
+        heap.pop();
+        if (!fronts[top.idx]) continue;  // finished via a previous entry
+        PerturbationFront& front = *fronts[top.idx];
+        if (top.bound != front.bound_sensitivity()) continue;  // stale bound
+
+        if (top.bound < max_s) {
+            // The freshest bound on the heap is below Max_S: every
+            // remaining candidate is provably inferior (paper step 20).
+            result.stats.pruned += alive;
+            break;
+        }
+        front.propagate_one_level(ctx);
+        if (front.completed()) {
+            --alive;
+            absorb_completion(top.idx);
+        } else {
+            heap.push({front.bound_sensitivity(), top.idx, top.gate_id});
+        }
+    }
+
+    result.stats.seconds = timer.seconds();
+    return result;
+}
+
+Selection select_brute_force(Context& ctx, const SelectorConfig& config,
+                             bool cone_only, bool record_all) {
+    Timer timer;
+    Selection result;
+    const std::vector<GateId> gates = eligible_gates(ctx, config);
+    result.stats.candidates = gates.size();
+    const auto& graph = ctx.graph();
+    const double dt = ctx.grid().dt_ns();
+    const double base_obj = config.objective.eval_bins(ctx.engine().sink_arrival());
+
+    std::vector<prob::Pdf> scratch;
+    for (GateId g : gates) {
+        TrialResize trial(ctx, g, config.delta_w);
+        double sens = 0.0;
+        if (cone_only) {
+            PerturbationFront front(ctx, config.objective, trial);
+            while (!front.completed()) front.propagate_one_level(ctx);
+            sens = front.sensitivity();
+            if (front.sink_pdf().valid()) ++result.stats.completed;
+            else ++result.stats.died;
+            result.stats.nodes_computed += front.stats().nodes_computed;
+            result.stats.levels_stepped += front.stats().levels_stepped;
+        } else {
+            // Paper baseline: a complete SSTA run for this candidate.
+            scratch.assign(graph.node_count(), prob::Pdf{});
+            scratch[netlist::TimingGraph::source().index()] = prob::Pdf::point(0);
+            const auto arrival_of = [&scratch](NodeId u) -> const prob::Pdf& {
+                return scratch[u.index()];
+            };
+            const auto delay_of = [&ctx](EdgeId e) -> const prob::Pdf& {
+                return ctx.edge_delays().pdf(e);
+            };
+            for (NodeId n : graph.topo_order()) {
+                if (n == netlist::TimingGraph::source()) continue;
+                scratch[n.index()] = ssta::compute_arrival(graph, n, arrival_of, delay_of);
+                ++result.stats.nodes_computed;
+            }
+            const double pert_obj = config.objective.eval_bins(
+                scratch[netlist::TimingGraph::sink().index()]);
+            sens = (base_obj - pert_obj) * dt / config.delta_w;
+            ++result.stats.completed;
+        }
+        if (record_all) result.all_sensitivities.emplace_back(g, sens);
+        if (improves(sens, g, result.sensitivity, result.gate)) {
+            result.gate = g;
+            result.sensitivity = sens;
+        }
+    }
+    // Match the pruned selector's contract: no gate unless the gain is > 0.
+    if (!(result.sensitivity > 0.0)) {
+        result.gate = GateId::invalid();
+        result.sensitivity = 0.0;
+    }
+    result.stats.seconds = timer.seconds();
+    return result;
+}
+
+Selection select_heuristic(Context& ctx, const SelectorConfig& config,
+                           std::size_t beam) {
+    if (beam == 0) throw ConfigError("select_heuristic: beam must be >= 1");
+    Timer timer;
+    Selection result;
+    const std::vector<GateId> gates = eligible_gates(ctx, config);
+    result.stats.candidates = gates.size();
+
+    // Initialize all fronts, keep their initial bounds.
+    std::vector<std::unique_ptr<PerturbationFront>> fronts;
+    fronts.reserve(gates.size());
+    std::vector<std::pair<double, std::size_t>> ranked;  // (bound, index)
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        TrialResize trial(ctx, gates[i], config.delta_w);
+        fronts.push_back(
+            std::make_unique<PerturbationFront>(ctx, config.objective, trial));
+        if (!fronts.back()->completed())
+            ranked.emplace_back(fronts.back()->bound_sensitivity(), i);
+        else if (fronts.back()->sink_pdf().valid())
+            ++result.stats.completed;
+        else
+            ++result.stats.died;
+    }
+    std::sort(ranked.begin(), ranked.end(), [&](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return gates[a.second] < gates[b.second];
+    });
+    if (ranked.size() > beam) {
+        result.stats.pruned = ranked.size() - beam;
+        ranked.resize(beam);
+    }
+
+    for (const auto& [bound, idx] : ranked) {
+        PerturbationFront& front = *fronts[idx];
+        while (!front.completed()) front.propagate_one_level(ctx);
+        if (front.sink_pdf().valid()) ++result.stats.completed;
+        else ++result.stats.died;
+        result.stats.nodes_computed += front.stats().nodes_computed;
+        result.stats.levels_stepped += front.stats().levels_stepped;
+        if (improves(front.sensitivity(), front.gate(), result.sensitivity,
+                     result.gate)) {
+            result.gate = front.gate();
+            result.sensitivity = front.sensitivity();
+        }
+    }
+    if (!(result.sensitivity > 0.0)) {
+        result.gate = GateId::invalid();
+        result.sensitivity = 0.0;
+    }
+    result.stats.seconds = timer.seconds();
+    return result;
+}
+
+}  // namespace statim::core

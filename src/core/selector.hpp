@@ -1,0 +1,72 @@
+// Candidate selection for one coordinate-descent iteration: find the gate
+// with the maximum statistical sensitivity.
+//
+//  * PrunedSelector — the paper's algorithm (Fig 6): every candidate gets a
+//    perturbation front; the front with the largest bound Smx advances one
+//    level at a time; completed fronts update Max_S; any front whose bound
+//    falls below Max_S is pruned without ever reaching the sink.
+//  * BruteForceSelector — the paper's baseline: one full SSTA per candidate
+//    (or, in cone mode, an unpruned front drain — an ablation between the
+//    two). Also returns every candidate's sensitivity for diagnostics.
+//
+// Both selectors share the same arithmetic path (ssta::compute_arrival),
+// pick by strictly-greater sensitivity with ties broken toward the lowest
+// gate id, and therefore return identical selections — asserted by
+// tests/test_pruning_exactness.cpp.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/front.hpp"
+#include "core/objective.hpp"
+
+namespace statim::core {
+
+/// Inner-loop accounting; the Table 2 harness aggregates these.
+struct SelectorStats {
+    std::size_t candidates{0};       ///< gates eligible for upsizing
+    std::size_t completed{0};        ///< fronts that reached the sink
+    std::size_t pruned{0};           ///< candidates discarded via the bound
+    std::size_t died{0};             ///< perturbation absorbed before the sink
+    std::size_t nodes_computed{0};   ///< perturbed-arrival evaluations
+    std::size_t levels_stepped{0};   ///< front level advances
+    double seconds{0.0};             ///< wall-clock for the whole selection
+};
+
+struct Selection {
+    GateId gate{GateId::invalid()};  ///< invalid when no positive-gain gate
+    double sensitivity{0.0};         ///< ns improvement per unit width
+    SelectorStats stats{};
+    /// Sensitivity of every evaluated candidate (brute force only).
+    std::vector<std::pair<GateId, double>> all_sensitivities{};
+};
+
+/// Shared knobs for one selection pass.
+struct SelectorConfig {
+    Objective objective{};
+    double delta_w{0.25};
+    double max_width{16.0};
+};
+
+/// The paper's pruned selection (requires ctx.run_ssta() beforehand).
+[[nodiscard]] Selection select_pruned(Context& ctx, const SelectorConfig& config);
+
+/// Brute-force selection; `cone_only` restricts each candidate's SSTA to
+/// its fanout cone (no bound pruning) instead of the full graph.
+[[nodiscard]] Selection select_brute_force(Context& ctx, const SelectorConfig& config,
+                                           bool cone_only = false,
+                                           bool record_all = false);
+
+/// Approximate selection — the paper's "future work" heuristic for
+/// iterations where many gates have similar sensitivities and exact
+/// pruning stalls: initialize every front, fully propagate only the `beam`
+/// candidates with the highest initial bounds, and return the best of
+/// those. With beam >= the candidate count this equals the exact result;
+/// smaller beams trade optimality for speed. The returned gate always has
+/// positive sensitivity or is invalid.
+[[nodiscard]] Selection select_heuristic(Context& ctx, const SelectorConfig& config,
+                                         std::size_t beam);
+
+}  // namespace statim::core

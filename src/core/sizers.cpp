@@ -1,0 +1,173 @@
+#include "core/sizers.hpp"
+
+#include <algorithm>
+
+#include "sta/sta.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace statim::core {
+
+namespace {
+
+Selection run_selector(Context& ctx, const StatisticalSizerConfig& config) {
+    const SelectorConfig sel{config.objective, config.delta_w, config.max_width};
+    switch (config.selector) {
+        case SelectorKind::Pruned: return select_pruned(ctx, sel);
+        case SelectorKind::BruteFull: return select_brute_force(ctx, sel, false);
+        case SelectorKind::BruteCone: return select_brute_force(ctx, sel, true);
+    }
+    throw ConfigError("run_statistical_sizing: unknown selector kind");
+}
+
+}  // namespace
+
+SizingResult run_statistical_sizing(Context& ctx, const StatisticalSizerConfig& config) {
+    if (config.max_iterations < 0)
+        throw ConfigError("StatisticalSizerConfig: max_iterations must be >= 0");
+    if (!(config.delta_w > 0.0))
+        throw ConfigError("StatisticalSizerConfig: delta_w must be positive");
+    if (config.gates_per_iteration < 1)
+        throw ConfigError("StatisticalSizerConfig: gates_per_iteration must be >= 1");
+
+    SizingResult result;
+    ctx.run_ssta();
+    result.initial_objective_ns =
+        config.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
+    result.initial_area = ctx.nl().total_area(ctx.lib());
+    result.final_objective_ns = result.initial_objective_ns;
+    result.final_area = result.initial_area;
+    result.stop_reason = "iteration budget";
+
+    if (result.initial_objective_ns <= config.target_objective_ns) {
+        result.stop_reason = "target met";
+        return result;
+    }
+
+    for (int iter = 1; iter <= config.max_iterations; ++iter) {
+        Selection selection = run_selector(ctx, config);
+
+        // Multi-gate mode: take the top-k completed candidates. The brute
+        // selectors expose all sensitivities; the pruned selector returns
+        // one winner, so k > 1 simply repeats the selection after applying.
+        if (!selection.gate.is_valid() || !(selection.sensitivity > 0.0)) {
+            result.stop_reason = "converged";
+            break;
+        }
+
+        int applied = 0;
+        Selection current = std::move(selection);
+        while (true) {
+            (void)ctx.apply_resize(current.gate, config.delta_w);
+            ++applied;
+            if (applied >= config.gates_per_iteration) break;
+            ctx.run_ssta();
+            current = run_selector(ctx, config);
+            if (!current.gate.is_valid() || !(current.sensitivity > 0.0)) break;
+        }
+        ctx.run_ssta();
+
+        result.iterations = iter;
+        result.final_objective_ns =
+            config.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
+        result.final_area = ctx.nl().total_area(ctx.lib());
+
+        IterationRecord record;
+        record.iteration = iter;
+        record.gate = current.gate;
+        record.sensitivity = current.sensitivity;
+        record.objective_after_ns = result.final_objective_ns;
+        record.area_after = result.final_area;
+        record.width_after = ctx.nl().total_width();
+        record.stats = current.stats;
+        result.history.push_back(record);
+
+        STATIM_DEBUG() << "stat iter " << iter << " gate "
+                       << ctx.nl().gate(record.gate).name << " sens "
+                       << record.sensitivity << " obj " << record.objective_after_ns;
+
+        if (result.final_objective_ns <= config.target_objective_ns) {
+            result.stop_reason = "target met";
+            break;
+        }
+        if (result.final_area - result.initial_area >= config.area_budget) {
+            result.stop_reason = "area budget";
+            break;
+        }
+    }
+    if (config.max_iterations == 0) result.stop_reason = "iteration budget";
+    return result;
+}
+
+DetSizingResult run_deterministic_sizing(netlist::Netlist& nl,
+                                         const cells::Library& lib,
+                                         const DeterministicSizerConfig& config) {
+    if (!(config.delta_w > 0.0))
+        throw ConfigError("DeterministicSizerConfig: delta_w must be positive");
+
+    const netlist::TimingGraph graph(nl);
+    sta::DelayCalc dc(graph, lib);
+
+    DetSizingResult result;
+    sta::StaResult sta = sta::run_sta(dc);
+    result.initial_delay_ns = sta.circuit_delay_ns;
+    result.initial_area = nl.total_area(lib);
+    result.final_delay_ns = result.initial_delay_ns;
+    result.final_area = result.initial_area;
+    result.stop_reason = "iteration budget";
+
+    std::vector<double> scratch_arrival;
+    for (int iter = 1; iter <= config.max_iterations; ++iter) {
+        const std::vector<EdgeId> path = sta::critical_path(dc, sta);
+        const std::vector<GateId> on_path = sta::gates_on_path(graph, path);
+
+        GateId best = GateId::invalid();
+        double best_sens = 0.0;
+        for (GateId g : on_path) {
+            if (nl.gate(g).width + config.delta_w > config.max_width + 1e-12) continue;
+            // Trial resize with an incremental arrival update on a copy.
+            nl.gate(g).width += config.delta_w;
+            const std::vector<EdgeId> changed = dc.update_for_resize(g);
+            scratch_arrival = sta.arrival;
+            const double new_delay =
+                sta::update_arrival_after_change(dc, changed, scratch_arrival);
+            nl.gate(g).width -= config.delta_w;
+            (void)dc.update_for_resize(g);
+
+            const double sens = (sta.circuit_delay_ns - new_delay) / config.delta_w;
+            if (sens > best_sens || (sens == best_sens && best.is_valid() && g < best)) {
+                best = g;
+                best_sens = sens;
+            }
+        }
+        if (!best.is_valid() || !(best_sens > 0.0)) {
+            result.stop_reason = on_path.empty() ? "width capped" : "converged";
+            break;
+        }
+
+        nl.gate(best).width += config.delta_w;
+        (void)dc.update_for_resize(best);
+        sta = sta::run_sta(dc);
+
+        result.iterations = iter;
+        result.final_delay_ns = sta.circuit_delay_ns;
+        result.final_area = nl.total_area(lib);
+
+        DetIterationRecord record;
+        record.iteration = iter;
+        record.gate = best;
+        record.sensitivity = best_sens;
+        record.circuit_delay_after_ns = result.final_delay_ns;
+        record.area_after = result.final_area;
+        record.width_after = nl.total_width();
+        result.history.push_back(record);
+
+        if (result.final_area - result.initial_area >= config.area_budget) {
+            result.stop_reason = "area budget";
+            break;
+        }
+    }
+    return result;
+}
+
+}  // namespace statim::core

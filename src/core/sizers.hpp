@@ -1,0 +1,100 @@
+// The three optimizers of the paper's evaluation.
+//
+//  * run_statistical_sizing — coordinate descent on the statistical
+//    objective (Fig 6 outer loop): each iteration runs SSTA, finds the
+//    highest-sensitivity gate via the pruned or brute-force selector, and
+//    sizes it up by Δw; stops when no gate helps, or at the iteration or
+//    area budget.
+//  * run_deterministic_sizing — the baseline: nominal STA, sensitivities
+//    restricted to critical-path gates, incremental arrival updates.
+//
+// Both start from the minimum-size circuit the caller provides and mutate
+// its widths in place; full per-iteration history is recorded for the
+// Table 1 / Table 2 / Figure 10 harnesses.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/selector.hpp"
+
+namespace statim::core {
+
+/// Which inner-loop engine finds the most sensitive gate.
+enum class SelectorKind { Pruned, BruteFull, BruteCone };
+
+struct StatisticalSizerConfig {
+    Objective objective{};
+    double delta_w{0.25};
+    double max_width{16.0};
+    int max_iterations{1000};
+    /// Stop once (total area − initial area) reaches this budget.
+    double area_budget{std::numeric_limits<double>::infinity()};
+    /// Stop once the objective reaches this target (ns); useful for
+    /// "smallest circuit meeting T" flows (combine with run_downsizing).
+    double target_objective_ns{0.0};
+    SelectorKind selector{SelectorKind::Pruned};
+    /// How many gates to upsize per iteration (paper §3.3 notes the
+    /// algorithm "can be easily modified to size multiple gates").
+    int gates_per_iteration{1};
+};
+
+struct IterationRecord {
+    int iteration{0};               ///< 1-based
+    GateId gate{GateId::invalid()};
+    double sensitivity{0.0};        ///< ns per unit width
+    double objective_after_ns{0.0};
+    double area_after{0.0};
+    double width_after{0.0};        ///< total gate size (paper Fig 10 y-axis)
+    SelectorStats stats{};
+};
+
+struct SizingResult {
+    std::vector<IterationRecord> history;
+    double initial_objective_ns{0.0};
+    double final_objective_ns{0.0};
+    double initial_area{0.0};
+    double final_area{0.0};
+    int iterations{0};
+    std::string stop_reason;
+};
+
+/// Statistical coordinate descent. `ctx` must wrap the circuit at its
+/// starting widths; its netlist is modified in place.
+[[nodiscard]] SizingResult run_statistical_sizing(Context& ctx,
+                                                  const StatisticalSizerConfig& config);
+
+struct DeterministicSizerConfig {
+    double delta_w{0.25};
+    double max_width{16.0};
+    int max_iterations{1000};
+    double area_budget{std::numeric_limits<double>::infinity()};
+};
+
+struct DetIterationRecord {
+    int iteration{0};
+    GateId gate{GateId::invalid()};
+    double sensitivity{0.0};        ///< ns of nominal delay per unit width
+    double circuit_delay_after_ns{0.0};
+    double area_after{0.0};
+    double width_after{0.0};
+};
+
+struct DetSizingResult {
+    std::vector<DetIterationRecord> history;
+    double initial_delay_ns{0.0};
+    double final_delay_ns{0.0};
+    double initial_area{0.0};
+    double final_area{0.0};
+    int iterations{0};
+    std::string stop_reason;
+};
+
+/// Deterministic critical-path coordinate descent (the paper's baseline).
+[[nodiscard]] DetSizingResult run_deterministic_sizing(
+    netlist::Netlist& nl, const cells::Library& lib,
+    const DeterministicSizerConfig& config);
+
+}  // namespace statim::core

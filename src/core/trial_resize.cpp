@@ -1,0 +1,22 @@
+#include "core/trial_resize.hpp"
+
+namespace statim::core {
+
+TrialResize::TrialResize(Context& ctx, GateId gate, double delta_w)
+    : ctx_(&ctx), gate_(gate), delta_w_(delta_w) {
+    changed_ = ctx_->delay_calc().affected_edges(gate);
+    saved_pdfs_ = ctx_->edge_delays().snapshot(changed_);
+    ctx_->nl().gate(gate).width += delta_w_;
+    (void)ctx_->delay_calc().update_for_resize(gate);
+    ctx_->edge_delays().update_edges(changed_, ctx_->delay_calc());
+}
+
+TrialResize::~TrialResize() {
+    ctx_->nl().gate(gate_).width -= delta_w_;
+    // Nominal delays recompute deterministically from the restored width;
+    // the PDFs are restored from the snapshot (bitwise identical).
+    (void)ctx_->delay_calc().update_for_resize(gate_);
+    ctx_->edge_delays().restore(changed_, std::move(saved_pdfs_));
+}
+
+}  // namespace statim::core

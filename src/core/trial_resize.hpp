@@ -1,0 +1,40 @@
+// RAII trial resize (the temporary upsize of the paper's Initialize, Fig 7
+// steps 1 and 7): applies width += Δw to one gate, refreshes the nominal
+// delays and edge PDFs of the affected edges, and restores everything
+// bit-for-bit when destroyed.
+#pragma once
+
+#include <vector>
+
+#include "core/context.hpp"
+#include "prob/pdf.hpp"
+#include "util/types.hpp"
+
+namespace statim::core {
+
+class TrialResize {
+  public:
+    /// Applies the resize. `ctx` must outlive this object.
+    TrialResize(Context& ctx, GateId gate, double delta_w);
+    ~TrialResize();
+
+    TrialResize(const TrialResize&) = delete;
+    TrialResize& operator=(const TrialResize&) = delete;
+
+    /// The edges whose delay PDFs are perturbed while this trial is live:
+    /// the gate's own edges followed by its fanin drivers' edges.
+    [[nodiscard]] const std::vector<EdgeId>& changed_edges() const noexcept {
+        return changed_;
+    }
+    [[nodiscard]] GateId gate() const noexcept { return gate_; }
+    [[nodiscard]] double delta_w() const noexcept { return delta_w_; }
+
+  private:
+    Context* ctx_;
+    GateId gate_;
+    double delta_w_;
+    std::vector<EdgeId> changed_;
+    std::vector<prob::Pdf> saved_pdfs_;
+};
+
+}  // namespace statim::core

@@ -1,0 +1,65 @@
+#include "mc/monte_carlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sta/sta.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace statim::mc {
+
+McResult::McResult(std::vector<double> sorted_delays_ns)
+    : delays_(std::move(sorted_delays_ns)) {
+    if (delays_.empty()) throw ConfigError("McResult: no samples");
+    double acc = 0.0;
+    for (double d : delays_) acc += d;
+    mean_ = acc / static_cast<double>(delays_.size());
+    double var = 0.0;
+    for (double d : delays_) var += (d - mean_) * (d - mean_);
+    stddev_ = delays_.size() > 1
+                  ? std::sqrt(var / static_cast<double>(delays_.size() - 1))
+                  : 0.0;
+}
+
+double McResult::percentile_ns(double p) const {
+    if (!(p > 0.0) || !(p <= 1.0))
+        throw ConfigError("McResult::percentile_ns: p must be in (0, 1]");
+    const auto n = static_cast<double>(delays_.size());
+    const auto rank = static_cast<std::size_t>(std::ceil(p * n));
+    return delays_[std::min(delays_.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+double McResult::yield_at(double t_ns) const noexcept {
+    const auto it = std::upper_bound(delays_.begin(), delays_.end(), t_ns);
+    return static_cast<double>(it - delays_.begin()) /
+           static_cast<double>(delays_.size());
+}
+
+McResult run_monte_carlo(const sta::DelayCalc& delays, const McConfig& config) {
+    if (config.samples == 0) throw ConfigError("run_monte_carlo: samples must be > 0");
+    const netlist::TimingGraph& graph = delays.graph();
+    const cells::Library& lib = delays.library();
+    const double sigma_frac = lib.sigma_fraction();
+    const double k = lib.trunc_k();
+
+    Rng rng(config.seed);
+    std::vector<double> sampled(graph.edge_count());
+    std::vector<double> arrival;
+    std::vector<double> result;
+    result.reserve(config.samples);
+
+    const std::span<const double> nominal = delays.edge_delays_ns();
+    for (std::size_t s = 0; s < config.samples; ++s) {
+        for (std::size_t ei = 0; ei < sampled.size(); ++ei) {
+            const double nom = nominal[ei];
+            sampled[ei] =
+                nom == 0.0 ? 0.0 : rng.truncated_normal(nom, sigma_frac * nom, k);
+        }
+        result.push_back(sta::run_arrival_with(graph, sampled, arrival));
+    }
+    std::sort(result.begin(), result.end());
+    return McResult(std::move(result));
+}
+
+}  // namespace statim::mc

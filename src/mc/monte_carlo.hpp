@@ -1,0 +1,51 @@
+// Monte Carlo reference for the circuit-delay distribution.
+//
+// SSTA's independence-assumption max yields an upper bound under
+// reconvergent fanout; Monte Carlo computes the *exact* distribution for
+// the same delay model: each sample draws every gate edge's delay from its
+// truncated Gaussian independently and evaluates the longest path. The
+// paper uses this comparison in Section 4 ("< 1% at the 99-percentile")
+// and in Figure 10's area-delay curves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sta/delay_calc.hpp"
+
+namespace statim::mc {
+
+struct McConfig {
+    std::size_t samples{10000};
+    std::uint64_t seed{12345};
+};
+
+/// Empirical circuit-delay distribution (sorted samples).
+class McResult {
+  public:
+    explicit McResult(std::vector<double> sorted_delays_ns);
+
+    [[nodiscard]] std::size_t sample_count() const noexcept { return delays_.size(); }
+    /// Empirical p-quantile (p in (0, 1]) by order statistic.
+    [[nodiscard]] double percentile_ns(double p) const;
+    [[nodiscard]] double mean_ns() const noexcept { return mean_; }
+    [[nodiscard]] double stddev_ns() const noexcept { return stddev_; }
+    [[nodiscard]] double min_ns() const noexcept { return delays_.front(); }
+    [[nodiscard]] double max_ns() const noexcept { return delays_.back(); }
+    /// Fraction of samples meeting the delay target.
+    [[nodiscard]] double yield_at(double t_ns) const noexcept;
+    [[nodiscard]] const std::vector<double>& samples() const noexcept { return delays_; }
+
+  private:
+    std::vector<double> delays_;  // ascending
+    double mean_{0.0};
+    double stddev_{0.0};
+};
+
+/// Runs `config.samples` STA evaluations with independently sampled edge
+/// delays (σ = lib.sigma_fraction · nominal, truncated at ±lib.trunc_k σ).
+/// Deterministic for a fixed seed.
+[[nodiscard]] McResult run_monte_carlo(const sta::DelayCalc& delays,
+                                       const McConfig& config = {});
+
+}  // namespace statim::mc

@@ -1,0 +1,257 @@
+#include "netlist/bench_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace statim::netlist {
+
+namespace {
+
+struct BenchGate {
+    std::string output;
+    std::string type;  // upper-cased
+    std::vector<std::string> inputs;
+    int line;
+};
+
+[[nodiscard]] std::string upper(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    return s;
+}
+
+[[nodiscard]] std::string strip(std::string_view s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return std::string(s.substr(b, e - b));
+}
+
+/// "TYPE(a, b, c)" -> {TYPE, {a,b,c}}; throws ParseError on malformed text.
+std::pair<std::string, std::vector<std::string>> parse_call(const std::string& text,
+                                                            const std::string& file,
+                                                            int line) {
+    const auto open = text.find('(');
+    const auto close = text.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open)
+        throw ParseError(file, line, "expected TYPE(args): '" + text + "'");
+    const std::string type = upper(strip(text.substr(0, open)));
+    std::vector<std::string> args;
+    const std::string body = text.substr(open + 1, close - open - 1);
+    if (!strip(body).empty()) {
+        // Manual split so trailing/duplicate commas surface as errors.
+        std::size_t start = 0;
+        for (;;) {
+            const std::size_t comma = body.find(',', start);
+            const std::string piece =
+                strip(body.substr(start, comma == std::string::npos
+                                             ? std::string::npos
+                                             : comma - start));
+            if (piece.empty())
+                throw ParseError(file, line, "empty operand in '" + text + "'");
+            args.push_back(piece);
+            if (comma == std::string::npos) break;
+            start = comma + 1;
+        }
+    }
+    if (type.empty()) throw ParseError(file, line, "missing gate type in '" + text + "'");
+    return {type, std::move(args)};
+}
+
+/// Picks the library cell for a bench gate type and fanin count, or throws.
+/// Single-input AND/OR/NAND/NOR degenerate to BUF/BUF/INV/INV.
+CellId map_cell(const cells::Library& lib, const std::string& type, int fanin,
+                const std::string& file, int line) {
+    auto require = [&](const std::string& name) {
+        if (const auto id = lib.find(name)) return *id;
+        throw ParseError(file, line, "library has no cell for " + type + "/" +
+                                         std::to_string(fanin) + " (need " + name + ")");
+    };
+    if (type == "NOT" || type == "INV") return require("INV");
+    if (type == "BUF" || type == "BUFF") return require("BUF");
+    if (type == "NAND") return fanin == 1 ? require("INV") : require("NAND" + std::to_string(fanin));
+    if (type == "NOR") return fanin == 1 ? require("INV") : require("NOR" + std::to_string(fanin));
+    if (type == "AND") return fanin == 1 ? require("BUF") : require("AND" + std::to_string(fanin));
+    if (type == "OR") return fanin == 1 ? require("BUF") : require("OR" + std::to_string(fanin));
+    if (type == "XOR") return require("XOR" + std::to_string(fanin));
+    if (type == "XNOR") return require("XNOR" + std::to_string(fanin));
+    throw ParseError(file, line, "unknown gate type '" + type + "'");
+}
+
+/// Widest cell of family `base` available in `lib` (checking 2..8).
+int widest(const cells::Library& lib, const std::string& base) {
+    int best = 0;
+    for (int n = 2; n <= 8; ++n)
+        if (lib.find(base + std::to_string(n))) best = n;
+    return best;
+}
+
+/// For decomposition: the interior-tree family and root type of a bench type.
+/// NAND = AND-tree + NAND-root; NOR = OR-tree + NOR-root; XOR/XNOR chain.
+struct TreePlan {
+    std::string interior;  // family used for interior nodes ("AND", "OR", "XOR")
+    std::string root;      // family for the final gate
+};
+
+TreePlan tree_plan(const std::string& type, const std::string& file, int line) {
+    if (type == "AND" || type == "NAND") return {"AND", type};
+    if (type == "OR" || type == "NOR") return {"OR", type};
+    if (type == "XOR" || type == "XNOR") return {"XOR", type};
+    throw ParseError(file, line, "cannot decompose gate type '" + type + "'");
+}
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, const cells::Library& lib,
+                   const std::string& source_name) {
+    std::vector<std::string> inputs, outputs;
+    std::vector<BenchGate> gates;
+    std::string raw;
+    int line_no = 0;
+
+    while (std::getline(in, raw)) {
+        ++line_no;
+        const auto hash = raw.find('#');
+        if (hash != std::string::npos) raw.erase(hash);
+        const std::string text = strip(raw);
+        if (text.empty()) continue;
+
+        const auto eq = text.find('=');
+        if (eq == std::string::npos) {
+            auto [kind, args] = parse_call(text, source_name, line_no);
+            if (args.size() != 1)
+                throw ParseError(source_name, line_no, kind + " takes one net name");
+            if (kind == "INPUT") inputs.push_back(args[0]);
+            else if (kind == "OUTPUT") outputs.push_back(args[0]);
+            else throw ParseError(source_name, line_no, "unknown directive '" + kind + "'");
+            continue;
+        }
+        const std::string out_name = strip(text.substr(0, eq));
+        if (out_name.empty()) throw ParseError(source_name, line_no, "missing output name");
+        auto [type, args] = parse_call(text.substr(eq + 1), source_name, line_no);
+        if (args.empty()) throw ParseError(source_name, line_no, "gate with no inputs");
+        gates.push_back(BenchGate{out_name, std::move(type), std::move(args), line_no});
+    }
+
+    Netlist nl(source_name);
+
+    // Pass 1: create every referenced net once.
+    std::unordered_map<std::string, NetId> net_of;
+    auto ensure_net = [&](const std::string& name) {
+        const auto it = net_of.find(name);
+        if (it != net_of.end()) return it->second;
+        const NetId id = nl.add_net(name);
+        net_of.emplace(name, id);
+        return id;
+    };
+    for (const auto& name : inputs) ensure_net(name);
+    for (const auto& g : gates) {
+        ensure_net(g.output);
+        for (const auto& in_name : g.inputs) ensure_net(in_name);
+    }
+    for (const auto& name : outputs) ensure_net(name);
+
+    // DFFs: Q is a pseudo-PI, D a pseudo-PO (standard combinational view).
+    std::unordered_set<std::string> pseudo_inputs;
+    for (const auto& g : gates) {
+        if (g.type == "DFF") {
+            if (g.inputs.size() != 1)
+                throw ParseError(source_name, g.line, "DFF takes one input");
+            pseudo_inputs.insert(g.output);
+            nl.mark_primary_output(net_of.at(g.inputs[0]));
+        }
+    }
+
+    for (const auto& name : inputs) nl.mark_primary_input(net_of.at(name));
+    for (const auto& name : pseudo_inputs) nl.mark_primary_input(net_of.at(name));
+    for (const auto& name : outputs) nl.mark_primary_output(net_of.at(name));
+
+    // Pass 2: instantiate gates, decomposing wide ones.
+    int fresh = 0;
+    for (const auto& g : gates) {
+        if (g.type == "DFF") continue;
+        std::vector<NetId> operands;
+        operands.reserve(g.inputs.size());
+        for (const auto& in_name : g.inputs) operands.push_back(net_of.at(in_name));
+
+        if (operands.size() == 1) {
+            const CellId cell = map_cell(lib, g.type, 1, source_name, g.line);
+            nl.add_gate(g.output + "_g", cell, std::move(operands), net_of.at(g.output));
+            continue;
+        }
+        if (g.type == "NOT" || g.type == "INV" || g.type == "BUF" || g.type == "BUFF")
+            throw ParseError(source_name, g.line, g.type + " takes exactly one input");
+
+        const TreePlan plan = tree_plan(g.type, source_name, g.line);
+        if (static_cast<int>(operands.size()) <= widest(lib, plan.root)) {
+            const CellId cell = map_cell(lib, g.type, static_cast<int>(operands.size()),
+                                         source_name, g.line);
+            nl.add_gate(g.output + "_g", cell, std::move(operands), net_of.at(g.output));
+            continue;
+        }
+
+        // Balanced-tree decomposition: interior gates reduce the operand
+        // list by `width`-wide chunks until the root can absorb the rest.
+        const int width = widest(lib, plan.interior);
+        const int root_width = widest(lib, plan.root);
+        if (width < 2 || root_width < 2)
+            throw ParseError(source_name, g.line,
+                             "library too small to decompose " + g.type);
+        while (static_cast<int>(operands.size()) > root_width) {
+            const int take = std::min<int>(width, static_cast<int>(operands.size()) -
+                                                      root_width + 1);
+            if (take < 2) break;
+            std::vector<NetId> chunk(operands.end() - take, operands.end());
+            operands.erase(operands.end() - take, operands.end());
+            const std::string net_name = g.output + "_d" + std::to_string(fresh++);
+            const NetId mid = nl.add_net(net_name);
+            const CellId cell = map_cell(lib, plan.interior, take, source_name, g.line);
+            nl.add_gate(net_name + "_g", cell, std::move(chunk), mid);
+            operands.push_back(mid);
+        }
+        const CellId root_cell = map_cell(lib, plan.root, static_cast<int>(operands.size()),
+                                          source_name, g.line);
+        nl.add_gate(g.output + "_g", root_cell, std::move(operands), net_of.at(g.output));
+    }
+
+    nl.validate(lib);
+    return nl;
+}
+
+Netlist load_bench(const std::string& path, const cells::Library& lib) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot open bench file: " + path);
+    return read_bench(in, lib, path);
+}
+
+void write_bench(std::ostream& out, const Netlist& nl, const cells::Library& lib) {
+    out << "# " << nl.name() << " (written by statim)\n";
+    for (NetId pi : nl.primary_inputs()) out << "INPUT(" << nl.net(pi).name << ")\n";
+    for (NetId po : nl.primary_outputs()) out << "OUTPUT(" << nl.net(po).name << ")\n";
+    for (const Gate& g : nl.gates()) {
+        const std::string& cell_name = lib.cell(g.cell).name;
+        std::string type = cell_name;
+        if (type == "INV") type = "NOT";
+        else if (type == "BUF") type = "BUFF";
+        else {
+            // Strip the fanin suffix (NAND3 -> NAND).
+            while (!type.empty() && std::isdigit(static_cast<unsigned char>(type.back())))
+                type.pop_back();
+        }
+        out << nl.net(g.output).name << " = " << type << '(';
+        for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+            if (i) out << ", ";
+            out << nl.net(g.fanin[i]).name;
+        }
+        out << ")\n";
+    }
+}
+
+}  // namespace statim::netlist

@@ -1,0 +1,36 @@
+// ISCAS `.bench` netlist reader/writer.
+//
+// The reader accepts the classic ISCAS-85/89 format:
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G22)
+//   G10 = NAND(G1, G3)
+//   G23 = DFF(G10)          # sequential: Q becomes a pseudo-PI, D a pseudo-PO
+//
+// Gate types map onto library cells by fanin count (NAND with 3 operands ->
+// NAND3). Gates wider than the library's widest matching cell are
+// decomposed into balanced trees of narrower cells (timing-equivalent
+// surrogate; the Boolean function is irrelevant to the timing model).
+// With a decomposition-free netlist, write_bench round-trips read_bench.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cells/library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace statim::netlist {
+
+/// Parses a .bench stream into a validated netlist.
+[[nodiscard]] Netlist read_bench(std::istream& in, const cells::Library& lib,
+                                 const std::string& source_name = "<stream>");
+
+/// Parses a .bench file by path.
+[[nodiscard]] Netlist load_bench(const std::string& path, const cells::Library& lib);
+
+/// Writes `nl` as .bench (cell names mapped back to bench gate types).
+void write_bench(std::ostream& out, const Netlist& nl, const cells::Library& lib);
+
+}  // namespace statim::netlist

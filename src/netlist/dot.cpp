@@ -1,0 +1,73 @@
+#include "netlist/dot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace statim::netlist {
+
+namespace {
+
+/// DOT identifiers: quote everything, escape embedded quotes.
+std::string quoted(const std::string& name) {
+    std::string out = "\"";
+    for (char c : name) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+}  // namespace
+
+void write_dot(std::ostream& out, const Netlist& nl, const cells::Library& lib,
+               const DotOptions& options) {
+    out << "digraph " << quoted(nl.name()) << " {\n";
+    if (options.rankdir_lr) out << "  rankdir=LR;\n";
+    out << "  node [shape=box, fontsize=10];\n";
+
+    for (NetId pi : nl.primary_inputs())
+        out << "  " << quoted("net_" + nl.net(pi).name)
+            << " [shape=triangle, label=" << quoted(nl.net(pi).name) << "];\n";
+    for (NetId po : nl.primary_outputs())
+        out << "  " << quoted("out_" + nl.net(po).name)
+            << " [shape=invtriangle, label=" << quoted(nl.net(po).name) << "];\n";
+
+    for (std::size_t gi = 0; gi < nl.gate_count(); ++gi) {
+        const GateId g{static_cast<std::uint32_t>(gi)};
+        const Gate& gate = nl.gate(g);
+        std::string label = gate.name + "\\n" + lib.cell(gate.cell).name;
+        if (options.show_widths) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, " x%.2f", gate.width);
+            label += buf;
+        }
+        out << "  " << quoted("g_" + gate.name) << " [label=" << quoted(label);
+        if (gi < options.gate_scores.size()) {
+            const double score = std::clamp(options.gate_scores[gi], 0.0, 1.0);
+            const int level = static_cast<int>(255.0 * (1.0 - 0.7 * score));
+            char color[16];
+            std::snprintf(color, sizeof color, "#ff%02x%02x", level, level);
+            out << ", style=filled, fillcolor=\"" << color << '"';
+        }
+        out << "];\n";
+    }
+
+    // Wires: driver (or PI) -> consuming gates; POs get terminal arrows.
+    for (std::size_t ni = 0; ni < nl.net_count(); ++ni) {
+        const NetId n{static_cast<std::uint32_t>(ni)};
+        const Net& net = nl.net(n);
+        const std::string from = net.driver.is_valid()
+                                     ? "g_" + nl.gate(net.driver).name
+                                     : "net_" + net.name;
+        for (GateId sink : net.sinks)
+            out << "  " << quoted(from) << " -> " << quoted("g_" + nl.gate(sink).name)
+                << ";\n";
+        if (net.is_primary_output)
+            out << "  " << quoted(from) << " -> " << quoted("out_" + net.name) << ";\n";
+    }
+    out << "}\n";
+}
+
+}  // namespace statim::netlist

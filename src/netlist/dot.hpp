@@ -1,0 +1,28 @@
+// Graphviz DOT export of a netlist for visual inspection / debugging.
+// Gates become boxes labelled "name\ncell xW", nets become edges; optional
+// per-gate annotations (e.g. criticality) colour the boxes.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "cells/library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace statim::netlist {
+
+struct DotOptions {
+    bool show_widths{true};
+    /// Optional per-gate score in [0,1] (e.g. criticality); sizes the red
+    /// fill intensity. Empty = no fill.
+    std::span<const double> gate_scores{};
+    /// Left-to-right layout instead of top-down.
+    bool rankdir_lr{true};
+};
+
+/// Writes `nl` as a DOT digraph.
+void write_dot(std::ostream& out, const Netlist& nl, const cells::Library& lib,
+               const DotOptions& options = {});
+
+}  // namespace statim::netlist

@@ -1,0 +1,323 @@
+#include "netlist/generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace statim::netlist {
+
+namespace {
+
+constexpr int kMaxFanin = 4;
+
+/// Weighted cell choice per fanin count; falls back to any fanin-matching
+/// cell when the preferred family is missing from the library.
+CellId pick_cell(const cells::Library& lib, int fanin, Rng& rng) {
+    struct Choice {
+        const char* name;
+        double weight;
+    };
+    static constexpr Choice kByFanin[4][6] = {
+        {{"INV", 0.85}, {"BUF", 0.15}, {nullptr, 0}, {nullptr, 0}, {nullptr, 0}, {nullptr, 0}},
+        {{"NAND2", 0.35}, {"NOR2", 0.25}, {"AND2", 0.15}, {"OR2", 0.10}, {"XOR2", 0.10}, {"XNOR2", 0.05}},
+        {{"NAND3", 0.40}, {"NOR3", 0.30}, {"AND3", 0.20}, {"OR3", 0.10}, {nullptr, 0}, {nullptr, 0}},
+        {{"NAND4", 0.40}, {"NOR4", 0.30}, {"AND4", 0.20}, {"OR4", 0.10}, {nullptr, 0}, {nullptr, 0}},
+    };
+    double total = 0.0;
+    for (const Choice& c : kByFanin[fanin - 1])
+        if (c.name != nullptr && lib.find(c.name)) total += c.weight;
+    if (total > 0.0) {
+        double draw = rng.uniform(0.0, total);
+        for (const Choice& c : kByFanin[fanin - 1]) {
+            if (c.name == nullptr || !lib.find(c.name)) continue;
+            draw -= c.weight;
+            if (draw <= 0.0) return *lib.find(c.name);
+        }
+    }
+    for (std::size_t i = 0; i < lib.size(); ++i) {
+        const CellId id{static_cast<std::uint32_t>(i)};
+        if (lib.cell(id).fanin == fanin) return id;
+    }
+    throw ConfigError("generate_circuit: library has no cell with fanin " +
+                      std::to_string(fanin));
+}
+
+}  // namespace
+
+void GeneratorSpec::validate() const {
+    if (name.empty()) throw ConfigError("GeneratorSpec: name required");
+    if (num_inputs < 1 || num_outputs < 1 || num_gates < 1)
+        throw ConfigError("GeneratorSpec '" + name + "': counts must be positive");
+    if (num_outputs > num_gates)
+        throw ConfigError("GeneratorSpec '" + name + "': more outputs than gates");
+    if (depth < 1 || depth > num_gates)
+        throw ConfigError("GeneratorSpec '" + name + "': depth must be in [1, gates]");
+    if (fanin_sum < num_gates || fanin_sum > kMaxFanin * num_gates)
+        throw ConfigError("GeneratorSpec '" + name + "': fanin_sum outside [G, 4G]");
+    if (fanin_sum < num_inputs + num_gates - num_outputs)
+        throw ConfigError("GeneratorSpec '" + name +
+                          "': fanin_sum too small to consume every internal net "
+                          "(need >= I + G - O)");
+}
+
+Netlist generate_circuit(const GeneratorSpec& spec, const cells::Library& lib) {
+    spec.validate();
+    Rng rng(spec.seed);
+    const int I = spec.num_inputs;
+    const int O = spec.num_outputs;
+    const int G = spec.num_gates;
+    const int F = spec.fanin_sum;
+    const int L = spec.depth;  // gate levels 1..L; PIs sit at level 0
+
+    // ---- 1. Gates per level: one each to guarantee depth, the rest spread
+    // uniformly; the last level is capped at O (its gates must all be POs).
+    std::vector<int> counts(L + 1, 0);
+    for (int l = 1; l <= L; ++l) counts[l] = 1;
+    const int last_cap = std::max(1, std::min(O, (G + L - 1) / L));
+    for (int extra = G - L; extra > 0;) {
+        const int l = static_cast<int>(rng.uniform_int(1, L));
+        if (l == L && counts[L] >= last_cap) continue;
+        ++counts[l];
+        --extra;
+    }
+
+    // Gate g (creation order) lives at level gate_level[g]; creation order
+    // is level-sorted, so gates with lower index never depend on higher.
+    std::vector<int> gate_level;
+    gate_level.reserve(G);
+    for (int l = 1; l <= L; ++l)
+        for (int k = 0; k < counts[l]; ++k) gate_level.push_back(l);
+
+    // gates_below[l] = number of gates with level < l (creation order is
+    // level-sorted, so these are exactly the gate indices < gates_below[l]).
+    std::vector<int> gates_below(L + 2, 0);
+    for (int l = 1; l <= L + 1; ++l) gates_below[l] = gates_below[l - 1] + counts[l - 1];
+
+    // ---- 2. Fanin degrees: start at 1, distribute the remaining F - G
+    // among gates, capped by kMaxFanin and by the sources available below.
+    std::vector<int> fanin(G, 1);
+    auto avail_below = [&](int level) { return I + gates_below[level]; };
+    {
+        std::vector<int> eligible(G);
+        std::iota(eligible.begin(), eligible.end(), 0);
+        int remaining = F - G;
+        while (remaining > 0) {
+            if (eligible.empty())
+                throw ConfigError("generate_circuit: cannot place all fanin pins");
+            const std::size_t pick =
+                static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(eligible.size()) - 1));
+            const int g = eligible[pick];
+            if (fanin[g] >= std::min(kMaxFanin, avail_below(gate_level[g]))) {
+                eligible[pick] = eligible.back();
+                eligible.pop_back();
+                continue;
+            }
+            ++fanin[g];
+            --remaining;
+        }
+    }
+
+    // ---- 3. Primary outputs: every last-level gate, then fill by
+    // descending level (deep gates are the natural outputs).
+    std::vector<char> is_po(G, 0);
+    int po_count = 0;
+    for (int g = 0; g < G; ++g)
+        if (gate_level[g] == L) {
+            is_po[g] = 1;
+            ++po_count;
+        }
+    for (int l = L - 1; l >= 1 && po_count < O; --l) {
+        std::vector<int> at_level;
+        for (int g = 0; g < G; ++g)
+            if (gate_level[g] == l && !is_po[g]) at_level.push_back(g);
+        while (!at_level.empty() && po_count < O) {
+            const std::size_t pick =
+                static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(at_level.size()) - 1));
+            is_po[at_level[pick]] = 1;
+            ++po_count;
+            at_level[pick] = at_level.back();
+            at_level.pop_back();
+        }
+    }
+    if (po_count != O)
+        throw ConfigError("generate_circuit: could not designate " + std::to_string(O) +
+                          " primary outputs");
+
+    // ---- 4. Suffix feasibility: internal sources at levels >= m must fit
+    // in the fanin capacity of levels > m. Repair by moving fanin pins to
+    // deeper gates when violated.
+    std::vector<int> slots_at(L + 1, 0);
+    for (int g = 0; g < G; ++g) slots_at[gate_level[g]] += fanin[g];
+    std::vector<int> pool_at(L, 0);  // sources needing a consumer, per level
+    pool_at[0] = I;
+    for (int g = 0; g < G; ++g)
+        if (gate_level[g] < L && !is_po[g]) ++pool_at[gate_level[g]];
+
+    for (int m = L - 1; m >= 0; --m) {
+        auto need_ge = [&](int lvl) {
+            int need = 0;
+            for (int x = lvl; x < L; ++x) need += pool_at[x];
+            return need;
+        };
+        auto cap_gt = [&](int lvl) {
+            int cap = 0;
+            for (int x = lvl + 1; x <= L; ++x) cap += slots_at[x];
+            return cap;
+        };
+        int guard = 0;
+        while (need_ge(m) > cap_gt(m)) {
+            // Move one fanin pin from a gate at level <= m to one above m.
+            bool moved = false;
+            for (int g = 0; g < G && !moved; ++g) {
+                if (gate_level[g] > m && fanin[g] < std::min(kMaxFanin, avail_below(gate_level[g]))) {
+                    for (int h = 0; h < G; ++h) {
+                        if (gate_level[h] <= m && fanin[h] > 1) {
+                            --fanin[h];
+                            --slots_at[gate_level[h]];
+                            ++fanin[g];
+                            ++slots_at[gate_level[g]];
+                            moved = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if (!moved || ++guard > F)
+                throw ConfigError("generate_circuit '" + spec.name +
+                                  "': infeasible level structure (cannot cover "
+                                  "internal nets)");
+        }
+    }
+
+    // ---- 5. Wiring. Sources are encoded 0..I-1 (PIs) and I+g (gate g).
+    const auto src_level = [&](int s) { return s < I ? 0 : gate_level[s - I]; };
+    std::vector<std::vector<int>> unconsumed(L);  // by source level
+    std::vector<std::pair<int, int>> where(I + G, {-1, -1});  // src -> (level, idx)
+    auto pool_add = [&](int s) {
+        const int l = src_level(s);
+        where[s] = {l, static_cast<int>(unconsumed[l].size())};
+        unconsumed[l].push_back(s);
+    };
+    auto pool_remove = [&](int s) {
+        const auto [l, idx] = where[s];
+        if (l < 0) return;
+        const int back = unconsumed[l].back();
+        unconsumed[l][idx] = back;
+        where[back].second = idx;
+        unconsumed[l].pop_back();
+        where[s] = {-1, -1};
+    };
+    for (int s = 0; s < I; ++s) pool_add(s);
+    for (int g = 0; g < G; ++g)
+        if (gate_level[g] < L && !is_po[g]) pool_add(I + g);
+
+    std::vector<std::vector<int>> fanin_src(G);
+    std::vector<int> consumed_cnt(I + G, 0);
+
+    auto is_dup = [&](int g, int s) {
+        const auto& f = fanin_src[g];
+        return std::find(f.begin(), f.end(), s) != f.end();
+    };
+
+    for (int g = 0; g < G; ++g) {
+        const int lvl = gate_level[g];
+        fanin_src[g].reserve(fanin[g]);
+        for (int slot = 0; slot < fanin[g]; ++slot) {
+            int src = -1;
+            // Prefer unconsumed sources, most-constrained (deepest) first.
+            for (int h = lvl - 1; h >= 0 && src < 0; --h) {
+                const auto& bucket = unconsumed[h];
+                if (bucket.empty()) continue;
+                for (int attempt = 0; attempt < 8 && src < 0; ++attempt) {
+                    const int cand = bucket[static_cast<std::size_t>(
+                        rng.uniform_int(0, static_cast<std::int64_t>(bucket.size()) - 1))];
+                    if (!is_dup(g, cand)) src = cand;
+                }
+                if (src < 0)
+                    for (int cand : bucket)
+                        if (!is_dup(g, cand)) {
+                            src = cand;
+                            break;
+                        }
+            }
+            // Pool below this level exhausted: reconvergent edge to any
+            // already-consumed source below.
+            if (src < 0) {
+                const int span = avail_below(lvl);
+                for (int attempt = 0; attempt < 32 && src < 0; ++attempt) {
+                    const int cand = static_cast<int>(rng.uniform_int(0, span - 1));
+                    if (!is_dup(g, cand)) src = cand;
+                }
+                for (int cand = 0; cand < span && src < 0; ++cand)
+                    if (!is_dup(g, cand)) src = cand;
+            }
+            if (src < 0)
+                throw ConfigError("generate_circuit: gate fanin exceeds distinct "
+                                  "sources available");
+            fanin_src[g].push_back(src);
+            ++consumed_cnt[src];
+            pool_remove(src);
+        }
+    }
+
+    // ---- 6. Fix-up: any still-unconsumed source steals a reconvergent or
+    // PO-feeding fanin slot of a deeper gate.
+    for (int l = 0; l < L; ++l) {
+        while (!unconsumed[l].empty()) {
+            const int s = unconsumed[l].back();
+            bool placed = false;
+            for (int g = 0; g < G && !placed; ++g) {
+                if (gate_level[g] <= l || is_dup(g, s)) continue;
+                for (int slot = 0; slot < fanin[g] && !placed; ++slot) {
+                    const int t = fanin_src[g][slot];
+                    const bool stealable =
+                        consumed_cnt[t] >= 2 || (t >= I && is_po[t - I]);
+                    if (!stealable) continue;
+                    fanin_src[g][slot] = s;
+                    --consumed_cnt[t];
+                    ++consumed_cnt[s];
+                    pool_remove(s);
+                    placed = true;
+                }
+            }
+            if (!placed)
+                throw ConfigError("generate_circuit '" + spec.name +
+                                  "': coverage fix-up failed");
+        }
+    }
+
+    // ---- 7. Materialize the netlist.
+    Netlist nl(spec.name);
+    std::vector<NetId> src_net(I + G);
+    for (int s = 0; s < I; ++s) {
+        std::string net_name = std::to_string(s + 1);
+        net_name.insert(0, "I");
+        src_net[s] = nl.add_net(std::move(net_name));
+        nl.mark_primary_input(src_net[s]);
+    }
+    for (int g = 0; g < G; ++g) {
+        std::string net_name = std::to_string(g + 1);
+        net_name.insert(0, "N");
+        src_net[I + g] = nl.add_net(std::move(net_name));
+    }
+    for (int g = 0; g < G; ++g) {
+        std::vector<NetId> ins;
+        ins.reserve(fanin_src[g].size());
+        for (int s : fanin_src[g]) ins.push_back(src_net[s]);
+        const CellId cell = pick_cell(lib, static_cast<int>(ins.size()), rng);
+        std::string gate_name = std::to_string(g + 1);
+        gate_name.insert(0, "g");
+        nl.add_gate(std::move(gate_name), cell, std::move(ins), src_net[I + g]);
+    }
+    for (int g = 0; g < G; ++g)
+        if (is_po[g]) nl.mark_primary_output(src_net[I + g]);
+
+    nl.validate(lib);
+    return nl;
+}
+
+}  // namespace statim::netlist

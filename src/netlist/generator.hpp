@@ -1,0 +1,48 @@
+// Synthetic combinational-circuit generator.
+//
+// The paper evaluates on ISCAS-85 netlists synthesized into a commercial
+// 180 nm library; neither artifact is redistributable, so the benches use
+// circuits generated here instead. For each paper circuit the generator is
+// given the *timing-graph* node/edge counts the paper reports (Table 1,
+// column 2), the real ISCAS PI/PO counts, and a realistic logic depth, and
+// produces a random DAG that matches the node and edge counts exactly:
+//
+//     nodes = PIs + gates + 2 (virtual source/sink)
+//     edges = total gate fanin + PIs + POs (virtual edges)
+//
+// Structure is controlled to resemble synthesized logic: gates spread over
+// `depth` levels, fanin in [1, 4] averaging ~2, every internal net consumed
+// at least once (no dangling logic), reconvergent fanout via extra
+// consumers. Generation is deterministic per (spec, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cells/library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace statim::netlist {
+
+/// Target structure for one generated circuit.
+struct GeneratorSpec {
+    std::string name;
+    int num_inputs{0};    ///< primary inputs (I)
+    int num_outputs{0};   ///< primary outputs (O)
+    int num_gates{0};     ///< gates (G); timing-graph nodes = I + G + 2
+    int fanin_sum{0};     ///< total input pins (F); graph edges = F + I + O
+    int depth{1};         ///< target number of gate levels
+    std::uint64_t seed{1};
+
+    /// Checks feasibility (counts positive, F within [G, 4G], coverage
+    /// F >= I + G − O, O <= G, depth <= G); throws ConfigError otherwise.
+    void validate() const;
+};
+
+/// Generates a netlist matching `spec` exactly; the result passes
+/// Netlist::validate(lib). Cells are drawn from INV/BUF and the 2-4 input
+/// families of `lib`. Throws ConfigError if the spec is infeasible.
+[[nodiscard]] Netlist generate_circuit(const GeneratorSpec& spec,
+                                       const cells::Library& lib);
+
+}  // namespace statim::netlist

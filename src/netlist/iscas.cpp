@@ -1,0 +1,72 @@
+#include "netlist/iscas.hpp"
+
+#include <sstream>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/generator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace statim::netlist {
+
+const std::vector<IscasInfo>& iscas85_info() {
+    // nodes/edges are the paper's Table 1 column 2; PI/PO counts are the
+    // real ISCAS-85 values; depths approximate the synthesized originals.
+    static const std::vector<IscasInfo> kInfo = {
+        {"c432", 214, 379, 36, 7, 17},      {"c499", 561, 978, 41, 32, 11},
+        {"c880", 425, 804, 60, 26, 24},     {"c1355", 570, 1071, 41, 32, 24},
+        {"c1908", 466, 858, 33, 25, 40},    {"c2670", 1059, 1731, 233, 140, 32},
+        {"c3540", 991, 1972, 50, 22, 47},   {"c5315", 1806, 3311, 178, 123, 49},
+        {"c6288", 2503, 4999, 32, 32, 124}, {"c7552", 2202, 3945, 207, 108, 43},
+    };
+    return kInfo;
+}
+
+const IscasInfo& iscas85_info(const std::string& name) {
+    for (const IscasInfo& info : iscas85_info())
+        if (info.name == name) return info;
+    throw ConfigError("iscas85_info: unknown circuit '" + name + "'");
+}
+
+const char* c17_bench_text() {
+    return "# c17 (ISCAS-85)\n"
+           "INPUT(1)\n"
+           "INPUT(2)\n"
+           "INPUT(3)\n"
+           "INPUT(6)\n"
+           "INPUT(7)\n"
+           "OUTPUT(22)\n"
+           "OUTPUT(23)\n"
+           "10 = NAND(1, 3)\n"
+           "11 = NAND(3, 6)\n"
+           "16 = NAND(2, 11)\n"
+           "19 = NAND(11, 7)\n"
+           "22 = NAND(10, 16)\n"
+           "23 = NAND(16, 19)\n";
+}
+
+Netlist make_iscas(const std::string& name, const cells::Library& lib) {
+    if (name == "c17") {
+        std::istringstream in(c17_bench_text());
+        Netlist nl = read_bench(in, lib, "c17");
+        return nl;
+    }
+    const IscasInfo& info = iscas85_info(name);
+    GeneratorSpec spec;
+    spec.name = info.name;
+    spec.num_inputs = info.inputs;
+    spec.num_outputs = info.outputs;
+    spec.num_gates = info.nodes - 2 - info.inputs;
+    spec.fanin_sum = info.edges - info.inputs - info.outputs;
+    spec.depth = info.depth;
+    spec.seed = hash_name(info.name);
+    return generate_circuit(spec, lib);
+}
+
+std::vector<std::string> iscas_names() {
+    std::vector<std::string> names = {"c17"};
+    for (const IscasInfo& info : iscas85_info()) names.push_back(info.name);
+    return names;
+}
+
+}  // namespace statim::netlist

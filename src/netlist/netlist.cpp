@@ -1,0 +1,128 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace statim::netlist {
+
+NetId Netlist::add_net(std::string name) {
+    if (name.empty()) throw NetlistError("add_net: empty net name");
+    if (find_net(name).is_valid())
+        throw NetlistError("add_net: duplicate net name '" + name + "'");
+    nets_.push_back(Net{std::move(name), GateId::invalid(), {}, false, false});
+    return NetId{static_cast<std::uint32_t>(nets_.size() - 1)};
+}
+
+GateId Netlist::add_gate(std::string name, CellId cell, std::vector<NetId> fanin,
+                         NetId output) {
+    if (!cell.is_valid()) throw NetlistError("add_gate: invalid cell id");
+    if (!output.is_valid() || output.index() >= nets_.size())
+        throw NetlistError("add_gate: invalid output net");
+    if (nets_[output.index()].driver.is_valid())
+        throw NetlistError("add_gate: net '" + nets_[output.index()].name +
+                           "' already has a driver");
+    if (fanin.empty()) throw NetlistError("add_gate: gate needs at least one fanin");
+    std::unordered_set<std::uint32_t> seen;
+    for (NetId in : fanin) {
+        if (!in.is_valid() || in.index() >= nets_.size())
+            throw NetlistError("add_gate: invalid fanin net");
+        if (in == output) throw NetlistError("add_gate: self-loop on gate '" + name + "'");
+        if (!seen.insert(in.value).second)
+            throw NetlistError("add_gate: duplicate fanin on gate '" + name + "'");
+    }
+
+    const GateId id{static_cast<std::uint32_t>(gates_.size())};
+    for (NetId in : fanin) nets_[in.index()].sinks.push_back(id);
+    nets_[output.index()].driver = id;
+    gates_.push_back(Gate{std::move(name), cell, 1.0, std::move(fanin), output});
+    return id;
+}
+
+void Netlist::mark_primary_input(NetId net) {
+    Net& n = nets_.at(net.index());
+    if (n.driver.is_valid())
+        throw NetlistError("mark_primary_input: net '" + n.name + "' has a driver");
+    if (!n.is_primary_input) {
+        n.is_primary_input = true;
+        primary_inputs_.push_back(net);
+    }
+}
+
+void Netlist::mark_primary_output(NetId net) {
+    Net& n = nets_.at(net.index());
+    if (!n.is_primary_output) {
+        n.is_primary_output = true;
+        primary_outputs_.push_back(net);
+    }
+}
+
+void Netlist::set_uniform_width(double w) {
+    if (!(w > 0.0)) throw NetlistError("set_uniform_width: width must be positive");
+    for (Gate& g : gates_) g.width = w;
+}
+
+NetId Netlist::find_net(std::string_view name) const noexcept {
+    for (std::size_t i = 0; i < nets_.size(); ++i)
+        if (nets_[i].name == name) return NetId{static_cast<std::uint32_t>(i)};
+    return NetId::invalid();
+}
+
+double Netlist::total_area(const cells::Library& lib) const {
+    double area = 0.0;
+    for (const Gate& g : gates_) area += cells::cell_area(lib.cell(g.cell), g.width);
+    return area;
+}
+
+double Netlist::total_width() const noexcept {
+    double w = 0.0;
+    for (const Gate& g : gates_) w += g.width;
+    return w;
+}
+
+void Netlist::validate(const cells::Library& lib) const {
+    for (const Gate& g : gates_) {
+        const cells::Cell& cell = lib.cell(g.cell);
+        if (g.fanin.size() != static_cast<std::size_t>(cell.fanin))
+            throw NetlistError("validate: gate '" + g.name + "' has " +
+                               std::to_string(g.fanin.size()) + " fanins but cell " +
+                               cell.name + " expects " + std::to_string(cell.fanin));
+        if (!(g.width > 0.0))
+            throw NetlistError("validate: gate '" + g.name + "' has non-positive width");
+    }
+    for (const Net& n : nets_) {
+        if (!n.driver.is_valid() && !n.is_primary_input)
+            throw NetlistError("validate: net '" + n.name + "' is undriven and not a PI");
+        if (n.driver.is_valid() && n.is_primary_input)
+            throw NetlistError("validate: net '" + n.name + "' is both driven and a PI");
+        if (n.sinks.empty() && !n.is_primary_output)
+            throw NetlistError("validate: net '" + n.name + "' is dangling (no sink, not a PO)");
+    }
+    if (primary_inputs_.empty()) throw NetlistError("validate: no primary inputs");
+    if (primary_outputs_.empty()) throw NetlistError("validate: no primary outputs");
+
+    // Cycle check via Kahn's algorithm over gates.
+    std::vector<std::uint32_t> pending(gates_.size(), 0);
+    std::vector<GateId> ready;
+    for (std::size_t gi = 0; gi < gates_.size(); ++gi) {
+        std::uint32_t count = 0;
+        for (NetId in : gates_[gi].fanin)
+            if (nets_[in.index()].driver.is_valid()) ++count;
+        pending[gi] = count;
+        if (count == 0) ready.push_back(GateId{static_cast<std::uint32_t>(gi)});
+    }
+    std::size_t visited = 0;
+    while (!ready.empty()) {
+        const GateId g = ready.back();
+        ready.pop_back();
+        ++visited;
+        for (GateId sink : nets_[gates_[g.index()].output.index()].sinks)
+            if (--pending[sink.index()] == 0) ready.push_back(sink);
+    }
+    if (visited != gates_.size())
+        throw NetlistError("validate: combinational cycle detected");
+}
+
+}  // namespace statim::netlist

@@ -1,0 +1,89 @@
+// Logical netlist: gates (cell instances with a continuous width) wired by
+// single-driver nets. Purely combinational — the paper (and ISCAS-85)
+// covers combinational blocks between registers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cells/library.hpp"
+#include "util/types.hpp"
+
+namespace statim::netlist {
+
+/// One cell instance.
+struct Gate {
+    std::string name;
+    CellId cell;
+    double width{1.0};           ///< continuous width multiplier (>= min size)
+    std::vector<NetId> fanin;    ///< input nets, pin order
+    NetId output;                ///< driven net
+};
+
+/// One wire. Driven by at most one gate; primary inputs have no driver.
+struct Net {
+    std::string name;
+    GateId driver{GateId::invalid()};   ///< invalid for primary inputs
+    std::vector<GateId> sinks;          ///< gates reading this net
+    bool is_primary_input{false};
+    bool is_primary_output{false};
+};
+
+/// Mutable netlist with a builder-style API. `validate()` must pass before
+/// the netlist is handed to the timing graph.
+class Netlist {
+  public:
+    explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+    /// Creates a net; names must be unique and non-empty.
+    NetId add_net(std::string name);
+    /// Creates a gate driving `output` with `fanin` inputs (pin order).
+    /// The net must not already have a driver; fanins must be distinct.
+    GateId add_gate(std::string name, CellId cell, std::vector<NetId> fanin,
+                    NetId output);
+
+    void mark_primary_input(NetId net);
+    void mark_primary_output(NetId net);
+
+    /// Sets the width of every gate (e.g. to the minimum size).
+    void set_uniform_width(double w);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::size_t gate_count() const noexcept { return gates_.size(); }
+    [[nodiscard]] std::size_t net_count() const noexcept { return nets_.size(); }
+    [[nodiscard]] const Gate& gate(GateId id) const { return gates_.at(id.index()); }
+    [[nodiscard]] Gate& gate(GateId id) { return gates_.at(id.index()); }
+    [[nodiscard]] const Net& net(NetId id) const { return nets_.at(id.index()); }
+    [[nodiscard]] const std::vector<Gate>& gates() const noexcept { return gates_; }
+    [[nodiscard]] const std::vector<Net>& nets() const noexcept { return nets_; }
+    [[nodiscard]] const std::vector<NetId>& primary_inputs() const noexcept {
+        return primary_inputs_;
+    }
+    [[nodiscard]] const std::vector<NetId>& primary_outputs() const noexcept {
+        return primary_outputs_;
+    }
+
+    /// Net id by name, or invalid.
+    [[nodiscard]] NetId find_net(std::string_view name) const noexcept;
+
+    /// Total area at current widths under `lib`.
+    [[nodiscard]] double total_area(const cells::Library& lib) const;
+    /// Total width sum (the paper's "total gate size").
+    [[nodiscard]] double total_width() const noexcept;
+
+    /// Structural checks: every fanin count matches the cell, every net is
+    /// driven by a gate or marked PI, every net either feeds a gate or is a
+    /// PO, the gate graph is acyclic, and PIs/POs are consistent. Throws
+    /// NetlistError describing the first violation.
+    void validate(const cells::Library& lib) const;
+
+  private:
+    std::string name_;
+    std::vector<Gate> gates_;
+    std::vector<Net> nets_;
+    std::vector<NetId> primary_inputs_;
+    std::vector<NetId> primary_outputs_;
+};
+
+}  // namespace statim::netlist

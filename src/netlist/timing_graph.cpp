@@ -1,0 +1,94 @@
+#include "netlist/timing_graph.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace statim::netlist {
+
+TimingGraph::TimingGraph(const Netlist& nl) : nl_(&nl) {
+    const std::size_t nodes = nl.net_count() + 2;
+
+    // --- Edges: gate edges first (contiguous per gate, pin order), then
+    // virtual source->PI and PO->sink edges.
+    gate_edge_offsets_.assign(nl.gate_count() + 1, 0);
+    for (std::size_t gi = 0; gi < nl.gate_count(); ++gi) {
+        const Gate& g = nl.gate(GateId{static_cast<std::uint32_t>(gi)});
+        const NodeId out = node_of_net(g.output);
+        for (std::uint32_t pin = 0; pin < g.fanin.size(); ++pin) {
+            gate_edge_list_.push_back(EdgeId{static_cast<std::uint32_t>(edges_.size())});
+            edges_.push_back(Edge{node_of_net(g.fanin[pin]), out,
+                                  GateId{static_cast<std::uint32_t>(gi)}, pin});
+        }
+        gate_edge_offsets_[gi + 1] = gate_edge_list_.size();
+    }
+    for (NetId pi : nl.primary_inputs())
+        edges_.push_back(Edge{source(), node_of_net(pi), GateId::invalid(), 0});
+    for (NetId po : nl.primary_outputs())
+        edges_.push_back(Edge{node_of_net(po), sink(), GateId::invalid(), 0});
+
+    // --- CSR adjacency.
+    in_offsets_.assign(nodes + 1, 0);
+    out_offsets_.assign(nodes + 1, 0);
+    for (const Edge& e : edges_) {
+        ++in_offsets_[e.to.index() + 1];
+        ++out_offsets_[e.from.index() + 1];
+    }
+    for (std::size_t i = 1; i <= nodes; ++i) {
+        in_offsets_[i] += in_offsets_[i - 1];
+        out_offsets_[i] += out_offsets_[i - 1];
+    }
+    in_list_.resize(edges_.size());
+    out_list_.resize(edges_.size());
+    std::vector<std::size_t> in_fill(in_offsets_.begin(), in_offsets_.end() - 1);
+    std::vector<std::size_t> out_fill(out_offsets_.begin(), out_offsets_.end() - 1);
+    for (std::size_t ei = 0; ei < edges_.size(); ++ei) {
+        const Edge& e = edges_[ei];
+        in_list_[in_fill[e.to.index()]++] = EdgeId{static_cast<std::uint32_t>(ei)};
+        out_list_[out_fill[e.from.index()]++] = EdgeId{static_cast<std::uint32_t>(ei)};
+    }
+
+    // --- Longest-path levels from the source via Kahn's algorithm.
+    levels_.assign(nodes, 0);
+    std::vector<std::size_t> pending(nodes, 0);
+    for (std::size_t n = 0; n < nodes; ++n)
+        pending[n] = in_edges(NodeId{static_cast<std::uint32_t>(n)}).size();
+    std::vector<NodeId> ready;
+    for (std::size_t n = 0; n < nodes; ++n)
+        if (pending[n] == 0) ready.push_back(NodeId{static_cast<std::uint32_t>(n)});
+    if (ready.size() != 1 || ready.front() != source())
+        throw NetlistError("TimingGraph: expected the virtual source to be the "
+                           "only node without predecessors");
+    std::size_t visited = 0;
+    while (!ready.empty()) {
+        const NodeId n = ready.back();
+        ready.pop_back();
+        ++visited;
+        for (EdgeId ei : out_edges(n)) {
+            const Edge& e = edges_[ei.index()];
+            levels_[e.to.index()] = std::max(levels_[e.to.index()], levels_[n.index()] + 1);
+            if (--pending[e.to.index()] == 0) ready.push_back(e.to);
+        }
+    }
+    if (visited != nodes)
+        throw NetlistError("TimingGraph: cycle detected (netlist not validated?)");
+    num_levels_ = levels_[sink().index()] + 1;
+
+    // The sink must be the unique deepest node; pin it to the last level so
+    // "front reached the sink" is equivalent to "front reached num_levels-1".
+    for (std::size_t n = 2; n < nodes; ++n) {
+        if (levels_[n] >= levels_[sink().index()])
+            throw NetlistError("TimingGraph: net node at or beyond the sink level");
+    }
+
+    // --- Level buckets (ascending node id within a level).
+    level_offsets_.assign(num_levels_ + 1, 0);
+    for (std::size_t n = 0; n < nodes; ++n) ++level_offsets_[levels_[n] + 1];
+    for (std::size_t l = 1; l <= num_levels_; ++l) level_offsets_[l] += level_offsets_[l - 1];
+    level_list_.resize(nodes);
+    std::vector<std::size_t> level_fill(level_offsets_.begin(), level_offsets_.end() - 1);
+    for (std::size_t n = 0; n < nodes; ++n)
+        level_list_[level_fill[levels_[n]]++] = NodeId{static_cast<std::uint32_t>(n)};
+}
+
+}  // namespace statim::netlist

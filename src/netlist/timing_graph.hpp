@@ -1,0 +1,99 @@
+// Timing graph per Definition 1 of the paper: a DAG with exactly one
+// source node `ns` and one sink node `nf`. Nodes correspond to nets (plus
+// the two virtual terminals); each edge is one gate input→output pin pair,
+// or a zero-delay virtual edge source→PI-net / PO-net→sink.
+//
+// The graph is immutable once built. Gate widths and edge delays are kept
+// by higher layers (sta/ssta), so a sizing iteration never rebuilds the
+// graph. Node levels are longest-path depths from the source; every edge
+// goes from a lower to a strictly higher level, which is what the paper's
+// level-by-level perturbation-front propagation relies on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/types.hpp"
+
+namespace statim::netlist {
+
+class TimingGraph {
+  public:
+    /// One directed timing edge.
+    struct Edge {
+        NodeId from;
+        NodeId to;
+        GateId gate;        ///< invalid for virtual source/sink edges
+        std::uint32_t pin;  ///< input-pin index within the gate (0 for virtual)
+    };
+
+    /// Builds the graph; the netlist must outlive it and must have passed
+    /// Netlist::validate.
+    explicit TimingGraph(const Netlist& nl);
+
+    [[nodiscard]] static constexpr NodeId source() noexcept { return NodeId{0}; }
+    [[nodiscard]] static constexpr NodeId sink() noexcept { return NodeId{1}; }
+
+    [[nodiscard]] std::size_t node_count() const noexcept { return in_offsets_.size() - 1; }
+    [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+    [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_.at(e.index()); }
+
+    [[nodiscard]] std::span<const EdgeId> in_edges(NodeId n) const noexcept {
+        return {in_list_.data() + in_offsets_[n.index()],
+                in_offsets_[n.index() + 1] - in_offsets_[n.index()]};
+    }
+    [[nodiscard]] std::span<const EdgeId> out_edges(NodeId n) const noexcept {
+        return {out_list_.data() + out_offsets_[n.index()],
+                out_offsets_[n.index() + 1] - out_offsets_[n.index()]};
+    }
+
+    /// Net-to-node mapping (nets are nodes 2..).
+    [[nodiscard]] static NodeId node_of_net(NetId net) noexcept {
+        return NodeId{net.value + 2};
+    }
+    /// Node-to-net mapping; invalid for the source/sink.
+    [[nodiscard]] NetId net_of_node(NodeId node) const noexcept {
+        return node.value < 2 ? NetId::invalid() : NetId{node.value - 2};
+    }
+
+    /// The node of a gate's output net.
+    [[nodiscard]] NodeId output_node(GateId g) const {
+        return node_of_net(nl_->gate(g).output);
+    }
+    /// The contiguous edges of gate g, in pin order.
+    [[nodiscard]] std::span<const EdgeId> gate_edges(GateId g) const noexcept {
+        return {gate_edge_list_.data() + gate_edge_offsets_[g.index()],
+                gate_edge_offsets_[g.index() + 1] - gate_edge_offsets_[g.index()]};
+    }
+
+    /// Longest-path level from the source (source = 0).
+    [[nodiscard]] std::uint32_t level(NodeId n) const { return levels_.at(n.index()); }
+    /// Level of a gate = level of its output node (the paper's gate level).
+    [[nodiscard]] std::uint32_t gate_level(GateId g) const { return level(output_node(g)); }
+    /// Total number of levels (sink level + 1).
+    [[nodiscard]] std::uint32_t num_levels() const noexcept { return num_levels_; }
+    /// All nodes at a level, ascending node id (deterministic iteration).
+    [[nodiscard]] std::span<const NodeId> nodes_at_level(std::uint32_t l) const noexcept {
+        return {level_list_.data() + level_offsets_[l],
+                level_offsets_[l + 1] - level_offsets_[l]};
+    }
+    /// Nodes in a topological order compatible with levels.
+    [[nodiscard]] std::span<const NodeId> topo_order() const noexcept { return level_list_; }
+
+    [[nodiscard]] const Netlist& netlist() const noexcept { return *nl_; }
+
+  private:
+    const Netlist* nl_;
+    std::vector<Edge> edges_;
+    std::vector<std::size_t> in_offsets_, out_offsets_;
+    std::vector<EdgeId> in_list_, out_list_;
+    std::vector<std::size_t> gate_edge_offsets_;
+    std::vector<EdgeId> gate_edge_list_;
+    std::vector<std::uint32_t> levels_;
+    std::uint32_t num_levels_{0};
+    std::vector<std::size_t> level_offsets_;
+    std::vector<NodeId> level_list_;
+};
+
+}  // namespace statim::netlist

@@ -1,0 +1,24 @@
+// Truncated-Gaussian construction on the grid.
+//
+// The paper models gate delay as a Gaussian with σ = 10% of the nominal
+// delay, truncated at ±3σ (Section 4). `truncated_gaussian` integrates the
+// renormalized density over each grid bin, so the discrete PDF's mass
+// matches the continuous distribution bin-exactly.
+#pragma once
+
+#include "prob/grid.hpp"
+#include "prob/pdf.hpp"
+
+namespace statim::prob {
+
+/// Standard normal CDF Φ(z).
+[[nodiscard]] double normal_cdf(double z) noexcept;
+
+/// Discrete PDF of a Gaussian(mean_ns, sigma_ns) truncated at mean ± k·σ,
+/// renormalized, with each bin's mass integrated over the bin interval
+/// [(b−½)·dt, (b+½)·dt). A non-positive sigma (or k) degenerates to a
+/// point mass at the nearest bin. Throws ConfigError on non-finite input.
+[[nodiscard]] Pdf truncated_gaussian(const TimeGrid& grid, double mean_ns,
+                                     double sigma_ns, double trunc_k = 3.0);
+
+}  // namespace statim::prob

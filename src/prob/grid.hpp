@@ -1,0 +1,44 @@
+// The shared discretization grid.
+//
+// Every random variable in statim (edge delays, arrival times) is a
+// discrete PDF over integer bins of one global pitch `dt_ns`. Keeping a
+// single pitch per analysis makes convolution and statistical max exact
+// grid-to-grid operations with no resampling, which in turn is what lets
+// the pruned optimizer reproduce the brute-force optimizer bit for bit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace statim::prob {
+
+/// Uniform time grid: bin b corresponds to time b * dt_ns (nanoseconds).
+class TimeGrid {
+  public:
+    /// Throws ConfigError unless dt_ns is positive and finite.
+    explicit TimeGrid(double dt_ns) : dt_ns_(dt_ns) {
+        if (!(dt_ns > 0.0) || !std::isfinite(dt_ns))
+            throw ConfigError("TimeGrid: dt must be positive and finite");
+    }
+
+    [[nodiscard]] double dt_ns() const noexcept { return dt_ns_; }
+
+    /// Nearest bin to time `t_ns`.
+    [[nodiscard]] std::int64_t bin_of(double t_ns) const noexcept {
+        return static_cast<std::int64_t>(std::llround(t_ns / dt_ns_));
+    }
+
+    /// Time (ns) of bin coordinate `bin` (fractional coordinates allowed).
+    [[nodiscard]] double time_of(double bin) const noexcept { return bin * dt_ns_; }
+
+    friend bool operator==(const TimeGrid& a, const TimeGrid& b) noexcept {
+        return a.dt_ns_ == b.dt_ns_;
+    }
+
+  private:
+    double dt_ns_;
+};
+
+}  // namespace statim::prob

@@ -1,0 +1,157 @@
+#include "prob/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace statim::prob {
+
+Pdf convolve(const Pdf& a, const Pdf& b) {
+    if (!a.valid() || !b.valid()) throw ConfigError("convolve: invalid operand");
+    const auto am = a.mass();
+    const auto bm = b.mass();
+    std::vector<double> out(am.size() + bm.size() - 1, 0.0);
+    // Iterate the shorter operand outermost so the inner loop streams the
+    // longer one (better vectorization for arrival ⊛ edge-delay shapes).
+    if (am.size() <= bm.size()) {
+        for (std::size_t i = 0; i < am.size(); ++i) {
+            const double w = am[i];
+            if (w == 0.0) continue;
+            for (std::size_t j = 0; j < bm.size(); ++j) out[i + j] += w * bm[j];
+        }
+    } else {
+        for (std::size_t j = 0; j < bm.size(); ++j) {
+            const double w = bm[j];
+            if (w == 0.0) continue;
+            for (std::size_t i = 0; i < am.size(); ++i) out[i + j] += w * am[i];
+        }
+    }
+    return Pdf::from_mass(a.first_bin() + b.first_bin(), std::move(out));
+}
+
+Pdf stat_max(const Pdf& a, const Pdf& b) {
+    if (!a.valid() || !b.valid()) throw ConfigError("stat_max: invalid operand");
+    const std::int64_t first = std::max(a.first_bin(), b.first_bin());
+    const std::int64_t last = std::max(a.last_bin(), b.last_bin());
+    std::vector<double> out(static_cast<std::size_t>(last - first + 1), 0.0);
+
+    // Running CDFs F_a(t), F_b(t) as t walks the result support.
+    double fa = a.cdf_at(first - 1);
+    double fb = b.cdf_at(first - 1);
+    double fmax_prev = fa * fb;  // == 0: at least one operand starts at `first`
+    for (std::int64_t t = first; t <= last; ++t) {
+        fa += a.mass_at(t);
+        fb += b.mass_at(t);
+        const double fmax = std::min(fa, 1.0) * std::min(fb, 1.0);
+        out[static_cast<std::size_t>(t - first)] = std::max(fmax - fmax_prev, 0.0);
+        fmax_prev = fmax;
+    }
+    return Pdf::from_mass(first, std::move(out));
+}
+
+Pdf stat_max(std::span<const Pdf> pdfs) {
+    if (pdfs.empty()) throw ConfigError("stat_max: empty input");
+    Pdf acc = pdfs[0];
+    for (std::size_t i = 1; i < pdfs.size(); ++i) acc = stat_max(acc, pdfs[i]);
+    return acc;
+}
+
+namespace {
+
+/// Incremental inverse-CDF evaluator. `value_at(p)` must be called with
+/// non-decreasing p and reproduces Pdf::percentile_bin exactly.
+class InverseCdfWalker {
+  public:
+    explicit InverseCdfWalker(const Pdf& pdf)
+        : pdf_(pdf), cum_(pdf.mass()[0]) {}
+
+    [[nodiscard]] double value_at(double p) {
+        const auto m = pdf_.mass();
+        while (p > cum_ && k_ + 1 < m.size()) {
+            prev_cum_ = cum_;
+            cum_ += m[++k_];
+        }
+        const auto bin = static_cast<double>(pdf_.first_bin() + static_cast<std::int64_t>(k_));
+        if (k_ == 0) return bin;
+        const double step = cum_ - prev_cum_;
+        if (p <= prev_cum_ || step <= 0.0) {
+            // p falls at/below this segment's base (can happen when knots of
+            // the two inputs interleave); clamp to the segment start.
+            return bin - 1.0 + (step > 0.0 ? std::max(0.0, (p - prev_cum_) / step) : 1.0);
+        }
+        return bin - 1.0 + std::min(1.0, (p - prev_cum_) / step);
+    }
+
+  private:
+    const Pdf& pdf_;
+    std::size_t k_{0};
+    double prev_cum_{0.0};
+    double cum_;
+};
+
+}  // namespace
+
+double max_percentile_shift(const Pdf& a, const Pdf& b) {
+    if (!a.valid() || !b.valid())
+        throw ConfigError("max_percentile_shift: invalid operand");
+    const std::vector<double> ca = a.prefix_cdf();
+    const std::vector<double> cb = b.prefix_cdf();
+
+    InverseCdfWalker ta(a);
+    InverseCdfWalker tb(b);
+    double best = -std::numeric_limits<double>::infinity();
+
+    std::size_t ia = 0;
+    std::size_t ib = 0;
+    double last_p = -1.0;
+    while (ia < ca.size() || ib < cb.size()) {
+        double p;
+        if (ib >= cb.size() || (ia < ca.size() && ca[ia] <= cb[ib]))
+            p = ca[ia++];
+        else
+            p = cb[ib++];
+        if (p <= 0.0 || p == last_p) continue;  // skip duplicates/degenerate knots
+        last_p = p;
+        best = std::max(best, ta.value_at(p) - tb.value_at(p));
+    }
+    return best;
+}
+
+std::int64_t max_percentile_shift_bins(const Pdf& a, const Pdf& b) {
+    if (!a.valid() || !b.valid())
+        throw ConfigError("max_percentile_shift_bins: invalid operand");
+    // For p in (C_b(t-1), C_b(t)], T_step(b,p) = t and T_step(a,p) peaks at
+    // p = C_b(t), so the maximum over p is attained on b's knots.
+    const auto am = a.mass();
+    const auto bm = b.mass();
+    std::int64_t best = std::numeric_limits<std::int64_t>::min();
+    std::size_t ai = 0;
+    double ca = am[0];
+    double cb = 0.0;
+    for (std::size_t bi = 0; bi < bm.size(); ++bi) {
+        cb += bm[bi];
+        while (ca < cb && ai + 1 < am.size()) ca += am[++ai];
+        const std::int64_t ta = a.first_bin() + static_cast<std::int64_t>(ai);
+        const std::int64_t tb = b.first_bin() + static_cast<std::int64_t>(bi);
+        best = std::max(best, ta - tb);
+    }
+    return best;
+}
+
+double ks_distance(const Pdf& a, const Pdf& b) {
+    const std::int64_t first = std::min(a.first_bin(), b.first_bin());
+    const std::int64_t last = std::max(a.last_bin(), b.last_bin());
+    double fa = 0.0;
+    double fb = 0.0;
+    double best = 0.0;
+    for (std::int64_t t = first; t <= last; ++t) {
+        fa += a.mass_at(t);
+        fb += b.mass_at(t);
+        best = std::max(best, std::abs(fa - fb));
+    }
+    return best;
+}
+
+}  // namespace statim::prob

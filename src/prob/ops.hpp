@@ -1,0 +1,54 @@
+// The three operators of block-based SSTA, plus the perturbation metric.
+//
+//  * convolve     — arrival + edge-delay (independent sum of RVs)
+//  * stat_max     — arrival join at a multi-fanin node, assuming
+//                   independence (CDF product). Under reconvergent fanout
+//                   this yields the upper-bound CDF of Agarwal et al.
+//                   (DAC'03), which is exactly the quantity the paper
+//                   optimizes.
+//  * max_percentile_shift — Δ = max_p [T(A,p) − T(A',p)], the maximum
+//                   horizontal distance between two CDFs. This is the
+//                   perturbation bound of Theorems 1–4 and the engine of
+//                   the pruning algorithm.
+#pragma once
+
+#include <span>
+
+#include "prob/pdf.hpp"
+
+namespace statim::prob {
+
+/// Distribution of X + Y for independent X ~ a, Y ~ b. O(|a|·|b|).
+[[nodiscard]] Pdf convolve(const Pdf& a, const Pdf& b);
+
+/// Distribution of max(X, Y) for independent X ~ a, Y ~ b, computed as the
+/// product of CDFs. O(|a| + |b| + |result|).
+[[nodiscard]] Pdf stat_max(const Pdf& a, const Pdf& b);
+
+/// Fold of stat_max over one or more PDFs. Throws ConfigError on empty input.
+[[nodiscard]] Pdf stat_max(std::span<const Pdf> pdfs);
+
+/// Maximum signed horizontal CDF distance in fractional bin units:
+///   Δ = max over p in (0,1] of [T(a,p) − T(b,p)]
+/// with the interpolated (piecewise-linear) inverse CDF. Positive when `b`
+/// is (somewhere) earlier than `a` — i.e. when the perturbed arrival `b`
+/// improves on the unperturbed `a`. Evaluated exactly at every CDF knot of
+/// either input. NOTE: because interpolation is a smoothing fiction the
+/// underlying discrete RVs do not obey, this value can grow by up to one
+/// bin through a convolution; use the step variant below when a bound that
+/// is exactly monotone under propagation is required.
+[[nodiscard]] double max_percentile_shift(const Pdf& a, const Pdf& b);
+
+/// Step-inverse variant, in whole bins:
+///   Δ_step = max over p in (0,1] of [T_step(a,p) − T_step(b,p)],
+/// where T_step(X,p) = min{ t : P(X <= t) >= p }. This is a property of
+/// the actual discrete distributions, so it is *exactly* non-increasing
+/// under shared convolution and independent max (Theorems 1-3) — the
+/// pruning bound builds on it. Relates to the interpolated metric by
+///   max_percentile_shift(a,b) < max_percentile_shift_bins(a,b) + 1.
+[[nodiscard]] std::int64_t max_percentile_shift_bins(const Pdf& a, const Pdf& b);
+
+/// Kolmogorov–Smirnov distance max_t |A(t) − B(t)| (vertical distance).
+[[nodiscard]] double ks_distance(const Pdf& a, const Pdf& b);
+
+}  // namespace statim::prob

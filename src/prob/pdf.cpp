@@ -1,0 +1,117 @@
+#include "prob/pdf.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace statim::prob {
+
+Pdf Pdf::point(std::int64_t bin) {
+    Pdf p;
+    p.first_ = bin;
+    p.mass_ = {1.0};
+    return p;
+}
+
+Pdf Pdf::from_mass(std::int64_t first, std::vector<double> mass) {
+    for (double m : mass) {
+        if (!(m >= 0.0) || !std::isfinite(m))
+            throw ConfigError("Pdf::from_mass: masses must be finite and non-negative");
+    }
+    const double total = std::accumulate(mass.begin(), mass.end(), 0.0);
+    if (!(total > 0.0) || !std::isfinite(total))
+        throw ConfigError("Pdf::from_mass: total mass must be positive and finite");
+
+    // Trim edges carrying (cumulatively) negligible mass, folding the
+    // trimmed mass into the adjacent kept bin. Long runs of ~1e-30 bins
+    // appear at the tails of repeated convolutions; keeping them would let
+    // floating-point knot ties wander across many bins in the step-CDF
+    // metric. The fold preserves the exact total and moves < kTailEps of
+    // probability by a few bins at the extreme tails.
+    constexpr double kTailEps = 1e-13;
+    std::size_t lo = 0;
+    double lo_fold = 0.0;
+    while (lo + 1 < mass.size() && lo_fold + mass[lo] <= kTailEps * total)
+        lo_fold += mass[lo++];
+    std::size_t hi = mass.size();
+    double hi_fold = 0.0;
+    while (hi > lo + 1 && hi_fold + mass[hi - 1] <= kTailEps * total)
+        hi_fold += mass[--hi];
+    std::vector<double> trimmed(mass.begin() + static_cast<std::ptrdiff_t>(lo),
+                                mass.begin() + static_cast<std::ptrdiff_t>(hi));
+    trimmed.front() += lo_fold;
+    trimmed.back() += hi_fold;
+    for (double& m : trimmed) m /= total;
+
+    Pdf p;
+    p.first_ = first + static_cast<std::int64_t>(lo);
+    p.mass_ = std::move(trimmed);
+    return p;
+}
+
+double Pdf::mass_at(std::int64_t bin) const noexcept {
+    if (bin < first_ || bin > last_bin()) return 0.0;
+    return mass_[static_cast<std::size_t>(bin - first_)];
+}
+
+double Pdf::mean_bins() const noexcept {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < mass_.size(); ++k)
+        acc += mass_[k] * static_cast<double>(first_ + static_cast<std::int64_t>(k));
+    return acc;
+}
+
+double Pdf::variance_bins() const noexcept {
+    const double mu = mean_bins();
+    double acc = 0.0;
+    for (std::size_t k = 0; k < mass_.size(); ++k) {
+        const double d = static_cast<double>(first_ + static_cast<std::int64_t>(k)) - mu;
+        acc += mass_[k] * d * d;
+    }
+    return acc;
+}
+
+double Pdf::percentile_bin(double p) const {
+    if (!valid()) throw ConfigError("Pdf::percentile_bin: empty PDF");
+    if (!(p > 0.0) || !(p <= 1.0))
+        throw ConfigError("Pdf::percentile_bin: p must be in (0, 1]");
+
+    double cum = 0.0;
+    double prev_cum = 0.0;
+    for (std::size_t k = 0; k < mass_.size(); ++k) {
+        prev_cum = cum;
+        cum += mass_[k];
+        if (p <= cum || k + 1 == mass_.size()) {
+            const auto bin = static_cast<double>(first_ + static_cast<std::int64_t>(k));
+            if (k == 0) return bin;  // no interpolation below the support
+            const double step = cum - prev_cum;
+            if (step <= 0.0) return bin;
+            const double frac = (p - prev_cum) / step;
+            return bin - 1.0 + frac;
+        }
+    }
+    return static_cast<double>(last_bin());  // unreachable; mass sums to 1
+}
+
+double Pdf::cdf_at(std::int64_t bin) const noexcept {
+    if (!valid() || bin < first_) return 0.0;
+    if (bin >= last_bin()) return 1.0;
+    double cum = 0.0;
+    const auto upto = static_cast<std::size_t>(bin - first_);
+    for (std::size_t k = 0; k <= upto; ++k) cum += mass_[k];
+    return cum;
+}
+
+std::vector<double> Pdf::prefix_cdf() const {
+    std::vector<double> cdf(mass_.size());
+    double cum = 0.0;
+    for (std::size_t k = 0; k < mass_.size(); ++k) {
+        cum += mass_[k];
+        cdf[k] = cum;
+    }
+    if (!cdf.empty()) cdf.back() = 1.0;  // pin the top against rounding drift
+    return cdf;
+}
+
+}  // namespace statim::prob

@@ -1,0 +1,74 @@
+// Discrete probability mass functions on the shared time grid.
+//
+// A `Pdf` stores a first-bin offset and a dense vector of non-negative
+// masses summing to 1. Point masses sit exactly on bin coordinates, so a
+// deterministic delay is representable without smearing. All positive
+// support produced by the library's constructors and operators is
+// contiguous (no interior zero-mass bins), which keeps the inverse CDF
+// continuous — a precondition the perturbation-bound metric relies on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace statim::prob {
+
+/// Discrete PDF over integer grid bins; immutable after construction
+/// except for whole-grid shifts.
+class Pdf {
+  public:
+    /// An empty (invalid) PDF; most uses start from a factory instead.
+    Pdf() = default;
+
+    /// Point mass (deterministic value) at `bin`.
+    [[nodiscard]] static Pdf point(std::int64_t bin);
+
+    /// Builds from raw masses; trims zero-mass edges and normalizes the
+    /// total to exactly 1. Throws ConfigError if the total is not positive
+    /// or any mass is negative/non-finite.
+    [[nodiscard]] static Pdf from_mass(std::int64_t first, std::vector<double> mass);
+
+    [[nodiscard]] bool valid() const noexcept { return !mass_.empty(); }
+    [[nodiscard]] std::int64_t first_bin() const noexcept { return first_; }
+    [[nodiscard]] std::int64_t last_bin() const noexcept {
+        return first_ + static_cast<std::int64_t>(mass_.size()) - 1;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return mass_.size(); }
+    [[nodiscard]] std::span<const double> mass() const noexcept { return mass_; }
+    /// Mass of the bin at absolute coordinate `bin` (0 outside support).
+    [[nodiscard]] double mass_at(std::int64_t bin) const noexcept;
+    [[nodiscard]] bool is_point() const noexcept { return mass_.size() == 1; }
+
+    /// Mean in bin units.
+    [[nodiscard]] double mean_bins() const noexcept;
+    /// Variance in squared bin units.
+    [[nodiscard]] double variance_bins() const noexcept;
+
+    /// Inverse CDF at probability p in (0, 1], in fractional bin units.
+    /// Piecewise-linear between bin knots; p at or below the first bin's
+    /// cumulative mass returns the first bin (a point mass maps every p to
+    /// its bin). Throws ConfigError for p outside (0, 1].
+    [[nodiscard]] double percentile_bin(double p) const;
+
+    /// CDF evaluated at bin b: P(X <= b).
+    [[nodiscard]] double cdf_at(std::int64_t bin) const noexcept;
+
+    /// Cumulative masses aligned with mass() (prefix sums; back() == 1).
+    [[nodiscard]] std::vector<double> prefix_cdf() const;
+
+    /// Translates the whole PDF by `bins` (exact; shape unchanged).
+    void shift(std::int64_t bins) noexcept { first_ += bins; }
+
+    /// Bitwise equality (same offset, same masses) — the exactness tests
+    /// for pruned-vs-brute-force rely on this being strict.
+    friend bool operator==(const Pdf& a, const Pdf& b) noexcept {
+        return a.first_ == b.first_ && a.mass_ == b.mass_;
+    }
+
+  private:
+    std::int64_t first_{0};
+    std::vector<double> mass_;
+};
+
+}  // namespace statim::prob

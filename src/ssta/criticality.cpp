@@ -1,0 +1,111 @@
+#include "ssta/criticality.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "prob/ops.hpp"
+#include "util/error.hpp"
+
+namespace statim::ssta {
+
+namespace {
+
+/// The arrival-plus-delay term of one in-edge (same arithmetic as
+/// compute_arrival's per-edge term).
+prob::Pdf edge_term(const SstaEngine& engine, const EdgeDelays& delays,
+                    const netlist::TimingGraph& graph, EdgeId e) {
+    const auto& edge = graph.edge(e);
+    const prob::Pdf& upstream = engine.arrival(edge.from);
+    const prob::Pdf& delay = delays.pdf(e);
+    if (delay.is_point()) {
+        prob::Pdf term = upstream;
+        term.shift(delay.first_bin());
+        return term;
+    }
+    if (upstream.is_point()) {
+        prob::Pdf term = delay;
+        term.shift(upstream.first_bin());
+        return term;
+    }
+    return prob::convolve(upstream, delay);
+}
+
+/// P(T_i sets the max): sum_t f_i(t) * prod_{j != i} F_j(t), then the
+/// node's in-edge values are normalized to sum to 1 (discrete ties would
+/// otherwise be counted once per tying edge).
+std::vector<double> local_split(const std::vector<prob::Pdf>& terms) {
+    const std::size_t n = terms.size();
+    std::vector<double> raw(n, 0.0);
+    if (n == 1) {
+        raw[0] = 1.0;
+        return raw;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const prob::Pdf& ti = terms[i];
+        double acc = 0.0;
+        for (std::int64_t t = ti.first_bin(); t <= ti.last_bin(); ++t) {
+            double others = 1.0;
+            for (std::size_t j = 0; j < n && others > 0.0; ++j)
+                if (j != i) others *= terms[j].cdf_at(t);
+            acc += ti.mass_at(t) * others;
+        }
+        raw[i] = acc;
+    }
+    const double total = std::accumulate(raw.begin(), raw.end(), 0.0);
+    if (total > 0.0)
+        for (double& r : raw) r /= total;
+    return raw;
+}
+
+}  // namespace
+
+CriticalityResult compute_criticality(const SstaEngine& engine,
+                                      const EdgeDelays& delays) {
+    if (!engine.has_run())
+        throw ConfigError("compute_criticality: run SSTA first");
+    const netlist::TimingGraph& graph = engine.graph();
+
+    CriticalityResult result;
+    result.edge.assign(graph.edge_count(), 0.0);
+    result.node.assign(graph.node_count(), 0.0);
+    result.node[netlist::TimingGraph::sink().index()] = 1.0;
+
+    // Backward over the topological order: by the time a node is visited
+    // every one of its out-edges' heads has its criticality settled.
+    const auto topo = graph.topo_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const NodeId n = *it;
+        const auto in = graph.in_edges(n);
+        if (in.empty()) continue;  // the source accumulates to ~1 naturally
+        const double crit_here = result.node[n.index()];
+
+        std::vector<prob::Pdf> terms;
+        terms.reserve(in.size());
+        for (EdgeId e : in) terms.push_back(edge_term(engine, delays, graph, e));
+        const std::vector<double> split = local_split(terms);
+        for (std::size_t k = 0; k < in.size(); ++k) {
+            const double edge_crit = crit_here * split[k];
+            result.edge[in[k].index()] += edge_crit;
+            result.node[graph.edge(in[k]).from.index()] += edge_crit;
+        }
+    }
+    return result;
+}
+
+std::vector<std::pair<GateId, double>> rank_gates_by_criticality(
+    const netlist::TimingGraph& graph, const CriticalityResult& crit) {
+    std::vector<std::pair<GateId, double>> ranked;
+    const auto& nl = graph.netlist();
+    ranked.reserve(nl.gate_count());
+    for (std::size_t gi = 0; gi < nl.gate_count(); ++gi) {
+        const GateId g{static_cast<std::uint32_t>(gi)};
+        ranked.emplace_back(g, crit.of_node(graph.output_node(g)));
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;
+    });
+    return ranked;
+}
+
+}  // namespace statim::ssta

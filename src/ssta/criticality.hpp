@@ -1,0 +1,47 @@
+// Criticality analysis on the SSTA solution.
+//
+// Under process variation there is no single critical path; every edge has
+// a *probability* of lying on the longest path. Block-based criticality is
+// computed in two steps (under the same independence assumption as the
+// arrival propagation):
+//
+//  * edge criticality at a node — the probability that in-edge e sets the
+//    statistical max at its head:  P(T_e >= max of sibling terms), where
+//    T_e = arrival(tail) + delay(e), evaluated exactly on the grid and
+//    normalized over the node's in-edges;
+//  * global criticality — backward propagation from the sink:
+//    crit(sink) = 1,  crit(e) = crit(head(e)) * local(e),
+//    crit(node) = sum of crit over its out-edges (the sink's is 1).
+//
+// The result quantifies Figure 1's "wall": a deterministically optimized
+// circuit spreads criticality over many paths. Used by the
+// criticality_report example and the wall analysis tests.
+#pragma once
+
+#include <vector>
+
+#include "ssta/engine.hpp"
+
+namespace statim::ssta {
+
+struct CriticalityResult {
+    /// Per edge: probability the edge lies on the statistically longest
+    /// path (virtual edges included). In [0, 1].
+    std::vector<double> edge;
+    /// Per node: probability the node lies on the longest path.
+    std::vector<double> node;
+
+    [[nodiscard]] double of_edge(EdgeId e) const { return edge.at(e.index()); }
+    [[nodiscard]] double of_node(NodeId n) const { return node.at(n.index()); }
+};
+
+/// Computes criticalities from a completed SSTA run. O(E · bins).
+[[nodiscard]] CriticalityResult compute_criticality(const SstaEngine& engine,
+                                                    const EdgeDelays& delays);
+
+/// Gates ranked by the criticality of their output node, descending;
+/// ties broken by gate id. Handy for reports.
+[[nodiscard]] std::vector<std::pair<GateId, double>> rank_gates_by_criticality(
+    const netlist::TimingGraph& graph, const CriticalityResult& crit);
+
+}  // namespace statim::ssta

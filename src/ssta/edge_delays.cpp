@@ -1,0 +1,48 @@
+#include "ssta/edge_delays.hpp"
+
+#include "util/error.hpp"
+
+namespace statim::ssta {
+
+EdgeDelays::EdgeDelays(const sta::DelayCalc& delays, const prob::TimeGrid& grid)
+    : grid_(grid),
+      sigma_fraction_(delays.library().sigma_fraction()),
+      trunc_k_(delays.library().trunc_k()) {
+    rebuild(delays);
+}
+
+prob::Pdf EdgeDelays::derive(EdgeId e, const sta::DelayCalc& delays) const {
+    const double nominal = delays.edge_delay_ns(e);
+    if (nominal == 0.0) return prob::Pdf::point(0);  // virtual edge
+    return prob::truncated_gaussian(grid_, nominal, sigma_fraction_ * nominal, trunc_k_);
+}
+
+void EdgeDelays::rebuild(const sta::DelayCalc& delays) {
+    const std::size_t edges = delays.graph().edge_count();
+    pdfs_.resize(edges);
+    for (std::size_t ei = 0; ei < edges; ++ei) {
+        const EdgeId e{static_cast<std::uint32_t>(ei)};
+        pdfs_[ei] = derive(e, delays);
+    }
+}
+
+void EdgeDelays::update_edges(std::span<const EdgeId> edges,
+                              const sta::DelayCalc& delays) {
+    for (EdgeId e : edges) pdfs_.at(e.index()) = derive(e, delays);
+}
+
+std::vector<prob::Pdf> EdgeDelays::snapshot(std::span<const EdgeId> edges) const {
+    std::vector<prob::Pdf> saved;
+    saved.reserve(edges.size());
+    for (EdgeId e : edges) saved.push_back(pdfs_.at(e.index()));
+    return saved;
+}
+
+void EdgeDelays::restore(std::span<const EdgeId> edges, std::vector<prob::Pdf> saved) {
+    if (saved.size() != edges.size())
+        throw ConfigError("EdgeDelays::restore: snapshot size mismatch");
+    for (std::size_t i = 0; i < edges.size(); ++i)
+        pdfs_[edges[i].index()] = std::move(saved[i]);
+}
+
+}  // namespace statim::ssta

@@ -1,0 +1,49 @@
+// Edge-delay random variables on the shared grid.
+//
+// Each gate edge's delay is a truncated Gaussian centred on its nominal
+// delay with σ = sigma_fraction · nominal, truncated at ±trunc_k·σ
+// (paper Section 4); virtual source/sink edges are exact zero points.
+// The PDFs follow DelayCalc's nominals: rebuild() derives all of them,
+// update_edges() rederives just the edges a resize touched.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "prob/gaussian.hpp"
+#include "prob/grid.hpp"
+#include "prob/pdf.hpp"
+#include "sta/delay_calc.hpp"
+
+namespace statim::ssta {
+
+class EdgeDelays {
+  public:
+    /// Captures grid and model parameters from `lib` and builds every PDF.
+    EdgeDelays(const sta::DelayCalc& delays, const prob::TimeGrid& grid);
+
+    /// Rebuilds every edge PDF from the current nominal delays.
+    void rebuild(const sta::DelayCalc& delays);
+
+    /// Rederives the PDFs of `edges` only (after update_for_resize).
+    void update_edges(std::span<const EdgeId> edges, const sta::DelayCalc& delays);
+
+    [[nodiscard]] const prob::Pdf& pdf(EdgeId e) const { return pdfs_.at(e.index()); }
+    [[nodiscard]] const prob::TimeGrid& grid() const noexcept { return grid_; }
+    [[nodiscard]] std::size_t edge_count() const noexcept { return pdfs_.size(); }
+
+    /// Snapshot/restore for trial resizes: copies of the current PDFs of
+    /// `edges`, restorable bit-for-bit.
+    [[nodiscard]] std::vector<prob::Pdf> snapshot(std::span<const EdgeId> edges) const;
+    void restore(std::span<const EdgeId> edges, std::vector<prob::Pdf> saved);
+
+  private:
+    [[nodiscard]] prob::Pdf derive(EdgeId e, const sta::DelayCalc& delays) const;
+
+    prob::TimeGrid grid_;
+    double sigma_fraction_;
+    double trunc_k_;
+    std::vector<prob::Pdf> pdfs_;
+};
+
+}  // namespace statim::ssta

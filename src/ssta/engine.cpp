@@ -1,0 +1,51 @@
+#include "ssta/engine.hpp"
+
+#include "util/error.hpp"
+
+namespace statim::ssta {
+
+prob::Pdf compute_arrival(const netlist::TimingGraph& graph, NodeId n,
+                          const ArrivalLookup& arrival_of, const DelayLookup& delay_of) {
+    const auto in = graph.in_edges(n);
+    if (in.empty()) throw ConfigError("compute_arrival: node has no in-edges");
+
+    prob::Pdf acc;
+    for (EdgeId ei : in) {
+        const auto& e = graph.edge(ei);
+        const prob::Pdf& upstream = arrival_of(e.from);
+        const prob::Pdf& delay = delay_of(ei);
+
+        prob::Pdf term;
+        if (delay.is_point()) {
+            term = upstream;                  // exact shift, no smearing
+            term.shift(delay.first_bin());
+        } else if (upstream.is_point()) {
+            term = delay;
+            term.shift(upstream.first_bin());
+        } else {
+            term = prob::convolve(upstream, delay);
+        }
+        acc = acc.valid() ? prob::stat_max(acc, term) : std::move(term);
+    }
+    return acc;
+}
+
+SstaEngine::SstaEngine(const netlist::TimingGraph& graph) : graph_(&graph) {}
+
+void SstaEngine::run(const EdgeDelays& delays) {
+    arrivals_.assign(graph_->node_count(), prob::Pdf{});
+    arrivals_[netlist::TimingGraph::source().index()] = prob::Pdf::point(0);
+
+    const auto arrival_of = [this](NodeId n) -> const prob::Pdf& {
+        return arrivals_[n.index()];
+    };
+    const auto delay_of = [&delays](EdgeId e) -> const prob::Pdf& {
+        return delays.pdf(e);
+    };
+    for (NodeId n : graph_->topo_order()) {
+        if (n == netlist::TimingGraph::source()) continue;
+        arrivals_[n.index()] = compute_arrival(*graph_, n, arrival_of, delay_of);
+    }
+}
+
+}  // namespace statim::ssta

@@ -1,0 +1,22 @@
+#include "ssta/grid_policy.hpp"
+
+#include <algorithm>
+
+#include "sta/sta.hpp"
+#include "util/error.hpp"
+
+namespace statim::ssta {
+
+prob::TimeGrid choose_grid(const sta::DelayCalc& delays, const GridPolicy& policy) {
+    if (policy.target_bins < 8)
+        throw ConfigError("GridPolicy: target_bins must be at least 8");
+    std::vector<double> arrival;
+    const double nominal = sta::run_arrival(delays, arrival);
+    if (!(nominal > 0.0))
+        throw ConfigError("choose_grid: circuit has zero nominal delay");
+    const double dt = std::clamp(nominal / policy.target_bins, policy.min_dt_ns,
+                                 policy.max_dt_ns);
+    return prob::TimeGrid(dt);
+}
+
+}  // namespace statim::ssta

@@ -1,0 +1,29 @@
+// Grid-pitch selection.
+//
+// The discretization pitch trades SSTA accuracy against runtime: finer
+// bins resolve the 99-percentile better but make every convolution and max
+// proportionally more expensive. The policy sizes the pitch so the nominal
+// critical-path delay spans a target number of bins, giving comparable
+// resolution across circuits of very different depth (c432 vs c6288).
+// bench_ablation_grid sweeps this knob.
+#pragma once
+
+#include "prob/grid.hpp"
+#include "sta/delay_calc.hpp"
+
+namespace statim::ssta {
+
+struct GridPolicy {
+    /// Bins spanned by the nominal critical-path delay.
+    int target_bins{768};
+    /// Pitch bounds (ns).
+    double min_dt_ns{1e-5};
+    double max_dt_ns{0.1};
+};
+
+/// Chooses a grid for the circuit behind `delays` by running a nominal STA
+/// and dividing the critical delay by `policy.target_bins`.
+[[nodiscard]] prob::TimeGrid choose_grid(const sta::DelayCalc& delays,
+                                         const GridPolicy& policy = {});
+
+}  // namespace statim::ssta

@@ -1,0 +1,33 @@
+// Metrics on arrival PDFs in physical units (ns).
+#pragma once
+
+#include <cmath>
+
+#include "prob/grid.hpp"
+#include "prob/pdf.hpp"
+
+namespace statim::ssta {
+
+/// p-quantile of an arrival PDF in ns (p in (0, 1]).
+[[nodiscard]] inline double percentile_ns(const prob::TimeGrid& grid,
+                                          const prob::Pdf& pdf, double p) {
+    return grid.time_of(pdf.percentile_bin(p));
+}
+
+/// Mean of an arrival PDF in ns.
+[[nodiscard]] inline double mean_ns(const prob::TimeGrid& grid, const prob::Pdf& pdf) {
+    return grid.time_of(pdf.mean_bins());
+}
+
+/// Standard deviation of an arrival PDF in ns.
+[[nodiscard]] inline double stddev_ns(const prob::TimeGrid& grid, const prob::Pdf& pdf) {
+    return grid.dt_ns() * std::sqrt(pdf.variance_bins());
+}
+
+/// Timing yield: probability the circuit meets delay target `t_ns`.
+[[nodiscard]] inline double yield_at(const prob::TimeGrid& grid, const prob::Pdf& pdf,
+                                     double t_ns) {
+    return pdf.cdf_at(grid.bin_of(t_ns));
+}
+
+}  // namespace statim::ssta

@@ -1,0 +1,81 @@
+#include "sta/delay_calc.hpp"
+
+#include <algorithm>
+
+namespace statim::sta {
+
+DelayCalc::DelayCalc(const netlist::TimingGraph& graph, const cells::Library& lib)
+    : graph_(&graph), lib_(&lib) {
+    rebuild();
+}
+
+void DelayCalc::rebuild() {
+    const netlist::Netlist& nl = graph_->netlist();
+    load_ff_.assign(nl.gate_count(), 0.0);
+    edge_delay_ns_.assign(graph_->edge_count(), 0.0);
+    for (std::size_t gi = 0; gi < nl.gate_count(); ++gi)
+        recompute_gate_load(GateId{static_cast<std::uint32_t>(gi)});
+    for (std::size_t gi = 0; gi < nl.gate_count(); ++gi)
+        recompute_gate_delays(GateId{static_cast<std::uint32_t>(gi)});
+}
+
+void DelayCalc::recompute_gate_load(GateId g) {
+    const netlist::Netlist& nl = graph_->netlist();
+    const netlist::Net& out = nl.net(nl.gate(g).output);
+    double load = out.is_primary_output ? lib_->output_load_ff() : 0.0;
+    for (GateId sink : out.sinks) {
+        const netlist::Gate& s = nl.gate(sink);
+        load += cells::input_cap_ff(lib_->cell(s.cell), s.width);
+    }
+    load_ff_[g.index()] = load;
+}
+
+void DelayCalc::recompute_gate_delays(GateId g) {
+    const netlist::Netlist& nl = graph_->netlist();
+    const netlist::Gate& gate = nl.gate(g);
+    const cells::Cell& cell = lib_->cell(gate.cell);
+    const double load = load_ff_[g.index()];
+    for (EdgeId e : graph_->gate_edges(g)) {
+        const std::uint32_t pin = graph_->edge(e).pin;
+        edge_delay_ns_[e.index()] = cells::edge_delay_ns(cell, gate.width, load, pin);
+    }
+}
+
+std::vector<EdgeId> DelayCalc::affected_edges(GateId x) const {
+    const netlist::Netlist& nl = graph_->netlist();
+    std::vector<EdgeId> edges;
+    for (EdgeId e : graph_->gate_edges(x)) edges.push_back(e);
+
+    // Each distinct driver of one of x's input nets.
+    std::vector<GateId> drivers;
+    for (NetId in : nl.gate(x).fanin) {
+        const GateId d = nl.net(in).driver;
+        if (!d.is_valid()) continue;  // primary input
+        if (std::find(drivers.begin(), drivers.end(), d) == drivers.end())
+            drivers.push_back(d);
+    }
+    for (GateId d : drivers)
+        for (EdgeId e : graph_->gate_edges(d)) edges.push_back(e);
+    return edges;
+}
+
+std::vector<EdgeId> DelayCalc::update_for_resize(GateId x) {
+    const netlist::Netlist& nl = graph_->netlist();
+    recompute_gate_load(x);  // load unchanged by own width, but cheap and safe
+    recompute_gate_delays(x);
+
+    std::vector<GateId> drivers;
+    for (NetId in : nl.gate(x).fanin) {
+        const GateId d = nl.net(in).driver;
+        if (!d.is_valid()) continue;
+        if (std::find(drivers.begin(), drivers.end(), d) == drivers.end())
+            drivers.push_back(d);
+    }
+    for (GateId d : drivers) {
+        recompute_gate_load(d);
+        recompute_gate_delays(d);
+    }
+    return affected_edges(x);
+}
+
+}  // namespace statim::sta

@@ -1,0 +1,66 @@
+// Load and nominal-delay bookkeeping for the current gate widths.
+//
+// The delay model (cells/cell.hpp) makes a gate's delay depend on its own
+// width and on the widths of its fanout gates (through Cload), so resizing
+// gate x changes:
+//   * the delays of x's own edges (Ccell grew), and
+//   * the delays of every edge of each gate driving one of x's inputs
+//     (their load grew by x's input-capacitance increase).
+// `update_for_resize` recomputes exactly that set and reports the affected
+// edges — the same set the paper's Initialize routine perturbs (Fig 7).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cells/library.hpp"
+#include "netlist/timing_graph.hpp"
+#include "util/types.hpp"
+
+namespace statim::sta {
+
+class DelayCalc {
+  public:
+    /// Binds to a graph/library and computes loads and delays for the
+    /// netlist's current widths. Graph and library must outlive this.
+    DelayCalc(const netlist::TimingGraph& graph, const cells::Library& lib);
+
+    /// Recomputes every load and edge delay from the netlist widths.
+    void rebuild();
+
+    /// Call after changing the width of gate `x` in the netlist. Updates
+    /// the loads of x's fanin driver gates and the nominal delays of all
+    /// affected edges. Returns those edges (x's own edges followed by each
+    /// fanin driver's edges; deterministic order, no duplicates).
+    std::vector<EdgeId> update_for_resize(GateId x);
+
+    /// Edges whose delay update_for_resize(x) *would* touch (same order).
+    [[nodiscard]] std::vector<EdgeId> affected_edges(GateId x) const;
+
+    /// Capacitive load (fF) currently driven by gate g.
+    [[nodiscard]] double load_ff(GateId g) const { return load_ff_.at(g.index()); }
+
+    /// Nominal delay (ns) of a timing edge; virtual edges are 0.
+    [[nodiscard]] double edge_delay_ns(EdgeId e) const {
+        return edge_delay_ns_.at(e.index());
+    }
+
+    /// All nominal edge delays, indexed by edge id.
+    [[nodiscard]] std::span<const double> edge_delays_ns() const noexcept {
+        return edge_delay_ns_;
+    }
+
+    [[nodiscard]] const netlist::TimingGraph& graph() const noexcept { return *graph_; }
+    [[nodiscard]] const cells::Library& library() const noexcept { return *lib_; }
+
+  private:
+    void recompute_gate_load(GateId g);
+    void recompute_gate_delays(GateId g);
+
+    const netlist::TimingGraph* graph_;
+    const cells::Library* lib_;
+    std::vector<double> load_ff_;        // per gate
+    std::vector<double> edge_delay_ns_;  // per edge
+};
+
+}  // namespace statim::sta

@@ -1,0 +1,86 @@
+#include "sta/paths.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace statim::sta {
+
+namespace {
+
+/// Immutable shared-suffix list: partial paths share their prefixes, so a
+/// frontier of P entries costs O(P) nodes, not O(P * length).
+struct PathLink {
+    EdgeId edge;
+    std::shared_ptr<const PathLink> prev;
+};
+
+struct Frontier {
+    double score;  // delay so far + exact max remaining to sink
+    double delay_so_far;
+    NodeId at;
+    std::shared_ptr<const PathLink> tail;
+    std::uint64_t serial;  // deterministic FIFO tie-break
+};
+
+struct FrontierOrder {
+    bool operator()(const Frontier& a, const Frontier& b) const {
+        if (a.score != b.score) return a.score < b.score;  // max-heap on score
+        return a.serial > b.serial;
+    }
+};
+
+}  // namespace
+
+std::vector<Path> k_longest_paths(const DelayCalc& delays, std::size_t k,
+                                  std::size_t max_expansions) {
+    if (k == 0) throw ConfigError("k_longest_paths: k must be >= 1");
+    const netlist::TimingGraph& graph = delays.graph();
+
+    // Exact heuristic: longest remaining delay from each node to the sink.
+    std::vector<double> to_sink(graph.node_count(), 0.0);
+    const auto topo = graph.topo_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const NodeId n = *it;
+        double best = 0.0;
+        for (EdgeId e : graph.out_edges(n))
+            best = std::max(best, delays.edge_delay_ns(e) +
+                                      to_sink[graph.edge(e).to.index()]);
+        to_sink[n.index()] = best;
+    }
+
+    std::priority_queue<Frontier, std::vector<Frontier>, FrontierOrder> heap;
+    std::uint64_t serial = 0;
+    heap.push(Frontier{to_sink[netlist::TimingGraph::source().index()], 0.0,
+                       netlist::TimingGraph::source(), nullptr, serial++});
+
+    std::vector<Path> result;
+    std::size_t expansions = 0;
+    while (!heap.empty() && result.size() < k && expansions < max_expansions) {
+        const Frontier top = heap.top();
+        heap.pop();
+        ++expansions;
+        if (top.at == netlist::TimingGraph::sink()) {
+            Path path;
+            path.delay_ns = top.delay_so_far;
+            for (const PathLink* link = top.tail.get(); link != nullptr;
+                 link = link->prev.get())
+                path.edges.push_back(link->edge);
+            std::reverse(path.edges.begin(), path.edges.end());
+            result.push_back(std::move(path));
+            continue;
+        }
+        for (EdgeId e : graph.out_edges(top.at)) {
+            const auto& edge = graph.edge(e);
+            const double delay = top.delay_so_far + delays.edge_delay_ns(e);
+            heap.push(Frontier{delay + to_sink[edge.to.index()], delay, edge.to,
+                               std::make_shared<const PathLink>(PathLink{e, top.tail}),
+                               serial++});
+        }
+    }
+    return result;
+}
+
+}  // namespace statim::sta

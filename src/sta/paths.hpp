@@ -1,0 +1,28 @@
+// K-longest-path enumeration on the nominal delays.
+//
+// Best-first search with an exact admissible heuristic: each partial path
+// from the source is scored by (delay so far + max remaining delay to the
+// sink, from a backward pass). Completed paths therefore pop in exactly
+// descending delay order, so the first K completions are the K longest
+// paths. Used by the Figure 1 "wall" analyses and the criticality report.
+#pragma once
+
+#include <vector>
+
+#include "sta/delay_calc.hpp"
+
+namespace statim::sta {
+
+struct Path {
+    std::vector<EdgeId> edges;  ///< source-to-sink edge sequence
+    double delay_ns{0.0};
+};
+
+/// Up to `k` longest source-to-sink paths, strictly ordered by descending
+/// delay (ties broken deterministically by edge ids). k must be >= 1;
+/// fewer paths are returned if the circuit has fewer than k.
+/// `max_expansions` caps the search frontier as a safety valve.
+[[nodiscard]] std::vector<Path> k_longest_paths(const DelayCalc& delays, std::size_t k,
+                                                std::size_t max_expansions = 2'000'000);
+
+}  // namespace statim::sta

@@ -1,0 +1,131 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace statim::sta {
+
+namespace {
+
+/// Relax one node from its in-edges; returns the max arrival.
+double node_arrival(const netlist::TimingGraph& g, NodeId n,
+                    std::span<const double> edge_delay,
+                    const std::vector<double>& arrival) {
+    double best = 0.0;
+    bool any = false;
+    for (EdgeId ei : g.in_edges(n)) {
+        const auto& e = g.edge(ei);
+        const double t = arrival[e.from.index()] + edge_delay[ei.index()];
+        if (!any || t > best) best = t;
+        any = true;
+    }
+    return any ? best : 0.0;
+}
+
+}  // namespace
+
+double run_arrival_with(const netlist::TimingGraph& graph,
+                        std::span<const double> edge_delay,
+                        std::vector<double>& arrival) {
+    arrival.assign(graph.node_count(), 0.0);
+    for (NodeId n : graph.topo_order()) {
+        if (n == netlist::TimingGraph::source()) continue;
+        arrival[n.index()] = node_arrival(graph, n, edge_delay, arrival);
+    }
+    return arrival[netlist::TimingGraph::sink().index()];
+}
+
+double run_arrival(const DelayCalc& delays, std::vector<double>& arrival) {
+    return run_arrival_with(delays.graph(), delays.edge_delays_ns(), arrival);
+}
+
+StaResult run_sta(const DelayCalc& delays) {
+    const netlist::TimingGraph& graph = delays.graph();
+    StaResult result;
+    result.circuit_delay_ns = run_arrival(delays, result.arrival);
+
+    result.required.assign(graph.node_count(),
+                           std::numeric_limits<double>::infinity());
+    result.required[netlist::TimingGraph::sink().index()] = result.circuit_delay_ns;
+    const auto topo = graph.topo_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const NodeId n = *it;
+        if (n == netlist::TimingGraph::sink()) continue;
+        double req = std::numeric_limits<double>::infinity();
+        for (EdgeId ei : graph.out_edges(n)) {
+            const auto& e = graph.edge(ei);
+            req = std::min(req, result.required[e.to.index()] - delays.edge_delay_ns(ei));
+        }
+        result.required[n.index()] = req;
+    }
+    return result;
+}
+
+std::vector<EdgeId> critical_path(const DelayCalc& delays, const StaResult& sta) {
+    const netlist::TimingGraph& graph = delays.graph();
+    std::vector<EdgeId> path;
+    NodeId n = netlist::TimingGraph::sink();
+    // Numerical slop when matching arrival sums along the path.
+    constexpr double kTol = 1e-9;
+    while (n != netlist::TimingGraph::source()) {
+        EdgeId pick = EdgeId::invalid();
+        double best = -std::numeric_limits<double>::infinity();
+        for (EdgeId ei : graph.in_edges(n)) {
+            const auto& e = graph.edge(ei);
+            const double t = sta.arrival[e.from.index()] + delays.edge_delay_ns(ei);
+            if (t > best + kTol) {
+                best = t;
+                pick = ei;
+            }
+        }
+        if (!pick.is_valid()) break;  // defensive; cannot happen on valid graphs
+        path.push_back(pick);
+        n = graph.edge(pick).from;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::vector<GateId> gates_on_path(const netlist::TimingGraph& graph,
+                                  std::span<const EdgeId> path) {
+    std::vector<GateId> gates;
+    for (EdgeId ei : path) {
+        const GateId g = graph.edge(ei).gate;
+        if (!g.is_valid()) continue;
+        if (std::find(gates.begin(), gates.end(), g) == gates.end()) gates.push_back(g);
+    }
+    return gates;
+}
+
+double update_arrival_after_change(const DelayCalc& delays,
+                                   std::span<const EdgeId> changed_edges,
+                                   std::vector<double>& arrival) {
+    const netlist::TimingGraph& graph = delays.graph();
+    // Min-heap on node level: edge levels strictly increase, so when the
+    // shallowest dirty node is popped, all of its predecessors are final.
+    using Entry = std::pair<std::uint32_t, std::uint32_t>;  // (level, node)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::vector<char> queued(graph.node_count(), 0);
+    auto enqueue = [&](NodeId n) {
+        if (!queued[n.index()]) {
+            queued[n.index()] = 1;
+            heap.emplace(graph.level(n), n.value);
+        }
+    };
+    for (EdgeId ei : changed_edges) enqueue(graph.edge(ei).to);
+
+    const std::span<const double> dense = delays.edge_delays_ns();
+    while (!heap.empty()) {
+        const NodeId n{heap.top().second};
+        heap.pop();
+        const double fresh = node_arrival(graph, n, dense, arrival);
+        if (fresh == arrival[n.index()]) continue;
+        arrival[n.index()] = fresh;
+        for (EdgeId ei : graph.out_edges(n)) enqueue(graph.edge(ei).to);
+    }
+    return arrival[netlist::TimingGraph::sink().index()];
+}
+
+}  // namespace statim::sta

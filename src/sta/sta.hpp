@@ -1,0 +1,55 @@
+// Deterministic (nominal) static timing analysis.
+//
+// Forward arrival pass, backward required pass, slacks, and critical-path
+// extraction over the timing graph with DelayCalc's nominal edge delays.
+// This is the engine behind the paper's deterministic coordinate-descent
+// baseline and the per-sample evaluator used by Monte Carlo.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sta/delay_calc.hpp"
+
+namespace statim::sta {
+
+/// Result of a full nominal STA run.
+struct StaResult {
+    std::vector<double> arrival;   ///< per node (ns)
+    std::vector<double> required;  ///< per node (ns)
+    double circuit_delay_ns{0.0};  ///< arrival at the sink
+
+    [[nodiscard]] double slack(NodeId n) const {
+        return required.at(n.index()) - arrival.at(n.index());
+    }
+};
+
+/// Runs forward and backward passes; O(N + E).
+[[nodiscard]] StaResult run_sta(const DelayCalc& delays);
+
+/// Forward arrival pass only (fills `arrival`, returns sink arrival).
+double run_arrival(const DelayCalc& delays, std::vector<double>& arrival);
+
+/// Arrival pass with per-edge delays supplied externally (used by Monte
+/// Carlo with sampled delays). `edge_delay[e]` must cover every edge.
+double run_arrival_with(const netlist::TimingGraph& graph,
+                        std::span<const double> edge_delay,
+                        std::vector<double>& arrival);
+
+/// One critical path as a source-to-sink edge sequence (ties broken toward
+/// the smallest edge id, so the path is deterministic).
+[[nodiscard]] std::vector<EdgeId> critical_path(const DelayCalc& delays,
+                                                const StaResult& sta);
+
+/// Distinct gates on `path`, in path order (virtual edges skipped).
+[[nodiscard]] std::vector<GateId> gates_on_path(const netlist::TimingGraph& graph,
+                                                std::span<const EdgeId> path);
+
+/// Incremental forward update after the delays of `changed_edges` were
+/// modified (e.g. by DelayCalc::update_for_resize): repropagates only the
+/// affected downstream cone of `arrival` and returns the new sink arrival.
+double update_arrival_after_change(const DelayCalc& delays,
+                                   std::span<const EdgeId> changed_edges,
+                                   std::vector<double>& arrival);
+
+}  // namespace statim::sta

@@ -1,0 +1,83 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace statim {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+    if (argc > 0) program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+            positional_.emplace_back(arg);
+            continue;
+        }
+        const std::string_view body = arg.substr(2);
+        const auto eq = body.find('=');
+        if (eq != std::string_view::npos) {
+            options_.emplace(std::string(body.substr(0, eq)),
+                             std::string(body.substr(eq + 1)));
+            continue;
+        }
+        // `--name value` when the next token is not itself a flag.
+        if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+            options_.emplace(std::string(body), argv[i + 1]);
+            ++i;
+        } else {
+            options_.emplace(std::string(body), "");
+        }
+    }
+}
+
+bool CliArgs::has(std::string_view name) const {
+    return options_.find(name) != options_.end();
+}
+
+std::string CliArgs::get(std::string_view name, std::string_view fallback) const {
+    const auto it = options_.find(name);
+    return it == options_.end() ? std::string(fallback) : it->second;
+}
+
+std::int64_t CliArgs::get_int(std::string_view name, std::int64_t fallback) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) return fallback;
+    char* end = nullptr;
+    const std::int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        throw ConfigError("--" + it->first + ": expected integer, got '" + it->second + "'");
+    return value;
+}
+
+double CliArgs::get_double(std::string_view name, double fallback) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        throw ConfigError("--" + it->first + ": expected number, got '" + it->second + "'");
+    return value;
+}
+
+bool CliArgs::get_bool(std::string_view name, bool fallback) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) return fallback;
+    std::string v = it->second;
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+    throw ConfigError("--" + it->first + ": expected boolean, got '" + it->second + "'");
+}
+
+void CliArgs::validate(const std::vector<std::string>& known) const {
+    for (const auto& [name, value] : options_) {
+        if (std::find(known.begin(), known.end(), name) == known.end())
+            throw ConfigError("unknown option --" + name);
+    }
+}
+
+}  // namespace statim

@@ -1,0 +1,47 @@
+// Tiny command-line flag parser for the examples and bench binaries.
+// Supports `--name value`, `--name=value` and boolean `--name`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace statim {
+
+/// Parses argv into named options and positional arguments.
+///
+/// Unknown flags are kept (retrievable via has()/get()) so binaries can
+/// share a common option set; a strict mode is available via validate().
+class CliArgs {
+  public:
+    CliArgs(int argc, const char* const* argv);
+
+    /// True if `--name` appeared (with or without a value).
+    [[nodiscard]] bool has(std::string_view name) const;
+    /// String value of `--name`, or `fallback` when absent.
+    [[nodiscard]] std::string get(std::string_view name, std::string_view fallback = "") const;
+    /// Integer value of `--name`; throws ConfigError on malformed input.
+    [[nodiscard]] std::int64_t get_int(std::string_view name, std::int64_t fallback) const;
+    /// Double value of `--name`; throws ConfigError on malformed input.
+    [[nodiscard]] double get_double(std::string_view name, double fallback) const;
+    /// Boolean: `--name`, `--name=true/false/1/0/yes/no`.
+    [[nodiscard]] bool get_bool(std::string_view name, bool fallback) const;
+
+    /// Positional (non-flag) arguments in order of appearance.
+    [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+        return positional_;
+    }
+    [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+    /// Throws ConfigError if any parsed flag is not in `known`.
+    void validate(const std::vector<std::string>& known) const;
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string, std::less<>> options_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace statim

@@ -1,0 +1,54 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace statim {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+    if (columns_ == 0) throw std::invalid_argument("CsvWriter: empty header");
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (i) out_ << ',';
+        out_ << escape(header[i]);
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+    if (cells.size() != columns_)
+        throw std::invalid_argument("CsvWriter: cell count does not match header");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+    ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<std::string> cells) {
+    row(std::vector<std::string>(cells));
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string_view::npos;
+    if (!needs_quotes) return std::string(cell);
+    std::string out;
+    out.reserve(cell.size() + 2);
+    out.push_back('"');
+    for (char c : cell) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string format_double(double value, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", digits, value);
+    return buf;
+}
+
+}  // namespace statim

@@ -1,0 +1,38 @@
+// CSV emission for benchmark series (Figure 10's area-delay curve, the
+// ablation sweeps). Quoting follows RFC 4180.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace statim {
+
+/// Streams rows of a CSV table. The header is written on construction.
+class CsvWriter {
+  public:
+    /// Does not own `out`; it must outlive the writer.
+    CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+    /// Writes a full row; the cell count must match the header.
+    void row(const std::vector<std::string>& cells);
+    void row(std::initializer_list<std::string> cells);
+
+    /// Number of data rows written so far (excluding the header).
+    [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+    /// Escapes one cell per RFC 4180 (quotes fields containing , " or \n).
+    [[nodiscard]] static std::string escape(std::string_view cell);
+
+  private:
+    std::ostream& out_;
+    std::size_t columns_;
+    std::size_t rows_{0};
+};
+
+/// Formats a double with `digits` significant digits (for table cells).
+[[nodiscard]] std::string format_double(double value, int digits = 6);
+
+}  // namespace statim

@@ -1,0 +1,38 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace statim {
+
+std::optional<std::string> env_string(std::string_view name) {
+    const char* value = std::getenv(std::string(name).c_str());
+    if (value == nullptr) return std::nullopt;
+    return std::string(value);
+}
+
+std::int64_t env_int(std::string_view name, std::int64_t fallback) {
+    const auto raw = env_string(name);
+    if (!raw) return fallback;
+    char* end = nullptr;
+    const std::int64_t value = std::strtoll(raw->c_str(), &end, 10);
+    if (end == raw->c_str() || *end != '\0') return fallback;
+    return value;
+}
+
+double env_double(std::string_view name, double fallback) {
+    const auto raw = env_string(name);
+    if (!raw) return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(raw->c_str(), &end);
+    if (end == raw->c_str() || *end != '\0') return fallback;
+    return value;
+}
+
+void apply_log_env() {
+    if (const auto level = env_string("STATIM_LOG"))
+        set_log_level(parse_log_level(*level));
+}
+
+}  // namespace statim

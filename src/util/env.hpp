@@ -1,0 +1,25 @@
+// Environment-variable knobs. The bench binaries must run argument-free
+// (`for b in build/bench/*; do $b; done`), so scale factors come from the
+// environment: STATIM_BENCH_SCALE, STATIM_BENCH_CIRCUITS, STATIM_LOG.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace statim {
+
+/// Raw environment lookup; empty optional when unset.
+[[nodiscard]] std::optional<std::string> env_string(std::string_view name);
+
+/// Integer environment variable; `fallback` when unset or malformed.
+[[nodiscard]] std::int64_t env_int(std::string_view name, std::int64_t fallback);
+
+/// Double environment variable; `fallback` when unset or malformed.
+[[nodiscard]] double env_double(std::string_view name, double fallback);
+
+/// Applies STATIM_LOG (debug/info/warn/error/off) to the global logger.
+void apply_log_env();
+
+}  // namespace statim

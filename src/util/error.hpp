@@ -1,0 +1,45 @@
+// Error types thrown at library boundaries (parsing, construction,
+// configuration). Hot paths (SSTA propagation, sizing inner loops) never
+// throw; they validate inputs up front and use assertions internally.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace statim {
+
+/// Base class of all statim exceptions.
+class Error : public std::runtime_error {
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Malformed input file (.bench netlist, liberty-lite library, ...).
+class ParseError : public Error {
+  public:
+    ParseError(const std::string& file, int line, const std::string& what)
+        : Error(file + ":" + std::to_string(line) + ": " + what),
+          file_(file),
+          line_(line) {}
+
+    [[nodiscard]] const std::string& file() const noexcept { return file_; }
+    [[nodiscard]] int line() const noexcept { return line_; }
+
+  private:
+    std::string file_;
+    int line_;
+};
+
+/// Structurally invalid circuit (cycle, dangling net, fanin overflow, ...).
+class NetlistError : public Error {
+  public:
+    using Error::Error;
+};
+
+/// Invalid configuration of an engine or optimizer.
+class ConfigError : public Error {
+  public:
+    using Error::Error;
+};
+
+}  // namespace statim

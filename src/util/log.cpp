@@ -1,0 +1,46 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+
+namespace statim {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+[[nodiscard]] const char* level_name(LogLevel level) noexcept {
+    switch (level) {
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO ";
+        case LogLevel::Warn: return "WARN ";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF  ";
+    }
+    return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+LogLevel parse_log_level(std::string_view text) noexcept {
+    std::string lower;
+    lower.reserve(text.size());
+    for (char c : text) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    if (lower == "debug") return LogLevel::Debug;
+    if (lower == "info") return LogLevel::Info;
+    if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+    if (lower == "error") return LogLevel::Error;
+    if (lower == "off" || lower == "none") return LogLevel::Off;
+    return LogLevel::Info;
+}
+
+void log_line(LogLevel level, std::string_view message) {
+    if (!log_enabled(level) || level == LogLevel::Off) return;
+    std::fprintf(stderr, "[statim %s] %.*s\n", level_name(level),
+                 static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace statim

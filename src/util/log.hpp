@@ -1,0 +1,59 @@
+// Minimal leveled logger. Engines log at Debug/Info; benches and examples
+// bump the level via --verbose or the STATIM_LOG environment variable.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace statim {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Unknown strings yield Info.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text) noexcept;
+
+/// Writes one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+/// Builds the message lazily; only pays for formatting when enabled.
+class LogStream {
+  public:
+    explicit LogStream(LogLevel level) : level_(level) {}
+    ~LogStream() { log_line(level_, stream_.str()); }
+    LogStream(const LogStream&) = delete;
+    LogStream& operator=(const LogStream&) = delete;
+
+    template <typename T>
+    LogStream& operator<<(const T& value) {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
+    return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+}  // namespace statim
+
+#define STATIM_LOG(level)                       \
+    if (!::statim::log_enabled(level)) {        \
+    } else                                      \
+        ::statim::detail::LogStream(level)
+
+#define STATIM_DEBUG() STATIM_LOG(::statim::LogLevel::Debug)
+#define STATIM_INFO() STATIM_LOG(::statim::LogLevel::Info)
+#define STATIM_WARN() STATIM_LOG(::statim::LogLevel::Warn)
+#define STATIM_ERROR() STATIM_LOG(::statim::LogLevel::Error)

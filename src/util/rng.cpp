@@ -1,0 +1,102 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace statim {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t hash_name(std::string_view name) noexcept {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Rng::uniform() noexcept {
+    // 53 random mantissa bits -> uniform in [0,1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+    // Debiased modulo (Lemire-style rejection).
+    std::uint64_t x = (*this)();
+    std::uint64_t r = x % span;
+    while (x - r > std::uint64_t{0} - span) {
+        x = (*this)();
+        r = x % span;
+    }
+    return lo + static_cast<std::int64_t>(r);
+}
+
+double Rng::normal() noexcept {
+    if (has_spare_) {
+        has_spare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+}
+
+double Rng::truncated_normal(double mean, double stddev, double k) noexcept {
+    if (stddev <= 0.0 || k <= 0.0) return mean;
+    for (;;) {
+        const double z = normal();
+        if (z >= -k && z <= k) return mean + stddev * z;
+    }
+}
+
+Rng Rng::split() noexcept {
+    return Rng{(*this)() ^ 0xA0761D6478BD642FULL};
+}
+
+}  // namespace statim

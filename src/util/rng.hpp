@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything random in statim (synthetic circuit generation, Monte Carlo
+// sampling) flows through `Rng`, a xoshiro256** engine seeded via
+// splitmix64. Identical seeds give identical streams on every platform,
+// which makes benchmark tables and tests reproducible bit for bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace statim {
+
+/// splitmix64 step; used for seeding and for hashing names to seeds.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stable 64-bit hash of a string (FNV-1a), for per-name seeds.
+[[nodiscard]] std::uint64_t hash_name(std::string_view name) noexcept;
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state.
+class Rng {
+  public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the four state words from `seed` via splitmix64.
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+    [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+    [[nodiscard]] static constexpr result_type max() noexcept {
+        return ~result_type{0};
+    }
+
+    result_type operator()() noexcept;
+
+    /// Uniform double in [0, 1).
+    [[nodiscard]] double uniform() noexcept;
+    /// Uniform double in [lo, hi).
+    [[nodiscard]] double uniform(double lo, double hi) noexcept;
+    /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+    [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+    /// Standard normal via Marsaglia polar method (cached spare).
+    [[nodiscard]] double normal() noexcept;
+    /// Normal with the given mean and standard deviation.
+    [[nodiscard]] double normal(double mean, double stddev) noexcept;
+    /// Truncated normal: resamples until within [mean - k*sd, mean + k*sd].
+    [[nodiscard]] double truncated_normal(double mean, double stddev, double k) noexcept;
+
+    /// A new generator whose stream is independent of this one.
+    [[nodiscard]] Rng split() noexcept;
+
+  private:
+    std::array<std::uint64_t, 4> s_{};
+    double spare_{0.0};
+    bool has_spare_{false};
+};
+
+}  // namespace statim

@@ -1,0 +1,45 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace statim {
+
+AsciiTable::AsciiTable(std::vector<std::string> header, std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+    aligns_.resize(header_.size(), Align::Right);
+    if (!header_.empty()) aligns_[0] = Align::Left;  // first column is a name
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::print(std::ostream& out) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < header_.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : header_[c];
+            const auto pad = widths[c] - cell.size();
+            out << "| ";
+            if (aligns_[c] == Align::Right) out << std::string(pad, ' ');
+            out << cell;
+            if (aligns_[c] == Align::Left) out << std::string(pad, ' ');
+            out << ' ';
+        }
+        out << "|\n";
+    };
+
+    print_row(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        out << '|' << std::string(widths[c] + 2, '-');
+    out << "|\n";
+    for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace statim

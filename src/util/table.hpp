@@ -1,0 +1,35 @@
+// ASCII table rendering. The bench harnesses print Table 1 / Table 2 of the
+// paper in the same row layout; this takes care of alignment.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace statim {
+
+/// Column alignment inside an AsciiTable.
+enum class Align { Left, Right };
+
+/// Collects rows, then renders them with padded, aligned columns.
+class AsciiTable {
+  public:
+    explicit AsciiTable(std::vector<std::string> header,
+                        std::vector<Align> aligns = {});
+
+    /// Adds one row; short rows are padded with empty cells.
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders the header, a rule, and all rows.
+    void print(std::ostream& out) const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+    [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<Align> aligns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace statim

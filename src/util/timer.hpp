@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the benchmark harnesses (Table 2 reports
+// per-iteration runtimes) and the optimizers' statistics.
+#pragma once
+
+#include <chrono>
+
+namespace statim {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+  public:
+    Timer() noexcept : start_(Clock::now()) {}
+
+    /// Restarts the stopwatch.
+    void reset() noexcept { start_ = Clock::now(); }
+
+    /// Seconds elapsed since construction or the last reset().
+    [[nodiscard]] double seconds() const noexcept {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /// Milliseconds elapsed since construction or the last reset().
+    [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace statim

@@ -1,0 +1,64 @@
+// Strong index types shared across the library.
+//
+// All graph-like containers in statim index their elements with dense
+// 32-bit ids. Wrapping the raw integer in a distinct struct per entity kind
+// prevents accidentally indexing a net array with a gate id (a classic EDA
+// bug class) at zero runtime cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace statim {
+
+/// CRTP-free strong id: `Id<struct NetTag>` and `Id<struct GateTag>` are
+/// unrelated types even though both hold a `std::uint32_t`.
+template <typename Tag>
+struct Id {
+    std::uint32_t value{invalid_value()};
+
+    constexpr Id() noexcept = default;
+    constexpr explicit Id(std::uint32_t v) noexcept : value(v) {}
+
+    [[nodiscard]] static constexpr std::uint32_t invalid_value() noexcept {
+        return std::numeric_limits<std::uint32_t>::max();
+    }
+    [[nodiscard]] static constexpr Id invalid() noexcept { return Id{}; }
+    [[nodiscard]] constexpr bool is_valid() const noexcept {
+        return value != invalid_value();
+    }
+    /// Dense-array index. Caller must ensure validity.
+    [[nodiscard]] constexpr std::size_t index() const noexcept { return value; }
+
+    friend constexpr bool operator==(Id a, Id b) noexcept { return a.value == b.value; }
+    friend constexpr bool operator!=(Id a, Id b) noexcept { return a.value != b.value; }
+    friend constexpr bool operator<(Id a, Id b) noexcept { return a.value < b.value; }
+};
+
+struct NetTag {};
+struct GateTag {};
+struct NodeTag {};
+struct EdgeTag {};
+struct CellTag {};
+struct PinTag {};
+
+/// A net (wire) in the logical netlist.
+using NetId = Id<NetTag>;
+/// A gate (cell instance) in the logical netlist.
+using GateId = Id<GateTag>;
+/// A node of the timing graph (a net, or the virtual source/sink).
+using NodeId = Id<NodeTag>;
+/// A directed timing-graph edge (one gate input->output pin pair).
+using EdgeId = Id<EdgeTag>;
+/// A standard cell in the library.
+using CellId = Id<CellTag>;
+
+}  // namespace statim
+
+template <typename Tag>
+struct std::hash<statim::Id<Tag>> {
+    std::size_t operator()(statim::Id<Tag> id) const noexcept {
+        return std::hash<std::uint32_t>{}(id.value);
+    }
+};

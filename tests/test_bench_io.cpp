@@ -1,0 +1,152 @@
+// Unit tests for the ISCAS .bench reader/writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/iscas.hpp"
+
+namespace statim::netlist {
+namespace {
+
+class BenchIo : public ::testing::Test {
+  protected:
+    cells::Library lib_ = cells::Library::standard_180nm();
+
+    Netlist parse(const std::string& text, const std::string& name = "inline") {
+        std::istringstream in(text);
+        return read_bench(in, lib_, name);
+    }
+};
+
+TEST_F(BenchIo, ParsesEmbeddedC17) {
+    const Netlist nl = parse(c17_bench_text(), "c17");
+    EXPECT_EQ(nl.gate_count(), 6u);
+    EXPECT_EQ(nl.net_count(), 11u);
+    EXPECT_EQ(nl.primary_inputs().size(), 5u);
+    EXPECT_EQ(nl.primary_outputs().size(), 2u);
+    for (const Gate& g : nl.gates())
+        EXPECT_EQ(lib_.cell(g.cell).name, "NAND2");
+}
+
+TEST_F(BenchIo, GateTypeMapping) {
+    const Netlist nl = parse(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\n"
+        "OUTPUT(o1)\nOUTPUT(o2)\nOUTPUT(o3)\nOUTPUT(o4)\nOUTPUT(o5)\n"
+        "o1 = NOT(a)\n"
+        "o2 = BUFF(a)\n"
+        "o3 = AND(a, b, c)\n"
+        "o4 = XOR(a, b)\n"
+        "o5 = NOR(a, b)\n");
+    auto cell_name = [&](const char* net) {
+        return lib_.cell(nl.gate(nl.net(nl.find_net(net)).driver).cell).name;
+    };
+    EXPECT_EQ(cell_name("o1"), "INV");
+    EXPECT_EQ(cell_name("o2"), "BUF");
+    EXPECT_EQ(cell_name("o3"), "AND3");
+    EXPECT_EQ(cell_name("o4"), "XOR2");
+    EXPECT_EQ(cell_name("o5"), "NOR2");
+}
+
+TEST_F(BenchIo, SingleInputDegenerations) {
+    const Netlist nl = parse(
+        "INPUT(a)\nOUTPUT(x)\nOUTPUT(y)\n"
+        "x = NAND(a)\n"   // 1-input NAND == INV
+        "y = AND(a)\n");  // 1-input AND == BUF
+    EXPECT_EQ(lib_.cell(nl.gate(nl.net(nl.find_net("x")).driver).cell).name, "INV");
+    EXPECT_EQ(lib_.cell(nl.gate(nl.net(nl.find_net("y")).driver).cell).name, "BUF");
+}
+
+TEST_F(BenchIo, WideGateDecomposition) {
+    // 8-input NAND must decompose into an AND tree plus a NAND root, all
+    // within fanin 4, preserving single-driver structure.
+    const Netlist nl = parse(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\n"
+        "INPUT(e)\nINPUT(f)\nINPUT(g)\nINPUT(h)\n"
+        "OUTPUT(y)\n"
+        "y = NAND(a, b, c, d, e, f, g, h)\n");
+    EXPECT_GT(nl.gate_count(), 1u);
+    for (const Gate& g : nl.gates())
+        EXPECT_LE(g.fanin.size(), 4u);
+    // The root driving y must still be a NAND family cell.
+    const Gate& root = nl.gate(nl.net(nl.find_net("y")).driver);
+    EXPECT_EQ(lib_.cell(root.cell).name.substr(0, 4), "NAND");
+    EXPECT_NO_THROW(nl.validate(lib_));
+}
+
+TEST_F(BenchIo, WideXorDecomposesToChain) {
+    const Netlist nl = parse(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(y)\n"
+        "y = XOR(a, b, c, d, e)\n");
+    EXPECT_EQ(nl.gate_count(), 4u);  // n-1 XOR2 gates
+    for (const Gate& g : nl.gates())
+        EXPECT_EQ(lib_.cell(g.cell).name, "XOR2");
+}
+
+TEST_F(BenchIo, DffBecomesPseudoTerminals) {
+    const Netlist nl = parse(
+        "INPUT(a)\nOUTPUT(y)\n"
+        "q = DFF(d)\n"
+        "d = NAND(a, q)\n"
+        "y = NOT(q)\n");
+    // q is a pseudo-PI, d a pseudo-PO: the loop through the DFF is broken.
+    EXPECT_EQ(nl.primary_inputs().size(), 2u);   // a, q
+    EXPECT_EQ(nl.primary_outputs().size(), 2u);  // y, d
+    EXPECT_NO_THROW(nl.validate(lib_));
+}
+
+TEST_F(BenchIo, RoundTripPreservesStructure) {
+    const Netlist nl = parse(c17_bench_text(), "c17");
+    std::ostringstream out;
+    write_bench(out, nl, lib_);
+    std::istringstream in(out.str());
+    const Netlist back = read_bench(in, lib_, "c17rt");
+    EXPECT_EQ(back.gate_count(), nl.gate_count());
+    EXPECT_EQ(back.net_count(), nl.net_count());
+    EXPECT_EQ(back.primary_inputs().size(), nl.primary_inputs().size());
+    EXPECT_EQ(back.primary_outputs().size(), nl.primary_outputs().size());
+}
+
+TEST_F(BenchIo, CommentsAndBlankLinesIgnored) {
+    const Netlist nl = parse(
+        "# header\n\n"
+        "INPUT(a)  # the input\n"
+        "OUTPUT(y)\n"
+        "\n"
+        "y = NOT(a)\n");
+    EXPECT_EQ(nl.gate_count(), 1u);
+}
+
+TEST_F(BenchIo, ParseErrorsCarryLineNumbers) {
+    try {
+        (void)parse("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 3);
+    }
+}
+
+TEST_F(BenchIo, MalformedLinesRejected) {
+    EXPECT_THROW((void)parse("INPUT a\n"), ParseError);  // no parens
+    EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(y)\ny = NAND(a,)\n"),
+                 ParseError);  // trailing comma
+    EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(y)\ny = NAND(a,,a)\n"),
+                 ParseError);  // empty operand
+    EXPECT_THROW((void)parse("INPUT(a)\n = NAND(a)\n"), ParseError);    // no output
+    EXPECT_THROW((void)parse("INPUT(a, b)\n"), ParseError);        // two args
+    EXPECT_THROW((void)parse("INPUT(a)\ny = NOT(a, a)\n"), ParseError);  // NOT arity
+    EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(y)\ny = NAND()\n"), ParseError);
+}
+
+TEST_F(BenchIo, StructuralErrorsSurfaceFromValidate) {
+    // x is driven twice.
+    EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(x)\nx = NOT(a)\nx = BUFF(a)\n"),
+                 NetlistError);
+}
+
+TEST_F(BenchIo, MissingFileThrows) {
+    EXPECT_THROW((void)load_bench("/nonexistent/file.bench", lib_), Error);
+}
+
+}  // namespace
+}  // namespace statim::netlist

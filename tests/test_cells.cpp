@@ -1,0 +1,195 @@
+// Unit tests for the cell library and delay model (paper EQ 1).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cells/cell.hpp"
+#include "cells/liberty_lite.hpp"
+#include "cells/library.hpp"
+#include "util/error.hpp"
+
+namespace statim::cells {
+namespace {
+
+TEST(DelayModel, Equation1) {
+    Cell c;
+    c.name = "X";
+    c.fanin = 1;
+    c.d_int_ns = 0.02;
+    c.k_ns = 0.015;
+    c.c_cell_ff = 4.0;
+    // De = Dint + K * Cload / (Ccell * w)
+    EXPECT_DOUBLE_EQ(edge_delay_ns(c, 1.0, 8.0, 0), 0.02 + 0.015 * 2.0);
+    EXPECT_DOUBLE_EQ(edge_delay_ns(c, 2.0, 8.0, 0), 0.02 + 0.015 * 1.0);
+}
+
+TEST(DelayModel, UpsizingSpeedsGateButLoadsFanin) {
+    const Library lib = Library::standard_180nm();
+    const Cell& inv = lib.cell(lib.require("INV"));
+    const double load = 20.0;
+    EXPECT_LT(edge_delay_ns(inv, 2.0, load, 0), edge_delay_ns(inv, 1.0, load, 0));
+    EXPECT_GT(input_cap_ff(inv, 2.0), input_cap_ff(inv, 1.0));
+    EXPECT_DOUBLE_EQ(input_cap_ff(inv, 2.0), 2.0 * input_cap_ff(inv, 1.0));
+}
+
+TEST(DelayModel, PinWeights) {
+    Cell c;
+    c.name = "X";
+    c.fanin = 2;
+    c.d_int_ns = 0.1;
+    c.k_ns = 0.0;
+    c.c_cell_ff = 1.0;
+    c.pin_weight = {1.0, 1.5};
+    EXPECT_DOUBLE_EQ(edge_delay_ns(c, 1.0, 0.0, 0), 0.1);
+    EXPECT_DOUBLE_EQ(edge_delay_ns(c, 1.0, 0.0, 1), 0.15);
+    EXPECT_DOUBLE_EQ(c.pin_factor(7), 1.0);  // out of range -> neutral
+}
+
+TEST(DelayModel, AreaScalesLinearly) {
+    const Library lib = Library::standard_180nm();
+    const Cell& nand2 = lib.cell(lib.require("NAND2"));
+    EXPECT_DOUBLE_EQ(cell_area(nand2, 3.0), 3.0 * nand2.area);
+}
+
+TEST(SizingPolicy, Validation) {
+    SizingPolicy ok;
+    EXPECT_NO_THROW(ok.validate());
+    SizingPolicy bad1{2.0, 1.0, 0.25};
+    EXPECT_THROW(bad1.validate(), ConfigError);
+    SizingPolicy bad2{1.0, 4.0, 0.0};
+    EXPECT_THROW(bad2.validate(), ConfigError);
+}
+
+TEST(Library, Standard180nmContents) {
+    const Library lib = Library::standard_180nm();
+    EXPECT_EQ(lib.name(), "statim180");
+    EXPECT_DOUBLE_EQ(lib.sigma_fraction(), 0.10);
+    EXPECT_DOUBLE_EQ(lib.trunc_k(), 3.0);
+    for (const char* name :
+         {"INV", "BUF", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3", "NOR4",
+          "AND2", "AND3", "AND4", "OR2", "OR3", "OR4", "XOR2", "XNOR2"})
+        EXPECT_TRUE(lib.find(name).has_value()) << name;
+    EXPECT_FALSE(lib.find("NAND8").has_value());
+}
+
+TEST(Library, Fo4DelayIsPlausibleFor180nm) {
+    // FO4 inverter delay: load = 4x own input cap. Expect 60-150 ps.
+    const Library lib = Library::standard_180nm();
+    const Cell& inv = lib.cell(lib.require("INV"));
+    const double fo4 = edge_delay_ns(inv, 1.0, 4.0 * inv.c_in_ff, 0);
+    EXPECT_GT(fo4, 0.060);
+    EXPECT_LT(fo4, 0.150);
+}
+
+TEST(Library, FindSized) {
+    const Library lib = Library::standard_180nm();
+    ASSERT_TRUE(lib.find_sized("NAND", 3).has_value());
+    EXPECT_EQ(lib.cell(*lib.find_sized("NAND", 3)).name, "NAND3");
+    EXPECT_FALSE(lib.find_sized("NAND", 9).has_value());
+}
+
+TEST(Library, RequireThrowsOnMissing) {
+    const Library lib = Library::standard_180nm();
+    EXPECT_THROW((void)lib.require("FLUXCAP"), ConfigError);
+}
+
+TEST(Library, AddValidation) {
+    Library lib;
+    Cell ok;
+    ok.name = "A";
+    ok.fanin = 1;
+    EXPECT_NO_THROW((void)lib.add(ok));
+    EXPECT_THROW((void)lib.add(ok), ConfigError);  // duplicate
+
+    Cell bad = ok;
+    bad.name = "B";
+    bad.fanin = 0;
+    EXPECT_THROW((void)lib.add(bad), ConfigError);
+
+    bad = ok;
+    bad.name = "C";
+    bad.c_cell_ff = 0.0;
+    EXPECT_THROW((void)lib.add(bad), ConfigError);
+
+    bad = ok;
+    bad.name = "D";
+    bad.fanin = 2;
+    bad.pin_weight = {1.0};  // size mismatch
+    EXPECT_THROW((void)lib.add(bad), ConfigError);
+}
+
+TEST(Library, ParameterValidation) {
+    Library lib;
+    EXPECT_THROW(lib.set_sigma_fraction(-0.1), ConfigError);
+    EXPECT_THROW(lib.set_sigma_fraction(1.0), ConfigError);
+    EXPECT_THROW(lib.set_trunc_k(0.0), ConfigError);
+    EXPECT_THROW(lib.set_output_load_ff(-1.0), ConfigError);
+    EXPECT_NO_THROW(lib.set_sigma_fraction(0.15));
+    EXPECT_DOUBLE_EQ(lib.sigma_fraction(), 0.15);
+}
+
+TEST(LibertyLite, RoundTrip) {
+    const Library lib = Library::standard_180nm();
+    std::ostringstream out;
+    write_liberty_lite(out, lib);
+    std::istringstream in(out.str());
+    const Library back = read_liberty_lite(in, "roundtrip");
+    ASSERT_EQ(back.size(), lib.size());
+    EXPECT_EQ(back.name(), lib.name());
+    EXPECT_DOUBLE_EQ(back.sigma_fraction(), lib.sigma_fraction());
+    EXPECT_DOUBLE_EQ(back.output_load_ff(), lib.output_load_ff());
+    for (std::size_t i = 0; i < lib.size(); ++i) {
+        const Cell& a = lib.cells()[i];
+        const Cell& b = back.cells()[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.fanin, b.fanin);
+        EXPECT_DOUBLE_EQ(a.d_int_ns, b.d_int_ns);
+        EXPECT_DOUBLE_EQ(a.k_ns, b.k_ns);
+        EXPECT_DOUBLE_EQ(a.c_cell_ff, b.c_cell_ff);
+        EXPECT_DOUBLE_EQ(a.c_in_ff, b.c_in_ff);
+        EXPECT_DOUBLE_EQ(a.area, b.area);
+    }
+}
+
+TEST(LibertyLite, ParsesPinWeightsAndComments) {
+    std::istringstream in(
+        "# my library\n"
+        "library test\n"
+        "sigma_fraction 0.2\n"
+        "cell G fanin=2 d_int=0.1 k=0.02 c_cell=3 c_in=3 area=1.5 "
+        "pin_weights=1.0,1.25  # trailing comment\n");
+    const Library lib = read_liberty_lite(in, "inline");
+    const Cell& g = lib.cell(lib.require("G"));
+    ASSERT_EQ(g.pin_weight.size(), 2u);
+    EXPECT_DOUBLE_EQ(g.pin_weight[1], 1.25);
+    EXPECT_DOUBLE_EQ(lib.sigma_fraction(), 0.2);
+}
+
+TEST(LibertyLite, ErrorsCarryLineNumbers) {
+    std::istringstream bad1("library x\ncell G d_int=0.1\n");  // missing fanin
+    try {
+        (void)read_liberty_lite(bad1, "f");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+
+    std::istringstream bad2("wibble 3\n");
+    EXPECT_THROW((void)read_liberty_lite(bad2, "f"), ParseError);
+
+    std::istringstream bad3("cell G fanin=two\n");
+    EXPECT_THROW((void)read_liberty_lite(bad3, "f"), ParseError);
+
+    std::istringstream bad4("library x\n");  // no cells
+    EXPECT_THROW((void)read_liberty_lite(bad4, "f"), ParseError);
+
+    std::istringstream bad5("cell G fanin=1 wibble=3\n");
+    EXPECT_THROW((void)read_liberty_lite(bad5, "f"), ParseError);
+}
+
+TEST(LibertyLite, MissingFileThrows) {
+    EXPECT_THROW((void)load_liberty_lite("/nonexistent/path.lib"), Error);
+}
+
+}  // namespace
+}  // namespace statim::cells

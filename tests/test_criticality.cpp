@@ -1,0 +1,137 @@
+// Unit tests for statistical criticality propagation.
+#include <gtest/gtest.h>
+
+#include "core/context.hpp"
+#include "netlist/iscas.hpp"
+#include "ssta/criticality.hpp"
+#include "sta/sta.hpp"
+
+namespace statim::ssta {
+namespace {
+
+using core::Context;
+using netlist::Netlist;
+using netlist::TimingGraph;
+
+/// PI -> INV -> INV -> PO chain: one path, criticality 1 everywhere.
+Netlist make_chain(const cells::Library& lib) {
+    Netlist nl("chain");
+    const NetId a = nl.add_net("a");
+    const NetId m = nl.add_net("m");
+    const NetId y = nl.add_net("y");
+    nl.mark_primary_input(a);
+    const CellId inv = lib.require("INV");
+    (void)nl.add_gate("g1", inv, {a}, m);
+    (void)nl.add_gate("g2", inv, {m}, y);
+    nl.mark_primary_output(y);
+    nl.validate(lib);
+    return nl;
+}
+
+TEST(Criticality, SinglePathIsFullyCritical) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = make_chain(lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    const CriticalityResult crit = compute_criticality(ctx.engine(), ctx.edge_delays());
+
+    for (std::size_t n = 0; n < ctx.graph().node_count(); ++n)
+        EXPECT_NEAR(crit.node[n], 1.0, 1e-9) << "node " << n;
+    for (std::size_t e = 0; e < ctx.graph().edge_count(); ++e)
+        EXPECT_NEAR(crit.edge[e], 1.0, 1e-9) << "edge " << e;
+}
+
+TEST(Criticality, SymmetricForkSplitsEvenly) {
+    // Two identical INV branches from two PIs into a NAND2: each branch
+    // carries criticality ~0.5.
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl("fork");
+    const NetId a = nl.add_net("a");
+    const NetId b = nl.add_net("b");
+    const NetId ma = nl.add_net("ma");
+    const NetId mb = nl.add_net("mb");
+    const NetId y = nl.add_net("y");
+    nl.mark_primary_input(a);
+    nl.mark_primary_input(b);
+    const CellId inv = lib.require("INV");
+    (void)nl.add_gate("ga", inv, {a}, ma);
+    (void)nl.add_gate("gb", inv, {b}, mb);
+    (void)nl.add_gate("gy", lib.require("NAND2"), {ma, mb}, y);
+    nl.mark_primary_output(y);
+    nl.validate(lib);
+
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    const CriticalityResult crit = compute_criticality(ctx.engine(), ctx.edge_delays());
+    EXPECT_NEAR(crit.node[TimingGraph::node_of_net(ma).index()], 0.5, 0.05);
+    EXPECT_NEAR(crit.node[TimingGraph::node_of_net(mb).index()], 0.5, 0.05);
+    EXPECT_NEAR(crit.node[TimingGraph::sink().index()], 1.0, 1e-12);
+}
+
+class CriticalityInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CriticalityInvariants, ConservationAndRange) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas(GetParam(), lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    const CriticalityResult crit = compute_criticality(ctx.engine(), ctx.edge_delays());
+    const auto& graph = ctx.graph();
+
+    // Range and per-node conservation: a node's criticality equals the sum
+    // over its in-edges, and the source collects everything (~1).
+    for (std::size_t n = 0; n < graph.node_count(); ++n) {
+        const NodeId node{static_cast<std::uint32_t>(n)};
+        EXPECT_GE(crit.node[n], -1e-12);
+        EXPECT_LE(crit.node[n], 1.0 + 1e-9);
+        const auto in = graph.in_edges(node);
+        if (in.empty()) continue;
+        double sum = 0.0;
+        for (EdgeId e : in) sum += crit.edge[e.index()];
+        EXPECT_NEAR(sum, crit.node[n], 1e-9) << "node " << n;
+    }
+    EXPECT_NEAR(crit.node[TimingGraph::source().index()], 1.0, 1e-6);
+}
+
+TEST_P(CriticalityInvariants, NominalCriticalPathIsStatisticallyHot) {
+    // Every gate on the nominal critical path should carry clearly
+    // non-trivial statistical criticality.
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas(GetParam(), lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    const CriticalityResult crit = compute_criticality(ctx.engine(), ctx.edge_delays());
+
+    const sta::StaResult sta = sta::run_sta(ctx.delay_calc());
+    const auto path = sta::critical_path(ctx.delay_calc(), sta);
+    double min_crit = 1.0;
+    for (EdgeId e : path)
+        min_crit = std::min(min_crit, crit.node[ctx.graph().edge(e).to.index()]);
+    EXPECT_GT(min_crit, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, CriticalityInvariants,
+                         ::testing::Values("c17", "c432", "c880"));
+
+TEST(Criticality, RankGatesIsSortedAndComplete) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    const CriticalityResult crit = compute_criticality(ctx.engine(), ctx.edge_delays());
+    const auto ranked = rank_gates_by_criticality(ctx.graph(), crit);
+    ASSERT_EQ(ranked.size(), nl.gate_count());
+    for (std::size_t i = 1; i < ranked.size(); ++i)
+        EXPECT_GE(ranked[i - 1].second, ranked[i].second);
+}
+
+TEST(Criticality, RequiresSstaRun) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    Context ctx(nl, lib);
+    EXPECT_THROW((void)compute_criticality(ctx.engine(), ctx.edge_delays()),
+                 ConfigError);
+}
+
+}  // namespace
+}  // namespace statim::ssta

@@ -1,0 +1,95 @@
+// Unit tests for the area-recovery (downsizing) extension.
+#include <gtest/gtest.h>
+
+#include "core/downsize.hpp"
+#include "core/sizers.hpp"
+#include "netlist/iscas.hpp"
+
+namespace statim::core {
+namespace {
+
+using netlist::Netlist;
+
+TEST(Downsize, RecoversAreaWithinObjectiveBudget) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    Context ctx(nl, lib);
+
+    // First oversize everything a little, then recover.
+    for (std::size_t gi = 0; gi < nl.gate_count(); ++gi)
+        (void)ctx.apply_resize(GateId{static_cast<std::uint32_t>(gi)}, 1.0);
+
+    DownsizeConfig cfg;
+    cfg.max_iterations = 100;
+    cfg.objective_budget_ns = 0.010;
+    const DownsizeResult result = run_downsizing(ctx, cfg);
+
+    EXPECT_GT(result.iterations, 0);
+    EXPECT_LT(result.final_area, result.initial_area);
+    EXPECT_LE(result.final_objective_ns - result.initial_objective_ns,
+              cfg.objective_budget_ns + 1e-9);
+    for (const auto& g : nl.gates()) EXPECT_GE(g.width, cfg.min_width - 1e-12);
+}
+
+TEST(Downsize, ZeroBudgetOnlyTakesFreeOrImprovingMoves) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    for (std::size_t gi = 0; gi < nl.gate_count(); ++gi)
+        (void)ctx.apply_resize(GateId{static_cast<std::uint32_t>(gi)}, 0.5);
+
+    DownsizeConfig cfg;
+    cfg.max_iterations = 30;
+    cfg.objective_budget_ns = 0.0;
+    const DownsizeResult result = run_downsizing(ctx, cfg);
+    EXPECT_LE(result.final_objective_ns, result.initial_objective_ns + 1e-9);
+    if (result.iterations > 0) EXPECT_LT(result.final_area, result.initial_area);
+}
+
+TEST(Downsize, StopsAtWidthFloor) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);  // min size already
+    Context ctx(nl, lib);
+    DownsizeConfig cfg;
+    cfg.max_iterations = 10;
+    const DownsizeResult result = run_downsizing(ctx, cfg);
+    EXPECT_EQ(result.iterations, 0);
+    EXPECT_EQ(result.stop_reason, "width floor");
+}
+
+TEST(Downsize, UpThenDownRoundTripKeepsObjectiveClose) {
+    // Upsize statistically, then recover with a tight budget: the final
+    // circuit must be smaller than the upsized one at nearly its speed.
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    Context ctx(nl, lib);
+    StatisticalSizerConfig up;
+    up.max_iterations = 20;
+    const SizingResult upsized = run_statistical_sizing(ctx, up);
+
+    DownsizeConfig down;
+    down.max_iterations = 100;
+    down.objective_budget_ns = 0.002;
+    const DownsizeResult recovered = run_downsizing(ctx, down);
+    EXPECT_LE(recovered.final_area, upsized.final_area);
+    EXPECT_LE(recovered.final_objective_ns,
+              upsized.final_objective_ns + down.objective_budget_ns + 1e-9);
+}
+
+TEST(Downsize, RejectsBadConfig) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    Context ctx(nl, lib);
+    DownsizeConfig bad;
+    bad.delta_w = 0.0;
+    EXPECT_THROW((void)run_downsizing(ctx, bad), ConfigError);
+    bad = {};
+    bad.min_width = -1.0;
+    EXPECT_THROW((void)run_downsizing(ctx, bad), ConfigError);
+    bad = {};
+    bad.objective_budget_ns = -0.1;
+    EXPECT_THROW((void)run_downsizing(ctx, bad), ConfigError);
+}
+
+}  // namespace
+}  // namespace statim::core

@@ -1,0 +1,84 @@
+// Unit tests for the Table 1 / Table 2 experiment drivers.
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "netlist/iscas.hpp"
+
+namespace statim::core {
+namespace {
+
+TEST(CompareOptimizers, ProducesConsistentTable1Row) {
+    cells::Library lib = cells::Library::standard_180nm();
+    ComparisonConfig cfg;
+    cfg.det_iterations = 40;
+    const ComparisonResult row = compare_optimizers("c432", lib, cfg);
+
+    EXPECT_EQ(row.circuit, "c432");
+    EXPECT_EQ(row.nodes, 214u);
+    EXPECT_EQ(row.edges, 379u);
+
+    // Both optimizers must beat the min-size circuit.
+    EXPECT_LT(row.det_objective_ns, row.initial_objective_ns);
+    EXPECT_LT(row.stat_objective_ns, row.initial_objective_ns);
+
+    // Area parity: the statistical run stops at the deterministic budget
+    // (within one sizing step of the largest cell).
+    EXPECT_NEAR(row.stat_area_increase_pct, row.det_area_increase_pct,
+                100.0 * 0.25 * 4.0 / row.det.initial_area + 1e-9);
+
+    // Improvement definition consistency.
+    EXPECT_NEAR(row.improvement_pct,
+                100.0 * (row.det_objective_ns - row.stat_objective_ns) /
+                    row.det_objective_ns,
+                1e-9);
+
+    // Full histories are exposed for the figure harnesses.
+    EXPECT_EQ(static_cast<int>(row.det.history.size()), row.det.iterations);
+    EXPECT_EQ(static_cast<int>(row.stat.history.size()), row.stat.iterations);
+}
+
+TEST(CompareOptimizers, StatisticalWinsWithEnoughIterations) {
+    // The headline qualitative claim of Table 1: at matched area the
+    // statistical optimizer achieves a lower 99-percentile delay.
+    cells::Library lib = cells::Library::standard_180nm();
+    ComparisonConfig cfg;
+    cfg.det_iterations = 150;
+    const ComparisonResult row = compare_optimizers("c432", lib, cfg);
+    EXPECT_GT(row.improvement_pct, 0.0);
+}
+
+TEST(CompareRuntime, PrunedBeatsBruteAndStaysExact) {
+    cells::Library lib = cells::Library::standard_180nm();
+    RuntimeComparisonConfig cfg;
+    cfg.iterations = 3;
+    cfg.verify_equal = true;  // throws on any divergence
+    const RuntimeComparisonResult result = compare_runtime("c432", lib, cfg);
+
+    EXPECT_EQ(result.per_iteration.size(), 3u);
+    EXPECT_EQ(result.brute_seconds.count(), 3u);
+    EXPECT_GT(result.brute_seconds.mean(), 0.0);
+    EXPECT_GT(result.pruned_seconds.mean(), 0.0);
+    // Pruning must win on average on a 200-node circuit.
+    EXPECT_GT(result.improvement_factor.mean(), 1.0);
+    // The paper reports ~55/56 candidates pruned; ours is similarly high.
+    EXPECT_GT(result.pruned_fraction.mean(), 0.5);
+}
+
+TEST(CompareRuntime, ConeTimingOptional) {
+    cells::Library lib = cells::Library::standard_180nm();
+    RuntimeComparisonConfig cfg;
+    cfg.iterations = 2;
+    cfg.time_cone = true;
+    const RuntimeComparisonResult result = compare_runtime("c17", lib, cfg);
+    for (const auto& timing : result.per_iteration)
+        EXPECT_GT(timing.cone_seconds, 0.0);
+}
+
+TEST(CompareRuntime, UnknownCircuitThrows) {
+    cells::Library lib = cells::Library::standard_180nm();
+    RuntimeComparisonConfig cfg;
+    EXPECT_THROW((void)compare_runtime("c9999", lib, cfg), ConfigError);
+}
+
+}  // namespace
+}  // namespace statim::core

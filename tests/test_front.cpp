@@ -1,0 +1,165 @@
+// Unit tests for TrialResize and PerturbationFront: RAII restoration,
+// sensitivity agreement with a from-scratch SSTA, bound monotonicity
+// (Theorem 4 end-to-end), and dead-front handling.
+#include <gtest/gtest.h>
+
+#include "core/front.hpp"
+#include "core/trial_resize.hpp"
+#include "netlist/iscas.hpp"
+#include "prob/ops.hpp"
+
+namespace statim::core {
+namespace {
+
+using netlist::Netlist;
+using netlist::TimingGraph;
+
+/// Full SSTA with a live trial, into a scratch vector (reference result).
+prob::Pdf reference_sink(Context& ctx) {
+    const auto& graph = ctx.graph();
+    std::vector<prob::Pdf> scratch(graph.node_count());
+    scratch[TimingGraph::source().index()] = prob::Pdf::point(0);
+    const auto arrival_of = [&scratch](NodeId u) -> const prob::Pdf& {
+        return scratch[u.index()];
+    };
+    const auto delay_of = [&ctx](EdgeId e) -> const prob::Pdf& {
+        return ctx.edge_delays().pdf(e);
+    };
+    for (NodeId n : graph.topo_order()) {
+        if (n == TimingGraph::source()) continue;
+        scratch[n.index()] = ssta::compute_arrival(graph, n, arrival_of, delay_of);
+    }
+    return scratch[TimingGraph::sink().index()];
+}
+
+class FrontTest : public ::testing::Test {
+  protected:
+    FrontTest()
+        : lib_(cells::Library::standard_180nm()),
+          nl_(netlist::make_iscas("c17", lib_)),
+          ctx_(nl_, lib_) {
+        ctx_.run_ssta();
+    }
+
+    cells::Library lib_;
+    Netlist nl_;
+    Context ctx_;
+};
+
+TEST_F(FrontTest, TrialResizeRestoresEverythingBitwise) {
+    const GateId g{2};
+    const double width_before = nl_.gate(g).width;
+    const auto edges = ctx_.delay_calc().affected_edges(g);
+    std::vector<double> nominals_before;
+    std::vector<prob::Pdf> pdfs_before;
+    for (EdgeId e : edges) {
+        nominals_before.push_back(ctx_.delay_calc().edge_delay_ns(e));
+        pdfs_before.push_back(ctx_.edge_delays().pdf(e));
+    }
+    {
+        TrialResize trial(ctx_, g, 0.5);
+        EXPECT_DOUBLE_EQ(nl_.gate(g).width, width_before + 0.5);
+        EXPECT_NE(ctx_.delay_calc().edge_delay_ns(edges[0]), nominals_before[0]);
+        EXPECT_FALSE(ctx_.edge_delays().pdf(edges[0]) == pdfs_before[0]);
+        EXPECT_EQ(trial.changed_edges(), edges);
+    }
+    EXPECT_DOUBLE_EQ(nl_.gate(g).width, width_before);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ctx_.delay_calc().edge_delay_ns(edges[i]), nominals_before[i]);
+        EXPECT_EQ(ctx_.edge_delays().pdf(edges[i]), pdfs_before[i]);
+    }
+}
+
+TEST_F(FrontTest, SensitivityMatchesFullReferenceForEveryGate) {
+    const Objective obj = Objective::percentile(0.99);
+    const double dt = ctx_.grid().dt_ns();
+    const double base = obj.eval_bins(ctx_.engine().sink_arrival());
+
+    for (std::size_t gi = 0; gi < nl_.gate_count(); ++gi) {
+        const GateId g{static_cast<std::uint32_t>(gi)};
+        TrialResize trial(ctx_, g, 0.25);
+        const prob::Pdf ref_sink = reference_sink(ctx_);
+        const double ref_sens = (base - obj.eval_bins(ref_sink)) * dt / 0.25;
+
+        PerturbationFront front(ctx_, obj, trial);
+        while (!front.completed()) front.propagate_one_level(ctx_);
+        EXPECT_DOUBLE_EQ(front.sensitivity(), ref_sens) << "gate " << gi;
+        if (front.sink_pdf().valid())
+            EXPECT_EQ(front.sink_pdf(), ref_sink) << "gate " << gi;
+    }
+}
+
+TEST_F(FrontTest, BoundIsMonotoneAndDominatesFinalSensitivity) {
+    const Objective obj = Objective::percentile(0.99);
+    // One bin of bound movement, in sensitivity units (FP knot ties).
+    const double bin_slack = ctx_.grid().dt_ns() / 0.25;
+    for (std::size_t gi = 0; gi < nl_.gate_count(); ++gi) {
+        const GateId g{static_cast<std::uint32_t>(gi)};
+        TrialResize trial(ctx_, g, 0.25);
+        PerturbationFront front(ctx_, obj, trial);
+        std::vector<double> bounds;
+        while (!front.completed()) {
+            bounds.push_back(front.bound_sensitivity());
+            front.propagate_one_level(ctx_);
+        }
+        for (std::size_t i = 1; i < bounds.size(); ++i)
+            EXPECT_LE(bounds[i], bounds[i - 1] + bin_slack + 1e-12) << "gate " << gi;
+        for (double b : bounds)
+            EXPECT_GE(b, front.sensitivity() - 1e-9) << "gate " << gi;
+    }
+}
+
+TEST_F(FrontTest, RequiresSstaBeforeConstruction) {
+    Netlist nl = netlist::make_iscas("c17", lib_);
+    Context fresh(nl, lib_);
+    TrialResize trial(fresh, GateId{0}, 0.25);
+    EXPECT_THROW((PerturbationFront{fresh, Objective{}, trial}), ConfigError);
+}
+
+TEST(FrontDeadPath, PerturbationAbsorbedByDominatingSideInput) {
+    // y = NAND2(m, e) where e arrives via a 7-inverter chain and m via a
+    // single inverter: even at ±3σ the two branch supports are disjoint,
+    // so resizing g1 (driving m) perturbs m but never the max at y. The
+    // front must die with sensitivity exactly 0.
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl("deadpath");
+    const NetId a = nl.add_net("a");
+    const NetId b = nl.add_net("b");
+    const NetId m = nl.add_net("m");
+    const NetId y = nl.add_net("y");
+    nl.mark_primary_input(a);
+    nl.mark_primary_input(b);
+    const CellId inv = lib.require("INV");
+    const GateId g1 = nl.add_gate("g1", inv, {a}, m);
+    NetId prev = b;
+    for (int s = 0; s < 7; ++s) {
+        const NetId next = nl.add_net("c" + std::to_string(s));
+        (void)nl.add_gate("chain" + std::to_string(s), inv, {prev}, next);
+        prev = next;
+    }
+    const NetId e = prev;
+    (void)nl.add_gate("g5", lib.require("NAND2"), {m, e}, y);
+    nl.mark_primary_output(y);
+    nl.validate(lib);
+
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    TrialResize trial(ctx, g1, 0.25);
+    PerturbationFront front(ctx, Objective::percentile(0.99), trial);
+    while (!front.completed()) front.propagate_one_level(ctx);
+    EXPECT_DOUBLE_EQ(front.sensitivity(), 0.0);
+    EXPECT_FALSE(front.sink_pdf().valid());  // died before the sink
+    EXPECT_GE(front.stats().dead_drops, 1u);
+}
+
+TEST_F(FrontTest, StatsArepopulated) {
+    TrialResize trial(ctx_, GateId{0}, 0.25);
+    PerturbationFront front(ctx_, Objective::percentile(0.99), trial);
+    while (!front.completed()) front.propagate_one_level(ctx_);
+    EXPECT_GT(front.stats().nodes_computed, 0u);
+    EXPECT_GT(front.stats().levels_stepped, 0u);
+    EXPECT_EQ(front.gate(), GateId{0});
+}
+
+}  // namespace
+}  // namespace statim::core

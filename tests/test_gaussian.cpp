@@ -1,0 +1,118 @@
+// Unit tests for the truncated-Gaussian discretization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/gaussian.hpp"
+#include "util/error.hpp"
+
+namespace statim::prob {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+    EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-9);
+    EXPECT_NEAR(normal_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-9);
+    EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-9);
+}
+
+TEST(TruncatedGaussian, MassSumsToOne) {
+    const TimeGrid grid(0.001);
+    const Pdf p = truncated_gaussian(grid, 0.5, 0.05, 3.0);
+    double total = 0.0;
+    for (double m : p.mass()) total += m;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TruncatedGaussian, MeanMatchesNominal) {
+    const TimeGrid grid(0.001);
+    const Pdf p = truncated_gaussian(grid, 0.5, 0.05, 3.0);
+    EXPECT_NEAR(grid.time_of(p.mean_bins()), 0.5, 1e-3);
+}
+
+TEST(TruncatedGaussian, SigmaShrinksUnderTruncation) {
+    // Var of a ±3σ-truncated normal is ~0.973 σ²; discretization adds
+    // ~dt²/12, negligible at this pitch.
+    const TimeGrid grid(0.0005);
+    const double sigma = 0.05;
+    const Pdf p = truncated_gaussian(grid, 0.5, sigma, 3.0);
+    const double sd = grid.dt_ns() * std::sqrt(p.variance_bins());
+    EXPECT_NEAR(sd, 0.9733 * sigma, 0.002);
+}
+
+TEST(TruncatedGaussian, SupportRespectsTruncation) {
+    const TimeGrid grid(0.001);
+    const double mean = 0.5, sigma = 0.05, k = 3.0;
+    const Pdf p = truncated_gaussian(grid, mean, sigma, k);
+    EXPECT_GE(grid.time_of(static_cast<double>(p.first_bin())), mean - k * sigma - grid.dt_ns());
+    EXPECT_LE(grid.time_of(static_cast<double>(p.last_bin())), mean + k * sigma + grid.dt_ns());
+}
+
+TEST(TruncatedGaussian, SymmetricAroundMean) {
+    const TimeGrid grid(0.001);
+    const Pdf p = truncated_gaussian(grid, 0.5, 0.05, 3.0);
+    const auto mass = p.mass();
+    for (std::size_t i = 0; i < mass.size() / 2; ++i)
+        EXPECT_NEAR(mass[i], mass[mass.size() - 1 - i], 1e-9);
+}
+
+TEST(TruncatedGaussian, ZeroSigmaIsPoint) {
+    const TimeGrid grid(0.001);
+    const Pdf p = truncated_gaussian(grid, 0.1234, 0.0, 3.0);
+    EXPECT_TRUE(p.is_point());
+    EXPECT_EQ(p.first_bin(), grid.bin_of(0.1234));
+}
+
+TEST(TruncatedGaussian, CoarseGridDegeneratesGracefully) {
+    // Support narrower than one bin: at most two bins straddling the mean
+    // (a mean on a bin boundary splits its mass), still summing to 1.
+    const TimeGrid grid(1.0);
+    const Pdf p = truncated_gaussian(grid, 0.5, 0.01, 3.0);
+    EXPECT_LE(p.size(), 2u);
+    EXPECT_NEAR(grid.time_of(p.mean_bins()), 0.5, grid.dt_ns());
+    // A mean well inside a bin gives a genuine point mass.
+    const Pdf q = truncated_gaussian(grid, 2.0, 0.01, 3.0);
+    EXPECT_TRUE(q.is_point());
+    EXPECT_EQ(q.first_bin(), 2);
+}
+
+TEST(TruncatedGaussian, PercentilesMatchAnalyticQuantiles) {
+    const TimeGrid grid(0.0002);
+    const double mean = 1.0, sigma = 0.1;
+    const Pdf p = truncated_gaussian(grid, mean, sigma, 3.0);
+    // Median of a symmetric truncated normal is the mean.
+    EXPECT_NEAR(grid.time_of(p.percentile_bin(0.5)), mean, 2e-3);
+    // The 0.9986.. point of the untruncated normal maps to +3σ; the
+    // truncated 99.9% point must be below that.
+    EXPECT_LE(grid.time_of(p.percentile_bin(0.999)), mean + 3 * sigma + grid.dt_ns());
+    EXPECT_GE(grid.time_of(p.percentile_bin(0.999)), mean + 2 * sigma);
+}
+
+TEST(TruncatedGaussian, NoInteriorZeroMass) {
+    const TimeGrid grid(0.0005);
+    const Pdf p = truncated_gaussian(grid, 0.3, 0.03, 3.0);
+    for (double m : p.mass()) EXPECT_GT(m, 0.0);
+}
+
+TEST(TruncatedGaussian, RejectsNonFinite) {
+    const TimeGrid grid(0.001);
+    EXPECT_THROW((void)truncated_gaussian(grid, std::nan(""), 0.1, 3.0), ConfigError);
+    EXPECT_THROW((void)truncated_gaussian(grid, 1.0, std::nan(""), 3.0), ConfigError);
+}
+
+TEST(TimeGrid, BinRoundTrips) {
+    const TimeGrid grid(0.002);
+    EXPECT_EQ(grid.bin_of(0.0), 0);
+    EXPECT_EQ(grid.bin_of(0.0031), 2);  // nearest
+    EXPECT_EQ(grid.bin_of(-0.0031), -2);
+    EXPECT_DOUBLE_EQ(grid.time_of(5.0), 0.01);
+}
+
+TEST(TimeGrid, RejectsBadPitch) {
+    EXPECT_THROW(TimeGrid(0.0), ConfigError);
+    EXPECT_THROW(TimeGrid(-1.0), ConfigError);
+    EXPECT_THROW(TimeGrid(std::nan("")), ConfigError);
+}
+
+}  // namespace
+}  // namespace statim::prob

@@ -1,0 +1,149 @@
+// Unit tests for the synthetic ISCAS-like circuit generator: every paper
+// circuit must hit its published timing-graph node/edge counts exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/iscas.hpp"
+#include "netlist/timing_graph.hpp"
+
+namespace statim::netlist {
+namespace {
+
+class GeneratorCircuits : public ::testing::TestWithParam<IscasInfo> {
+  protected:
+    cells::Library lib_ = cells::Library::standard_180nm();
+};
+
+TEST_P(GeneratorCircuits, MatchesPaperCounts) {
+    const IscasInfo& info = GetParam();
+    Netlist nl = make_iscas(info.name, lib_);
+    const TimingGraph graph(nl);
+    EXPECT_EQ(graph.node_count(), static_cast<std::size_t>(info.nodes));
+    EXPECT_EQ(graph.edge_count(), static_cast<std::size_t>(info.edges));
+    EXPECT_EQ(nl.primary_inputs().size(), static_cast<std::size_t>(info.inputs));
+    EXPECT_EQ(nl.primary_outputs().size(), static_cast<std::size_t>(info.outputs));
+}
+
+TEST_P(GeneratorCircuits, PassesValidation) {
+    Netlist nl = make_iscas(GetParam().name, lib_);
+    EXPECT_NO_THROW(nl.validate(lib_));
+}
+
+TEST_P(GeneratorCircuits, DepthIsRealistic) {
+    Netlist nl = make_iscas(GetParam().name, lib_);
+    const TimingGraph graph(nl);
+    // Graph levels = gate depth + 3 (source, PI, sink layers); the
+    // generator aims at `depth` gate levels and may compress slightly.
+    const int depth = GetParam().depth;
+    EXPECT_GE(static_cast<int>(graph.num_levels()), depth / 2);
+    EXPECT_LE(static_cast<int>(graph.num_levels()), depth + 4);
+}
+
+TEST_P(GeneratorCircuits, FaninWithinLibraryRange) {
+    Netlist nl = make_iscas(GetParam().name, lib_);
+    for (const Gate& g : nl.gates()) {
+        EXPECT_GE(g.fanin.size(), 1u);
+        EXPECT_LE(g.fanin.size(), 4u);
+    }
+}
+
+TEST_P(GeneratorCircuits, DeterministicForName) {
+    const std::string& name = GetParam().name;
+    Netlist a = make_iscas(name, lib_);
+    Netlist b = make_iscas(name, lib_);
+    std::ostringstream ta, tb;
+    write_bench(ta, a, lib_);
+    write_bench(tb, b, lib_);
+    EXPECT_EQ(ta.str(), tb.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaperCircuits, GeneratorCircuits,
+                         ::testing::ValuesIn(iscas85_info()),
+                         [](const ::testing::TestParamInfo<IscasInfo>& info) {
+                             return info.param.name;
+                         });
+
+TEST(GeneratorSpecValidation, RejectsInfeasibleSpecs) {
+    GeneratorSpec spec;
+    spec.name = "bad";
+    spec.num_inputs = 4;
+    spec.num_outputs = 2;
+    spec.num_gates = 10;
+    spec.fanin_sum = 20;
+    spec.depth = 5;
+    EXPECT_NO_THROW(spec.validate());
+
+    GeneratorSpec s = spec;
+    s.num_outputs = 11;  // more POs than gates
+    EXPECT_THROW(s.validate(), ConfigError);
+
+    s = spec;
+    s.fanin_sum = 9;  // < gates
+    EXPECT_THROW(s.validate(), ConfigError);
+
+    s = spec;
+    s.fanin_sum = 41;  // > 4*gates
+    EXPECT_THROW(s.validate(), ConfigError);
+
+    s = spec;
+    s.fanin_sum = 10;  // cannot cover 4 + 10 - 2 internal nets
+    EXPECT_THROW(s.validate(), ConfigError);
+
+    s = spec;
+    s.depth = 11;  // deeper than gate count
+    EXPECT_THROW(s.validate(), ConfigError);
+
+    s = spec;
+    s.name.clear();
+    EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(GeneratorSpecValidation, SeedChangesWiring) {
+    cells::Library lib = cells::Library::standard_180nm();
+    GeneratorSpec spec;
+    spec.name = "seeded";
+    spec.num_inputs = 8;
+    spec.num_outputs = 4;
+    spec.num_gates = 60;
+    spec.fanin_sum = 120;
+    spec.depth = 8;
+    spec.seed = 1;
+    Netlist a = generate_circuit(spec, lib);
+    spec.seed = 2;
+    Netlist b = generate_circuit(spec, lib);
+    std::ostringstream ta, tb;
+    write_bench(ta, a, lib);
+    write_bench(tb, b, lib);
+    EXPECT_NE(ta.str(), tb.str());
+}
+
+TEST(GeneratorSpecValidation, TinySpecWorks) {
+    cells::Library lib = cells::Library::standard_180nm();
+    GeneratorSpec spec;
+    spec.name = "tiny";
+    spec.num_inputs = 2;
+    spec.num_outputs = 1;
+    spec.num_gates = 3;
+    spec.fanin_sum = 5;
+    spec.depth = 2;
+    Netlist nl = generate_circuit(spec, lib);
+    const TimingGraph graph(nl);
+    EXPECT_EQ(graph.node_count(), 2u + 2u + 3u);
+    EXPECT_EQ(graph.edge_count(), 5u + 2u + 1u);
+}
+
+TEST(IscasRegistry, NamesAndLookup) {
+    const auto names = iscas_names();
+    EXPECT_EQ(names.size(), 11u);  // c17 + ten paper circuits
+    EXPECT_EQ(names.front(), "c17");
+    EXPECT_EQ(iscas85_info("c6288").depth, 124);
+    EXPECT_THROW((void)iscas85_info("c9999"), ConfigError);
+    cells::Library lib = cells::Library::standard_180nm();
+    EXPECT_THROW((void)make_iscas("c9999", lib), ConfigError);
+}
+
+}  // namespace
+}  // namespace statim::netlist

@@ -1,0 +1,71 @@
+// Unit tests for the approximate beam selector (the paper's future-work
+// heuristic for fast most-sensitive-gate identification).
+#include <gtest/gtest.h>
+
+#include "core/selector.hpp"
+#include "netlist/iscas.hpp"
+
+namespace statim::core {
+namespace {
+
+using netlist::Netlist;
+
+class HeuristicTest : public ::testing::Test {
+  protected:
+    HeuristicTest()
+        : lib_(cells::Library::standard_180nm()),
+          nl_(netlist::make_iscas("c432", lib_)),
+          ctx_(nl_, lib_) {
+        ctx_.run_ssta();
+    }
+
+    cells::Library lib_;
+    Netlist nl_;
+    Context ctx_;
+    SelectorConfig sel_{Objective::percentile(0.99), 0.25, 16.0};
+};
+
+TEST_F(HeuristicTest, FullBeamEqualsExactSelection) {
+    const Selection exact = select_pruned(ctx_, sel_);
+    const Selection heur = select_heuristic(ctx_, sel_, nl_.gate_count());
+    EXPECT_EQ(heur.gate, exact.gate);
+    EXPECT_DOUBLE_EQ(heur.sensitivity, exact.sensitivity);
+}
+
+TEST_F(HeuristicTest, SmallBeamReturnsGoodCandidateFast) {
+    const Selection exact = select_pruned(ctx_, sel_);
+    const Selection heur = select_heuristic(ctx_, sel_, 8);
+    ASSERT_TRUE(heur.gate.is_valid());
+    EXPECT_GT(heur.sensitivity, 0.0);
+    // Never better than exact; usually close (>= 50% here is a loose floor
+    // that still catches gross regressions).
+    EXPECT_LE(heur.sensitivity, exact.sensitivity);
+    EXPECT_GE(heur.sensitivity, 0.5 * exact.sensitivity);
+    // And it must do less work than exhaustive completion: accounting
+    // covers every candidate, with all but the beam pruned unexplored.
+    EXPECT_EQ(heur.stats.completed + heur.stats.died + heur.stats.pruned,
+              heur.stats.candidates);
+    EXPECT_GE(heur.stats.pruned, heur.stats.candidates - 8);
+}
+
+TEST_F(HeuristicTest, BeamOneCompletesOnlyTheTopBoundFront) {
+    const Selection heur = select_heuristic(ctx_, sel_, 1);
+    EXPECT_TRUE(heur.gate.is_valid());
+    EXPECT_EQ(heur.stats.completed + heur.stats.died, 1u);
+}
+
+TEST_F(HeuristicTest, ZeroBeamThrows) {
+    EXPECT_THROW((void)select_heuristic(ctx_, sel_, 0), ConfigError);
+}
+
+TEST_F(HeuristicTest, QualityImprovesWithBeam) {
+    double last = 0.0;
+    for (std::size_t beam : {1u, 4u, 16u, 64u}) {
+        const Selection heur = select_heuristic(ctx_, sel_, beam);
+        EXPECT_GE(heur.sensitivity, last - 1e-15) << "beam " << beam;
+        last = heur.sensitivity;
+    }
+}
+
+}  // namespace
+}  // namespace statim::core

@@ -1,0 +1,107 @@
+// Unit tests for the Monte Carlo reference engine.
+#include <gtest/gtest.h>
+
+#include "mc/monte_carlo.hpp"
+#include "netlist/iscas.hpp"
+#include "netlist/timing_graph.hpp"
+#include "sta/sta.hpp"
+
+namespace statim::mc {
+namespace {
+
+class McTest : public ::testing::Test {
+  protected:
+    McTest()
+        : lib_(cells::Library::standard_180nm()),
+          nl_(netlist::make_iscas("c17", lib_)),
+          graph_(nl_),
+          dc_(graph_, lib_) {}
+
+    cells::Library lib_;
+    netlist::Netlist nl_;
+    netlist::TimingGraph graph_;
+    sta::DelayCalc dc_;
+};
+
+TEST_F(McTest, DeterministicForSeed) {
+    const McResult a = run_monte_carlo(dc_, {500, 42});
+    const McResult b = run_monte_carlo(dc_, {500, 42});
+    EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST_F(McTest, SeedChangesSamples) {
+    const McResult a = run_monte_carlo(dc_, {500, 42});
+    const McResult b = run_monte_carlo(dc_, {500, 43});
+    EXPECT_NE(a.samples(), b.samples());
+}
+
+TEST_F(McTest, SamplesWithinTruncationEnvelope) {
+    // Each edge delay lies in [0.7, 1.3] x nominal (±3σ at σ = 10%), so
+    // every sampled circuit delay lies within the same factor of nominal.
+    std::vector<double> arrival;
+    const double nominal = sta::run_arrival(dc_, arrival);
+    const McResult mc = run_monte_carlo(dc_, {2000, 7});
+    EXPECT_GE(mc.min_ns(), 0.7 * nominal - 1e-12);
+    EXPECT_LE(mc.max_ns(), 1.3 * nominal + 1e-12);
+}
+
+TEST_F(McTest, MeanExceedsNominalUnderMaxing) {
+    // E[max] >= max[E] for the reconvergent c17: the MC mean should be at
+    // or above the nominal critical delay (up to noise).
+    std::vector<double> arrival;
+    const double nominal = sta::run_arrival(dc_, arrival);
+    const McResult mc = run_monte_carlo(dc_, {8000, 17});
+    EXPECT_GE(mc.mean_ns(), nominal * 0.98);
+}
+
+TEST_F(McTest, PercentilesMonotone) {
+    const McResult mc = run_monte_carlo(dc_, {2000, 5});
+    double prev = mc.percentile_ns(0.01);
+    for (double p = 0.05; p <= 1.0; p += 0.05) {
+        const double t = mc.percentile_ns(p);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+    EXPECT_DOUBLE_EQ(mc.percentile_ns(1.0), mc.max_ns());
+}
+
+TEST_F(McTest, YieldMatchesPercentileInverse) {
+    const McResult mc = run_monte_carlo(dc_, {4000, 3});
+    const double t95 = mc.percentile_ns(0.95);
+    EXPECT_NEAR(mc.yield_at(t95), 0.95, 0.02);
+    EXPECT_DOUBLE_EQ(mc.yield_at(mc.max_ns()), 1.0);
+    EXPECT_DOUBLE_EQ(mc.yield_at(0.0), 0.0);
+}
+
+TEST_F(McTest, ZeroSigmaCollapsesToNominal) {
+    cells::Library lib0 = cells::Library::standard_180nm();
+    lib0.set_sigma_fraction(0.0);
+    netlist::Netlist nl0 = netlist::make_iscas("c17", lib0);
+    const netlist::TimingGraph g0(nl0);
+    const sta::DelayCalc dc0(g0, lib0);
+    std::vector<double> arrival;
+    const double nominal = sta::run_arrival(dc0, arrival);
+    const McResult mc = run_monte_carlo(dc0, {100, 1});
+    EXPECT_NEAR(mc.min_ns(), nominal, 1e-12);
+    EXPECT_NEAR(mc.max_ns(), nominal, 1e-12);
+    EXPECT_NEAR(mc.stddev_ns(), 0.0, 1e-12);
+}
+
+TEST_F(McTest, ConfigValidation) {
+    EXPECT_THROW((void)run_monte_carlo(dc_, {0, 1}), ConfigError);
+    EXPECT_THROW((void)McResult(std::vector<double>{}), ConfigError);
+    const McResult mc = run_monte_carlo(dc_, {100, 1});
+    EXPECT_THROW((void)mc.percentile_ns(0.0), ConfigError);
+    EXPECT_THROW((void)mc.percentile_ns(1.5), ConfigError);
+}
+
+TEST_F(McTest, StatsAreInternallyConsistent) {
+    const McResult mc = run_monte_carlo(dc_, {3000, 11});
+    EXPECT_EQ(mc.sample_count(), 3000u);
+    EXPECT_GE(mc.mean_ns(), mc.min_ns());
+    EXPECT_LE(mc.mean_ns(), mc.max_ns());
+    EXPECT_GT(mc.stddev_ns(), 0.0);
+}
+
+}  // namespace
+}  // namespace statim::mc

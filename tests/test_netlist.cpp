@@ -1,0 +1,158 @@
+// Unit tests for the netlist builder and its structural validation.
+#include <gtest/gtest.h>
+
+#include "cells/library.hpp"
+#include "netlist/netlist.hpp"
+#include "util/error.hpp"
+
+namespace statim::netlist {
+namespace {
+
+class NetlistTest : public ::testing::Test {
+  protected:
+    cells::Library lib_ = cells::Library::standard_180nm();
+    CellId inv_ = lib_.require("INV");
+    CellId nand2_ = lib_.require("NAND2");
+};
+
+TEST_F(NetlistTest, BuildSmallCircuit) {
+    Netlist nl("tiny");
+    const NetId a = nl.add_net("a");
+    const NetId b = nl.add_net("b");
+    const NetId y = nl.add_net("y");
+    nl.mark_primary_input(a);
+    nl.mark_primary_input(b);
+    const GateId g = nl.add_gate("g1", nand2_, {a, b}, y);
+    nl.mark_primary_output(y);
+
+    EXPECT_EQ(nl.gate_count(), 1u);
+    EXPECT_EQ(nl.net_count(), 3u);
+    EXPECT_EQ(nl.gate(g).output, y);
+    EXPECT_EQ(nl.net(y).driver, g);
+    ASSERT_EQ(nl.net(a).sinks.size(), 1u);
+    EXPECT_EQ(nl.net(a).sinks[0], g);
+    EXPECT_NO_THROW(nl.validate(lib_));
+}
+
+TEST_F(NetlistTest, DuplicateNetNameRejected) {
+    Netlist nl;
+    (void)nl.add_net("x");
+    EXPECT_THROW((void)nl.add_net("x"), NetlistError);
+    EXPECT_THROW((void)nl.add_net(""), NetlistError);
+}
+
+TEST_F(NetlistTest, DoubleDriverRejected) {
+    Netlist nl;
+    const NetId a = nl.add_net("a");
+    const NetId y = nl.add_net("y");
+    nl.mark_primary_input(a);
+    (void)nl.add_gate("g1", inv_, {a}, y);
+    EXPECT_THROW((void)nl.add_gate("g2", inv_, {a}, y), NetlistError);
+}
+
+TEST_F(NetlistTest, DuplicateFaninRejected) {
+    Netlist nl;
+    const NetId a = nl.add_net("a");
+    const NetId y = nl.add_net("y");
+    EXPECT_THROW((void)nl.add_gate("g", nand2_, {a, a}, y), NetlistError);
+}
+
+TEST_F(NetlistTest, SelfLoopRejected) {
+    Netlist nl;
+    const NetId y = nl.add_net("y");
+    EXPECT_THROW((void)nl.add_gate("g", inv_, {y}, y), NetlistError);
+}
+
+TEST_F(NetlistTest, PrimaryInputWithDriverRejected) {
+    Netlist nl;
+    const NetId a = nl.add_net("a");
+    const NetId y = nl.add_net("y");
+    nl.mark_primary_input(a);
+    (void)nl.add_gate("g", inv_, {a}, y);
+    EXPECT_THROW(nl.mark_primary_input(y), NetlistError);
+}
+
+TEST_F(NetlistTest, ValidateCatchesFaninMismatch) {
+    Netlist nl;
+    const NetId a = nl.add_net("a");
+    const NetId y = nl.add_net("y");
+    nl.mark_primary_input(a);
+    (void)nl.add_gate("g", nand2_, {a}, y);  // NAND2 with one input
+    nl.mark_primary_output(y);
+    EXPECT_THROW(nl.validate(lib_), NetlistError);
+}
+
+TEST_F(NetlistTest, ValidateCatchesUndrivenNet) {
+    Netlist nl;
+    const NetId a = nl.add_net("a");  // never marked PI, never driven
+    const NetId y = nl.add_net("y");
+    (void)nl.add_gate("g", inv_, {a}, y);
+    nl.mark_primary_output(y);
+    EXPECT_THROW(nl.validate(lib_), NetlistError);
+}
+
+TEST_F(NetlistTest, ValidateCatchesDanglingNet) {
+    Netlist nl;
+    const NetId a = nl.add_net("a");
+    const NetId y = nl.add_net("y");  // no sink, not PO
+    nl.mark_primary_input(a);
+    (void)nl.add_gate("g", inv_, {a}, y);
+    EXPECT_THROW(nl.validate(lib_), NetlistError);
+}
+
+TEST_F(NetlistTest, ValidateCatchesCycle) {
+    Netlist nl;
+    const NetId a = nl.add_net("a");
+    const NetId x = nl.add_net("x");
+    const NetId y = nl.add_net("y");
+    nl.mark_primary_input(a);
+    (void)nl.add_gate("g1", nand2_, {a, y}, x);
+    (void)nl.add_gate("g2", inv_, {x}, y);
+    nl.mark_primary_output(y);
+    EXPECT_THROW(nl.validate(lib_), NetlistError);
+}
+
+TEST_F(NetlistTest, ValidateRequiresTerminals) {
+    Netlist nl;
+    const NetId a = nl.add_net("a");
+    const NetId y = nl.add_net("y");
+    nl.mark_primary_input(a);
+    (void)nl.add_gate("g", inv_, {a}, y);
+    EXPECT_THROW(nl.validate(lib_), NetlistError);  // no PO
+}
+
+TEST_F(NetlistTest, TotalsScaleWithWidth) {
+    Netlist nl;
+    const NetId a = nl.add_net("a");
+    const NetId y = nl.add_net("y");
+    const NetId z = nl.add_net("z");
+    nl.mark_primary_input(a);
+    (void)nl.add_gate("g1", inv_, {a}, y);
+    (void)nl.add_gate("g2", inv_, {y}, z);
+    nl.mark_primary_output(z);
+
+    const double area1 = nl.total_area(lib_);
+    EXPECT_DOUBLE_EQ(nl.total_width(), 2.0);
+    nl.set_uniform_width(2.0);
+    EXPECT_DOUBLE_EQ(nl.total_width(), 4.0);
+    EXPECT_DOUBLE_EQ(nl.total_area(lib_), 2.0 * area1);
+    EXPECT_THROW(nl.set_uniform_width(0.0), NetlistError);
+}
+
+TEST_F(NetlistTest, FindNet) {
+    Netlist nl;
+    const NetId a = nl.add_net("alpha");
+    EXPECT_EQ(nl.find_net("alpha"), a);
+    EXPECT_FALSE(nl.find_net("beta").is_valid());
+}
+
+TEST_F(NetlistTest, MarkPrimaryOutputIdempotent) {
+    Netlist nl;
+    const NetId a = nl.add_net("a");
+    nl.mark_primary_output(a);
+    nl.mark_primary_output(a);
+    EXPECT_EQ(nl.primary_outputs().size(), 1u);
+}
+
+}  // namespace
+}  // namespace statim::netlist

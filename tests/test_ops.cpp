@@ -1,0 +1,235 @@
+// Unit tests for prob ops: convolution, statistical max, Δ metric, KS.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/gaussian.hpp"
+#include "prob/ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace statim::prob {
+namespace {
+
+Pdf random_pdf(Rng& rng, int max_len = 24, std::int64_t offset_span = 50) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(1, max_len));
+    std::vector<double> mass(len);
+    for (double& m : mass) m = rng.uniform(0.01, 1.0);  // contiguous support
+    return Pdf::from_mass(rng.uniform_int(-offset_span, offset_span), std::move(mass));
+}
+
+TEST(Convolve, PointPlusPointIsShiftedPoint) {
+    const Pdf c = convolve(Pdf::point(3), Pdf::point(-5));
+    EXPECT_TRUE(c.is_point());
+    EXPECT_EQ(c.first_bin(), -2);
+}
+
+TEST(Convolve, MeansAndVariancesAdd) {
+    Rng rng(101);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Pdf a = random_pdf(rng);
+        const Pdf b = random_pdf(rng);
+        const Pdf c = convolve(a, b);
+        EXPECT_NEAR(c.mean_bins(), a.mean_bins() + b.mean_bins(), 1e-9);
+        EXPECT_NEAR(c.variance_bins(), a.variance_bins() + b.variance_bins(), 1e-8);
+    }
+}
+
+TEST(Convolve, SupportIsMinkowskiSum) {
+    const Pdf a = Pdf::from_mass(2, {1.0, 1.0, 1.0});
+    const Pdf b = Pdf::from_mass(-1, {1.0, 1.0});
+    const Pdf c = convolve(a, b);
+    EXPECT_EQ(c.first_bin(), 1);
+    EXPECT_EQ(c.last_bin(), 4);
+    EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(Convolve, CommutativeUpToRounding) {
+    // Swapping operands changes the floating-point accumulation order, so
+    // equality is near-exact, not bitwise (the engines never rely on it:
+    // they always convolve (arrival, delay) in that order).
+    Rng rng(103);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Pdf a = random_pdf(rng);
+        const Pdf b = random_pdf(rng);
+        const Pdf ab = convolve(a, b);
+        const Pdf ba = convolve(b, a);
+        ASSERT_EQ(ab.first_bin(), ba.first_bin());
+        ASSERT_EQ(ab.size(), ba.size());
+        for (std::size_t k = 0; k < ab.size(); ++k)
+            EXPECT_NEAR(ab.mass()[k], ba.mass()[k], 1e-12);
+    }
+}
+
+TEST(Convolve, InvalidOperandThrows) {
+    EXPECT_THROW((void)convolve(Pdf{}, Pdf::point(0)), ConfigError);
+}
+
+TEST(StatMax, PointsBehaveLikeScalarMax) {
+    const Pdf m = stat_max(Pdf::point(4), Pdf::point(9));
+    EXPECT_TRUE(m.is_point());
+    EXPECT_EQ(m.first_bin(), 9);
+}
+
+TEST(StatMax, DominatedOperandIsAbsorbed) {
+    // b lies entirely above a: max(a, b) == b.
+    const Pdf a = Pdf::from_mass(0, {0.3, 0.7});
+    const Pdf b = Pdf::from_mass(10, {0.5, 0.5});
+    EXPECT_EQ(stat_max(a, b), b);
+    EXPECT_EQ(stat_max(b, a), b);
+}
+
+TEST(StatMax, CdfIsProductOfCdfs) {
+    Rng rng(107);
+    for (int trial = 0; trial < 30; ++trial) {
+        const Pdf a = random_pdf(rng);
+        const Pdf b = random_pdf(rng);
+        const Pdf m = stat_max(a, b);
+        for (std::int64_t t = m.first_bin() - 1; t <= m.last_bin() + 1; ++t)
+            EXPECT_NEAR(m.cdf_at(t), std::min(a.cdf_at(t) * b.cdf_at(t), 1.0), 1e-9)
+                << "trial " << trial << " t " << t;
+    }
+}
+
+TEST(StatMax, StochasticallyDominatesBothInputs) {
+    Rng rng(109);
+    for (int trial = 0; trial < 30; ++trial) {
+        const Pdf a = random_pdf(rng);
+        const Pdf b = random_pdf(rng);
+        const Pdf m = stat_max(a, b);
+        for (std::int64_t t = m.first_bin(); t <= m.last_bin(); ++t) {
+            EXPECT_LE(m.cdf_at(t), a.cdf_at(t) + 1e-12);
+            EXPECT_LE(m.cdf_at(t), b.cdf_at(t) + 1e-12);
+        }
+    }
+}
+
+TEST(StatMax, FoldMatchesPairwise) {
+    Rng rng(113);
+    const Pdf a = random_pdf(rng);
+    const Pdf b = random_pdf(rng);
+    const Pdf c = random_pdf(rng);
+    const std::vector<Pdf> all = {a, b, c};
+    EXPECT_EQ(stat_max(std::span<const Pdf>(all)), stat_max(stat_max(a, b), c));
+}
+
+TEST(StatMax, EmptySpanThrows) {
+    const std::vector<Pdf> none;
+    EXPECT_THROW((void)stat_max(std::span<const Pdf>(none)), ConfigError);
+}
+
+TEST(MaxPercentileShift, ExactForPureShifts) {
+    Rng rng(127);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Pdf a = random_pdf(rng);
+        Pdf b = a;
+        const auto shift = rng.uniform_int(-20, 20);
+        b.shift(-shift);  // b earlier by `shift` => improvement = shift
+        EXPECT_NEAR(max_percentile_shift(a, b), static_cast<double>(shift), 1e-9);
+    }
+}
+
+TEST(MaxPercentileShift, ZeroForIdenticalInputs) {
+    Rng rng(131);
+    const Pdf a = random_pdf(rng);
+    EXPECT_NEAR(max_percentile_shift(a, a), 0.0, 1e-12);
+}
+
+TEST(MaxPercentileShift, BoundsEveryPercentileDifference) {
+    Rng rng(137);
+    for (int trial = 0; trial < 40; ++trial) {
+        const Pdf a = random_pdf(rng);
+        const Pdf b = random_pdf(rng);
+        const double delta = max_percentile_shift(a, b);
+        for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0})
+            EXPECT_GE(delta + 1e-9, a.percentile_bin(p) - b.percentile_bin(p))
+                << "trial " << trial << " p " << p;
+    }
+}
+
+TEST(MaxPercentileShift, AntisymmetricSignConvention) {
+    // If b is strictly earlier than a, shift(a,b) > 0 and shift(b,a) < 0.
+    const Pdf a = Pdf::from_mass(10, {0.5, 0.5});
+    const Pdf b = Pdf::from_mass(0, {0.5, 0.5});
+    EXPECT_GT(max_percentile_shift(a, b), 0.0);
+    EXPECT_LT(max_percentile_shift(b, a), 0.0);
+}
+
+TEST(MaxPercentileShift, MatchesBruteForceScan) {
+    Rng rng(139);
+    for (int trial = 0; trial < 30; ++trial) {
+        const Pdf a = random_pdf(rng, 12, 10);
+        const Pdf b = random_pdf(rng, 12, 10);
+        const double fast = max_percentile_shift(a, b);
+        // Dense scan over p as the reference (knots are a superset of the
+        // maximizer candidates, so sampling can only undershoot).
+        double slow = -1e300;
+        for (double p = 1e-6; p <= 1.0; p += 1e-4)
+            slow = std::max(slow, a.percentile_bin(p) - b.percentile_bin(p));
+        EXPECT_GE(fast + 1e-9, slow);
+        EXPECT_NEAR(fast, slow, 0.05);  // dense grid approaches the knot max
+    }
+}
+
+TEST(MaxPercentileShiftBins, ExactForIntegerShifts) {
+    Rng rng(151);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Pdf a = random_pdf(rng);
+        Pdf b = a;
+        const auto shift = rng.uniform_int(-20, 20);
+        b.shift(-shift);
+        EXPECT_EQ(max_percentile_shift_bins(a, b), shift);
+    }
+}
+
+TEST(MaxPercentileShiftBins, DominatesInterpolatedWithinOneBin) {
+    Rng rng(157);
+    for (int trial = 0; trial < 60; ++trial) {
+        const Pdf a = random_pdf(rng);
+        const Pdf b = random_pdf(rng);
+        const double interp = max_percentile_shift(a, b);
+        const auto step = static_cast<double>(max_percentile_shift_bins(a, b));
+        EXPECT_LT(interp, step + 1.0 + 1e-9);
+        EXPECT_GT(interp, step - 1.0 - 1e-9);
+    }
+}
+
+TEST(MaxPercentileShiftBins, ExactlyMonotoneUnderConvolution) {
+    // Unlike the interpolated metric, the step metric never grows through
+    // a shared convolution — the basis of the pruning bound's soundness.
+    Rng rng(163);
+    for (int trial = 0; trial < 60; ++trial) {
+        const Pdf a = random_pdf(rng);
+        const Pdf b = random_pdf(rng);
+        const Pdf d = random_pdf(rng, 8);
+        const auto before = max_percentile_shift_bins(a, b);
+        const auto after = max_percentile_shift_bins(convolve(a, d), convolve(b, d));
+        EXPECT_LE(after, before) << "trial " << trial;
+    }
+}
+
+TEST(KsDistance, ZeroForIdentical) {
+    const Pdf a = Pdf::from_mass(0, {0.5, 0.5});
+    EXPECT_DOUBLE_EQ(ks_distance(a, a), 0.0);
+}
+
+TEST(KsDistance, OneForDisjointSupports) {
+    const Pdf a = Pdf::from_mass(0, {1.0});
+    const Pdf b = Pdf::from_mass(100, {1.0});
+    EXPECT_DOUBLE_EQ(ks_distance(a, b), 1.0);
+}
+
+TEST(KsDistance, SymmetricAndBounded) {
+    Rng rng(149);
+    for (int trial = 0; trial < 30; ++trial) {
+        const Pdf a = random_pdf(rng);
+        const Pdf b = random_pdf(rng);
+        const double d = ks_distance(a, b);
+        EXPECT_DOUBLE_EQ(d, ks_distance(b, a));
+        EXPECT_GE(d, 0.0);
+        EXPECT_LE(d, 1.0 + 1e-12);  // rounding can graze the top
+    }
+}
+
+}  // namespace
+}  // namespace statim::prob

@@ -1,0 +1,131 @@
+// Unit tests for prob::Pdf: construction, moments, percentiles, CDF.
+#include <gtest/gtest.h>
+
+#include "prob/pdf.hpp"
+#include "util/error.hpp"
+
+namespace statim::prob {
+namespace {
+
+TEST(Pdf, DefaultInvalid) {
+    Pdf p;
+    EXPECT_FALSE(p.valid());
+}
+
+TEST(Pdf, PointMass) {
+    const Pdf p = Pdf::point(42);
+    EXPECT_TRUE(p.valid());
+    EXPECT_TRUE(p.is_point());
+    EXPECT_EQ(p.first_bin(), 42);
+    EXPECT_EQ(p.last_bin(), 42);
+    EXPECT_DOUBLE_EQ(p.mean_bins(), 42.0);
+    EXPECT_DOUBLE_EQ(p.variance_bins(), 0.0);
+    EXPECT_DOUBLE_EQ(p.percentile_bin(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(p.percentile_bin(1.0), 42.0);
+}
+
+TEST(Pdf, FromMassNormalizes) {
+    const Pdf p = Pdf::from_mass(10, {1.0, 3.0});
+    EXPECT_EQ(p.size(), 2u);
+    EXPECT_DOUBLE_EQ(p.mass()[0], 0.25);
+    EXPECT_DOUBLE_EQ(p.mass()[1], 0.75);
+    EXPECT_DOUBLE_EQ(p.mean_bins(), 10.75);
+}
+
+TEST(Pdf, FromMassTrimsZeroEdges) {
+    const Pdf p = Pdf::from_mass(5, {0.0, 0.0, 2.0, 2.0, 0.0});
+    EXPECT_EQ(p.first_bin(), 7);
+    EXPECT_EQ(p.last_bin(), 8);
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Pdf, FromMassRejectsBadInput) {
+    EXPECT_THROW((void)Pdf::from_mass(0, {}), ConfigError);
+    EXPECT_THROW((void)Pdf::from_mass(0, {0.0, 0.0}), ConfigError);
+    EXPECT_THROW((void)Pdf::from_mass(0, {-1.0, 2.0}), ConfigError);
+    EXPECT_THROW((void)Pdf::from_mass(0, {std::numeric_limits<double>::quiet_NaN()}),
+                 ConfigError);
+}
+
+TEST(Pdf, MassAtOutsideSupportIsZero) {
+    const Pdf p = Pdf::from_mass(0, {0.5, 0.5});
+    EXPECT_DOUBLE_EQ(p.mass_at(-1), 0.0);
+    EXPECT_DOUBLE_EQ(p.mass_at(0), 0.5);
+    EXPECT_DOUBLE_EQ(p.mass_at(2), 0.0);
+}
+
+TEST(Pdf, VarianceOfSymmetricPair) {
+    const Pdf p = Pdf::from_mass(0, {0.5, 0.0, 0.5});
+    EXPECT_DOUBLE_EQ(p.mean_bins(), 1.0);
+    EXPECT_DOUBLE_EQ(p.variance_bins(), 1.0);
+}
+
+TEST(Pdf, PercentileInterpolatesWithinBins) {
+    // Mass 0.5 at bin 0 and 0.5 at bin 1; the inverse CDF ramps over bin 1.
+    const Pdf p = Pdf::from_mass(0, {0.5, 0.5});
+    EXPECT_DOUBLE_EQ(p.percentile_bin(0.25), 0.0);  // below first-bin cum
+    EXPECT_DOUBLE_EQ(p.percentile_bin(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(p.percentile_bin(0.75), 0.5);
+    EXPECT_DOUBLE_EQ(p.percentile_bin(1.0), 1.0);
+}
+
+TEST(Pdf, PercentileMonotoneInP) {
+    const Pdf p = Pdf::from_mass(-3, {0.1, 0.2, 0.3, 0.25, 0.15});
+    double prev = p.percentile_bin(1e-9);
+    for (double q = 0.01; q <= 1.0; q += 0.01) {
+        const double t = p.percentile_bin(q);
+        EXPECT_GE(t, prev - 1e-12);
+        prev = t;
+    }
+}
+
+TEST(Pdf, PercentileRejectsOutOfRange) {
+    const Pdf p = Pdf::point(0);
+    EXPECT_THROW((void)p.percentile_bin(0.0), ConfigError);
+    EXPECT_THROW((void)p.percentile_bin(1.0001), ConfigError);
+    EXPECT_THROW((void)Pdf{}.percentile_bin(0.5), ConfigError);
+}
+
+TEST(Pdf, CdfAt) {
+    const Pdf p = Pdf::from_mass(2, {0.25, 0.25, 0.5});
+    EXPECT_DOUBLE_EQ(p.cdf_at(1), 0.0);
+    EXPECT_DOUBLE_EQ(p.cdf_at(2), 0.25);
+    EXPECT_DOUBLE_EQ(p.cdf_at(3), 0.5);
+    EXPECT_DOUBLE_EQ(p.cdf_at(4), 1.0);
+    EXPECT_DOUBLE_EQ(p.cdf_at(100), 1.0);
+}
+
+TEST(Pdf, PrefixCdfEndsAtOne) {
+    const Pdf p = Pdf::from_mass(0, {1.0, 2.0, 3.0, 4.0});
+    const auto cdf = p.prefix_cdf();
+    ASSERT_EQ(cdf.size(), 4u);
+    EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+    for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+}
+
+TEST(Pdf, ShiftTranslatesSupportExactly) {
+    Pdf p = Pdf::from_mass(0, {0.5, 0.5});
+    const double q75 = p.percentile_bin(0.75);
+    p.shift(10);
+    EXPECT_EQ(p.first_bin(), 10);
+    EXPECT_EQ(p.last_bin(), 11);
+    EXPECT_DOUBLE_EQ(p.percentile_bin(0.75), q75 + 10.0);
+}
+
+TEST(Pdf, EqualityIsBitwise) {
+    const Pdf a = Pdf::from_mass(0, {1.0, 1.0});
+    const Pdf b = Pdf::from_mass(0, {1.0, 1.0});
+    Pdf c = Pdf::from_mass(0, {1.0, 1.0});
+    c.shift(1);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(Pdf, NegativeBinsSupported) {
+    const Pdf p = Pdf::from_mass(-10, {1.0, 1.0, 2.0});
+    EXPECT_EQ(p.first_bin(), -10);
+    EXPECT_DOUBLE_EQ(p.mean_bins(), -10 * 0.25 + -9 * 0.25 + -8 * 0.5);
+}
+
+}  // namespace
+}  // namespace statim::prob

@@ -1,0 +1,120 @@
+// Unit tests for the report renderers and DOT export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "netlist/dot.hpp"
+#include "netlist/iscas.hpp"
+
+namespace statim::core {
+namespace {
+
+using netlist::Netlist;
+
+class ReportTest : public ::testing::Test {
+  protected:
+    ReportTest() : lib_(cells::Library::standard_180nm()),
+                   nl_(netlist::make_iscas("c17", lib_)) {}
+
+    SizingResult run_short() {
+        Context ctx(nl_, lib_);
+        StatisticalSizerConfig cfg;
+        cfg.max_iterations = 5;
+        return run_statistical_sizing(ctx, cfg);
+    }
+
+    cells::Library lib_;
+    Netlist nl_;
+};
+
+TEST_F(ReportTest, SummaryMentionsKeyNumbers) {
+    const SizingResult result = run_short();
+    std::ostringstream out;
+    print_summary(out, nl_, result);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("c17"), std::string::npos);
+    EXPECT_NE(text.find("iteration"), std::string::npos);
+    EXPECT_NE(text.find("better"), std::string::npos);
+}
+
+TEST_F(ReportTest, HistoryTableHasOneRowPerIteration) {
+    const SizingResult result = run_short();
+    std::ostringstream out;
+    render_history(out, nl_, result);
+    const std::string text = out.str();
+    // Header + separator + 5 iterations.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 7);
+}
+
+TEST_F(ReportTest, HistoryTableSubsamples) {
+    const SizingResult result = run_short();
+    std::ostringstream out;
+    ReportOptions options;
+    options.max_rows = 3;
+    options.include_stats = false;
+    render_history(out, nl_, result, options);
+    const std::string text = out.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+    EXPECT_EQ(text.find("cand"), std::string::npos);
+}
+
+TEST_F(ReportTest, CsvRoundTripShape) {
+    const SizingResult result = run_short();
+    std::ostringstream out;
+    write_history_csv(out, nl_, result);
+    std::istringstream in(out.str());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line,
+              "iteration,gate,sensitivity_ns_per_w,objective_ns,total_area,total_width");
+    int rows = 0;
+    while (std::getline(in, line)) ++rows;
+    EXPECT_EQ(rows, result.iterations);
+}
+
+TEST_F(ReportTest, DeterministicSummaryAndCsv) {
+    DeterministicSizerConfig cfg;
+    cfg.max_iterations = 4;
+    Netlist nl = netlist::make_iscas("c432", lib_);
+    const DetSizingResult det = run_deterministic_sizing(nl, lib_, cfg);
+    std::ostringstream summary, csv;
+    print_summary(summary, nl, det);
+    write_history_csv(csv, nl, det);
+    EXPECT_NE(summary.str().find("nominal delay"), std::string::npos);
+    const std::string csv_text = csv.str();
+    EXPECT_EQ(std::count(csv_text.begin(), csv_text.end(), '\n'), 5);  // header + 4
+}
+
+TEST(DotExport, ContainsAllGatesAndTerminals) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    const Netlist nl = netlist::make_iscas("c17", lib);
+    std::ostringstream out;
+    netlist::write_dot(out, nl, lib);
+    const std::string dot = out.str();
+    EXPECT_EQ(dot.substr(0, 7), "digraph");
+    for (const auto& gate : nl.gates())
+        EXPECT_NE(dot.find("g_" + gate.name), std::string::npos) << gate.name;
+    for (NetId pi : nl.primary_inputs())
+        EXPECT_NE(dot.find("net_" + nl.net(pi).name), std::string::npos);
+    for (NetId po : nl.primary_outputs())
+        EXPECT_NE(dot.find("out_" + nl.net(po).name), std::string::npos);
+    // One wire per gate pin plus one per PO terminal.
+    EXPECT_EQ(std::count(dot.begin(), dot.end(), '>'),
+              static_cast<std::ptrdiff_t>(12 + nl.primary_outputs().size()));
+    EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExport, ScoresAddFill) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    const Netlist nl = netlist::make_iscas("c17", lib);
+    std::vector<double> scores(nl.gate_count(), 1.0);
+    std::ostringstream out;
+    netlist::DotOptions options;
+    options.gate_scores = scores;
+    netlist::write_dot(out, nl, lib, options);
+    EXPECT_NE(out.str().find("fillcolor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace statim::core

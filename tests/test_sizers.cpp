@@ -1,0 +1,223 @@
+// Unit tests for the deterministic and statistical coordinate-descent
+// sizers: monotone improvement, budgets, stop reasons, width caps.
+#include <gtest/gtest.h>
+
+#include "core/sizers.hpp"
+#include "netlist/iscas.hpp"
+
+namespace statim::core {
+namespace {
+
+using netlist::Netlist;
+
+TEST(DeterministicSizer, MonotonicallyImprovesNominalDelay) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    DeterministicSizerConfig cfg;
+    cfg.max_iterations = 40;
+    const DetSizingResult result = run_deterministic_sizing(nl, lib, cfg);
+
+    ASSERT_EQ(result.iterations, 40);
+    double prev = result.initial_delay_ns;
+    for (const auto& rec : result.history) {
+        EXPECT_LT(rec.circuit_delay_after_ns, prev + 1e-12) << "iter " << rec.iteration;
+        EXPECT_GT(rec.sensitivity, 0.0);
+        prev = rec.circuit_delay_after_ns;
+    }
+    EXPECT_LT(result.final_delay_ns, result.initial_delay_ns);
+    EXPECT_GT(result.final_area, result.initial_area);
+}
+
+TEST(DeterministicSizer, AreaGrowsByOneStepPerIteration) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    DeterministicSizerConfig cfg;
+    cfg.max_iterations = 10;
+    cfg.delta_w = 0.5;
+    const DetSizingResult result = run_deterministic_sizing(nl, lib, cfg);
+    double prev_area = result.initial_area;
+    for (const auto& rec : result.history) {
+        const double grown = rec.area_after - prev_area;
+        // One gate grew by delta_w * its cell area (cell areas are 1..3.5).
+        EXPECT_GT(grown, 0.5 * 0.9);
+        EXPECT_LT(grown, 0.5 * 4.0);
+        prev_area = rec.area_after;
+    }
+}
+
+TEST(DeterministicSizer, RespectsAreaBudget) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    DeterministicSizerConfig cfg;
+    cfg.max_iterations = 1000;
+    cfg.area_budget = 3.0;
+    const DetSizingResult result = run_deterministic_sizing(nl, lib, cfg);
+    EXPECT_EQ(result.stop_reason, "area budget");
+    EXPECT_GE(result.final_area - result.initial_area, 3.0);
+    EXPECT_LT(result.final_area - result.initial_area, 3.0 + 4.0);  // one step over
+}
+
+TEST(DeterministicSizer, RespectsWidthCap) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    DeterministicSizerConfig cfg;
+    cfg.max_iterations = 10000;
+    cfg.max_width = 2.0;
+    const DetSizingResult result = run_deterministic_sizing(nl, lib, cfg);
+    EXPECT_NE(result.stop_reason, "iteration budget");
+    for (const auto& g : nl.gates()) EXPECT_LE(g.width, 2.0 + 1e-12);
+}
+
+TEST(DeterministicSizer, RejectsBadConfig) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    DeterministicSizerConfig cfg;
+    cfg.delta_w = 0.0;
+    EXPECT_THROW((void)run_deterministic_sizing(nl, lib, cfg), ConfigError);
+}
+
+TEST(StatisticalSizer, ImprovesP99Monotonically) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    StatisticalSizerConfig cfg;
+    cfg.max_iterations = 15;
+    const SizingResult result = run_statistical_sizing(ctx, cfg);
+
+    ASSERT_EQ(result.iterations, 15);
+    double prev = result.initial_objective_ns;
+    for (const auto& rec : result.history) {
+        EXPECT_GT(rec.sensitivity, 0.0) << "iter " << rec.iteration;
+        EXPECT_LE(rec.objective_after_ns, prev + 1e-9) << "iter " << rec.iteration;
+        prev = rec.objective_after_ns;
+    }
+    EXPECT_LT(result.final_objective_ns, result.initial_objective_ns);
+}
+
+TEST(StatisticalSizer, SelectorsProduceIdenticalTrajectories) {
+    cells::Library lib = cells::Library::standard_180nm();
+    std::vector<std::vector<std::uint32_t>> trajectories;
+    for (SelectorKind kind :
+         {SelectorKind::Pruned, SelectorKind::BruteFull, SelectorKind::BruteCone}) {
+        Netlist nl = netlist::make_iscas("c17", lib);
+        Context ctx(nl, lib);
+        StatisticalSizerConfig cfg;
+        cfg.max_iterations = 10;
+        cfg.selector = kind;
+        const SizingResult result = run_statistical_sizing(ctx, cfg);
+        std::vector<std::uint32_t> gates;
+        for (const auto& rec : result.history) gates.push_back(rec.gate.value);
+        trajectories.push_back(std::move(gates));
+    }
+    EXPECT_EQ(trajectories[0], trajectories[1]);
+    EXPECT_EQ(trajectories[0], trajectories[2]);
+}
+
+TEST(StatisticalSizer, ConvergesOnTinyCircuit) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    Context ctx(nl, lib);
+    StatisticalSizerConfig cfg;
+    cfg.max_iterations = 100000;
+    cfg.max_width = 2.0;  // tight cap forces convergence quickly
+    const SizingResult result = run_statistical_sizing(ctx, cfg);
+    EXPECT_EQ(result.stop_reason, "converged");
+    for (const auto& g : nl.gates()) EXPECT_LE(g.width, 2.0 + 1e-12);
+}
+
+TEST(StatisticalSizer, RespectsAreaBudget) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    StatisticalSizerConfig cfg;
+    cfg.max_iterations = 10000;
+    cfg.area_budget = 2.0;
+    const SizingResult result = run_statistical_sizing(ctx, cfg);
+    EXPECT_EQ(result.stop_reason, "area budget");
+    EXPECT_GE(result.final_area - result.initial_area, 2.0);
+}
+
+TEST(StatisticalSizer, MultiGatePerIteration) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    StatisticalSizerConfig cfg;
+    cfg.max_iterations = 3;
+    cfg.gates_per_iteration = 3;
+    const SizingResult result = run_statistical_sizing(ctx, cfg);
+    // 3 iterations x 3 gates = 9 steps of delta_w total width growth.
+    EXPECT_NEAR(nl.total_width() - 176.0, 9 * cfg.delta_w, 1e-9);
+    EXPECT_LT(result.final_objective_ns, result.initial_objective_ns);
+}
+
+TEST(StatisticalSizer, MeanObjective) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    Context ctx(nl, lib);
+    StatisticalSizerConfig cfg;
+    cfg.objective = Objective::mean();
+    cfg.max_iterations = 8;
+    const SizingResult result = run_statistical_sizing(ctx, cfg);
+    EXPECT_LT(result.final_objective_ns, result.initial_objective_ns);
+}
+
+TEST(StatisticalSizer, RejectsBadConfig) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    Context ctx(nl, lib);
+    StatisticalSizerConfig bad;
+    bad.delta_w = -1.0;
+    EXPECT_THROW((void)run_statistical_sizing(ctx, bad), ConfigError);
+    bad = {};
+    bad.max_iterations = -1;
+    EXPECT_THROW((void)run_statistical_sizing(ctx, bad), ConfigError);
+    bad = {};
+    bad.gates_per_iteration = 0;
+    EXPECT_THROW((void)run_statistical_sizing(ctx, bad), ConfigError);
+}
+
+TEST(StatisticalSizer, StopsWhenTargetObjectiveMet) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+
+    // Probe the starting point, then ask for a modest improvement.
+    StatisticalSizerConfig probe;
+    probe.max_iterations = 0;
+    const double start = run_statistical_sizing(ctx, probe).initial_objective_ns;
+
+    StatisticalSizerConfig cfg;
+    cfg.max_iterations = 10000;
+    cfg.target_objective_ns = 0.98 * start;
+    const SizingResult result = run_statistical_sizing(ctx, cfg);
+    EXPECT_EQ(result.stop_reason, "target met");
+    EXPECT_LE(result.final_objective_ns, cfg.target_objective_ns + 1e-12);
+    EXPECT_LT(result.iterations, 10000);
+}
+
+TEST(StatisticalSizer, AlreadyMetTargetIsANoOp) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    Context ctx(nl, lib);
+    StatisticalSizerConfig cfg;
+    cfg.max_iterations = 100;
+    cfg.target_objective_ns = 1000.0;  // trivially satisfied at the start
+    const SizingResult result = run_statistical_sizing(ctx, cfg);
+    EXPECT_EQ(result.stop_reason, "target met");
+    EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(StatisticalSizer, ZeroIterationsIsANoOp) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    Context ctx(nl, lib);
+    StatisticalSizerConfig cfg;
+    cfg.max_iterations = 0;
+    const SizingResult result = run_statistical_sizing(ctx, cfg);
+    EXPECT_EQ(result.iterations, 0);
+    EXPECT_TRUE(result.history.empty());
+    EXPECT_DOUBLE_EQ(result.final_objective_ns, result.initial_objective_ns);
+}
+
+}  // namespace
+}  // namespace statim::core

@@ -1,0 +1,182 @@
+// Unit tests for the deterministic STA engine and load/delay calculator.
+#include <gtest/gtest.h>
+
+#include "netlist/iscas.hpp"
+#include "netlist/timing_graph.hpp"
+#include "sta/delay_calc.hpp"
+#include "sta/sta.hpp"
+#include "util/rng.hpp"
+
+namespace statim::sta {
+namespace {
+
+using netlist::Netlist;
+using netlist::TimingGraph;
+
+/// a -> INV g1 -> INV g2 -> PO. All delays hand-computable.
+struct Chain {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl{"chain"};
+    NetId a, m, y;
+    GateId g1, g2;
+
+    Chain() {
+        a = nl.add_net("a");
+        m = nl.add_net("m");
+        y = nl.add_net("y");
+        nl.mark_primary_input(a);
+        const CellId inv = lib.require("INV");
+        g1 = nl.add_gate("g1", inv, {a}, m);
+        g2 = nl.add_gate("g2", inv, {m}, y);
+        nl.mark_primary_output(y);
+        nl.validate(lib);
+    }
+};
+
+TEST(DelayCalcTest, HandComputedChainDelays) {
+    Chain c;
+    const TimingGraph graph(c.nl);
+    const DelayCalc dc(graph, c.lib);
+
+    // g2 drives the PO load (10 fF); g1 drives g2's input cap (4 fF).
+    EXPECT_DOUBLE_EQ(dc.load_ff(c.g2), 10.0);
+    EXPECT_DOUBLE_EQ(dc.load_ff(c.g1), 4.0);
+    const EdgeId e1 = graph.gate_edges(c.g1)[0];
+    const EdgeId e2 = graph.gate_edges(c.g2)[0];
+    EXPECT_DOUBLE_EQ(dc.edge_delay_ns(e1), 0.022 + 0.018 * 4.0 / 4.0);
+    EXPECT_DOUBLE_EQ(dc.edge_delay_ns(e2), 0.022 + 0.018 * 10.0 / 4.0);
+}
+
+TEST(DelayCalcTest, ResizeUpdatesSelfAndFaninDelays) {
+    Chain c;
+    const TimingGraph graph(c.nl);
+    DelayCalc dc(graph, c.lib);
+    const EdgeId e1 = graph.gate_edges(c.g1)[0];
+    const EdgeId e2 = graph.gate_edges(c.g2)[0];
+    const double d1_before = dc.edge_delay_ns(e1);
+    const double d2_before = dc.edge_delay_ns(e2);
+
+    c.nl.gate(c.g2).width = 2.0;
+    const auto changed = dc.update_for_resize(c.g2);
+
+    // g2 got faster; g1 got slower (its load doubled to 8 fF).
+    EXPECT_DOUBLE_EQ(dc.edge_delay_ns(e2), 0.022 + 0.018 * 10.0 / 8.0);
+    EXPECT_LT(dc.edge_delay_ns(e2), d2_before);
+    EXPECT_DOUBLE_EQ(dc.load_ff(c.g1), 8.0);
+    EXPECT_DOUBLE_EQ(dc.edge_delay_ns(e1), 0.022 + 0.018 * 8.0 / 4.0);
+    EXPECT_GT(dc.edge_delay_ns(e1), d1_before);
+
+    // Affected edges: g2's own edge plus fanin driver g1's edge.
+    ASSERT_EQ(changed.size(), 2u);
+    EXPECT_EQ(changed[0], e2);
+    EXPECT_EQ(changed[1], e1);
+}
+
+TEST(DelayCalcTest, AffectedEdgesSkipsPrimaryInputDrivers) {
+    Chain c;
+    const TimingGraph graph(c.nl);
+    const DelayCalc dc(graph, c.lib);
+    // g1's fanin is the PI net "a": only g1's own edge is affected.
+    const auto edges = dc.affected_edges(c.g1);
+    ASSERT_EQ(edges.size(), 1u);
+    EXPECT_EQ(edges[0], graph.gate_edges(c.g1)[0]);
+}
+
+TEST(StaTest, ChainArrivalAndSlack) {
+    Chain c;
+    const TimingGraph graph(c.nl);
+    const DelayCalc dc(graph, c.lib);
+    const StaResult sta = run_sta(dc);
+
+    const double d1 = 0.022 + 0.018 * 4.0 / 4.0;
+    const double d2 = 0.022 + 0.018 * 10.0 / 4.0;
+    EXPECT_DOUBLE_EQ(sta.circuit_delay_ns, d1 + d2);
+    EXPECT_DOUBLE_EQ(sta.arrival[TimingGraph::node_of_net(c.m).index()], d1);
+    // Single path: slack is zero everywhere on it.
+    EXPECT_NEAR(sta.slack(TimingGraph::node_of_net(c.m)), 0.0, 1e-12);
+    EXPECT_NEAR(sta.slack(TimingGraph::source()), 0.0, 1e-12);
+}
+
+TEST(StaTest, ArrivalMonotoneAlongEdges) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    const TimingGraph graph(nl);
+    const DelayCalc dc(graph, lib);
+    const StaResult sta = run_sta(dc);
+    for (std::size_t ei = 0; ei < graph.edge_count(); ++ei) {
+        const auto& e = graph.edge(EdgeId{static_cast<std::uint32_t>(ei)});
+        EXPECT_LE(sta.arrival[e.from.index()] + dc.edge_delay_ns(EdgeId{static_cast<std::uint32_t>(ei)}),
+                  sta.arrival[e.to.index()] + 1e-12);
+    }
+}
+
+TEST(StaTest, RequiredNeverBelowArrivalOnUsedNodes) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c880", lib);
+    const TimingGraph graph(nl);
+    const DelayCalc dc(graph, lib);
+    const StaResult sta = run_sta(dc);
+    for (std::size_t n = 0; n < graph.node_count(); ++n)
+        EXPECT_GE(sta.slack(NodeId{static_cast<std::uint32_t>(n)}), -1e-12);
+}
+
+TEST(StaTest, CriticalPathConnectsSourceToSink) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    const TimingGraph graph(nl);
+    const DelayCalc dc(graph, lib);
+    const StaResult sta = run_sta(dc);
+    const auto path = critical_path(dc, sta);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(graph.edge(path.front()).from, TimingGraph::source());
+    EXPECT_EQ(graph.edge(path.back()).to, TimingGraph::sink());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        if (i) EXPECT_EQ(graph.edge(path[i - 1]).to, graph.edge(path[i]).from);
+        sum += dc.edge_delay_ns(path[i]);
+    }
+    EXPECT_NEAR(sum, sta.circuit_delay_ns, 1e-9);
+
+    const auto gates = gates_on_path(graph, path);
+    EXPECT_FALSE(gates.empty());
+    EXPECT_LE(gates.size(), path.size());
+}
+
+TEST(StaTest, IncrementalMatchesFullRecompute) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c880", lib);
+    const TimingGraph graph(nl);
+    DelayCalc dc(graph, lib);
+
+    std::vector<double> incremental;
+    (void)run_arrival(dc, incremental);
+
+    Rng rng(77);
+    for (int step = 0; step < 25; ++step) {
+        const GateId g{static_cast<std::uint32_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(nl.gate_count()) - 1))};
+        nl.gate(g).width += 0.25;
+        const auto changed = dc.update_for_resize(g);
+        const double inc_delay = update_arrival_after_change(dc, changed, incremental);
+
+        std::vector<double> full;
+        const double full_delay = run_arrival(dc, full);
+        ASSERT_EQ(incremental.size(), full.size());
+        EXPECT_DOUBLE_EQ(inc_delay, full_delay) << "step " << step;
+        for (std::size_t n = 0; n < full.size(); ++n)
+            EXPECT_DOUBLE_EQ(incremental[n], full[n]) << "step " << step << " node " << n;
+    }
+}
+
+TEST(StaTest, ExternallySuppliedDelays) {
+    Chain c;
+    const TimingGraph graph(c.nl);
+    std::vector<double> delays(graph.edge_count(), 0.0);
+    for (std::size_t ei = 0; ei < delays.size(); ++ei) delays[ei] = 1.0;
+    std::vector<double> arrival;
+    // chain: source->a->m->y->sink = 4 edges of delay 1.
+    EXPECT_DOUBLE_EQ(run_arrival_with(graph, delays, arrival), 4.0);
+}
+
+}  // namespace
+}  // namespace statim::sta

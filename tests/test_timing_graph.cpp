@@ -1,0 +1,135 @@
+// Unit tests for the timing graph (Definition 1 of the paper).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/iscas.hpp"
+#include "netlist/timing_graph.hpp"
+
+namespace statim::netlist {
+namespace {
+
+class C17Graph : public ::testing::Test {
+  protected:
+    C17Graph() : lib_(cells::Library::standard_180nm()),
+                 nl_(make_iscas("c17", lib_)),
+                 graph_(nl_) {}
+
+    cells::Library lib_;
+    Netlist nl_;
+    TimingGraph graph_;
+};
+
+TEST_F(C17Graph, CountsMatchDefinition) {
+    // c17: 5 PIs + 6 gate outputs = 11 nets; +2 virtual nodes.
+    EXPECT_EQ(graph_.node_count(), 13u);
+    // 12 NAND2 pins + 5 source edges + 2 sink edges.
+    EXPECT_EQ(graph_.edge_count(), 19u);
+}
+
+TEST_F(C17Graph, SourceAndSinkAreTerminal) {
+    EXPECT_TRUE(graph_.in_edges(TimingGraph::source()).empty());
+    EXPECT_TRUE(graph_.out_edges(TimingGraph::sink()).empty());
+    EXPECT_EQ(graph_.out_edges(TimingGraph::source()).size(), 5u);  // PIs
+    EXPECT_EQ(graph_.in_edges(TimingGraph::sink()).size(), 2u);     // POs
+}
+
+TEST_F(C17Graph, LevelsStrictlyIncreaseAlongEdges) {
+    for (std::size_t ei = 0; ei < graph_.edge_count(); ++ei) {
+        const auto& e = graph_.edge(EdgeId{static_cast<std::uint32_t>(ei)});
+        EXPECT_LT(graph_.level(e.from), graph_.level(e.to));
+    }
+    EXPECT_EQ(graph_.level(TimingGraph::source()), 0u);
+    EXPECT_EQ(graph_.num_levels(), graph_.level(TimingGraph::sink()) + 1);
+}
+
+TEST_F(C17Graph, SinkAloneOnTopLevel) {
+    const auto top = graph_.nodes_at_level(graph_.num_levels() - 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0], TimingGraph::sink());
+}
+
+TEST_F(C17Graph, C17Depth) {
+    // c17 is three NAND levels deep: source(0) PI(1) N10/N11(2) N16/N19(3)
+    // N22/N23(4) sink(5)... N10 reads PIs only (level 2); N22 reads N10 and
+    // N16 so level 4.
+    EXPECT_EQ(graph_.num_levels(), 6u);
+}
+
+TEST_F(C17Graph, GateEdgesAreContiguousAndComplete) {
+    std::set<std::uint32_t> seen;
+    for (std::size_t gi = 0; gi < nl_.gate_count(); ++gi) {
+        const GateId g{static_cast<std::uint32_t>(gi)};
+        const auto edges = graph_.gate_edges(g);
+        ASSERT_EQ(edges.size(), nl_.gate(g).fanin.size());
+        for (std::size_t pin = 0; pin < edges.size(); ++pin) {
+            const auto& e = graph_.edge(edges[pin]);
+            EXPECT_EQ(e.gate, g);
+            EXPECT_EQ(e.pin, pin);
+            EXPECT_EQ(e.to, graph_.output_node(g));
+            EXPECT_EQ(e.from, TimingGraph::node_of_net(nl_.gate(g).fanin[pin]));
+            EXPECT_TRUE(seen.insert(edges[pin].value).second);
+        }
+    }
+    EXPECT_EQ(seen.size(), 12u);  // all gate edges distinct
+}
+
+TEST_F(C17Graph, NetNodeMappingRoundTrips) {
+    for (std::size_t ni = 0; ni < nl_.net_count(); ++ni) {
+        const NetId net{static_cast<std::uint32_t>(ni)};
+        const NodeId node = TimingGraph::node_of_net(net);
+        EXPECT_EQ(graph_.net_of_node(node), net);
+    }
+    EXPECT_FALSE(graph_.net_of_node(TimingGraph::source()).is_valid());
+    EXPECT_FALSE(graph_.net_of_node(TimingGraph::sink()).is_valid());
+}
+
+TEST_F(C17Graph, TopoOrderRespectsEdges) {
+    const auto topo = graph_.topo_order();
+    std::vector<std::size_t> pos(graph_.node_count());
+    for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i].index()] = i;
+    for (std::size_t ei = 0; ei < graph_.edge_count(); ++ei) {
+        const auto& e = graph_.edge(EdgeId{static_cast<std::uint32_t>(ei)});
+        EXPECT_LT(pos[e.from.index()], pos[e.to.index()]);
+    }
+}
+
+TEST_F(C17Graph, InOutAdjacencyConsistent) {
+    std::size_t in_total = 0, out_total = 0;
+    for (std::size_t n = 0; n < graph_.node_count(); ++n) {
+        const NodeId node{static_cast<std::uint32_t>(n)};
+        in_total += graph_.in_edges(node).size();
+        out_total += graph_.out_edges(node).size();
+        for (EdgeId e : graph_.in_edges(node)) EXPECT_EQ(graph_.edge(e).to, node);
+        for (EdgeId e : graph_.out_edges(node)) EXPECT_EQ(graph_.edge(e).from, node);
+    }
+    EXPECT_EQ(in_total, graph_.edge_count());
+    EXPECT_EQ(out_total, graph_.edge_count());
+}
+
+TEST_F(C17Graph, LevelBucketsPartitionNodes) {
+    std::size_t total = 0;
+    for (std::uint32_t l = 0; l < graph_.num_levels(); ++l) {
+        for (NodeId n : graph_.nodes_at_level(l)) EXPECT_EQ(graph_.level(n), l);
+        total += graph_.nodes_at_level(l).size();
+    }
+    EXPECT_EQ(total, graph_.node_count());
+}
+
+TEST(TimingGraphErrors, RejectsUnvalidatedCycle) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl;
+    const NetId a = nl.add_net("a");
+    const NetId x = nl.add_net("x");
+    const NetId y = nl.add_net("y");
+    nl.mark_primary_input(a);
+    (void)nl.add_gate("g1", lib.require("NAND2"), {a, y}, x);
+    (void)nl.add_gate("g2", lib.require("INV"), {x}, y);
+    nl.mark_primary_output(y);
+    EXPECT_THROW(TimingGraph{nl}, NetlistError);
+}
+
+}  // namespace
+}  // namespace statim::netlist

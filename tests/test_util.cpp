@@ -1,0 +1,247 @@
+// Unit tests for src/util: RNG, stats, CSV/table writers, CLI, env, log.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/running_stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace statim {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+    NetId id;
+    EXPECT_FALSE(id.is_valid());
+    EXPECT_EQ(id, NetId::invalid());
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+    static_assert(!std::is_same_v<NetId, GateId>);
+    NetId a{3};
+    NetId b{3};
+    NetId c{4};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_LT(a, c);
+    EXPECT_EQ(a.index(), 3u);
+}
+
+TEST(StrongId, Hashable) {
+    std::hash<GateId> h;
+    EXPECT_EQ(h(GateId{5}), h(GateId{5}));
+}
+
+TEST(Rng, DeterministicForSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a() == b());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniform_int(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 7);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+    Rng rng(11);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double z = rng.normal();
+        sum += z;
+        sum2 += z * z;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+    Rng rng(13);
+    for (int i = 0; i < 20000; ++i) {
+        const double x = rng.truncated_normal(10.0, 2.0, 3.0);
+        EXPECT_GE(x, 4.0);
+        EXPECT_LE(x, 16.0);
+    }
+}
+
+TEST(Rng, TruncatedNormalDegenerateSigma) {
+    Rng rng(17);
+    EXPECT_EQ(rng.truncated_normal(5.0, 0.0, 3.0), 5.0);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng a(23);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += (a() == b());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, HashNameStableAndSpread) {
+    EXPECT_EQ(hash_name("c432"), hash_name("c432"));
+    EXPECT_NE(hash_name("c432"), hash_name("c433"));
+}
+
+TEST(RunningStats, Empty) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_TRUE(std::isnan(s.min()));
+}
+
+TEST(RunningStats, KnownSequence) {
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+    Timer t;
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x = x + 1;
+    EXPECT_GE(t.seconds(), 0.0);
+    EXPECT_GE(t.millis(), t.seconds() * 1000.0 - 1e-9);
+}
+
+TEST(Csv, HeaderAndRows) {
+    std::ostringstream out;
+    CsvWriter csv(out, {"a", "b"});
+    csv.row({"1", "2"});
+    csv.row({"x,y", "q\"z"});
+    EXPECT_EQ(out.str(), "a,b\n1,2\n\"x,y\",\"q\"\"z\"\n");
+    EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, RowSizeMismatchThrows) {
+    std::ostringstream out;
+    CsvWriter csv(out, {"a", "b"});
+    EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Csv, FormatDouble) {
+    EXPECT_EQ(format_double(1.5), "1.5");
+    EXPECT_EQ(format_double(0.123456789, 3), "0.123");
+}
+
+TEST(AsciiTable, AlignsColumns) {
+    AsciiTable t({"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"long-name", "23"});
+    std::ostringstream out;
+    t.print(out);
+    const std::string rendered = out.str();
+    EXPECT_NE(rendered.find("| name      |"), std::string::npos);
+    EXPECT_NE(rendered.find("|    23 |"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+    // A non-flag token right after `--name` is taken as its value, so
+    // positionals go before flags or after `--name=value` forms.
+    const char* argv[] = {"prog", "pos1", "--alpha", "3", "--beta=x", "--gamma"};
+    CliArgs args(6, argv);
+    EXPECT_EQ(args.get_int("alpha", 0), 3);
+    EXPECT_EQ(args.get("beta"), "x");
+    EXPECT_TRUE(args.has("gamma"));
+    EXPECT_TRUE(args.get_bool("gamma", false));
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "pos1");
+    EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, BooleansAndDefaults) {
+    const char* argv[] = {"prog", "--on", "--off=false"};
+    CliArgs args(3, argv);
+    EXPECT_TRUE(args.get_bool("on", false));
+    EXPECT_FALSE(args.get_bool("off", true));
+    EXPECT_TRUE(args.get_bool("missing", true));
+    EXPECT_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Cli, MalformedNumbersThrow) {
+    const char* argv[] = {"prog", "--n=abc"};
+    CliArgs args(2, argv);
+    EXPECT_THROW((void)args.get_int("n", 0), ConfigError);
+    EXPECT_THROW((void)args.get_double("n", 0), ConfigError);
+}
+
+TEST(Cli, ValidateRejectsUnknown) {
+    const char* argv[] = {"prog", "--known", "--oops"};
+    CliArgs args(3, argv);
+    EXPECT_THROW(args.validate({"known"}), ConfigError);
+    EXPECT_NO_THROW(args.validate({"known", "oops"}));
+}
+
+TEST(Env, ReadsAndDefaults) {
+    ::setenv("STATIM_TEST_INT", "41", 1);
+    ::setenv("STATIM_TEST_BAD", "xyz", 1);
+    EXPECT_EQ(env_int("STATIM_TEST_INT", 0), 41);
+    EXPECT_EQ(env_int("STATIM_TEST_BAD", 7), 7);
+    EXPECT_EQ(env_int("STATIM_TEST_UNSET_VAR", 9), 9);
+    EXPECT_EQ(env_double("STATIM_TEST_INT", 0.0), 41.0);
+    ::unsetenv("STATIM_TEST_INT");
+    ::unsetenv("STATIM_TEST_BAD");
+}
+
+TEST(Log, ParseLevels) {
+    EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+    EXPECT_EQ(parse_log_level("WARN"), LogLevel::Warn);
+    EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+    EXPECT_EQ(parse_log_level("unknown"), LogLevel::Info);
+}
+
+TEST(Log, ThresholdFilters) {
+    const LogLevel before = log_level();
+    set_log_level(LogLevel::Error);
+    EXPECT_FALSE(log_enabled(LogLevel::Info));
+    EXPECT_TRUE(log_enabled(LogLevel::Error));
+    set_log_level(before);
+}
+
+TEST(Error, ParseErrorCarriesLocation) {
+    const ParseError e("file.bench", 12, "bad token");
+    EXPECT_EQ(e.file(), "file.bench");
+    EXPECT_EQ(e.line(), 12);
+    EXPECT_NE(std::string(e.what()).find("file.bench:12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace statim
