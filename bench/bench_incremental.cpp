@@ -1,0 +1,119 @@
+// Incremental-SSTA ablation — the refresh step of one sizing iteration.
+//
+// The paper's outer loop re-runs a full-circuit SSTA after every committed
+// resize; the incremental engine re-propagates only the resized gate's
+// fanout cone, cutting the wave where arrivals are unchanged bit-for-bit.
+// This bench runs the same pruned-selector sizing trajectory twice —
+// full-SSTA-per-iteration vs incremental-per-iteration — verifies the
+// trajectories are identical, and reports the wall-clock split.
+//
+// Output: a human-readable table on stderr and one JSON document on
+// stdout (for the bench trajectory), e.g.
+//   {"bench":"incremental_ssta","threads":1,"scale":1,
+//    "circuits":[{"circuit":"c7552","iterations":20,
+//                 "full_refresh_s":..,"incr_refresh_s":..,
+//                 "refresh_speedup":..,"full_total_s":..,"incr_total_s":..,
+//                 "full_nodes":..,"incr_nodes":..,"nodes_ratio":..}]}
+//
+// Argument-free (bench convention); knobs: STATIM_BENCH_SCALE,
+// STATIM_BENCH_CIRCUITS, STATIM_THREADS, STATIM_LOG.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/sizers.hpp"
+#include "util/env.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct Row {
+    std::string circuit;
+    int iterations{0};
+    double full_refresh_s{0.0}, incr_refresh_s{0.0};
+    double full_total_s{0.0}, incr_total_s{0.0};
+    std::size_t full_nodes{0}, incr_nodes{0};
+};
+
+}  // namespace
+
+int main() {
+    using namespace statim;
+    std::fprintf(stderr,
+                 "bench_incremental — full-SSTA-per-iteration vs incremental "
+                 "fanout-cone refresh (identical trajectories)\n");
+    apply_log_env();
+    const std::size_t threads = apply_threads_env();
+
+    const cells::Library lib = cells::Library::standard_180nm();
+    std::vector<Row> rows;
+
+    for (const std::string& name : bench::circuits_from_env()) {
+        Row row;
+        row.circuit = name;
+        row.iterations = bench::scaled_iterations(name, 60);
+
+        core::SizingResult results[2];
+        double totals[2] = {0.0, 0.0};
+        for (const int mode : {0, 1}) {  // 0 = full, 1 = incremental
+            netlist::Netlist nl = netlist::make_iscas(name, lib);
+            core::Context ctx(nl, lib);
+            core::StatisticalSizerConfig cfg;
+            cfg.max_iterations = row.iterations;
+            cfg.threads = threads;
+            cfg.incremental_ssta = mode == 1;
+            Timer timer;
+            results[mode] = core::run_statistical_sizing(ctx, cfg);
+            totals[mode] = timer.seconds();
+        }
+
+        // The ablation is only valid if both modes walked the same path.
+        if (results[0].final_objective_ns != results[1].final_objective_ns ||
+            results[0].history.size() != results[1].history.size()) {
+            std::fprintf(stderr, "FATAL: %s trajectories diverged\n", name.c_str());
+            return 1;
+        }
+
+        row.full_refresh_s = results[0].ssta_refresh_seconds;
+        row.incr_refresh_s = results[1].ssta_refresh_seconds;
+        row.full_total_s = totals[0];
+        row.incr_total_s = totals[1];
+        row.full_nodes = results[0].ssta_nodes_recomputed;
+        row.incr_nodes = results[1].ssta_nodes_recomputed;
+        rows.push_back(row);
+
+        std::fprintf(stderr,
+                     "%-7s iters %4d  refresh %8.4fs -> %8.4fs (%5.2fx)  "
+                     "nodes %9zu -> %8zu  total %8.3fs -> %8.3fs\n",
+                     name.c_str(), row.iterations, row.full_refresh_s,
+                     row.incr_refresh_s,
+                     row.incr_refresh_s > 0 ? row.full_refresh_s / row.incr_refresh_s
+                                            : 0.0,
+                     row.full_nodes, row.incr_nodes, row.full_total_s,
+                     row.incr_total_s);
+    }
+
+    std::printf("{\"bench\":\"incremental_ssta\",\"threads\":%zu,\"scale\":%g,"
+                "\"circuits\":[",
+                threads, bench::bench_scale());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        std::printf("%s{\"circuit\":\"%s\",\"iterations\":%d,"
+                    "\"full_refresh_s\":%.6f,\"incr_refresh_s\":%.6f,"
+                    "\"refresh_speedup\":%.3f,"
+                    "\"full_total_s\":%.4f,\"incr_total_s\":%.4f,"
+                    "\"full_nodes\":%zu,\"incr_nodes\":%zu,\"nodes_ratio\":%.3f}",
+                    i == 0 ? "" : ",", r.circuit.c_str(), r.iterations,
+                    r.full_refresh_s, r.incr_refresh_s,
+                    r.incr_refresh_s > 0 ? r.full_refresh_s / r.incr_refresh_s : 0.0,
+                    r.full_total_s, r.incr_total_s, r.full_nodes, r.incr_nodes,
+                    r.incr_nodes > 0
+                        ? static_cast<double>(r.full_nodes) /
+                              static_cast<double>(r.incr_nodes)
+                        : 0.0);
+    }
+    std::printf("]}\n");
+    return 0;
+}

@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
     try {
         const CliArgs args(argc, argv);
         args.validate({"circuit", "iterations", "selector", "percentile", "delta-w",
-                       "max-width", "bench", "lib", "csv", "area-budget"});
+                       "max-width", "bench", "lib", "csv", "area-budget", "threads",
+                       "full-ssta"});
+        const std::size_t threads = apply_threads_flag(args);
 
         const cells::Library lib = args.has("lib")
                                        ? cells::load_liberty_lite(args.get("lib"))
@@ -43,11 +45,17 @@ int main(int argc, char** argv) {
         else if (selector == "brute") cfg.selector = core::SelectorKind::BruteFull;
         else if (selector == "cone") cfg.selector = core::SelectorKind::BruteCone;
         else throw ConfigError("--selector must be pruned, brute or cone");
+        cfg.threads = threads;
+        cfg.incremental_ssta = !args.get_bool("full-ssta", false);
 
         core::Context ctx(nl, lib);
-        std::fprintf(stderr, "%s: %zu nodes / %zu edges, grid %.4g ns, selector %s\n",
+        std::fprintf(stderr,
+                     "%s: %zu nodes / %zu edges, grid %.4g ns, selector %s, "
+                     "%zu thread%s, %s ssta refresh\n",
                      nl.name().c_str(), ctx.graph().node_count(),
-                     ctx.graph().edge_count(), ctx.grid().dt_ns(), selector.c_str());
+                     ctx.graph().edge_count(), ctx.grid().dt_ns(), selector.c_str(),
+                     threads, threads == 1 ? "" : "s",
+                     cfg.incremental_ssta ? "incremental" : "full");
 
         const core::SizingResult result = core::run_statistical_sizing(ctx, cfg);
 

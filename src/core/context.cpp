@@ -28,4 +28,13 @@ std::vector<EdgeId> Context::apply_resize(GateId g, double delta_w) {
     return changed;
 }
 
+void Context::refresh_ssta() {
+    if (!incremental_ssta_ || !engine_.has_run() || delay_calc_.fully_dirty()) {
+        run_ssta();
+        return;
+    }
+    engine_.update(edge_delays_, delay_calc_.dirty_edges());
+    delay_calc_.mark_clean();
+}
+
 }  // namespace statim::core

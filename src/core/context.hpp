@@ -42,7 +42,22 @@ class Context {
     [[nodiscard]] const ssta::SstaEngine& engine() const noexcept { return engine_; }
 
     /// Runs a full SSTA with the current widths.
-    void run_ssta() { engine_.run(edge_delays_); }
+    void run_ssta() {
+        engine_.run(edge_delays_);
+        delay_calc_.mark_clean();
+    }
+
+    /// Brings the SSTA arrivals up to date with the current widths. When
+    /// incremental mode is on (default) and the engine has run before,
+    /// only the fanout cone of the edges dirtied since the last refresh is
+    /// re-propagated; otherwise this is a full run_ssta(). Both paths are
+    /// bit-identical (tests/test_incremental.cpp).
+    void refresh_ssta();
+
+    /// Toggles the incremental refresh path (off = always full runs; the
+    /// reference behaviour, kept for A/B benching).
+    void set_incremental_ssta(bool enabled) noexcept { incremental_ssta_ = enabled; }
+    [[nodiscard]] bool incremental_ssta() const noexcept { return incremental_ssta_; }
 
     /// Permanently changes gate `g`'s width by `delta_w` and updates the
     /// nominal delays and edge PDFs. Returns the affected edges.
@@ -56,6 +71,7 @@ class Context {
     prob::TimeGrid grid_;
     ssta::EdgeDelays edge_delays_;
     ssta::SstaEngine engine_;
+    bool incremental_ssta_{true};
 };
 
 }  // namespace statim::core

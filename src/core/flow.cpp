@@ -37,6 +37,8 @@ ComparisonResult compare_optimizers(const std::string& circuit_name,
     stat_cfg.max_iterations = config.stat_max_iterations;
     stat_cfg.area_budget = result.det.final_area - result.det.initial_area;
     stat_cfg.selector = config.selector;
+    stat_cfg.threads = config.threads;
+    stat_cfg.incremental_ssta = config.incremental_ssta;
     result.stat = run_statistical_sizing(ctx_stat, stat_cfg);
 
     result.initial_objective_ns = result.stat.initial_objective_ns;
@@ -72,7 +74,9 @@ RuntimeComparisonResult compare_runtime(const std::string& circuit_name,
     result.nodes = ctx.graph().node_count();
     result.edges = ctx.graph().edge_count();
 
-    const SelectorConfig sel{config.objective, config.delta_w, config.max_width};
+    const SelectorConfig sel{config.objective, config.delta_w, config.max_width,
+                             config.threads};
+    ctx.set_incremental_ssta(config.incremental_ssta);
     ctx.run_ssta();
 
     for (int iter = 1; iter <= config.iterations; ++iter) {
@@ -108,7 +112,7 @@ RuntimeComparisonResult compare_runtime(const std::string& circuit_name,
 
         if (!pruned.gate.is_valid()) break;  // nothing left to size
         (void)ctx.apply_resize(pruned.gate, config.delta_w);
-        ctx.run_ssta();
+        ctx.refresh_ssta();
     }
     return result;
 }

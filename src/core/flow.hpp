@@ -31,6 +31,13 @@ struct ComparisonConfig {
     int stat_max_iterations{4000};
     ssta::GridPolicy grid_policy{};
     SelectorKind selector{SelectorKind::Pruned};
+    /// Candidate-evaluation shards. Selections are thread-count
+    /// independent, but the *work counters* a paper table reports are
+    /// not, so the reproduction default stays sequential; callers opt in
+    /// (e.g. via apply_threads_env / apply_threads_flag).
+    std::size_t threads{1};
+    /// Incremental arrival refresh between iterations (bit-identical).
+    bool incremental_ssta{true};
 };
 
 struct ComparisonResult {
@@ -62,6 +69,12 @@ struct RuntimeComparisonConfig {
     bool verify_equal{true};
     /// Also time the cone-limited brute force (ablation).
     bool time_cone{false};
+    /// Candidate-evaluation shards for both timed selectors. Sequential
+    /// by default so the Table 2 pruned-fraction and improvement factors
+    /// stay machine-independent; callers opt in to parallelism.
+    std::size_t threads{1};
+    /// Incremental arrival refresh along the shared trajectory.
+    bool incremental_ssta{true};
 };
 
 struct IterationTiming {

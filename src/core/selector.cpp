@@ -1,8 +1,11 @@
 #include "core/selector.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <memory>
 #include <queue>
 
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace statim::core {
@@ -28,15 +31,24 @@ bool improves(double sens, GateId g, double best_sens, GateId best) {
     return sens == best_sens && best.is_valid() && g < best;
 }
 
-}  // namespace
+/// Shards for a parallel pass: the configured thread count, never more
+/// than one candidate per shard. <= 1 means "run the sequential path".
+std::size_t shard_count(const SelectorConfig& config, std::size_t candidates) {
+    return std::min(config.threads, candidates);
+}
 
-Selection select_pruned(Context& ctx, const SelectorConfig& config) {
-    Timer timer;
-    Selection result;
-    const std::vector<GateId> gates = eligible_gates(ctx, config);
-    result.stats.candidates = gates.size();
+/// Monotone lock-free max for the shared pruning bound.
+void atomic_fetch_max(std::atomic<double>& target, double value) {
+    double current = target.load(std::memory_order_acquire);
+    while (value > current &&
+           !target.compare_exchange_weak(current, value, std::memory_order_acq_rel)) {
+    }
+}
 
-    // Initialize every candidate's front (paper Fig 6, steps 3-5).
+/// Builds one perturbation front per candidate. Sequential by necessity:
+/// each TrialResize temporarily mutates the shared delay state.
+std::vector<std::unique_ptr<PerturbationFront>> init_fronts(
+    Context& ctx, const SelectorConfig& config, const std::vector<GateId>& gates) {
     std::vector<std::unique_ptr<PerturbationFront>> fronts;
     fronts.reserve(gates.size());
     for (GateId g : gates) {
@@ -44,6 +56,80 @@ Selection select_pruned(Context& ctx, const SelectorConfig& config) {
         fronts.push_back(
             std::make_unique<PerturbationFront>(ctx, config.objective, trial));
     }
+    return fronts;
+}
+
+/// Per-front result of a parallel drain, folded deterministically after
+/// the workers join.
+struct FrontOutcome {
+    enum class Kind : std::uint8_t { Pruned, Completed, Died };
+    Kind kind{Kind::Pruned};
+    double sensitivity{0.0};
+    std::size_t nodes_computed{0};
+    std::size_t levels_stepped{0};
+};
+
+void record_outcome(FrontOutcome& out, const PerturbationFront& front) {
+    out.kind = front.sink_pdf().valid() ? FrontOutcome::Kind::Completed
+                                        : FrontOutcome::Kind::Died;
+    out.sensitivity = front.sensitivity();
+    out.nodes_computed = front.stats().nodes_computed;
+    out.levels_stepped = front.stats().levels_stepped;
+}
+
+/// Gate-id-ordered fold of completed/died fronts into the Selection —
+/// identical to the sequential selectors' incumbent rule regardless of
+/// the order the workers finished in. Work counters mirror the sequential
+/// accounting: only completed/died fronts contribute node/level counts.
+void reduce_outcomes(const std::vector<GateId>& gates,
+                     const std::vector<FrontOutcome>& outcomes, Selection& result) {
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const FrontOutcome& out = outcomes[i];
+        switch (out.kind) {
+            case FrontOutcome::Kind::Pruned:
+                ++result.stats.pruned;
+                continue;
+            case FrontOutcome::Kind::Completed:
+                ++result.stats.completed;
+                break;
+            case FrontOutcome::Kind::Died:
+                ++result.stats.died;
+                break;
+        }
+        result.stats.nodes_computed += out.nodes_computed;
+        result.stats.levels_stepped += out.levels_stepped;
+        if (improves(out.sensitivity, gates[i], result.sensitivity, result.gate)) {
+            result.gate = gates[i];
+            result.sensitivity = out.sensitivity;
+        }
+    }
+    if (!(result.sensitivity > 0.0)) {
+        result.gate = GateId::invalid();
+        result.sensitivity = 0.0;
+    }
+}
+
+// Max-heap on (bound, candidate); ties pop the lower gate id first.
+struct HeapEntry {
+    double bound;
+    std::uint32_t idx;
+    std::uint32_t gate_id;
+};
+struct HeapCmp {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+        if (a.bound != b.bound) return a.bound < b.bound;
+        return a.gate_id > b.gate_id;
+    }
+};
+
+Selection select_pruned_sequential(Context& ctx, const SelectorConfig& config,
+                                   const std::vector<GateId>& gates) {
+    Selection result;
+    result.stats.candidates = gates.size();
+
+    // Initialize every candidate's front (paper Fig 6, steps 3-5).
+    std::vector<std::unique_ptr<PerturbationFront>> fronts =
+        init_fronts(ctx, config, gates);
 
     double max_s = 0.0;  // paper step 6
     auto absorb_completion = [&](std::size_t idx) {
@@ -61,19 +147,7 @@ Selection select_pruned(Context& ctx, const SelectorConfig& config) {
         fronts[idx].reset();
     };
 
-    // Max-heap on (bound, candidate); ties pop the lower gate id first.
-    struct HeapEntry {
-        double bound;
-        std::uint32_t idx;
-        std::uint32_t gate_id;
-    };
-    struct Cmp {
-        bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-            if (a.bound != b.bound) return a.bound < b.bound;
-            return a.gate_id > b.gate_id;
-        }
-    };
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, Cmp> heap;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp> heap;
 
     std::size_t alive = 0;
     for (std::size_t i = 0; i < fronts.size(); ++i) {
@@ -107,7 +181,188 @@ Selection select_pruned(Context& ctx, const SelectorConfig& config) {
             heap.push({front.bound_sensitivity(), top.idx, top.gate_id});
         }
     }
+    return result;
+}
 
+Selection select_pruned_parallel(Context& ctx, const SelectorConfig& config,
+                                 const std::vector<GateId>& gates,
+                                 std::size_t shards) {
+    Selection result;
+    result.stats.candidates = gates.size();
+
+    std::vector<std::unique_ptr<PerturbationFront>> fronts =
+        init_fronts(ctx, config, gates);
+    std::vector<FrontOutcome> outcomes(fronts.size());
+
+    // Shared monotone bound (the paper's Max_S), seeded from fronts that
+    // completed during initialization so every shard prunes against the
+    // best sensitivity known so far.
+    std::atomic<double> max_s{0.0};
+    std::vector<std::vector<std::uint32_t>> shard_fronts(shards);
+    for (std::size_t i = 0; i < fronts.size(); ++i) {
+        if (fronts[i]->completed()) {
+            record_outcome(outcomes[i], *fronts[i]);
+            atomic_fetch_max(max_s, fronts[i]->sensitivity());
+            fronts[i].reset();
+        } else {
+            shard_fronts[i % shards].push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+
+    // Each shard runs the sequential bound race over its own fronts,
+    // racing the shared Max_S. A front pruned here has sensitivity
+    // strictly below the final maximum (sens <= bound < Max_S at prune
+    // time <= final Max_S), so the winner always completes in some shard.
+    global_pool().parallel_for(shards, [&](std::size_t s) {
+        std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp> heap;
+        for (std::uint32_t idx : shard_fronts[s])
+            heap.push({fronts[idx]->bound_sensitivity(), idx, gates[idx].value});
+
+        while (!heap.empty()) {
+            const HeapEntry top = heap.top();
+            heap.pop();
+            PerturbationFront& front = *fronts[top.idx];
+            if (front.completed()) continue;  // finished via a previous entry
+            if (top.bound != front.bound_sensitivity()) continue;  // stale bound
+
+            if (top.bound < max_s.load(std::memory_order_acquire)) {
+                // Everything left in this shard is provably inferior;
+                // outcomes stay marked Pruned.
+                break;
+            }
+            front.propagate_one_level(ctx);
+            if (front.completed()) {
+                record_outcome(outcomes[top.idx], front);
+                atomic_fetch_max(max_s, front.sensitivity());
+            } else {
+                heap.push({front.bound_sensitivity(), top.idx, top.gate_id});
+            }
+        }
+    });
+
+    reduce_outcomes(gates, outcomes, result);
+    return result;
+}
+
+/// Per-candidate overlay of the edge PDFs its trial resize perturbs;
+/// everything else reads the shared unperturbed EdgeDelays. Bitwise
+/// copies, so the parallel brute force reproduces the sequential
+/// arithmetic exactly.
+struct DelayOverlay {
+    std::vector<std::pair<EdgeId, prob::Pdf>> edges;
+
+    [[nodiscard]] const prob::Pdf* find(EdgeId e) const {
+        for (const auto& [edge, pdf] : edges)
+            if (edge == e) return &pdf;
+        return nullptr;
+    }
+};
+
+/// The paper baseline for one candidate: a complete SSTA into `scratch`
+/// under `delay_of`, returning the candidate's sensitivity. The single
+/// arithmetic path both the sequential and the parallel brute force use.
+double full_ssta_sensitivity(const Context& ctx, const SelectorConfig& config,
+                             double base_obj, const ssta::DelayLookup& delay_of,
+                             std::vector<prob::Pdf>& scratch) {
+    const auto& graph = ctx.graph();
+    scratch.assign(graph.node_count(), prob::Pdf{});
+    scratch[netlist::TimingGraph::source().index()] = prob::Pdf::point(0);
+    const auto arrival_of = [&scratch](NodeId u) -> const prob::Pdf& {
+        return scratch[u.index()];
+    };
+    for (NodeId n : graph.topo_order()) {
+        if (n == netlist::TimingGraph::source()) continue;
+        scratch[n.index()] = ssta::compute_arrival(graph, n, arrival_of, delay_of);
+    }
+    const double pert_obj =
+        config.objective.eval_bins(scratch[netlist::TimingGraph::sink().index()]);
+    return (base_obj - pert_obj) * ctx.grid().dt_ns() / config.delta_w;
+}
+
+Selection select_brute_force_parallel(Context& ctx, const SelectorConfig& config,
+                                      const std::vector<GateId>& gates,
+                                      std::size_t shards, bool record_all) {
+    Selection result;
+    result.stats.candidates = gates.size();
+    const auto& graph = ctx.graph();
+    const double base_obj = config.objective.eval_bins(ctx.engine().sink_arrival());
+
+    // Sequential phase: capture each candidate's perturbed edge PDFs.
+    std::vector<DelayOverlay> overlays(gates.size());
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        TrialResize trial(ctx, gates[i], config.delta_w);
+        overlays[i].edges.reserve(trial.changed_edges().size());
+        for (EdgeId e : trial.changed_edges())
+            overlays[i].edges.emplace_back(e, ctx.edge_delays().pdf(e));
+    }
+
+    // Parallel phase: one full SSTA per candidate, baseline delays plus
+    // the candidate's overlay. Candidates are independent, so any
+    // execution order produces the same doubles.
+    std::vector<double> sens(gates.size(), 0.0);
+    global_pool().parallel_for(shards, [&](std::size_t s) {
+        std::vector<prob::Pdf> scratch;
+        for (std::size_t i = s; i < gates.size(); i += shards) {
+            const DelayOverlay& overlay = overlays[i];
+            const ssta::DelayLookup delay_of =
+                [&ctx, &overlay](EdgeId e) -> const prob::Pdf& {
+                if (const prob::Pdf* perturbed = overlay.find(e)) return *perturbed;
+                return ctx.edge_delays().pdf(e);
+            };
+            sens[i] = full_ssta_sensitivity(ctx, config, base_obj, delay_of, scratch);
+        }
+    });
+
+    result.stats.completed = gates.size();
+    result.stats.nodes_computed = gates.size() * (graph.node_count() - 1);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (record_all) result.all_sensitivities.emplace_back(gates[i], sens[i]);
+        if (improves(sens[i], gates[i], result.sensitivity, result.gate)) {
+            result.gate = gates[i];
+            result.sensitivity = sens[i];
+        }
+    }
+    if (!(result.sensitivity > 0.0)) {
+        result.gate = GateId::invalid();
+        result.sensitivity = 0.0;
+    }
+    return result;
+}
+
+Selection select_cone_parallel(Context& ctx, const SelectorConfig& config,
+                               const std::vector<GateId>& gates, std::size_t shards,
+                               bool record_all) {
+    Selection result;
+    result.stats.candidates = gates.size();
+
+    std::vector<std::unique_ptr<PerturbationFront>> fronts =
+        init_fronts(ctx, config, gates);
+    std::vector<FrontOutcome> outcomes(fronts.size());
+
+    global_pool().parallel_for(shards, [&](std::size_t s) {
+        for (std::size_t i = s; i < fronts.size(); i += shards) {
+            PerturbationFront& front = *fronts[i];
+            while (!front.completed()) front.propagate_one_level(ctx);
+            record_outcome(outcomes[i], front);
+        }
+    });
+
+    if (record_all)
+        for (std::size_t i = 0; i < gates.size(); ++i)
+            result.all_sensitivities.emplace_back(gates[i], outcomes[i].sensitivity);
+    reduce_outcomes(gates, outcomes, result);
+    return result;
+}
+
+}  // namespace
+
+Selection select_pruned(Context& ctx, const SelectorConfig& config) {
+    Timer timer;
+    const std::vector<GateId> gates = eligible_gates(ctx, config);
+    const std::size_t shards = shard_count(config, gates.size());
+    Selection result = shards > 1
+                           ? select_pruned_parallel(ctx, config, gates, shards)
+                           : select_pruned_sequential(ctx, config, gates);
     result.stats.seconds = timer.seconds();
     return result;
 }
@@ -115,12 +370,24 @@ Selection select_pruned(Context& ctx, const SelectorConfig& config) {
 Selection select_brute_force(Context& ctx, const SelectorConfig& config,
                              bool cone_only, bool record_all) {
     Timer timer;
-    Selection result;
     const std::vector<GateId> gates = eligible_gates(ctx, config);
+    const std::size_t shards = shard_count(config, gates.size());
+    if (shards > 1) {
+        Selection result =
+            cone_only
+                ? select_cone_parallel(ctx, config, gates, shards, record_all)
+                : select_brute_force_parallel(ctx, config, gates, shards, record_all);
+        result.stats.seconds = timer.seconds();
+        return result;
+    }
+
+    Selection result;
     result.stats.candidates = gates.size();
     const auto& graph = ctx.graph();
-    const double dt = ctx.grid().dt_ns();
     const double base_obj = config.objective.eval_bins(ctx.engine().sink_arrival());
+    const ssta::DelayLookup delay_of = [&ctx](EdgeId e) -> const prob::Pdf& {
+        return ctx.edge_delays().pdf(e);
+    };
 
     std::vector<prob::Pdf> scratch;
     for (GateId g : gates) {
@@ -135,23 +402,10 @@ Selection select_brute_force(Context& ctx, const SelectorConfig& config,
             result.stats.nodes_computed += front.stats().nodes_computed;
             result.stats.levels_stepped += front.stats().levels_stepped;
         } else {
-            // Paper baseline: a complete SSTA run for this candidate.
-            scratch.assign(graph.node_count(), prob::Pdf{});
-            scratch[netlist::TimingGraph::source().index()] = prob::Pdf::point(0);
-            const auto arrival_of = [&scratch](NodeId u) -> const prob::Pdf& {
-                return scratch[u.index()];
-            };
-            const auto delay_of = [&ctx](EdgeId e) -> const prob::Pdf& {
-                return ctx.edge_delays().pdf(e);
-            };
-            for (NodeId n : graph.topo_order()) {
-                if (n == netlist::TimingGraph::source()) continue;
-                scratch[n.index()] = ssta::compute_arrival(graph, n, arrival_of, delay_of);
-                ++result.stats.nodes_computed;
-            }
-            const double pert_obj = config.objective.eval_bins(
-                scratch[netlist::TimingGraph::sink().index()]);
-            sens = (base_obj - pert_obj) * dt / config.delta_w;
+            // Paper baseline: a complete SSTA run for this candidate,
+            // reading the trial's perturbed delays directly.
+            sens = full_ssta_sensitivity(ctx, config, base_obj, delay_of, scratch);
+            result.stats.nodes_computed += graph.node_count() - 1;
             ++result.stats.completed;
         }
         if (record_all) result.all_sensitivities.emplace_back(g, sens);
@@ -178,16 +432,13 @@ Selection select_heuristic(Context& ctx, const SelectorConfig& config,
     result.stats.candidates = gates.size();
 
     // Initialize all fronts, keep their initial bounds.
-    std::vector<std::unique_ptr<PerturbationFront>> fronts;
-    fronts.reserve(gates.size());
+    std::vector<std::unique_ptr<PerturbationFront>> fronts =
+        init_fronts(ctx, config, gates);
     std::vector<std::pair<double, std::size_t>> ranked;  // (bound, index)
     for (std::size_t i = 0; i < gates.size(); ++i) {
-        TrialResize trial(ctx, gates[i], config.delta_w);
-        fronts.push_back(
-            std::make_unique<PerturbationFront>(ctx, config.objective, trial));
-        if (!fronts.back()->completed())
-            ranked.emplace_back(fronts.back()->bound_sensitivity(), i);
-        else if (fronts.back()->sink_pdf().valid())
+        if (!fronts[i]->completed())
+            ranked.emplace_back(fronts[i]->bound_sensitivity(), i);
+        else if (fronts[i]->sink_pdf().valid())
             ++result.stats.completed;
         else
             ++result.stats.died;
@@ -201,9 +452,20 @@ Selection select_heuristic(Context& ctx, const SelectorConfig& config,
         ranked.resize(beam);
     }
 
+    // Beam fronts are independent; drain them across the shards. The fold
+    // below is order-invariant (strict-greater + lowest-gate-id ties), so
+    // the heuristic result is thread-count independent too.
+    const std::size_t shards =
+        std::max<std::size_t>(shard_count(config, ranked.size()), 1);
+    global_pool().parallel_for(shards, [&](std::size_t s) {
+        for (std::size_t r = s; r < ranked.size(); r += shards) {
+            PerturbationFront& front = *fronts[ranked[r].second];
+            while (!front.completed()) front.propagate_one_level(ctx);
+        }
+    });
+
     for (const auto& [bound, idx] : ranked) {
         PerturbationFront& front = *fronts[idx];
-        while (!front.completed()) front.propagate_one_level(ctx);
         if (front.sink_pdf().valid()) ++result.stats.completed;
         else ++result.stats.died;
         result.stats.nodes_computed += front.stats().nodes_computed;

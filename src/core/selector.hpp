@@ -44,10 +44,20 @@ struct Selection {
 };
 
 /// Shared knobs for one selection pass.
+///
+/// `threads` > 1 evaluates candidates in parallel: fronts are still
+/// initialized sequentially (trial resizes mutate shared state), then
+/// drained across `threads` shards on the global pool. The *selection*
+/// (gate + sensitivity) is bit-identical to the sequential result for any
+/// thread count — a pruned candidate's sensitivity is provably strictly
+/// below the final maximum, so racing the bound never discards a winner,
+/// and the reduction is a deterministic gate-id-ordered fold. Only the
+/// work counters (pruned/nodes_computed) may vary with the shard racing.
 struct SelectorConfig {
     Objective objective{};
     double delta_w{0.25};
     double max_width{16.0};
+    std::size_t threads{1};
 };
 
 /// The paper's pruned selection (requires ctx.run_ssta() beforehand).

@@ -5,13 +5,15 @@
 #include "sta/sta.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace statim::core {
 
 namespace {
 
 Selection run_selector(Context& ctx, const StatisticalSizerConfig& config) {
-    const SelectorConfig sel{config.objective, config.delta_w, config.max_width};
+    const SelectorConfig sel{config.objective, config.delta_w, config.max_width,
+                             config.threads};
     switch (config.selector) {
         case SelectorKind::Pruned: return select_pruned(ctx, sel);
         case SelectorKind::BruteFull: return select_brute_force(ctx, sel, false);
@@ -31,6 +33,16 @@ SizingResult run_statistical_sizing(Context& ctx, const StatisticalSizerConfig& 
         throw ConfigError("StatisticalSizerConfig: gates_per_iteration must be >= 1");
 
     SizingResult result;
+    ctx.set_incremental_ssta(config.incremental_ssta);
+    // Timed refresh of the arrivals after a committed resize: incremental
+    // cone re-propagation when enabled, full SSTA otherwise.
+    const auto refresh = [&ctx, &result] {
+        Timer refresh_timer;
+        ctx.refresh_ssta();
+        result.ssta_refresh_seconds += refresh_timer.seconds();
+        result.ssta_nodes_recomputed +=
+            ctx.engine().last_update_stats().nodes_recomputed;
+    };
     ctx.run_ssta();
     result.initial_objective_ns =
         config.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
@@ -61,11 +73,11 @@ SizingResult run_statistical_sizing(Context& ctx, const StatisticalSizerConfig& 
             (void)ctx.apply_resize(current.gate, config.delta_w);
             ++applied;
             if (applied >= config.gates_per_iteration) break;
-            ctx.run_ssta();
+            refresh();
             current = run_selector(ctx, config);
             if (!current.gate.is_valid() || !(current.sensitivity > 0.0)) break;
         }
-        ctx.run_ssta();
+        refresh();
 
         result.iterations = iter;
         result.final_objective_ns =

@@ -39,6 +39,14 @@ struct StatisticalSizerConfig {
     /// How many gates to upsize per iteration (paper §3.3 notes the
     /// algorithm "can be easily modified to size multiple gates").
     int gates_per_iteration{1};
+    /// Candidate-evaluation shards per selection (see SelectorConfig);
+    /// results are bit-identical for any value.
+    std::size_t threads{1};
+    /// Refresh arrivals incrementally after each committed resize (only
+    /// the resized gate's fanout cone is re-propagated) instead of
+    /// re-running the full SSTA. Bit-identical either way; off is the
+    /// reference path kept for A/B benching.
+    bool incremental_ssta{true};
 };
 
 struct IterationRecord {
@@ -59,6 +67,11 @@ struct SizingResult {
     double final_area{0.0};
     int iterations{0};
     std::string stop_reason;
+    /// Wall-clock spent refreshing arrivals after committed resizes (the
+    /// part the incremental engine accelerates; excludes the initial run).
+    double ssta_refresh_seconds{0.0};
+    /// compute_arrival evaluations those refreshes performed.
+    std::size_t ssta_nodes_recomputed{0};
 };
 
 /// Statistical coordinate descent. `ctx` must wrap the circuit at its

@@ -4,6 +4,9 @@ namespace statim::core {
 
 TrialResize::TrialResize(Context& ctx, GateId gate, double delta_w)
     : ctx_(&ctx), gate_(gate), delta_w_(delta_w) {
+    // The trial restores every touched delay bit-for-bit, so it must not
+    // pollute the incremental-SSTA dirty list.
+    const sta::DelayCalc::SuppressDirty guard(ctx_->delay_calc());
     changed_ = ctx_->delay_calc().affected_edges(gate);
     saved_pdfs_ = ctx_->edge_delays().snapshot(changed_);
     ctx_->nl().gate(gate).width += delta_w_;
@@ -12,6 +15,7 @@ TrialResize::TrialResize(Context& ctx, GateId gate, double delta_w)
 }
 
 TrialResize::~TrialResize() {
+    const sta::DelayCalc::SuppressDirty guard(ctx_->delay_calc());
     ctx_->nl().gate(gate_).width -= delta_w_;
     // Nominal delays recompute deterministically from the restored width;
     // the PDFs are restored from the snapshot (bitwise identical).

@@ -1,5 +1,8 @@
 #include "ssta/engine.hpp"
 
+#include <queue>
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace statim::ssta {
@@ -42,9 +45,53 @@ void SstaEngine::run(const EdgeDelays& delays) {
     const auto delay_of = [&delays](EdgeId e) -> const prob::Pdf& {
         return delays.pdf(e);
     };
+    stats_ = UpdateStats{};
+    stats_.full_run = true;
     for (NodeId n : graph_->topo_order()) {
         if (n == netlist::TimingGraph::source()) continue;
         arrivals_[n.index()] = compute_arrival(*graph_, n, arrival_of, delay_of);
+        ++stats_.nodes_recomputed;
+    }
+}
+
+void SstaEngine::update(const EdgeDelays& delays, std::span<const EdgeId> changed) {
+    if (!has_run()) {
+        run(delays);
+        return;
+    }
+    stats_ = UpdateStats{};
+    if (scheduled_.size() != graph_->node_count())
+        scheduled_.assign(graph_->node_count(), 0);
+    ++epoch_;
+
+    // Min-heap on (level, node id): every edge goes to a strictly higher
+    // level, so when a node pops all of its re-propagated fanins are final.
+    using Pending = std::pair<std::uint32_t, std::uint32_t>;
+    std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending;
+    const auto schedule = [&](NodeId n) {
+        if (scheduled_[n.index()] == epoch_) return;
+        scheduled_[n.index()] = epoch_;
+        pending.emplace(graph_->level(n), n.value);
+    };
+    for (EdgeId e : changed) schedule(graph_->edge(e).to);
+
+    const auto arrival_of = [this](NodeId n) -> const prob::Pdf& {
+        return arrivals_[n.index()];
+    };
+    const auto delay_of = [&delays](EdgeId e) -> const prob::Pdf& {
+        return delays.pdf(e);
+    };
+    while (!pending.empty()) {
+        const NodeId n{pending.top().second};
+        pending.pop();
+        prob::Pdf fresh = compute_arrival(*graph_, n, arrival_of, delay_of);
+        ++stats_.nodes_recomputed;
+        if (fresh == arrivals_[n.index()]) {
+            ++stats_.nodes_unchanged;  // absorbed: downstream inputs unchanged
+            continue;
+        }
+        arrivals_[n.index()] = std::move(fresh);
+        for (EdgeId e : graph_->out_edges(n)) schedule(graph_->edge(e).to);
     }
 }
 

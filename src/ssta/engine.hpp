@@ -12,7 +12,9 @@
 // so all three agree bit for bit — the basis of the "exact pruning" claim.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "netlist/timing_graph.hpp"
@@ -34,13 +36,39 @@ using DelayLookup = std::function<const prob::Pdf&(EdgeId)>;
                                         const DelayLookup& delay_of);
 
 /// Full-circuit SSTA: owns one arrival PDF per node.
+///
+/// Two refresh paths share `compute_arrival` and are bit-identical:
+///  * run()    — from-scratch propagation of every node (the reference);
+///  * update() — incremental: after a resize changed some edge PDFs, only
+///    the fanout cone of those edges is re-propagated level by level, and
+///    a node whose recomputed arrival equals its stored one bit-for-bit
+///    stops the wave (the same absorption argument the perturbation
+///    fronts use — identical inputs reproduce identical outputs, so the
+///    untouched remainder of the cone is already correct).
 class SstaEngine {
   public:
+    /// Accounting for the most recent run()/update() call.
+    struct UpdateStats {
+        bool full_run{false};            ///< true for run(), false for update()
+        std::size_t nodes_recomputed{0};  ///< compute_arrival evaluations
+        std::size_t nodes_unchanged{0};   ///< recomputed but bitwise equal (wave cut)
+    };
+
     /// Binds to a graph; `run` must be called before arrivals are read.
     explicit SstaEngine(const netlist::TimingGraph& graph);
 
     /// Propagates every node from a clean slate. O(Σ conv + max).
     void run(const EdgeDelays& delays);
+
+    /// Re-propagates only the fanout cone of `changed` (edges whose delay
+    /// PDFs differ from the last refresh). Requires the *current* `delays`;
+    /// falls back to run() when no arrivals exist yet. Result is
+    /// bit-identical to a from-scratch run().
+    void update(const EdgeDelays& delays, std::span<const EdgeId> changed);
+
+    [[nodiscard]] const UpdateStats& last_update_stats() const noexcept {
+        return stats_;
+    }
 
     [[nodiscard]] bool has_run() const noexcept { return !arrivals_.empty(); }
     [[nodiscard]] const prob::Pdf& arrival(NodeId n) const { return arrivals_.at(n.index()); }
@@ -52,6 +80,11 @@ class SstaEngine {
   private:
     const netlist::TimingGraph* graph_;
     std::vector<prob::Pdf> arrivals_;
+    UpdateStats stats_;
+    // update() scratch, reused across calls: epoch-stamped "scheduled"
+    // marks (avoids an O(nodes) clear per incremental refresh).
+    std::vector<std::uint64_t> scheduled_;
+    std::uint64_t epoch_{0};
 };
 
 }  // namespace statim::ssta

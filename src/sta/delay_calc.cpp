@@ -17,6 +17,20 @@ void DelayCalc::rebuild() {
         recompute_gate_load(GateId{static_cast<std::uint32_t>(gi)});
     for (std::size_t gi = 0; gi < nl.gate_count(); ++gi)
         recompute_gate_delays(GateId{static_cast<std::uint32_t>(gi)});
+    dirty_.clear();
+    fully_dirty_ = true;
+}
+
+void DelayCalc::record_dirty(std::span<const EdgeId> edges) {
+    if (suppress_dirty_) return;  // bitwise-restoring trial in progress
+    if (fully_dirty_) return;     // no point accumulating past "everything"
+    if (dirty_.size() + edges.size() > edge_delay_ns_.size() * 2) {
+        // The delta outgrew the circuit; a full refresh is cheaper.
+        dirty_.clear();
+        fully_dirty_ = true;
+        return;
+    }
+    dirty_.insert(dirty_.end(), edges.begin(), edges.end());
 }
 
 void DelayCalc::recompute_gate_load(GateId g) {
@@ -75,7 +89,9 @@ std::vector<EdgeId> DelayCalc::update_for_resize(GateId x) {
         recompute_gate_load(d);
         recompute_gate_delays(d);
     }
-    return affected_edges(x);
+    std::vector<EdgeId> edges = affected_edges(x);
+    record_dirty(edges);
+    return edges;
 }
 
 }  // namespace statim::sta

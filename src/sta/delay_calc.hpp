@@ -26,13 +26,50 @@ class DelayCalc {
     DelayCalc(const netlist::TimingGraph& graph, const cells::Library& lib);
 
     /// Recomputes every load and edge delay from the netlist widths.
+    /// Marks every edge dirty (see dirty_edges).
     void rebuild();
 
     /// Call after changing the width of gate `x` in the netlist. Updates
     /// the loads of x's fanin driver gates and the nominal delays of all
     /// affected edges. Returns those edges (x's own edges followed by each
-    /// fanin driver's edges; deterministic order, no duplicates).
+    /// fanin driver's edges; deterministic order, no duplicates). The
+    /// edges are also appended to the dirty list.
     std::vector<EdgeId> update_for_resize(GateId x);
+
+    // -- dirty-edge tracking ------------------------------------------------
+    // Edges touched since the last mark_clean(), in touch order (possibly
+    // with duplicates across calls). The SSTA layer consumes this to
+    // re-propagate only the affected fanout cone. `fully_dirty` means "no
+    // usable delta" (fresh construction, rebuild, or overflow) and forces
+    // a full refresh.
+
+    [[nodiscard]] bool fully_dirty() const noexcept { return fully_dirty_; }
+    [[nodiscard]] std::span<const EdgeId> dirty_edges() const noexcept {
+        return dirty_;
+    }
+    /// Forgets all recorded dirt (call after refreshing the consumer).
+    void mark_clean() noexcept {
+        dirty_.clear();
+        fully_dirty_ = false;
+    }
+
+    /// RAII: suppresses dirty recording for an operation that restores
+    /// every touched delay bit-for-bit before the next refresh (trial
+    /// resizes). Candidate evaluation thus leaves no residue in the list.
+    class SuppressDirty {
+      public:
+        explicit SuppressDirty(DelayCalc& dc) noexcept
+            : dc_(&dc), prev_(dc.suppress_dirty_) {
+            dc.suppress_dirty_ = true;
+        }
+        ~SuppressDirty() { dc_->suppress_dirty_ = prev_; }
+        SuppressDirty(const SuppressDirty&) = delete;
+        SuppressDirty& operator=(const SuppressDirty&) = delete;
+
+      private:
+        DelayCalc* dc_;
+        bool prev_;
+    };
 
     /// Edges whose delay update_for_resize(x) *would* touch (same order).
     [[nodiscard]] std::vector<EdgeId> affected_edges(GateId x) const;
@@ -57,10 +94,15 @@ class DelayCalc {
     void recompute_gate_load(GateId g);
     void recompute_gate_delays(GateId g);
 
+    void record_dirty(std::span<const EdgeId> edges);
+
     const netlist::TimingGraph* graph_;
     const cells::Library* lib_;
     std::vector<double> load_ff_;        // per gate
     std::vector<double> edge_delay_ns_;  // per edge
+    std::vector<EdgeId> dirty_;          // touched since mark_clean
+    bool fully_dirty_{true};
+    bool suppress_dirty_{false};
 };
 
 }  // namespace statim::sta

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace statim {
 
@@ -78,6 +79,14 @@ void CliArgs::validate(const std::vector<std::string>& known) const {
         if (std::find(known.begin(), known.end(), name) == known.end())
             throw ConfigError("unknown option --" + name);
     }
+}
+
+std::size_t apply_threads_flag(const CliArgs& args) {
+    const std::int64_t threads =
+        args.get_int("threads", static_cast<std::int64_t>(default_thread_count()));
+    if (threads < 1) throw ConfigError("--threads: must be >= 1");
+    set_default_thread_count(static_cast<std::size_t>(threads));
+    return static_cast<std::size_t>(threads);
 }
 
 }  // namespace statim

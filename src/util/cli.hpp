@@ -44,4 +44,10 @@ class CliArgs {
     std::vector<std::string> positional_;
 };
 
+/// Resolves the worker-thread count from `--threads` (falling back to
+/// STATIM_THREADS, then hardware_concurrency), installs it as the
+/// process-wide default, and returns it. Throws ConfigError on
+/// `--threads 0` or malformed input.
+std::size_t apply_threads_flag(const CliArgs& args);
+
 }  // namespace statim

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace statim {
 
@@ -33,6 +34,12 @@ double env_double(std::string_view name, double fallback) {
 void apply_log_env() {
     if (const auto level = env_string("STATIM_LOG"))
         set_log_level(parse_log_level(*level));
+}
+
+std::size_t apply_threads_env() {
+    const std::int64_t threads = env_int("STATIM_THREADS", 0);
+    if (threads >= 1) set_default_thread_count(static_cast<std::size_t>(threads));
+    return default_thread_count();
 }
 
 }  // namespace statim

@@ -3,6 +3,7 @@
 // environment: STATIM_BENCH_SCALE, STATIM_BENCH_CIRCUITS, STATIM_LOG.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -21,5 +22,9 @@ namespace statim {
 
 /// Applies STATIM_LOG (debug/info/warn/error/off) to the global logger.
 void apply_log_env();
+
+/// Applies STATIM_THREADS (>= 1) to the process-wide default thread
+/// count; no-op when unset. Returns the count now in effect.
+std::size_t apply_threads_env();
 
 }  // namespace statim

@@ -1,0 +1,144 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace statim {
+
+/// One parallel_for invocation: an atomic index the executing threads
+/// race on, plus completion/exception bookkeeping. Shared ownership keeps
+/// the batch alive until the last straggler worker lets go of it.
+struct ThreadPool::Batch {
+    std::size_t n{0};
+    const std::function<void(std::size_t)>* fn{nullptr};
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;  // guarded by error_mutex (first wins)
+    std::condition_variable finished;
+    std::mutex finished_mutex;
+};
+
+ThreadPool::ThreadPool(std::size_t workers) { resize(workers); }
+
+ThreadPool::~ThreadPool() { resize(0); }
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_ready_.wait(lock, [this] { return stopping_ || batch_ != nullptr; });
+            if (stopping_) return;
+            batch = batch_;
+        }
+        run_batch(*batch);
+        // Park until this batch retires so run_batch is not re-entered on
+        // indices that are already exhausted.
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_ready_.wait(lock, [this, &batch] { return stopping_ || batch_ != batch; });
+    }
+}
+
+void ThreadPool::run_batch(Batch& batch) {
+    for (;;) {
+        const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.n) break;
+        try {
+            (*batch.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(batch.error_mutex);
+            if (!batch.error) batch.error = std::current_exception();
+        }
+        if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.n) {
+            std::lock_guard<std::mutex> lock(batch.finished_mutex);
+            batch.finished.notify_all();
+        }
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (threads_.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->n = n;
+    batch->fn = &fn;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (batch_ != nullptr)
+            throw ConfigError("ThreadPool: nested parallel_for on the same pool");
+        batch_ = batch;
+    }
+    work_ready_.notify_all();
+
+    run_batch(*batch);  // the caller works too
+
+    {
+        std::unique_lock<std::mutex> lock(batch->finished_mutex);
+        batch->finished.wait(lock, [&batch] {
+            return batch->done.load(std::memory_order_acquire) == batch->n;
+        });
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch_ = nullptr;
+    }
+    work_ready_.notify_all();  // release workers parked on `batch_ != batch`
+
+    if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::resize(std::size_t workers) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = false;
+    }
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { worker_loop(); });
+}
+
+namespace {
+
+std::size_t& cached_thread_count() {
+    static std::size_t count = [] {
+        const std::int64_t from_env = env_int("STATIM_THREADS", 0);
+        if (from_env >= 1) return static_cast<std::size_t>(from_env);
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw < 1 ? std::size_t{1} : static_cast<std::size_t>(hw);
+    }();
+    return count;
+}
+
+}  // namespace
+
+std::size_t default_thread_count() { return cached_thread_count(); }
+
+ThreadPool& global_pool() {
+    static ThreadPool pool(default_thread_count() - 1);
+    return pool;
+}
+
+void set_default_thread_count(std::size_t threads) {
+    if (threads < 1) throw ConfigError("set_default_thread_count: threads must be >= 1");
+    cached_thread_count() = threads;
+    global_pool().resize(threads - 1);
+}
+
+}  // namespace statim

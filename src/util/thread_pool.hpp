@@ -1,0 +1,75 @@
+// Process-wide worker-thread pool for the parallel hot paths (candidate
+// selection, bench harnesses).
+//
+// Design rules, in priority order:
+//  1. Determinism: callers shard their work by a *configured* count, never
+//     by the pool size, so results are bit-identical no matter how many OS
+//     threads actually execute the shards (including zero workers, where
+//     everything runs inline on the caller).
+//  2. No oversubscription: one global pool (`global_pool`), sized once
+//     from --threads / STATIM_THREADS / hardware_concurrency.
+//  3. Exceptions surface: the first exception thrown by any task is
+//     rethrown on the caller after all tasks drain.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace statim {
+
+/// Fixed set of worker threads executing `parallel_for` batches. The
+/// calling thread always participates, so a pool with zero workers is a
+/// valid (purely inline) executor.
+class ThreadPool {
+  public:
+    /// Spawns `workers` threads (0 = inline execution only).
+    explicit ThreadPool(std::size_t workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Worker threads owned by the pool (caller participation excluded).
+    [[nodiscard]] std::size_t workers() const noexcept { return threads_.size(); }
+
+    /// Runs fn(0) … fn(n-1), distributing indices over the workers and the
+    /// calling thread; returns when every index completed. Tasks must not
+    /// themselves call parallel_for on the same pool (no nesting). The
+    /// first exception any task throws is rethrown here.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+    /// Stops and joins the workers, then respawns `workers` of them.
+    void resize(std::size_t workers);
+
+  private:
+    struct Batch;
+
+    void worker_loop();
+    void run_batch(Batch& batch);
+
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::shared_ptr<Batch> batch_;  // guarded by mutex_
+    bool stopping_{false};          // guarded by mutex_
+};
+
+/// Threads to use by default: STATIM_THREADS when set (>= 1), otherwise
+/// std::thread::hardware_concurrency (>= 1). Read once, then cached;
+/// set_default_thread_count overrides the cache.
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Installs `threads` (>= 1) as the process-wide default and resizes the
+/// global pool to match (threads - 1 workers + the caller).
+void set_default_thread_count(std::size_t threads);
+
+/// The shared pool every parallel hot path uses. Lazily constructed with
+/// default_thread_count() - 1 workers.
+[[nodiscard]] ThreadPool& global_pool();
+
+}  // namespace statim

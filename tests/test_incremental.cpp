@@ -1,0 +1,240 @@
+// Exactness of the incremental refactor: cone-scoped SSTA updates and
+// parallel candidate selection must be bit-identical to the sequential
+// from-scratch reference paths — the same contract the paper's pruning
+// claims (and tests/test_pruning_exactness.cpp) rest on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/selector.hpp"
+#include "core/sizers.hpp"
+#include "core/trial_resize.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/iscas.hpp"
+#include "ssta/engine.hpp"
+#include "util/rng.hpp"
+
+namespace statim::core {
+namespace {
+
+using netlist::Netlist;
+
+Netlist make_circuit(const std::string& name, const cells::Library& lib) {
+    if (name == "generated") {
+        netlist::GeneratorSpec spec;
+        spec.name = "gen_incr";
+        spec.num_inputs = 12;
+        spec.num_outputs = 9;
+        spec.num_gates = 140;
+        spec.fanin_sum = 300;
+        spec.depth = 14;
+        spec.seed = 2024;
+        return netlist::generate_circuit(spec, lib);
+    }
+    return netlist::make_iscas(name, lib);
+}
+
+/// All arrivals of the incremental engine vs a from-scratch reference run
+/// on the same graph + delays.
+void expect_arrivals_match_reference(const Context& ctx, const std::string& label) {
+    ssta::SstaEngine reference(ctx.graph());
+    reference.run(ctx.edge_delays());
+    for (std::size_t n = 0; n < ctx.graph().node_count(); ++n) {
+        const NodeId node{static_cast<std::uint32_t>(n)};
+        ASSERT_TRUE(ctx.engine().arrival(node) == reference.arrival(node))
+            << label << ": arrival diverged at node " << n;
+    }
+}
+
+class IncrementalSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IncrementalSweep, RandomResizeSequenceMatchesFromScratchBitForBit) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = make_circuit(GetParam(), lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+
+    Rng rng(hash_name(GetParam()));
+    const auto gate_count = static_cast<std::uint32_t>(nl.gate_count());
+    for (int step = 0; step < 25; ++step) {
+        const GateId g{static_cast<std::uint32_t>(rng() % gate_count)};
+        double delta = (rng() % 3 == 0) ? 0.5 : 0.25;
+        if (rng() % 4 == 0 && nl.gate(g).width >= 1.5) delta = -0.25;  // downsizes too
+        (void)ctx.apply_resize(g, delta);
+        // Batch two resizes every few steps: the dirty list accumulates.
+        if (step % 5 == 2) {
+            const GateId g2{static_cast<std::uint32_t>(rng() % gate_count)};
+            (void)ctx.apply_resize(g2, 0.25);
+        }
+        ctx.refresh_ssta();
+        expect_arrivals_match_reference(
+            ctx, std::string(GetParam()) + " step " + std::to_string(step));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, IncrementalSweep,
+                         ::testing::Values("generated", "c17", "c432", "c880"));
+
+TEST(IncrementalEngine, UpdateBeforeRunFallsBackToFullRun) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    Context ctx(nl, lib);
+    EXPECT_FALSE(ctx.engine().has_run());
+    ctx.refresh_ssta();  // nothing to update incrementally yet
+    EXPECT_TRUE(ctx.engine().has_run());
+    EXPECT_TRUE(ctx.engine().last_update_stats().full_run);
+    expect_arrivals_match_reference(ctx, "fallback");
+}
+
+TEST(IncrementalEngine, ResizeTouchesOnlyTheFanoutCone) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c880", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    // A mid-circuit gate's cone is a strict subset of the graph; the
+    // incremental refresh must not re-propagate everything.
+    const GateId g{static_cast<std::uint32_t>(nl.gate_count() / 2)};
+    (void)ctx.apply_resize(g, 0.25);
+    ctx.refresh_ssta();
+    const auto& stats = ctx.engine().last_update_stats();
+    EXPECT_FALSE(stats.full_run);
+    EXPECT_GT(stats.nodes_recomputed, 0u);
+    EXPECT_LT(stats.nodes_recomputed, ctx.graph().node_count() / 2);
+}
+
+TEST(IncrementalEngine, TrialResizesLeaveNoDirtyResidue) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    EXPECT_TRUE(ctx.delay_calc().dirty_edges().empty());
+    {
+        TrialResize trial(ctx, GateId{3}, 0.25);
+        PerturbationFront front(ctx, Objective::percentile(0.99), trial);
+    }
+    // The trial restored everything bit-for-bit and must not have queued
+    // incremental work.
+    EXPECT_TRUE(ctx.delay_calc().dirty_edges().empty());
+    EXPECT_FALSE(ctx.delay_calc().fully_dirty());
+}
+
+TEST(IncrementalEngine, DisabledModeAlwaysRunsFull) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    ctx.set_incremental_ssta(false);
+    ctx.run_ssta();
+    (void)ctx.apply_resize(GateId{1}, 0.25);
+    ctx.refresh_ssta();
+    EXPECT_TRUE(ctx.engine().last_update_stats().full_run);
+}
+
+TEST(IncrementalSizing, FullAndIncrementalTrajectoriesAreIdentical) {
+    cells::Library lib = cells::Library::standard_180nm();
+    std::vector<std::pair<GateId, double>> reference;
+    for (const bool incremental : {true, false}) {
+        Netlist nl = netlist::make_iscas("c432", lib);
+        Context ctx(nl, lib);
+        StatisticalSizerConfig cfg;
+        cfg.max_iterations = 20;
+        cfg.incremental_ssta = incremental;
+        const SizingResult r = run_statistical_sizing(ctx, cfg);
+        ASSERT_EQ(r.history.size(), 20u);
+        if (incremental) {
+            for (const auto& rec : r.history)
+                reference.emplace_back(rec.gate, rec.objective_after_ns);
+        } else {
+            ASSERT_EQ(reference.size(), r.history.size());
+            for (std::size_t i = 0; i < r.history.size(); ++i) {
+                EXPECT_EQ(reference[i].first, r.history[i].gate) << "iter " << i;
+                EXPECT_EQ(reference[i].second, r.history[i].objective_after_ns)
+                    << "iter " << i;
+            }
+        }
+    }
+}
+
+// ---- parallel selection = sequential selection --------------------------
+
+class ParallelSelectorSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelSelectorSweep, AllSelectorsMatchSequentialAlongTrajectory) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = make_circuit(GetParam(), lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+
+    SelectorConfig seq{Objective::percentile(0.99), 0.25, 16.0, 1};
+    SelectorConfig par{Objective::percentile(0.99), 0.25, 16.0, 4};
+
+    for (int iter = 0; iter < 4; ++iter) {
+        const Selection pruned_seq = select_pruned(ctx, seq);
+        const Selection pruned_par = select_pruned(ctx, par);
+        EXPECT_EQ(pruned_seq.gate, pruned_par.gate) << "iter " << iter;
+        EXPECT_EQ(pruned_seq.sensitivity, pruned_par.sensitivity) << "iter " << iter;
+        EXPECT_EQ(pruned_par.stats.candidates,
+                  pruned_par.stats.completed + pruned_par.stats.pruned +
+                      pruned_par.stats.died)
+            << "iter " << iter;
+
+        const Selection brute_seq = select_brute_force(ctx, seq, false, true);
+        const Selection brute_par = select_brute_force(ctx, par, false, true);
+        EXPECT_EQ(brute_seq.gate, brute_par.gate) << "iter " << iter;
+        EXPECT_EQ(brute_seq.sensitivity, brute_par.sensitivity) << "iter " << iter;
+        ASSERT_EQ(brute_seq.all_sensitivities.size(),
+                  brute_par.all_sensitivities.size());
+        for (std::size_t i = 0; i < brute_seq.all_sensitivities.size(); ++i) {
+            EXPECT_EQ(brute_seq.all_sensitivities[i].first,
+                      brute_par.all_sensitivities[i].first);
+            EXPECT_EQ(brute_seq.all_sensitivities[i].second,
+                      brute_par.all_sensitivities[i].second)
+                << "candidate " << i << " iter " << iter;
+        }
+
+        const Selection cone_seq = select_brute_force(ctx, seq, true);
+        const Selection cone_par = select_brute_force(ctx, par, true);
+        EXPECT_EQ(cone_seq.gate, cone_par.gate) << "iter " << iter;
+        EXPECT_EQ(cone_seq.sensitivity, cone_par.sensitivity) << "iter " << iter;
+
+        const Selection heur_seq = select_heuristic(ctx, seq, 5);
+        const Selection heur_par = select_heuristic(ctx, par, 5);
+        EXPECT_EQ(heur_seq.gate, heur_par.gate) << "iter " << iter;
+        EXPECT_EQ(heur_seq.sensitivity, heur_par.sensitivity) << "iter " << iter;
+
+        if (!pruned_seq.gate.is_valid()) break;
+        (void)ctx.apply_resize(pruned_seq.gate, seq.delta_w);
+        ctx.refresh_ssta();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, ParallelSelectorSweep,
+                         ::testing::Values("generated", "c17", "c432", "c499"));
+
+TEST(ParallelSizing, ThreadCountDoesNotChangeTheTrajectory) {
+    cells::Library lib = cells::Library::standard_180nm();
+    std::vector<std::pair<GateId, double>> reference;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        Netlist nl = netlist::make_iscas("c432", lib);
+        Context ctx(nl, lib);
+        StatisticalSizerConfig cfg;
+        cfg.max_iterations = 15;
+        cfg.threads = threads;
+        const SizingResult r = run_statistical_sizing(ctx, cfg);
+        ASSERT_EQ(r.history.size(), 15u);
+        if (threads == 1) {
+            for (const auto& rec : r.history)
+                reference.emplace_back(rec.gate, rec.objective_after_ns);
+        } else {
+            for (std::size_t i = 0; i < r.history.size(); ++i) {
+                EXPECT_EQ(reference[i].first, r.history[i].gate) << "iter " << i;
+                EXPECT_EQ(reference[i].second, r.history[i].objective_after_ns)
+                    << "iter " << i;
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace statim::core

@@ -1,0 +1,100 @@
+// Unit tests for util::ThreadPool and the process-wide thread-count knob.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace statim {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInlineOnCaller) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workers(), 0u);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::thread::id> seen(64);
+    pool.parallel_for(seen.size(),
+                      [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+    for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ManyBatchesOnOnePool) {
+    ThreadPool pool(2);
+    for (int round = 0; round < 100; ++round) {
+        std::atomic<std::int64_t> sum{0};
+        pool.parallel_for(round + 1, [&](std::size_t i) {
+            sum += static_cast<std::int64_t>(i);
+        });
+        EXPECT_EQ(sum.load(), static_cast<std::int64_t>(round) * (round + 1) / 2);
+    }
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesAfterDraining) {
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](std::size_t i) {
+                                       if (i == 7) throw Error("task failure");
+                                       ++completed;
+                                   }),
+                 Error);
+    EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPoolTest, NestedParallelForIsRejected) {
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallel_for(
+                     4, [&](std::size_t) { pool.parallel_for(2, [](std::size_t) {}); }),
+                 ConfigError);
+}
+
+TEST(ThreadPoolTest, ResizeKeepsWorking) {
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    pool.parallel_for(10, [&](std::size_t) { ++count; });
+    pool.resize(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    pool.parallel_for(10, [&](std::size_t) { ++count; });
+    pool.resize(0);
+    pool.parallel_for(10, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 30);
+}
+
+TEST(ThreadCountTest, DefaultIsAtLeastOne) {
+    EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadCountTest, SetterDrivesGlobalPool) {
+    const std::size_t before = default_thread_count();
+    set_default_thread_count(3);
+    EXPECT_EQ(default_thread_count(), 3u);
+    EXPECT_EQ(global_pool().workers(), 2u);
+    EXPECT_THROW(set_default_thread_count(0), ConfigError);
+    set_default_thread_count(before);
+    EXPECT_EQ(global_pool().workers(), before - 1);
+}
+
+TEST(ThreadCountTest, EnvKnobApplies) {
+    const std::size_t before = default_thread_count();
+    ::setenv("STATIM_THREADS", "2", 1);
+    EXPECT_EQ(apply_threads_env(), 2u);
+    EXPECT_EQ(default_thread_count(), 2u);
+    ::unsetenv("STATIM_THREADS");
+    EXPECT_EQ(apply_threads_env(), 2u);  // unset leaves the count alone
+    set_default_thread_count(before);
+}
+
+}  // namespace
+}  // namespace statim
