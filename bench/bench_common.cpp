@@ -25,12 +25,23 @@ double bench_scale() {
     return std::clamp(env_double("STATIM_BENCH_SCALE", 1.0), 0.05, 100.0);
 }
 
-int scaled_iterations(const std::string& circuit, int base_for_c432) {
+namespace {
+
+/// Gate count of any registry circuit (paper or synthetic scale-up).
+double registry_gates(const std::string& circuit) {
+    for (const auto& spec : netlist::synthetic_specs())
+        if (spec.name == circuit) return spec.num_gates;
     const auto& info = netlist::iscas85_info(circuit);
+    return info.nodes - 2 - info.inputs;
+}
+
+}  // namespace
+
+int scaled_iterations(const std::string& circuit, int base_for_c432) {
     const auto& c432 = netlist::iscas85_info("c432");
-    const double gates = info.nodes - 2 - info.inputs;
     const double gates_c432 = c432.nodes - 2 - c432.inputs;
-    const double raw = base_for_c432 * gates_c432 / gates * bench_scale();
+    const double raw =
+        base_for_c432 * gates_c432 / registry_gates(circuit) * bench_scale();
     return std::max(20, static_cast<int>(raw));
 }
 

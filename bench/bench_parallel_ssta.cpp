@@ -1,0 +1,223 @@
+// Level-parallel SSTA thread sweep at the 100k-gate scale.
+//
+// One full SSTA run used to be strictly serial (PR 1 only parallelized
+// *across* candidate evaluations). The engine now shards every level's
+// `compute_arrival` wave over the thread pool, with all intermediates in
+// per-thread PDF arenas, so a single run scales with cores while staying
+// bit-identical to the serial reference. This bench sweeps the thread
+// count over a registry circuit (default: the synthetic 100k-gate
+// scale-up), timing
+//   * the full run() (the acceptance metric: run_speedup at 8 threads),
+//   * a fixed trajectory of incremental update() refreshes,
+// and asserts after every timed run that all arrivals — in particular
+// the sink CDF — are bitwise identical to the 1-thread reference.
+//
+// Output: a human-readable table on stderr and one JSON document on
+// stdout, e.g.
+//   {"bench":"parallel_ssta","circuits":[{"circuit":"synth100k",
+//     "nodes":...,"edges":...,"levels":...,"reps":2,
+//     "sweep":[{"threads":1,"rebuild_s":...,"run_s":...,"run_speedup":1.0,
+//               "update_s":...,"update_speedup":1.0,"identical":true},...],
+//     "sink_bitwise_identical":true}]}
+//
+// Argument-free (bench convention); knobs:
+//   STATIM_BENCH_CIRCUITS  comma list (default synth100k)
+//   STATIM_BENCH_THREADS   comma list of thread counts (default 1,2,4,8)
+//   STATIM_BENCH_SCALE     multiplies the timing repetitions
+//   STATIM_BENCH_BINS      grid target bins (default: GridPolicy default)
+//   STATIM_LOG             debug|info|warn|error
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/context.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace statim;
+
+std::vector<std::size_t> threads_from_env() {
+    std::vector<std::size_t> counts;
+    if (const auto listed = env_string("STATIM_BENCH_THREADS")) {
+        std::istringstream in(*listed);
+        std::string tok;
+        while (std::getline(in, tok, ','))
+            if (!tok.empty()) counts.push_back(static_cast<std::size_t>(
+                                  std::max(1L, std::atol(tok.c_str()))));
+    }
+    if (counts.empty()) counts = {1, 2, 4, 8};
+    if (counts.front() != 1) counts.insert(counts.begin(), 1);  // reference first
+    return counts;
+}
+
+struct SweepPoint {
+    std::size_t threads{0};
+    double rebuild_s{0.0};
+    double run_s{0.0};
+    double update_s{0.0};
+    bool identical{true};
+};
+
+struct Row {
+    std::string circuit;
+    std::size_t nodes{0}, edges{0}, levels{0};
+    int reps{1};
+    std::vector<SweepPoint> sweep;
+    bool sink_identical{true};
+};
+
+bool arrivals_equal(const ssta::SstaEngine& engine,
+                    const std::vector<prob::Pdf>& reference) {
+    for (std::size_t n = 0; n < reference.size(); ++n)
+        if (!(engine.arrival(NodeId{static_cast<std::uint32_t>(n)}) == reference[n]))
+            return false;
+    return true;
+}
+
+}  // namespace
+
+int main() {
+    std::fprintf(stderr,
+                 "bench_parallel_ssta — level-synchronous SSTA thread sweep "
+                 "(arrivals bit-identical across thread counts)\n");
+    apply_log_env();
+
+    const cells::Library lib = cells::Library::standard_180nm();
+    const std::vector<std::size_t> thread_counts = threads_from_env();
+    const int reps = std::max(1, static_cast<int>(2 * bench::bench_scale()));
+
+    std::vector<std::string> circuits;
+    if (env_string("STATIM_BENCH_CIRCUITS")) circuits = bench::circuits_from_env();
+    if (circuits.empty()) circuits = {"synth100k"};
+
+    ssta::GridPolicy policy;
+    policy.target_bins =
+        static_cast<int>(env_int("STATIM_BENCH_BINS", policy.target_bins));
+
+    std::vector<Row> rows;
+    for (const std::string& name : circuits) {
+        Row row;
+        row.circuit = name;
+        row.reps = reps;
+
+        Timer build_timer;
+        netlist::Netlist nl = netlist::make_iscas(name, lib);
+        core::Context ctx(nl, lib, policy);
+        row.nodes = ctx.graph().node_count();
+        row.edges = ctx.graph().edge_count();
+        row.levels = ctx.graph().num_levels();
+        std::fprintf(stderr, "%s: %zu nodes, %zu edges, %zu levels (built in %.1fs)\n",
+                     name.c_str(), row.nodes, row.edges, row.levels,
+                     build_timer.seconds());
+
+        // A fixed resize trajectory for the update() sweep: mid-depth
+        // gates spread over the circuit, identical for every thread count.
+        Rng rng(hash_name(name));
+        std::vector<GateId> trajectory;
+        for (int i = 0; i < 10; ++i)
+            trajectory.push_back(
+                GateId{static_cast<std::uint32_t>(rng() % nl.gate_count())});
+
+        // Serial reference arrivals (and the trajectory's end state).
+        std::vector<prob::Pdf> ref_run, ref_end;
+        {
+            ctx.set_ssta_threads(1);
+            ctx.run_ssta();
+            for (std::size_t n = 0; n < row.nodes; ++n)
+                ref_run.push_back(
+                    ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}));
+            for (GateId g : trajectory) {
+                (void)ctx.apply_resize(g, 0.25);
+                ctx.refresh_ssta();
+            }
+            for (std::size_t n = 0; n < row.nodes; ++n)
+                ref_end.push_back(
+                    ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}));
+            for (GateId g : trajectory) (void)ctx.apply_resize(g, -0.25);
+            ctx.run_ssta();  // resync to the min-size state
+        }
+
+        for (const std::size_t threads : thread_counts) {
+            SweepPoint point;
+            point.threads = threads;
+            set_default_thread_count(threads);
+            ctx.set_ssta_threads(threads);
+
+            // Bulk nominal-delay + edge-PDF rebuild (sharded per gate /
+            // per edge); correctness is covered by the arrival check
+            // below, since the runs consume the rebuilt PDFs.
+            Timer rebuild_timer;
+            ctx.rebuild_timing(threads);
+            point.rebuild_s = rebuild_timer.seconds();
+
+            point.run_s = 1e300;
+            for (int rep = 0; rep < reps; ++rep) {
+                Timer timer;
+                ctx.run_ssta();
+                point.run_s = std::min(point.run_s, timer.seconds());
+            }
+            point.identical = arrivals_equal(ctx.engine(), ref_run);
+
+            Timer update_timer;
+            for (GateId g : trajectory) {
+                (void)ctx.apply_resize(g, 0.25);
+                ctx.refresh_ssta();
+            }
+            point.update_s = update_timer.seconds();
+            point.identical =
+                point.identical && arrivals_equal(ctx.engine(), ref_end);
+            for (GateId g : trajectory) (void)ctx.apply_resize(g, -0.25);
+            ctx.run_ssta();  // back to the min-size state for the next point
+
+            row.sink_identical = row.sink_identical && point.identical;
+            row.sweep.push_back(point);
+            const double base_run = row.sweep.front().run_s;
+            const double base_upd = row.sweep.front().update_s;
+            std::fprintf(stderr,
+                         "  threads %2zu  rebuild %7.3fs  run %8.3fs (%5.2fx)  "
+                         "10-resize refresh %8.3fs (%5.2fx)  %s\n",
+                         threads, point.rebuild_s, point.run_s,
+                         point.run_s > 0 ? base_run / point.run_s : 0.0,
+                         point.update_s,
+                         point.update_s > 0 ? base_upd / point.update_s : 0.0,
+                         point.identical ? "bit-identical" : "DIVERGED");
+        }
+        rows.push_back(row);
+    }
+
+    std::printf("{\"bench\":\"parallel_ssta\",\"circuits\":[");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        std::printf("%s{\"circuit\":\"%s\",\"nodes\":%zu,\"edges\":%zu,"
+                    "\"levels\":%zu,\"reps\":%d,\"sweep\":[",
+                    i == 0 ? "" : ",", r.circuit.c_str(), r.nodes, r.edges,
+                    r.levels, r.reps);
+        const double base_run = r.sweep.empty() ? 0.0 : r.sweep.front().run_s;
+        const double base_upd = r.sweep.empty() ? 0.0 : r.sweep.front().update_s;
+        for (std::size_t k = 0; k < r.sweep.size(); ++k) {
+            const SweepPoint& p = r.sweep[k];
+            std::printf("%s{\"threads\":%zu,\"rebuild_s\":%.6f,"
+                        "\"run_s\":%.6f,\"run_speedup\":%.3f,"
+                        "\"update_s\":%.6f,\"update_speedup\":%.3f,"
+                        "\"identical\":%s}",
+                        k == 0 ? "" : ",", p.threads, p.rebuild_s, p.run_s,
+                        p.run_s > 0 ? base_run / p.run_s : 0.0, p.update_s,
+                        p.update_s > 0 ? base_upd / p.update_s : 0.0,
+                        p.identical ? "true" : "false");
+        }
+        std::printf("],\"sink_bitwise_identical\":%s}",
+                    r.sink_identical ? "true" : "false");
+    }
+    std::printf("]}\n");
+
+    bool all_identical = true;
+    for (const Row& r : rows) all_identical = all_identical && r.sink_identical;
+    return all_identical ? 0 : 1;
+}

@@ -28,6 +28,12 @@ std::vector<EdgeId> Context::apply_resize(GateId g, double delta_w) {
     return changed;
 }
 
+void Context::rebuild_timing(std::size_t threads) {
+    if (threads == 0) threads = engine_.threads();
+    delay_calc_.rebuild(threads);
+    edge_delays_.rebuild(delay_calc_, threads);
+}
+
 void Context::refresh_ssta() {
     if (!incremental_ssta_ || !engine_.has_run() || delay_calc_.fully_dirty()) {
         run_ssta();

@@ -59,9 +59,24 @@ class Context {
     void set_incremental_ssta(bool enabled) noexcept { incremental_ssta_ = enabled; }
     [[nodiscard]] bool incremental_ssta() const noexcept { return incremental_ssta_; }
 
+    /// Shards every SSTA propagation wave (run_ssta / refresh_ssta)
+    /// across `threads` level-parallel chunks. Arrivals are bit-identical
+    /// for any value — a pure performance knob, safe to set from the same
+    /// --threads / STATIM_THREADS configuration as the selectors.
+    void set_ssta_threads(std::size_t threads) noexcept { engine_.set_threads(threads); }
+    [[nodiscard]] std::size_t ssta_threads() const noexcept { return engine_.threads(); }
+
     /// Permanently changes gate `g`'s width by `delta_w` and updates the
     /// nominal delays and edge PDFs. Returns the affected edges.
     std::vector<EdgeId> apply_resize(GateId g, double delta_w);
+
+    /// Recomputes every nominal delay and edge PDF from the current
+    /// widths, sharding both bulk passes across `threads` (0 = use
+    /// ssta_threads()). For bulk width changes made directly on the
+    /// netlist (e.g. set_uniform_width), where per-gate apply_resize
+    /// deltas would be wasteful. Leaves the delay state fully dirty, so
+    /// the next refresh_ssta() is a full run.
+    void rebuild_timing(std::size_t threads = 0);
 
   private:
     netlist::Netlist* nl_;

@@ -77,6 +77,7 @@ RuntimeComparisonResult compare_runtime(const std::string& circuit_name,
     const SelectorConfig sel{config.objective, config.delta_w, config.max_width,
                              config.threads};
     ctx.set_incremental_ssta(config.incremental_ssta);
+    ctx.set_ssta_threads(config.threads);
     ctx.run_ssta();
 
     for (int iter = 1; iter <= config.iterations; ++iter) {

@@ -34,6 +34,7 @@ SizingResult run_statistical_sizing(Context& ctx, const StatisticalSizerConfig& 
 
     SizingResult result;
     ctx.set_incremental_ssta(config.incremental_ssta);
+    ctx.set_ssta_threads(config.threads);
     // Timed refresh of the arrivals after a committed resize: incremental
     // cone re-propagation when enabled, full SSTA otherwise.
     const auto refresh = [&ctx, &result] {
@@ -158,8 +159,17 @@ DetSizingResult run_deterministic_sizing(netlist::Netlist& nl,
         }
 
         nl.gate(best).width += config.delta_w;
-        (void)dc.update_for_resize(best);
-        sta = sta::run_sta(dc);
+        const std::vector<EdgeId> committed = dc.update_for_resize(best);
+        if (config.incremental_sta) {
+            // The sizing loop only ever reads arrivals (critical_path and
+            // the trial relaxations), so re-relaxing the committed resize's
+            // fanout cone is enough; the wave cuts where arrivals are
+            // reproduced exactly — bit-identical to the full re-run.
+            sta.circuit_delay_ns =
+                sta::update_arrival_after_change(dc, committed, sta.arrival);
+        } else {
+            sta = sta::run_sta(dc);
+        }
 
         result.iterations = iter;
         result.final_delay_ns = sta.circuit_delay_ns;

@@ -39,8 +39,10 @@ struct StatisticalSizerConfig {
     /// How many gates to upsize per iteration (paper §3.3 notes the
     /// algorithm "can be easily modified to size multiple gates").
     int gates_per_iteration{1};
-    /// Candidate-evaluation shards per selection (see SelectorConfig);
-    /// results are bit-identical for any value.
+    /// Candidate-evaluation shards per selection (see SelectorConfig) and
+    /// level-parallel shards for every SSTA propagation wave
+    /// (Context::set_ssta_threads); results are bit-identical for any
+    /// value.
     std::size_t threads{1};
     /// Refresh arrivals incrementally after each committed resize (only
     /// the resized gate's fanout cone is re-propagated) instead of
@@ -84,6 +86,12 @@ struct DeterministicSizerConfig {
     double max_width{16.0};
     int max_iterations{1000};
     double area_budget{std::numeric_limits<double>::infinity()};
+    /// Refresh nominal arrivals incrementally after each committed resize
+    /// (only the resized gate's fanout cone is re-relaxed, reusing the
+    /// dirty-edge set from DelayCalc::update_for_resize) instead of
+    /// re-running the full STA. Bit-identical either way; off is the
+    /// reference path kept for A/B benching.
+    bool incremental_sta{true};
 };
 
 struct DetIterationRecord {

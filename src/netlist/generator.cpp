@@ -56,12 +56,24 @@ void GeneratorSpec::validate() const {
         throw ConfigError("GeneratorSpec '" + name + "': more outputs than gates");
     if (depth < 1 || depth > num_gates)
         throw ConfigError("GeneratorSpec '" + name + "': depth must be in [1, gates]");
-    if (fanin_sum < num_gates || fanin_sum > kMaxFanin * num_gates)
+    // 64-bit comparisons: at the 100k+ gate scale 4*G and I+G-O can
+    // overflow int, silently disabling the feasibility limits below.
+    const auto gates = static_cast<std::int64_t>(num_gates);
+    const auto pins = static_cast<std::int64_t>(fanin_sum);
+    if (pins < gates || pins > std::int64_t{kMaxFanin} * gates)
         throw ConfigError("GeneratorSpec '" + name + "': fanin_sum outside [G, 4G]");
-    if (fanin_sum < num_inputs + num_gates - num_outputs)
+    if (pins < static_cast<std::int64_t>(num_inputs) + gates - num_outputs)
         throw ConfigError("GeneratorSpec '" + name +
                           "': fanin_sum too small to consume every internal net "
                           "(need >= I + G - O)");
+    // Every gate at the last level must be a primary output, and the
+    // level construction caps the last level at O gates; with a single
+    // level that cap must hold the whole circuit (G > O would spin the
+    // level spreader forever looking for a non-existent lower level).
+    if (depth == 1 && num_gates > num_outputs)
+        throw ConfigError("GeneratorSpec '" + name +
+                          "': depth 1 needs every gate to be a primary output "
+                          "(G <= O)");
 }
 
 Netlist generate_circuit(const GeneratorSpec& spec, const cells::Library& lib) {

@@ -35,7 +35,9 @@ struct GeneratorSpec {
     std::uint64_t seed{1};
 
     /// Checks feasibility (counts positive, F within [G, 4G], coverage
-    /// F >= I + G − O, O <= G, depth <= G); throws ConfigError otherwise.
+    /// F >= I + G − O, O <= G, depth <= G, G <= O when depth == 1) with
+    /// overflow-safe 64-bit limits, so 100k+ gate specs cannot slip
+    /// through on int wraparound; throws ConfigError otherwise.
     void validate() const;
 };
 

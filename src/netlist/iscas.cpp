@@ -45,12 +45,37 @@ const char* c17_bench_text() {
            "23 = NAND(16, 19)\n";
 }
 
+const std::vector<GeneratorSpec>& synthetic_specs() {
+    // Average fanin ~2.2, PI/PO counts and depths scaled the way the
+    // paper circuits' grow; seeds derive from the names so regeneration
+    // is deterministic. All specs pass GeneratorSpec::validate.
+    static const std::vector<GeneratorSpec> kSpecs = [] {
+        std::vector<GeneratorSpec> specs = {
+            {"synth10k", 256, 256, 10'000, 22'000, 40, 0},
+            {"synth50k", 512, 512, 50'000, 110'000, 60, 0},
+            {"synth100k", 1024, 1024, 100'000, 225'000, 72, 0},
+            {"synth250k", 2048, 2048, 250'000, 560'000, 96, 0},
+        };
+        for (GeneratorSpec& spec : specs) spec.seed = hash_name(spec.name);
+        return specs;
+    }();
+    return kSpecs;
+}
+
+const GeneratorSpec& synthetic_spec(const std::string& name) {
+    for (const GeneratorSpec& spec : synthetic_specs())
+        if (spec.name == name) return spec;
+    throw ConfigError("synthetic_spec: unknown circuit '" + name + "'");
+}
+
 Netlist make_iscas(const std::string& name, const cells::Library& lib) {
     if (name == "c17") {
         std::istringstream in(c17_bench_text());
         Netlist nl = read_bench(in, lib, "c17");
         return nl;
     }
+    for (const GeneratorSpec& spec : synthetic_specs())
+        if (spec.name == name) return generate_circuit(spec, lib);
     const IscasInfo& info = iscas85_info(name);
     GeneratorSpec spec;
     spec.name = info.name;
@@ -66,6 +91,12 @@ Netlist make_iscas(const std::string& name, const cells::Library& lib) {
 std::vector<std::string> iscas_names() {
     std::vector<std::string> names = {"c17"};
     for (const IscasInfo& info : iscas85_info()) names.push_back(info.name);
+    return names;
+}
+
+std::vector<std::string> registry_names() {
+    std::vector<std::string> names = iscas_names();
+    for (const GeneratorSpec& spec : synthetic_specs()) names.push_back(spec.name);
     return names;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cells/library.hpp"
+#include "netlist/generator.hpp"
 #include "netlist/netlist.hpp"
 
 namespace statim::netlist {
@@ -38,12 +39,25 @@ struct IscasInfo {
 /// The embedded genuine c17 netlist (.bench text).
 [[nodiscard]] const char* c17_bench_text();
 
+/// Synthetic scale-up circuits beyond the paper's table: 10k-250k gate
+/// DAGs (the gate count is in the name) that exercise the incremental
+/// and level-parallel engines at the scale where they matter. Generated
+/// deterministically like the paper circuits; not part of Tables 1-2.
+[[nodiscard]] const std::vector<GeneratorSpec>& synthetic_specs();
+
+/// Spec for one synthetic circuit by name; throws ConfigError when unknown.
+[[nodiscard]] const GeneratorSpec& synthetic_spec(const std::string& name);
+
 /// Builds a circuit by name: "c17" parses the embedded netlist; the ten
-/// paper circuits are generated to match their IscasInfo counts exactly.
+/// paper circuits are generated to match their IscasInfo counts exactly;
+/// the synthetic scale-up circuits are generated from synthetic_specs().
 /// Widths start at `lib`'s minimum (1.0). Throws ConfigError when unknown.
 [[nodiscard]] Netlist make_iscas(const std::string& name, const cells::Library& lib);
 
-/// All names make_iscas accepts ("c17" plus the ten paper circuits).
+/// Names of the paper circuits only ("c17" plus the ten paper circuits).
 [[nodiscard]] std::vector<std::string> iscas_names();
+
+/// Every name make_iscas accepts (paper circuits + synthetic scale-ups).
+[[nodiscard]] std::vector<std::string> registry_names();
 
 }  // namespace statim::netlist

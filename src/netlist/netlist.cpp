@@ -10,10 +10,11 @@ namespace statim::netlist {
 
 NetId Netlist::add_net(std::string name) {
     if (name.empty()) throw NetlistError("add_net: empty net name");
-    if (find_net(name).is_valid())
+    const auto id = static_cast<std::uint32_t>(nets_.size());
+    if (!net_index_.emplace(name, id).second)
         throw NetlistError("add_net: duplicate net name '" + name + "'");
     nets_.push_back(Net{std::move(name), GateId::invalid(), {}, false, false});
-    return NetId{static_cast<std::uint32_t>(nets_.size() - 1)};
+    return NetId{id};
 }
 
 GateId Netlist::add_gate(std::string name, CellId cell, std::vector<NetId> fanin,
@@ -65,9 +66,8 @@ void Netlist::set_uniform_width(double w) {
 }
 
 NetId Netlist::find_net(std::string_view name) const noexcept {
-    for (std::size_t i = 0; i < nets_.size(); ++i)
-        if (nets_[i].name == name) return NetId{static_cast<std::uint32_t>(i)};
-    return NetId::invalid();
+    const auto it = net_index_.find(name);
+    return it == net_index_.end() ? NetId::invalid() : NetId{it->second};
 }
 
 double Netlist::total_area(const cells::Library& lib) const {

@@ -3,8 +3,10 @@
 // covers combinational blocks between registers.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "cells/library.hpp"
@@ -79,11 +81,24 @@ class Netlist {
     void validate(const cells::Library& lib) const;
 
   private:
+    /// Heterogeneous (string_view-keyed) lookup for the name index.
+    struct NameHash {
+        using is_transparent = void;
+        std::size_t operator()(std::string_view s) const noexcept {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+
     std::string name_;
     std::vector<Gate> gates_;
     std::vector<Net> nets_;
     std::vector<NetId> primary_inputs_;
     std::vector<NetId> primary_outputs_;
+    // Net-name index: add_net's duplicate check and find_net used to scan
+    // every net, which made building a 100k-gate netlist O(N^2) — the
+    // dominant cost of the synthetic scale-up registry before this index.
+    std::unordered_map<std::string, std::uint32_t, NameHash, std::equal_to<>>
+        net_index_;
 };
 
 }  // namespace statim::netlist

@@ -1,0 +1,48 @@
+#include "prob/arena.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace statim::prob {
+
+double* PdfArena::alloc(std::size_t n) {
+    if (n == 0) throw ConfigError("PdfArena::alloc: zero-length allocation");
+    // Bump within the current slab when it fits.
+    if (slab_ < slabs_.size() && sizes_[slab_] - used_ >= n) {
+        double* p = slabs_[slab_].get() + used_;
+        used_ += n;
+        return p;
+    }
+    // Otherwise advance to the first following slab that fits (slabs kept
+    // from earlier high-water marks are reused before anything grows).
+    for (std::size_t s = slab_ + (slabs_.empty() ? 0 : 1); s < slabs_.size(); ++s) {
+        if (sizes_[s] >= n) {
+            slab_ = s;
+            used_ = n;
+            return slabs_[s].get();
+        }
+    }
+    // Nothing fits: append a new slab, geometrically larger than the last.
+    std::size_t size = slabs_.empty() ? kMinSlab
+                                      : std::min(sizes_.back() * 2, kMaxSlab);
+    size = std::max(size, n);
+    slabs_.push_back(std::make_unique<double[]>(size));
+    sizes_.push_back(size);
+    slab_ = slabs_.size() - 1;
+    used_ = n;
+    return slabs_.back().get();
+}
+
+std::size_t PdfArena::capacity() const noexcept {
+    std::size_t total = 0;
+    for (std::size_t s : sizes_) total += s;
+    return total;
+}
+
+PdfArena& thread_arena() {
+    thread_local PdfArena arena;
+    return arena;
+}
+
+}  // namespace statim::prob

@@ -1,0 +1,88 @@
+// Slab allocator for PDF mass vectors.
+//
+// One SSTA node evaluation builds and discards several intermediate mass
+// buffers (one per convolution / statistical max in the fanin fold); with
+// heap-backed `std::vector` every one is a malloc/free pair, and the
+// parallel propagation drain becomes allocator-bound. `PdfArena` replaces
+// those with pointer bumps over reusable slabs:
+//
+//  * alloc() bumps within the current slab, appending a bigger slab only
+//    when the current one is exhausted (slabs are never returned to the
+//    OS until the arena is destroyed);
+//  * mark()/rewind() bracket one node evaluation: every buffer allocated
+//    since the mark is reclaimed at once, and the slab memory is reused
+//    verbatim by the next evaluation — a steady-state propagation performs
+//    no heap allocation for intermediates at all;
+//  * each worker thread uses its own arena (`thread_arena()`), so the
+//    level-parallel engine shares no allocator state between shards.
+//
+// Lifetime rules: arena-backed `PdfView`s are valid only until the mark
+// they were allocated under is rewound. Anything that must outlive the
+// evaluation (a node's final arrival) is copied out via PdfView::to_pdf()
+// before the rewind.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace statim::prob {
+
+class PdfArena {
+  public:
+    PdfArena() = default;
+    PdfArena(const PdfArena&) = delete;
+    PdfArena& operator=(const PdfArena&) = delete;
+
+    /// Uninitialized storage for `n` doubles (n >= 1), valid until the
+    /// enclosing mark is rewound (or the arena is reset/destroyed).
+    [[nodiscard]] double* alloc(std::size_t n);
+
+    /// A position to rewind to; everything allocated later is reclaimed.
+    struct Mark {
+        std::size_t slab{0};
+        std::size_t used{0};
+    };
+    [[nodiscard]] Mark mark() const noexcept { return {slab_, used_}; }
+    void rewind(Mark m) noexcept {
+        slab_ = m.slab;
+        used_ = m.used;
+    }
+    /// Rewinds to empty; slabs are kept for reuse.
+    void reset() noexcept { rewind(Mark{}); }
+
+    /// Total doubles reserved across all slabs (capacity, not live use).
+    [[nodiscard]] std::size_t capacity() const noexcept;
+
+  private:
+    // Slab sizes grow geometrically from kMinSlab, capped at kMaxSlab
+    // unless a single allocation needs more.
+    static constexpr std::size_t kMinSlab = std::size_t{1} << 13;  // 64 KiB
+    static constexpr std::size_t kMaxSlab = std::size_t{1} << 22;  // 32 MiB
+
+    std::vector<std::unique_ptr<double[]>> slabs_;
+    std::vector<std::size_t> sizes_;
+    std::size_t slab_{0};  ///< slab currently bump-allocated from
+    std::size_t used_{0};  ///< doubles used in that slab
+};
+
+/// RAII mark/rewind bracket for one evaluation.
+class ScopedRewind {
+  public:
+    explicit ScopedRewind(PdfArena& arena) noexcept
+        : arena_(&arena), mark_(arena.mark()) {}
+    ~ScopedRewind() { arena_->rewind(mark_); }
+    ScopedRewind(const ScopedRewind&) = delete;
+    ScopedRewind& operator=(const ScopedRewind&) = delete;
+
+  private:
+    PdfArena* arena_;
+    PdfArena::Mark mark_;
+};
+
+/// This thread's scratch arena. The level-parallel SSTA engine and the
+/// selector workers all evaluate nodes through it, so intermediates never
+/// touch the heap and threads never contend on an allocator.
+[[nodiscard]] PdfArena& thread_arena();
+
+}  // namespace statim::prob

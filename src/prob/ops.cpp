@@ -8,11 +8,12 @@
 
 namespace statim::prob {
 
-Pdf convolve(const Pdf& a, const Pdf& b) {
-    if (!a.valid() || !b.valid()) throw ConfigError("convolve: invalid operand");
-    const auto am = a.mass();
-    const auto bm = b.mass();
-    std::vector<double> out(am.size() + bm.size() - 1, 0.0);
+namespace {
+
+/// Dense convolution into a zeroed `out` of size |a| + |b| - 1. The one
+/// arithmetic path of every convolve overload (vector- or arena-backed).
+void convolve_kernel(std::span<const double> am, std::span<const double> bm,
+                     double* out) {
     // Iterate the shorter operand outermost so the inner loop streams the
     // longer one (better vectorization for arrival ⊛ edge-delay shapes).
     if (am.size() <= bm.size()) {
@@ -28,15 +29,12 @@ Pdf convolve(const Pdf& a, const Pdf& b) {
             for (std::size_t i = 0; i < am.size(); ++i) out[i + j] += w * am[i];
         }
     }
-    return Pdf::from_mass(a.first_bin() + b.first_bin(), std::move(out));
 }
 
-Pdf stat_max(const Pdf& a, const Pdf& b) {
-    if (!a.valid() || !b.valid()) throw ConfigError("stat_max: invalid operand");
-    const std::int64_t first = std::max(a.first_bin(), b.first_bin());
-    const std::int64_t last = std::max(a.last_bin(), b.last_bin());
-    std::vector<double> out(static_cast<std::size_t>(last - first + 1), 0.0);
-
+/// CDF-product max into `out` spanning [first, last]. The one arithmetic
+/// path of every stat_max overload.
+void stat_max_kernel(const PdfView& a, const PdfView& b, std::int64_t first,
+                     std::int64_t last, double* out) {
     // Running CDFs F_a(t), F_b(t) as t walks the result support.
     double fa = a.cdf_at(first - 1);
     double fb = b.cdf_at(first - 1);
@@ -48,7 +46,46 @@ Pdf stat_max(const Pdf& a, const Pdf& b) {
         out[static_cast<std::size_t>(t - first)] = std::max(fmax - fmax_prev, 0.0);
         fmax_prev = fmax;
     }
+}
+
+}  // namespace
+
+Pdf convolve(const Pdf& a, const Pdf& b) {
+    if (!a.valid() || !b.valid()) throw ConfigError("convolve: invalid operand");
+    std::vector<double> out(a.size() + b.size() - 1, 0.0);
+    convolve_kernel(a.mass(), b.mass(), out.data());
+    return Pdf::from_mass(a.first_bin() + b.first_bin(), std::move(out));
+}
+
+PdfView convolve_into(PdfArena& arena, PdfView a, PdfView b) {
+    if (!a.valid() || !b.valid()) throw ConfigError("convolve: invalid operand");
+    const std::size_t n = a.size() + b.size() - 1;
+    double* out = arena.alloc(n);
+    std::fill(out, out + n, 0.0);
+    convolve_kernel(a.mass(), b.mass(), out);
+    const auto [lo, hi] = detail::finalize_mass({out, n});
+    return {a.first_bin() + b.first_bin() + static_cast<std::int64_t>(lo), out + lo,
+            hi - lo};
+}
+
+Pdf stat_max(const Pdf& a, const Pdf& b) {
+    if (!a.valid() || !b.valid()) throw ConfigError("stat_max: invalid operand");
+    const std::int64_t first = std::max(a.first_bin(), b.first_bin());
+    const std::int64_t last = std::max(a.last_bin(), b.last_bin());
+    std::vector<double> out(static_cast<std::size_t>(last - first + 1), 0.0);
+    stat_max_kernel(a, b, first, last, out.data());
     return Pdf::from_mass(first, std::move(out));
+}
+
+PdfView stat_max_into(PdfArena& arena, PdfView a, PdfView b) {
+    if (!a.valid() || !b.valid()) throw ConfigError("stat_max: invalid operand");
+    const std::int64_t first = std::max(a.first_bin(), b.first_bin());
+    const std::int64_t last = std::max(a.last_bin(), b.last_bin());
+    const auto n = static_cast<std::size_t>(last - first + 1);
+    double* out = arena.alloc(n);
+    stat_max_kernel(a, b, first, last, out);
+    const auto [lo, hi] = detail::finalize_mass({out, n});
+    return {first + static_cast<std::int64_t>(lo), out + lo, hi - lo};
 }
 
 Pdf stat_max(std::span<const Pdf> pdfs) {

@@ -14,6 +14,7 @@
 
 #include <span>
 
+#include "prob/arena.hpp"
 #include "prob/pdf.hpp"
 
 namespace statim::prob {
@@ -24,6 +25,14 @@ namespace statim::prob {
 /// Distribution of max(X, Y) for independent X ~ a, Y ~ b, computed as the
 /// product of CDFs. O(|a| + |b| + |result|).
 [[nodiscard]] Pdf stat_max(const Pdf& a, const Pdf& b);
+
+// Arena-backed variants of the two propagation operators. They run the
+// same kernels and the same finalize step as the Pdf overloads — the
+// resulting masses are bitwise identical — but write into `arena` slabs
+// instead of fresh heap vectors. The returned view lives until the
+// caller rewinds the arena past it.
+[[nodiscard]] PdfView convolve_into(PdfArena& arena, PdfView a, PdfView b);
+[[nodiscard]] PdfView stat_max_into(PdfArena& arena, PdfView a, PdfView b);
 
 /// Fold of stat_max over one or more PDFs. Throws ConfigError on empty input.
 [[nodiscard]] Pdf stat_max(std::span<const Pdf> pdfs);

@@ -7,14 +7,31 @@
 
 namespace statim::prob {
 
-Pdf Pdf::point(std::int64_t bin) {
+PdfView::PdfView(const Pdf& pdf) noexcept
+    : first_(pdf.first_bin()), data_(pdf.mass().data()), size_(pdf.size()) {}
+
+double PdfView::cdf_at(std::int64_t bin) const noexcept {
+    if (!valid() || bin < first_) return 0.0;
+    if (bin >= last_bin()) return 1.0;
+    double cum = 0.0;
+    const auto upto = static_cast<std::size_t>(bin - first_);
+    for (std::size_t k = 0; k <= upto; ++k) cum += data_[k];
+    return cum;
+}
+
+Pdf PdfView::to_pdf() const { return Pdf::from_view(*this); }
+
+Pdf Pdf::from_view(const PdfView& view) {
+    if (!view.valid()) throw ConfigError("Pdf::from_view: empty view");
     Pdf p;
-    p.first_ = bin;
-    p.mass_ = {1.0};
+    p.first_ = view.first_bin();
+    p.mass_.assign(view.mass().begin(), view.mass().end());
     return p;
 }
 
-Pdf Pdf::from_mass(std::int64_t first, std::vector<double> mass) {
+namespace detail {
+
+std::pair<std::size_t, std::size_t> finalize_mass(std::span<double> mass) {
     for (double m : mass) {
         if (!(m >= 0.0) || !std::isfinite(m))
             throw ConfigError("Pdf::from_mass: masses must be finite and non-negative");
@@ -38,15 +55,27 @@ Pdf Pdf::from_mass(std::int64_t first, std::vector<double> mass) {
     double hi_fold = 0.0;
     while (hi > lo + 1 && hi_fold + mass[hi - 1] <= kTailEps * total)
         hi_fold += mass[--hi];
-    std::vector<double> trimmed(mass.begin() + static_cast<std::ptrdiff_t>(lo),
-                                mass.begin() + static_cast<std::ptrdiff_t>(hi));
-    trimmed.front() += lo_fold;
-    trimmed.back() += hi_fold;
-    for (double& m : trimmed) m /= total;
+    mass[lo] += lo_fold;
+    mass[hi - 1] += hi_fold;
+    for (std::size_t k = lo; k < hi; ++k) mass[k] /= total;
+    return {lo, hi};
+}
 
+}  // namespace detail
+
+Pdf Pdf::point(std::int64_t bin) {
+    Pdf p;
+    p.first_ = bin;
+    p.mass_ = {1.0};
+    return p;
+}
+
+Pdf Pdf::from_mass(std::int64_t first, std::vector<double> mass) {
+    const auto [lo, hi] = detail::finalize_mass(mass);
     Pdf p;
     p.first_ = first + static_cast<std::int64_t>(lo);
-    p.mass_ = std::move(trimmed);
+    p.mass_.assign(mass.begin() + static_cast<std::ptrdiff_t>(lo),
+                   mass.begin() + static_cast<std::ptrdiff_t>(hi));
     return p;
 }
 
@@ -95,12 +124,8 @@ double Pdf::percentile_bin(double p) const {
 }
 
 double Pdf::cdf_at(std::int64_t bin) const noexcept {
-    if (!valid() || bin < first_) return 0.0;
-    if (bin >= last_bin()) return 1.0;
-    double cum = 0.0;
-    const auto upto = static_cast<std::size_t>(bin - first_);
-    for (std::size_t k = 0; k <= upto; ++k) cum += mass_[k];
-    return cum;
+    // One implementation of the boundary conventions for both backends.
+    return PdfView{*this}.cdf_at(bin);
 }
 
 std::vector<double> Pdf::prefix_cdf() const {

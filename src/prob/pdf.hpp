@@ -14,6 +14,66 @@
 
 namespace statim::prob {
 
+class Pdf;
+
+/// Non-owning view of a discrete PDF: a first-bin offset plus a span of
+/// finalized (trimmed, normalized) masses. This is the storage
+/// abstraction shared by vector-backed `Pdf` and the arena-backed
+/// propagation path: both present the same (first, mass[]) contract, so
+/// the SSTA operators can read either without copying. Shifting a view
+/// is free (adjust `first`); the underlying masses are never mutated.
+class PdfView {
+  public:
+    PdfView() = default;
+    PdfView(std::int64_t first, const double* data, std::size_t size) noexcept
+        : first_(first), data_(data), size_(size) {}
+    /*implicit*/ PdfView(const Pdf& pdf) noexcept;
+
+    [[nodiscard]] bool valid() const noexcept { return size_ != 0; }
+    [[nodiscard]] std::int64_t first_bin() const noexcept { return first_; }
+    [[nodiscard]] std::int64_t last_bin() const noexcept {
+        return first_ + static_cast<std::int64_t>(size_) - 1;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] std::span<const double> mass() const noexcept {
+        return {data_, size_};
+    }
+    [[nodiscard]] bool is_point() const noexcept { return size_ == 1; }
+
+    /// Mass of the bin at absolute coordinate `bin` (0 outside support).
+    [[nodiscard]] double mass_at(std::int64_t bin) const noexcept {
+        if (bin < first_ || bin > last_bin()) return 0.0;
+        return data_[static_cast<std::size_t>(bin - first_)];
+    }
+    /// CDF evaluated at bin b: P(X <= b). O(b - first).
+    [[nodiscard]] double cdf_at(std::int64_t bin) const noexcept;
+
+    /// Translates the view by `bins` (free; storage untouched).
+    void shift(std::int64_t bins) noexcept { first_ += bins; }
+
+    /// Deep copy into an owned Pdf. The masses are copied verbatim (they
+    /// are already finalized), so the result is bitwise equal to the
+    /// vector-backed Pdf produced by the same operator chain.
+    [[nodiscard]] Pdf to_pdf() const;
+
+  private:
+    std::int64_t first_{0};
+    const double* data_{nullptr};
+    std::size_t size_{0};
+};
+
+namespace detail {
+
+/// The trim-and-normalize step of Pdf::from_mass, in place on a raw
+/// buffer: validates the masses, folds (cumulatively) negligible tails
+/// into the adjacent kept bin and divides by the total. Returns the kept
+/// [lo, hi) subrange. Both the vector-backed and the arena-backed
+/// construction paths run exactly this code, which is what keeps them
+/// bit-identical. Throws ConfigError on invalid mass.
+std::pair<std::size_t, std::size_t> finalize_mass(std::span<double> mass);
+
+}  // namespace detail
+
 /// Discrete PDF over integer grid bins; immutable after construction
 /// except for whole-grid shifts.
 class Pdf {
@@ -28,6 +88,11 @@ class Pdf {
     /// total to exactly 1. Throws ConfigError if the total is not positive
     /// or any mass is negative/non-finite.
     [[nodiscard]] static Pdf from_mass(std::int64_t first, std::vector<double> mass);
+
+    /// Adopts already-finalized masses verbatim (no trim, no renormalize).
+    /// Precondition: `view` came from this library's constructors or
+    /// operators, so its masses are trimmed and sum to 1.
+    [[nodiscard]] static Pdf from_view(const PdfView& view);
 
     [[nodiscard]] bool valid() const noexcept { return !mass_.empty(); }
     [[nodiscard]] std::int64_t first_bin() const noexcept { return first_; }

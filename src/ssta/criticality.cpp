@@ -5,43 +5,23 @@
 
 #include "prob/ops.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace statim::ssta {
 
 namespace {
 
-/// The arrival-plus-delay term of one in-edge (same arithmetic as
-/// compute_arrival's per-edge term).
-prob::Pdf edge_term(const SstaEngine& engine, const EdgeDelays& delays,
-                    const netlist::TimingGraph& graph, EdgeId e) {
-    const auto& edge = graph.edge(e);
-    const prob::Pdf& upstream = engine.arrival(edge.from);
-    const prob::Pdf& delay = delays.pdf(e);
-    if (delay.is_point()) {
-        prob::Pdf term = upstream;
-        term.shift(delay.first_bin());
-        return term;
-    }
-    if (upstream.is_point()) {
-        prob::Pdf term = delay;
-        term.shift(upstream.first_bin());
-        return term;
-    }
-    return prob::convolve(upstream, delay);
-}
-
 /// P(T_i sets the max): sum_t f_i(t) * prod_{j != i} F_j(t), then the
 /// node's in-edge values are normalized to sum to 1 (discrete ties would
-/// otherwise be counted once per tying edge).
-std::vector<double> local_split(const std::vector<prob::Pdf>& terms) {
+/// otherwise be counted once per tying edge). Writes into `raw[0..n)`.
+void local_split(std::span<const prob::PdfView> terms, double* raw) {
     const std::size_t n = terms.size();
-    std::vector<double> raw(n, 0.0);
     if (n == 1) {
         raw[0] = 1.0;
-        return raw;
+        return;
     }
     for (std::size_t i = 0; i < n; ++i) {
-        const prob::Pdf& ti = terms[i];
+        const prob::PdfView& ti = terms[i];
         double acc = 0.0;
         for (std::int64_t t = ti.first_bin(); t <= ti.last_bin(); ++t) {
             double others = 1.0;
@@ -51,45 +31,131 @@ std::vector<double> local_split(const std::vector<prob::Pdf>& terms) {
         }
         raw[i] = acc;
     }
-    const double total = std::accumulate(raw.begin(), raw.end(), 0.0);
+    const double total = std::accumulate(raw, raw + n, 0.0);
     if (total > 0.0)
-        for (double& r : raw) r /= total;
-    return raw;
+        for (std::size_t i = 0; i < n; ++i) raw[i] /= total;
+}
+
+/// Computes the local split of node `n` into split[e] for its in-edges.
+void split_node(const SstaEngine& engine, const EdgeDelays& delays,
+                const netlist::TimingGraph& graph, NodeId n,
+                std::vector<double>& split) {
+    const auto in = graph.in_edges(n);
+    if (in.empty()) return;
+    prob::PdfArena& arena = prob::thread_arena();
+    const prob::ScopedRewind scope(arena);
+    // Per-thread scratch: recompute_splits calls this for every dirty
+    // node across shards, so per-node heap vectors would put the whole
+    // pass back on the allocator the arena exists to avoid.
+    thread_local std::vector<prob::PdfView> terms;
+    thread_local std::vector<double> raw;
+
+    terms.clear();
+    terms.reserve(in.size());
+    for (EdgeId e : in)
+        terms.push_back(edge_arrival_term(engine.arrival(graph.edge(e).from),
+                                          delays.pdf(e), arena));
+    raw.assign(in.size(), 0.0);
+    local_split(terms, raw.data());
+    for (std::size_t k = 0; k < in.size(); ++k) split[in[k].index()] = raw[k];
 }
 
 }  // namespace
 
-CriticalityResult compute_criticality(const SstaEngine& engine,
-                                      const EdgeDelays& delays) {
-    if (!engine.has_run())
-        throw ConfigError("compute_criticality: run SSTA first");
-    const netlist::TimingGraph& graph = engine.graph();
+IncrementalCriticality::IncrementalCriticality(const netlist::TimingGraph& graph)
+    : graph_(&graph) {}
 
-    CriticalityResult result;
-    result.edge.assign(graph.edge_count(), 0.0);
-    result.node.assign(graph.node_count(), 0.0);
-    result.node[netlist::TimingGraph::sink().index()] = 1.0;
+void IncrementalCriticality::recompute_splits(const SstaEngine& engine,
+                                              const EdgeDelays& delays,
+                                              const std::vector<NodeId>& nodes,
+                                              std::size_t threads) {
+    // Each node's split writes only its own in-edges' slots, so the
+    // shards are independent and the partition cannot change the bits.
+    global_pool().parallel_chunks(
+        nodes.size(), threads, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                split_node(engine, delays, *graph_, nodes[i], split_);
+        });
+    last_splits_recomputed_ = nodes.size();
+}
+
+void IncrementalCriticality::backward_pass() {
+    result_.edge.assign(graph_->edge_count(), 0.0);
+    result_.node.assign(graph_->node_count(), 0.0);
+    result_.node[netlist::TimingGraph::sink().index()] = 1.0;
 
     // Backward over the topological order: by the time a node is visited
     // every one of its out-edges' heads has its criticality settled.
-    const auto topo = graph.topo_order();
+    const auto topo = graph_->topo_order();
     for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
         const NodeId n = *it;
-        const auto in = graph.in_edges(n);
+        const auto in = graph_->in_edges(n);
         if (in.empty()) continue;  // the source accumulates to ~1 naturally
-        const double crit_here = result.node[n.index()];
-
-        std::vector<prob::Pdf> terms;
-        terms.reserve(in.size());
-        for (EdgeId e : in) terms.push_back(edge_term(engine, delays, graph, e));
-        const std::vector<double> split = local_split(terms);
-        for (std::size_t k = 0; k < in.size(); ++k) {
-            const double edge_crit = crit_here * split[k];
-            result.edge[in[k].index()] += edge_crit;
-            result.node[graph.edge(in[k]).from.index()] += edge_crit;
+        const double crit_here = result_.node[n.index()];
+        for (EdgeId e : in) {
+            const double edge_crit = crit_here * split_[e.index()];
+            result_.edge[e.index()] += edge_crit;
+            result_.node[graph_->edge(e).from.index()] += edge_crit;
         }
     }
-    return result;
+}
+
+const CriticalityResult& IncrementalCriticality::refresh(const SstaEngine& engine,
+                                                         const EdgeDelays& delays,
+                                                         std::size_t threads) {
+    if (!engine.has_run())
+        throw ConfigError("IncrementalCriticality::refresh: run SSTA first");
+    if (&engine.graph() != graph_)
+        throw ConfigError("IncrementalCriticality::refresh: engine graph mismatch");
+
+    if (valid_ && engine.revision() == seen_revision_) {
+        last_splits_recomputed_ = 0;  // same state as the last refresh
+        return result_;
+    }
+    const bool full = !valid_ || engine.last_update_stats().full_run ||
+                      engine.revision() != seen_revision_ + 1;
+    seen_revision_ = engine.revision();
+
+    if (!full && engine.last_changed_nodes().empty() &&
+        engine.last_changed_edges().empty()) {
+        last_splits_recomputed_ = 0;  // nothing moved; cached result stands
+        return result_;
+    }
+
+    if (split_.size() != graph_->edge_count())
+        split_.assign(graph_->edge_count(), 0.0);
+
+    dirty_.clear();
+    if (full) {
+        for (NodeId n : graph_->topo_order())
+            if (!graph_->in_edges(n).empty()) dirty_.push_back(n);
+    } else {
+        // A split depends on its fanin-tail arrivals and in-edge delays:
+        // dirty = heads of changed edges ∪ fanout heads of changed nodes.
+        if (marked_.size() != graph_->node_count())
+            marked_.assign(graph_->node_count(), 0);
+        ++epoch_;
+        const auto mark = [&](NodeId n) {
+            if (marked_[n.index()] == epoch_) return;
+            marked_[n.index()] = epoch_;
+            dirty_.push_back(n);
+        };
+        for (EdgeId e : engine.last_changed_edges()) mark(graph_->edge(e).to);
+        for (NodeId n : engine.last_changed_nodes())
+            for (EdgeId e : graph_->out_edges(n)) mark(graph_->edge(e).to);
+    }
+
+    valid_ = false;  // a thrown recompute forces the next refresh to go full
+    recompute_splits(engine, delays, dirty_, threads);
+    backward_pass();
+    valid_ = true;
+    return result_;
+}
+
+CriticalityResult compute_criticality(const SstaEngine& engine,
+                                      const EdgeDelays& delays) {
+    IncrementalCriticality crit(engine.graph());
+    return crit.refresh(engine, delays);
 }
 
 std::vector<std::pair<GateId, double>> rank_gates_by_criticality(

@@ -8,10 +8,18 @@
 //  * edge criticality at a node — the probability that in-edge e sets the
 //    statistical max at its head:  P(T_e >= max of sibling terms), where
 //    T_e = arrival(tail) + delay(e), evaluated exactly on the grid and
-//    normalized over the node's in-edges;
+//    normalized over the node's in-edges (the "local split");
 //  * global criticality — backward propagation from the sink:
 //    crit(sink) = 1,  crit(e) = crit(head(e)) * local(e),
 //    crit(node) = sum of crit over its out-edges (the sink's is 1).
+//
+// The local splits are the O(E · bins) part; the backward pass is O(E)
+// scalar work. `IncrementalCriticality` caches the splits and, after an
+// engine update(), recomputes only the ones whose inputs moved: a node's
+// split depends solely on its fanin-tail arrivals and its in-edge delay
+// PDFs, so the dirty set is {heads of changed edges} ∪ {fanout heads of
+// changed-arrival nodes}. Unchanged splits are reused verbatim, which
+// keeps the incremental result bitwise equal to a from-scratch pass.
 //
 // The result quantifies Figure 1's "wall": a deterministically optimized
 // circuit spreads criticality over many paths. Used by the
@@ -38,6 +46,49 @@ struct CriticalityResult {
 /// Computes criticalities from a completed SSTA run. O(E · bins).
 [[nodiscard]] CriticalityResult compute_criticality(const SstaEngine& engine,
                                                     const EdgeDelays& delays);
+
+/// Caching criticality engine. refresh() keys on the SSTA engine's
+/// revision counter: on an already-seen revision it returns the cached
+/// result outright; when called once per run()/update() it reuses every
+/// local split whose inputs are untouched (and skips all work when
+/// nothing moved); when a revision was missed, or after a full run, it
+/// falls back to a from-scratch pass. Either way the result is bitwise
+/// identical to compute_criticality on the same state.
+class IncrementalCriticality {
+  public:
+    explicit IncrementalCriticality(const netlist::TimingGraph& graph);
+
+    /// Brings the cached result up to date with `engine`'s arrivals and
+    /// `delays`. `threads` shards the split recomputation (bit-identical
+    /// for any value). Requires engine.has_run().
+    const CriticalityResult& refresh(const SstaEngine& engine,
+                                     const EdgeDelays& delays,
+                                     std::size_t threads = 1);
+
+    [[nodiscard]] bool has_result() const noexcept { return valid_; }
+    [[nodiscard]] const CriticalityResult& result() const noexcept { return result_; }
+
+    /// Local splits recomputed by the last refresh (diagnostics/tests).
+    [[nodiscard]] std::size_t last_splits_recomputed() const noexcept {
+        return last_splits_recomputed_;
+    }
+
+  private:
+    void recompute_splits(const SstaEngine& engine, const EdgeDelays& delays,
+                          const std::vector<NodeId>& nodes, std::size_t threads);
+    void backward_pass();
+
+    const netlist::TimingGraph* graph_;
+    std::vector<double> split_;  ///< per edge: local split at its head node
+    CriticalityResult result_;
+    bool valid_{false};
+    std::uint64_t seen_revision_{0};
+    std::size_t last_splits_recomputed_{0};
+    // scratch: epoch-stamped dirty marks + the dirty-node worklist
+    std::vector<std::uint64_t> marked_;
+    std::uint64_t epoch_{0};
+    std::vector<NodeId> dirty_;
+};
 
 /// Gates ranked by the criticality of their output node, descending;
 /// ties broken by gate id. Handy for reports.

@@ -1,6 +1,7 @@
 #include "ssta/edge_delays.hpp"
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace statim::ssta {
 
@@ -17,13 +18,16 @@ prob::Pdf EdgeDelays::derive(EdgeId e, const sta::DelayCalc& delays) const {
     return prob::truncated_gaussian(grid_, nominal, sigma_fraction_ * nominal, trunc_k_);
 }
 
-void EdgeDelays::rebuild(const sta::DelayCalc& delays) {
+void EdgeDelays::rebuild(const sta::DelayCalc& delays, std::size_t threads) {
     const std::size_t edges = delays.graph().edge_count();
     pdfs_.resize(edges);
-    for (std::size_t ei = 0; ei < edges; ++ei) {
-        const EdgeId e{static_cast<std::uint32_t>(ei)};
-        pdfs_[ei] = derive(e, delays);
-    }
+    global_pool().parallel_chunks(
+        edges, threads, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t ei = begin; ei < end; ++ei) {
+                const EdgeId e{static_cast<std::uint32_t>(ei)};
+                pdfs_[ei] = derive(e, delays);
+            }
+        });
 }
 
 void EdgeDelays::update_edges(std::span<const EdgeId> edges,

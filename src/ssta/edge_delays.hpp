@@ -22,8 +22,11 @@ class EdgeDelays {
     /// Captures grid and model parameters from `lib` and builds every PDF.
     EdgeDelays(const sta::DelayCalc& delays, const prob::TimeGrid& grid);
 
-    /// Rebuilds every edge PDF from the current nominal delays.
-    void rebuild(const sta::DelayCalc& delays);
+    /// Rebuilds every edge PDF from the current nominal delays. `threads`
+    /// shards the per-edge derivation on the global pool (each edge
+    /// writes only its own PDF slot, so the result is thread-count
+    /// independent).
+    void rebuild(const sta::DelayCalc& delays, std::size_t threads = 1);
 
     /// Rederives the PDFs of `edges` only (after update_for_resize).
     void update_edges(std::span<const EdgeId> edges, const sta::DelayCalc& delays);

@@ -1,39 +1,76 @@
 #include "ssta/engine.hpp"
 
-#include <queue>
+#include <algorithm>
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace statim::ssta {
 
-prob::Pdf compute_arrival(const netlist::TimingGraph& graph, NodeId n,
-                          const ArrivalLookup& arrival_of, const DelayLookup& delay_of) {
+prob::PdfView edge_arrival_term(prob::PdfView upstream, prob::PdfView delay,
+                                prob::PdfArena& arena) {
+    if (delay.is_point()) {
+        upstream.shift(delay.first_bin());  // exact shift, no smearing
+        return upstream;
+    }
+    if (upstream.is_point()) {
+        delay.shift(upstream.first_bin());
+        return delay;
+    }
+    return prob::convolve_into(arena, upstream, delay);
+}
+
+prob::PdfView compute_arrival_into(const netlist::TimingGraph& graph, NodeId n,
+                                   const ArrivalLookup& arrival_of,
+                                   const DelayLookup& delay_of,
+                                   prob::PdfArena& arena) {
     const auto in = graph.in_edges(n);
     if (in.empty()) throw ConfigError("compute_arrival: node has no in-edges");
 
-    prob::Pdf acc;
+    prob::PdfView acc;
     for (EdgeId ei : in) {
         const auto& e = graph.edge(ei);
-        const prob::Pdf& upstream = arrival_of(e.from);
-        const prob::Pdf& delay = delay_of(ei);
-
-        prob::Pdf term;
-        if (delay.is_point()) {
-            term = upstream;                  // exact shift, no smearing
-            term.shift(delay.first_bin());
-        } else if (upstream.is_point()) {
-            term = delay;
-            term.shift(upstream.first_bin());
-        } else {
-            term = prob::convolve(upstream, delay);
-        }
-        acc = acc.valid() ? prob::stat_max(acc, term) : std::move(term);
+        const prob::PdfView term =
+            edge_arrival_term(arrival_of(e.from), delay_of(ei), arena);
+        acc = acc.valid() ? prob::stat_max_into(arena, acc, term) : term;
     }
     return acc;
 }
 
+prob::Pdf compute_arrival(const netlist::TimingGraph& graph, NodeId n,
+                          const ArrivalLookup& arrival_of, const DelayLookup& delay_of) {
+    prob::PdfArena& arena = prob::thread_arena();
+    const prob::ScopedRewind scope(arena);
+    return compute_arrival_into(graph, n, arrival_of, delay_of, arena).to_pdf();
+}
+
 SstaEngine::SstaEngine(const netlist::TimingGraph& graph) : graph_(&graph) {}
+
+namespace {
+
+/// Shards for one wave of `n` node evaluations: the configured thread
+/// count, clamped so each shard keeps a minimum grain of nodes (tiny
+/// update() cones are not worth a pool round-trip). Purely a performance
+/// decision — the per-node results do not depend on the partition.
+std::size_t wave_shards(std::size_t threads, std::size_t n) {
+    constexpr std::size_t kMinGrain = 8;
+    return std::min(threads, n / kMinGrain + 1);
+}
+
+}  // namespace
+
+void SstaEngine::evaluate_wave(std::span<const NodeId> nodes,
+                               const ArrivalLookup& arrival_of,
+                               const DelayLookup& delay_of,
+                               std::span<prob::Pdf> out) {
+    global_pool().parallel_chunks(
+        nodes.size(), wave_shards(threads_, nodes.size()),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                out[i] = compute_arrival(*graph_, nodes[i], arrival_of, delay_of);
+        });
+}
 
 void SstaEngine::run(const EdgeDelays& delays) {
     arrivals_.assign(graph_->node_count(), prob::Pdf{});
@@ -47,10 +84,23 @@ void SstaEngine::run(const EdgeDelays& delays) {
     };
     stats_ = UpdateStats{};
     stats_.full_run = true;
-    for (NodeId n : graph_->topo_order()) {
-        if (n == netlist::TimingGraph::source()) continue;
-        arrivals_[n.index()] = compute_arrival(*graph_, n, arrival_of, delay_of);
-        ++stats_.nodes_recomputed;
+    ++revision_;
+    changed_nodes_.clear();
+    changed_edges_.clear();
+
+    // One wave per level; nodes of a level depend only on earlier levels.
+    for (std::uint32_t l = 1; l < graph_->num_levels(); ++l) {
+        const auto nodes = graph_->nodes_at_level(l);
+        global_pool().parallel_chunks(
+            nodes.size(), wave_shards(threads_, nodes.size()),
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    const NodeId n = nodes[i];
+                    arrivals_[n.index()] =
+                        compute_arrival(*graph_, n, arrival_of, delay_of);
+                }
+            });
+        stats_.nodes_recomputed += nodes.size();
     }
 }
 
@@ -60,20 +110,27 @@ void SstaEngine::update(const EdgeDelays& delays, std::span<const EdgeId> change
         return;
     }
     stats_ = UpdateStats{};
+    ++revision_;
+    changed_nodes_.clear();
+    changed_edges_.assign(changed.begin(), changed.end());
+
     if (scheduled_.size() != graph_->node_count())
         scheduled_.assign(graph_->node_count(), 0);
+    if (pending_.size() != graph_->num_levels()) pending_.resize(graph_->num_levels());
+    for (auto& bucket : pending_) bucket.clear();  // residue from a thrown wave
     ++epoch_;
 
-    // Min-heap on (level, node id): every edge goes to a strictly higher
-    // level, so when a node pops all of its re-propagated fanins are final.
-    using Pending = std::pair<std::uint32_t, std::uint32_t>;
-    std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending;
     const auto schedule = [&](NodeId n) {
         if (scheduled_[n.index()] == epoch_) return;
         scheduled_[n.index()] = epoch_;
-        pending.emplace(graph_->level(n), n.value);
+        pending_[graph_->level(n)].push_back(n);
     };
-    for (EdgeId e : changed) schedule(graph_->edge(e).to);
+    std::uint32_t min_level = graph_->num_levels();
+    for (EdgeId e : changed) {
+        const NodeId to = graph_->edge(e).to;
+        schedule(to);
+        min_level = std::min(min_level, graph_->level(to));
+    }
 
     const auto arrival_of = [this](NodeId n) -> const prob::Pdf& {
         return arrivals_[n.index()];
@@ -81,17 +138,34 @@ void SstaEngine::update(const EdgeDelays& delays, std::span<const EdgeId> change
     const auto delay_of = [&delays](EdgeId e) -> const prob::Pdf& {
         return delays.pdf(e);
     };
-    while (!pending.empty()) {
-        const NodeId n{pending.top().second};
-        pending.pop();
-        prob::Pdf fresh = compute_arrival(*graph_, n, arrival_of, delay_of);
-        ++stats_.nodes_recomputed;
-        if (fresh == arrivals_[n.index()]) {
-            ++stats_.nodes_unchanged;  // absorbed: downstream inputs unchanged
-            continue;
+
+    // Level-synchronous wave: every edge goes to a strictly higher level,
+    // so when level l is evaluated all re-propagated fanins are final.
+    for (std::uint32_t l = min_level; l < graph_->num_levels(); ++l) {
+        std::vector<NodeId>& bucket = pending_[l];
+        if (bucket.empty()) continue;
+        // Canonical order: the serial reference processed (level, id)
+        // ascending; sorting keeps commits and the change journal there.
+        std::sort(bucket.begin(), bucket.end(),
+                  [](NodeId a, NodeId b) { return a.value < b.value; });
+
+        fresh_.resize(bucket.size());
+        evaluate_wave(bucket, arrival_of, delay_of, fresh_);
+        stats_.nodes_recomputed += bucket.size();
+
+        // Serial commit in node-id order: absorption test, store, and
+        // downstream scheduling (appends only to higher-level buckets).
+        for (std::size_t i = 0; i < bucket.size(); ++i) {
+            const NodeId n = bucket[i];
+            if (fresh_[i] == arrivals_[n.index()]) {
+                ++stats_.nodes_unchanged;  // absorbed: downstream inputs unchanged
+                continue;
+            }
+            arrivals_[n.index()] = std::move(fresh_[i]);
+            changed_nodes_.push_back(n);
+            for (EdgeId e : graph_->out_edges(n)) schedule(graph_->edge(e).to);
         }
-        arrivals_[n.index()] = std::move(fresh);
-        for (EdgeId e : graph_->out_edges(n)) schedule(graph_->edge(e).to);
+        bucket.clear();
     }
 }
 

@@ -10,6 +10,16 @@
 // `compute_arrival` is the single arithmetic path used by the full engine,
 // the brute-force sensitivity engine and the pruned perturbation fronts,
 // so all three agree bit for bit — the basis of the "exact pruning" claim.
+// All intermediates of one node evaluation live in the calling thread's
+// `prob::thread_arena()` and are reclaimed before the call returns.
+//
+// Propagation is *level-synchronous*: every edge goes from a lower to a
+// strictly higher level, so all nodes of one level depend only on earlier
+// levels and can be evaluated concurrently. With `set_threads(t)` each
+// wave is sharded into t contiguous, node-id-ordered chunks on the global
+// thread pool; each shard evaluates its nodes through its own thread
+// arena and writes each arrival into that node's dedicated slot, so the
+// result is bit-identical to the serial reference for any thread count.
 #pragma once
 
 #include <cstdint>
@@ -35,16 +45,41 @@ using DelayLookup = std::function<const prob::Pdf&(EdgeId)>;
                                         const ArrivalLookup& arrival_of,
                                         const DelayLookup& delay_of);
 
+/// One in-edge's arrival-plus-delay term — the per-edge branch of
+/// compute_arrival: an exact shift when either operand is a point mass
+/// (the view aliases the other operand's storage), a convolution into
+/// `arena` otherwise. Shared by the propagation fold and the criticality
+/// local splits so the two stay bit-identical by construction.
+[[nodiscard]] prob::PdfView edge_arrival_term(prob::PdfView upstream,
+                                              prob::PdfView delay,
+                                              prob::PdfArena& arena);
+
+/// Arena-backed core of compute_arrival: the intermediates *and* the
+/// result live in `arena`, valid until the caller rewinds it. Exact
+/// shifts alias the upstream storage (zero copies); convolutions and
+/// maxes write fresh arena slabs. Bit-identical to compute_arrival.
+[[nodiscard]] prob::PdfView compute_arrival_into(const netlist::TimingGraph& graph,
+                                                 NodeId n,
+                                                 const ArrivalLookup& arrival_of,
+                                                 const DelayLookup& delay_of,
+                                                 prob::PdfArena& arena);
+
 /// Full-circuit SSTA: owns one arrival PDF per node.
 ///
 /// Two refresh paths share `compute_arrival` and are bit-identical:
-///  * run()    — from-scratch propagation of every node (the reference);
+///  * run()    — from-scratch propagation of every node (the reference),
+///    one level-synchronous wave per graph level;
 ///  * update() — incremental: after a resize changed some edge PDFs, only
 ///    the fanout cone of those edges is re-propagated level by level, and
 ///    a node whose recomputed arrival equals its stored one bit-for-bit
 ///    stops the wave (the same absorption argument the perturbation
 ///    fronts use — identical inputs reproduce identical outputs, so the
 ///    untouched remainder of the cone is already correct).
+///
+/// Both paths shard each wave over `threads()` chunks; results are
+/// bit-identical for any thread count (each node's evaluation is
+/// independent and lands in its own slot; update()'s commit-and-schedule
+/// step runs serially in node-id order after each wave joins).
 class SstaEngine {
   public:
     /// Accounting for the most recent run()/update() call.
@@ -66,8 +101,31 @@ class SstaEngine {
     /// bit-identical to a from-scratch run().
     void update(const EdgeDelays& delays, std::span<const EdgeId> changed);
 
+    /// Wave shards for run()/update(); >= 1. Results are bit-identical
+    /// for any value, so this is purely a performance knob.
+    void set_threads(std::size_t threads) noexcept {
+        threads_ = threads < 1 ? 1 : threads;
+    }
+    [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
     [[nodiscard]] const UpdateStats& last_update_stats() const noexcept {
         return stats_;
+    }
+
+    /// Monotone counter bumped by every run()/update(); consumers that
+    /// cache derived quantities (criticality) key their deltas on it.
+    [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
+
+    /// Nodes whose stored arrival changed in the last update(), in commit
+    /// order (ascending level, ascending node id). Meaningful only when
+    /// !last_update_stats().full_run — a full run changes everything.
+    [[nodiscard]] std::span<const NodeId> last_changed_nodes() const noexcept {
+        return changed_nodes_;
+    }
+    /// The `changed` edge set the last update() was given (empty after a
+    /// full run, which invalidates everything anyway).
+    [[nodiscard]] std::span<const EdgeId> last_changed_edges() const noexcept {
+        return changed_edges_;
     }
 
     [[nodiscard]] bool has_run() const noexcept { return !arrivals_.empty(); }
@@ -78,13 +136,25 @@ class SstaEngine {
     [[nodiscard]] const netlist::TimingGraph& graph() const noexcept { return *graph_; }
 
   private:
+    /// Evaluates `nodes` into `out[i]` across the wave shards.
+    void evaluate_wave(std::span<const NodeId> nodes, const ArrivalLookup& arrival_of,
+                       const DelayLookup& delay_of, std::span<prob::Pdf> out);
+
     const netlist::TimingGraph* graph_;
     std::vector<prob::Pdf> arrivals_;
     UpdateStats stats_;
+    std::size_t threads_{1};
+    std::uint64_t revision_{0};
     // update() scratch, reused across calls: epoch-stamped "scheduled"
-    // marks (avoids an O(nodes) clear per incremental refresh).
+    // marks (avoids an O(nodes) clear per incremental refresh), per-level
+    // pending buckets, and the wave's freshly computed arrivals.
     std::vector<std::uint64_t> scheduled_;
     std::uint64_t epoch_{0};
+    std::vector<std::vector<NodeId>> pending_;
+    std::vector<prob::Pdf> fresh_;
+    // change journal of the last refresh (see last_changed_*).
+    std::vector<NodeId> changed_nodes_;
+    std::vector<EdgeId> changed_edges_;
 };
 
 }  // namespace statim::ssta

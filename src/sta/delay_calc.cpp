@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.hpp"
+
 namespace statim::sta {
 
 DelayCalc::DelayCalc(const netlist::TimingGraph& graph, const cells::Library& lib)
@@ -9,14 +11,23 @@ DelayCalc::DelayCalc(const netlist::TimingGraph& graph, const cells::Library& li
     rebuild();
 }
 
-void DelayCalc::rebuild() {
+void DelayCalc::rebuild(std::size_t threads) {
     const netlist::Netlist& nl = graph_->netlist();
     load_ff_.assign(nl.gate_count(), 0.0);
     edge_delay_ns_.assign(graph_->edge_count(), 0.0);
-    for (std::size_t gi = 0; gi < nl.gate_count(); ++gi)
-        recompute_gate_load(GateId{static_cast<std::uint32_t>(gi)});
-    for (std::size_t gi = 0; gi < nl.gate_count(); ++gi)
-        recompute_gate_delays(GateId{static_cast<std::uint32_t>(gi)});
+    // Loads first (a gate's delay reads its own finished load), each pass
+    // sharded per gate: recompute_gate_load writes load_ff_[g] only and
+    // recompute_gate_delays writes gate g's own edges only.
+    global_pool().parallel_chunks(
+        nl.gate_count(), threads, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t gi = begin; gi < end; ++gi)
+                recompute_gate_load(GateId{static_cast<std::uint32_t>(gi)});
+        });
+    global_pool().parallel_chunks(
+        nl.gate_count(), threads, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t gi = begin; gi < end; ++gi)
+                recompute_gate_delays(GateId{static_cast<std::uint32_t>(gi)});
+        });
     dirty_.clear();
     fully_dirty_ = true;
 }

@@ -26,8 +26,11 @@ class DelayCalc {
     DelayCalc(const netlist::TimingGraph& graph, const cells::Library& lib);
 
     /// Recomputes every load and edge delay from the netlist widths.
-    /// Marks every edge dirty (see dirty_edges).
-    void rebuild();
+    /// Marks every edge dirty (see dirty_edges). `threads` shards the two
+    /// per-gate passes (loads, then delays) on the global pool; each gate
+    /// writes only its own slots, so the result is thread-count
+    /// independent.
+    void rebuild(std::size_t threads = 1);
 
     /// Call after changing the width of gate `x` in the netlist. Updates
     /// the loads of x's fanin driver gates and the nominal delays of all

@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <memory>
@@ -23,6 +24,14 @@ struct ThreadPool::Batch {
     std::mutex finished_mutex;
 };
 
+namespace {
+
+// Set while this thread executes batch tasks; a nested parallel_for from
+// inside a task runs inline instead of deadlocking on the pool.
+thread_local bool tl_in_batch = false;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t workers) { resize(workers); }
 
 ThreadPool::~ThreadPool() { resize(0); }
@@ -45,6 +54,8 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_batch(Batch& batch) {
+    const bool was_in_batch = tl_in_batch;
+    tl_in_batch = true;
     for (;;) {
         const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
         if (i >= batch.n) break;
@@ -59,12 +70,15 @@ void ThreadPool::run_batch(Batch& batch) {
             batch.finished.notify_all();
         }
     }
+    tl_in_batch = was_in_batch;
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
     if (n == 0) return;
-    if (threads_.empty() || n == 1) {
+    if (threads_.empty() || n == 1 || tl_in_batch) {
+        // Inline: no workers, a single task, or a nested call from inside
+        // a running task (the nested batch runs on this thread alone).
         for (std::size_t i = 0; i < n; ++i) fn(i);
         return;
     }
@@ -73,9 +87,10 @@ void ThreadPool::parallel_for(std::size_t n,
     batch->n = n;
     batch->fn = &fn;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (batch_ != nullptr)
-            throw ConfigError("ThreadPool: nested parallel_for on the same pool");
+        std::unique_lock<std::mutex> lock(mutex_);
+        // Another (non-pool) thread is mid-batch: wait our turn rather
+        // than racing two batches through one set of workers.
+        work_ready_.wait(lock, [this] { return batch_ == nullptr; });
         batch_ = batch;
     }
     work_ready_.notify_all();
@@ -95,6 +110,19 @@ void ThreadPool::parallel_for(std::size_t n,
     work_ready_.notify_all();  // release workers parked on `batch_ != batch`
 
     if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::parallel_chunks(std::size_t n, std::size_t shards,
+                                 const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (n == 0) return;
+    shards = std::min(shards, n);
+    if (shards <= 1) {
+        fn(0, n);
+        return;
+    }
+    parallel_for(shards, [n, shards, &fn](std::size_t s) {
+        fn(s * n / shards, (s + 1) * n / shards);
+    });
 }
 
 void ThreadPool::resize(std::size_t workers) {

@@ -38,10 +38,21 @@ class ThreadPool {
     [[nodiscard]] std::size_t workers() const noexcept { return threads_.size(); }
 
     /// Runs fn(0) … fn(n-1), distributing indices over the workers and the
-    /// calling thread; returns when every index completed. Tasks must not
-    /// themselves call parallel_for on the same pool (no nesting). The
-    /// first exception any task throws is rethrown here.
+    /// calling thread; returns when every index completed. Reentrant: a
+    /// task that itself calls parallel_for (on any pool) runs the nested
+    /// batch inline on its own thread — no deadlock, no oversubscription,
+    /// and the results are identical because every caller shards work by
+    /// a *configured* count, never by who executes it. The first
+    /// exception any task throws is rethrown here.
     void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+    /// Splits [0, n) into at most `shards` contiguous chunks and runs
+    /// fn(begin, end) for each via parallel_for. The partition depends
+    /// only on (n, shards) — never on the worker count — so sharded
+    /// reductions stay deterministic. shards <= 1 (or n <= 1) runs one
+    /// inline chunk.
+    void parallel_chunks(std::size_t n, std::size_t shards,
+                         const std::function<void(std::size_t, std::size_t)>& fn);
 
     /// Stops and joins the workers, then respawns `workers` of them.
     void resize(std::size_t workers);

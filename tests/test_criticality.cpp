@@ -1,10 +1,13 @@
 // Unit tests for statistical criticality propagation.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/context.hpp"
 #include "netlist/iscas.hpp"
 #include "ssta/criticality.hpp"
 #include "sta/sta.hpp"
+#include "util/rng.hpp"
 
 namespace statim::ssta {
 namespace {
@@ -131,6 +134,112 @@ TEST(Criticality, RequiresSstaRun) {
     Context ctx(nl, lib);
     EXPECT_THROW((void)compute_criticality(ctx.engine(), ctx.edge_delays()),
                  ConfigError);
+    IncrementalCriticality inc(ctx.graph());
+    EXPECT_THROW((void)inc.refresh(ctx.engine(), ctx.edge_delays()), ConfigError);
+}
+
+// ---- incremental refresh == from-scratch reference ----------------------
+
+void expect_crit_equal(const CriticalityResult& a, const CriticalityResult& b,
+                       const std::string& label) {
+    ASSERT_EQ(a.edge.size(), b.edge.size());
+    ASSERT_EQ(a.node.size(), b.node.size());
+    for (std::size_t e = 0; e < a.edge.size(); ++e)
+        ASSERT_EQ(a.edge[e], b.edge[e]) << label << ": edge " << e;
+    for (std::size_t n = 0; n < a.node.size(); ++n)
+        ASSERT_EQ(a.node[n], b.node[n]) << label << ": node " << n;
+}
+
+class IncrementalCriticalitySweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IncrementalCriticalitySweep, ResizeSequenceMatchesFromScratchBitForBit) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas(GetParam(), lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+
+    IncrementalCriticality inc(ctx.graph());
+    expect_crit_equal(inc.refresh(ctx.engine(), ctx.edge_delays()),
+                      compute_criticality(ctx.engine(), ctx.edge_delays()), "initial");
+
+    Rng rng(hash_name(GetParam()));
+    const auto gate_count = static_cast<std::uint32_t>(nl.gate_count());
+    std::size_t incremental_refreshes = 0;
+    for (int step = 0; step < 10; ++step) {
+        const GateId g{static_cast<std::uint32_t>(rng() % gate_count)};
+        (void)ctx.apply_resize(g, 0.25);
+        ctx.refresh_ssta();
+        const auto& result = inc.refresh(ctx.engine(), ctx.edge_delays(), 2);
+        expect_crit_equal(result,
+                          compute_criticality(ctx.engine(), ctx.edge_delays()),
+                          std::string(GetParam()) + " step " + std::to_string(step));
+        // The split recomputation must stay cone-scoped, not full-graph.
+        if (!ctx.engine().last_update_stats().full_run) {
+            ++incremental_refreshes;
+            EXPECT_LT(inc.last_splits_recomputed(), ctx.graph().node_count());
+        }
+    }
+    EXPECT_GT(incremental_refreshes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, IncrementalCriticalitySweep,
+                         ::testing::Values("c17", "c432", "c880"));
+
+TEST(IncrementalCriticalityEngine, NoChangeRefreshDoesNoSplitWork) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+
+    IncrementalCriticality inc(ctx.graph());
+    (void)inc.refresh(ctx.engine(), ctx.edge_delays());
+    const CriticalityResult before = inc.result();
+
+    // An update() that recomputes nothing (empty dirty set) must be a
+    // cached no-op for the criticality too.
+    ctx.engine().update(ctx.edge_delays(), {});
+    EXPECT_EQ(ctx.engine().last_update_stats().nodes_recomputed, 0u);
+    (void)inc.refresh(ctx.engine(), ctx.edge_delays());
+    EXPECT_EQ(inc.last_splits_recomputed(), 0u);
+    expect_crit_equal(inc.result(), before, "no-op refresh");
+}
+
+TEST(IncrementalCriticalityEngine, SameRevisionRefreshIsCached) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+
+    IncrementalCriticality inc(ctx.graph());
+    (void)inc.refresh(ctx.engine(), ctx.edge_delays());
+    EXPECT_GT(inc.last_splits_recomputed(), 0u);
+    const CriticalityResult before = inc.result();
+
+    // A second consumer querying the same engine state must hit the cache.
+    (void)inc.refresh(ctx.engine(), ctx.edge_delays());
+    EXPECT_EQ(inc.last_splits_recomputed(), 0u);
+    expect_crit_equal(inc.result(), before, "same-revision refresh");
+}
+
+TEST(IncrementalCriticalityEngine, MissedRevisionFallsBackToFullPass) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+
+    IncrementalCriticality inc(ctx.graph());
+    (void)inc.refresh(ctx.engine(), ctx.edge_delays());
+
+    // Two engine refreshes between criticality refreshes: the change
+    // journal only covers the last one, so the next refresh must not
+    // trust it.
+    (void)ctx.apply_resize(GateId{1}, 0.25);
+    ctx.refresh_ssta();
+    (void)ctx.apply_resize(GateId{2}, 0.25);
+    ctx.refresh_ssta();
+    expect_crit_equal(inc.refresh(ctx.engine(), ctx.edge_delays()),
+                      compute_criticality(ctx.engine(), ctx.edge_delays()),
+                      "missed revision");
 }
 
 }  // namespace

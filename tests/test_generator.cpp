@@ -135,6 +135,80 @@ TEST(GeneratorSpecValidation, TinySpecWorks) {
     EXPECT_EQ(graph.edge_count(), 5u + 2u + 1u);
 }
 
+TEST(GeneratorSpecValidation, DepthOneRequiresEveryGateToBeAnOutput) {
+    // Regression: a depth-1 spec with more gates than outputs used to spin
+    // the level spreader forever (the single level is capped at O gates).
+    GeneratorSpec spec;
+    spec.name = "flat";
+    spec.num_inputs = 4;
+    spec.num_outputs = 2;
+    spec.num_gates = 5;
+    spec.fanin_sum = 10;
+    spec.depth = 1;
+    EXPECT_THROW(spec.validate(), ConfigError);
+
+    spec.num_outputs = 5;  // G == O: every gate is a PO, feasible
+    EXPECT_NO_THROW(spec.validate());
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = generate_circuit(spec, lib);
+    EXPECT_EQ(nl.gates().size(), 5u);
+    EXPECT_EQ(nl.primary_outputs().size(), 5u);
+}
+
+TEST(GeneratorSpecValidation, LimitsAreOverflowSafeAtScale) {
+    // 4*G and I+G-O overflow 32-bit int here; the limits must still be
+    // enforced (or pass) on the true 64-bit values.
+    GeneratorSpec spec;
+    spec.name = "huge";
+    spec.num_inputs = 1000;
+    spec.num_outputs = 1000;
+    spec.num_gates = 600'000'000;
+    spec.fanin_sum = 2'100'000'000;  // within [G, 4G] = [6e8, 2.4e9]
+    spec.depth = 1000;
+    EXPECT_NO_THROW(spec.validate());
+
+    spec.fanin_sum = 599'999'999;  // below G
+    EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+TEST(SyntheticRegistry, SpecsValidateAndResolve) {
+    ASSERT_FALSE(synthetic_specs().empty());
+    for (const GeneratorSpec& spec : synthetic_specs()) {
+        EXPECT_NO_THROW(spec.validate()) << spec.name;
+        EXPECT_EQ(&synthetic_spec(spec.name), &spec);
+    }
+    EXPECT_THROW((void)synthetic_spec("synth0"), ConfigError);
+    const auto names = registry_names();
+    EXPECT_EQ(names.size(), iscas_names().size() + synthetic_specs().size());
+}
+
+TEST(SyntheticRegistry, TenThousandGateCircuitMatchesItsSpec) {
+    // The smallest scale-up spec is cheap enough for a unit test; it
+    // proves the level construction holds up beyond the paper's sizes
+    // (the 100k+ entries go through the same code path, exercised by
+    // bench_parallel_ssta).
+    cells::Library lib = cells::Library::standard_180nm();
+    const GeneratorSpec& spec = synthetic_spec("synth10k");
+    Netlist nl = make_iscas(spec.name, lib);
+    const TimingGraph graph(nl);
+    EXPECT_EQ(graph.node_count(),
+              static_cast<std::size_t>(spec.num_inputs + spec.num_gates + 2));
+    EXPECT_EQ(graph.edge_count(),
+              static_cast<std::size_t>(spec.fanin_sum + spec.num_inputs +
+                                       spec.num_outputs));
+    EXPECT_EQ(nl.primary_inputs().size(), static_cast<std::size_t>(spec.num_inputs));
+    EXPECT_EQ(nl.primary_outputs().size(),
+              static_cast<std::size_t>(spec.num_outputs));
+    for (const Gate& g : nl.gates()) {
+        ASSERT_GE(g.fanin.size(), 1u);
+        ASSERT_LE(g.fanin.size(), 4u);
+    }
+    // Depth within the usual generator tolerance (gate levels + source,
+    // PI and sink layers).
+    EXPECT_GE(static_cast<int>(graph.num_levels()), spec.depth / 2);
+    EXPECT_LE(static_cast<int>(graph.num_levels()), spec.depth + 4);
+}
+
 TEST(IscasRegistry, NamesAndLookup) {
     const auto names = iscas_names();
     EXPECT_EQ(names.size(), 11u);  // c17 + ten paper circuits

@@ -1,0 +1,265 @@
+// Level-parallel propagation and arena-backed PDFs must be bit-identical
+// to the serial, vector-backed reference — the contract every reported
+// number in the paper tables rests on. Properties checked:
+//  * convolve/stat_max into an arena == the heap-vector operators,
+//    including across slab growth and mark/rewind reuse;
+//  * SstaEngine::run and ::update produce bitwise-equal arrivals for
+//    thread counts {1, 2, 7, hardware_concurrency} on randomized
+//    circuits and along random resize sequences;
+//  * whole statistical-sizing trajectories are thread-count independent
+//    with the level-parallel engine underneath.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/sizers.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/iscas.hpp"
+#include "prob/gaussian.hpp"
+#include "prob/ops.hpp"
+#include "ssta/engine.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace statim {
+namespace {
+
+using netlist::Netlist;
+
+/// Random contiguous-support PDF with `bins` mass bins starting at `first`.
+prob::Pdf random_pdf(Rng& rng, std::int64_t first, int bins) {
+    std::vector<double> mass(static_cast<std::size_t>(bins));
+    for (double& m : mass) m = rng.uniform(1e-6, 1.0);
+    return prob::Pdf::from_mass(first, std::move(mass));
+}
+
+TEST(ArenaOps, ConvolveMatchesVectorBackend) {
+    Rng rng(42);
+    prob::PdfArena arena;
+    for (int trial = 0; trial < 50; ++trial) {
+        const prob::Pdf a = random_pdf(rng, rng.uniform_int(-40, 40),
+                                       static_cast<int>(rng.uniform_int(1, 60)));
+        const prob::Pdf b = random_pdf(rng, rng.uniform_int(-40, 40),
+                                       static_cast<int>(rng.uniform_int(1, 60)));
+        const prob::ScopedRewind scope(arena);
+        EXPECT_TRUE(prob::convolve_into(arena, a, b).to_pdf() == prob::convolve(a, b));
+    }
+}
+
+TEST(ArenaOps, StatMaxMatchesVectorBackend) {
+    Rng rng(43);
+    prob::PdfArena arena;
+    for (int trial = 0; trial < 50; ++trial) {
+        const prob::Pdf a = random_pdf(rng, rng.uniform_int(-40, 40),
+                                       static_cast<int>(rng.uniform_int(1, 60)));
+        const prob::Pdf b = random_pdf(rng, rng.uniform_int(-40, 40),
+                                       static_cast<int>(rng.uniform_int(1, 60)));
+        const prob::ScopedRewind scope(arena);
+        EXPECT_TRUE(prob::stat_max_into(arena, a, b).to_pdf() == prob::stat_max(a, b));
+    }
+}
+
+TEST(ArenaOps, ChainedFoldSurvivesSlabGrowthAndRewind) {
+    // A deep fold (like one high-fanin node's evaluation) repeated across
+    // rewinds: slab memory is reused verbatim and results never change.
+    Rng rng(44);
+    std::vector<prob::Pdf> inputs;
+    for (int i = 0; i < 12; ++i)
+        inputs.push_back(random_pdf(rng, rng.uniform_int(0, 20),
+                                    static_cast<int>(rng.uniform_int(2, 200))));
+
+    prob::Pdf reference;
+    for (std::size_t i = 0; i + 1 < inputs.size(); i += 2) {
+        const prob::Pdf conv = prob::convolve(inputs[i], inputs[i + 1]);
+        reference = reference.valid() ? prob::stat_max(reference, conv) : conv;
+    }
+
+    prob::PdfArena arena;
+    for (int round = 0; round < 3; ++round) {
+        const prob::ScopedRewind scope(arena);
+        prob::PdfView acc;
+        for (std::size_t i = 0; i + 1 < inputs.size(); i += 2) {
+            const prob::PdfView conv =
+                prob::convolve_into(arena, inputs[i], inputs[i + 1]);
+            acc = acc.valid() ? prob::stat_max_into(arena, acc, conv) : conv;
+        }
+        EXPECT_TRUE(acc.to_pdf() == reference) << "round " << round;
+    }
+}
+
+TEST(ArenaOps, ViewShiftsAreFreeAndExact) {
+    Rng rng(45);
+    const prob::Pdf a = random_pdf(rng, 5, 9);
+    prob::PdfView v{a};
+    v.shift(7);
+    EXPECT_EQ(v.first_bin(), a.first_bin() + 7);
+    EXPECT_EQ(v.mass().data(), a.mass().data());  // no copy
+    prob::Pdf shifted = a;
+    shifted.shift(7);
+    EXPECT_TRUE(v.to_pdf() == shifted);
+}
+
+// ---- engine: thread-count independence ----------------------------------
+
+Netlist parallel_test_circuit(const cells::Library& lib, std::uint64_t seed) {
+    netlist::GeneratorSpec spec;
+    spec.name = "gen_par";
+    spec.num_inputs = 24;
+    spec.num_outputs = 16;
+    spec.num_gates = 600;
+    spec.fanin_sum = 1320;
+    spec.depth = 18;
+    spec.seed = seed;
+    return netlist::generate_circuit(spec, lib);
+}
+
+std::vector<std::size_t> sweep_thread_counts() {
+    return {1, 2, 7, static_cast<std::size_t>(std::thread::hardware_concurrency())};
+}
+
+TEST(ParallelSsta, RunIsBitwiseIdenticalAcrossThreadCounts) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    for (const std::uint64_t seed : {11u, 12u}) {
+        Netlist nl = parallel_test_circuit(lib, seed);
+        core::Context ctx(nl, lib);
+
+        ctx.set_ssta_threads(1);
+        ctx.run_ssta();
+        std::vector<prob::Pdf> reference;
+        for (std::size_t n = 0; n < ctx.graph().node_count(); ++n)
+            reference.push_back(ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}));
+
+        for (const std::size_t threads : sweep_thread_counts()) {
+            ctx.set_ssta_threads(threads);
+            ctx.run_ssta();
+            for (std::size_t n = 0; n < reference.size(); ++n)
+                ASSERT_TRUE(ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}) ==
+                            reference[n])
+                    << "seed " << seed << " threads " << threads << " node " << n;
+        }
+    }
+}
+
+TEST(ParallelSsta, UpdateIsBitwiseIdenticalAcrossThreadCounts) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    const auto counts = sweep_thread_counts();
+
+    // One context per thread count, all driven through the same resize
+    // sequence; every state along the way must agree with the serial one.
+    std::vector<Netlist> netlists;
+    std::vector<std::unique_ptr<core::Context>> ctxs;
+    netlists.reserve(counts.size());
+    for (std::size_t k = 0; k < counts.size(); ++k)
+        netlists.push_back(parallel_test_circuit(lib, 21));
+    for (std::size_t k = 0; k < counts.size(); ++k) {
+        ctxs.push_back(std::make_unique<core::Context>(netlists[k], lib));
+        ctxs[k]->set_ssta_threads(counts[k]);
+        ctxs[k]->run_ssta();
+    }
+
+    Rng rng(77);
+    const auto gate_count = static_cast<std::uint32_t>(netlists[0].gate_count());
+    for (int step = 0; step < 12; ++step) {
+        const GateId g{static_cast<std::uint32_t>(rng() % gate_count)};
+        const double delta = (rng() % 2 == 0) ? 0.25 : 0.5;
+        for (auto& ctx : ctxs) {
+            (void)ctx->apply_resize(g, delta);
+            ctx->refresh_ssta();
+        }
+        const auto& ref = *ctxs[0];
+        for (std::size_t k = 1; k < ctxs.size(); ++k) {
+            ASSERT_EQ(ctxs[k]->engine().last_update_stats().nodes_recomputed,
+                      ref.engine().last_update_stats().nodes_recomputed)
+                << "step " << step << " threads " << counts[k];
+            for (std::size_t n = 0; n < ref.graph().node_count(); ++n)
+                ASSERT_TRUE(ctxs[k]->engine().arrival(NodeId{static_cast<std::uint32_t>(n)}) ==
+                            ref.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}))
+                    << "step " << step << " threads " << counts[k] << " node " << n;
+        }
+    }
+}
+
+TEST(ParallelSsta, ChangeJournalTracksCommittedNodes) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    core::Context ctx(nl, lib);
+    ctx.set_ssta_threads(3);
+    ctx.run_ssta();
+    const std::uint64_t rev0 = ctx.engine().revision();
+
+    const GateId g{static_cast<std::uint32_t>(nl.gate_count() / 3)};
+    (void)ctx.apply_resize(g, 0.25);
+    ctx.refresh_ssta();
+
+    const auto& engine = ctx.engine();
+    EXPECT_EQ(engine.revision(), rev0 + 1);
+    EXPECT_FALSE(engine.last_update_stats().full_run);
+    EXPECT_FALSE(engine.last_changed_edges().empty());
+    EXPECT_EQ(engine.last_changed_nodes().size(),
+              engine.last_update_stats().nodes_recomputed -
+                  engine.last_update_stats().nodes_unchanged);
+    // Journal order is (level, id) ascending — the serial commit order.
+    for (std::size_t i = 1; i < engine.last_changed_nodes().size(); ++i) {
+        const NodeId a = engine.last_changed_nodes()[i - 1];
+        const NodeId b = engine.last_changed_nodes()[i];
+        const bool ordered = ctx.graph().level(a) < ctx.graph().level(b) ||
+                             (ctx.graph().level(a) == ctx.graph().level(b) &&
+                              a.value < b.value);
+        EXPECT_TRUE(ordered) << "journal out of order at " << i;
+    }
+}
+
+TEST(ParallelSsta, RebuildTimingIsThreadCountIndependent) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = parallel_test_circuit(lib, 31);
+    core::Context ctx(nl, lib);
+
+    std::vector<double> ref_delays(ctx.delay_calc().edge_delays_ns().begin(),
+                                   ctx.delay_calc().edge_delays_ns().end());
+    std::vector<prob::Pdf> ref_pdfs;
+    for (std::size_t e = 0; e < ctx.graph().edge_count(); ++e)
+        ref_pdfs.push_back(ctx.edge_delays().pdf(EdgeId{static_cast<std::uint32_t>(e)}));
+
+    for (const std::size_t threads : sweep_thread_counts()) {
+        ctx.set_ssta_threads(threads);
+        ctx.rebuild_timing();  // 0 = use ssta_threads()
+        for (std::size_t e = 0; e < ref_pdfs.size(); ++e) {
+            const EdgeId edge{static_cast<std::uint32_t>(e)};
+            ASSERT_EQ(ctx.delay_calc().edge_delay_ns(edge), ref_delays[e])
+                << "threads " << threads << " edge " << e;
+            ASSERT_TRUE(ctx.edge_delays().pdf(edge) == ref_pdfs[e])
+                << "threads " << threads << " edge " << e;
+        }
+        EXPECT_TRUE(ctx.delay_calc().fully_dirty());
+    }
+}
+
+TEST(ParallelSizing, TrajectoryIndependentOfSstaThreads) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    std::vector<std::pair<GateId, double>> reference;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{5}}) {
+        Netlist nl = netlist::make_iscas("c432", lib);
+        core::Context ctx(nl, lib);
+        core::StatisticalSizerConfig cfg;
+        cfg.max_iterations = 12;
+        cfg.threads = threads;
+        const core::SizingResult r = core::run_statistical_sizing(ctx, cfg);
+        ASSERT_EQ(r.history.size(), 12u);
+        if (threads == 1) {
+            for (const auto& rec : r.history)
+                reference.emplace_back(rec.gate, rec.objective_after_ns);
+        } else {
+            for (std::size_t i = 0; i < r.history.size(); ++i) {
+                EXPECT_EQ(reference[i].first, r.history[i].gate) << "iter " << i;
+                EXPECT_EQ(reference[i].second, r.history[i].objective_after_ns)
+                    << "iter " << i;
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace statim

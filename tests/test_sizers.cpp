@@ -76,6 +76,37 @@ TEST(DeterministicSizer, RejectsBadConfig) {
     EXPECT_THROW((void)run_deterministic_sizing(nl, lib, cfg), ConfigError);
 }
 
+TEST(DeterministicSizer, IncrementalAndFullStaTrajectoriesAreIdentical) {
+    // The incremental baseline (cone-scoped arrival re-relaxation after
+    // each committed resize, driven by DelayCalc's changed-edge set) must
+    // walk exactly the trajectory of the full-STA-per-iteration reference.
+    cells::Library lib = cells::Library::standard_180nm();
+    for (const char* circuit : {"c432", "c880"}) {
+        DetSizingResult results[2];
+        for (const int mode : {0, 1}) {  // 0 = full, 1 = incremental
+            Netlist nl = netlist::make_iscas(circuit, lib);
+            DeterministicSizerConfig cfg;
+            cfg.max_iterations = 30;
+            cfg.incremental_sta = mode == 1;
+            results[mode] = run_deterministic_sizing(nl, lib, cfg);
+        }
+        ASSERT_EQ(results[0].history.size(), results[1].history.size()) << circuit;
+        EXPECT_EQ(results[0].final_delay_ns, results[1].final_delay_ns) << circuit;
+        EXPECT_EQ(results[0].final_area, results[1].final_area) << circuit;
+        EXPECT_EQ(results[0].stop_reason, results[1].stop_reason) << circuit;
+        for (std::size_t i = 0; i < results[0].history.size(); ++i) {
+            EXPECT_EQ(results[0].history[i].gate, results[1].history[i].gate)
+                << circuit << " iter " << i;
+            EXPECT_EQ(results[0].history[i].sensitivity,
+                      results[1].history[i].sensitivity)
+                << circuit << " iter " << i;
+            EXPECT_EQ(results[0].history[i].circuit_delay_after_ns,
+                      results[1].history[i].circuit_delay_after_ns)
+                << circuit << " iter " << i;
+        }
+    }
+}
+
 TEST(StatisticalSizer, ImprovesP99Monotonically) {
     cells::Library lib = cells::Library::standard_180nm();
     Netlist nl = netlist::make_iscas("c432", lib);

@@ -53,11 +53,31 @@ TEST(ThreadPoolTest, FirstExceptionPropagatesAfterDraining) {
     EXPECT_EQ(completed.load(), 63);
 }
 
-TEST(ThreadPoolTest, NestedParallelForIsRejected) {
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+    // A task that itself fans out (e.g. a selector shard whose SSTA wave
+    // is level-parallel) must not deadlock: the nested batch runs inline
+    // on the task's own thread and still covers every index.
     ThreadPool pool(2);
-    EXPECT_THROW(pool.parallel_for(
-                     4, [&](std::size_t) { pool.parallel_for(2, [](std::size_t) {}); }),
-                 ConfigError);
+    std::atomic<int> inner{0};
+    pool.parallel_for(4, [&](std::size_t) {
+        pool.parallel_for(8, [&](std::size_t) { ++inner; });
+    });
+    EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ThreadPoolTest, ParallelChunksCoversExactlyOnce) {
+    ThreadPool pool(3);
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                                     std::size_t{100}}) {
+        std::vector<std::atomic<int>> hits(64);
+        pool.parallel_chunks(hits.size(), shards,
+                             [&](std::size_t begin, std::size_t end) {
+                                 ASSERT_LE(begin, end);
+                                 for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                             });
+        for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+    pool.parallel_chunks(0, 4, [](std::size_t, std::size_t) { FAIL(); });
 }
 
 TEST(ThreadPoolTest, ResizeKeepsWorking) {
