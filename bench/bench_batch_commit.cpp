@@ -1,0 +1,210 @@
+// Batched-commit ablation — k resizes per merged incremental refresh.
+//
+// The paper's sizer commits one gate per iteration: every commit pays one
+// full selector pass and one arrival refresh. Batched mode (PR 3) takes
+// the k best cone-disjoint candidates from ONE select_top_k pass, commits
+// them together, and re-propagates the merged fanout cone once, converting
+// the per-commit refresh cost from O(k * cone) to O(merged cone) and the
+// selector cost from k passes to one. This bench sweeps k over a synthetic
+// scale-up circuit, holding the number of committed gates fixed, and for
+// every k replays the exact committed resize sequence on a fresh context
+// through the sequential commit-and-refresh-per-gate path (the k=1
+// machinery), asserting all arrivals are bitwise identical — the merged
+// refresh must be indistinguishable from k sequential refreshes. The
+// k > 1 trajectories themselves are a (deliberate, Neiroukh/Song-style)
+// approximation of the greedy k=1 trajectory, so their objective is
+// reported side by side rather than asserted equal.
+//
+// Output: a human-readable table on stderr and one JSON document on
+// stdout, e.g.
+//   {"bench":"batch_commit","threads":1,"commits":32,
+//    "circuits":[{"circuit":"synth10k","nodes":...,"edges":...,
+//      "ks":[{"k":1,"commits":32,"selector_passes":32,"passes_per_commit":1.0,
+//             "nodes_recomputed":...,"nodes_per_commit":...,"conflicts":0,
+//             "refresh_s":...,"total_s":...,"objective_ns":...,
+//             "bit_identical":true},...]}]}
+//
+// Argument-free (bench convention); knobs:
+//   STATIM_BENCH_CIRCUITS  comma list (default synth10k; synth100k works
+//                          but costs ~10x per pass — opt in on big iron)
+//   STATIM_BENCH_KS        comma list of batch sizes (default 1,2,4,8,16)
+//   STATIM_BENCH_SCALE     multiplies the committed-gate target (base 8)
+//   STATIM_THREADS         selector + SSTA wave shards
+//   STATIM_LOG             debug|info|warn|error
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/sizers.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace statim;
+
+std::vector<int> ks_from_env() {
+    std::vector<int> ks;
+    if (const auto listed = env_string("STATIM_BENCH_KS")) {
+        std::istringstream in(*listed);
+        std::string tok;
+        while (std::getline(in, tok, ','))
+            if (!tok.empty())
+                ks.push_back(static_cast<int>(std::max(1L, std::atol(tok.c_str()))));
+    }
+    if (ks.empty()) ks = {1, 2, 4, 8, 16};
+    return ks;
+}
+
+struct KPoint {
+    int k{1};
+    std::size_t commits{0};
+    std::size_t selector_passes{0};
+    std::size_t nodes_recomputed{0};
+    std::size_t conflicts{0};
+    double refresh_s{0.0};
+    double total_s{0.0};
+    double objective_ns{0.0};
+    bool bit_identical{true};
+};
+
+struct Row {
+    std::string circuit;
+    std::size_t nodes{0}, edges{0};
+    std::vector<KPoint> ks;
+};
+
+}  // namespace
+
+int main() {
+    std::fprintf(stderr,
+                 "bench_batch_commit — k commits per merged incremental refresh "
+                 "(arrivals bit-identical to sequential commit-and-refresh)\n");
+    apply_log_env();
+    const std::size_t threads = apply_threads_env();
+
+    const cells::Library lib = cells::Library::standard_180nm();
+    const std::vector<int> ks = ks_from_env();
+    const int commits_target =
+        std::max(4, static_cast<int>(8 * bench::bench_scale()));
+
+    std::vector<std::string> circuits;
+    if (env_string("STATIM_BENCH_CIRCUITS")) circuits = bench::circuits_from_env();
+    if (circuits.empty()) circuits = {"synth10k"};
+
+    std::vector<Row> rows;
+    bool all_identical = true;
+    for (const std::string& name : circuits) {
+        Row row;
+        row.circuit = name;
+        std::fprintf(stderr, "%s: target %d commits, %zu thread%s\n", name.c_str(),
+                     commits_target, threads, threads == 1 ? "" : "s");
+
+        for (const int k : ks) {
+            netlist::Netlist nl = netlist::make_iscas(name, lib);
+            core::Context ctx(nl, lib);
+            row.nodes = ctx.graph().node_count();
+            row.edges = ctx.graph().edge_count();
+
+            // Hold the committed-gate count fixed across k: run full-size
+            // batches while they fit the remaining target, then one final
+            // chunk with a smaller batch for the remainder, so every
+            // sweep point commits exactly commits_target gates (unless
+            // the sizer converges first) and the per-commit metrics share
+            // one denominator.
+            KPoint point;
+            point.k = k;
+            std::vector<core::IterationRecord> history;
+            Timer timer;
+            int remaining = commits_target;
+            while (remaining > 0) {
+                core::StatisticalSizerConfig cfg;
+                cfg.gates_per_iteration = std::min(k, remaining);
+                cfg.max_iterations = remaining / cfg.gates_per_iteration;
+                cfg.threads = threads;
+                const core::SizingResult result =
+                    core::run_statistical_sizing(ctx, cfg);
+                point.selector_passes += result.selector_passes;
+                point.nodes_recomputed += result.ssta_nodes_recomputed;
+                point.conflicts += result.conflicts_skipped;
+                point.refresh_s += result.ssta_refresh_seconds;
+                point.objective_ns = result.final_objective_ns;
+                history.insert(history.end(), result.history.begin(),
+                               result.history.end());
+                if (result.history.empty()) break;  // converged
+                remaining -= static_cast<int>(result.history.size());
+            }
+            point.total_s = timer.seconds();
+            point.commits = history.size();
+
+            // Replay the exact committed sequence through the sequential
+            // one-commit-one-refresh path; every arrival must match the
+            // batched run bit for bit.
+            netlist::Netlist nl_ref = netlist::make_iscas(name, lib);
+            core::Context ref(nl_ref, lib);
+            ref.set_ssta_threads(threads);
+            ref.run_ssta();
+            const double delta_w = core::StatisticalSizerConfig{}.delta_w;
+            for (const auto& rec : history) {
+                (void)ref.apply_resize(rec.gate, delta_w);
+                ref.refresh_ssta();
+            }
+            for (std::size_t n = 0; n < row.nodes; ++n) {
+                const NodeId node{static_cast<std::uint32_t>(n)};
+                if (!(ref.engine().arrival(node) == ctx.engine().arrival(node))) {
+                    point.bit_identical = false;
+                    break;
+                }
+            }
+            all_identical = all_identical && point.bit_identical;
+
+            const double per_commit = point.commits
+                                          ? static_cast<double>(point.commits)
+                                          : 1.0;
+            std::fprintf(stderr,
+                         "  k %2d  commits %4zu  passes %4zu (%.3f/commit)  "
+                         "nodes %9zu (%8.1f/commit)  conflicts %3zu  "
+                         "refresh %7.3fs  total %8.3fs  obj %8.4f  %s\n",
+                         k, point.commits, point.selector_passes,
+                         static_cast<double>(point.selector_passes) / per_commit,
+                         point.nodes_recomputed,
+                         static_cast<double>(point.nodes_recomputed) / per_commit,
+                         point.conflicts, point.refresh_s, point.total_s,
+                         point.objective_ns,
+                         point.bit_identical ? "bit-identical" : "DIVERGED");
+            row.ks.push_back(point);
+        }
+        rows.push_back(row);
+    }
+
+    std::printf("{\"bench\":\"batch_commit\",\"threads\":%zu,\"commits\":%d,"
+                "\"circuits\":[",
+                threads, commits_target);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        std::printf("%s{\"circuit\":\"%s\",\"nodes\":%zu,\"edges\":%zu,\"ks\":[",
+                    i == 0 ? "" : ",", r.circuit.c_str(), r.nodes, r.edges);
+        for (std::size_t j = 0; j < r.ks.size(); ++j) {
+            const KPoint& p = r.ks[j];
+            const double per_commit =
+                p.commits ? static_cast<double>(p.commits) : 1.0;
+            std::printf(
+                "%s{\"k\":%d,\"commits\":%zu,\"selector_passes\":%zu,"
+                "\"passes_per_commit\":%.4f,\"nodes_recomputed\":%zu,"
+                "\"nodes_per_commit\":%.1f,\"conflicts\":%zu,\"refresh_s\":%.6f,"
+                "\"total_s\":%.4f,\"objective_ns\":%.6f,\"bit_identical\":%s}",
+                j == 0 ? "" : ",", p.k, p.commits, p.selector_passes,
+                static_cast<double>(p.selector_passes) / per_commit,
+                p.nodes_recomputed,
+                static_cast<double>(p.nodes_recomputed) / per_commit, p.conflicts,
+                p.refresh_s, p.total_s, p.objective_ns,
+                p.bit_identical ? "true" : "false");
+        }
+        std::printf("]}");
+    }
+    std::printf("]}\n");
+    return all_identical ? 0 : 1;
+}

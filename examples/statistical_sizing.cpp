@@ -2,7 +2,12 @@
 //
 //   ./statistical_sizing --circuit c880 --iterations 100 \
 //       [--selector pruned|brute|cone] [--percentile 0.99] [--delta-w 0.25] \
-//       [--max-width 16] [--bench path.bench] [--lib path.lib] [--csv]
+//       [--max-width 16] [--batch k] [--bench path.bench] [--lib path.lib] \
+//       [--csv]
+//
+// --batch k commits k cone-disjoint gates per iteration from one selector
+// pass, followed by a single merged-cone refresh (default: STATIM_BATCH,
+// else 1 — the paper's one-gate-per-iteration loop).
 //
 // Prints a per-iteration trace and a closing summary; --csv emits the
 // area/delay trajectory as CSV for plotting (the Figure 10 format).
@@ -22,8 +27,8 @@ int main(int argc, char** argv) {
     try {
         const CliArgs args(argc, argv);
         args.validate({"circuit", "iterations", "selector", "percentile", "delta-w",
-                       "max-width", "bench", "lib", "csv", "area-budget", "threads",
-                       "full-ssta"});
+                       "max-width", "batch", "bench", "lib", "csv", "area-budget",
+                       "threads", "full-ssta"});
         const std::size_t threads = apply_threads_flag(args);
 
         const cells::Library lib = args.has("lib")
@@ -47,6 +52,7 @@ int main(int argc, char** argv) {
         else throw ConfigError("--selector must be pruned, brute or cone");
         cfg.threads = threads;
         cfg.incremental_ssta = !args.get_bool("full-ssta", false);
+        cfg.gates_per_iteration = static_cast<int>(args.get_int("batch", 0));
 
         core::Context ctx(nl, lib);
         std::fprintf(stderr,
@@ -79,13 +85,15 @@ int main(int argc, char** argv) {
         }
 
         std::fprintf(stderr,
-                     "done [%s]: objective %.4f -> %.4f ns (%.2f%%), area +%.2f%%\n",
+                     "done [%s]: objective %.4f -> %.4f ns (%.2f%%), area +%.2f%%, "
+                     "%zu selector passes / %zu commits\n",
                      result.stop_reason.c_str(), result.initial_objective_ns,
                      result.final_objective_ns,
                      100.0 * (result.initial_objective_ns - result.final_objective_ns) /
                          result.initial_objective_ns,
                      100.0 * (result.final_area - result.initial_area) /
-                         result.initial_area);
+                         result.initial_area,
+                     result.selector_passes, result.history.size());
         return 0;
     } catch (const Error& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

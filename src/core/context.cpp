@@ -1,5 +1,7 @@
 #include "core/context.hpp"
 
+#include <algorithm>
+
 namespace statim::core {
 
 Context::Context(netlist::Netlist& nl, const cells::Library& lib,
@@ -26,6 +28,22 @@ std::vector<EdgeId> Context::apply_resize(GateId g, double delta_w) {
     std::vector<EdgeId> changed = delay_calc_.update_for_resize(g);
     edge_delays_.update_edges(changed, delay_calc_);
     return changed;
+}
+
+std::vector<EdgeId> Context::apply_resizes(std::span<const ResizeOp> ops) {
+    std::vector<EdgeId> all;
+    for (const ResizeOp& op : ops) {
+        nl_->gate(op.gate).width += op.delta_w;
+        const std::vector<EdgeId> changed = delay_calc_.update_for_resize(op.gate);
+        edge_delays_.update_edges(changed, delay_calc_);
+        all.insert(all.end(), changed.begin(), changed.end());
+    }
+    // Ops touching a shared edge recompute it again under the later op's
+    // width, so the last write is final-width-consistent; the returned
+    // union is deduplicated for consumers that fan out per edge.
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    return all;
 }
 
 void Context::rebuild_timing(std::size_t threads) {

@@ -7,6 +7,8 @@
 // iterations.
 #pragma once
 
+#include <span>
+
 #include "cells/library.hpp"
 #include "netlist/timing_graph.hpp"
 #include "ssta/edge_delays.hpp"
@@ -15,6 +17,12 @@
 #include "sta/delay_calc.hpp"
 
 namespace statim::core {
+
+/// One committed width change of a batch.
+struct ResizeOp {
+    GateId gate{GateId::invalid()};
+    double delta_w{0.0};
+};
 
 class Context {
   public:
@@ -69,6 +77,15 @@ class Context {
     /// Permanently changes gate `g`'s width by `delta_w` and updates the
     /// nominal delays and edge PDFs. Returns the affected edges.
     std::vector<EdgeId> apply_resize(GateId g, double delta_w);
+
+    /// Commits a whole batch: applies every width change in `ops` (in
+    /// order) and updates the nominal delays and edge PDFs they touch.
+    /// The final delay state equals per-op apply_resize calls — every
+    /// edge delay is a pure function of the final widths — but the dirty
+    /// list accumulates across the batch, so the next refresh_ssta()
+    /// re-propagates the *merged* fanout cone once instead of once per
+    /// op. Returns the union of affected edges (ascending, deduplicated).
+    std::vector<EdgeId> apply_resizes(std::span<const ResizeOp> ops);
 
     /// Recomputes every nominal delay and edge PDF from the current
     /// widths, sharding both bulk passes across `threads` (0 = use

@@ -1,8 +1,13 @@
 #include "core/downsize.hpp"
 
+#include <algorithm>
+
 #include "core/front.hpp"
+#include "core/selector.hpp"
 #include "core/trial_resize.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace statim::core {
 
@@ -30,8 +35,25 @@ DownsizeResult run_downsizing(Context& ctx, const DownsizeConfig& config) {
         throw ConfigError("DownsizeConfig: min_width must be positive");
     if (config.objective_budget_ns < 0.0)
         throw ConfigError("DownsizeConfig: objective budget must be >= 0");
+    if (config.gates_per_iteration < 0)
+        throw ConfigError(
+            "DownsizeConfig: gates_per_iteration must be >= 1 "
+            "(or 0 to resolve from STATIM_BATCH)");
+    const std::size_t batch = static_cast<std::size_t>(
+        config.gates_per_iteration > 0 ? config.gates_per_iteration : env_batch());
 
     DownsizeResult result;
+    ctx.set_incremental_ssta(config.incremental_ssta);
+    // Timed refresh after committed shrinks: the changed-edge set from the
+    // commits already sits in the dirty list, so only the merged fanout
+    // cone is re-propagated (full SSTA when incremental mode is off).
+    const auto refresh = [&ctx, &result] {
+        Timer refresh_timer;
+        ctx.refresh_ssta();
+        result.ssta_refresh_seconds += refresh_timer.seconds();
+        result.ssta_nodes_recomputed +=
+            ctx.engine().last_update_stats().nodes_recomputed;
+    };
     ctx.run_ssta();
     result.initial_objective_ns =
         config.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
@@ -40,50 +62,108 @@ DownsizeResult run_downsizing(Context& ctx, const DownsizeConfig& config) {
     result.final_area = result.initial_area;
     result.stop_reason = "iteration budget";
 
+    double running_area = result.initial_area;
+    std::vector<std::pair<double, GateId>> ranked;  // (exact delta, gate)
+    std::vector<ResizeOp> ops;
+    std::vector<double> deltas;
+    std::vector<double> saved_widths;  // pre-batch widths, for exact rollback
+    BatchConeFilter filter(ctx);
+
     for (int iter = 1; iter <= config.max_iterations; ++iter) {
-        // Candidate with the least objective damage.
-        GateId best = GateId::invalid();
-        double best_delta = std::numeric_limits<double>::infinity();
+        // One exact candidate pass: every eligible shrink costs one
+        // fanout-cone front drain.
+        ranked.clear();
         for (std::size_t gi = 0; gi < ctx.nl().gate_count(); ++gi) {
             const GateId g{static_cast<std::uint32_t>(gi)};
             if (ctx.nl().gate(g).width - config.delta_w < config.min_width - 1e-12)
                 continue;
-            const double delta = downsize_delta_ns(ctx, config.objective, g,
-                                                   config.delta_w);
-            if (delta < best_delta || (delta == best_delta && best.is_valid() && g < best)) {
-                best = g;
-                best_delta = delta;
-            }
+            ranked.emplace_back(
+                downsize_delta_ns(ctx, config.objective, g, config.delta_w), g);
         }
-        if (!best.is_valid()) {
+        if (ranked.empty()) {
             result.stop_reason = "width floor";
             break;
         }
-        // Would this step blow the cumulative budget?
-        const double projected =
-            result.final_objective_ns + best_delta - result.initial_objective_ns;
-        if (projected > config.objective_budget_ns + 1e-12) {
+        // Least damage first; ties toward the lower gate id.
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first < b.first;
+                      return a.second < b.second;
+                  });
+
+        const double used = result.final_objective_ns - result.initial_objective_ns;
+        if (used + ranked.front().first > config.objective_budget_ns + 1e-12) {
             result.stop_reason = "objective budget";
             break;
         }
 
-        ctx.nl().gate(best).width -= config.delta_w;
-        const auto changed = ctx.delay_calc().update_for_resize(best);
-        ctx.edge_delays().update_edges(changed, ctx.delay_calc());
-        ctx.run_ssta();
+        // Greedy batch: footprint-disjoint picks while the cumulative
+        // projected damage stays within budget. Deltas ascend, so the
+        // first pick that does not fit ends the batch — no later one fits
+        // either.
+        filter.reset();
+        ops.clear();
+        deltas.clear();
+        saved_widths.clear();
+        double projected = used;
+        for (const auto& [delta, g] : ranked) {
+            if (ops.size() >= batch) break;
+            if (projected + delta > config.objective_budget_ns + 1e-12) break;
+            if (!filter.try_accept(g)) {
+                ++result.conflicts_skipped;
+                continue;
+            }
+            ops.push_back({g, -config.delta_w});
+            deltas.push_back(delta);
+            saved_widths.push_back(ctx.nl().gate(g).width);
+            projected += delta;
+        }
+
+        (void)ctx.apply_resizes(ops);
+        refresh();
+        double objective_after =
+            config.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
+
+        // Per-pick deltas are exact on the pass state, but a batch's joint
+        // effect couples at the sink fold. If the actual objective overran
+        // the budget, undo the whole batch and fall back to the reference
+        // single commit, whose delta is exact. The undo writes back the
+        // *saved* widths — an inverse delta does not round-trip bitwise
+        // for non-dyadic steps — so the recomputed delays, and therefore
+        // the refreshed arrivals, restore bit-exactly.
+        if (ops.size() > 1 && objective_after - result.initial_objective_ns >
+                                  config.objective_budget_ns + 1e-12) {
+            ++result.batches_rolled_back;
+            for (std::size_t i = 0; i < ops.size(); ++i) {
+                ctx.nl().gate(ops[i].gate).width = saved_widths[i];
+                const auto changed = ctx.delay_calc().update_for_resize(ops[i].gate);
+                ctx.edge_delays().update_edges(changed, ctx.delay_calc());
+            }
+            refresh();
+            ops.resize(1);
+            deltas.resize(1);
+            (void)ctx.apply_resizes(ops);
+            refresh();
+            objective_after =
+                config.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
+        }
 
         result.iterations = iter;
-        result.final_objective_ns =
-            config.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
+        result.final_objective_ns = objective_after;
         result.final_area = ctx.nl().total_area(ctx.lib());
 
-        DownsizeRecord record;
-        record.iteration = iter;
-        record.gate = best;
-        record.objective_delta_ns = best_delta;
-        record.objective_after_ns = result.final_objective_ns;
-        record.area_after = result.final_area;
-        result.history.push_back(record);
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            const auto& gate = ctx.nl().gate(ops[i].gate);
+            running_area -= cells::cell_area(ctx.lib().cell(gate.cell), config.delta_w);
+
+            DownsizeRecord record;
+            record.iteration = iter;
+            record.gate = ops[i].gate;
+            record.objective_delta_ns = deltas[i];
+            record.objective_after_ns = objective_after;
+            record.area_after = running_area;
+            result.history.push_back(record);
+        }
     }
     return result;
 }

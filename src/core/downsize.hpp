@@ -24,8 +24,26 @@ struct DownsizeConfig {
     int max_iterations{1000};
     /// Total allowed increase of the objective relative to the start (ns).
     double objective_budget_ns{0.0};
+    /// Gates shrunk per iteration between refreshes: one candidate pass
+    /// ranks every shrink by exact objective damage, and up to this many
+    /// conflict-free picks (BatchConeFilter) within the budget are
+    /// committed under a single merged-cone refresh. The budget stays
+    /// exact: a batch whose *actual* post-refresh objective overshoots it
+    /// is rolled back bit-for-bit and the best pick alone is recommitted.
+    /// 0 = resolve from STATIM_BATCH (default 1, the reference
+    /// one-shrink-per-refresh behaviour).
+    int gates_per_iteration{0};
+    /// Refresh arrivals incrementally after committed shrinks (only the
+    /// merged fanout cone of the changed edges is re-propagated) instead
+    /// of re-running the full SSTA. Bit-identical either way; off is the
+    /// reference path kept for A/B benching.
+    bool incremental_ssta{true};
 };
 
+/// One committed shrink; batched iterations append one record per gate.
+/// `objective_delta_ns` is that gate's exact damage measured on the state
+/// its pass selected from; `objective_after_ns` is the actual value after
+/// the record's commit batch refreshed.
 struct DownsizeRecord {
     int iteration{0};
     GateId gate{GateId::invalid()};
@@ -42,6 +60,15 @@ struct DownsizeResult {
     double final_area{0.0};
     int iterations{0};
     std::string stop_reason;
+    /// Wall-clock spent refreshing arrivals after committed shrinks.
+    double ssta_refresh_seconds{0.0};
+    /// compute_arrival evaluations those refreshes performed.
+    std::size_t ssta_nodes_recomputed{0};
+    /// Ranked shrink candidates skipped for cone overlap within a batch.
+    std::size_t conflicts_skipped{0};
+    /// Batches whose actual objective overshot the budget and were undone
+    /// and recommitted sequentially (estimation drift across a batch).
+    std::size_t batches_rolled_back{0};
 };
 
 /// Runs the recovery loop; the context's netlist is modified in place.

@@ -8,11 +8,12 @@
 namespace statim::core {
 
 PerturbationFront::PerturbationFront(Context& ctx, const Objective& objective,
-                                     const TrialResize& trial)
+                                     const TrialResize& trial, bool record_footprint)
     : gate_(trial.gate()),
       delta_w_(trial.delta_w()),
       dt_ns_(ctx.grid().dt_ns()),
-      objective_(objective) {
+      objective_(objective),
+      record_footprint_(record_footprint) {
     if (!ctx.engine().has_run())
         throw ConfigError("PerturbationFront: run SSTA before constructing fronts");
 
@@ -72,6 +73,11 @@ void PerturbationFront::compute_node(const Context& ctx, NodeId n) {
 
     const prob::Pdf& base = engine.arrival(n);
     const bool dead = perturbed == base;
+
+    if (record_footprint_) {
+        computed_nodes_.push_back(n);
+        if (!dead) changed_nodes_.push_back(n);
+    }
 
     if (n == netlist::TimingGraph::sink()) {
         sensitivity_ = dead ? 0.0

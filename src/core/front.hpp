@@ -49,8 +49,11 @@ class PerturbationFront {
     /// live `trial` perturbs and advances it through gate x's own level.
     /// Must be constructed while `trial` is active; after construction the
     /// trial may be destroyed (the front never re-reads perturbed edges).
+    /// `record_footprint` additionally collects computed_nodes() /
+    /// changed_nodes() — off by default; used by the batch-commit
+    /// property tests to pin the front/engine absorption equivalence.
     PerturbationFront(Context& ctx, const Objective& objective,
-                      const TrialResize& trial);
+                      const TrialResize& trial, bool record_footprint = false);
 
     /// Advances the shallowest pending level (Fig 9). No-op when completed.
     void propagate_one_level(const Context& ctx);
@@ -66,6 +69,21 @@ class PerturbationFront {
 
     [[nodiscard]] GateId gate() const noexcept { return gate_; }
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+    /// Nodes whose perturbed arrival this front evaluated, in computation
+    /// order (footprint recording only; empty otherwise).
+    [[nodiscard]] const std::vector<NodeId>& computed_nodes() const noexcept {
+        return computed_nodes_;
+    }
+    /// The computed nodes whose perturbed arrival differs bit-for-bit
+    /// from the unperturbed solution — exactly the arrivals committing
+    /// the same resize would change: SstaEngine::update runs the same
+    /// arithmetic over the same seeds and cuts at the same absorptions
+    /// (asserted by tests/test_batch_commit.cpp). Footprint recording
+    /// only; empty otherwise.
+    [[nodiscard]] const std::vector<NodeId>& changed_nodes() const noexcept {
+        return changed_nodes_;
+    }
 
   private:
     struct Entry {
@@ -93,8 +111,10 @@ class PerturbationFront {
     double bound_sens_{0.0};
     double sensitivity_{0.0};
     bool completed_{false};
+    bool record_footprint_{false};
     prob::Pdf sink_pdf_;
     Stats stats_;
+    std::vector<NodeId> computed_nodes_, changed_nodes_;
 };
 
 }  // namespace statim::core

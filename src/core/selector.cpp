@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <queue>
 
 #include "util/thread_pool.hpp"
@@ -35,14 +36,6 @@ bool improves(double sens, GateId g, double best_sens, GateId best) {
 /// than one candidate per shard. <= 1 means "run the sequential path".
 std::size_t shard_count(const SelectorConfig& config, std::size_t candidates) {
     return std::min(config.threads, candidates);
-}
-
-/// Monotone lock-free max for the shared pruning bound.
-void atomic_fetch_max(std::atomic<double>& target, double value) {
-    double current = target.load(std::memory_order_acquire);
-    while (value > current &&
-           !target.compare_exchange_weak(current, value, std::memory_order_acq_rel)) {
-    }
 }
 
 /// Builds one perturbation front per candidate. Sequential by necessity:
@@ -122,28 +115,96 @@ struct HeapCmp {
     }
 };
 
-Selection select_pruned_sequential(Context& ctx, const SelectorConfig& config,
-                                   const std::vector<GateId>& gates) {
-    Selection result;
-    result.stats.candidates = gates.size();
+/// Min-heap of the k best positive completed sensitivities; its k-th best
+/// is the pruning threshold. With k = 1 this is exactly the paper's Max_S:
+/// the threshold stays 0 until k candidates have completed with positive
+/// gain, so nothing is discarded prematurely, and a front whose bound ever
+/// falls below the threshold has final sensitivity sens <= bound <
+/// threshold <= final k-th best — it can never enter the top k.
+class KthBestTracker {
+  public:
+    explicit KthBestTracker(std::size_t k) : k_(k) {}
 
+    void add(double sens) {
+        if (!(sens > 0.0)) return;
+        if (heap_.size() < k_) {
+            heap_.push_back(sens);
+            std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        } else if (sens > heap_.front()) {
+            std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+            heap_.back() = sens;
+            std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        }
+    }
+
+    [[nodiscard]] double threshold() const noexcept {
+        return heap_.size() == k_ ? heap_.front() : 0.0;
+    }
+
+  private:
+    std::size_t k_;
+    std::vector<double> heap_;  // min-heap
+};
+
+/// Mutex-guarded KthBestTracker plus a monotone atomic snapshot of its
+/// threshold that shards read lock-free. A stale (lower) snapshot only
+/// makes pruning more conservative, never wrong.
+class SharedKthBest {
+  public:
+    explicit SharedKthBest(std::size_t k) : tracker_(k) {}
+
+    void add(double sens) {
+        if (!(sens > 0.0)) return;
+        const std::lock_guard<std::mutex> lock(mutex_);
+        tracker_.add(sens);
+        threshold_.store(tracker_.threshold(), std::memory_order_release);
+    }
+
+    [[nodiscard]] double threshold() const noexcept {
+        return threshold_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::mutex mutex_;
+    KthBestTracker tracker_;
+    std::atomic<double> threshold_{0.0};
+};
+
+/// Ranks completed candidates: sensitivity descending, gate id ascending
+/// on ties — the same order k applications of the incumbent rule produce.
+void rank_picks(std::vector<RankedPick>& picks) {
+    std::sort(picks.begin(), picks.end(), [](const RankedPick& a, const RankedPick& b) {
+        if (a.sensitivity != b.sensitivity) return a.sensitivity > b.sensitivity;
+        return a.gate < b.gate;
+    });
+}
+
+/// The paper's pruned bound race (Fig 6), generalized from "prune below
+/// the best completed sensitivity" to "prune below the k-th best". Returns
+/// every completed positive-gain candidate in gate-id order (unsorted);
+/// fills `stats` with the sequential accounting. k = 1 reproduces the
+/// original algorithm move for move.
+std::vector<RankedPick> topk_pruned_sequential(Context& ctx,
+                                               const SelectorConfig& config,
+                                               const std::vector<GateId>& gates,
+                                               std::size_t k, SelectorStats& stats) {
     // Initialize every candidate's front (paper Fig 6, steps 3-5).
     std::vector<std::unique_ptr<PerturbationFront>> fronts =
         init_fronts(ctx, config, gates);
 
-    double max_s = 0.0;  // paper step 6
+    std::vector<RankedPick> completed;
+    KthBestTracker best(k);  // paper step 6, k-generalized
     auto absorb_completion = [&](std::size_t idx) {
         PerturbationFront& front = *fronts[idx];
-        if (front.sink_pdf().valid()) ++result.stats.completed;
-        else ++result.stats.died;
+        if (front.sink_pdf().valid()) ++stats.completed;
+        else ++stats.died;
         const double sens = front.sensitivity();
-        if (improves(sens, front.gate(), max_s, result.gate)) {
-            result.gate = front.gate();
-            result.sensitivity = sens;
-            if (sens > max_s) max_s = sens;
+        if (sens > 0.0) {
+            completed.push_back({front.gate(), sens});
+            best.add(sens);
         }
-        result.stats.nodes_computed += front.stats().nodes_computed;
-        result.stats.levels_stepped += front.stats().levels_stepped;
+        stats.nodes_computed += front.stats().nodes_computed;
+        stats.levels_stepped += front.stats().levels_stepped;
         fronts[idx].reset();
     };
 
@@ -167,10 +228,11 @@ Selection select_pruned_sequential(Context& ctx, const SelectorConfig& config,
         PerturbationFront& front = *fronts[top.idx];
         if (top.bound != front.bound_sensitivity()) continue;  // stale bound
 
-        if (top.bound < max_s) {
-            // The freshest bound on the heap is below Max_S: every
-            // remaining candidate is provably inferior (paper step 20).
-            result.stats.pruned += alive;
+        if (top.bound < best.threshold()) {
+            // The freshest bound on the heap is below the k-th best
+            // completed sensitivity: every remaining candidate is provably
+            // outside the top k (paper step 20).
+            stats.pruned += alive;
             break;
         }
         front.propagate_one_level(ctx);
@@ -181,38 +243,35 @@ Selection select_pruned_sequential(Context& ctx, const SelectorConfig& config,
             heap.push({front.bound_sensitivity(), top.idx, top.gate_id});
         }
     }
-    return result;
+    return completed;
 }
 
-Selection select_pruned_parallel(Context& ctx, const SelectorConfig& config,
-                                 const std::vector<GateId>& gates,
-                                 std::size_t shards) {
-    Selection result;
-    result.stats.candidates = gates.size();
-
+/// Sharded generalization of the bound race: shards drain their own
+/// fronts, racing the shared k-th-best threshold. A front pruned here has
+/// sensitivity strictly below the final k-th best, so every true top-k
+/// candidate completes in some shard for any race outcome.
+std::vector<RankedPick> topk_pruned_parallel(Context& ctx, const SelectorConfig& config,
+                                             const std::vector<GateId>& gates,
+                                             std::size_t k, std::size_t shards,
+                                             SelectorStats& stats) {
     std::vector<std::unique_ptr<PerturbationFront>> fronts =
         init_fronts(ctx, config, gates);
     std::vector<FrontOutcome> outcomes(fronts.size());
 
-    // Shared monotone bound (the paper's Max_S), seeded from fronts that
-    // completed during initialization so every shard prunes against the
-    // best sensitivity known so far.
-    std::atomic<double> max_s{0.0};
+    // Shared monotone threshold, seeded from fronts that completed during
+    // initialization so every shard prunes against the k best known so far.
+    SharedKthBest best(k);
     std::vector<std::vector<std::uint32_t>> shard_fronts(shards);
     for (std::size_t i = 0; i < fronts.size(); ++i) {
         if (fronts[i]->completed()) {
             record_outcome(outcomes[i], *fronts[i]);
-            atomic_fetch_max(max_s, fronts[i]->sensitivity());
+            best.add(fronts[i]->sensitivity());
             fronts[i].reset();
         } else {
             shard_fronts[i % shards].push_back(static_cast<std::uint32_t>(i));
         }
     }
 
-    // Each shard runs the sequential bound race over its own fronts,
-    // racing the shared Max_S. A front pruned here has sensitivity
-    // strictly below the final maximum (sens <= bound < Max_S at prune
-    // time <= final Max_S), so the winner always completes in some shard.
     global_pool().parallel_for(shards, [&](std::size_t s) {
         std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp> heap;
         for (std::uint32_t idx : shard_fronts[s])
@@ -225,23 +284,46 @@ Selection select_pruned_parallel(Context& ctx, const SelectorConfig& config,
             if (front.completed()) continue;  // finished via a previous entry
             if (top.bound != front.bound_sensitivity()) continue;  // stale bound
 
-            if (top.bound < max_s.load(std::memory_order_acquire)) {
-                // Everything left in this shard is provably inferior;
-                // outcomes stay marked Pruned.
+            if (top.bound < best.threshold()) {
+                // Everything left in this shard is provably outside the
+                // top k; outcomes stay marked Pruned.
                 break;
             }
             front.propagate_one_level(ctx);
             if (front.completed()) {
                 record_outcome(outcomes[top.idx], front);
-                atomic_fetch_max(max_s, front.sensitivity());
+                best.add(front.sensitivity());
             } else {
                 heap.push({front.bound_sensitivity(), top.idx, top.gate_id});
             }
         }
     });
 
-    reduce_outcomes(gates, outcomes, result);
-    return result;
+    // Deterministic gate-id-ordered fold of the shard outcomes.
+    std::vector<RankedPick> completed;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const FrontOutcome& out = outcomes[i];
+        if (out.kind == FrontOutcome::Kind::Pruned) {
+            ++stats.pruned;
+            continue;
+        }
+        if (out.kind == FrontOutcome::Kind::Completed) ++stats.completed;
+        else ++stats.died;
+        stats.nodes_computed += out.nodes_computed;
+        stats.levels_stepped += out.levels_stepped;
+        if (out.sensitivity > 0.0) completed.push_back({gates[i], out.sensitivity});
+    }
+    return completed;
+}
+
+/// Completed positive-gain candidates of one pruned pass (either path).
+std::vector<RankedPick> topk_pruned(Context& ctx, const SelectorConfig& config,
+                                    const std::vector<GateId>& gates, std::size_t k,
+                                    SelectorStats& stats) {
+    stats.candidates = gates.size();
+    const std::size_t shards = shard_count(config, gates.size());
+    return shards > 1 ? topk_pruned_parallel(ctx, config, gates, k, shards, stats)
+                      : topk_pruned_sequential(ctx, config, gates, k, stats);
 }
 
 /// Per-candidate overlay of the edge PDFs its trial resize perturbs;
@@ -359,10 +441,120 @@ Selection select_cone_parallel(Context& ctx, const SelectorConfig& config,
 Selection select_pruned(Context& ctx, const SelectorConfig& config) {
     Timer timer;
     const std::vector<GateId> gates = eligible_gates(ctx, config);
-    const std::size_t shards = shard_count(config, gates.size());
-    Selection result = shards > 1
-                           ? select_pruned_parallel(ctx, config, gates, shards)
-                           : select_pruned_sequential(ctx, config, gates);
+    Selection result;
+    std::vector<RankedPick> completed = topk_pruned(ctx, config, gates, 1, result.stats);
+    rank_picks(completed);
+    if (!completed.empty()) {
+        result.gate = completed.front().gate;
+        result.sensitivity = completed.front().sensitivity;
+    }
+    result.stats.seconds = timer.seconds();
+    return result;
+}
+
+BatchConeFilter::BatchConeFilter(const Context& ctx)
+    : ctx_(&ctx),
+      node_mark_(ctx.graph().node_count(), 0),
+      edge_mark_(ctx.graph().edge_count(), 0),
+      visit_mark_(ctx.graph().node_count(), 0) {}
+
+void BatchConeFilter::reset() noexcept {
+    ++batch_epoch_;
+    accepted_ = 0;
+}
+
+bool BatchConeFilter::try_accept(GateId g) {
+    const auto& graph = ctx_->graph();
+    const std::uint32_t level_cap = graph.gate_level(g) + kConeDepth;
+    ++visit_epoch_;
+    cone_.clear();
+    stack_.clear();
+
+    // Level-bounded cone: both endpoints of every re-timed edge, expanded
+    // forward while the level stays within the cap. Conflict as soon as a
+    // node carries an accepted pick's mark.
+    bool conflict = false;
+    const auto visit = [&](NodeId n) {
+        if (n == netlist::TimingGraph::sink() || n == netlist::TimingGraph::source())
+            return;
+        if (graph.level(n) > level_cap) return;
+        if (visit_mark_[n.index()] == visit_epoch_) return;
+        visit_mark_[n.index()] = visit_epoch_;
+        if (node_mark_[n.index()] == batch_epoch_) {
+            conflict = true;
+            return;
+        }
+        cone_.push_back(n);
+        stack_.push_back(n);
+    };
+    const std::vector<EdgeId> affected = ctx_->delay_calc().affected_edges(g);
+    for (EdgeId e : affected) {
+        if (edge_mark_[e.index()] == batch_epoch_) return false;  // shared edge
+        visit(graph.edge(e).from);
+        if (conflict) return false;
+        visit(graph.edge(e).to);
+        if (conflict) return false;
+    }
+    while (!stack_.empty()) {
+        const NodeId n = stack_.back();
+        stack_.pop_back();
+        for (EdgeId e : graph.out_edges(n)) {
+            visit(graph.edge(e).to);
+            if (conflict) return false;
+        }
+    }
+
+    for (NodeId n : cone_) node_mark_[n.index()] = batch_epoch_;
+    for (EdgeId e : affected) edge_mark_[e.index()] = batch_epoch_;
+    ++accepted_;
+    return true;
+}
+
+TopKSelection select_top_k(Context& ctx, const SelectorConfig& config, std::size_t k,
+                           SelectorKind kind) {
+    if (k == 0) throw ConfigError("select_top_k: k must be >= 1");
+    Timer timer;
+    TopKSelection result;
+
+    // The filter must often look past the k best — they tend to sit in
+    // series on one critical path — so the race keeps a deeper head
+    // completed. 4k is a determinism horizon, not a tuning knob: any
+    // candidate at or above the scan-depth-th best sensitivity completes
+    // for every thread count and shard race, so ranking + truncation is
+    // reproducible; beyond it completion is race-dependent.
+    const std::size_t scan_depth = k == 1 ? 1 : 4 * k;
+
+    std::vector<RankedPick> ranked;
+    if (kind == SelectorKind::Pruned) {
+        const std::vector<GateId> gates = eligible_gates(ctx, config);
+        ranked = topk_pruned(ctx, config, gates, scan_depth, result.stats);
+    } else {
+        Selection all =
+            select_brute_force(ctx, config, kind == SelectorKind::BruteCone, true);
+        result.stats = all.stats;
+        ranked.reserve(all.all_sensitivities.size());
+        for (const auto& [gate, sens] : all.all_sensitivities)
+            if (sens > 0.0) ranked.push_back({gate, sens});
+    }
+
+    // Rank, truncate to the deterministic scan head, then walk it in rank
+    // order through the conflict filter until k picks are accepted. The
+    // head is identical across selector kinds, thread counts and shard
+    // races, so the accepted batch is too. The relative floor keeps a
+    // deep scan from padding the batch with near-zero-gain picks (pure
+    // area waste); a short batch is topped up by the next pass on the
+    // refreshed state instead, where those gains are re-measured.
+    rank_picks(ranked);
+    if (ranked.size() > scan_depth) ranked.resize(scan_depth);
+    constexpr double kMinRelSensitivity = 1e-3;
+    BatchConeFilter filter(ctx);
+    result.picks.reserve(std::min(k, ranked.size()));
+    for (const RankedPick& pick : ranked) {
+        if (result.picks.size() >= k) break;
+        if (pick.sensitivity < kMinRelSensitivity * ranked.front().sensitivity) break;
+        if (filter.try_accept(pick.gate)) result.picks.push_back(pick);
+        else ++result.conflicts_skipped;
+    }
     result.stats.seconds = timer.seconds();
     return result;
 }

@@ -24,6 +24,9 @@
 
 namespace statim::core {
 
+/// Which inner-loop engine finds the most sensitive gate(s).
+enum class SelectorKind { Pruned, BruteFull, BruteCone };
+
 /// Inner-loop accounting; the Table 2 harness aggregates these.
 struct SelectorStats {
     std::size_t candidates{0};       ///< gates eligible for upsizing
@@ -68,6 +71,96 @@ struct SelectorConfig {
 [[nodiscard]] Selection select_brute_force(Context& ctx, const SelectorConfig& config,
                                            bool cone_only = false,
                                            bool record_all = false);
+
+/// One ranked pick of a batched (top-k) selection.
+struct RankedPick {
+    GateId gate{GateId::invalid()};
+    double sensitivity{0.0};  ///< ns per unit width, on the shared base state
+};
+
+/// Result of one batched selection pass (select_top_k).
+struct TopKSelection {
+    /// Accepted picks, sensitivity descending (ties toward the lower gate
+    /// id), mutually non-conflicting under BatchConeFilter. May hold fewer
+    /// than k entries when conflicts or convergence thin the ranking; it is
+    /// empty exactly when no positive-sensitivity candidate exists.
+    std::vector<RankedPick> picks;
+    SelectorStats stats{};             ///< accounting of the single pass
+    std::size_t conflicts_skipped{0};  ///< ranked candidates dropped by overlap
+};
+
+/// Conflict filter for the gates accepted into one commit batch. Each
+/// gate contributes a *level-bounded fanout cone*: the endpoints of every
+/// edge its resize re-times (DelayCalc::affected_edges — the gate's own
+/// edges plus its fanin drivers'), propagated forward through the graph
+/// but capped `kConeDepth` levels past the gate's level. A candidate
+/// conflicts with an accepted pick when their bounded cones share a node
+/// or their affected edge sets share an edge — i.e. when one commit would
+/// re-time the other's delay basis or directly move the arrivals in its
+/// immediate evaluation neighbourhood (fanout consumers, shared fanin
+/// drivers, load coupling).
+///
+/// The bound is deliberate. Demanding *fully* disjoint cones — static
+/// reachability or even the realized perturbation footprint with
+/// absorption applied — degenerates to one pick per pass: measured on
+/// c7552/synth10k at uniform widths, a single dominant path carries the
+/// sensitivity mass and each top candidate's perturbation floods ~1/3 of
+/// the circuit, so everything "conflicts" with everything. Gates farther
+/// apart than the bound on a shared path have additive first-order
+/// improvements (serial delays add); what batching must not do is commit
+/// two picks whose local bases overlap, and that lives within the bound.
+/// The residual coupling through deeper reconvergence and the sink fold
+/// is the stale-sensitivity trade every batched sizer makes (cf. Neiroukh
+/// & Song); the per-batch refresh re-ranks before the next commit.
+/// Deterministic: a pure function of the graph and the accept order.
+class BatchConeFilter {
+  public:
+    /// Levels past the gate's own level its conflict cone extends.
+    static constexpr std::uint32_t kConeDepth = 2;
+
+    explicit BatchConeFilter(const Context& ctx);
+
+    /// Accepts `g` and marks its bounded cone if it does not conflict
+    /// with any pick accepted so far; returns false (and marks nothing)
+    /// on conflict.
+    [[nodiscard]] bool try_accept(GateId g);
+
+    /// Forgets every accepted pick (cheap epoch bump).
+    void reset() noexcept;
+
+    [[nodiscard]] std::size_t accepted() const noexcept { return accepted_; }
+
+  private:
+    const Context* ctx_;
+    std::vector<std::uint32_t> node_mark_;   // union of accepted bounded cones
+    std::vector<std::uint32_t> edge_mark_;   // union of accepted affected edges
+    std::vector<std::uint32_t> visit_mark_;  // per-try_accept dedup
+    std::uint32_t batch_epoch_{1};
+    std::uint32_t visit_epoch_{0};
+    std::vector<NodeId> cone_, stack_;
+    std::size_t accepted_{0};
+};
+
+/// Batched selection: ONE selector pass returns up to `k` picks for one
+/// commit batch (requires ctx.run_ssta()/refresh_ssta() beforehand).
+///
+/// All kinds produce the identical pick list: candidates are ranked by
+/// exact sensitivity (descending, ties toward the lower gate id), the
+/// ranking is truncated to a deterministic scan head (4k entries for
+/// k > 1 — the top picks often sit in series on one critical path, so the
+/// filter must look past them to fill a batch), and the head is walked in
+/// rank order through BatchConeFilter until k picks are accepted. The
+/// pruned kind races a generalized bound — fronts are discarded once
+/// their bound falls below the scan-depth-th best completed sensitivity,
+/// which can never discard a scan-head candidate — so its ranking head
+/// equals the brute-force one for any thread count. Truncating *before*
+/// the conflict filter keeps the result deterministic (ranks beyond the
+/// scan head may complete or not depending on shard racing); the cost is
+/// a batch that can come up short, which the sizing loop tops up with
+/// another pass on the refreshed state.
+[[nodiscard]] TopKSelection select_top_k(Context& ctx, const SelectorConfig& config,
+                                         std::size_t k,
+                                         SelectorKind kind = SelectorKind::Pruned);
 
 /// Approximate selection — the paper's "future work" heuristic for
 /// iterations where many gates have similar sensitivities and exact

@@ -3,40 +3,32 @@
 #include <algorithm>
 
 #include "sta/sta.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace statim::core {
 
-namespace {
-
-Selection run_selector(Context& ctx, const StatisticalSizerConfig& config) {
-    const SelectorConfig sel{config.objective, config.delta_w, config.max_width,
-                             config.threads};
-    switch (config.selector) {
-        case SelectorKind::Pruned: return select_pruned(ctx, sel);
-        case SelectorKind::BruteFull: return select_brute_force(ctx, sel, false);
-        case SelectorKind::BruteCone: return select_brute_force(ctx, sel, true);
-    }
-    throw ConfigError("run_statistical_sizing: unknown selector kind");
-}
-
-}  // namespace
-
 SizingResult run_statistical_sizing(Context& ctx, const StatisticalSizerConfig& config) {
     if (config.max_iterations < 0)
         throw ConfigError("StatisticalSizerConfig: max_iterations must be >= 0");
     if (!(config.delta_w > 0.0))
         throw ConfigError("StatisticalSizerConfig: delta_w must be positive");
-    if (config.gates_per_iteration < 1)
-        throw ConfigError("StatisticalSizerConfig: gates_per_iteration must be >= 1");
+    if (config.gates_per_iteration < 0)
+        throw ConfigError(
+            "StatisticalSizerConfig: gates_per_iteration must be >= 1 "
+            "(or 0 to resolve from STATIM_BATCH)");
+    const int batch = config.gates_per_iteration > 0 ? config.gates_per_iteration
+                                                     : env_batch();
+    const SelectorConfig sel{config.objective, config.delta_w, config.max_width,
+                             config.threads};
 
     SizingResult result;
     ctx.set_incremental_ssta(config.incremental_ssta);
     ctx.set_ssta_threads(config.threads);
-    // Timed refresh of the arrivals after a committed resize: incremental
-    // cone re-propagation when enabled, full SSTA otherwise.
+    // Timed refresh of the arrivals after a committed batch: incremental
+    // merged-cone re-propagation when enabled, full SSTA otherwise.
     const auto refresh = [&ctx, &result] {
         Timer refresh_timer;
         ctx.refresh_ssta();
@@ -57,47 +49,73 @@ SizingResult run_statistical_sizing(Context& ctx, const StatisticalSizerConfig& 
         return result;
     }
 
-    for (int iter = 1; iter <= config.max_iterations; ++iter) {
-        Selection selection = run_selector(ctx, config);
+    double running_area = result.initial_area;
+    double running_width = ctx.nl().total_width();
+    std::vector<ResizeOp> ops;
 
-        // Multi-gate mode: take the top-k completed candidates. The brute
-        // selectors expose all sensitivities; the pruned selector returns
-        // one winner, so k > 1 simply repeats the selection after applying.
-        if (!selection.gate.is_valid() || !(selection.sensitivity > 0.0)) {
+    for (int iter = 1; iter <= config.max_iterations; ++iter) {
+        // One iteration commits up to `batch` gates. Each selector pass
+        // returns the best cone-disjoint picks on the current arrivals;
+        // they are all applied and the merged fanout cone is refreshed
+        // exactly once per pass. Conflicts shorten a pass, never the
+        // iteration: the loop re-selects on the refreshed state until the
+        // batch is full or no positive-sensitivity gate remains. The
+        // refresh after the final commit of a pass is the only one — a
+        // converged top-up pass leaves the engine clean and triggers none.
+        int applied = 0;
+        bool converged = false;
+        while (applied < batch) {
+            const TopKSelection top = select_top_k(
+                ctx, sel, static_cast<std::size_t>(batch - applied), config.selector);
+            ++result.selector_passes;
+            result.conflicts_skipped += top.conflicts_skipped;
+            if (top.picks.empty()) {
+                converged = true;
+                break;
+            }
+
+            ops.clear();
+            for (const RankedPick& pick : top.picks)
+                ops.push_back({pick.gate, config.delta_w});
+            (void)ctx.apply_resizes(ops);
+            refresh();
+
+            const double objective_after =
+                config.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
+            for (std::size_t i = 0; i < top.picks.size(); ++i) {
+                const RankedPick& pick = top.picks[i];
+                const auto& gate = ctx.nl().gate(pick.gate);
+                // Exact per-gate attribution: area and width scale
+                // linearly in the width step (cell_area = area * w).
+                running_area += cells::cell_area(ctx.lib().cell(gate.cell),
+                                                 config.delta_w);
+                running_width += config.delta_w;
+
+                IterationRecord record;
+                record.iteration = iter;
+                record.gate = pick.gate;
+                record.sensitivity = pick.sensitivity;
+                record.objective_after_ns = objective_after;
+                record.area_after = running_area;
+                record.width_after = running_width;
+                if (i == 0) record.stats = top.stats;
+                result.history.push_back(record);
+
+                STATIM_DEBUG() << "stat iter " << iter << " gate " << gate.name
+                               << " sens " << record.sensitivity << " obj "
+                               << record.objective_after_ns;
+            }
+            applied += static_cast<int>(top.picks.size());
+        }
+        if (applied == 0) {
             result.stop_reason = "converged";
             break;
         }
-
-        int applied = 0;
-        Selection current = std::move(selection);
-        while (true) {
-            (void)ctx.apply_resize(current.gate, config.delta_w);
-            ++applied;
-            if (applied >= config.gates_per_iteration) break;
-            refresh();
-            current = run_selector(ctx, config);
-            if (!current.gate.is_valid() || !(current.sensitivity > 0.0)) break;
-        }
-        refresh();
 
         result.iterations = iter;
         result.final_objective_ns =
             config.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
         result.final_area = ctx.nl().total_area(ctx.lib());
-
-        IterationRecord record;
-        record.iteration = iter;
-        record.gate = current.gate;
-        record.sensitivity = current.sensitivity;
-        record.objective_after_ns = result.final_objective_ns;
-        record.area_after = result.final_area;
-        record.width_after = ctx.nl().total_width();
-        record.stats = current.stats;
-        result.history.push_back(record);
-
-        STATIM_DEBUG() << "stat iter " << iter << " gate "
-                       << ctx.nl().gate(record.gate).name << " sens "
-                       << record.sensitivity << " obj " << record.objective_after_ns;
 
         if (result.final_objective_ns <= config.target_objective_ns) {
             result.stop_reason = "target met";
@@ -105,6 +123,10 @@ SizingResult run_statistical_sizing(Context& ctx, const StatisticalSizerConfig& 
         }
         if (result.final_area - result.initial_area >= config.area_budget) {
             result.stop_reason = "area budget";
+            break;
+        }
+        if (converged) {
+            result.stop_reason = "converged";
             break;
         }
     }

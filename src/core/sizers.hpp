@@ -2,9 +2,11 @@
 //
 //  * run_statistical_sizing — coordinate descent on the statistical
 //    objective (Fig 6 outer loop): each iteration runs SSTA, finds the
-//    highest-sensitivity gate via the pruned or brute-force selector, and
-//    sizes it up by Δw; stops when no gate helps, or at the iteration or
-//    area budget.
+//    highest-sensitivity gate(s) via the pruned or brute-force selector,
+//    and sizes them up by Δw — in batched mode (gates_per_iteration > 1)
+//    one select_top_k pass yields up to k cone-disjoint picks that are
+//    committed together under a single merged-cone incremental refresh.
+//    Stops when no gate helps, or at the iteration or area budget.
 //  * run_deterministic_sizing — the baseline: nominal STA, sensitivities
 //    restricted to critical-path gates, incremental arrival updates.
 //
@@ -22,9 +24,6 @@
 
 namespace statim::core {
 
-/// Which inner-loop engine finds the most sensitive gate.
-enum class SelectorKind { Pruned, BruteFull, BruteCone };
-
 struct StatisticalSizerConfig {
     Objective objective{};
     double delta_w{0.25};
@@ -37,8 +36,14 @@ struct StatisticalSizerConfig {
     double target_objective_ns{0.0};
     SelectorKind selector{SelectorKind::Pruned};
     /// How many gates to upsize per iteration (paper §3.3 notes the
-    /// algorithm "can be easily modified to size multiple gates").
-    int gates_per_iteration{1};
+    /// algorithm "can be easily modified to size multiple gates"). With
+    /// k > 1 each selector pass returns up to k conflict-free picks in
+    /// one sweep (select_top_k + BatchConeFilter) which are committed
+    /// together and followed by a single merged-cone refresh; conflicts
+    /// trigger a top-up pass on the refreshed state, so every
+    /// non-converged iteration still commits exactly k gates. 0 = resolve
+    /// from STATIM_BATCH (default 1).
+    int gates_per_iteration{0};
     /// Candidate-evaluation shards per selection (see SelectorConfig) and
     /// level-parallel shards for every SSTA propagation wave
     /// (Context::set_ssta_threads); results are bit-identical for any
@@ -51,13 +56,20 @@ struct StatisticalSizerConfig {
     bool incremental_ssta{true};
 };
 
+/// One committed gate. Batched iterations append one record per applied
+/// gate (each with its own sensitivity and exact per-gate area/width
+/// attribution); `objective_after_ns` is the value after the record's
+/// *commit batch* refreshed — intra-batch objectives are never
+/// materialized, that being the point of batching.
 struct IterationRecord {
-    int iteration{0};               ///< 1-based
+    int iteration{0};               ///< 1-based outer iteration
     GateId gate{GateId::invalid()};
     double sensitivity{0.0};        ///< ns per unit width
     double objective_after_ns{0.0};
     double area_after{0.0};
     double width_after{0.0};        ///< total gate size (paper Fig 10 y-axis)
+    /// Selector accounting, on the first record of each pass (zeroed on
+    /// the rest so aggregations never double-count a shared pass).
     SelectorStats stats{};
 };
 
@@ -74,6 +86,12 @@ struct SizingResult {
     double ssta_refresh_seconds{0.0};
     /// compute_arrival evaluations those refreshes performed.
     std::size_t ssta_nodes_recomputed{0};
+    /// Selector passes executed: one per commit batch, so k=1 pays one
+    /// pass per committed gate while larger batches amortize it.
+    std::size_t selector_passes{0};
+    /// Ranked candidates dropped within a pass because their fanout cone
+    /// overlapped a higher-ranked pick (recovered by a top-up pass).
+    std::size_t conflicts_skipped{0};
 };
 
 /// Statistical coordinate descent. `ctx` must wrap the circuit at its

@@ -1,6 +1,7 @@
 #include "util/env.hpp"
 
 #include <cstdlib>
+#include <limits>
 
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -40,6 +41,13 @@ std::size_t apply_threads_env() {
     const std::int64_t threads = env_int("STATIM_THREADS", 0);
     if (threads >= 1) set_default_thread_count(static_cast<std::size_t>(threads));
     return default_thread_count();
+}
+
+int env_batch() {
+    const std::int64_t batch = env_int("STATIM_BATCH", 1);
+    if (batch < 1) return 1;
+    if (batch > std::numeric_limits<int>::max()) return std::numeric_limits<int>::max();
+    return static_cast<int>(batch);
 }
 
 }  // namespace statim

@@ -27,4 +27,11 @@ void apply_log_env();
 /// count; no-op when unset. Returns the count now in effect.
 std::size_t apply_threads_env();
 
+/// STATIM_BATCH (>= 1): gates committed per sizing iteration between
+/// arrival refreshes, consumed by configs that leave their
+/// gates_per_iteration at 0 ("resolve from the environment"). Returns 1
+/// when unset, malformed or < 1 — the paper's one-gate-per-iteration
+/// reference behaviour.
+int env_batch();
+
 }  // namespace statim

@@ -1,0 +1,373 @@
+// Batched-commit properties (PR 3): k resizes + ONE merged-cone
+// incremental refresh must be bitwise indistinguishable from k sequential
+// resize+refresh cycles, select_top_k must be deterministic across
+// selector kinds and thread counts, and the batched sizer loop must
+// account for every committed gate without redundant refreshes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "core/downsize.hpp"
+#include "core/front.hpp"
+#include "core/sizers.hpp"
+#include "core/trial_resize.hpp"
+#include "netlist/iscas.hpp"
+#include "ssta/criticality.hpp"
+#include "util/thread_pool.hpp"
+
+namespace statim::core {
+namespace {
+
+using netlist::Netlist;
+
+/// k distinct gates spread over the id range, varied by `salt` so
+/// successive batches touch different regions.
+std::vector<GateId> spread_gates(const Netlist& nl, std::size_t k, std::size_t salt) {
+    std::vector<GateId> gates;
+    const std::size_t count = nl.gate_count();
+    for (std::size_t i = 0; i < k; ++i)
+        gates.push_back(GateId{static_cast<std::uint32_t>(
+            (i * count / k + 7 * salt + 3) % count)});
+    std::sort(gates.begin(), gates.end());
+    gates.erase(std::unique(gates.begin(), gates.end()), gates.end());
+    return gates;
+}
+
+bool all_arrivals_equal(const Context& a, const Context& b) {
+    for (std::size_t n = 0; n < a.graph().node_count(); ++n) {
+        const NodeId node{static_cast<std::uint32_t>(n)};
+        if (!(a.engine().arrival(node) == b.engine().arrival(node))) return false;
+    }
+    return true;
+}
+
+// The satellite property: for every circuit, thread count and batch size,
+// Context::apply_resizes + one refresh_ssta() reproduces the arrivals of
+// the sequential per-gate commit path bit for bit. Both contexts advance
+// through the same width trajectory, so the whole matrix runs on two full
+// SSTA runs per circuit plus cheap incremental refreshes.
+TEST(BatchCommit, MergedRefreshBitIdenticalToSequential) {
+    cells::Library lib = cells::Library::standard_180nm();
+    const std::size_t pool_before = default_thread_count();
+    for (const char* circuit : {"c432", "c7552", "synth10k"}) {
+        Netlist nl_batched = netlist::make_iscas(circuit, lib);
+        Netlist nl_seq = netlist::make_iscas(circuit, lib);
+        Context batched(nl_batched, lib);
+        Context seq(nl_seq, lib);
+        batched.run_ssta();
+        seq.run_ssta();
+
+        std::size_t salt = 0;
+        for (const std::size_t k : {1u, 3u, 8u}) {
+            for (const std::size_t threads : {1u, 2u, 7u}) {
+                const std::vector<GateId> gates = spread_gates(nl_seq, k, ++salt);
+
+                set_default_thread_count(threads);
+                batched.set_ssta_threads(threads);
+                std::vector<ResizeOp> ops;
+                for (GateId g : gates) ops.push_back({g, 0.25});
+                const std::vector<EdgeId> merged = batched.apply_resizes(ops);
+                batched.refresh_ssta();
+
+                seq.set_ssta_threads(1);
+                std::size_t union_size = 0;
+                for (GateId g : gates) {
+                    std::vector<EdgeId> changed = seq.apply_resize(g, 0.25);
+                    union_size += changed.size();
+                    seq.refresh_ssta();
+                }
+                EXPECT_LE(merged.size(), union_size);  // deduplicated union
+
+                EXPECT_TRUE(all_arrivals_equal(batched, seq))
+                    << circuit << " k=" << k << " threads=" << threads;
+            }
+        }
+    }
+    set_default_thread_count(pool_before);
+}
+
+TEST(BatchCommit, SelectTopKMatchesSelectPrunedAtK1) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    const SelectorConfig cfg;
+
+    const Selection pruned = select_pruned(ctx, cfg);
+    const TopKSelection top = select_top_k(ctx, cfg, 1);
+    ASSERT_EQ(top.picks.size(), 1u);
+    EXPECT_EQ(top.picks[0].gate, pruned.gate);
+    EXPECT_EQ(top.picks[0].sensitivity, pruned.sensitivity);
+    // The k=1 bound race is the paper's algorithm move for move.
+    EXPECT_EQ(top.stats.candidates, pruned.stats.candidates);
+    EXPECT_EQ(top.stats.completed, pruned.stats.completed);
+    EXPECT_EQ(top.stats.pruned, pruned.stats.pruned);
+    EXPECT_EQ(top.stats.died, pruned.stats.died);
+    EXPECT_EQ(top.stats.nodes_computed, pruned.stats.nodes_computed);
+    EXPECT_EQ(top.stats.levels_stepped, pruned.stats.levels_stepped);
+}
+
+TEST(BatchCommit, TopKSelectorKindsAgree) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    const SelectorConfig cfg;
+
+    const TopKSelection pruned = select_top_k(ctx, cfg, 4, SelectorKind::Pruned);
+    const TopKSelection brute = select_top_k(ctx, cfg, 4, SelectorKind::BruteFull);
+    const TopKSelection cone = select_top_k(ctx, cfg, 4, SelectorKind::BruteCone);
+    ASSERT_FALSE(pruned.picks.empty());
+    ASSERT_EQ(pruned.picks.size(), brute.picks.size());
+    ASSERT_EQ(pruned.picks.size(), cone.picks.size());
+    for (std::size_t i = 0; i < pruned.picks.size(); ++i) {
+        EXPECT_EQ(pruned.picks[i].gate, brute.picks[i].gate) << i;
+        EXPECT_EQ(pruned.picks[i].sensitivity, brute.picks[i].sensitivity) << i;
+        EXPECT_EQ(pruned.picks[i].gate, cone.picks[i].gate) << i;
+        EXPECT_EQ(pruned.picks[i].sensitivity, cone.picks[i].sensitivity) << i;
+    }
+    EXPECT_EQ(pruned.conflicts_skipped, brute.conflicts_skipped);
+}
+
+TEST(BatchCommit, TopKThreadCountInvariant) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    const std::size_t pool_before = default_thread_count();
+
+    SelectorConfig cfg;
+    cfg.threads = 1;
+    const TopKSelection reference = select_top_k(ctx, cfg, 4);
+    ASSERT_FALSE(reference.picks.empty());
+    for (const std::size_t threads : {2u, 7u}) {
+        set_default_thread_count(threads);
+        cfg.threads = threads;
+        const TopKSelection parallel = select_top_k(ctx, cfg, 4);
+        ASSERT_EQ(parallel.picks.size(), reference.picks.size()) << threads;
+        for (std::size_t i = 0; i < reference.picks.size(); ++i) {
+            EXPECT_EQ(parallel.picks[i].gate, reference.picks[i].gate)
+                << threads << " pick " << i;
+            EXPECT_EQ(parallel.picks[i].sensitivity, reference.picks[i].sensitivity)
+                << threads << " pick " << i;
+        }
+        // Work invariants survive the shard racing.
+        EXPECT_EQ(parallel.stats.candidates,
+                  parallel.stats.completed + parallel.stats.pruned +
+                      parallel.stats.died);
+    }
+    set_default_thread_count(pool_before);
+}
+
+TEST(BatchCommit, TopKPicksAreConeDisjoint) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+
+    const TopKSelection top = select_top_k(ctx, SelectorConfig{}, 8);
+    ASSERT_GE(top.picks.size(), 2u);
+
+    // Independent check of the batch invariant: the picks' level-bounded
+    // cones (re-timed edge endpoints expanded forward up to
+    // BatchConeFilter::kConeDepth levels past each gate) are pairwise
+    // node-disjoint, and their re-timed edge sets are pairwise disjoint —
+    // no pick's commit re-times another pick's delay basis or its
+    // immediate evaluation neighbourhood.
+    struct Footprint {
+        std::vector<bool> nodes, edges;
+    };
+    const auto footprint_of = [&ctx](GateId g) {
+        Footprint fp;
+        fp.nodes.assign(ctx.graph().node_count(), false);
+        fp.edges.assign(ctx.graph().edge_count(), false);
+        const std::uint32_t cap =
+            ctx.graph().gate_level(g) + BatchConeFilter::kConeDepth;
+        std::vector<NodeId> stack;
+        const auto push = [&](NodeId n) {
+            if (n == netlist::TimingGraph::sink() ||
+                n == netlist::TimingGraph::source())
+                return;
+            if (ctx.graph().level(n) > cap || fp.nodes[n.index()]) return;
+            fp.nodes[n.index()] = true;
+            stack.push_back(n);
+        };
+        for (EdgeId e : ctx.delay_calc().affected_edges(g)) {
+            fp.edges[e.index()] = true;
+            push(ctx.graph().edge(e).from);
+            push(ctx.graph().edge(e).to);
+        }
+        while (!stack.empty()) {
+            const NodeId n = stack.back();
+            stack.pop_back();
+            for (EdgeId e : ctx.graph().out_edges(n)) push(ctx.graph().edge(e).to);
+        }
+        return fp;
+    };
+    std::vector<Footprint> prints;
+    for (const RankedPick& pick : top.picks) prints.push_back(footprint_of(pick.gate));
+    for (std::size_t i = 0; i < prints.size(); ++i) {
+        for (std::size_t j = i + 1; j < prints.size(); ++j) {
+            for (std::size_t n = 0; n < prints[i].nodes.size(); ++n)
+                ASSERT_FALSE(prints[i].nodes[n] && prints[j].nodes[n])
+                    << "bounded cones of picks " << i << " and " << j
+                    << " meet at node " << n;
+            for (std::size_t e = 0; e < prints[i].edges.size(); ++e)
+                ASSERT_FALSE(prints[i].edges[e] && prints[j].edges[e])
+                    << "picks " << i << " and " << j << " re-time edge " << e;
+        }
+    }
+}
+
+// The keystone of the footprint filter: a recording front's changed-node
+// set equals, bit for bit, the node set the engine's incremental update
+// recomputes-and-changes when the same resize is committed.
+TEST(BatchCommit, FrontFootprintMatchesEngineUpdate) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+
+    for (const std::uint32_t gid : {1u, 40u, 90u, 150u}) {
+        const GateId g{gid};
+        std::vector<NodeId> front_changed;
+        {
+            TrialResize trial(ctx, g, 0.25);
+            PerturbationFront front(ctx, Objective{}, trial, true);
+            while (!front.completed()) front.propagate_one_level(ctx);
+            front_changed = front.changed_nodes();
+        }
+        (void)ctx.apply_resize(g, 0.25);
+        ctx.refresh_ssta();
+        std::vector<NodeId> engine_changed(ctx.engine().last_changed_nodes().begin(),
+                                           ctx.engine().last_changed_nodes().end());
+        std::sort(front_changed.begin(), front_changed.end());
+        std::sort(engine_changed.begin(), engine_changed.end());
+        EXPECT_EQ(front_changed, engine_changed) << "gate " << gid;
+        // Undo for the next gate (bit-exact restore: 0.25 steps).
+        (void)ctx.apply_resize(g, -0.25);
+        ctx.refresh_ssta();
+    }
+}
+
+TEST(BatchCommit, TopKRejectsZeroK) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    EXPECT_THROW((void)select_top_k(ctx, SelectorConfig{}, 0), ConfigError);
+}
+
+// Satellite regression: every committed gate must appear in the history
+// with its own sensitivity and exact area/width attribution (the old
+// multi-gate loop recorded only the last gate of each iteration).
+TEST(BatchCommit, HistoryRecordsEveryCommittedGate) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    StatisticalSizerConfig cfg;
+    cfg.max_iterations = 2;
+    cfg.gates_per_iteration = 3;
+    const SizingResult result = run_statistical_sizing(ctx, cfg);
+
+    ASSERT_EQ(result.history.size(), 6u);
+    double prev_width = 176.0;  // c432 min-size total width
+    double prev_area = result.initial_area;
+    std::size_t passes_with_stats = 0;
+    for (std::size_t i = 0; i < result.history.size(); ++i) {
+        const IterationRecord& rec = result.history[i];
+        EXPECT_TRUE(rec.gate.is_valid()) << i;
+        EXPECT_GT(rec.sensitivity, 0.0) << i;
+        EXPECT_EQ(rec.iteration, static_cast<int>(i / 3) + 1) << i;
+        EXPECT_NEAR(rec.width_after - prev_width, cfg.delta_w, 1e-12) << i;
+        EXPECT_GT(rec.area_after, prev_area) << i;
+        prev_width = rec.width_after;
+        prev_area = rec.area_after;
+        if (rec.stats.candidates > 0) ++passes_with_stats;
+    }
+    // Selector accounting appears exactly once per pass.
+    EXPECT_EQ(passes_with_stats, result.selector_passes);
+    EXPECT_GE(result.selector_passes, 2u);   // at least one per iteration
+    EXPECT_NEAR(nl.total_width() - 176.0, 6 * cfg.delta_w, 1e-9);
+}
+
+// Satellite regression: a converged top-up selection must not trigger a
+// refresh on the already-clean engine. Every engine revision is the
+// initial run plus exactly one refresh per committing pass.
+TEST(BatchCommit, NoRedundantRefreshOnConvergedSelection) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c17", lib);
+    Context ctx(nl, lib);
+    StatisticalSizerConfig cfg;
+    cfg.max_iterations = 100000;
+    cfg.gates_per_iteration = 4;
+    cfg.max_width = 2.0;  // tight cap forces convergence
+    const SizingResult result = run_statistical_sizing(ctx, cfg);
+    EXPECT_EQ(result.stop_reason, "converged");
+
+    std::size_t committing_passes = 0;
+    for (const auto& rec : result.history)
+        if (rec.stats.candidates > 0) ++committing_passes;
+    EXPECT_EQ(ctx.engine().revision(), 1u + committing_passes);
+}
+
+// Criticality consumers see one merged multi-edge update; the cached
+// incremental path must stay bitwise equal to a from-scratch pass.
+TEST(BatchCommit, CriticalityBitIdenticalAfterBatchedCommit) {
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    ssta::IncrementalCriticality inc(ctx.graph());
+    (void)inc.refresh(ctx.engine(), ctx.edge_delays());
+
+    const TopKSelection top = select_top_k(ctx, SelectorConfig{}, 6);
+    ASSERT_GE(top.picks.size(), 2u);
+    std::vector<ResizeOp> ops;
+    for (const RankedPick& pick : top.picks) ops.push_back({pick.gate, 0.25});
+    (void)ctx.apply_resizes(ops);
+    ctx.refresh_ssta();
+
+    const ssta::CriticalityResult& cached = inc.refresh(ctx.engine(), ctx.edge_delays());
+    const ssta::CriticalityResult scratch =
+        ssta::compute_criticality(ctx.engine(), ctx.edge_delays());
+    ASSERT_EQ(cached.edge.size(), scratch.edge.size());
+    for (std::size_t e = 0; e < scratch.edge.size(); ++e)
+        EXPECT_EQ(cached.edge[e], scratch.edge[e]) << "edge " << e;
+    for (std::size_t n = 0; n < scratch.node.size(); ++n)
+        EXPECT_EQ(cached.node[n], scratch.node[n]) << "node " << n;
+}
+
+TEST(BatchCommit, EnvBatchResolvesDefaultKnob) {
+    cells::Library lib = cells::Library::standard_180nm();
+    // Preserve any ambient STATIM_BATCH (e.g. the CI batched leg) so the
+    // remaining suites of a direct binary run keep their configuration.
+    const char* ambient = std::getenv("STATIM_BATCH");
+    const std::string saved = ambient ? ambient : "";
+    ::setenv("STATIM_BATCH", "3", 1);
+    {
+        Netlist nl = netlist::make_iscas("c432", lib);
+        Context ctx(nl, lib);
+        StatisticalSizerConfig cfg;  // gates_per_iteration stays 0 = auto
+        cfg.max_iterations = 2;
+        const SizingResult result = run_statistical_sizing(ctx, cfg);
+        EXPECT_EQ(result.history.size(), 6u);
+    }
+    {
+        // An explicit config always beats the environment.
+        Netlist nl = netlist::make_iscas("c432", lib);
+        Context ctx(nl, lib);
+        StatisticalSizerConfig cfg;
+        cfg.max_iterations = 2;
+        cfg.gates_per_iteration = 2;
+        const SizingResult result = run_statistical_sizing(ctx, cfg);
+        EXPECT_EQ(result.history.size(), 4u);
+    }
+    if (ambient) ::setenv("STATIM_BATCH", saved.c_str(), 1);
+    else ::unsetenv("STATIM_BATCH");
+}
+
+}  // namespace
+}  // namespace statim::core

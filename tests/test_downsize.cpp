@@ -1,6 +1,8 @@
 // Unit tests for the area-recovery (downsizing) extension.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/downsize.hpp"
 #include "core/sizers.hpp"
 #include "netlist/iscas.hpp"
@@ -76,6 +78,85 @@ TEST(Downsize, UpThenDownRoundTripKeepsObjectiveClose) {
               upsized.final_objective_ns + down.objective_budget_ns + 1e-9);
 }
 
+TEST(Downsize, IncrementalAndFullRefreshBitIdentical) {
+    // The commit path now routes through Context::refresh_ssta (the
+    // changed-edge set from the shrink drives a merged-cone incremental
+    // update) instead of an unconditional full run_ssta. Both modes must
+    // walk the identical trajectory and end with bitwise-equal arrivals.
+    cells::Library lib = cells::Library::standard_180nm();
+    DownsizeResult results[2];
+    std::vector<prob::Pdf> arrivals[2];
+    for (const int mode : {0, 1}) {  // 0 = full refresh, 1 = incremental
+        Netlist nl = netlist::make_iscas("c432", lib);
+        Context ctx(nl, lib);
+        for (std::size_t gi = 0; gi < nl.gate_count(); ++gi)
+            (void)ctx.apply_resize(GateId{static_cast<std::uint32_t>(gi)}, 0.5);
+        DownsizeConfig cfg;
+        cfg.max_iterations = 25;
+        cfg.objective_budget_ns = 0.005;
+        cfg.gates_per_iteration = 1;
+        cfg.incremental_ssta = mode == 1;
+        results[mode] = run_downsizing(ctx, cfg);
+        for (std::size_t n = 0; n < ctx.graph().node_count(); ++n)
+            arrivals[mode].push_back(
+                ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}));
+    }
+    EXPECT_EQ(results[0].stop_reason, results[1].stop_reason);
+    EXPECT_EQ(results[0].final_objective_ns, results[1].final_objective_ns);
+    EXPECT_EQ(results[0].final_area, results[1].final_area);
+    ASSERT_EQ(results[0].history.size(), results[1].history.size());
+    for (std::size_t i = 0; i < results[0].history.size(); ++i) {
+        EXPECT_EQ(results[0].history[i].gate, results[1].history[i].gate) << i;
+        EXPECT_EQ(results[0].history[i].objective_delta_ns,
+                  results[1].history[i].objective_delta_ns)
+            << i;
+        EXPECT_EQ(results[0].history[i].objective_after_ns,
+                  results[1].history[i].objective_after_ns)
+            << i;
+    }
+    ASSERT_EQ(arrivals[0].size(), arrivals[1].size());
+    for (std::size_t n = 0; n < arrivals[0].size(); ++n)
+        EXPECT_TRUE(arrivals[0][n] == arrivals[1][n]) << "node " << n;
+    // The incremental mode must actually have done less re-propagation.
+    if (results[0].iterations > 0)
+        EXPECT_LT(results[1].ssta_nodes_recomputed, results[0].ssta_nodes_recomputed);
+}
+
+TEST(Downsize, BatchedShrinksStayWithinBudget) {
+    // Batched recovery commits several cone-disjoint shrinks per merged
+    // refresh; the budget guarantee must survive exactly (an overshooting
+    // batch is rolled back and recommitted sequentially).
+    cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    for (std::size_t gi = 0; gi < nl.gate_count(); ++gi)
+        (void)ctx.apply_resize(GateId{static_cast<std::uint32_t>(gi)}, 0.5);
+
+    DownsizeConfig cfg;
+    cfg.max_iterations = 40;
+    cfg.objective_budget_ns = 0.010;
+    cfg.gates_per_iteration = 4;
+    const DownsizeResult result = run_downsizing(ctx, cfg);
+
+    EXPECT_GT(result.iterations, 0);
+    EXPECT_LT(result.final_area, result.initial_area);
+    EXPECT_LE(result.final_objective_ns - result.initial_objective_ns,
+              cfg.objective_budget_ns + 1e-9);
+    EXPECT_EQ(result.history.size(),
+              static_cast<std::size_t>(
+                  std::count_if(result.history.begin(), result.history.end(),
+                                [](const DownsizeRecord& r) {
+                                    return r.gate.is_valid();
+                                })));
+    // Per-gate attribution: area shrinks monotonically along the records.
+    double prev_area = result.initial_area;
+    for (const auto& rec : result.history) {
+        EXPECT_LT(rec.area_after, prev_area);
+        prev_area = rec.area_after;
+    }
+    for (const auto& g : nl.gates()) EXPECT_GE(g.width, cfg.min_width - 1e-12);
+}
+
 TEST(Downsize, RejectsBadConfig) {
     cells::Library lib = cells::Library::standard_180nm();
     Netlist nl = netlist::make_iscas("c17", lib);
@@ -88,6 +169,9 @@ TEST(Downsize, RejectsBadConfig) {
     EXPECT_THROW((void)run_downsizing(ctx, bad), ConfigError);
     bad = {};
     bad.objective_budget_ns = -0.1;
+    EXPECT_THROW((void)run_downsizing(ctx, bad), ConfigError);
+    bad = {};
+    bad.gates_per_iteration = -1;
     EXPECT_THROW((void)run_downsizing(ctx, bad), ConfigError);
 }
 

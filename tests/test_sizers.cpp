@@ -203,8 +203,13 @@ TEST(StatisticalSizer, RejectsBadConfig) {
     bad.max_iterations = -1;
     EXPECT_THROW((void)run_statistical_sizing(ctx, bad), ConfigError);
     bad = {};
-    bad.gates_per_iteration = 0;
+    bad.gates_per_iteration = -1;
     EXPECT_THROW((void)run_statistical_sizing(ctx, bad), ConfigError);
+    // 0 is valid: resolve the batch size from STATIM_BATCH (default 1).
+    bad = {};
+    bad.gates_per_iteration = 0;
+    bad.max_iterations = 0;
+    EXPECT_NO_THROW((void)run_statistical_sizing(ctx, bad));
 }
 
 TEST(StatisticalSizer, StopsWhenTargetObjectiveMet) {
