@@ -65,7 +65,7 @@ void report(const char* title, netlist::Netlist& nl, const cells::Library& lib) 
     }
 
     // Panel (b): circuit-delay distribution.
-    const prob::Pdf& sink = ctx.engine().sink_arrival();
+    const prob::PdfView sink = ctx.engine().sink_arrival();
     std::printf("  nominal critical delay: %.4f ns\n", sta.circuit_delay_ns);
     std::printf("  statistical circuit delay: mean %.4f ns  sigma %.4f ns  "
                 "p50 %.4f  p99 %.4f ns\n",

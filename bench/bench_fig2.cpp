@@ -32,13 +32,13 @@ int main() {
         return 1;
     }
 
-    const prob::Pdf unperturbed = ctx.engine().sink_arrival();
+    const prob::Pdf unperturbed = ctx.engine().sink_arrival().to_pdf();
     prob::Pdf perturbed;
     {
         core::TrialResize trial(ctx, best.gate, sel.delta_w);
         core::PerturbationFront front(ctx, sel.objective, trial);
         while (!front.completed()) front.propagate_one_level(ctx);
-        perturbed = front.sink_pdf();
+        perturbed = front.sink_pdf().to_pdf();
     }
 
     const double p99_before = ssta::percentile_ns(ctx.grid(), unperturbed, 0.99);

@@ -1,0 +1,252 @@
+// Perturbation-front drain benchmark: wall-clock and heap-allocation
+// census of the selector's innermost loop, before/after story for the
+// flat arena-backed drain.
+//
+// Two measured modes per circuit:
+//  * cone  — one front per sampled candidate, constructed first (init
+//    phase: trial resize + seed + drain through the gate's level), then
+//    drained to completion (drain phase). The drain phase is the
+//    steady-state claim: once the front-state pool, the thread workspace
+//    and the arenas are warm, it performs ~zero heap allocations.
+//  * race  — a full select_pruned pass over every eligible gate (the
+//    paper's Fig 6 bound race), i.e. the real per-iteration selector
+//    cost including front construction.
+//
+// The JSON also surfaces the engine's ArrivalStore occupancy, the wave
+// and workspace arena capacities and the thread-scratch capacity, so
+// arena growth stays visible across the synth10k–250k registry.
+//
+// Usage: argument-free (bench env knobs apply), or `--smoke`: a quick
+// c432 run that *fails* (exit 1) when the steady-state drain phase
+// allocates more than a small constant per pass — the CI regression gate
+// for the zero-alloc property.
+//
+// Knobs: STATIM_BENCH_CIRCUITS (default c7552,synth10k),
+//        STATIM_BENCH_SCALE, STATIM_LOG.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/front.hpp"
+#include "core/front_state.hpp"
+#include "core/selector.hpp"
+#include "core/trial_resize.hpp"
+#include "ssta/criticality.hpp"
+#include "util/alloc_stats.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace statim;
+
+struct ConeNumbers {
+    double init_s{0.0}, drain_s{0.0};
+    std::uint64_t init_allocs{0}, drain_allocs{0};
+    std::size_t nodes_computed{0};
+    double sens_checksum{0.0};
+};
+
+/// One cone pass: construct every front, then drain them all. Returns the
+/// per-phase wall/alloc numbers of this pass.
+ConeNumbers cone_pass(core::Context& ctx, const core::SelectorConfig& cfg,
+                      const std::vector<GateId>& gates) {
+    ConeNumbers out;
+    std::vector<std::unique_ptr<core::PerturbationFront>> fronts;
+    fronts.reserve(gates.size());
+
+    util::AllocationSpan span;
+    Timer init_timer;
+    for (GateId g : gates) {
+        core::TrialResize trial(ctx, g, cfg.delta_w);
+        fronts.push_back(
+            std::make_unique<core::PerturbationFront>(ctx, cfg.objective, trial));
+    }
+    out.init_s = init_timer.seconds();
+    out.init_allocs = span.count();
+
+    span.reset();
+    Timer drain_timer;
+    for (auto& front : fronts) {
+        while (!front->completed()) front->propagate_one_level(ctx);
+        out.sens_checksum += front->sensitivity();
+        out.nodes_computed += front->stats().nodes_computed;
+    }
+    out.drain_s = drain_timer.seconds();
+    out.drain_allocs = span.count();
+    return out;
+}
+
+struct RaceNumbers {
+    double seconds{0.0};
+    std::uint64_t allocs{0};
+    std::size_t candidates{0}, nodes_computed{0};
+    double best_sensitivity{0.0};
+};
+
+RaceNumbers race_pass(core::Context& ctx, const core::SelectorConfig& cfg) {
+    RaceNumbers out;
+    util::AllocationSpan span;
+    Timer timer;
+    const core::Selection sel = core::select_pruned(ctx, cfg);
+    out.seconds = timer.seconds();
+    out.allocs = span.count();
+    out.candidates = sel.stats.candidates;
+    out.nodes_computed = sel.stats.nodes_computed;
+    out.best_sensitivity = sel.sensitivity;
+    return out;
+}
+
+struct Row {
+    std::string circuit;
+    std::size_t nodes{0}, gates{0}, candidates{0};
+    int passes{1};
+    ConeNumbers cone;  // steady state: the last pass
+    RaceNumbers race;  // steady state: the last pass
+    // Arena/store occupancy after the measured work.
+    ssta::SstaEngine::MemoryStats engine_mem;
+    std::size_t scratch_capacity{0};
+    std::size_t shard_capacity{0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (env_int("STATIM_BENCH_SMOKE", 0) != 0) smoke = true;
+    apply_log_env();
+
+    std::fprintf(stderr,
+                 "bench_front_drain — flat perturbation-front drain: wall-clock + "
+                 "heap-allocation census%s\n",
+                 smoke ? " (smoke mode)" : "");
+
+    const cells::Library lib = cells::Library::standard_180nm();
+    std::vector<std::string> circuits;
+    if (env_string("STATIM_BENCH_CIRCUITS")) circuits = bench::circuits_from_env();
+    if (circuits.empty())
+        circuits = smoke ? std::vector<std::string>{"c432"}
+                         : std::vector<std::string>{"c7552", "synth10k"};
+    const int passes = smoke ? 3 : std::max(1, static_cast<int>(3 * bench::bench_scale()));
+    const std::size_t candidate_cap = smoke ? 24 : 96;
+
+    // The steady-state gate: after the warm-up pass, a whole cone drain
+    // phase across all candidates must allocate at most this many times.
+    constexpr std::uint64_t kSmokeMaxDrainAllocs = 64;
+
+    bool smoke_ok = true;
+    std::vector<Row> rows;
+    for (const std::string& name : circuits) {
+        Row row;
+        row.circuit = name;
+        row.passes = passes;
+
+        netlist::Netlist nl = netlist::make_iscas(name, lib);
+        core::Context ctx(nl, lib);
+        ctx.run_ssta();
+        row.nodes = ctx.graph().node_count();
+        row.gates = nl.gate_count();
+
+        core::SelectorConfig cfg{core::Objective::percentile(0.99), 0.25, 16.0};
+        const std::vector<GateId> gates = core::sample_candidate_gates(
+            ctx, std::min(candidate_cap, nl.gate_count()));
+        row.candidates = gates.size();
+
+        // Warm-up pass (unmeasured): grows the front-state pool, the
+        // workspaces and every arena to this circuit's footprint.
+        (void)cone_pass(ctx, cfg, gates);
+
+        for (int p = 0; p < passes; ++p) row.cone = cone_pass(ctx, cfg, gates);
+        for (int p = 0; p < passes; ++p) row.race = race_pass(ctx, cfg);
+
+        row.engine_mem = ctx.engine().memory_stats();
+        row.scratch_capacity = prob::thread_arena().capacity();
+        row.shard_capacity = core::front_workspace().shard_capacity_doubles();
+
+        std::fprintf(stderr,
+                     "%s: %zu nodes, %zu gates, %zu candidates\n"
+                     "  cone  init %7.3fs (%llu allocs)  drain %7.3fs "
+                     "(%llu allocs, %zu nodes => %.4f allocs/node)\n"
+                     "  race  %7.3fs  %llu allocs over %zu candidates "
+                     "(best sens %.6g)\n"
+                     "  store live %zu / used %zu / cap %zu doubles, "
+                     "%zu compactions; scratch cap %zu\n",
+                     name.c_str(), row.nodes, row.gates, row.candidates,
+                     row.cone.init_s,
+                     static_cast<unsigned long long>(row.cone.init_allocs),
+                     row.cone.drain_s,
+                     static_cast<unsigned long long>(row.cone.drain_allocs),
+                     row.cone.nodes_computed,
+                     row.cone.nodes_computed
+                         ? static_cast<double>(row.cone.drain_allocs) /
+                               static_cast<double>(row.cone.nodes_computed)
+                         : 0.0,
+                     row.race.seconds,
+                     static_cast<unsigned long long>(row.race.allocs),
+                     row.race.candidates, row.race.best_sensitivity,
+                     row.engine_mem.store.live_doubles,
+                     row.engine_mem.store.used_doubles,
+                     row.engine_mem.store.capacity_doubles,
+                     row.engine_mem.store.compactions, row.scratch_capacity);
+
+        if (smoke && row.cone.drain_allocs > kSmokeMaxDrainAllocs) {
+            std::fprintf(stderr,
+                         "SMOKE FAIL: steady-state drain allocated %llu times "
+                         "(limit %llu) — the zero-alloc drain regressed\n",
+                         static_cast<unsigned long long>(row.cone.drain_allocs),
+                         static_cast<unsigned long long>(kSmokeMaxDrainAllocs));
+            smoke_ok = false;
+        }
+        rows.push_back(row);
+    }
+
+    std::printf("{\"bench\":\"front_drain\",\"smoke\":%s,\"circuits\":[",
+                smoke ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        std::printf(
+            "%s{\"circuit\":\"%s\",\"nodes\":%zu,\"gates\":%zu,"
+            "\"candidates\":%zu,\"passes\":%d,"
+            "\"cone\":{\"init_s\":%.6f,\"init_allocs\":%llu,"
+            "\"drain_s\":%.6f,\"drain_allocs\":%llu,"
+            "\"nodes_computed\":%zu,\"drain_allocs_per_node\":%.6f,"
+            "\"sens_checksum\":%.9g},"
+            "\"race\":{\"seconds\":%.6f,\"allocs\":%llu,\"candidates\":%zu,"
+            "\"nodes_computed\":%zu,\"allocs_per_candidate\":%.3f,"
+            "\"best_sensitivity\":%.9g},"
+            "\"memory\":{\"store_capacity_doubles\":%zu,"
+            "\"store_used_doubles\":%zu,\"store_live_doubles\":%zu,"
+            "\"store_high_water_doubles\":%zu,\"store_compactions\":%zu,"
+            "\"wave_capacity_doubles\":%zu,\"wave_high_water_doubles\":%zu,"
+            "\"scratch_capacity_doubles\":%zu,"
+            "\"front_shard_capacity_doubles\":%zu}}",
+            i == 0 ? "" : ",", r.circuit.c_str(), r.nodes, r.gates, r.candidates,
+            r.passes, r.cone.init_s,
+            static_cast<unsigned long long>(r.cone.init_allocs), r.cone.drain_s,
+            static_cast<unsigned long long>(r.cone.drain_allocs),
+            r.cone.nodes_computed,
+            r.cone.nodes_computed
+                ? static_cast<double>(r.cone.drain_allocs) /
+                      static_cast<double>(r.cone.nodes_computed)
+                : 0.0,
+            r.cone.sens_checksum, r.race.seconds,
+            static_cast<unsigned long long>(r.race.allocs), r.race.candidates,
+            r.race.nodes_computed,
+            r.race.candidates ? static_cast<double>(r.race.allocs) /
+                                    static_cast<double>(r.race.candidates)
+                              : 0.0,
+            r.race.best_sensitivity, r.engine_mem.store.capacity_doubles,
+            r.engine_mem.store.used_doubles, r.engine_mem.store.live_doubles,
+            r.engine_mem.store.high_water_doubles, r.engine_mem.store.compactions,
+            r.engine_mem.wave_capacity_doubles,
+            r.engine_mem.wave_high_water_doubles, r.scratch_capacity,
+            r.shard_capacity);
+    }
+    std::printf("]}\n");
+    return smoke_ok ? 0 : 1;
+}

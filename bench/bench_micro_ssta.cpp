@@ -1,6 +1,9 @@
 // Micro benchmarks of the analysis engines (google-benchmark): full SSTA
-// passes, nominal STA, Monte Carlo samples, front initialization and the
-// two ends of the per-iteration selection.
+// passes, nominal STA, Monte Carlo samples, front initialization, the
+// steady-state front drain and the two ends of the per-iteration
+// selection. Hot-path benchmarks report heap allocations per iteration
+// (and per node where meaningful) through the global alloc census — the
+// arena work drives these to ~0 at steady state.
 #include <benchmark/benchmark.h>
 
 #include <map>
@@ -12,6 +15,7 @@
 #include "mc/monte_carlo.hpp"
 #include "netlist/iscas.hpp"
 #include "sta/sta.hpp"
+#include "util/alloc_stats.hpp"
 
 namespace {
 
@@ -48,10 +52,36 @@ BENCHMARK(BM_NominalSta)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_FullSsta(benchmark::State& state) {
     Fixture& f = fixture(kCircuits[state.range(0)]);
+    const util::AllocationSpan span;
     for (auto _ : state) f.ctx.run_ssta();
+    const auto iters = static_cast<double>(state.iterations());
+    const auto nodes = static_cast<double>(f.ctx.graph().node_count());
+    state.counters["allocs/run"] = static_cast<double>(span.count()) / iters;
+    state.counters["allocs/node"] =
+        static_cast<double>(span.count()) / (iters * nodes);
     state.SetLabel(kCircuits[state.range(0)]);
 }
 BENCHMARK(BM_FullSsta)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_IncrementalRefresh(benchmark::State& state) {
+    Fixture& f = fixture(kCircuits[state.range(0)]);
+    const GateId g{static_cast<std::uint32_t>(f.nl.gate_count() / 2)};
+    double dw = 0.25;
+    std::size_t nodes = 0;
+    const util::AllocationSpan span;
+    for (auto _ : state) {
+        (void)f.ctx.apply_resize(g, dw);
+        f.ctx.refresh_ssta();
+        nodes += f.ctx.engine().last_update_stats().nodes_recomputed;
+        dw = -dw;  // alternate so the width stays bounded
+    }
+    const auto iters = static_cast<double>(state.iterations());
+    state.counters["allocs/refresh"] = static_cast<double>(span.count()) / iters;
+    state.counters["allocs/node"] =
+        nodes ? static_cast<double>(span.count()) / static_cast<double>(nodes) : 0.0;
+    state.SetLabel(kCircuits[state.range(0)]);
+}
+BENCHMARK(BM_IncrementalRefresh)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_MonteCarlo100(benchmark::State& state) {
     Fixture& f = fixture(kCircuits[state.range(0)]);
@@ -72,10 +102,41 @@ void BM_FrontInitialize(benchmark::State& state) {
 }
 BENCHMARK(BM_FrontInitialize);
 
+void BM_FrontDrainSteady(benchmark::State& state) {
+    // Steady-state cone drain of one critical-path front: construction
+    // outside the timed region, drain inside. allocs/drain must be ~0 —
+    // the flat arena-backed drain never touches the heap once warm.
+    Fixture& f = fixture(kCircuits[state.range(0)]);
+    const core::Objective obj = core::Objective::percentile(0.99);
+    const GateId g{7};
+    std::size_t nodes = 0;
+    std::uint64_t allocs = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        core::TrialResize trial(f.ctx, g, 0.25);
+        core::PerturbationFront front(f.ctx, obj, trial);
+        const util::AllocationSpan span;
+        state.ResumeTiming();
+        while (!front.completed()) front.propagate_one_level(f.ctx);
+        state.PauseTiming();
+        allocs += span.count();
+        nodes += front.stats().nodes_computed;
+        state.ResumeTiming();
+    }
+    const auto iters = static_cast<double>(state.iterations());
+    state.counters["allocs/drain"] = static_cast<double>(allocs) / iters;
+    state.counters["nodes/drain"] = static_cast<double>(nodes) / iters;
+    state.SetLabel(kCircuits[state.range(0)]);
+}
+BENCHMARK(BM_FrontDrainSteady)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_SelectPruned(benchmark::State& state) {
     Fixture& f = fixture(kCircuits[state.range(0)]);
     const core::SelectorConfig sel{core::Objective::percentile(0.99), 0.25, 16.0};
+    const util::AllocationSpan span;
     for (auto _ : state) benchmark::DoNotOptimize(core::select_pruned(f.ctx, sel));
+    state.counters["allocs/pass"] =
+        static_cast<double>(span.count()) / static_cast<double>(state.iterations());
     state.SetLabel(kCircuits[state.range(0)]);
 }
 BENCHMARK(BM_SelectPruned)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);

@@ -71,6 +71,10 @@ struct Row {
     int reps{1};
     std::vector<SweepPoint> sweep;
     bool sink_identical{true};
+    // Arena occupancy after the sweep: arrival-store and wave-arena
+    // growth must stay visible as the registry scales to 250k gates.
+    ssta::SstaEngine::MemoryStats memory;
+    std::size_t scratch_capacity{0};
 };
 
 bool arrivals_equal(const ssta::SstaEngine& engine,
@@ -132,14 +136,14 @@ int main() {
             ctx.run_ssta();
             for (std::size_t n = 0; n < row.nodes; ++n)
                 ref_run.push_back(
-                    ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}));
+                    ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}).to_pdf());
             for (GateId g : trajectory) {
                 (void)ctx.apply_resize(g, 0.25);
                 ctx.refresh_ssta();
             }
             for (std::size_t n = 0; n < row.nodes; ++n)
                 ref_end.push_back(
-                    ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}));
+                    ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}).to_pdf());
             for (GateId g : trajectory) (void)ctx.apply_resize(g, -0.25);
             ctx.run_ssta();  // resync to the min-size state
         }
@@ -189,6 +193,17 @@ int main() {
                          point.update_s > 0 ? base_upd / point.update_s : 0.0,
                          point.identical ? "bit-identical" : "DIVERGED");
         }
+        row.memory = ctx.engine().memory_stats();
+        row.scratch_capacity = prob::thread_arena().capacity();
+        std::fprintf(stderr,
+                     "  arrival store: live %zu / used %zu / cap %zu doubles "
+                     "(high water %zu, %zu compactions); wave cap %zu, "
+                     "scratch cap %zu\n",
+                     row.memory.store.live_doubles, row.memory.store.used_doubles,
+                     row.memory.store.capacity_doubles,
+                     row.memory.store.high_water_doubles,
+                     row.memory.store.compactions,
+                     row.memory.wave_capacity_doubles, row.scratch_capacity);
         rows.push_back(row);
     }
 
@@ -212,8 +227,19 @@ int main() {
                         p.update_s > 0 ? base_upd / p.update_s : 0.0,
                         p.identical ? "true" : "false");
         }
-        std::printf("],\"sink_bitwise_identical\":%s}",
-                    r.sink_identical ? "true" : "false");
+        std::printf("],\"sink_bitwise_identical\":%s,"
+                    "\"memory\":{\"store_capacity_doubles\":%zu,"
+                    "\"store_used_doubles\":%zu,\"store_live_doubles\":%zu,"
+                    "\"store_high_water_doubles\":%zu,\"store_compactions\":%zu,"
+                    "\"wave_capacity_doubles\":%zu,"
+                    "\"wave_high_water_doubles\":%zu,"
+                    "\"scratch_capacity_doubles\":%zu}}",
+                    r.sink_identical ? "true" : "false",
+                    r.memory.store.capacity_doubles, r.memory.store.used_doubles,
+                    r.memory.store.live_doubles,
+                    r.memory.store.high_water_doubles, r.memory.store.compactions,
+                    r.memory.wave_capacity_doubles,
+                    r.memory.wave_high_water_doubles, r.scratch_capacity);
     }
     std::printf("]}\n");
 

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     // 3. An analysis context: timing graph + delay model + SSTA engine.
     core::Context ctx(nl, lib);
     ctx.run_ssta();
-    const prob::Pdf& sink = ctx.engine().sink_arrival();
+    const prob::PdfView sink = ctx.engine().sink_arrival();
     std::printf("min-size circuit delay:  mean %.4f ns,  sigma %.4f ns,  p99 %.4f ns\n",
                 ssta::mean_ns(ctx.grid(), sink), ssta::stddev_ns(ctx.grid(), sink),
                 ssta::percentile_ns(ctx.grid(), sink, 0.99));

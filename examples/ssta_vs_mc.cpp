@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
         Timer ssta_timer;
         ctx.run_ssta();
         const double ssta_seconds = ssta_timer.seconds();
-        const prob::Pdf& sink = ctx.engine().sink_arrival();
+        const prob::PdfView sink = ctx.engine().sink_arrival();
 
         mc::McConfig mc_cfg;
         mc_cfg.samples = static_cast<std::size_t>(args.get_int("samples", 20000));

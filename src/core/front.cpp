@@ -1,9 +1,12 @@
 #include "core/front.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "prob/ops.hpp"
+#include "ssta/engine.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace statim::core {
 
@@ -13,99 +16,195 @@ PerturbationFront::PerturbationFront(Context& ctx, const Objective& objective,
       delta_w_(trial.delta_w()),
       dt_ns_(ctx.grid().dt_ns()),
       objective_(objective),
+      state_(acquire_front_state()),
+      uid_(next_front_uid()),
       record_footprint_(record_footprint) {
-    if (!ctx.engine().has_run())
+    if (!ctx.engine().has_run()) {
+        release_front_state(state_);  // the destructor will not run
+        state_ = nullptr;
         throw ConfigError("PerturbationFront: run SSTA before constructing fronts");
+    }
 
     // Seed: the heads of every perturbed edge (gate x's output node and the
     // output nodes of its fanin drivers). All lie at levels <= x's level.
     const auto& graph = ctx.graph();
-    for (EdgeId e : trial.changed_edges()) schedule(ctx, graph.edge(e).to);
+    FrontWorkspace& ws = front_workspace();
+    ws.bind(graph.node_count());
+    ws.activate(*state_, uid_);
+    for (EdgeId e : trial.changed_edges()) schedule(ctx, ws, graph.edge(e).to);
 
     // Fig 7 steps 4-5: advance through x's own level while the perturbed
     // edge PDFs are still live, so no later step re-reads them.
     const std::uint32_t x_level = graph.gate_level(gate_);
-    while (!completed_ && !pending_.empty() && pending_.top().first <= x_level)
-        process_level(ctx);
+    while (!completed_ && !state_->pending.empty() &&
+           state_->min_pending_level <= x_level)
+        process_level(ctx, ws);
     refresh_state();
 }
 
-void PerturbationFront::schedule(const Context& ctx, NodeId n) {
-    const auto [it, inserted] = aset_.try_emplace(n.value);
-    (void)it;
-    if (inserted) pending_.emplace(ctx.graph().level(n), n.value);
+PerturbationFront::~PerturbationFront() { release_front_state(state_); }
+
+void PerturbationFront::schedule(const Context& ctx, FrontWorkspace& ws, NodeId n) {
+    if (ws.entry_index(n) != 0) return;  // already tracked by this front
+    auto& entries = state_->entries;
+    const auto idx = static_cast<std::uint32_t>(entries.size());
+    entries.push_back(FrontEntry{});
+    entries.back().node = n;
+    ws.set_entry_index(n, idx + 1);
+    state_->pending.push_back(idx);
+    state_->min_pending_level =
+        std::min(state_->min_pending_level, ctx.graph().level(n));
 }
 
 void PerturbationFront::propagate_one_level(const Context& ctx) {
     if (completed_) return;
-    process_level(ctx);
+    FrontWorkspace& ws = front_workspace();
+    ws.bind(ctx.graph().node_count());
+    ws.activate(*state_, uid_);
+    process_level(ctx, ws);
     refresh_state();
 }
 
-void PerturbationFront::process_level(const Context& ctx) {
-    if (pending_.empty()) return;
-    const std::uint32_t level = pending_.top().first;
-    // Nodes pop in ascending id within the level (deterministic order).
-    while (!pending_.empty() && pending_.top().first == level) {
-        const NodeId n{pending_.top().second};
-        pending_.pop();
-        compute_node(ctx, n);
+void PerturbationFront::process_level(const Context& ctx, FrontWorkspace& ws) {
+    FrontState& st = *state_;
+    if (st.pending.empty()) return;
+    const auto& graph = ctx.graph();
+    const std::uint32_t level = st.min_pending_level;
+
+    // Extract this level's slice of the pending list (swap-remove; the
+    // canonical order is restored by the sort) and find the next minimum.
+    ws.level_nodes.clear();
+    std::uint32_t next_min = FrontState::kNoLevel;
+    for (std::size_t i = 0; i < st.pending.size();) {
+        const FrontEntry& e = st.entries[st.pending[i]];
+        const std::uint32_t l = graph.level(e.node);
+        if (l == level) {
+            ws.level_nodes.push_back(e.node);
+            st.pending[i] = st.pending.back();
+            st.pending.pop_back();
+        } else {
+            next_min = std::min(next_min, l);
+            ++i;
+        }
+    }
+    st.min_pending_level = next_min;
+    // Nodes are processed in ascending id within the level (the serial
+    // reference order — commits and footprints are deterministic).
+    std::sort(ws.level_nodes.begin(), ws.level_nodes.end(),
+              [](NodeId a, NodeId b) { return a.value < b.value; });
+
+    const auto& engine = ctx.engine();
+    const auto& delays = ctx.edge_delays();
+    const std::size_t count = ws.level_nodes.size();
+    ws.results.resize(count);
+
+    // Wave phase: every node of the level reads only strictly-lower-level
+    // state (alive entries and base arrivals), all frozen for the wave's
+    // duration, and writes its own dedicated result slot — so the shard
+    // partition cannot change a single bit. An alive predecessor cannot
+    // reach fo_remaining 0 before the whole level commits (this level's
+    // consumers are part of the count), which is why the serial
+    // reference's interleaved bookkeeping reads the exact same entries.
+    const auto arrival_of = [&ws, &engine, this](NodeId u) -> prob::PdfView {
+        const std::uint32_t idx = ws.entry_index(u);
+        if (idx != 0) {
+            const FrontEntry& e = state_->entries[idx - 1];
+            if (e.status == FrontEntry::Status::Alive) return e.pdf;
+        }
+        return engine.arrival(u);
+    };
+    const auto delay_of = [&delays](EdgeId e) -> prob::PdfView {
+        return delays.pdf(e);
+    };
+    const std::size_t shards = ssta::wave_shard_count(ctx.ssta_threads(), count);
+    for (std::size_t s = 0; s < shards; ++s)
+        ws.shard_arena(s);  // materialize before the workers race on reads
+    const auto run_shard = [&](std::size_t s) {
+        prob::PdfArena& results_arena = ws.shard_arena(s);
+        results_arena.reset();
+        const std::size_t begin = s * count / shards;
+        const std::size_t end = (s + 1) * count / shards;
+        for (std::size_t i = begin; i < end; ++i) {
+            const NodeId n = ws.level_nodes[i];
+            prob::PdfArena& scratch = prob::thread_arena();
+            const prob::ScopedRewind scope(scratch);
+            const prob::PdfView perturbed =
+                ssta::compute_arrival_into(graph, n, arrival_of, delay_of, scratch);
+            const prob::PdfView base = engine.arrival(n);
+            FrontWorkspace::NodeResult& res = ws.results[i];
+            res.dead = perturbed == base;
+            const bool is_sink = n == netlist::TimingGraph::sink();
+            // A dead non-sink is dropped without storing; the sink PDF is
+            // kept even when dead (it reached the sink — the selector
+            // counts that as Completed, with sensitivity exactly 0).
+            res.pdf = (res.dead && !is_sink)
+                          ? prob::PdfView{}
+                          : prob::copy_into(results_arena, perturbed);
+            res.delta = (!res.dead && !is_sink)
+                            ? prob::max_percentile_shift_bins(base, perturbed)
+                            : 0;
+        }
+    };
+    if (shards <= 1) {
+        run_shard(0);  // inline: no pool round-trip, no batch allocation
+    } else {
+        global_pool().parallel_for(shards, run_shard);
+    }
+
+    // Commit phase: serial, ascending node id — bit-for-bit the serial
+    // reference's bookkeeping.
+    for (std::size_t i = 0; i < count; ++i) {
+        commit_node(ctx, ws, ws.level_nodes[i], ws.results[i]);
         if (completed_) return;  // sink reached (it is alone on its level)
     }
     ++stats_.levels_stepped;
+    st.compact_if_worthwhile();
 }
 
-void PerturbationFront::compute_node(const Context& ctx, NodeId n) {
+void PerturbationFront::commit_node(const Context& ctx, FrontWorkspace& ws, NodeId n,
+                                    const FrontWorkspace::NodeResult& res) {
     const auto& graph = ctx.graph();
-    const auto& engine = ctx.engine();
-
-    const auto arrival_of = [&](NodeId u) -> const prob::Pdf& {
-        const auto it = aset_.find(u.value);
-        if (it != aset_.end() && it->second.computed) return it->second.pdf;
-        return engine.arrival(u);
-    };
-    const auto delay_of = [&ctx](EdgeId e) -> const prob::Pdf& {
-        return ctx.edge_delays().pdf(e);
-    };
-
-    prob::Pdf perturbed = ssta::compute_arrival(graph, n, arrival_of, delay_of);
     ++stats_.nodes_computed;
-
-    const prob::Pdf& base = engine.arrival(n);
-    const bool dead = perturbed == base;
 
     if (record_footprint_) {
         computed_nodes_.push_back(n);
-        if (!dead) changed_nodes_.push_back(n);
+        if (!res.dead) changed_nodes_.push_back(n);
     }
 
+    const std::uint32_t idx = ws.entry_index(n);
+    assert(idx != 0);  // n was pending, so it is tracked
+
     if (n == netlist::TimingGraph::sink()) {
-        sensitivity_ = dead ? 0.0
-                            : (objective_.eval_bins(base) - objective_.eval_bins(perturbed)) *
-                                  dt_ns_ / delta_w_;
-        sink_pdf_ = std::move(perturbed);
+        sink_view_ = state_->store_pdf(res.pdf);
+        sensitivity_ = res.dead
+                           ? 0.0
+                           : (objective_.eval_bins(ctx.engine().arrival(n)) -
+                              objective_.eval_bins(sink_view_)) *
+                                 dt_ns_ / delta_w_;
         completed_ = true;
-        aset_.erase(n.value);
-    } else if (dead) {
-        ++stats_.dead_drops;
-        aset_.erase(n.value);  // drop the placeholder; fanouts stay global
+        state_->mark_dead(idx - 1);
+    } else if (res.dead) {
+        ++stats_.dead_drops;  // absorbed: drop the entry; fanouts stay global
+        state_->mark_dead(idx - 1);
     } else {
-        Entry& entry = aset_[n.value];
-        entry.delta_bins =
-            static_cast<double>(prob::max_percentile_shift_bins(base, perturbed));
-        entry.pdf = std::move(perturbed);
-        entry.computed = true;
-        entry.fo_remaining = static_cast<std::uint32_t>(graph.out_edges(n).size());
-        for (EdgeId e : graph.out_edges(n)) schedule(ctx, graph.edge(e).to);
+        {
+            FrontEntry& entry = state_->entries[idx - 1];
+            entry.pdf = state_->store_pdf(res.pdf);
+            entry.delta_bins = static_cast<double>(res.delta);
+            entry.fo_remaining = static_cast<std::uint32_t>(graph.out_edges(n).size());
+        }  // schedule() may grow the entry table; drop the reference first
+        state_->mark_alive(idx - 1);
+        for (EdgeId e : graph.out_edges(n)) schedule(ctx, ws, graph.edge(e).to);
     }
 
     // This node consumed each perturbed predecessor once (fo_count, Fig 9
     // steps 13-18); predecessors with no remaining fanouts leave the front.
     for (EdgeId e : graph.in_edges(n)) {
-        const NodeId u = graph.edge(e).from;
-        const auto it = aset_.find(u.value);
-        if (it == aset_.end() || !it->second.computed) continue;
-        if (--it->second.fo_remaining == 0) aset_.erase(it);
+        const std::uint32_t pidx = ws.entry_index(graph.edge(e).from);
+        if (pidx == 0) continue;
+        FrontEntry& pred = state_->entries[pidx - 1];
+        if (pred.status != FrontEntry::Status::Alive) continue;
+        if (--pred.fo_remaining == 0) state_->mark_dead(pidx - 1);
     }
 }
 
@@ -113,12 +212,12 @@ void PerturbationFront::refresh_state() {
     if (completed_) return;
     double delta_mx = 0.0;
     bool any = false;
-    for (const auto& [node, entry] : aset_) {
-        if (!entry.computed) continue;
-        delta_mx = any ? std::max(delta_mx, entry.delta_bins) : entry.delta_bins;
+    for (const std::uint32_t idx : state_->alive) {
+        const double d = state_->entries[idx].delta_bins;
+        delta_mx = any ? std::max(delta_mx, d) : d;
         any = true;
     }
-    if (!any && pending_.empty()) {
+    if (!any && state_->pending.empty()) {
         // The perturbation was absorbed before reaching the sink.
         completed_ = true;
         sensitivity_ = 0.0;

@@ -23,14 +23,24 @@
 // unperturbed one bit-for-bit are dropped immediately (the perturbation
 // was absorbed by a max); if the whole front dies, the sensitivity is
 // exactly zero.
+//
+// Mechanically the drain is flat and allocation-free at steady state
+// (front_state.hpp): entries live in a pooled append-only table with
+// their PDFs in a front-owned arena pair, node→entry resolution goes
+// through the thread workspace's dense epoch-stamped slots, and the
+// frontier is a per-level slice extraction instead of a priority queue.
+// One level's node set is evaluated as a wave sharded over the global
+// pool — the same machinery as SstaEngine's level waves — with a serial
+// node-id-ordered commit, so sensitivities, bounds, footprints and the
+// sink CDF are bit-identical for any thread count (and to the original
+// map-and-heap drain, which tests/test_front_drain.cpp pins).
 #pragma once
 
 #include <cstdint>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "core/context.hpp"
+#include "core/front_state.hpp"
 #include "core/objective.hpp"
 #include "core/trial_resize.hpp"
 #include "prob/pdf.hpp"
@@ -54,8 +64,13 @@ class PerturbationFront {
     /// property tests to pin the front/engine absorption equivalence.
     PerturbationFront(Context& ctx, const Objective& objective,
                       const TrialResize& trial, bool record_footprint = false);
+    ~PerturbationFront();
 
-    /// Advances the shallowest pending level (Fig 9). No-op when completed.
+    PerturbationFront(const PerturbationFront&) = delete;
+    PerturbationFront& operator=(const PerturbationFront&) = delete;
+
+    /// Advances the shallowest pending level (Fig 9), waving the level's
+    /// node set over ctx.ssta_threads() shards. No-op when completed.
     void propagate_one_level(const Context& ctx);
 
     /// True once the front reached the sink or died out.
@@ -64,8 +79,10 @@ class PerturbationFront {
     [[nodiscard]] double bound_sensitivity() const noexcept { return bound_sens_; }
     /// Sx in ns per unit width; only meaningful once completed.
     [[nodiscard]] double sensitivity() const noexcept { return sensitivity_; }
-    /// Perturbed sink arrival; invalid Pdf if the front died early.
-    [[nodiscard]] const prob::Pdf& sink_pdf() const noexcept { return sink_pdf_; }
+    /// Perturbed sink arrival (invalid view if the front died early).
+    /// Lives in the front's pooled state: valid until the front is
+    /// destroyed — copy via to_pdf() to keep it longer.
+    [[nodiscard]] prob::PdfView sink_pdf() const noexcept { return sink_view_; }
 
     [[nodiscard]] GateId gate() const noexcept { return gate_; }
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
@@ -86,16 +103,10 @@ class PerturbationFront {
     }
 
   private:
-    struct Entry {
-        prob::Pdf pdf;               // perturbed arrival (computed only)
-        double delta_bins{0.0};      // Δi
-        std::uint32_t fo_remaining{0};
-        bool computed{false};
-    };
-
-    void schedule(const Context& ctx, NodeId n);
-    void process_level(const Context& ctx);
-    void compute_node(const Context& ctx, NodeId n);
+    void schedule(const Context& ctx, FrontWorkspace& ws, NodeId n);
+    void process_level(const Context& ctx, FrontWorkspace& ws);
+    void commit_node(const Context& ctx, FrontWorkspace& ws, NodeId n,
+                     const FrontWorkspace::NodeResult& res);
     void refresh_state();
 
     GateId gate_;
@@ -103,16 +114,14 @@ class PerturbationFront {
     double dt_ns_;
     Objective objective_;
 
-    std::unordered_map<std::uint32_t, Entry> aset_;
-    // (level, node) min-heap: levels are processed in increasing order.
-    using Pending = std::pair<std::uint32_t, std::uint32_t>;
-    std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
+    FrontState* state_;   // pooled; released on destruction
+    std::uint64_t uid_;
 
     double bound_sens_{0.0};
     double sensitivity_{0.0};
     bool completed_{false};
     bool record_footprint_{false};
-    prob::Pdf sink_pdf_;
+    prob::PdfView sink_view_{};
     Stats stats_;
     std::vector<NodeId> computed_nodes_, changed_nodes_;
 };

@@ -1,0 +1,128 @@
+#include "core/front_state.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "prob/ops.hpp"
+
+namespace statim::core {
+
+void FrontState::reset() noexcept {
+    last_workspace = nullptr;
+    entries.clear();
+    pending.clear();
+    alive.clear();
+    min_pending_level = kNoLevel;
+    arenas_[0].reset();
+    arenas_[1].reset();
+    active_ = 0;
+    live_doubles_ = 0;
+}
+
+prob::PdfView FrontState::store_pdf(prob::PdfView v) {
+    live_doubles_ += v.size();
+    return prob::copy_into(arenas_[active_], v);
+}
+
+void FrontState::compact_if_worthwhile() {
+    // Hysteresis floor: a front below one slab of mass never bothers.
+    constexpr std::size_t kFloorDoubles = kSlabDoubles;
+    const std::size_t used = arenas_[active_].used_doubles();
+    if (used <= kFloorDoubles || used <= 2 * live_doubles_) return;
+    const std::size_t target = 1 - active_;
+    prob::PdfArena& to = arenas_[target];
+    to.reset();
+    for (const std::uint32_t idx : alive)
+        entries[idx].pdf = prob::copy_into(to, entries[idx].pdf);
+    active_ = target;
+}
+
+namespace {
+
+// The pool is tiny state (a mutex and a vector of pointers); fronts check
+// out on construction and check in on destruction/completion. Raw new is
+// used over unique_ptr purely to keep the freelist a flat vector.
+std::mutex g_pool_mutex;
+std::vector<FrontState*> g_pool;  // guarded by g_pool_mutex
+
+}  // namespace
+
+FrontState* acquire_front_state() {
+    {
+        const std::lock_guard<std::mutex> lock(g_pool_mutex);
+        if (!g_pool.empty()) {
+            FrontState* state = g_pool.back();
+            g_pool.pop_back();
+            return state;
+        }
+    }
+    return new FrontState();
+}
+
+void release_front_state(FrontState* state) noexcept {
+    if (state == nullptr) return;
+    state->reset();
+    const std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_pool.push_back(state);
+}
+
+void trim_front_state_pool(std::size_t keep) noexcept {
+    const std::lock_guard<std::mutex> lock(g_pool_mutex);
+    while (g_pool.size() > keep) {
+        delete g_pool.back();
+        g_pool.pop_back();
+    }
+}
+
+std::uint64_t next_front_uid() noexcept {
+    // 0 is FrontWorkspace's "nothing activated yet" sentinel.
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void FrontWorkspace::bind(std::size_t node_count) {
+    if (slot_.size() < node_count) {
+        slot_.resize(node_count, 0);
+        stamp_.resize(node_count, 0);
+    }
+}
+
+void FrontWorkspace::activate(FrontState& state, std::uint64_t uid) {
+    // Fast path: this workspace both performed the last activation of
+    // this front *and* nothing else was activated here since — the
+    // stamps are current (every mutation path re-activates first, so a
+    // drain that hops threads flips state.last_workspace and forces the
+    // re-stamp here).
+    if (active_uid_ == uid && state.last_workspace == this) return;
+    ++epoch_;
+    // Dead entries need no stamp: a node only dies after it was computed,
+    // and nothing ever looks up or re-schedules a computed node (fanins
+    // precede it; schedulers are its strict ancestors). Alive ∪ Pending
+    // is exactly the non-dead set, so activation is O(live front), not
+    // O(everything the drain ever touched).
+    for (const std::uint32_t idx : state.alive)
+        set_entry_index(state.entries[idx].node, idx + 1);
+    for (const std::uint32_t idx : state.pending)
+        set_entry_index(state.entries[idx].node, idx + 1);
+    active_uid_ = uid;
+    state.last_workspace = this;
+}
+
+prob::PdfArena& FrontWorkspace::shard_arena(std::size_t s) {
+    while (shard_arenas_.size() <= s)
+        shard_arenas_.push_back(std::make_unique<prob::PdfArena>());
+    return *shard_arenas_[s];
+}
+
+std::size_t FrontWorkspace::shard_capacity_doubles() const noexcept {
+    std::size_t total = 0;
+    for (const auto& arena : shard_arenas_) total += arena->capacity();
+    return total;
+}
+
+FrontWorkspace& front_workspace() {
+    thread_local FrontWorkspace workspace;
+    return workspace;
+}
+
+}  // namespace statim::core

@@ -1,0 +1,192 @@
+// Flat storage behind the perturbation-front drain.
+//
+// The original PerturbationFront kept its A'set in an
+// `std::unordered_map<node, Entry>` (one heap Pdf per computed node) and
+// its frontier in a `std::priority_queue` of (level, node) pairs. Every
+// selector pass over N candidates rebuilt those from nothing: hashing on
+// the arrival-lookup hot path, a malloc per computed node, a malloc tree
+// per map. This file replaces that with the same shape the SSTA engine's
+// update() scratch uses — flat arrays, epoch stamps, per-level buckets —
+// split across two objects with different lifetimes:
+//
+//  * `FrontState` — one per *live front*, pooled and recycled across
+//    fronts and selector passes. Holds the append-only flat entry table,
+//    the pending-entry list, and a pair of small arenas carrying every
+//    entry PDF (double-buffered: when a drain's dead entries strand more
+//    garbage than live mass, the live PDFs re-pack into the idle arena).
+//    After one warm-up pass the pool serves every subsequent selector
+//    pass without touching the heap.
+//
+//  * `FrontWorkspace` — one per *OS thread* (thread_local). Holds the
+//    dense node→entry index, epoch-stamped so switching between the
+//    thousands of interleaved fronts of a bound race costs O(front
+//    entries), not O(circuit nodes) — and nothing at all when the same
+//    front is advanced twice in a row (the uid fast path). Also carries
+//    the per-level wave scratch: the node list, per-node results, and
+//    one result arena per wave shard. Sized by circuit nodes × threads,
+//    not × fronts, which is what makes dense slots affordable while a
+//    race keeps every candidate's front alive at once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "prob/arena.hpp"
+#include "prob/pdf.hpp"
+#include "util/types.hpp"
+
+namespace statim::core {
+
+struct FrontEntry {
+    /// A node leaves the front by turning Dead (absorbed perturbation,
+    /// exhausted fanouts, or the sink) — entries are never erased, so
+    /// indices stay stable for the workspace's dense slots.
+    enum class Status : std::uint8_t { Pending, Alive, Dead };
+
+    prob::PdfView pdf{};     ///< perturbed arrival (Alive only); in the state arenas
+    double delta_bins{0.0};  ///< Δi of Theorems 1–4 (Alive only)
+    NodeId node{};
+    std::uint32_t fo_remaining{0};
+    std::uint32_t alive_pos{0};  ///< position in FrontState::alive (Alive only)
+    Status status{Status::Pending};
+};
+
+class FrontState {
+  public:
+    static constexpr std::uint32_t kNoLevel = 0xffffffffu;
+
+    /// Empties the state for reuse (capacity and arena slabs retained).
+    void reset() noexcept;
+
+    /// Copies `v` into the active entry arena; counts toward live mass.
+    [[nodiscard]] prob::PdfView store_pdf(prob::PdfView v);
+
+    /// Re-packs Alive entry PDFs into the idle arena when dead entries
+    /// have stranded more garbage than live mass (entry views are
+    /// updated in place). Called between levels, never after completion,
+    /// so the sink PDF and mid-wave results are never relocated.
+    void compact_if_worthwhile();
+
+    [[nodiscard]] std::size_t live_doubles() const noexcept { return live_doubles_; }
+    [[nodiscard]] std::size_t arena_capacity_doubles() const noexcept {
+        return arenas_[0].capacity() + arenas_[1].capacity();
+    }
+
+    std::vector<FrontEntry> entries;
+    /// The workspace that last activated this state (see
+    /// FrontWorkspace::activate): lets the uid fast path detect that the
+    /// front has since been advanced through another thread's workspace,
+    /// whose mutations this thread's stamps do not reflect.
+    void* last_workspace{nullptr};
+    /// Indices of Pending entries; the drain repeatedly extracts the
+    /// min_pending_level slice (O(frontier) per level, no heap ordering).
+    std::vector<std::uint32_t> pending;
+    /// Indices of Alive entries (swap-removed on death), so the per-step
+    /// bound refresh and workspace activation scan the live front — not
+    /// every entry the drain ever created.
+    std::vector<std::uint32_t> alive;
+    std::uint32_t min_pending_level{kNoLevel};
+
+    /// Alive/death bookkeeping around the alive index.
+    void mark_alive(std::uint32_t entry_idx) {
+        entries[entry_idx].status = FrontEntry::Status::Alive;
+        entries[entry_idx].alive_pos = static_cast<std::uint32_t>(alive.size());
+        alive.push_back(entry_idx);
+    }
+    void mark_dead(std::uint32_t entry_idx) noexcept {
+        FrontEntry& e = entries[entry_idx];
+        if (e.status == FrontEntry::Status::Alive) {
+            const std::uint32_t last = alive.back();
+            alive[e.alive_pos] = last;
+            entries[last].alive_pos = e.alive_pos;
+            alive.pop_back();
+            live_doubles_ -= e.pdf.size();
+        }
+        e.status = FrontEntry::Status::Dead;
+    }
+
+  private:
+    // Fronts are narrow: a few KiB of PDF mass each, but thousands are
+    // alive at once during a bound race, so the slab floor is far below
+    // the propagation-scratch default.
+    static constexpr std::size_t kSlabDoubles = 512;
+
+    prob::PdfArena arenas_[2]{prob::PdfArena{kSlabDoubles},
+                              prob::PdfArena{kSlabDoubles}};
+    std::size_t active_{0};
+    std::size_t live_doubles_{0};
+};
+
+/// Pooled FrontState checkout. The pool is process-global and
+/// mutex-guarded (acquire/release are per front, not per node — the lock
+/// is noise next to one PDF convolution). States come back reset().
+[[nodiscard]] FrontState* acquire_front_state();
+void release_front_state(FrontState* state) noexcept;
+
+/// Frees pooled states beyond `keep`. The pool otherwise retains the
+/// peak number of concurrently-live fronts (one select pass constructs a
+/// front per eligible gate before draining), with each state's entry
+/// capacity and arena slabs — the same "one-off giant workload pins its
+/// high water forever" concern PdfArena::shrink_to_fit addresses, so the
+/// same remedy: call after an unusually large pass to return the excess.
+void trim_front_state_pool(std::size_t keep) noexcept;
+
+/// Unique id per PerturbationFront, for the workspace's activation fast
+/// path (consecutive propagate_one_level calls on one front skip the
+/// re-stamp entirely).
+[[nodiscard]] std::uint64_t next_front_uid() noexcept;
+
+class FrontWorkspace {
+  public:
+    /// Grows the dense per-node arrays to `node_count` (monotone; shared
+    /// across every circuit this thread touches).
+    void bind(std::size_t node_count);
+
+    /// Makes `state`'s entries resolvable through entry_index(). O(1)
+    /// when `uid` was the last front activated on this thread *and* the
+    /// front has not been advanced through another thread's workspace in
+    /// between (state.last_workspace check), O(live front) otherwise
+    /// (epoch bump + re-stamp; never O(nodes)).
+    void activate(FrontState& state, std::uint64_t uid);
+
+    /// Entry index + 1 for `n`, or 0 when the active front holds none.
+    [[nodiscard]] std::uint32_t entry_index(NodeId n) const noexcept {
+        return stamp_[n.index()] == epoch_ ? slot_[n.index()] : 0;
+    }
+    void set_entry_index(NodeId n, std::uint32_t index_plus_one) noexcept {
+        stamp_[n.index()] = epoch_;
+        slot_[n.index()] = index_plus_one;
+    }
+
+    /// Result arena of wave shard `s` (created on first use, reused for
+    /// every later wave on this thread).
+    [[nodiscard]] prob::PdfArena& shard_arena(std::size_t s);
+
+    [[nodiscard]] std::size_t shard_capacity_doubles() const noexcept;
+
+    /// One computed node of the current level's wave.
+    struct NodeResult {
+        prob::PdfView pdf{};       ///< in shard_arena (empty for a dead non-sink)
+        std::int64_t delta{0};     ///< Δ in whole bins (non-sink, alive)
+        bool dead{false};          ///< bitwise equal to the unperturbed arrival
+    };
+
+    // Per-level wave scratch (sized by the level slice, reused forever).
+    std::vector<NodeId> level_nodes;
+    std::vector<NodeResult> results;
+
+  private:
+    std::vector<std::uint32_t> slot_;
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t epoch_{0};
+    std::uint64_t active_uid_{0};
+    std::vector<std::unique_ptr<prob::PdfArena>> shard_arenas_;
+};
+
+/// This thread's front workspace (thread_local). During a wave the pool
+/// workers read the *activating* thread's workspace by reference; they
+/// never touch their own from inside a front drain.
+[[nodiscard]] FrontWorkspace& front_workspace();
+
+}  // namespace statim::core

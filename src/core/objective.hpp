@@ -21,8 +21,10 @@ struct Objective {
     Kind kind{Kind::Percentile};
     double p{0.99};  ///< used by Kind::Percentile
 
-    /// Cost in fractional bin units (lower is better).
-    [[nodiscard]] double eval_bins(const prob::Pdf& sink) const {
+    /// Cost in fractional bin units (lower is better). Takes a view so
+    /// arena-resident sink CDFs (engine arrivals, front sink PDFs) are
+    /// evaluated without a copy; Pdf arguments convert implicitly.
+    [[nodiscard]] double eval_bins(prob::PdfView sink) const {
         switch (kind) {
             case Kind::Percentile: return sink.percentile_bin(p);
             case Kind::Mean: return sink.mean_bins();
@@ -31,7 +33,7 @@ struct Objective {
     }
 
     /// Cost in nanoseconds.
-    [[nodiscard]] double eval_ns(const prob::TimeGrid& grid, const prob::Pdf& sink) const {
+    [[nodiscard]] double eval_ns(const prob::TimeGrid& grid, prob::PdfView sink) const {
         return grid.time_of(eval_bins(sink));
     }
 

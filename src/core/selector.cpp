@@ -6,6 +6,7 @@
 #include <mutex>
 #include <queue>
 
+#include "ssta/criticality.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -343,8 +344,10 @@ struct DelayOverlay {
 /// The paper baseline for one candidate: a complete SSTA into `scratch`
 /// under `delay_of`, returning the candidate's sensitivity. The single
 /// arithmetic path both the sequential and the parallel brute force use.
+/// `delay_of` is a non-owning FunctionRef: callers pass a *named* lambda
+/// (or one whose lifetime spans this call).
 double full_ssta_sensitivity(const Context& ctx, const SelectorConfig& config,
-                             double base_obj, const ssta::DelayLookup& delay_of,
+                             double base_obj, ssta::DelayLookup delay_of,
                              std::vector<prob::Pdf>& scratch) {
     const auto& graph = ctx.graph();
     scratch.assign(graph.node_count(), prob::Pdf{});
@@ -386,8 +389,8 @@ Selection select_brute_force_parallel(Context& ctx, const SelectorConfig& config
         std::vector<prob::Pdf> scratch;
         for (std::size_t i = s; i < gates.size(); i += shards) {
             const DelayOverlay& overlay = overlays[i];
-            const ssta::DelayLookup delay_of =
-                [&ctx, &overlay](EdgeId e) -> const prob::Pdf& {
+            // Named lambda: the FunctionRef parameter below borrows it.
+            const auto delay_of = [&ctx, &overlay](EdgeId e) -> const prob::Pdf& {
                 if (const prob::Pdf* perturbed = overlay.find(e)) return *perturbed;
                 return ctx.edge_delays().pdf(e);
             };
@@ -437,6 +440,20 @@ Selection select_cone_parallel(Context& ctx, const SelectorConfig& config,
 }
 
 }  // namespace
+
+std::vector<GateId> sample_candidate_gates(Context& ctx, std::size_t count) {
+    const auto crit = ssta::compute_criticality(ctx.engine(), ctx.edge_delays());
+    const auto ranked = ssta::rank_gates_by_criticality(ctx.graph(), crit);
+    std::vector<GateId> gates;
+    for (std::size_t i = 0; i < count / 2 && i < ranked.size(); ++i)
+        gates.push_back(ranked[i].first);
+    const std::size_t stride =
+        std::max<std::size_t>(1, ctx.nl().gate_count() / (count / 2 + 1));
+    for (std::size_t gi = 0; gi < ctx.nl().gate_count() && gates.size() < count;
+         gi += stride)
+        gates.push_back(GateId{static_cast<std::uint32_t>(gi)});
+    return gates;
+}
 
 Selection select_pruned(Context& ctx, const SelectorConfig& config) {
     Timer timer;
@@ -577,7 +594,8 @@ Selection select_brute_force(Context& ctx, const SelectorConfig& config,
     result.stats.candidates = gates.size();
     const auto& graph = ctx.graph();
     const double base_obj = config.objective.eval_bins(ctx.engine().sink_arrival());
-    const ssta::DelayLookup delay_of = [&ctx](EdgeId e) -> const prob::Pdf& {
+    // Named lambda: full_ssta_sensitivity's FunctionRef borrows it per call.
+    const auto delay_of = [&ctx](EdgeId e) -> const prob::Pdf& {
         return ctx.edge_delays().pdf(e);
     };
 

@@ -78,6 +78,15 @@ struct RankedPick {
     double sensitivity{0.0};  ///< ns per unit width, on the shared base state
 };
 
+/// Deterministic candidate sample for diagnostics, benches and property
+/// tests: the most criticality-ranked gates (half of `count`) followed by
+/// an id-stride sweep across the whole netlist (covers low-sensitivity /
+/// dead-front behaviour on big circuits). Requires a completed SSTA run;
+/// the bench and test populations stay in sync by sharing this one
+/// definition. Deduplication is not attempted (a gate can appear twice).
+[[nodiscard]] std::vector<GateId> sample_candidate_gates(Context& ctx,
+                                                         std::size_t count);
+
 /// Result of one batched selection pass (select_top_k).
 struct TopKSelection {
     /// Accepted picks, sensitivity descending (ties toward the lower gate

@@ -10,6 +10,7 @@
 // level-by-level perturbation-front propagation relies on.
 #pragma once
 
+#include <cassert>
 #include <span>
 #include <vector>
 
@@ -37,7 +38,12 @@ class TimingGraph {
 
     [[nodiscard]] std::size_t node_count() const noexcept { return in_offsets_.size() - 1; }
     [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
-    [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_.at(e.index()); }
+    /// Unchecked in Release (debug-asserted): edge() sits in the fanin
+    /// fold of every node evaluation and every front's bookkeeping.
+    [[nodiscard]] const Edge& edge(EdgeId e) const noexcept {
+        assert(e.index() < edges_.size());
+        return edges_[e.index()];
+    }
 
     [[nodiscard]] std::span<const EdgeId> in_edges(NodeId n) const noexcept {
         return {in_list_.data() + in_offsets_[n.index()],
@@ -67,8 +73,12 @@ class TimingGraph {
                 gate_edge_offsets_[g.index() + 1] - gate_edge_offsets_[g.index()]};
     }
 
-    /// Longest-path level from the source (source = 0).
-    [[nodiscard]] std::uint32_t level(NodeId n) const { return levels_.at(n.index()); }
+    /// Longest-path level from the source (source = 0). Unchecked in
+    /// Release (debug-asserted): every wave scheduler reads it per node.
+    [[nodiscard]] std::uint32_t level(NodeId n) const noexcept {
+        assert(n.index() < levels_.size());
+        return levels_[n.index()];
+    }
     /// Level of a gate = level of its output node (the paper's gate level).
     [[nodiscard]] std::uint32_t gate_level(GateId g) const { return level(output_node(g)); }
     /// Total number of levels (sink level + 1).

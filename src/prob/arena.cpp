@@ -12,32 +12,49 @@ double* PdfArena::alloc(std::size_t n) {
     if (slab_ < slabs_.size() && sizes_[slab_] - used_ >= n) {
         double* p = slabs_[slab_].get() + used_;
         used_ += n;
+        high_water_ = std::max(high_water_, before_ + used_);
         return p;
     }
     // Otherwise advance to the first following slab that fits (slabs kept
     // from earlier high-water marks are reused before anything grows).
     for (std::size_t s = slab_ + (slabs_.empty() ? 0 : 1); s < slabs_.size(); ++s) {
+        // The skipped remainder of earlier slabs counts as occupied.
+        std::size_t before = 0;
+        for (std::size_t k = 0; k < s; ++k) before += sizes_[k];
         if (sizes_[s] >= n) {
             slab_ = s;
             used_ = n;
+            before_ = before;
+            high_water_ = std::max(high_water_, before_ + used_);
             return slabs_[s].get();
         }
     }
     // Nothing fits: append a new slab, geometrically larger than the last.
-    std::size_t size = slabs_.empty() ? kMinSlab
+    std::size_t size = slabs_.empty() ? min_slab_
                                       : std::min(sizes_.back() * 2, kMaxSlab);
     size = std::max(size, n);
+    before_ = capacity_;
     slabs_.push_back(std::make_unique<double[]>(size));
     sizes_.push_back(size);
+    capacity_ += size;
     slab_ = slabs_.size() - 1;
     used_ = n;
+    high_water_ = std::max(high_water_, before_ + used_);
     return slabs_.back().get();
 }
 
-std::size_t PdfArena::capacity() const noexcept {
-    std::size_t total = 0;
-    for (std::size_t s : sizes_) total += s;
-    return total;
+void PdfArena::shrink_to_fit(std::size_t max_doubles) noexcept {
+    while (slabs_.size() > slab_ + 1 && capacity_ > max_doubles) {
+        capacity_ -= sizes_.back();
+        sizes_.pop_back();
+        slabs_.pop_back();
+    }
+    // A fully rewound arena can drop everything, including the first slab.
+    if (slabs_.size() == 1 && slab_ == 0 && used_ == 0 && capacity_ > max_doubles) {
+        capacity_ = 0;
+        sizes_.clear();
+        slabs_.clear();
+    }
 }
 
 PdfArena& thread_arena() {

@@ -8,7 +8,7 @@
 //
 //  * alloc() bumps within the current slab, appending a bigger slab only
 //    when the current one is exhausted (slabs are never returned to the
-//    OS until the arena is destroyed);
+//    OS until the arena is destroyed or shrink_to_fit() trims the tail);
 //  * mark()/rewind() bracket one node evaluation: every buffer allocated
 //    since the mark is reclaimed at once, and the slab memory is reused
 //    verbatim by the next evaluation — a steady-state propagation performs
@@ -16,10 +16,17 @@
 //  * each worker thread uses its own arena (`thread_arena()`), so the
 //    level-parallel engine shares no allocator state between shards.
 //
+// Besides scratch use, the arena is the backing store of the *persistent*
+// PDF state: `prob::ArrivalStore` keeps every node's arrival in a pair of
+// arenas, and each perturbation front keeps its entry PDFs in a pooled
+// pair. Those owners drive `used_doubles()` / `capacity()` for their
+// garbage accounting and surface `high_water()` in the bench JSON so
+// arena growth is visible across the synth10k–250k registry.
+//
 // Lifetime rules: arena-backed `PdfView`s are valid only until the mark
 // they were allocated under is rewound. Anything that must outlive the
-// evaluation (a node's final arrival) is copied out via PdfView::to_pdf()
-// before the rewind.
+// evaluation (a node's final arrival) is copied out — into an owning Pdf
+// or into a longer-lived arena — before the rewind.
 #pragma once
 
 #include <cstddef>
@@ -30,7 +37,12 @@ namespace statim::prob {
 
 class PdfArena {
   public:
-    PdfArena() = default;
+    /// `min_slab_doubles` sizes the first slab (later slabs grow
+    /// geometrically from it). The default suits per-thread propagation
+    /// scratch; small long-lived arenas (one per perturbation front)
+    /// pass a smaller floor so a pool of thousands stays compact.
+    explicit PdfArena(std::size_t min_slab_doubles = kDefaultMinSlab) noexcept
+        : min_slab_(min_slab_doubles < 1 ? 1 : min_slab_doubles) {}
     PdfArena(const PdfArena&) = delete;
     PdfArena& operator=(const PdfArena&) = delete;
 
@@ -42,28 +54,53 @@ class PdfArena {
     struct Mark {
         std::size_t slab{0};
         std::size_t used{0};
+        std::size_t before{0};  ///< doubles in slabs preceding `slab`
     };
-    [[nodiscard]] Mark mark() const noexcept { return {slab_, used_}; }
+    [[nodiscard]] Mark mark() const noexcept { return {slab_, used_, before_}; }
     void rewind(Mark m) noexcept {
         slab_ = m.slab;
         used_ = m.used;
+        before_ = m.before;
     }
     /// Rewinds to empty; slabs are kept for reuse.
     void reset() noexcept { rewind(Mark{}); }
 
     /// Total doubles reserved across all slabs (capacity, not live use).
-    [[nodiscard]] std::size_t capacity() const noexcept;
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+    /// Doubles currently occupied (exhausted slabs count whole — a slab
+    /// skipped because an allocation did not fit leaves a small gap, so
+    /// this is an upper bound on live data; the GC heuristics that
+    /// consume it only become marginally more eager).
+    [[nodiscard]] std::size_t used_doubles() const noexcept {
+        return before_ + used_;
+    }
+
+    /// Largest used_doubles() ever observed at an allocation.
+    [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+
+    /// Frees whole slabs beyond the current bump position until capacity()
+    /// is at most `max_doubles` (or nothing trailing is left to free).
+    /// Safe at any time: slabs at or before the active position are never
+    /// touched, so outstanding views stay valid. Call after reset() to
+    /// return a transient growth spike (one oversized full run) to the OS
+    /// instead of pinning it in a thread_local for the process lifetime.
+    void shrink_to_fit(std::size_t max_doubles) noexcept;
 
   private:
-    // Slab sizes grow geometrically from kMinSlab, capped at kMaxSlab
+    // Slab sizes grow geometrically from min_slab_, capped at kMaxSlab
     // unless a single allocation needs more.
-    static constexpr std::size_t kMinSlab = std::size_t{1} << 13;  // 64 KiB
-    static constexpr std::size_t kMaxSlab = std::size_t{1} << 22;  // 32 MiB
+    static constexpr std::size_t kDefaultMinSlab = std::size_t{1} << 13;  // 64 KiB
+    static constexpr std::size_t kMaxSlab = std::size_t{1} << 22;         // 32 MiB
 
     std::vector<std::unique_ptr<double[]>> slabs_;
     std::vector<std::size_t> sizes_;
-    std::size_t slab_{0};  ///< slab currently bump-allocated from
-    std::size_t used_{0};  ///< doubles used in that slab
+    std::size_t min_slab_;
+    std::size_t slab_{0};        ///< slab currently bump-allocated from
+    std::size_t used_{0};        ///< doubles used in that slab
+    std::size_t before_{0};      ///< doubles in slabs preceding slab_
+    std::size_t capacity_{0};    ///< sum of sizes_
+    std::size_t high_water_{0};  ///< max used_doubles() at alloc time
 };
 
 /// RAII mark/rewind bracket for one evaluation.

@@ -1,0 +1,74 @@
+#include "prob/arrival_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace statim::prob {
+
+namespace {
+
+/// Below this occupancy the garbage ratio is ignored: compacting a tiny
+/// store costs more in churn than the stranded doubles are worth.
+constexpr std::size_t kCompactFloorDoubles = std::size_t{1} << 15;  // 256 KiB
+
+}  // namespace
+
+void ArrivalStore::begin_run(std::size_t count) {
+    if (slots_.size() != count) slots_.assign(count, Slot{});
+    ++gen_;
+    // Generation 0 is "never written", so wrap-around must skip it (a
+    // ~4e9-refresh run would otherwise resurrect stale slots).
+    if (gen_ == 0) {
+        slots_.assign(count, Slot{});
+        gen_ = 1;
+    }
+    buffers_[0].reset();
+    buffers_[1].reset();
+    active_ = 0;
+    live_doubles_ = 0;
+}
+
+void ArrivalStore::set(std::size_t idx, PdfView v) {
+    assert(idx < slots_.size() && v.valid());
+    Slot& s = slots_[idx];
+    if (s.gen == gen_) live_doubles_ -= s.size;  // overwrite strands the old copy
+    double* dst = active().alloc(v.size());
+    std::copy(v.mass().begin(), v.mass().end(), dst);
+    live_doubles_ += v.size();
+    s.data = dst;
+    s.first = v.first_bin();
+    s.size = static_cast<std::uint32_t>(v.size());
+    s.gen = gen_;
+}
+
+void ArrivalStore::maybe_compact() {
+    const std::size_t used = active().used_doubles();
+    if (used <= kCompactFloorDoubles || used <= 2 * live_doubles_) return;
+    const std::size_t target = 1 - active_;
+    PdfArena& to = buffers_[target];
+    to.reset();
+    // Every live slot is in the active buffer (set() only ever appends
+    // there, and the previous compaction drained the other one), so this
+    // single pass relocates all live data.
+    for (Slot& s : slots_) {
+        if (s.gen != gen_) continue;
+        double* dst = to.alloc(s.size);
+        std::copy(s.data, s.data + s.size, dst);
+        s.data = dst;
+    }
+    active_ = target;
+    ++compactions_;
+}
+
+ArrivalStore::MemoryStats ArrivalStore::memory_stats() const noexcept {
+    MemoryStats m;
+    m.capacity_doubles = buffers_[0].capacity() + buffers_[1].capacity();
+    m.used_doubles = buffers_[0].used_doubles() + buffers_[1].used_doubles();
+    m.live_doubles = live_doubles_;
+    m.high_water_doubles =
+        std::max(buffers_[0].high_water(), buffers_[1].high_water());
+    m.compactions = compactions_;
+    return m;
+}
+
+}  // namespace statim::prob

@@ -1,0 +1,99 @@
+// Arena-resident store of per-node arrival PDFs.
+//
+// `SstaEngine` used to keep one heap `prob::Pdf` per node: every final
+// arrival of a propagation wave was copied out of the thread arena into a
+// fresh `std::vector<double>`, so a full run paid one malloc per node and
+// an incremental refresh one malloc per recomputed node — the last
+// allocator traffic in the SSTA hot path. ArrivalStore replaces the
+// vector-of-Pdf with two `PdfArena` buffers and a dense slot table:
+//
+//  * set() bump-allocates the masses in the *active* buffer and records a
+//    (first_bin, data, size) slot — steady-state refreshes perform no
+//    heap allocation at all once the slabs have grown to the circuit;
+//  * slots are generation-tagged: begin_run() bumps the generation and
+//    resets both buffers, so a full run starts from a compact, fully
+//    re-packed store without clearing the slot table;
+//  * overwrites (incremental update()s) strand the previous copy in the
+//    buffer as garbage; when the active buffer's occupancy exceeds twice
+//    the live mass, maybe_compact() re-packs every live slot into the
+//    idle buffer and swaps — classic double-buffered semispace GC,
+//    amortized O(live) and allocation-free at steady state.
+//
+// View lifetime: a PdfView returned by view() stays valid across set()
+// calls (slabs never move) but is invalidated by maybe_compact() and
+// begin_run(). The engine only compacts at the top of a refresh, so the
+// consumer-facing rule is simply "arrival views die at the next
+// run()/update()" — the same contract the heap-backed engine already
+// imposed by overwriting its Pdf slots.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "prob/arena.hpp"
+#include "prob/pdf.hpp"
+
+namespace statim::prob {
+
+class ArrivalStore {
+  public:
+    /// Starts a new full propagation over `count` slots: both buffers are
+    /// reset, the generation advances (invalidating every slot and view),
+    /// and subsequent set()s re-pack the store densely.
+    void begin_run(std::size_t count);
+
+    /// Copies `v` into the active buffer as slot `idx`'s value. An
+    /// existing value for `idx` becomes garbage (collected by the next
+    /// worthwhile maybe_compact()).
+    void set(std::size_t idx, PdfView v);
+
+    /// True once slot `idx` holds a value of the current generation.
+    [[nodiscard]] bool has(std::size_t idx) const noexcept {
+        return idx < slots_.size() && slots_[idx].gen == gen_;
+    }
+
+    /// The stored view (debug-asserted `has(idx)`; unchecked in Release —
+    /// this is the innermost read of every propagation and front drain).
+    [[nodiscard]] PdfView view(std::size_t idx) const noexcept {
+        assert(has(idx));
+        const Slot& s = slots_[idx];
+        return {s.first, s.data, s.size};
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+    /// Re-packs live slots into the idle buffer and swaps, when the
+    /// active buffer carries more garbage than live data (hysteresis
+    /// floor: small stores never bother). Invalidates outstanding views;
+    /// call only at a refresh boundary.
+    void maybe_compact();
+
+    struct MemoryStats {
+        std::size_t capacity_doubles{0};   ///< both buffers' slab capacity
+        std::size_t used_doubles{0};       ///< bump positions (live + garbage)
+        std::size_t live_doubles{0};       ///< doubles referenced by slots
+        std::size_t high_water_doubles{0};  ///< max used across both buffers
+        std::size_t compactions{0};
+    };
+    [[nodiscard]] MemoryStats memory_stats() const noexcept;
+
+  private:
+    struct Slot {
+        const double* data{nullptr};
+        std::int64_t first{0};
+        std::uint32_t size{0};
+        std::uint32_t gen{0};
+    };
+
+    [[nodiscard]] PdfArena& active() noexcept { return buffers_[active_]; }
+
+    std::vector<Slot> slots_;
+    PdfArena buffers_[2];
+    std::uint32_t gen_{0};
+    std::size_t active_{0};
+    std::size_t live_doubles_{0};
+    std::size_t compactions_{0};
+};
+
+}  // namespace statim::prob

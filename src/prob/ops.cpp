@@ -88,6 +88,13 @@ PdfView stat_max_into(PdfArena& arena, PdfView a, PdfView b) {
     return {first + static_cast<std::int64_t>(lo), out + lo, hi - lo};
 }
 
+PdfView copy_into(PdfArena& arena, PdfView v) {
+    if (!v.valid()) throw ConfigError("copy_into: invalid view");
+    double* out = arena.alloc(v.size());
+    std::copy(v.mass().begin(), v.mass().end(), out);
+    return {v.first_bin(), out, v.size()};
+}
+
 Pdf stat_max(std::span<const Pdf> pdfs) {
     if (pdfs.empty()) throw ConfigError("stat_max: empty input");
     Pdf acc = pdfs[0];
@@ -156,7 +163,7 @@ double max_percentile_shift(const Pdf& a, const Pdf& b) {
     return best;
 }
 
-std::int64_t max_percentile_shift_bins(const Pdf& a, const Pdf& b) {
+std::int64_t max_percentile_shift_bins(PdfView a, PdfView b) {
     if (!a.valid() || !b.valid())
         throw ConfigError("max_percentile_shift_bins: invalid operand");
     // For p in (C_b(t-1), C_b(t)], T_step(b,p) = t and T_step(a,p) peaks at

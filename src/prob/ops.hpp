@@ -34,6 +34,13 @@ namespace statim::prob {
 [[nodiscard]] PdfView convolve_into(PdfArena& arena, PdfView a, PdfView b);
 [[nodiscard]] PdfView stat_max_into(PdfArena& arena, PdfView a, PdfView b);
 
+/// Verbatim copy of `v`'s masses into `arena`; the returned view is valid
+/// until the enclosing mark is rewound. This is how a result computed in
+/// per-node scratch graduates to longer-lived storage (an ArrivalStore
+/// buffer, a front's entry arena, a wave shard's result arena) without a
+/// heap allocation.
+[[nodiscard]] PdfView copy_into(PdfArena& arena, PdfView v);
+
 /// Fold of stat_max over one or more PDFs. Throws ConfigError on empty input.
 [[nodiscard]] Pdf stat_max(std::span<const Pdf> pdfs);
 
@@ -55,7 +62,9 @@ namespace statim::prob {
 /// under shared convolution and independent max (Theorems 1-3) — the
 /// pruning bound builds on it. Relates to the interpolated metric by
 ///   max_percentile_shift(a,b) < max_percentile_shift_bins(a,b) + 1.
-[[nodiscard]] std::int64_t max_percentile_shift_bins(const Pdf& a, const Pdf& b);
+/// Takes views so the flat front drain evaluates it on arena-resident
+/// operands without copies (Pdf arguments convert implicitly).
+[[nodiscard]] std::int64_t max_percentile_shift_bins(PdfView a, PdfView b);
 
 /// Kolmogorov–Smirnov distance max_t |A(t) − B(t)| (vertical distance).
 [[nodiscard]] double ks_distance(const Pdf& a, const Pdf& b);

@@ -21,6 +21,45 @@ double PdfView::cdf_at(std::int64_t bin) const noexcept {
 
 Pdf PdfView::to_pdf() const { return Pdf::from_view(*this); }
 
+double PdfView::mean_bins() const noexcept {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < size_; ++k)
+        acc += data_[k] * static_cast<double>(first_ + static_cast<std::int64_t>(k));
+    return acc;
+}
+
+double PdfView::variance_bins() const noexcept {
+    const double mu = mean_bins();
+    double acc = 0.0;
+    for (std::size_t k = 0; k < size_; ++k) {
+        const double d = static_cast<double>(first_ + static_cast<std::int64_t>(k)) - mu;
+        acc += data_[k] * d * d;
+    }
+    return acc;
+}
+
+double PdfView::percentile_bin(double p) const {
+    if (!valid()) throw ConfigError("Pdf::percentile_bin: empty PDF");
+    if (!(p > 0.0) || !(p <= 1.0))
+        throw ConfigError("Pdf::percentile_bin: p must be in (0, 1]");
+
+    double cum = 0.0;
+    double prev_cum = 0.0;
+    for (std::size_t k = 0; k < size_; ++k) {
+        prev_cum = cum;
+        cum += data_[k];
+        if (p <= cum || k + 1 == size_) {
+            const auto bin = static_cast<double>(first_ + static_cast<std::int64_t>(k));
+            if (k == 0) return bin;  // no interpolation below the support
+            const double step = cum - prev_cum;
+            if (step <= 0.0) return bin;
+            const double frac = (p - prev_cum) / step;
+            return bin - 1.0 + frac;
+        }
+    }
+    return static_cast<double>(last_bin());  // unreachable; mass sums to 1
+}
+
 Pdf Pdf::from_view(const PdfView& view) {
     if (!view.valid()) throw ConfigError("Pdf::from_view: empty view");
     Pdf p;
@@ -84,44 +123,11 @@ double Pdf::mass_at(std::int64_t bin) const noexcept {
     return mass_[static_cast<std::size_t>(bin - first_)];
 }
 
-double Pdf::mean_bins() const noexcept {
-    double acc = 0.0;
-    for (std::size_t k = 0; k < mass_.size(); ++k)
-        acc += mass_[k] * static_cast<double>(first_ + static_cast<std::int64_t>(k));
-    return acc;
-}
-
-double Pdf::variance_bins() const noexcept {
-    const double mu = mean_bins();
-    double acc = 0.0;
-    for (std::size_t k = 0; k < mass_.size(); ++k) {
-        const double d = static_cast<double>(first_ + static_cast<std::int64_t>(k)) - mu;
-        acc += mass_[k] * d * d;
-    }
-    return acc;
-}
-
-double Pdf::percentile_bin(double p) const {
-    if (!valid()) throw ConfigError("Pdf::percentile_bin: empty PDF");
-    if (!(p > 0.0) || !(p <= 1.0))
-        throw ConfigError("Pdf::percentile_bin: p must be in (0, 1]");
-
-    double cum = 0.0;
-    double prev_cum = 0.0;
-    for (std::size_t k = 0; k < mass_.size(); ++k) {
-        prev_cum = cum;
-        cum += mass_[k];
-        if (p <= cum || k + 1 == mass_.size()) {
-            const auto bin = static_cast<double>(first_ + static_cast<std::int64_t>(k));
-            if (k == 0) return bin;  // no interpolation below the support
-            const double step = cum - prev_cum;
-            if (step <= 0.0) return bin;
-            const double frac = (p - prev_cum) / step;
-            return bin - 1.0 + frac;
-        }
-    }
-    return static_cast<double>(last_bin());  // unreachable; mass sums to 1
-}
+// The analytics run on PdfView so the vector- and arena-backed storage
+// paths share one instruction sequence (bit-identical values).
+double Pdf::mean_bins() const noexcept { return PdfView{*this}.mean_bins(); }
+double Pdf::variance_bins() const noexcept { return PdfView{*this}.variance_bins(); }
+double Pdf::percentile_bin(double p) const { return PdfView{*this}.percentile_bin(p); }
 
 double Pdf::cdf_at(std::int64_t bin) const noexcept {
     // One implementation of the boundary conventions for both backends.

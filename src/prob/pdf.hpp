@@ -48,6 +48,18 @@ class PdfView {
     /// CDF evaluated at bin b: P(X <= b). O(b - first).
     [[nodiscard]] double cdf_at(std::int64_t bin) const noexcept;
 
+    // Analytics shared with Pdf (which delegates here, so both backends
+    // run the identical instruction sequence — bit-identical results).
+
+    /// Mean in bin units.
+    [[nodiscard]] double mean_bins() const noexcept;
+    /// Variance in squared bin units.
+    [[nodiscard]] double variance_bins() const noexcept;
+    /// Inverse CDF at probability p in (0, 1], fractional bin units.
+    /// Piecewise-linear between bin knots; throws ConfigError for p
+    /// outside (0, 1] or an empty view.
+    [[nodiscard]] double percentile_bin(double p) const;
+
     /// Translates the view by `bins` (free; storage untouched).
     void shift(std::int64_t bins) noexcept { first_ += bins; }
 
@@ -61,6 +73,23 @@ class PdfView {
     const double* data_{nullptr};
     std::size_t size_{0};
 };
+
+/// Value equality of the distributions two views describe (same offset,
+/// element-wise equal masses) — the view-backend counterpart of
+/// Pdf::operator==, with the same `double`-comparison semantics the
+/// exactness and absorption tests rely on. Either operand may be a Pdf
+/// (implicit conversion).
+[[nodiscard]] inline bool operator==(const PdfView& a, const PdfView& b) noexcept {
+    if (a.first_bin() != b.first_bin() || a.size() != b.size()) return false;
+    const auto am = a.mass();
+    const auto bm = b.mass();
+    for (std::size_t k = 0; k < am.size(); ++k)
+        if (am[k] != bm[k]) return false;
+    return true;
+}
+[[nodiscard]] inline bool operator!=(const PdfView& a, const PdfView& b) noexcept {
+    return !(a == b);
+}
 
 namespace detail {
 

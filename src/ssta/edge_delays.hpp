@@ -7,6 +7,7 @@
 // update_edges() rederives just the edges a resize touched.
 #pragma once
 
+#include <cassert>
 #include <span>
 #include <vector>
 
@@ -31,7 +32,12 @@ class EdgeDelays {
     /// Rederives the PDFs of `edges` only (after update_for_resize).
     void update_edges(std::span<const EdgeId> edges, const sta::DelayCalc& delays);
 
-    [[nodiscard]] const prob::Pdf& pdf(EdgeId e) const { return pdfs_.at(e.index()); }
+    /// Unchecked in Release (debug-asserted): the delay lookup of every
+    /// propagation fold and front drain funnels through here.
+    [[nodiscard]] const prob::Pdf& pdf(EdgeId e) const noexcept {
+        assert(e.index() < pdfs_.size());
+        return pdfs_[e.index()];
+    }
     [[nodiscard]] const prob::TimeGrid& grid() const noexcept { return grid_; }
     [[nodiscard]] std::size_t edge_count() const noexcept { return pdfs_.size(); }
 

@@ -22,8 +22,7 @@ prob::PdfView edge_arrival_term(prob::PdfView upstream, prob::PdfView delay,
 }
 
 prob::PdfView compute_arrival_into(const netlist::TimingGraph& graph, NodeId n,
-                                   const ArrivalLookup& arrival_of,
-                                   const DelayLookup& delay_of,
+                                   ArrivalLookup arrival_of, DelayLookup delay_of,
                                    prob::PdfArena& arena) {
     const auto in = graph.in_edges(n);
     if (in.empty()) throw ConfigError("compute_arrival: node has no in-edges");
@@ -39,47 +38,71 @@ prob::PdfView compute_arrival_into(const netlist::TimingGraph& graph, NodeId n,
 }
 
 prob::Pdf compute_arrival(const netlist::TimingGraph& graph, NodeId n,
-                          const ArrivalLookup& arrival_of, const DelayLookup& delay_of) {
+                          ArrivalLookup arrival_of, DelayLookup delay_of) {
     prob::PdfArena& arena = prob::thread_arena();
     const prob::ScopedRewind scope(arena);
     return compute_arrival_into(graph, n, arrival_of, delay_of, arena).to_pdf();
 }
 
-SstaEngine::SstaEngine(const netlist::TimingGraph& graph) : graph_(&graph) {}
-
-namespace {
-
-/// Shards for one wave of `n` node evaluations: the configured thread
-/// count, clamped so each shard keeps a minimum grain of nodes (tiny
-/// update() cones are not worth a pool round-trip). Purely a performance
-/// decision — the per-node results do not depend on the partition.
-std::size_t wave_shards(std::size_t threads, std::size_t n) {
+std::size_t wave_shard_count(std::size_t threads, std::size_t n) noexcept {
     constexpr std::size_t kMinGrain = 8;
     return std::min(threads, n / kMinGrain + 1);
 }
 
-}  // namespace
+SstaEngine::SstaEngine(const netlist::TimingGraph& graph) : graph_(&graph) {}
 
 void SstaEngine::evaluate_wave(std::span<const NodeId> nodes,
-                               const ArrivalLookup& arrival_of,
-                               const DelayLookup& delay_of,
-                               std::span<prob::Pdf> out) {
-    global_pool().parallel_chunks(
-        nodes.size(), wave_shards(threads_, nodes.size()),
-        [&](std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i)
-                out[i] = compute_arrival(*graph_, nodes[i], arrival_of, delay_of);
-        });
+                               ArrivalLookup arrival_of, DelayLookup delay_of,
+                               std::span<prob::PdfView> out) {
+    const std::size_t n = nodes.size();
+    const std::size_t shards = wave_shard_count(threads_, n);
+    while (wave_arenas_.size() < shards)
+        wave_arenas_.push_back(std::make_unique<prob::PdfArena>());
+
+    // Each shard owns wave_arenas_[s]: node results are computed in the
+    // thread scratch arena (rewound per node) and parked in the wave
+    // arena until the caller's serial commit copies them out. The chunk
+    // partition is a pure function of (n, shards) but the per-node values
+    // are independent of it anyway.
+    const auto run_shard = [&](std::size_t s) {
+        prob::PdfArena& results = *wave_arenas_[s];
+        results.reset();
+        const std::size_t begin = s * n / shards;
+        const std::size_t end = (s + 1) * n / shards;
+        for (std::size_t i = begin; i < end; ++i) {
+            prob::PdfArena& scratch = prob::thread_arena();
+            const prob::ScopedRewind scope(scratch);
+            const prob::PdfView fresh =
+                compute_arrival_into(*graph_, nodes[i], arrival_of, delay_of, scratch);
+            out[i] = prob::copy_into(results, fresh);
+        }
+        // Optional hygiene: a shard that just serviced an oversized wave
+        // trims its own thread_local scratch back to the cap (only the
+        // owning thread may touch a thread_local arena, which is why the
+        // shrink happens here and not after the join).
+        if (scratch_shrink_limit_ != 0)
+            prob::thread_arena().shrink_to_fit(scratch_shrink_limit_);
+    };
+    if (shards <= 1) {
+        run_shard(0);  // inline: no pool round-trip, no batch allocation
+    } else {
+        global_pool().parallel_for(shards, run_shard);
+    }
 }
 
 void SstaEngine::run(const EdgeDelays& delays) {
-    arrivals_.assign(graph_->node_count(), prob::Pdf{});
-    arrivals_[netlist::TimingGraph::source().index()] = prob::Pdf::point(0);
+    store_.begin_run(graph_->node_count());
+    {
+        const double unit_mass = 1.0;
+        store_.set(netlist::TimingGraph::source().index(),
+                   prob::PdfView{0, &unit_mass, 1});
+    }
+    has_run_ = true;
 
-    const auto arrival_of = [this](NodeId n) -> const prob::Pdf& {
-        return arrivals_[n.index()];
+    const auto arrival_of = [this](NodeId n) -> prob::PdfView {
+        return store_.view(n.index());
     };
-    const auto delay_of = [&delays](EdgeId e) -> const prob::Pdf& {
+    const auto delay_of = [&delays](EdgeId e) -> prob::PdfView {
         return delays.pdf(e);
     };
     stats_ = UpdateStats{};
@@ -89,18 +112,40 @@ void SstaEngine::run(const EdgeDelays& delays) {
     changed_edges_.clear();
 
     // One wave per level; nodes of a level depend only on earlier levels.
+    // Sharded waves park results in the per-shard wave arenas and commit
+    // serially in node order (appends never invalidate earlier store
+    // views, so the next wave's lookups stay valid). A single-shard wave
+    // skips the parking copy and writes the store directly — same-level
+    // nodes never read each other, so interleaving compute and commit is
+    // bit-identical.
     for (std::uint32_t l = 1; l < graph_->num_levels(); ++l) {
         const auto nodes = graph_->nodes_at_level(l);
-        global_pool().parallel_chunks(
-            nodes.size(), wave_shards(threads_, nodes.size()),
-            [&](std::size_t begin, std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i) {
-                    const NodeId n = nodes[i];
-                    arrivals_[n.index()] =
-                        compute_arrival(*graph_, n, arrival_of, delay_of);
-                }
-            });
+        if (wave_shard_count(threads_, nodes.size()) <= 1) {
+            for (const NodeId n : nodes) {
+                prob::PdfArena& scratch = prob::thread_arena();
+                const prob::ScopedRewind scope(scratch);
+                store_.set(n.index(), compute_arrival_into(*graph_, n, arrival_of,
+                                                           delay_of, scratch));
+            }
+        } else {
+            fresh_.resize(nodes.size());
+            evaluate_wave(nodes, arrival_of, delay_of, fresh_);
+            for (std::size_t i = 0; i < nodes.size(); ++i)
+                store_.set(nodes[i].index(), fresh_[i]);
+        }
         stats_.nodes_recomputed += nodes.size();
+    }
+    if (scratch_shrink_limit_ != 0) {
+        // The final wave's results are committed; the wave arenas can be
+        // fully rewound, which lets the trim free every slab if asked.
+        for (const auto& arena : wave_arenas_) {
+            arena->reset();
+            arena->shrink_to_fit(scratch_shrink_limit_);
+        }
+        // Single-shard levels run inline on this thread and never reach
+        // evaluate_wave's per-shard trim, so cover the caller's scratch
+        // here — otherwise the limit is a silent no-op at threads()==1.
+        prob::thread_arena().shrink_to_fit(scratch_shrink_limit_);
     }
 }
 
@@ -113,6 +158,11 @@ void SstaEngine::update(const EdgeDelays& delays, std::span<const EdgeId> change
     ++revision_;
     changed_nodes_.clear();
     changed_edges_.assign(changed.begin(), changed.end());
+
+    // Refresh boundary: all outside views are dead by contract, so this
+    // is the one safe point to re-pack the store if overwrites from
+    // earlier updates left it mostly garbage.
+    store_.maybe_compact();
 
     if (scheduled_.size() != graph_->node_count())
         scheduled_.assign(graph_->node_count(), 0);
@@ -132,10 +182,10 @@ void SstaEngine::update(const EdgeDelays& delays, std::span<const EdgeId> change
         min_level = std::min(min_level, graph_->level(to));
     }
 
-    const auto arrival_of = [this](NodeId n) -> const prob::Pdf& {
-        return arrivals_[n.index()];
+    const auto arrival_of = [this](NodeId n) -> prob::PdfView {
+        return store_.view(n.index());
     };
-    const auto delay_of = [&delays](EdgeId e) -> const prob::Pdf& {
+    const auto delay_of = [&delays](EdgeId e) -> prob::PdfView {
         return delays.pdf(e);
     };
 
@@ -149,24 +199,55 @@ void SstaEngine::update(const EdgeDelays& delays, std::span<const EdgeId> change
         std::sort(bucket.begin(), bucket.end(),
                   [](NodeId a, NodeId b) { return a.value < b.value; });
 
+        stats_.nodes_recomputed += bucket.size();
+        if (wave_shard_count(threads_, bucket.size()) <= 1) {
+            // Single shard: compute, absorption-test and commit inline
+            // (one copy, no parking). Same-level nodes never read each
+            // other, so this interleaving is the serial reference.
+            for (const NodeId n : bucket) {
+                prob::PdfArena& scratch = prob::thread_arena();
+                const prob::ScopedRewind scope(scratch);
+                const prob::PdfView freshly = compute_arrival_into(
+                    *graph_, n, arrival_of, delay_of, scratch);
+                if (freshly == store_.view(n.index())) {
+                    ++stats_.nodes_unchanged;  // absorbed
+                    continue;
+                }
+                store_.set(n.index(), freshly);
+                changed_nodes_.push_back(n);
+                for (EdgeId e : graph_->out_edges(n)) schedule(graph_->edge(e).to);
+            }
+            bucket.clear();
+            continue;
+        }
         fresh_.resize(bucket.size());
         evaluate_wave(bucket, arrival_of, delay_of, fresh_);
-        stats_.nodes_recomputed += bucket.size();
 
         // Serial commit in node-id order: absorption test, store, and
         // downstream scheduling (appends only to higher-level buckets).
         for (std::size_t i = 0; i < bucket.size(); ++i) {
             const NodeId n = bucket[i];
-            if (fresh_[i] == arrivals_[n.index()]) {
+            if (fresh_[i] == store_.view(n.index())) {
                 ++stats_.nodes_unchanged;  // absorbed: downstream inputs unchanged
                 continue;
             }
-            arrivals_[n.index()] = std::move(fresh_[i]);
+            store_.set(n.index(), fresh_[i]);
             changed_nodes_.push_back(n);
             for (EdgeId e : graph_->out_edges(n)) schedule(graph_->edge(e).to);
         }
         bucket.clear();
     }
+}
+
+SstaEngine::MemoryStats SstaEngine::memory_stats() const noexcept {
+    MemoryStats m;
+    m.store = store_.memory_stats();
+    for (const auto& arena : wave_arenas_) {
+        m.wave_capacity_doubles += arena->capacity();
+        m.wave_high_water_doubles =
+            std::max(m.wave_high_water_doubles, arena->high_water());
+    }
+    return m;
 }
 
 }  // namespace statim::ssta

@@ -13,37 +13,51 @@
 // All intermediates of one node evaluation live in the calling thread's
 // `prob::thread_arena()` and are reclaimed before the call returns.
 //
+// Storage: arrivals are *arena-resident* (`prob::ArrivalStore`). A wave
+// shard computes each node in its thread scratch arena, parks the result
+// in the shard's wave arena, and the serial commit copies it into the
+// store — zero heap allocations per node at steady state, where the old
+// engine paid one `std::vector<double>` per node per refresh. Consumers
+// read arrivals as `prob::PdfView`s, valid until the next run()/update().
+//
 // Propagation is *level-synchronous*: every edge goes from a lower to a
 // strictly higher level, so all nodes of one level depend only on earlier
 // levels and can be evaluated concurrently. With `set_threads(t)` each
 // wave is sharded into t contiguous, node-id-ordered chunks on the global
 // thread pool; each shard evaluates its nodes through its own thread
-// arena and writes each arrival into that node's dedicated slot, so the
-// result is bit-identical to the serial reference for any thread count.
+// arena and parks each arrival in the shard's dedicated wave arena, so
+// the result is bit-identical to the serial reference for any thread
+// count.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "netlist/timing_graph.hpp"
+#include "prob/arrival_store.hpp"
 #include "prob/ops.hpp"
 #include "ssta/edge_delays.hpp"
+#include "util/function_ref.hpp"
 
 namespace statim::ssta {
 
-/// Callback types: arrival PDF of a node / delay PDF of an edge.
-using ArrivalLookup = std::function<const prob::Pdf&(NodeId)>;
-using DelayLookup = std::function<const prob::Pdf&(EdgeId)>;
+/// Callback types: arrival PDF of a node / delay PDF of an edge. These are
+/// non-owning two-word references (util::FunctionRef) invoked in the
+/// innermost fanin fold — no std::function dispatch, no allocation.
+/// Callables may return `prob::PdfView` or `const prob::Pdf&` (converted).
+using ArrivalLookup = util::FunctionRef<prob::PdfView(NodeId)>;
+using DelayLookup = util::FunctionRef<prob::PdfView(EdgeId)>;
 
 /// Computes the arrival PDF at node `n` from its in-edges:
 ///   A(n) = stat_max over in-edges e of conv(arrival(from(e)), delay(e)).
 /// Point-mass delays degenerate to exact shifts. The fold is performed in
 /// in-edge order (deterministic). `n` must not be the source.
 [[nodiscard]] prob::Pdf compute_arrival(const netlist::TimingGraph& graph, NodeId n,
-                                        const ArrivalLookup& arrival_of,
-                                        const DelayLookup& delay_of);
+                                        ArrivalLookup arrival_of,
+                                        DelayLookup delay_of);
 
 /// One in-edge's arrival-plus-delay term — the per-edge branch of
 /// compute_arrival: an exact shift when either operand is a point mass
@@ -60,13 +74,23 @@ using DelayLookup = std::function<const prob::Pdf&(EdgeId)>;
 /// maxes write fresh arena slabs. Bit-identical to compute_arrival.
 [[nodiscard]] prob::PdfView compute_arrival_into(const netlist::TimingGraph& graph,
                                                  NodeId n,
-                                                 const ArrivalLookup& arrival_of,
-                                                 const DelayLookup& delay_of,
+                                                 ArrivalLookup arrival_of,
+                                                 DelayLookup delay_of,
                                                  prob::PdfArena& arena);
 
-/// Full-circuit SSTA: owns one arrival PDF per node.
+/// Shards for one wave of `n` node evaluations under a configured thread
+/// count: clamped so each shard keeps a minimum grain of nodes (tiny
+/// waves are not worth a pool round-trip). Purely a performance decision
+/// — per-node results do not depend on the partition. Shared with the
+/// perturbation-front drain, which waves its per-level node sets the
+/// same way.
+[[nodiscard]] std::size_t wave_shard_count(std::size_t threads,
+                                           std::size_t n) noexcept;
+
+/// Full-circuit SSTA: owns one arrival PDF per node (arena-resident).
 ///
-/// Two refresh paths share `compute_arrival` and are bit-identical:
+/// Two refresh paths share the compute_arrival arithmetic and are
+/// bit-identical:
 ///  * run()    — from-scratch propagation of every node (the reference),
 ///    one level-synchronous wave per graph level;
 ///  * update() — incremental: after a resize changed some edge PDFs, only
@@ -108,6 +132,19 @@ class SstaEngine {
     }
     [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 
+    /// Optional cap (in doubles) on the propagation scratch arenas. When
+    /// set, each wave shard trims its thread-local scratch arena and its
+    /// wave arena back to the cap after a full run — a one-off giant
+    /// circuit no longer pins its high-water slabs in every worker
+    /// thread_local for the process lifetime. 0 (default) keeps the
+    /// classic grow-only behaviour.
+    void set_scratch_shrink_limit(std::size_t doubles) noexcept {
+        scratch_shrink_limit_ = doubles;
+    }
+    [[nodiscard]] std::size_t scratch_shrink_limit() const noexcept {
+        return scratch_shrink_limit_;
+    }
+
     [[nodiscard]] const UpdateStats& last_update_stats() const noexcept {
         return stats_;
     }
@@ -128,30 +165,54 @@ class SstaEngine {
         return changed_edges_;
     }
 
-    [[nodiscard]] bool has_run() const noexcept { return !arrivals_.empty(); }
-    [[nodiscard]] const prob::Pdf& arrival(NodeId n) const { return arrivals_.at(n.index()); }
-    [[nodiscard]] const prob::Pdf& sink_arrival() const {
+    [[nodiscard]] bool has_run() const noexcept { return has_run_; }
+
+    /// Arrival view of node `n`: valid until the next run()/update().
+    /// Unchecked in Release (debug-asserted) — this is the innermost read
+    /// of the propagation fold and every front drain.
+    [[nodiscard]] prob::PdfView arrival(NodeId n) const noexcept {
+        assert(has_run_);
+        return store_.view(n.index());
+    }
+    [[nodiscard]] prob::PdfView sink_arrival() const noexcept {
         return arrival(netlist::TimingGraph::sink());
     }
     [[nodiscard]] const netlist::TimingGraph& graph() const noexcept { return *graph_; }
 
+    /// Arena occupancy of the arrival store plus the wave arenas — the
+    /// bench JSON surfaces these so arena growth stays visible across
+    /// the synth10k–250k registry.
+    struct MemoryStats {
+        prob::ArrivalStore::MemoryStats store;
+        std::size_t wave_capacity_doubles{0};
+        std::size_t wave_high_water_doubles{0};
+    };
+    [[nodiscard]] MemoryStats memory_stats() const noexcept;
+
   private:
-    /// Evaluates `nodes` into `out[i]` across the wave shards.
-    void evaluate_wave(std::span<const NodeId> nodes, const ArrivalLookup& arrival_of,
-                       const DelayLookup& delay_of, std::span<prob::Pdf> out);
+    /// Evaluates `nodes` into `out[i]` across the wave shards; the views
+    /// live in the per-shard wave arenas until the next wave.
+    void evaluate_wave(std::span<const NodeId> nodes, ArrivalLookup arrival_of,
+                       DelayLookup delay_of, std::span<prob::PdfView> out);
 
     const netlist::TimingGraph* graph_;
-    std::vector<prob::Pdf> arrivals_;
+    prob::ArrivalStore store_;
+    bool has_run_{false};
     UpdateStats stats_;
     std::size_t threads_{1};
+    std::size_t scratch_shrink_limit_{0};
     std::uint64_t revision_{0};
+    // Per-shard wave arenas: shard s parks its fresh arrivals in
+    // wave_arenas_[s] until the serial commit copies them into the store.
+    // (unique_ptr: PdfArena is pinned — vector growth must not move it.)
+    std::vector<std::unique_ptr<prob::PdfArena>> wave_arenas_;
     // update() scratch, reused across calls: epoch-stamped "scheduled"
     // marks (avoids an O(nodes) clear per incremental refresh), per-level
-    // pending buckets, and the wave's freshly computed arrivals.
+    // pending buckets, and the wave's freshly computed arrival views.
     std::vector<std::uint64_t> scheduled_;
     std::uint64_t epoch_{0};
     std::vector<std::vector<NodeId>> pending_;
-    std::vector<prob::Pdf> fresh_;
+    std::vector<prob::PdfView> fresh_;
     // change journal of the last refresh (see last_changed_*).
     std::vector<NodeId> changed_nodes_;
     std::vector<EdgeId> changed_edges_;

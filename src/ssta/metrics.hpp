@@ -1,4 +1,7 @@
 // Metrics on arrival PDFs in physical units (ns).
+//
+// All take `prob::PdfView` so the arena-resident engine arrivals are read
+// in place; owning `Pdf` arguments convert implicitly.
 #pragma once
 
 #include <cmath>
@@ -10,22 +13,22 @@ namespace statim::ssta {
 
 /// p-quantile of an arrival PDF in ns (p in (0, 1]).
 [[nodiscard]] inline double percentile_ns(const prob::TimeGrid& grid,
-                                          const prob::Pdf& pdf, double p) {
+                                          prob::PdfView pdf, double p) {
     return grid.time_of(pdf.percentile_bin(p));
 }
 
 /// Mean of an arrival PDF in ns.
-[[nodiscard]] inline double mean_ns(const prob::TimeGrid& grid, const prob::Pdf& pdf) {
+[[nodiscard]] inline double mean_ns(const prob::TimeGrid& grid, prob::PdfView pdf) {
     return grid.time_of(pdf.mean_bins());
 }
 
 /// Standard deviation of an arrival PDF in ns.
-[[nodiscard]] inline double stddev_ns(const prob::TimeGrid& grid, const prob::Pdf& pdf) {
+[[nodiscard]] inline double stddev_ns(const prob::TimeGrid& grid, prob::PdfView pdf) {
     return grid.dt_ns() * std::sqrt(pdf.variance_bins());
 }
 
 /// Timing yield: probability the circuit meets delay target `t_ns`.
-[[nodiscard]] inline double yield_at(const prob::TimeGrid& grid, const prob::Pdf& pdf,
+[[nodiscard]] inline double yield_at(const prob::TimeGrid& grid, prob::PdfView pdf,
                                      double t_ns) {
     return pdf.cdf_at(grid.bin_of(t_ns));
 }

@@ -1,0 +1,114 @@
+// Global operator new/delete replacements with allocation counters.
+//
+// Standard-conforming replacement set ([new.delete]): the plain, nothrow,
+// aligned and sized variants all funnel into count_alloc/count_free so no
+// allocation path escapes the census. The underlying storage comes from
+// malloc/aligned_alloc, which keeps the replacements compatible with the
+// sanitizer interceptors (TSan wraps malloc, so races on heap metadata
+// are still caught in the TSan CI job).
+#include "util/alloc_stats.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// Relaxed is enough: the counters are statistics, not synchronization.
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<std::uint64_t> g_free_count{0};
+
+inline void* count_alloc(std::size_t size) noexcept {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+inline void* count_alloc_aligned(std::size_t size, std::size_t align) noexcept {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+    // aligned_alloc requires size to be a multiple of the alignment.
+    const std::size_t rounded = (size + align - 1) / align * align;
+    return std::aligned_alloc(align, rounded == 0 ? align : rounded);
+}
+
+inline void count_free(void* p) noexcept {
+    if (p == nullptr) return;
+    g_free_count.fetch_add(1, std::memory_order_relaxed);
+    std::free(p);
+}
+
+}  // namespace
+
+namespace statim::util {
+
+std::uint64_t allocation_count() noexcept {
+    return g_alloc_count.load(std::memory_order_relaxed);
+}
+std::uint64_t allocation_bytes() noexcept {
+    return g_alloc_bytes.load(std::memory_order_relaxed);
+}
+std::uint64_t free_count() noexcept {
+    return g_free_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace statim::util
+
+// ---- replacement operator new/delete ---------------------------------------
+
+void* operator new(std::size_t size) {
+    void* p = count_alloc(size);
+    if (p == nullptr) throw std::bad_alloc{};
+    return p;
+}
+void* operator new[](std::size_t size) {
+    void* p = count_alloc(size);
+    if (p == nullptr) throw std::bad_alloc{};
+    return p;
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    return count_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    return count_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+    void* p = count_alloc_aligned(size, static_cast<std::size_t>(align));
+    if (p == nullptr) throw std::bad_alloc{};
+    return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+    void* p = count_alloc_aligned(size, static_cast<std::size_t>(align));
+    if (p == nullptr) throw std::bad_alloc{};
+    return p;
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+    return count_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+    return count_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { count_free(p); }
+void operator delete[](void* p) noexcept { count_free(p); }
+void operator delete(void* p, std::size_t) noexcept { count_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { count_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { count_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { count_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { count_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { count_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    count_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    count_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+    count_free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+    count_free(p);
+}

@@ -1,0 +1,55 @@
+// Process-wide heap-allocation counters.
+//
+// The perf claims of the arena work ("steady-state drains perform ~zero
+// heap allocation") need to be *measured*, not asserted. alloc_stats.cpp
+// replaces the global `operator new` / `operator delete` family with
+// thin malloc/free wrappers that bump relaxed atomic counters; the
+// overhead is one uncontended atomic increment per allocation, cheap
+// enough to leave on in every build. Benches read the counters around a
+// measured region and report allocations per pass / per node; the CI
+// smoke leg of bench_front_drain fails when a steady-state drain starts
+// allocating again.
+//
+// The counters are monotone and process-global (all threads). Differences
+// between two reads bracket the allocations of everything that ran in
+// between — single-thread a measured region for attributable numbers.
+#pragma once
+
+#include <cstdint>
+
+namespace statim::util {
+
+/// Total `operator new` (all variants) calls since process start.
+[[nodiscard]] std::uint64_t allocation_count() noexcept;
+
+/// Total bytes requested from `operator new` since process start.
+/// (Frees are not size-tracked: unsized `operator delete` cannot know.)
+[[nodiscard]] std::uint64_t allocation_bytes() noexcept;
+
+/// Total `operator delete` (all variants, non-null) calls.
+[[nodiscard]] std::uint64_t free_count() noexcept;
+
+/// Allocation counters bracketing a measured region.
+class AllocationSpan {
+  public:
+    AllocationSpan() noexcept
+        : start_count_(allocation_count()), start_bytes_(allocation_bytes()) {}
+
+    /// Allocations since construction (or the last reset()).
+    [[nodiscard]] std::uint64_t count() const noexcept {
+        return allocation_count() - start_count_;
+    }
+    [[nodiscard]] std::uint64_t bytes() const noexcept {
+        return allocation_bytes() - start_bytes_;
+    }
+    void reset() noexcept {
+        start_count_ = allocation_count();
+        start_bytes_ = allocation_bytes();
+    }
+
+  private:
+    std::uint64_t start_count_;
+    std::uint64_t start_bytes_;
+};
+
+}  // namespace statim::util

@@ -1,0 +1,53 @@
+// Non-owning callable reference, the `function_ref` of P0792.
+//
+// The SSTA lookup callbacks (arrival-of-node, delay-of-edge) sit inside
+// the innermost propagation loops. `std::function` there costs a
+// potential heap allocation per construction and an indirect call through
+// a vtable-like dispatch per invocation; `FunctionRef` is two raw words
+// (object pointer + thunk pointer), is trivially copyable, and the thunk
+// is a direct function pointer the optimizer can see through.
+//
+// Lifetime rule: a FunctionRef never owns its target. Bind it to a named
+// lambda (or pass a lambda directly as a *function argument*, which keeps
+// the temporary alive for the call) — never store a FunctionRef built
+// from a temporary beyond the full expression.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace statim::util {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+  public:
+    FunctionRef() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                  std::is_invocable_r_v<R, F&, Args...>>>
+    /*implicit*/ FunctionRef(F&& f) noexcept
+        : obj_(const_cast<void*>(
+              static_cast<const void*>(std::addressof(f)))),
+          call_([](void* obj, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F>*>(obj))(
+                  std::forward<Args>(args)...);
+          }) {}
+
+    R operator()(Args... args) const {
+        return call_(obj_, std::forward<Args>(args)...);
+    }
+
+    [[nodiscard]] bool valid() const noexcept { return call_ != nullptr; }
+
+  private:
+    void* obj_{nullptr};
+    R (*call_)(void*, Args...){nullptr};
+};
+
+}  // namespace statim::util

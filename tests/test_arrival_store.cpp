@@ -1,0 +1,196 @@
+// Property tests for the arena-resident arrival store.
+//
+// Two layers:
+//  * prob::ArrivalStore in isolation — set/view round-trips, generation
+//    invalidation, overwrite garbage accounting, and semispace
+//    compaction preserving every live value bitwise;
+//  * the store-backed SstaEngine against an independent reference
+//    propagation (the heap-Pdf topological walk the engine used before
+//    the store existed), across thread counts {1, 2, 7} and circuits
+//    {c432, c7552, synth10k}, for full run() and for incremental
+//    update() trajectories — the acceptance criterion of the refactor.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/context.hpp"
+#include "netlist/iscas.hpp"
+#include "util/thread_pool.hpp"
+
+namespace statim {
+namespace {
+
+using netlist::TimingGraph;
+
+TEST(ArrivalStoreTest, SetViewRoundTripAndOverwrite) {
+    prob::ArrivalStore store;
+    store.begin_run(4);
+    EXPECT_FALSE(store.has(0));
+
+    const prob::Pdf a = prob::Pdf::from_mass(-3, {0.25, 0.5, 0.25});
+    const prob::Pdf b = prob::Pdf::from_mass(7, {0.5, 0.5});
+    store.set(0, a);
+    store.set(3, b);
+    ASSERT_TRUE(store.has(0));
+    ASSERT_TRUE(store.has(3));
+    EXPECT_FALSE(store.has(1));
+    EXPECT_TRUE(store.view(0) == a);
+    EXPECT_TRUE(store.view(3) == b);
+
+    // Overwrite: the new value wins, live mass reflects the replacement.
+    store.set(0, b);
+    EXPECT_TRUE(store.view(0) == b);
+    EXPECT_EQ(store.memory_stats().live_doubles, 2u * b.size());
+
+    // A new generation invalidates every slot without clearing storage.
+    store.begin_run(4);
+    EXPECT_FALSE(store.has(0));
+    EXPECT_FALSE(store.has(3));
+    EXPECT_EQ(store.memory_stats().live_doubles, 0u);
+}
+
+TEST(ArrivalStoreTest, CompactionPreservesLiveValuesBitwise) {
+    prob::ArrivalStore store;
+    constexpr std::size_t kSlots = 64;
+    store.begin_run(kSlots);
+
+    // Distinct per-slot PDFs, then churn overwrites until the active
+    // buffer is mostly garbage (well past the compaction floor).
+    std::vector<prob::Pdf> expected;
+    for (std::size_t i = 0; i < kSlots; ++i) {
+        expected.push_back(prob::Pdf::from_mass(
+            static_cast<std::int64_t>(i), {0.125, 0.25, 0.25, 0.25, 0.125}));
+        store.set(i, expected.back());
+    }
+    for (int round = 0; round < 2000; ++round)
+        for (std::size_t i = 0; i < 8; ++i) store.set(i, expected[i]);
+
+    const auto before = store.memory_stats();
+    ASSERT_GT(before.used_doubles, 2 * before.live_doubles);
+    store.maybe_compact();
+    const auto after = store.memory_stats();
+    EXPECT_EQ(after.compactions, before.compactions + 1);
+    EXPECT_EQ(after.live_doubles, before.live_doubles);
+    EXPECT_LE(after.used_doubles - before.live_doubles, after.used_doubles);
+    for (std::size_t i = 0; i < kSlots; ++i)
+        EXPECT_TRUE(store.view(i) == expected[i]) << "slot " << i;
+}
+
+/// Reference propagation: the pre-store engine's arithmetic — heap Pdfs,
+/// plain topological walk through the shared compute_arrival kernel.
+std::vector<prob::Pdf> reference_arrivals(const core::Context& ctx) {
+    const auto& graph = ctx.graph();
+    std::vector<prob::Pdf> scratch(graph.node_count());
+    scratch[TimingGraph::source().index()] = prob::Pdf::point(0);
+    const auto arrival_of = [&scratch](NodeId u) -> const prob::Pdf& {
+        return scratch[u.index()];
+    };
+    const auto delay_of = [&ctx](EdgeId e) -> const prob::Pdf& {
+        return ctx.edge_delays().pdf(e);
+    };
+    for (NodeId n : graph.topo_order()) {
+        if (n == TimingGraph::source()) continue;
+        scratch[n.index()] = ssta::compute_arrival(graph, n, arrival_of, delay_of);
+    }
+    return scratch;
+}
+
+void expect_arrivals_equal(const core::Context& ctx,
+                           const std::vector<prob::Pdf>& reference,
+                           const char* what) {
+    for (std::size_t n = 0; n < reference.size(); ++n)
+        ASSERT_TRUE(ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}) ==
+                    reference[n])
+            << what << ": node " << n;
+}
+
+/// A deterministic mid-circuit resize trajectory (same recipe as
+/// bench_parallel_ssta: spread over the gate ids).
+std::vector<GateId> trajectory_for(const netlist::Netlist& nl, std::size_t count) {
+    std::vector<GateId> gates;
+    for (std::size_t i = 0; i < count; ++i)
+        gates.push_back(GateId{static_cast<std::uint32_t>(
+            (i * nl.gate_count()) / count + (nl.gate_count() / (2 * count)))});
+    return gates;
+}
+
+class StoreBackedEngine : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StoreBackedEngine, RunAndUpdateMatchReferenceAcrossThreads) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    netlist::Netlist nl = netlist::make_iscas(GetParam(), lib);
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+        core::Context ctx(nl, lib);
+        ctx.set_ssta_threads(threads);
+        ctx.run_ssta();
+        const std::vector<prob::Pdf> ref_run = reference_arrivals(ctx);
+        expect_arrivals_equal(ctx, ref_run, "full run");
+
+        // Incremental trajectory: each refresh must stay bitwise equal to
+        // the reference recomputed from the current widths.
+        for (GateId g : trajectory_for(nl, 6)) {
+            (void)ctx.apply_resize(g, 0.25);
+            ctx.refresh_ssta();
+            ASSERT_FALSE(ctx.engine().last_update_stats().full_run);
+            const std::vector<prob::Pdf> ref = reference_arrivals(ctx);
+            expect_arrivals_equal(ctx, ref, "incremental update");
+        }
+        // Restore for the next thread count (nl is shared across them).
+        for (GateId g : trajectory_for(nl, 6)) (void)ctx.apply_resize(g, -0.25);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, StoreBackedEngine,
+                         ::testing::Values("c432", "c7552", "synth10k"));
+
+TEST(StoreBackedEngine, ManyUpdatesTriggerCompactionAndStayExact) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    netlist::Netlist nl = netlist::make_iscas("c432", lib);
+    core::Context ctx(nl, lib);
+    ctx.run_ssta();
+
+    // Alternate up/down resizes: every refresh overwrites the same cone's
+    // arrivals, stranding garbage in the active buffer until the store
+    // re-packs. 200 rounds comfortably clears the compaction floor.
+    const std::vector<GateId> gates = trajectory_for(nl, 4);
+    for (int round = 0; round < 100; ++round) {
+        const double dw = (round % 2 == 0) ? 0.25 : -0.25;
+        for (GateId g : gates) {
+            (void)ctx.apply_resize(g, dw);
+            ctx.refresh_ssta();
+        }
+    }
+    const auto stats = ctx.engine().memory_stats();
+    EXPECT_GT(stats.store.compactions, 0u)
+        << "expected the churn to trigger at least one compaction "
+        << "(used=" << stats.store.used_doubles
+        << " live=" << stats.store.live_doubles << ")";
+    // After an even number of rounds the widths are back at minimum size:
+    // the store contents must equal a from-scratch reference.
+    const std::vector<prob::Pdf> ref = reference_arrivals(ctx);
+    expect_arrivals_equal(ctx, ref, "post-compaction state");
+}
+
+TEST(StoreBackedEngine, ScratchShrinkLimitTrimsArenas) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    netlist::Netlist nl = netlist::make_iscas("c880", lib);
+    core::Context ctx(nl, lib);
+    // Multi-shard waves park results in the wave arenas (a single-shard
+    // run writes the store directly and never grows them).
+    ctx.set_ssta_threads(4);
+    ctx.run_ssta();
+    const auto grown = ctx.engine().memory_stats();
+    ASSERT_GT(grown.wave_capacity_doubles, 0u);
+
+    ctx.engine().set_scratch_shrink_limit(1);  // trim everything trimmable
+    ctx.run_ssta();
+    const auto trimmed = ctx.engine().memory_stats();
+    EXPECT_LT(trimmed.wave_capacity_doubles, grown.wave_capacity_doubles);
+    // Correctness is untouched by the trim.
+    const std::vector<prob::Pdf> ref = reference_arrivals(ctx);
+    expect_arrivals_equal(ctx, ref, "after shrink");
+}
+
+}  // namespace
+}  // namespace statim

@@ -99,7 +99,7 @@ TEST(Downsize, IncrementalAndFullRefreshBitIdentical) {
         results[mode] = run_downsizing(ctx, cfg);
         for (std::size_t n = 0; n < ctx.graph().node_count(); ++n)
             arrivals[mode].push_back(
-                ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}));
+                ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}).to_pdf());
     }
     EXPECT_EQ(results[0].stop_reason, results[1].stop_reason);
     EXPECT_EQ(results[0].final_objective_ns, results[1].final_objective_ns);

@@ -130,7 +130,8 @@ TEST(ParallelSsta, RunIsBitwiseIdenticalAcrossThreadCounts) {
         ctx.run_ssta();
         std::vector<prob::Pdf> reference;
         for (std::size_t n = 0; n < ctx.graph().node_count(); ++n)
-            reference.push_back(ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}));
+            reference.push_back(
+                ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}).to_pdf());
 
         for (const std::size_t threads : sweep_thread_counts()) {
             ctx.set_ssta_threads(threads);

@@ -102,7 +102,7 @@ TEST(SstaEngineTest, ZeroSigmaReducesToDeterministicSta) {
     const double dt = ctx.grid().dt_ns();
     for (std::size_t n = 0; n < ctx.graph().node_count(); ++n) {
         const NodeId node{static_cast<std::uint32_t>(n)};
-        const prob::Pdf& a = ctx.engine().arrival(node);
+        const prob::PdfView a = ctx.engine().arrival(node);
         ASSERT_TRUE(a.valid());
         // With point-mass delays, arrivals are points; binning each edge
         // delay to the nearest bin bounds the error by dt/2 per level.
@@ -133,7 +133,7 @@ TEST(SstaEngineTest, DeterministicAcrossRuns) {
     Netlist nl = netlist::make_iscas("c499", lib);
     Context ctx(nl, lib);
     ctx.run_ssta();
-    const prob::Pdf first = ctx.engine().sink_arrival();
+    const prob::Pdf first = ctx.engine().sink_arrival().to_pdf();
     ctx.run_ssta();
     EXPECT_EQ(first, ctx.engine().sink_arrival());
 }
