@@ -17,9 +17,11 @@
 // arena growth stays visible across the synth10k–250k registry.
 //
 // Usage: argument-free (bench env knobs apply), or `--smoke`: a quick
-// c432 run that *fails* (exit 1) when the steady-state drain phase
-// allocates more than a small constant per pass — the CI regression gate
-// for the zero-alloc property.
+// c432 run that *fails* (exit 1) when the steady-state drain phase — or
+// a whole warm select_pruned pass (trial-resize buffers, front states
+// and every pass container are pooled; measured 15 allocs over 176
+// candidates, down from ~32/candidate) — allocates more than a small
+// flat constant. The CI regression gate for the zero-alloc property.
 //
 // Knobs: STATIM_BENCH_CIRCUITS (default c7552,synth10k),
 //        STATIM_BENCH_SCALE, STATIM_LOG.
@@ -135,9 +137,13 @@ int main(int argc, char** argv) {
     const int passes = smoke ? 3 : std::max(1, static_cast<int>(3 * bench::bench_scale()));
     const std::size_t candidate_cap = smoke ? 24 : 96;
 
-    // The steady-state gate: after the warm-up pass, a whole cone drain
-    // phase across all candidates must allocate at most this many times.
+    // The steady-state gates: after the warm-up pass, a whole cone drain
+    // phase across all candidates must allocate at most kSmokeMaxDrainAllocs
+    // times, and a full select_pruned pass (init + race + ranking, every
+    // eligible gate a candidate) at most kSmokeMaxRaceAllocs — a flat
+    // per-pass constant, NOT per candidate.
     constexpr std::uint64_t kSmokeMaxDrainAllocs = 64;
+    constexpr std::uint64_t kSmokeMaxRaceAllocs = 64;
 
     bool smoke_ok = true;
     std::vector<Row> rows;
@@ -200,6 +206,16 @@ int main(int argc, char** argv) {
                          "(limit %llu) — the zero-alloc drain regressed\n",
                          static_cast<unsigned long long>(row.cone.drain_allocs),
                          static_cast<unsigned long long>(kSmokeMaxDrainAllocs));
+            smoke_ok = false;
+        }
+        if (smoke && row.race.allocs > kSmokeMaxRaceAllocs) {
+            std::fprintf(stderr,
+                         "SMOKE FAIL: steady-state select_pruned pass allocated "
+                         "%llu times over %zu candidates (limit %llu) — the "
+                         "pooled selector pass regressed\n",
+                         static_cast<unsigned long long>(row.race.allocs),
+                         row.race.candidates,
+                         static_cast<unsigned long long>(kSmokeMaxRaceAllocs));
             smoke_ok = false;
         }
         rows.push_back(row);

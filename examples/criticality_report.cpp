@@ -8,12 +8,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "core/context.hpp"
-#include "netlist/dot.hpp"
-#include "netlist/iscas.hpp"
-#include "ssta/criticality.hpp"
-#include "sta/paths.hpp"
-#include "sta/sta.hpp"
+#include "api/statim.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 
@@ -22,60 +17,37 @@ int main(int argc, char** argv) {
     try {
         const CliArgs args(argc, argv);
         args.validate({"circuit", "top", "paths", "dot"});
-        const std::string circuit = args.get("circuit", "c880");
+        const api::Design design =
+            api::Design::from_registry(args.get("circuit", "c880"));
         const auto top_n = static_cast<std::size_t>(args.get_int("top", 15));
         const auto n_paths = static_cast<std::size_t>(args.get_int("paths", 5));
 
-        const cells::Library lib = cells::Library::standard_180nm();
-        netlist::Netlist nl = netlist::make_iscas(circuit, lib);
-        core::Context ctx(nl, lib);
-        ctx.run_ssta();
+        const api::CriticalityReport report =
+            api::criticality_report(design, {}, top_n, n_paths);
 
-        // Statistical criticality.
-        const ssta::CriticalityResult crit =
-            ssta::compute_criticality(ctx.engine(), ctx.edge_delays());
-        const auto ranked = ssta::rank_gates_by_criticality(ctx.graph(), crit);
-
-        // Nominal critical path for contrast.
-        const sta::StaResult sta = sta::run_sta(ctx.delay_calc());
-        const auto crit_path = sta::critical_path(ctx.delay_calc(), sta);
-        const auto nominal_gates = sta::gates_on_path(ctx.graph(), crit_path);
-
-        std::printf("%s: %zu gates, nominal delay %.4f ns\n\n", circuit.c_str(),
-                    nl.gate_count(), sta.circuit_delay_ns);
+        std::printf("%s: %zu gates, nominal delay %.4f ns\n\n", design.name().c_str(),
+                    design.gate_count(), report.nominal_delay_ns);
         std::printf("top %zu gates by statistical criticality:\n", top_n);
         std::printf("%-10s %-8s %-13s %-14s\n", "gate", "cell", "criticality",
                     "on nom. path?");
-        for (std::size_t i = 0; i < std::min(top_n, ranked.size()); ++i) {
-            const auto [g, c] = ranked[i];
-            const bool on_nominal =
-                std::find(nominal_gates.begin(), nominal_gates.end(), g) !=
-                nominal_gates.end();
-            std::printf("%-10s %-8s %-13.4f %-14s\n", nl.gate(g).name.c_str(),
-                        lib.cell(nl.gate(g).cell).name.c_str(), c,
-                        on_nominal ? "yes" : "no");
-        }
+        for (const auto& entry : report.ranked)
+            std::printf("%-10s %-8s %-13.4f %-14s\n", entry.gate_name.c_str(),
+                        entry.cell_name.c_str(), entry.criticality,
+                        entry.on_nominal_path ? "yes" : "no");
 
         std::printf("\n%zu longest nominal paths:\n", n_paths);
-        const auto paths = sta::k_longest_paths(ctx.delay_calc(), n_paths);
-        for (std::size_t i = 0; i < paths.size(); ++i) {
-            const auto gates = sta::gates_on_path(ctx.graph(), paths[i].edges);
-            std::printf("  #%zu  %.4f ns  (%zu gates):", i + 1, paths[i].delay_ns,
-                        gates.size());
-            for (GateId g : gates) std::printf(" %s", nl.gate(g).name.c_str());
+        for (std::size_t i = 0; i < report.nominal_paths.size(); ++i) {
+            const auto& path = report.nominal_paths[i];
+            std::printf("  #%zu  %.4f ns  (%zu gates):", i + 1, path.delay_ns,
+                        path.gate_names.size());
+            for (const auto& name : path.gate_names) std::printf(" %s", name.c_str());
             std::printf("\n");
         }
 
         if (args.has("dot")) {
-            std::vector<double> scores(nl.gate_count());
-            for (std::size_t gi = 0; gi < nl.gate_count(); ++gi)
-                scores[gi] = crit.of_node(
-                    ctx.graph().output_node(GateId{static_cast<std::uint32_t>(gi)}));
             std::ofstream out(args.get("dot"));
             if (!out) throw Error("cannot write " + args.get("dot"));
-            netlist::DotOptions options;
-            options.gate_scores = scores;
-            netlist::write_dot(out, nl, lib, options);
+            api::write_dot(out, design, report.gate_scores);
             std::fprintf(stderr, "wrote %s\n", args.get("dot").c_str());
         }
         return 0;

@@ -3,55 +3,47 @@
 //
 //   ./quickstart [--iterations N]
 //
-// Walks through the full public API surface in ~60 lines: library, netlist
-// from .bench text, analysis context, SSTA metrics, and the pruned
-// statistical sizer.
+// Walks through the public API lifecycle in ~50 lines: a Design (circuit
+// + cell library), a Scenario (objective + budgets), one-call analysis,
+// and a stepwise SizingRun.
 #include <cstdio>
-#include <sstream>
 
-#include "core/sizers.hpp"
-#include "netlist/bench_io.hpp"
-#include "netlist/iscas.hpp"
-#include "ssta/metrics.hpp"
+#include "api/statim.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
     using namespace statim;
     const CliArgs args(argc, argv);
+    args.validate({"iterations"});
     const int iterations = static_cast<int>(args.get_int("iterations", 8));
 
-    // 1. A cell library: the builtin 180 nm-class one (or load your own
-    //    with cells::load_liberty_lite).
-    const cells::Library lib = cells::Library::standard_180nm();
+    // 1. A Design: one circuit bound to one cell library (here the
+    //    registry's genuine c17 under the builtin 180 nm-class library;
+    //    see also Design::from_bench_file / from_bench_text).
+    api::Design design = api::Design::from_registry("c17");
+    std::printf("c17: %zu gates, %zu nets\n", design.gate_count(),
+                design.net_count());
 
-    // 2. A circuit: parse .bench text (here the embedded genuine c17).
-    std::istringstream bench(netlist::c17_bench_text());
-    netlist::Netlist nl = netlist::read_bench(bench, lib, "c17");
-    std::printf("c17: %zu gates, %zu nets, %zu PIs, %zu POs\n", nl.gate_count(),
-                nl.net_count(), nl.primary_inputs().size(),
-                nl.primary_outputs().size());
+    // 2. A Scenario: everything about "how to run" in one value. The
+    //    default is the paper's setup — p99 objective, pruned selector.
+    api::Scenario scenario;
+    scenario.max_iterations = iterations;
 
-    // 3. An analysis context: timing graph + delay model + SSTA engine.
-    core::Context ctx(nl, lib);
-    ctx.run_ssta();
-    const prob::PdfView sink = ctx.engine().sink_arrival();
+    // 3. One-call analysis of the min-size circuit.
+    const api::AnalysisResult before = api::analyze(design, scenario);
     std::printf("min-size circuit delay:  mean %.4f ns,  sigma %.4f ns,  p99 %.4f ns\n",
-                ssta::mean_ns(ctx.grid(), sink), ssta::stddev_ns(ctx.grid(), sink),
-                ssta::percentile_ns(ctx.grid(), sink, 0.99));
+                before.mean_ns(), before.stddev_ns(), before.percentile_ns(0.99));
 
-    // 4. Statistical gate sizing with the paper's pruned selector.
-    core::StatisticalSizerConfig cfg;
-    cfg.objective = core::Objective::percentile(0.99);
-    cfg.max_iterations = iterations;
-    const core::SizingResult result = core::run_statistical_sizing(ctx, cfg);
+    // 4. A SizingRun: the statistical sizer as a stepwise handle. step()
+    //    runs one outer iteration, so the trajectory is observable as it
+    //    happens (and checkpointable — see SizingRun::save/resume).
+    api::SizingRun run(design, scenario);
+    std::printf("\n%-5s %-10s %-8s\n", "iter", "p99 (ns)", "area");
+    while (run.step())
+        std::printf("%-5d %-10.4f %-8.2f\n", run.iteration(), run.objective_ns(),
+                    run.area());
 
-    std::printf("\n%-5s %-6s %-12s %-10s %-8s\n", "iter", "gate", "sensitivity",
-                "p99 (ns)", "area");
-    for (const auto& rec : result.history)
-        std::printf("%-5d %-6s %-12.3g %-10.4f %-8.2f\n", rec.iteration,
-                    nl.gate(rec.gate).name.c_str(), rec.sensitivity,
-                    rec.objective_after_ns, rec.area_after);
-
+    const auto& result = run.result();
     std::printf("\np99 improved %.4f -> %.4f ns (%.1f%%) for +%.1f%% area [%s]\n",
                 result.initial_objective_ns, result.final_objective_ns,
                 100.0 * (result.initial_objective_ns - result.final_objective_ns) /

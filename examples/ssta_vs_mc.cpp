@@ -8,43 +8,32 @@
 // --cdf additionally dumps CDF sample points as CSV for plotting.
 #include <cstdio>
 #include <iostream>
+#include <string>
 
-#include "core/context.hpp"
-#include "mc/monte_carlo.hpp"
-#include "netlist/iscas.hpp"
-#include "ssta/metrics.hpp"
+#include "api/statim.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
-#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
     using namespace statim;
     try {
         const CliArgs args(argc, argv);
         args.validate({"circuit", "samples", "seed", "cdf"});
-        const std::string circuit = args.get("circuit", "c880");
-        const cells::Library lib = cells::Library::standard_180nm();
-        netlist::Netlist nl = netlist::make_iscas(circuit, lib);
-        core::Context ctx(nl, lib);
+        const api::Design design =
+            api::Design::from_registry(args.get("circuit", "c880"));
 
-        Timer ssta_timer;
-        ctx.run_ssta();
-        const double ssta_seconds = ssta_timer.seconds();
-        const prob::PdfView sink = ctx.engine().sink_arrival();
+        api::Scenario scenario;
+        scenario.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+        const auto samples = static_cast<std::size_t>(args.get_int("samples", 20000));
 
-        mc::McConfig mc_cfg;
-        mc_cfg.samples = static_cast<std::size_t>(args.get_int("samples", 20000));
-        mc_cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-        Timer mc_timer;
-        const mc::McResult mc = mc::run_monte_carlo(ctx.delay_calc(), mc_cfg);
-        const double mc_seconds = mc_timer.seconds();
+        const api::AnalysisResult ssta = api::analyze(design, scenario);
+        const api::McSummary mc = api::monte_carlo(design, scenario, samples);
 
-        std::printf("%s: %zu nodes / %zu edges, sigma %.0f%%, +-%.0f sigma\n",
-                    circuit.c_str(), ctx.graph().node_count(), ctx.graph().edge_count(),
-                    100.0 * lib.sigma_fraction(), lib.trunc_k());
+        std::printf("%s: %zu nodes / %zu edges\n", design.name().c_str(), ssta.nodes,
+                    ssta.edges);
         std::printf("SSTA bound:   %.3f s   |  Monte Carlo (%zu samples): %.3f s\n\n",
-                    ssta_seconds, mc.sample_count(), mc_seconds);
+                    ssta.seconds, mc.samples, mc.seconds);
 
         std::printf("%-12s %-12s %-12s %-10s\n", "metric", "SSTA bound", "MonteCarlo",
                     "gap");
@@ -52,17 +41,17 @@ int main(int argc, char** argv) {
             std::printf("%-12s %-12.4f %-12.4f %+.2f%%\n", name, a, b,
                         100.0 * (a - b) / b);
         };
-        row("mean", ssta::mean_ns(ctx.grid(), sink), mc.mean_ns());
-        row("stddev", ssta::stddev_ns(ctx.grid(), sink), mc.stddev_ns());
+        row("mean", ssta.mean_ns(), mc.mean_ns);
+        row("stddev", ssta.stddev_ns(), mc.stddev_ns);
         for (double p : {0.50, 0.90, 0.95, 0.99})
             row(("p" + std::to_string(static_cast<int>(p * 100))).c_str(),
-                ssta::percentile_ns(ctx.grid(), sink, p), mc.percentile_ns(p));
+                ssta.percentile_ns(p), mc.percentile_ns(p));
 
         if (args.has("cdf")) {
             CsvWriter csv(std::cout, {"delay_ns", "cdf_ssta_bound", "cdf_monte_carlo"});
             for (int i = 1; i <= 200; ++i) {
                 const double p = i / 200.0;
-                const double t = ssta::percentile_ns(ctx.grid(), sink, p);
+                const double t = ssta.percentile_ns(p);
                 csv.row({format_double(t), format_double(p),
                          format_double(mc.yield_at(t))});
             }

@@ -14,10 +14,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "cells/liberty_lite.hpp"
-#include "core/sizers.hpp"
-#include "netlist/bench_io.hpp"
-#include "netlist/iscas.hpp"
+#include "api/statim.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -29,41 +26,36 @@ int main(int argc, char** argv) {
         args.validate({"circuit", "iterations", "selector", "percentile", "delta-w",
                        "max-width", "batch", "bench", "lib", "csv", "area-budget",
                        "threads", "full-ssta"});
-        const std::size_t threads = apply_threads_flag(args);
 
-        const cells::Library lib = args.has("lib")
-                                       ? cells::load_liberty_lite(args.get("lib"))
-                                       : cells::Library::standard_180nm();
-        netlist::Netlist nl =
+        api::Design design =
             args.has("bench")
-                ? netlist::load_bench(args.get("bench"), lib)
-                : netlist::make_iscas(args.get("circuit", "c432"), lib);
+                ? (args.has("lib")
+                       ? api::Design::from_bench_file(
+                             args.get("bench"), api::Design::load_library(args.get("lib")))
+                       : api::Design::from_bench_file(args.get("bench")))
+                : api::Design::from_registry(args.get("circuit", "c432"));
 
-        core::StatisticalSizerConfig cfg;
-        cfg.objective = core::Objective::percentile(args.get_double("percentile", 0.99));
-        cfg.max_iterations = static_cast<int>(args.get_int("iterations", 50));
-        cfg.delta_w = args.get_double("delta-w", 0.25);
-        cfg.max_width = args.get_double("max-width", 16.0);
-        if (args.has("area-budget")) cfg.area_budget = args.get_double("area-budget", 0.0);
+        api::Scenario scenario;
+        scenario.percentile = args.get_double("percentile", 0.99);
+        scenario.max_iterations = static_cast<int>(args.get_int("iterations", 50));
+        scenario.delta_w = args.get_double("delta-w", 0.25);
+        scenario.max_width = args.get_double("max-width", 16.0);
+        if (args.has("area-budget"))
+            scenario.area_budget = args.get_double("area-budget", 0.0);
         const std::string selector = args.get("selector", "pruned");
-        if (selector == "pruned") cfg.selector = core::SelectorKind::Pruned;
-        else if (selector == "brute") cfg.selector = core::SelectorKind::BruteFull;
-        else if (selector == "cone") cfg.selector = core::SelectorKind::BruteCone;
-        else throw ConfigError("--selector must be pruned, brute or cone");
-        cfg.threads = threads;
-        cfg.incremental_ssta = !args.get_bool("full-ssta", false);
-        cfg.gates_per_iteration = static_cast<int>(args.get_int("batch", 0));
+        scenario.selector = api::Scenario::parse_selector(selector);
+        scenario.threads = apply_threads_flag(args);
+        scenario.incremental_ssta = !args.get_bool("full-ssta", false);
+        scenario.gates_per_iteration = static_cast<int>(args.get_int("batch", 0));
 
-        core::Context ctx(nl, lib);
-        std::fprintf(stderr,
-                     "%s: %zu nodes / %zu edges, grid %.4g ns, selector %s, "
-                     "%zu thread%s, %s ssta refresh\n",
-                     nl.name().c_str(), ctx.graph().node_count(),
-                     ctx.graph().edge_count(), ctx.grid().dt_ns(), selector.c_str(),
-                     threads, threads == 1 ? "" : "s",
-                     cfg.incremental_ssta ? "incremental" : "full");
+        std::fprintf(stderr, "%s: %zu gates, selector %s, %zu thread%s, %s ssta refresh\n",
+                     design.name().c_str(), design.gate_count(), selector.c_str(),
+                     scenario.threads, scenario.threads == 1 ? "" : "s",
+                     scenario.incremental_ssta ? "incremental" : "full");
 
-        const core::SizingResult result = core::run_statistical_sizing(ctx, cfg);
+        api::SizingRun run(design, scenario);
+        run.run_to_convergence();
+        const auto& result = run.result();
 
         if (args.has("csv")) {
             CsvWriter csv(std::cout, {"iteration", "gate", "sensitivity_ns_per_w",
@@ -71,7 +63,7 @@ int main(int argc, char** argv) {
             csv.row({"0", "", "", format_double(result.initial_objective_ns),
                      format_double(result.initial_area), ""});
             for (const auto& rec : result.history)
-                csv.row({std::to_string(rec.iteration), nl.gate(rec.gate).name,
+                csv.row({std::to_string(rec.iteration), design.gate_name(rec.gate),
                          format_double(rec.sensitivity),
                          format_double(rec.objective_after_ns),
                          format_double(rec.area_after), format_double(rec.width_after)});
@@ -79,7 +71,7 @@ int main(int argc, char** argv) {
             for (const auto& rec : result.history)
                 std::printf("iter %4d  gate %-8s sens %10.4g  obj %8.4f ns  area %9.2f  "
                             "(cand %zu, pruned %zu, completed %zu)\n",
-                            rec.iteration, nl.gate(rec.gate).name.c_str(),
+                            rec.iteration, design.gate_name(rec.gate).c_str(),
                             rec.sensitivity, rec.objective_after_ns, rec.area_after,
                             rec.stats.candidates, rec.stats.pruned, rec.stats.completed);
         }

@@ -12,35 +12,23 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/flow.hpp"
-#include "netlist/iscas.hpp"
-#include "ssta/metrics.hpp"
-#include "sta/sta.hpp"
+#include "api/statim.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 
 namespace {
 
-/// Histogram of PO-net slacks (how close each output path is to critical).
-std::vector<int> slack_histogram(const statim::netlist::Netlist& nl,
-                                 const statim::cells::Library& lib, int bins,
+/// Histogram of PO slacks (how close each output path is to critical);
+/// the slack profile comes straight out of api::analyze.
+std::vector<int> slack_histogram(const std::vector<double>& slacks, int bins,
                                  double& max_slack) {
-    using namespace statim;
-    const netlist::TimingGraph graph(nl);
-    const sta::DelayCalc dc(graph, lib);
-    const sta::StaResult sta = sta::run_sta(dc);
-
-    std::vector<double> slacks;
-    for (NetId po : nl.primary_outputs())
-        slacks.push_back(sta.slack(netlist::TimingGraph::node_of_net(po)));
     max_slack = *std::max_element(slacks.begin(), slacks.end());
-
-    std::vector<int> histogram(bins, 0);
+    std::vector<int> histogram(static_cast<std::size_t>(bins), 0);
     for (double s : slacks) {
         const int b = max_slack > 0.0
                           ? std::min(bins - 1, static_cast<int>(s / max_slack * bins))
                           : 0;
-        ++histogram[b];
+        ++histogram[static_cast<std::size_t>(b)];
     }
     return histogram;
 }
@@ -63,39 +51,31 @@ int main(int argc, char** argv) {
     try {
         const CliArgs args(argc, argv);
         args.validate({"circuit", "iterations", "bins"});
-        const std::string circuit = args.get("circuit", "c432");
         const int bins = static_cast<int>(args.get_int("bins", 16));
+        const int iterations = static_cast<int>(args.get_int("iterations", 150));
 
-        core::ComparisonConfig cfg;
-        cfg.det_iterations = static_cast<int>(args.get_int("iterations", 150));
-        const cells::Library lib = cells::Library::standard_180nm();
+        const api::Design design =
+            api::Design::from_registry(args.get("circuit", "c432"));
+        api::Scenario scenario;
+        scenario.max_iterations = 100000;  // the area budget is the stop
 
         std::fprintf(stderr, "sizing %s both ways (%d deterministic iterations)...\n",
-                     circuit.c_str(), cfg.det_iterations);
-        const core::ComparisonResult cmp = core::compare_optimizers(circuit, lib, cfg);
+                     design.name().c_str(), iterations);
+        // Table 1 on one circuit: deterministic baseline, then statistical
+        // sizing to the same added area. The outcome keeps both sized
+        // circuits, so their slack profiles come from plain analyze().
+        const api::CompareOutcome outcome =
+            api::compare_sizings(design, scenario, iterations);
 
-        // Rebuild both solutions to inspect their slack profiles.
-        netlist::Netlist nl_det = netlist::make_iscas(circuit, lib);
-        {
-            core::DeterministicSizerConfig det_cfg;
-            det_cfg.max_iterations = cfg.det_iterations;
-            (void)core::run_deterministic_sizing(nl_det, lib, det_cfg);
-        }
-        netlist::Netlist nl_stat = netlist::make_iscas(circuit, lib);
-        {
-            core::Context ctx(nl_stat, lib);
-            core::StatisticalSizerConfig stat_cfg;
-            stat_cfg.max_iterations = 100000;
-            stat_cfg.area_budget = cmp.det.final_area - cmp.det.initial_area;
-            (void)core::run_statistical_sizing(ctx, stat_cfg);
-        }
+        const api::AnalysisResult det = api::analyze(outcome.deterministic, scenario);
+        const api::AnalysisResult stat = api::analyze(outcome.statistical, scenario);
 
         double max_slack_det = 0.0, max_slack_stat = 0.0;
-        const auto hist_det = slack_histogram(nl_det, lib, bins, max_slack_det);
-        const auto hist_stat = slack_histogram(nl_stat, lib, bins, max_slack_stat);
+        const auto hist_det = slack_histogram(det.po_slack_ns, bins, max_slack_det);
+        const auto hist_stat = slack_histogram(stat.po_slack_ns, bins, max_slack_stat);
 
-        std::printf("\n=== %s at equal area (+%.1f%%) ===\n\n", circuit.c_str(),
-                    cmp.det_area_increase_pct);
+        std::printf("\n=== %s at equal area (+%.1f%%) ===\n\n", design.name().c_str(),
+                    outcome.comparison.det_area_increase_pct);
         print_histogram("deterministic solution: PO slack distribution", hist_det,
                         max_slack_det);
         std::printf("\n");
@@ -104,7 +84,9 @@ int main(int argc, char** argv) {
 
         std::printf("\n99-percentile circuit delay:  deterministic %.4f ns   "
                     "statistical %.4f ns   (%.2f%% better)\n",
-                    cmp.det_objective_ns, cmp.stat_objective_ns, cmp.improvement_pct);
+                    outcome.comparison.det_objective_ns,
+                    outcome.comparison.stat_objective_ns,
+                    outcome.comparison.improvement_pct);
         std::printf("the deterministic 'wall' (many POs at low slack) costs "
                     "statistical delay even at identical area.\n");
         return 0;

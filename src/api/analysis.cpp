@@ -1,0 +1,192 @@
+#include "api/analysis.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "api/detail.hpp"
+#include "core/context.hpp"
+#include "mc/monte_carlo.hpp"
+#include "netlist/dot.hpp"
+#include "netlist/timing_graph.hpp"
+#include "ssta/criticality.hpp"
+#include "ssta/metrics.hpp"
+#include "sta/paths.hpp"
+#include "sta/sta.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace statim::api {
+
+double AnalysisResult::mean_ns() const { return dt_ns * sink.mean_bins(); }
+
+double AnalysisResult::stddev_ns() const {
+    return dt_ns * std::sqrt(sink.variance_bins());
+}
+
+double AnalysisResult::percentile_ns(double p) const {
+    return dt_ns * sink.percentile_bin(p);
+}
+
+double AnalysisResult::yield_at(double t_ns) const {
+    const prob::TimeGrid grid(dt_ns);
+    return ssta::yield_at(grid, sink, t_ns);
+}
+
+std::vector<std::pair<double, double>> AnalysisResult::cdf_points() const {
+    std::vector<std::pair<double, double>> points;
+    points.reserve(sink.size());
+    double cumulative = 0.0;
+    for (std::int64_t b = sink.first_bin(); b <= sink.last_bin(); ++b) {
+        cumulative += sink.mass_at(b);
+        points.emplace_back(dt_ns * static_cast<double>(b), cumulative);
+    }
+    return points;
+}
+
+AnalysisResult analyze(const Design& design, const Scenario& scenario) {
+    scenario.validate();
+    // The context mutates nothing here, but binds a mutable netlist;
+    // analyze() promises a const design, so it runs on a copy.
+    netlist::Netlist nl = design.netlist();
+    Timer timer;
+    core::Context ctx(nl, design.library(), detail::to_grid_policy(scenario));
+    ctx.set_ssta_threads(scenario.resolved_threads());
+    ctx.run_ssta();
+
+    AnalysisResult result;
+    result.design = design.name();
+    result.nodes = ctx.graph().node_count();
+    result.edges = ctx.graph().edge_count();
+    result.gates = nl.gate_count();
+    result.dt_ns = ctx.grid().dt_ns();
+    result.sink = ctx.engine().sink_arrival().to_pdf();
+    result.objective_ns = detail::to_objective(scenario).eval_ns(
+        ctx.grid(), ctx.engine().sink_arrival());
+
+    const sta::StaResult sta = sta::run_sta(ctx.delay_calc());
+    result.nominal_delay_ns = sta.circuit_delay_ns;
+    result.po_slack_ns.reserve(nl.primary_outputs().size());
+    for (NetId po : nl.primary_outputs())
+        result.po_slack_ns.push_back(
+            sta.slack(netlist::TimingGraph::node_of_net(po)));
+    result.seconds = timer.seconds();
+    return result;
+}
+
+double McSummary::percentile_ns(double p) const {
+    if (!(p > 0.0) || !(p <= 1.0))
+        throw ConfigError("McSummary::percentile_ns: p must be in (0, 1]");
+    if (sorted_ns.empty()) throw ConfigError("McSummary: no samples");
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(sorted_ns.size())));
+    return sorted_ns[std::min(sorted_ns.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+double McSummary::yield_at(double t_ns) const {
+    const auto it = std::upper_bound(sorted_ns.begin(), sorted_ns.end(), t_ns);
+    return sorted_ns.empty()
+               ? 0.0
+               : static_cast<double>(it - sorted_ns.begin()) /
+                     static_cast<double>(sorted_ns.size());
+}
+
+McSummary monte_carlo(const Design& design, const Scenario& scenario,
+                      std::size_t samples) {
+    scenario.validate();
+    netlist::Netlist nl = design.netlist();
+    const netlist::TimingGraph graph(nl);
+    const sta::DelayCalc dc(graph, design.library());
+
+    mc::McConfig cfg;
+    cfg.samples = samples;
+    cfg.seed = scenario.seed;
+    Timer timer;
+    const mc::McResult mc = mc::run_monte_carlo(dc, cfg);
+
+    McSummary summary;
+    summary.samples = mc.sample_count();
+    summary.mean_ns = mc.mean_ns();
+    summary.stddev_ns = mc.stddev_ns();
+    summary.min_ns = mc.min_ns();
+    summary.max_ns = mc.max_ns();
+    summary.sorted_ns = mc.samples();
+    summary.seconds = timer.seconds();
+    return summary;
+}
+
+CriticalityReport criticality_report(const Design& design, const Scenario& scenario,
+                                     std::size_t top_n, std::size_t n_paths) {
+    scenario.validate();
+    netlist::Netlist nl = design.netlist();
+    core::Context ctx(nl, design.library(), detail::to_grid_policy(scenario));
+    ctx.set_ssta_threads(scenario.resolved_threads());
+    ctx.run_ssta();
+
+    const ssta::CriticalityResult crit =
+        ssta::compute_criticality(ctx.engine(), ctx.edge_delays());
+    const auto ranked = ssta::rank_gates_by_criticality(ctx.graph(), crit);
+
+    const sta::StaResult sta = sta::run_sta(ctx.delay_calc());
+    const auto crit_path = sta::critical_path(ctx.delay_calc(), sta);
+    const auto nominal_gates = sta::gates_on_path(ctx.graph(), crit_path);
+
+    CriticalityReport report;
+    report.nominal_delay_ns = sta.circuit_delay_ns;
+    for (std::size_t i = 0; i < std::min(top_n, ranked.size()); ++i) {
+        const auto [g, score] = ranked[i];
+        CriticalityReport::GateEntry entry;
+        entry.gate = g;
+        entry.gate_name = nl.gate(g).name;
+        entry.cell_name = design.cell_name(g);
+        entry.criticality = score;
+        entry.on_nominal_path = std::find(nominal_gates.begin(), nominal_gates.end(),
+                                          g) != nominal_gates.end();
+        report.ranked.push_back(std::move(entry));
+    }
+
+    for (const sta::Path& path : sta::k_longest_paths(ctx.delay_calc(), n_paths)) {
+        CriticalityReport::PathEntry entry;
+        entry.delay_ns = path.delay_ns;
+        for (GateId g : sta::gates_on_path(ctx.graph(), path.edges))
+            entry.gate_names.push_back(nl.gate(g).name);
+        report.nominal_paths.push_back(std::move(entry));
+    }
+
+    report.gate_scores.resize(nl.gate_count(), 0.0);
+    for (std::size_t gi = 0; gi < nl.gate_count(); ++gi)
+        report.gate_scores[gi] = crit.of_node(
+            ctx.graph().output_node(GateId{static_cast<std::uint32_t>(gi)}));
+    return report;
+}
+
+void write_dot(std::ostream& out, const Design& design,
+               const std::vector<double>& gate_scores) {
+    netlist::DotOptions options;
+    options.gate_scores = gate_scores;
+    netlist::write_dot(out, design.netlist(), design.library(), options);
+}
+
+CompareOutcome compare_sizings(const Design& design, const Scenario& scenario,
+                               int det_iterations) {
+    scenario.validate();
+    core::ComparisonConfig cfg;
+    cfg.objective = detail::to_objective(scenario);
+    cfg.delta_w = scenario.delta_w;
+    cfg.max_width = scenario.max_width;
+    cfg.det_iterations = det_iterations;
+    cfg.stat_max_iterations =
+        scenario.max_iterations > 0 ? scenario.max_iterations : 4000;
+    cfg.grid_policy = detail::to_grid_policy(scenario);
+    cfg.selector = detail::to_selector_kind(scenario.selector);
+    cfg.threads = scenario.resolved_threads();
+    cfg.incremental_ssta = scenario.incremental_ssta;
+
+    Design det = design;
+    Design stat = design;
+    core::ComparisonResult comparison =
+        core::compare_optimizers(det.netlist(), stat.netlist(), design.library(), cfg,
+                                 design.name());
+    return CompareOutcome{std::move(comparison), std::move(det), std::move(stat)};
+}
+
+}  // namespace statim::api

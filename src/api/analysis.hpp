@@ -1,0 +1,124 @@
+// Analysis entry points of the public API: one-call SSTA, Monte Carlo
+// validation, criticality reporting and the deterministic-vs-statistical
+// comparison — everything the examples and the CLI read, with no core/
+// engine wiring on the caller's side.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "api/design.hpp"
+#include "api/scenario.hpp"
+#include "core/flow.hpp"
+#include "prob/pdf.hpp"
+#include "util/types.hpp"
+
+namespace statim::api {
+
+/// One full statistical timing analysis of a design.
+struct AnalysisResult {
+    std::string design;
+    std::size_t nodes{0};
+    std::size_t edges{0};
+    std::size_t gates{0};
+    /// Grid pitch the analysis ran on (ns per bin).
+    double dt_ns{0.0};
+    /// Circuit-delay (sink-arrival) distribution, owned.
+    prob::Pdf sink;
+    /// Nominal (deterministic) critical-path delay.
+    double nominal_delay_ns{0.0};
+    /// Nominal slack of each primary output, Design PO order.
+    std::vector<double> po_slack_ns;
+    /// Objective of the scenario the analysis ran under (ns).
+    double objective_ns{0.0};
+    double seconds{0.0};
+
+    [[nodiscard]] double mean_ns() const;
+    [[nodiscard]] double stddev_ns() const;
+    /// p-quantile of the circuit delay in ns, p in (0, 1].
+    [[nodiscard]] double percentile_ns(double p) const;
+    /// Timing yield at delay target `t_ns`.
+    [[nodiscard]] double yield_at(double t_ns) const;
+    /// CDF sample points as (time_ns, cumulative_probability) pairs.
+    [[nodiscard]] std::vector<std::pair<double, double>> cdf_points() const;
+};
+
+/// Runs SSTA (plus a nominal STA for the deterministic figures) on the
+/// design at its current widths.
+[[nodiscard]] AnalysisResult analyze(const Design& design, const Scenario& scenario = {});
+
+/// Empirical circuit-delay distribution from Monte Carlo sampling — the
+/// exact reference the SSTA bound is validated against (paper Section 4).
+struct McSummary {
+    std::size_t samples{0};
+    double mean_ns{0.0};
+    double stddev_ns{0.0};
+    double min_ns{0.0};
+    double max_ns{0.0};
+    /// Sorted sample delays (ascending, ns).
+    std::vector<double> sorted_ns;
+    double seconds{0.0};
+
+    /// Empirical p-quantile by order statistic, p in (0, 1].
+    [[nodiscard]] double percentile_ns(double p) const;
+    /// Fraction of samples meeting the delay target.
+    [[nodiscard]] double yield_at(double t_ns) const;
+};
+
+/// Runs `samples` independent STA evaluations with sampled edge delays,
+/// seeded from scenario.seed. Deterministic per (design, scenario,
+/// samples).
+[[nodiscard]] McSummary monte_carlo(const Design& design, const Scenario& scenario = {},
+                                    std::size_t samples = 10000);
+
+/// Statistical criticality of the design's gates plus its K worst
+/// nominal paths — the Figure 1 "wall" diagnostics.
+struct CriticalityReport {
+    struct GateEntry {
+        GateId gate{GateId::invalid()};
+        std::string gate_name;
+        std::string cell_name;
+        double criticality{0.0};  ///< P(gate lies on the longest path)
+        bool on_nominal_path{false};
+    };
+    struct PathEntry {
+        double delay_ns{0.0};
+        std::vector<std::string> gate_names;  ///< path order
+    };
+
+    double nominal_delay_ns{0.0};
+    /// Gates ranked by criticality, descending (top_n entries).
+    std::vector<GateEntry> ranked;
+    /// The n_paths longest nominal paths, descending delay.
+    std::vector<PathEntry> nominal_paths;
+    /// Per-gate criticality in GateId order (all gates; for exports).
+    std::vector<double> gate_scores;
+};
+
+[[nodiscard]] CriticalityReport criticality_report(const Design& design,
+                                                   const Scenario& scenario = {},
+                                                   std::size_t top_n = 15,
+                                                   std::size_t n_paths = 5);
+
+/// Graphviz export of the design with gates shaded by `gate_scores`
+/// (pass report.gate_scores, or empty for no shading).
+void write_dot(std::ostream& out, const Design& design,
+               const std::vector<double>& gate_scores = {});
+
+/// The paper's Table 1 experiment on one design: deterministic baseline
+/// for `det_iterations`, then statistical sizing to the same added area
+/// on an identical copy, both evaluated on a common grid. The two sized
+/// circuits come back as Designs for further analysis (slack profiles,
+/// re-analysis at other percentiles, …).
+struct CompareOutcome {
+    core::ComparisonResult comparison;
+    Design deterministic;  ///< the baseline's sized circuit
+    Design statistical;    ///< the statistical optimizer's sized circuit
+};
+
+[[nodiscard]] CompareOutcome compare_sizings(const Design& design,
+                                             const Scenario& scenario,
+                                             int det_iterations);
+
+}  // namespace statim::api

@@ -1,0 +1,392 @@
+#include "api/checkpoint.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "api/detail.hpp"
+#include "util/error.hpp"
+
+namespace statim::api {
+
+namespace {
+
+constexpr const char* kMagic = "statim-checkpoint";
+
+/// Exact double serialization: C99 hexfloat round-trips every finite
+/// value bit for bit, and "inf"/"-inf"/"nan" cover the rest.
+std::string fmt_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+class Reader {
+  public:
+    explicit Reader(std::istream& in) : in_(in) {}
+
+    [[nodiscard]] int line_number() const noexcept { return line_; }
+
+    /// Next non-empty line, split into whitespace tokens.
+    std::vector<std::string> next_line() {
+        std::string line;
+        while (std::getline(in_, line)) {
+            ++line_;
+            std::istringstream ss(line);
+            std::vector<std::string> tokens;
+            std::string tok;
+            while (ss >> tok) tokens.push_back(std::move(tok));
+            if (!tokens.empty()) return tokens;
+        }
+        throw ParseError("<checkpoint>", line_, "unexpected end of checkpoint");
+    }
+
+    /// Line of the form "<key> <value...>"; returns the value tokens.
+    std::vector<std::string> expect(const std::string& key,
+                                    std::size_t min_values = 1) {
+        std::vector<std::string> tokens = next_line();
+        if (tokens.front() != key)
+            throw ParseError("<checkpoint>", line_,
+                             "expected '" + key + "', got '" + tokens.front() + "'");
+        if (tokens.size() < min_values + 1)
+            throw ParseError("<checkpoint>", line_,
+                             "'" + key + "' is missing its value");
+        tokens.erase(tokens.begin());
+        return tokens;
+    }
+
+    double as_double(const std::string& tok) {
+        const char* s = tok.c_str();
+        char* end = nullptr;
+        const double v = std::strtod(s, &end);
+        if (end == s || *end != '\0')
+            throw ParseError("<checkpoint>", line_, "malformed number '" + tok + "'");
+        return v;
+    }
+
+    std::int64_t as_int(const std::string& tok) {
+        const char* s = tok.c_str();
+        char* end = nullptr;
+        const std::int64_t v = std::strtoll(s, &end, 10);
+        if (end == s || *end != '\0')
+            throw ParseError("<checkpoint>", line_, "malformed integer '" + tok + "'");
+        return v;
+    }
+
+    std::uint64_t as_uint(const std::string& tok) {
+        const char* s = tok.c_str();
+        char* end = nullptr;
+        errno = 0;
+        const std::uint64_t v = std::strtoull(s, &end, 10);
+        if (end == s || *end != '\0' || tok.front() == '-' || errno == ERANGE)
+            throw ParseError("<checkpoint>", line_, "malformed integer '" + tok + "'");
+        return v;
+    }
+
+    /// Element count of a variable-length section. Bounded so a corrupt
+    /// count surfaces as the documented ParseError instead of a
+    /// std::length_error/bad_alloc from reserve().
+    std::size_t as_count(const std::string& tok) {
+        const std::uint64_t v = as_uint(tok);
+        constexpr std::uint64_t kMaxCount = 1ull << 31;  // far above any circuit
+        if (v > kMaxCount)
+            throw ParseError("<checkpoint>", line_,
+                             "implausible element count '" + tok + "'");
+        return static_cast<std::size_t>(v);
+    }
+
+  private:
+    std::istream& in_;
+    int line_{0};
+};
+
+/// Scenario names go on their own line after a fixed key; they may hold
+/// spaces, so the value is the rest of the line verbatim.
+std::string join(const std::vector<std::string>& tokens) {
+    std::string out;
+    for (const std::string& t : tokens) {
+        if (!out.empty()) out += ' ';
+        out += t;
+    }
+    return out;
+}
+
+const char* objective_name(Scenario::Objective o) {
+    return o == Scenario::Objective::Mean ? "mean" : "percentile";
+}
+
+Scenario::Objective parse_objective(Reader& r, const std::string& tok) {
+    if (tok == "percentile") return Scenario::Objective::Percentile;
+    if (tok == "mean") return Scenario::Objective::Mean;
+    throw ParseError("<checkpoint>", r.line_number(), "unknown objective '" + tok + "'");
+}
+
+Scenario::Selector parse_selector(Reader& r, const std::string& tok) {
+    try {
+        return Scenario::parse_selector(tok);
+    } catch (const ConfigError& e) {
+        throw ParseError("<checkpoint>", r.line_number(), e.what());
+    }
+}
+
+/// The format is line-oriented and the reader splits on whitespace and
+/// re-joins with single spaces, so a name survives the round trip only
+/// if that mapping is the identity: non-empty, no whitespace other than
+/// single interior spaces. Anything else must be rejected at *save*
+/// time — a checkpoint that cannot be loaded back is unrecoverable.
+void require_writable_name(const char* what, const std::string& name) {
+    const auto reject = [&](const char* why) {
+        throw ConfigError(std::string("checkpoint: ") + what + " name " + why +
+                          " ('" + name + "' cannot round-trip the line format)");
+    };
+    if (name.empty()) reject("is empty");
+    if (name.front() == ' ' || name.back() == ' ')
+        reject("has leading/trailing whitespace");
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        const char c = name[i];
+        if (std::isspace(static_cast<unsigned char>(c)) && c != ' ')
+            reject("contains non-space whitespace");
+        if (c == ' ' && i > 0 && name[i - 1] == ' ')
+            reject("contains consecutive spaces");
+    }
+}
+
+/// Shared by checkpoint_info and load_checkpoint: the header is the part
+/// of the format a peek may read without the full payload.
+CheckpointInfo read_header(Reader& r) {
+    const std::vector<std::string> magic = r.next_line();
+    if (magic.size() != 2 || magic[0] != kMagic || magic[1].size() < 2 ||
+        magic[1][0] != 'v')
+        throw ParseError("<checkpoint>", r.line_number(),
+                         "not a statim checkpoint stream");
+    CheckpointInfo info;
+    info.version = static_cast<int>(r.as_int(magic[1].substr(1)));
+    if (info.version != kCheckpointFormatVersion)
+        throw ParseError("<checkpoint>", r.line_number(),
+                         "unsupported checkpoint version v" +
+                             std::to_string(info.version) + " (this build reads v" +
+                             std::to_string(kCheckpointFormatVersion) + ")");
+    info.design = join(r.expect("design"));
+    info.scenario = join(r.expect("scenario"));
+    info.iteration = static_cast<int>(r.as_int(r.expect("iteration")[0]));
+    info.finished = r.as_int(r.expect("finished")[0]) != 0;
+    return info;
+}
+
+}  // namespace
+
+CheckpointInfo checkpoint_info(std::istream& in) {
+    Reader r(in);
+    return read_header(r);
+}
+
+namespace detail {
+
+std::uint64_t library_fingerprint(const cells::Library& lib) {
+    // FNV-1a over every model parameter (doubles by bit pattern), so two
+    // libraries agree iff they produce identical delays and areas.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix_byte = [&h](unsigned char b) {
+        h ^= b;
+        h *= 1099511628211ull;
+    };
+    const auto mix_double = [&](double v) {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        for (int i = 0; i < 8; ++i) mix_byte(static_cast<unsigned char>(bits >> (8 * i)));
+    };
+    const auto mix_string = [&](const std::string& s) {
+        for (char c : s) mix_byte(static_cast<unsigned char>(c));
+        mix_byte(0);  // terminator so {"ab","c"} != {"a","bc"}
+    };
+    mix_double(lib.sigma_fraction());
+    mix_double(lib.trunc_k());
+    mix_double(lib.output_load_ff());
+    for (const cells::Cell& cell : lib.cells()) {
+        mix_string(cell.name);
+        mix_byte(static_cast<unsigned char>(cell.fanin));
+        mix_double(cell.d_int_ns);
+        mix_double(cell.k_ns);
+        mix_double(cell.c_cell_ff);
+        mix_double(cell.c_in_ff);
+        mix_double(cell.area);
+        for (double w : cell.pin_weight) mix_double(w);
+        mix_byte(0);
+    }
+    return h;
+}
+
+void save_checkpoint(std::ostream& out, const CheckpointPayload& payload) {
+    const Scenario& s = payload.scenario;
+    const core::StatisticalSizerLoop::ResumeState& loop = payload.loop;
+    require_writable_name("design", payload.design_name);
+    require_writable_name("scenario", s.name);
+
+    out << kMagic << " v" << kCheckpointFormatVersion << '\n';
+    out << "design " << payload.design_name << '\n';
+    out << "scenario " << s.name << '\n';
+    out << "iteration " << loop.iteration << '\n';
+    out << "finished " << (loop.finished ? 1 : 0) << '\n';
+
+    out << "objective " << objective_name(s.objective) << ' '
+        << fmt_double(s.percentile) << '\n';
+    out << "grid_bins " << s.grid_bins << '\n';
+    out << "selector " << Scenario::selector_name(s.selector) << '\n';
+    out << "delta_w " << fmt_double(s.delta_w) << '\n';
+    out << "max_width " << fmt_double(s.max_width) << '\n';
+    out << "max_iterations " << s.max_iterations << '\n';
+    out << "area_budget " << fmt_double(s.area_budget) << '\n';
+    out << "target_objective_ns " << fmt_double(s.target_objective_ns) << '\n';
+    out << "gates_per_iteration " << s.gates_per_iteration << '\n';
+    out << "threads " << s.threads << '\n';
+    out << "incremental_ssta " << (s.incremental_ssta ? 1 : 0) << '\n';
+    out << "mc_samples " << s.mc_samples << '\n';
+    out << "seed " << s.seed << '\n';
+
+    out << "library " << payload.library_fingerprint << '\n';
+    out << "grid_dt_ns " << fmt_double(payload.grid_dt_ns) << '\n';
+    out << "rng " << payload.rng.s[0] << ' ' << payload.rng.s[1] << ' '
+        << payload.rng.s[2] << ' ' << payload.rng.s[3] << ' '
+        << fmt_double(payload.rng.spare) << ' ' << (payload.rng.has_spare ? 1 : 0)
+        << '\n';
+
+    out << "widths " << payload.widths.size() << '\n';
+    for (std::size_t i = 0; i < payload.widths.size(); ++i)
+        out << fmt_double(payload.widths[i])
+            << ((i + 1) % 8 == 0 || i + 1 == payload.widths.size() ? '\n' : ' ');
+
+    const core::SizingResult& res = loop.result;
+    out << "running " << fmt_double(loop.running_area) << ' '
+        << fmt_double(loop.running_width) << '\n';
+    out << "result " << fmt_double(res.initial_objective_ns) << ' '
+        << fmt_double(res.final_objective_ns) << ' ' << fmt_double(res.initial_area)
+        << ' ' << fmt_double(res.final_area) << ' ' << res.iterations << ' '
+        << fmt_double(res.ssta_refresh_seconds) << ' ' << res.ssta_nodes_recomputed
+        << ' ' << res.selector_passes << ' ' << res.conflicts_skipped << '\n';
+    out << "stop_reason " << res.stop_reason << '\n';
+
+    out << "history " << res.history.size() << '\n';
+    for (const core::IterationRecord& rec : res.history) {
+        out << rec.iteration << ' ' << rec.gate.value << ' '
+            << fmt_double(rec.sensitivity) << ' ' << fmt_double(rec.objective_after_ns)
+            << ' ' << fmt_double(rec.area_after) << ' ' << fmt_double(rec.width_after)
+            << ' ' << rec.stats.candidates << ' ' << rec.stats.completed << ' '
+            << rec.stats.pruned << ' ' << rec.stats.died << ' '
+            << rec.stats.nodes_computed << ' ' << rec.stats.levels_stepped << ' '
+            << fmt_double(rec.stats.seconds) << '\n';
+    }
+    out << "end\n";
+    out.flush();
+    if (!out) throw Error("checkpoint: write failed");
+}
+
+CheckpointPayload load_checkpoint(std::istream& in) {
+    Reader r(in);
+    const CheckpointInfo info = read_header(r);
+
+    CheckpointPayload payload;
+    payload.design_name = info.design;
+    Scenario& s = payload.scenario;
+    s.name = info.scenario;
+    payload.loop.iteration = info.iteration;
+    payload.loop.finished = info.finished;
+
+    {
+        const auto obj = r.expect("objective", 2);
+        s.objective = parse_objective(r, obj[0]);
+        s.percentile = r.as_double(obj[1]);
+    }
+    s.grid_bins = static_cast<int>(r.as_int(r.expect("grid_bins")[0]));
+    s.selector = parse_selector(r, r.expect("selector")[0]);
+    s.delta_w = r.as_double(r.expect("delta_w")[0]);
+    s.max_width = r.as_double(r.expect("max_width")[0]);
+    s.max_iterations = static_cast<int>(r.as_int(r.expect("max_iterations")[0]));
+    s.area_budget = r.as_double(r.expect("area_budget")[0]);
+    s.target_objective_ns = r.as_double(r.expect("target_objective_ns")[0]);
+    s.gates_per_iteration =
+        static_cast<int>(r.as_int(r.expect("gates_per_iteration")[0]));
+    s.threads = static_cast<std::size_t>(r.as_uint(r.expect("threads")[0]));
+    s.incremental_ssta = r.as_int(r.expect("incremental_ssta")[0]) != 0;
+    s.mc_samples = static_cast<std::size_t>(r.as_uint(r.expect("mc_samples")[0]));
+    s.seed = r.as_uint(r.expect("seed")[0]);
+
+    payload.library_fingerprint = r.as_uint(r.expect("library")[0]);
+    payload.grid_dt_ns = r.as_double(r.expect("grid_dt_ns")[0]);
+    {
+        const auto rng = r.expect("rng", 6);
+        for (int i = 0; i < 4; ++i)
+            payload.rng.s[static_cast<std::size_t>(i)] =
+                r.as_uint(rng[static_cast<std::size_t>(i)]);
+        payload.rng.spare = r.as_double(rng[4]);
+        payload.rng.has_spare = r.as_int(rng[5]) != 0;
+    }
+
+    const std::size_t width_count = r.as_count(r.expect("widths")[0]);
+    payload.widths.reserve(width_count);
+    while (payload.widths.size() < width_count) {
+        for (const std::string& tok : r.next_line()) {
+            if (payload.widths.size() >= width_count)
+                throw ParseError("<checkpoint>", r.line_number(),
+                                 "more widths than declared");
+            payload.widths.push_back(r.as_double(tok));
+        }
+    }
+
+    {
+        const auto running = r.expect("running", 2);
+        payload.loop.running_area = r.as_double(running[0]);
+        payload.loop.running_width = r.as_double(running[1]);
+    }
+    core::SizingResult& res = payload.loop.result;
+    {
+        const auto v = r.expect("result", 9);
+        res.initial_objective_ns = r.as_double(v[0]);
+        res.final_objective_ns = r.as_double(v[1]);
+        res.initial_area = r.as_double(v[2]);
+        res.final_area = r.as_double(v[3]);
+        res.iterations = static_cast<int>(r.as_int(v[4]));
+        res.ssta_refresh_seconds = r.as_double(v[5]);
+        res.ssta_nodes_recomputed = static_cast<std::size_t>(r.as_uint(v[6]));
+        res.selector_passes = static_cast<std::size_t>(r.as_uint(v[7]));
+        res.conflicts_skipped = static_cast<std::size_t>(r.as_uint(v[8]));
+    }
+    res.stop_reason = join(r.expect("stop_reason"));
+
+    const std::size_t history_count = r.as_count(r.expect("history", 1)[0]);
+    res.history.reserve(history_count);
+    for (std::size_t i = 0; i < history_count; ++i) {
+        const auto v = r.next_line();
+        if (v.size() != 13)
+            throw ParseError("<checkpoint>", r.line_number(),
+                             "malformed history record");
+        core::IterationRecord rec;
+        rec.iteration = static_cast<int>(r.as_int(v[0]));
+        rec.gate = GateId{static_cast<std::uint32_t>(r.as_uint(v[1]))};
+        rec.sensitivity = r.as_double(v[2]);
+        rec.objective_after_ns = r.as_double(v[3]);
+        rec.area_after = r.as_double(v[4]);
+        rec.width_after = r.as_double(v[5]);
+        rec.stats.candidates = static_cast<std::size_t>(r.as_uint(v[6]));
+        rec.stats.completed = static_cast<std::size_t>(r.as_uint(v[7]));
+        rec.stats.pruned = static_cast<std::size_t>(r.as_uint(v[8]));
+        rec.stats.died = static_cast<std::size_t>(r.as_uint(v[9]));
+        rec.stats.nodes_computed = static_cast<std::size_t>(r.as_uint(v[10]));
+        rec.stats.levels_stepped = static_cast<std::size_t>(r.as_uint(v[11]));
+        rec.stats.seconds = r.as_double(v[12]);
+        res.history.push_back(std::move(rec));
+    }
+    if (r.next_line().front() != "end")
+        throw ParseError("<checkpoint>", r.line_number(), "missing 'end' terminator");
+    return payload;
+}
+
+}  // namespace detail
+
+}  // namespace statim::api

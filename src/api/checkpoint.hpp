@@ -1,0 +1,42 @@
+// Sizing-run checkpoint format.
+//
+// A checkpoint is a line-oriented text snapshot of everything an
+// interrupted SizingRun cannot recompute: the scenario, the grid pitch,
+// every gate width, the RNG state, and the loop bookkeeping (history,
+// exact accumulators, stop state). Doubles are serialized as C99
+// hexfloats ("%a"), which round-trip bit for bit, so a resumed run
+// continues the uninterrupted trajectory exactly — final arrivals and
+// sizing history are bitwise identical for any thread or batch count
+// (tests/test_checkpoint.cpp).
+//
+// Compatibility rule: `kCheckpointFormatVersion` MUST be bumped whenever
+// a field is added, removed, reordered or reinterpreted — readers reject
+// any version other than their own (checkpoints are short-lived restart
+// artifacts, not archives; no cross-version migration is attempted).
+// Bump it too when an *engine* change alters the meaning of saved state
+// (e.g. a new accumulator the loop carries across iterations), since a
+// stale checkpoint would then resume onto a diverging trajectory.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace statim::api {
+
+inline constexpr int kCheckpointFormatVersion = 1;
+
+/// Header fields of a checkpoint, readable without restoring it (the
+/// CLI's `statim size --checkpoint` uses this to describe a resume).
+struct CheckpointInfo {
+    int version{0};
+    std::string design;    ///< netlist name the checkpoint was taken from
+    std::string scenario;  ///< Scenario::name
+    int iteration{0};      ///< outer iterations completed at save time
+    bool finished{false};
+};
+
+/// Parses the checkpoint header. Throws util ParseError on a malformed
+/// stream or a version mismatch.
+[[nodiscard]] CheckpointInfo checkpoint_info(std::istream& in);
+
+}  // namespace statim::api

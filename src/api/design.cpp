@@ -1,0 +1,72 @@
+#include "api/design.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "cells/liberty_lite.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/iscas.hpp"
+
+namespace statim::api {
+
+Design::Design(netlist::Netlist nl, cells::Library lib)
+    : nl_(std::move(nl)), lib_(std::move(lib)) {}
+
+Design Design::from_registry(const std::string& name) {
+    return from_registry(name, cells::Library::standard_180nm());
+}
+
+Design Design::from_registry(const std::string& name, cells::Library lib) {
+    netlist::Netlist nl = netlist::make_iscas(name, lib);
+    return Design(std::move(nl), std::move(lib));
+}
+
+Design Design::from_bench_text(const std::string& text, const std::string& name) {
+    return from_bench_text(text, name, cells::Library::standard_180nm());
+}
+
+Design Design::from_bench_text(const std::string& text, const std::string& name,
+                               cells::Library lib) {
+    std::istringstream in(text);
+    netlist::Netlist nl = netlist::read_bench(in, lib, name);
+    return Design(std::move(nl), std::move(lib));
+}
+
+Design Design::from_bench_file(const std::string& path) {
+    return from_bench_file(path, cells::Library::standard_180nm());
+}
+
+Design Design::from_bench_file(const std::string& path, cells::Library lib) {
+    netlist::Netlist nl = netlist::load_bench(path, lib);
+    return Design(std::move(nl), std::move(lib));
+}
+
+Design Design::from_generator(const netlist::GeneratorSpec& spec) {
+    return from_generator(spec, cells::Library::standard_180nm());
+}
+
+Design Design::from_generator(const netlist::GeneratorSpec& spec, cells::Library lib) {
+    netlist::Netlist nl = netlist::generate_circuit(spec, lib);
+    return Design(std::move(nl), std::move(lib));
+}
+
+Design Design::from_netlist(netlist::Netlist nl, cells::Library lib) {
+    nl.validate(lib);
+    return Design(std::move(nl), std::move(lib));
+}
+
+cells::Library Design::load_library(const std::string& path) {
+    return cells::load_liberty_lite(path);
+}
+
+const std::string& Design::cell_name(GateId g) const {
+    return lib_.cell(nl_.gate(g).cell).name;
+}
+
+void Design::reset_widths() { nl_.set_uniform_width(1.0); }
+
+void Design::write_bench(std::ostream& out) const {
+    netlist::write_bench(out, nl_, lib_);
+}
+
+}  // namespace statim::api

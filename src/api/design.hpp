@@ -1,0 +1,85 @@
+// api::Design — one circuit bound to one cell library, the unit every
+// public entry point operates on.
+//
+// A Design is a *value*: it owns its netlist and library, is copyable
+// (run_scenarios copies one per scenario so independent runs never share
+// mutable widths), and carries no analysis state — contexts and engines
+// are created internally per run, which is what keeps scenario execution
+// embarrassingly parallel. Construct one from the circuit registry, from
+// .bench text or a file, from a synthetic generator spec, or from an
+// existing netlist.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cells/library.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/netlist.hpp"
+#include "util/types.hpp"
+
+namespace statim::api {
+
+class Design {
+  public:
+    /// A registry circuit ("c17", the ten paper circuits, synth10k…)
+    /// under the builtin 180 nm-class library (or `lib`).
+    [[nodiscard]] static Design from_registry(const std::string& name);
+    [[nodiscard]] static Design from_registry(const std::string& name,
+                                              cells::Library lib);
+
+    /// Parses ISCAS .bench text. Throws util ParseError/NetlistError on
+    /// malformed input.
+    [[nodiscard]] static Design from_bench_text(const std::string& text,
+                                                const std::string& name = "<text>");
+    [[nodiscard]] static Design from_bench_text(const std::string& text,
+                                                const std::string& name,
+                                                cells::Library lib);
+
+    /// Loads a .bench file (optionally with a liberty-lite library file).
+    [[nodiscard]] static Design from_bench_file(const std::string& path);
+    [[nodiscard]] static Design from_bench_file(const std::string& path,
+                                                cells::Library lib);
+
+    /// Generates a synthetic circuit from `spec` (deterministic per
+    /// (spec, seed)).
+    [[nodiscard]] static Design from_generator(const netlist::GeneratorSpec& spec);
+    [[nodiscard]] static Design from_generator(const netlist::GeneratorSpec& spec,
+                                               cells::Library lib);
+
+    /// Adopts an existing netlist (must validate against `lib`).
+    [[nodiscard]] static Design from_netlist(netlist::Netlist nl, cells::Library lib);
+
+    /// Loads a liberty-lite cell library file (the `--lib` flag of the
+    /// CLI and examples); pair with the `lib` overloads above.
+    [[nodiscard]] static cells::Library load_library(const std::string& path);
+
+    [[nodiscard]] const std::string& name() const noexcept { return nl_.name(); }
+    [[nodiscard]] const netlist::Netlist& netlist() const noexcept { return nl_; }
+    [[nodiscard]] netlist::Netlist& netlist() noexcept { return nl_; }
+    [[nodiscard]] const cells::Library& library() const noexcept { return lib_; }
+
+    [[nodiscard]] std::size_t gate_count() const noexcept { return nl_.gate_count(); }
+    [[nodiscard]] std::size_t net_count() const noexcept { return nl_.net_count(); }
+    [[nodiscard]] const std::string& gate_name(GateId g) const {
+        return nl_.gate(g).name;
+    }
+    /// The library cell name of gate `g` (e.g. "NAND2").
+    [[nodiscard]] const std::string& cell_name(GateId g) const;
+    [[nodiscard]] double total_area() const { return nl_.total_area(lib_); }
+    [[nodiscard]] double total_width() const noexcept { return nl_.total_width(); }
+
+    /// Resets every gate to the library minimum width.
+    void reset_widths();
+
+    /// Writes the current netlist as .bench text.
+    void write_bench(std::ostream& out) const;
+
+  private:
+    Design(netlist::Netlist nl, cells::Library lib);
+
+    netlist::Netlist nl_;
+    cells::Library lib_;
+};
+
+}  // namespace statim::api

@@ -1,0 +1,45 @@
+// Internal Scenario → core/ssta configuration converters. Not part of
+// the stable API surface: consumers include api/statim.hpp, which leaves
+// this header out.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "api/scenario.hpp"
+#include "cells/library.hpp"
+#include "core/sizers.hpp"
+#include "ssta/grid_policy.hpp"
+#include "util/rng.hpp"
+
+namespace statim::api::detail {
+
+[[nodiscard]] core::Objective to_objective(const Scenario& s);
+[[nodiscard]] ssta::GridPolicy to_grid_policy(const Scenario& s);
+[[nodiscard]] core::SelectorKind to_selector_kind(Scenario::Selector s);
+[[nodiscard]] core::StatisticalSizerConfig to_sizer_config(const Scenario& s);
+
+/// Stable digest of everything the delay/area model reads from a
+/// library (cell parameters, pin weights, sigma fraction, truncation).
+/// Checkpoints carry it so a resume under a different library — which
+/// would silently diverge from the saved trajectory — is rejected.
+[[nodiscard]] std::uint64_t library_fingerprint(const cells::Library& lib);
+
+/// Everything a checkpoint carries (see api/checkpoint.hpp for the
+/// format contract).
+struct CheckpointPayload {
+    std::string design_name;
+    std::uint64_t library_fingerprint{0};
+    double grid_dt_ns{0.0};
+    Scenario scenario;
+    Rng::State rng;
+    std::vector<double> widths;  ///< per gate, GateId order
+    core::StatisticalSizerLoop::ResumeState loop;
+};
+
+void save_checkpoint(std::ostream& out, const CheckpointPayload& payload);
+/// Throws util ParseError on malformed input or a version mismatch.
+[[nodiscard]] CheckpointPayload load_checkpoint(std::istream& in);
+
+}  // namespace statim::api::detail

@@ -1,0 +1,94 @@
+#include "api/scenario.hpp"
+
+#include "api/detail.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace statim::api {
+
+const char* Scenario::selector_name(Selector s) noexcept {
+    switch (s) {
+        case Selector::Pruned: return "pruned";
+        case Selector::BruteForce: return "brute";
+        case Selector::BruteCone: return "cone";
+    }
+    return "pruned";
+}
+
+Scenario::Selector Scenario::parse_selector(std::string_view name) {
+    if (name == "pruned") return Selector::Pruned;
+    if (name == "brute") return Selector::BruteForce;
+    if (name == "cone") return Selector::BruteCone;
+    throw ConfigError("unknown selector '" + std::string(name) +
+                      "' (expected pruned, brute or cone)");
+}
+
+void Scenario::validate() const {
+    if (name.find_first_of("\r\n") != std::string::npos)
+        throw ConfigError("Scenario: name must not contain newlines");
+    if (objective == Objective::Percentile && (!(percentile > 0.0) || !(percentile <= 1.0)))
+        throw ConfigError("Scenario '" + name + "': percentile must be in (0, 1]");
+    if (grid_bins < 0)
+        throw ConfigError("Scenario '" + name + "': grid_bins must be >= 0");
+    if (!(delta_w > 0.0))
+        throw ConfigError("Scenario '" + name + "': delta_w must be positive");
+    if (!(max_width > 0.0))
+        throw ConfigError("Scenario '" + name + "': max_width must be positive");
+    if (max_iterations < 0)
+        throw ConfigError("Scenario '" + name + "': max_iterations must be >= 0");
+    if (!(area_budget >= 0.0))  // rejects NaN and negatives
+        throw ConfigError("Scenario '" + name + "': area_budget must be >= 0");
+    if (gates_per_iteration < 0)
+        throw ConfigError("Scenario '" + name +
+                          "': gates_per_iteration must be >= 1 (or 0 for STATIM_BATCH)");
+}
+
+std::size_t Scenario::resolved_threads() const {
+    return threads > 0 ? threads : default_thread_count();
+}
+
+namespace detail {
+
+core::Objective to_objective(const Scenario& s) {
+    switch (s.objective) {
+        case Scenario::Objective::Percentile:
+            return core::Objective::percentile(s.percentile);
+        case Scenario::Objective::Mean: return core::Objective::mean();
+    }
+    throw ConfigError("Scenario: unknown objective kind");
+}
+
+ssta::GridPolicy to_grid_policy(const Scenario& s) {
+    ssta::GridPolicy policy;
+    if (s.grid_bins > 0) policy.target_bins = s.grid_bins;
+    return policy;
+}
+
+core::SelectorKind to_selector_kind(Scenario::Selector s) {
+    switch (s) {
+        case Scenario::Selector::Pruned: return core::SelectorKind::Pruned;
+        case Scenario::Selector::BruteForce: return core::SelectorKind::BruteFull;
+        case Scenario::Selector::BruteCone: return core::SelectorKind::BruteCone;
+    }
+    throw ConfigError("Scenario: unknown selector kind");
+}
+
+core::StatisticalSizerConfig to_sizer_config(const Scenario& s) {
+    s.validate();
+    core::StatisticalSizerConfig cfg;
+    cfg.objective = to_objective(s);
+    cfg.delta_w = s.delta_w;
+    cfg.max_width = s.max_width;
+    cfg.max_iterations = s.max_iterations;
+    cfg.area_budget = s.area_budget;
+    cfg.target_objective_ns = s.target_objective_ns;
+    cfg.selector = to_selector_kind(s.selector);
+    cfg.gates_per_iteration = s.gates_per_iteration;
+    cfg.threads = s.resolved_threads();
+    cfg.incremental_ssta = s.incremental_ssta;
+    return cfg;
+}
+
+}  // namespace detail
+
+}  // namespace statim::api

@@ -1,0 +1,87 @@
+// api::Scenario — one complete description of "how to analyze/size this
+// design": objective, grid policy, selector, parallelism, batching and
+// budgets in a single value.
+//
+// The internal configuration structs (core::StatisticalSizerConfig,
+// core::SelectorConfig, ssta::GridPolicy, mc::McConfig) are populated
+// from a Scenario and never surface through the public API; everything a
+// consumer used to plumb by hand lives here. Scenarios are plain values:
+// build a vector of them and hand it to api::run_scenarios to evaluate
+// the same design under N configurations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+namespace statim::api {
+
+struct Scenario {
+    /// Label carried into results and checkpoints ("p99-batch4", …).
+    std::string name{"default"};
+
+    // ---- objective over the circuit-delay distribution ----------------
+    enum class Objective { Percentile, Mean };
+    Objective objective{Objective::Percentile};
+    /// Percentile point in (0, 1]; used when objective == Percentile
+    /// (the paper's yield objective uses 0.99).
+    double percentile{0.99};
+
+    // ---- discretization grid ------------------------------------------
+    /// Bins spanned by the nominal critical-path delay (the grid-pitch
+    /// policy); 0 keeps the library default.
+    int grid_bins{0};
+
+    // ---- candidate selection ------------------------------------------
+    enum class Selector { Pruned, BruteForce, BruteCone };
+    Selector selector{Selector::Pruned};
+
+    /// Canonical selector names ("pruned", "brute", "cone") — the one
+    /// mapping the CLI flags, the examples and the checkpoint format all
+    /// share.
+    [[nodiscard]] static const char* selector_name(Selector s) noexcept;
+    /// Inverse of selector_name; throws ConfigError on an unknown name.
+    [[nodiscard]] static Selector parse_selector(std::string_view name);
+
+    // ---- sizing loop ---------------------------------------------------
+    /// Width step per upsize (Δw).
+    double delta_w{0.25};
+    /// Per-gate width cap.
+    double max_width{16.0};
+    /// Outer-iteration budget.
+    int max_iterations{1000};
+    /// Stop once (total area − initial area) reaches this budget.
+    double area_budget{std::numeric_limits<double>::infinity()};
+    /// Stop once the objective reaches this target (ns).
+    double target_objective_ns{0.0};
+    /// Gates committed per iteration under one merged-cone refresh
+    /// (0 = resolve from STATIM_BATCH, default 1).
+    int gates_per_iteration{0};
+
+    // ---- execution -----------------------------------------------------
+    /// Shards for candidate evaluation and SSTA propagation waves.
+    /// Results are bit-identical for any value; 0 = the process-wide
+    /// default (--threads / STATIM_THREADS / hardware_concurrency).
+    std::size_t threads{0};
+    /// Incremental arrival refresh between commits (bit-identical; off
+    /// is the reference full-rerun path kept for A/B benching).
+    bool incremental_ssta{true};
+
+    // ---- validation ----------------------------------------------------
+    /// Monte Carlo samples for the post-sizing validation run (0 = skip).
+    /// The sample seed is drawn from the run's RNG stream, which
+    /// checkpoints preserve.
+    std::size_t mc_samples{0};
+    /// Seed of the scenario's RNG stream.
+    std::uint64_t seed{1};
+
+    /// Throws ConfigError on out-of-range values (bad percentile,
+    /// negative budgets, delta_w <= 0, …).
+    void validate() const;
+
+    /// Resolved thread count: `threads`, or the process default when 0.
+    [[nodiscard]] std::size_t resolved_threads() const;
+};
+
+}  // namespace statim::api

@@ -1,0 +1,49 @@
+#include "api/scenarios.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "api/sizing_run.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace statim::api {
+
+namespace {
+
+ScenarioResult run_one(const Design& design, const Scenario& scenario) {
+    Timer timer;
+    ScenarioResult result{scenario, design, {}, {}, 0.0};
+
+    SizingRun run(result.design, scenario);
+    run.run_to_convergence();
+    result.sizing = run.result();
+
+    if (scenario.mc_samples > 0) result.mc = run.validate_mc(scenario.mc_samples);
+    result.seconds = timer.seconds();
+    return result;
+}
+
+}  // namespace
+
+std::vector<ScenarioResult> run_scenarios(const Design& design,
+                                          std::span<const Scenario> scenarios) {
+    // Fail fast on any invalid scenario before spending work on the rest.
+    for (const Scenario& s : scenarios) s.validate();
+
+    // Slots are indexed by scenario, so the output order is the input
+    // order no matter which run finishes first; parallel_for rethrows the
+    // first per-run exception after the batch drains.
+    std::vector<std::optional<ScenarioResult>> slots(scenarios.size());
+    global_pool().parallel_for(scenarios.size(), [&](std::size_t i) {
+        slots[i] = run_one(design, scenarios[i]);
+    });
+
+    std::vector<ScenarioResult> results;
+    results.reserve(slots.size());
+    for (std::optional<ScenarioResult>& slot : slots)
+        results.push_back(std::move(*slot));
+    return results;
+}
+
+}  // namespace statim::api

@@ -1,0 +1,53 @@
+// api::run_scenarios — evaluate one design under N scenarios.
+//
+// Each scenario gets its own copy of the design and its own analysis
+// context, so runs never share mutable state; they execute concurrently
+// on the process thread pool and the result vector is always in input
+// scenario order, bit-identical for any thread count (the per-run
+// engines shard by configured counts, never by who executes them). This
+// is the seam the ROADMAP's distributed/multi-process sharding plugs
+// into: a remote driver partitions the scenario list instead of the
+// pool.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "api/analysis.hpp"
+#include "api/design.hpp"
+#include "api/scenario.hpp"
+#include "core/sizers.hpp"
+
+namespace statim::api {
+
+/// Outcome of one scenario of a run_scenarios batch.
+struct ScenarioResult {
+    /// The scenario that produced this result (validated copy).
+    Scenario scenario;
+    /// The sized circuit (a copy of the input design; the input is never
+    /// modified).
+    Design design;
+    /// Full sizing trajectory (history, budgets, stop reason).
+    core::SizingResult sizing;
+    /// Monte Carlo validation of the sized circuit; samples == 0 unless
+    /// scenario.mc_samples requested it.
+    McSummary mc;
+    /// Wall-clock of this scenario's run (sizing + validation).
+    double seconds{0.0};
+
+    [[nodiscard]] double objective_ns() const noexcept {
+        return sizing.final_objective_ns;
+    }
+    [[nodiscard]] double area() const noexcept { return sizing.final_area; }
+};
+
+/// Sizes `design` under every scenario in `scenarios` (independent runs,
+/// executed across the thread pool) and returns one result per scenario,
+/// in scenario order regardless of completion order or thread count.
+/// Throws ConfigError if any scenario fails validation — before any work
+/// starts — and rethrows the first per-run failure after the batch
+/// drains.
+[[nodiscard]] std::vector<ScenarioResult> run_scenarios(
+    const Design& design, std::span<const Scenario> scenarios);
+
+}  // namespace statim::api

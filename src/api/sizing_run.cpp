@@ -1,0 +1,124 @@
+#include "api/sizing_run.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <utility>
+
+#include "api/checkpoint.hpp"
+#include "api/detail.hpp"
+#include "core/context.hpp"
+#include "util/error.hpp"
+
+namespace statim::api {
+
+struct SizingRun::Impl {
+    /// Fresh run: grid chosen from the design's current widths.
+    Impl(Design& design, Scenario scenario_in)
+        : design(&design),
+          scenario(std::move(scenario_in)),
+          ctx(design.netlist(), design.library(), detail::to_grid_policy(scenario)),
+          loop(ctx, detail::to_sizer_config(scenario)),
+          rng(scenario.seed) {}
+
+    /// Resumed run: explicit grid pitch from the checkpoint (the grid is
+    /// normally derived from the *starting* widths, which a resumed
+    /// context no longer holds).
+    Impl(Design& design, Scenario scenario_in, prob::TimeGrid grid)
+        : design(&design),
+          scenario(std::move(scenario_in)),
+          ctx(design.netlist(), design.library(), grid),
+          loop(ctx, detail::to_sizer_config(scenario)),
+          rng(scenario.seed) {}
+
+    Design* design;
+    Scenario scenario;
+    core::Context ctx;
+    core::StatisticalSizerLoop loop;
+    Rng rng;
+};
+
+SizingRun::SizingRun(Design& design, Scenario scenario)
+    : impl_(std::make_unique<Impl>(design, std::move(scenario))) {}
+
+SizingRun::SizingRun(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+SizingRun::~SizingRun() = default;
+SizingRun::SizingRun(SizingRun&&) noexcept = default;
+SizingRun& SizingRun::operator=(SizingRun&&) noexcept = default;
+
+bool SizingRun::step() { return impl_->loop.step(); }
+
+void SizingRun::run_to_convergence() {
+    while (impl_->loop.step()) {
+    }
+}
+
+bool SizingRun::finished() const { return impl_->loop.finished(); }
+int SizingRun::iteration() const { return impl_->loop.iteration(); }
+double SizingRun::objective_ns() const {
+    return impl_->loop.result().final_objective_ns;
+}
+double SizingRun::area() const { return impl_->loop.result().final_area; }
+const Scenario& SizingRun::scenario() const { return impl_->scenario; }
+const core::SizingResult& SizingRun::result() const { return impl_->loop.result(); }
+Rng& SizingRun::rng() { return impl_->rng; }
+
+McSummary SizingRun::validate_mc(std::size_t samples) {
+    Scenario mc_scenario = impl_->scenario;
+    mc_scenario.seed = static_cast<std::uint64_t>(
+        impl_->rng.uniform_int(0, std::numeric_limits<std::int64_t>::max()));
+    return monte_carlo(*impl_->design, mc_scenario, samples);
+}
+
+void SizingRun::save(std::ostream& out) const {
+    const Impl& impl = *impl_;
+    detail::CheckpointPayload payload;
+    payload.design_name = impl.design->name();
+    payload.library_fingerprint = detail::library_fingerprint(impl.design->library());
+    payload.grid_dt_ns = impl.ctx.grid().dt_ns();
+    payload.scenario = impl.scenario;
+    // Pin the STATIM_BATCH-resolved batch: a resume under a different
+    // environment must continue the exact uninterrupted trajectory.
+    payload.scenario.gates_per_iteration = impl.loop.batch();
+    payload.rng = impl.rng.state();
+    payload.widths.reserve(impl.design->gate_count());
+    for (const auto& gate : impl.design->netlist().gates())
+        payload.widths.push_back(gate.width);
+    payload.loop = impl.loop.save_state();
+    detail::save_checkpoint(out, payload);
+}
+
+SizingRun SizingRun::resume(Design& design, std::istream& in) {
+    detail::CheckpointPayload payload = detail::load_checkpoint(in);
+    if (payload.design_name != design.name())
+        throw ConfigError("SizingRun::resume: checkpoint was taken from design '" +
+                          payload.design_name + "', not '" + design.name() + "'");
+    if (payload.widths.size() != design.gate_count())
+        throw ConfigError(
+            "SizingRun::resume: checkpoint gate count " +
+            std::to_string(payload.widths.size()) + " does not match design (" +
+            std::to_string(design.gate_count()) + ")");
+    if (payload.library_fingerprint != detail::library_fingerprint(design.library()))
+        throw ConfigError(
+            "SizingRun::resume: the design's cell library differs from the "
+            "checkpoint's — the continuation would diverge from the saved "
+            "trajectory");
+
+    // Install the checkpoint widths, then rebuild the analysis state from
+    // scratch on the checkpoint's grid. The loop constructor's full SSTA
+    // run is bit-identical to the incremental state the interrupted run
+    // carried (the engine's core property), so restore_state() leaves the
+    // continuation on the exact uninterrupted trajectory.
+    netlist::Netlist& nl = design.netlist();
+    for (std::size_t gi = 0; gi < payload.widths.size(); ++gi)
+        nl.gate(GateId{static_cast<std::uint32_t>(gi)}).width = payload.widths[gi];
+
+    auto impl = std::make_unique<Impl>(design, std::move(payload.scenario),
+                                       prob::TimeGrid(payload.grid_dt_ns));
+    impl->loop.restore_state(std::move(payload.loop));
+    impl->rng.set_state(payload.rng);
+    return SizingRun(std::move(impl));
+}
+
+}  // namespace statim::api

@@ -1,0 +1,88 @@
+// api::SizingRun — a stepwise, checkpointable statistical sizing run.
+//
+// Wraps the core sizer loop behind a stable handle: construct one from a
+// Design + Scenario, then step() per outer iteration (observing the
+// objective/area trajectory as it runs) or run_to_convergence() in one
+// call. The design's netlist is sized in place.
+//
+// Checkpointing: save() snapshots the run (gate widths, history, exact
+// accumulators, RNG state, scenario, grid pitch) to a stream; resume()
+// reconstructs a run from that stream onto the same design and continues
+// the *uninterrupted* trajectory — final arrivals and sizing history are
+// bitwise identical to a run that never stopped, for any thread or batch
+// count. Format contract: api/checkpoint.hpp.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "api/analysis.hpp"
+#include "api/design.hpp"
+#include "api/scenario.hpp"
+#include "core/sizers.hpp"
+#include "util/rng.hpp"
+
+namespace statim::api {
+
+class SizingRun {
+  public:
+    /// Binds to `design` (must outlive the run; its netlist is modified
+    /// in place) and runs the initial SSTA. Throws ConfigError on an
+    /// invalid scenario.
+    SizingRun(Design& design, Scenario scenario);
+    ~SizingRun();
+
+    SizingRun(SizingRun&&) noexcept;
+    SizingRun& operator=(SizingRun&&) noexcept;
+    SizingRun(const SizingRun&) = delete;
+    SizingRun& operator=(const SizingRun&) = delete;
+
+    /// Runs one outer iteration (committing up to the scenario's
+    /// gates_per_iteration gates under one merged-cone refresh); no-op
+    /// once finished. Returns !finished().
+    bool step();
+    /// Steps until the run stops (convergence, budget, target, or the
+    /// iteration cap).
+    void run_to_convergence();
+
+    [[nodiscard]] bool finished() const;
+    /// Outer iterations completed so far.
+    [[nodiscard]] int iteration() const;
+    /// Objective on the current sized state (ns).
+    [[nodiscard]] double objective_ns() const;
+    [[nodiscard]] double area() const;
+    [[nodiscard]] const Scenario& scenario() const;
+    /// Full per-iteration record (core::SizingResult is a stable result
+    /// type: history, budgets, stop reason, refresh accounting).
+    [[nodiscard]] const core::SizingResult& result() const;
+
+    /// The run's deterministic RNG stream (seeded from scenario.seed;
+    /// checkpoints carry its state). Post-sizing consumers draw from it
+    /// so save/resume does not change downstream sampling.
+    [[nodiscard]] Rng& rng();
+
+    /// Monte Carlo validation of the design's current sized state. The
+    /// sample seed is drawn from the run's RNG stream (which checkpoints
+    /// carry), so resumed and uninterrupted runs validate with identical
+    /// samples — the one implementation behind scenario.mc_samples and
+    /// the CLI's --mc.
+    [[nodiscard]] McSummary validate_mc(std::size_t samples);
+
+    /// Snapshots the run. Valid at any iteration boundary, finished or
+    /// not.
+    void save(std::ostream& out) const;
+
+    /// Reconstructs a run from a checkpoint onto `design` — the same
+    /// circuit the checkpoint was taken from (name and gate count are
+    /// verified; widths are overwritten from the checkpoint). Continues
+    /// bit-identically to the uninterrupted run.
+    [[nodiscard]] static SizingRun resume(Design& design, std::istream& in);
+
+  private:
+    struct Impl;
+    explicit SizingRun(std::unique_ptr<Impl> impl);
+
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace statim::api

@@ -1,0 +1,24 @@
+// statim public API — the one header consumers include.
+//
+//   #include "api/statim.hpp"
+//
+//   using namespace statim;
+//   api::Design design = api::Design::from_registry("c432");
+//   api::Scenario scenario;             // p99 objective, pruned selector
+//   api::SizingRun run(design, scenario);
+//   run.run_to_convergence();           // or step() + save() checkpoints
+//   api::AnalysisResult timing = api::analyze(design, scenario);
+//
+// Everything examples, the `statim` CLI and external consumers touch
+// lives under api:: (plus the util/ error and flag helpers); core/,
+// ssta/, sta/, prob/ and mc/ are internal and may change freely between
+// releases. See README "API" for the lifecycle walkthrough and
+// api/checkpoint.hpp for the checkpoint format contract.
+#pragma once
+
+#include "api/analysis.hpp"
+#include "api/checkpoint.hpp"
+#include "api/design.hpp"
+#include "api/scenario.hpp"
+#include "api/scenarios.hpp"
+#include "api/sizing_run.hpp"

@@ -9,12 +9,18 @@ namespace statim::core {
 ComparisonResult compare_optimizers(const std::string& circuit_name,
                                     const cells::Library& lib,
                                     const ComparisonConfig& config) {
-    ComparisonResult result;
-    result.circuit = circuit_name;
-
     // Two identical minimum-size copies: one per optimizer.
     netlist::Netlist nl_det = netlist::make_iscas(circuit_name, lib);
     netlist::Netlist nl_stat = netlist::make_iscas(circuit_name, lib);
+    return compare_optimizers(nl_det, nl_stat, lib, config, circuit_name);
+}
+
+ComparisonResult compare_optimizers(netlist::Netlist& nl_det, netlist::Netlist& nl_stat,
+                                    const cells::Library& lib,
+                                    const ComparisonConfig& config,
+                                    const std::string& name) {
+    ComparisonResult result;
+    result.circuit = name;
 
     // One grid for every evaluation, chosen from the min-size circuit.
     Context ctx_stat(nl_stat, lib, config.grid_policy);

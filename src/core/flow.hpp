@@ -59,6 +59,16 @@ struct ComparisonResult {
                                                   const cells::Library& lib,
                                                   const ComparisonConfig& config);
 
+/// Table 1 on explicit netlists (the api::compare_sizings entry point):
+/// `nl_det` and `nl_stat` must be identical copies of the circuit at its
+/// starting widths; each is sized in place by its optimizer, so the
+/// caller keeps both solutions for further analysis.
+[[nodiscard]] ComparisonResult compare_optimizers(netlist::Netlist& nl_det,
+                                                  netlist::Netlist& nl_stat,
+                                                  const cells::Library& lib,
+                                                  const ComparisonConfig& config,
+                                                  const std::string& name);
+
 struct RuntimeComparisonConfig {
     Objective objective{};
     double delta_w{0.25};

@@ -44,6 +44,33 @@ PerturbationFront::PerturbationFront(Context& ctx, const Objective& objective,
 
 PerturbationFront::~PerturbationFront() { release_front_state(state_); }
 
+PerturbationFront::PerturbationFront(PerturbationFront&& other) noexcept
+    : gate_(other.gate_),
+      delta_w_(other.delta_w_),
+      dt_ns_(other.dt_ns_),
+      objective_(other.objective_),
+      state_(other.state_),
+      uid_(other.uid_),
+      bound_sens_(other.bound_sens_),
+      sensitivity_(other.sensitivity_),
+      completed_(other.completed_),
+      record_footprint_(other.record_footprint_),
+      sink_view_(other.sink_view_),
+      stats_(other.stats_),
+      computed_nodes_(std::move(other.computed_nodes_)),
+      changed_nodes_(std::move(other.changed_nodes_)) {
+    other.state_ = nullptr;
+    other.sink_view_ = {};
+    other.completed_ = true;
+}
+
+void PerturbationFront::release() noexcept {
+    release_front_state(state_);
+    state_ = nullptr;
+    sink_view_ = {};  // pointed into the released state's arenas
+    completed_ = true;
+}
+
 void PerturbationFront::schedule(const Context& ctx, FrontWorkspace& ws, NodeId n) {
     if (ws.entry_index(n) != 0) return;  // already tracked by this front
     auto& entries = state_->entries;

@@ -68,6 +68,16 @@ class PerturbationFront {
 
     PerturbationFront(const PerturbationFront&) = delete;
     PerturbationFront& operator=(const PerturbationFront&) = delete;
+    /// Movable so the selector can pool fronts by value in a reused
+    /// vector (the moved-from front is released and inert).
+    PerturbationFront(PerturbationFront&& other) noexcept;
+    PerturbationFront& operator=(PerturbationFront&&) = delete;
+
+    /// Returns the pooled state early (before destruction) once the
+    /// front's numbers have been read; sink_pdf() becomes invalid and
+    /// propagate_one_level a no-op. Idempotent.
+    void release() noexcept;
+    [[nodiscard]] bool released() const noexcept { return state_ == nullptr; }
 
     /// Advances the shallowest pending level (Fig 9), waving the level's
     /// node set over ctx.ssta_threads() shards. No-op when completed.

@@ -14,9 +14,53 @@ namespace statim::core {
 
 namespace {
 
-/// Gates that may still grow by delta_w under the width cap.
-std::vector<GateId> eligible_gates(const Context& ctx, const SelectorConfig& config) {
+// Max-heap entry of the bound races; declared early so the pooled pass
+// scratch can carry heap storage.
+struct HeapEntry {
+    double bound;
+    std::uint32_t idx;
+    std::uint32_t gate_id;
+};
+
+/// Per-front result of a parallel drain, folded deterministically after
+/// the workers join.
+struct FrontOutcome {
+    enum class Kind : std::uint8_t { Pruned, Completed, Died };
+    Kind kind{Kind::Pruned};
+    double sensitivity{0.0};
+    std::size_t nodes_computed{0};
+    std::size_t levels_stepped{0};
+};
+
+/// Pooled per-thread containers of one selector pass. Everything sized
+/// by the candidate count is reused across passes (grow-only capacity),
+/// which — together with the pooled TrialResize buffers and front states
+/// — makes a warm steady-state pass allocation-free apart from the
+/// returned picks (census: bench_front_drain --smoke). One scratch per
+/// thread: a pass runs on one thread, and concurrent passes (e.g.
+/// api::run_scenarios) live on distinct pool threads. The set leaks like
+/// the other pools so thread_local teardown order cannot bite.
+struct PassScratch {
     std::vector<GateId> gates;
+    std::vector<PerturbationFront> fronts;
+    std::vector<FrontOutcome> outcomes;
+    std::vector<std::vector<std::uint32_t>> shard_fronts;
+    std::vector<RankedPick> completed;
+    std::vector<HeapEntry> heap;
+    std::vector<double> kth;
+};
+
+PassScratch& pass_scratch() {
+    static thread_local PassScratch* scratch = new PassScratch();
+    return *scratch;
+}
+
+/// Gates that may still grow by delta_w under the width cap, into the
+/// pooled list.
+const std::vector<GateId>& eligible_gates(const Context& ctx,
+                                          const SelectorConfig& config) {
+    std::vector<GateId>& gates = pass_scratch().gates;
+    gates.clear();
     const auto& nl = ctx.nl();
     for (std::size_t gi = 0; gi < nl.gate_count(); ++gi) {
         const GateId g{static_cast<std::uint32_t>(gi)};
@@ -39,29 +83,20 @@ std::size_t shard_count(const SelectorConfig& config, std::size_t candidates) {
     return std::min(config.threads, candidates);
 }
 
-/// Builds one perturbation front per candidate. Sequential by necessity:
-/// each TrialResize temporarily mutates the shared delay state.
-std::vector<std::unique_ptr<PerturbationFront>> init_fronts(
-    Context& ctx, const SelectorConfig& config, const std::vector<GateId>& gates) {
-    std::vector<std::unique_ptr<PerturbationFront>> fronts;
+/// Builds one perturbation front per candidate into the pooled `fronts`
+/// vector (cleared first; capacity and the per-front state pool are
+/// reused across passes). Sequential by necessity: each TrialResize
+/// temporarily mutates the shared delay state.
+void init_fronts(Context& ctx, const SelectorConfig& config,
+                 const std::vector<GateId>& gates,
+                 std::vector<PerturbationFront>& fronts) {
+    fronts.clear();
     fronts.reserve(gates.size());
     for (GateId g : gates) {
         TrialResize trial(ctx, g, config.delta_w);
-        fronts.push_back(
-            std::make_unique<PerturbationFront>(ctx, config.objective, trial));
+        fronts.emplace_back(ctx, config.objective, trial);
     }
-    return fronts;
 }
-
-/// Per-front result of a parallel drain, folded deterministically after
-/// the workers join.
-struct FrontOutcome {
-    enum class Kind : std::uint8_t { Pruned, Completed, Died };
-    Kind kind{Kind::Pruned};
-    double sensitivity{0.0};
-    std::size_t nodes_computed{0};
-    std::size_t levels_stepped{0};
-};
 
 void record_outcome(FrontOutcome& out, const PerturbationFront& front) {
     out.kind = front.sink_pdf().valid() ? FrontOutcome::Kind::Completed
@@ -103,12 +138,7 @@ void reduce_outcomes(const std::vector<GateId>& gates,
     }
 }
 
-// Max-heap on (bound, candidate); ties pop the lower gate id first.
-struct HeapEntry {
-    double bound;
-    std::uint32_t idx;
-    std::uint32_t gate_id;
-};
+// Max-heap order on (bound, candidate); ties pop the lower gate id first.
 struct HeapCmp {
     bool operator()(const HeapEntry& a, const HeapEntry& b) const {
         if (a.bound != b.bound) return a.bound < b.bound;
@@ -124,7 +154,12 @@ struct HeapCmp {
 /// threshold <= final k-th best — it can never enter the top k.
 class KthBestTracker {
   public:
-    explicit KthBestTracker(std::size_t k) : k_(k) {}
+    /// `storage` backs the internal heap (cleared here); pass the pooled
+    /// pass-scratch vector so a warm pass allocates nothing.
+    KthBestTracker(std::size_t k, std::vector<double>& storage)
+        : k_(k), heap_(storage) {
+        heap_.clear();
+    }
 
     void add(double sens) {
         if (!(sens > 0.0)) return;
@@ -144,7 +179,7 @@ class KthBestTracker {
 
   private:
     std::size_t k_;
-    std::vector<double> heap_;  // min-heap
+    std::vector<double>& heap_;  // min-heap, caller-pooled storage
 };
 
 /// Mutex-guarded KthBestTracker plus a monotone atomic snapshot of its
@@ -152,7 +187,8 @@ class KthBestTracker {
 /// makes pruning more conservative, never wrong.
 class SharedKthBest {
   public:
-    explicit SharedKthBest(std::size_t k) : tracker_(k) {}
+    SharedKthBest(std::size_t k, std::vector<double>& storage)
+        : tracker_(k, storage) {}
 
     void add(double sens) {
         if (!(sens > 0.0)) return;
@@ -185,18 +221,20 @@ void rank_picks(std::vector<RankedPick>& picks) {
 /// every completed positive-gain candidate in gate-id order (unsorted);
 /// fills `stats` with the sequential accounting. k = 1 reproduces the
 /// original algorithm move for move.
-std::vector<RankedPick> topk_pruned_sequential(Context& ctx,
-                                               const SelectorConfig& config,
-                                               const std::vector<GateId>& gates,
-                                               std::size_t k, SelectorStats& stats) {
+std::vector<RankedPick>& topk_pruned_sequential(Context& ctx,
+                                                const SelectorConfig& config,
+                                                const std::vector<GateId>& gates,
+                                                std::size_t k, SelectorStats& stats) {
+    PassScratch& scratch = pass_scratch();
     // Initialize every candidate's front (paper Fig 6, steps 3-5).
-    std::vector<std::unique_ptr<PerturbationFront>> fronts =
-        init_fronts(ctx, config, gates);
+    std::vector<PerturbationFront>& fronts = scratch.fronts;
+    init_fronts(ctx, config, gates, fronts);
 
-    std::vector<RankedPick> completed;
-    KthBestTracker best(k);  // paper step 6, k-generalized
+    std::vector<RankedPick>& completed = scratch.completed;
+    completed.clear();
+    KthBestTracker best(k, scratch.kth);  // paper step 6, k-generalized
     auto absorb_completion = [&](std::size_t idx) {
-        PerturbationFront& front = *fronts[idx];
+        PerturbationFront& front = fronts[idx];
         if (front.sink_pdf().valid()) ++stats.completed;
         else ++stats.died;
         const double sens = front.sensitivity();
@@ -206,27 +244,39 @@ std::vector<RankedPick> topk_pruned_sequential(Context& ctx,
         }
         stats.nodes_computed += front.stats().nodes_computed;
         stats.levels_stepped += front.stats().levels_stepped;
-        fronts[idx].reset();
+        front.release();
     };
 
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp> heap;
+    // Pooled max-heap: push_heap/pop_heap under HeapCmp reproduce the old
+    // priority_queue's pop order exactly.
+    std::vector<HeapEntry>& heap = scratch.heap;
+    heap.clear();
+    const auto heap_push = [&heap](HeapEntry e) {
+        heap.push_back(e);
+        std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+    };
+    const auto heap_pop = [&heap] {
+        std::pop_heap(heap.begin(), heap.end(), HeapCmp{});
+        const HeapEntry top = heap.back();
+        heap.pop_back();
+        return top;
+    };
 
     std::size_t alive = 0;
     for (std::size_t i = 0; i < fronts.size(); ++i) {
-        if (fronts[i]->completed()) {
+        if (fronts[i].completed()) {
             absorb_completion(i);
         } else {
-            heap.push({fronts[i]->bound_sensitivity(), static_cast<std::uint32_t>(i),
-                       fronts[i]->gate().value});
+            heap_push({fronts[i].bound_sensitivity(), static_cast<std::uint32_t>(i),
+                       fronts[i].gate().value});
             ++alive;
         }
     }
 
     while (!heap.empty()) {
-        const HeapEntry top = heap.top();
-        heap.pop();
-        if (!fronts[top.idx]) continue;  // finished via a previous entry
-        PerturbationFront& front = *fronts[top.idx];
+        const HeapEntry top = heap_pop();
+        if (fronts[top.idx].released()) continue;  // finished via a previous entry
+        PerturbationFront& front = fronts[top.idx];
         if (top.bound != front.bound_sensitivity()) continue;  // stale bound
 
         if (top.bound < best.threshold()) {
@@ -241,7 +291,7 @@ std::vector<RankedPick> topk_pruned_sequential(Context& ctx,
             --alive;
             absorb_completion(top.idx);
         } else {
-            heap.push({front.bound_sensitivity(), top.idx, top.gate_id});
+            heap_push({front.bound_sensitivity(), top.idx, top.gate_id});
         }
     }
     return completed;
@@ -251,37 +301,51 @@ std::vector<RankedPick> topk_pruned_sequential(Context& ctx,
 /// fronts, racing the shared k-th-best threshold. A front pruned here has
 /// sensitivity strictly below the final k-th best, so every true top-k
 /// candidate completes in some shard for any race outcome.
-std::vector<RankedPick> topk_pruned_parallel(Context& ctx, const SelectorConfig& config,
-                                             const std::vector<GateId>& gates,
-                                             std::size_t k, std::size_t shards,
-                                             SelectorStats& stats) {
-    std::vector<std::unique_ptr<PerturbationFront>> fronts =
-        init_fronts(ctx, config, gates);
-    std::vector<FrontOutcome> outcomes(fronts.size());
+std::vector<RankedPick>& topk_pruned_parallel(Context& ctx,
+                                              const SelectorConfig& config,
+                                              const std::vector<GateId>& gates,
+                                              std::size_t k, std::size_t shards,
+                                              SelectorStats& stats) {
+    PassScratch& scratch = pass_scratch();
+    std::vector<PerturbationFront>& fronts = scratch.fronts;
+    init_fronts(ctx, config, gates, fronts);
+    std::vector<FrontOutcome>& outcomes = scratch.outcomes;
+    outcomes.assign(fronts.size(), FrontOutcome{});
 
     // Shared monotone threshold, seeded from fronts that completed during
     // initialization so every shard prunes against the k best known so far.
-    SharedKthBest best(k);
-    std::vector<std::vector<std::uint32_t>> shard_fronts(shards);
+    SharedKthBest best(k, scratch.kth);
+    std::vector<std::vector<std::uint32_t>>& shard_fronts = scratch.shard_fronts;
+    if (shard_fronts.size() < shards) shard_fronts.resize(shards);
+    for (std::size_t s = 0; s < shards; ++s) shard_fronts[s].clear();
     for (std::size_t i = 0; i < fronts.size(); ++i) {
-        if (fronts[i]->completed()) {
-            record_outcome(outcomes[i], *fronts[i]);
-            best.add(fronts[i]->sensitivity());
-            fronts[i].reset();
+        if (fronts[i].completed()) {
+            record_outcome(outcomes[i], fronts[i]);
+            best.add(fronts[i].sensitivity());
+            fronts[i].release();
         } else {
             shard_fronts[i % shards].push_back(static_cast<std::uint32_t>(i));
         }
     }
 
     global_pool().parallel_for(shards, [&](std::size_t s) {
-        std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp> heap;
+        // Each worker drains its shard through its own thread's pooled
+        // heap (the caller's heap is idle on this path, so the inline
+        // shard reuses it too).
+        std::vector<HeapEntry>& heap = pass_scratch().heap;
+        heap.clear();
+        const auto heap_push = [&heap](HeapEntry e) {
+            heap.push_back(e);
+            std::push_heap(heap.begin(), heap.end(), HeapCmp{});
+        };
         for (std::uint32_t idx : shard_fronts[s])
-            heap.push({fronts[idx]->bound_sensitivity(), idx, gates[idx].value});
+            heap_push({fronts[idx].bound_sensitivity(), idx, gates[idx].value});
 
         while (!heap.empty()) {
-            const HeapEntry top = heap.top();
-            heap.pop();
-            PerturbationFront& front = *fronts[top.idx];
+            std::pop_heap(heap.begin(), heap.end(), HeapCmp{});
+            const HeapEntry top = heap.back();
+            heap.pop_back();
+            PerturbationFront& front = fronts[top.idx];
             if (front.completed()) continue;  // finished via a previous entry
             if (top.bound != front.bound_sensitivity()) continue;  // stale bound
 
@@ -294,14 +358,16 @@ std::vector<RankedPick> topk_pruned_parallel(Context& ctx, const SelectorConfig&
             if (front.completed()) {
                 record_outcome(outcomes[top.idx], front);
                 best.add(front.sensitivity());
-            } else {
-                heap.push({front.bound_sensitivity(), top.idx, top.gate_id});
+            }
+            else {
+                heap_push({front.bound_sensitivity(), top.idx, top.gate_id});
             }
         }
     });
 
     // Deterministic gate-id-ordered fold of the shard outcomes.
-    std::vector<RankedPick> completed;
+    std::vector<RankedPick>& completed = scratch.completed;
+    completed.clear();
     for (std::size_t i = 0; i < gates.size(); ++i) {
         const FrontOutcome& out = outcomes[i];
         if (out.kind == FrontOutcome::Kind::Pruned) {
@@ -317,10 +383,11 @@ std::vector<RankedPick> topk_pruned_parallel(Context& ctx, const SelectorConfig&
     return completed;
 }
 
-/// Completed positive-gain candidates of one pruned pass (either path).
-std::vector<RankedPick> topk_pruned(Context& ctx, const SelectorConfig& config,
-                                    const std::vector<GateId>& gates, std::size_t k,
-                                    SelectorStats& stats) {
+/// Completed positive-gain candidates of one pruned pass (either path),
+/// in the calling thread's pooled pick list (valid until its next pass).
+std::vector<RankedPick>& topk_pruned(Context& ctx, const SelectorConfig& config,
+                                     const std::vector<GateId>& gates, std::size_t k,
+                                     SelectorStats& stats) {
     stats.candidates = gates.size();
     const std::size_t shards = shard_count(config, gates.size());
     return shards > 1 ? topk_pruned_parallel(ctx, config, gates, k, shards, stats)
@@ -420,13 +487,15 @@ Selection select_cone_parallel(Context& ctx, const SelectorConfig& config,
     Selection result;
     result.stats.candidates = gates.size();
 
-    std::vector<std::unique_ptr<PerturbationFront>> fronts =
-        init_fronts(ctx, config, gates);
-    std::vector<FrontOutcome> outcomes(fronts.size());
+    PassScratch& scratch = pass_scratch();
+    std::vector<PerturbationFront>& fronts = scratch.fronts;
+    init_fronts(ctx, config, gates, fronts);
+    std::vector<FrontOutcome>& outcomes = scratch.outcomes;
+    outcomes.assign(fronts.size(), FrontOutcome{});
 
     global_pool().parallel_for(shards, [&](std::size_t s) {
         for (std::size_t i = s; i < fronts.size(); i += shards) {
-            PerturbationFront& front = *fronts[i];
+            PerturbationFront& front = fronts[i];
             while (!front.completed()) front.propagate_one_level(ctx);
             record_outcome(outcomes[i], front);
         }
@@ -457,9 +526,10 @@ std::vector<GateId> sample_candidate_gates(Context& ctx, std::size_t count) {
 
 Selection select_pruned(Context& ctx, const SelectorConfig& config) {
     Timer timer;
-    const std::vector<GateId> gates = eligible_gates(ctx, config);
+    const std::vector<GateId>& gates = eligible_gates(ctx, config);
     Selection result;
-    std::vector<RankedPick> completed = topk_pruned(ctx, config, gates, 1, result.stats);
+    std::vector<RankedPick>& completed =
+        topk_pruned(ctx, config, gates, 1, result.stats);
     rank_picks(completed);
     if (!completed.empty()) {
         result.gate = completed.front().gate;
@@ -541,18 +611,20 @@ TopKSelection select_top_k(Context& ctx, const SelectorConfig& config, std::size
     // reproducible; beyond it completion is race-dependent.
     const std::size_t scan_depth = k == 1 ? 1 : 4 * k;
 
-    std::vector<RankedPick> ranked;
+    std::vector<RankedPick> brute_ranked;
+    std::vector<RankedPick>* ranked_ptr = &brute_ranked;
     if (kind == SelectorKind::Pruned) {
-        const std::vector<GateId> gates = eligible_gates(ctx, config);
-        ranked = topk_pruned(ctx, config, gates, scan_depth, result.stats);
+        const std::vector<GateId>& gates = eligible_gates(ctx, config);
+        ranked_ptr = &topk_pruned(ctx, config, gates, scan_depth, result.stats);
     } else {
         Selection all =
             select_brute_force(ctx, config, kind == SelectorKind::BruteCone, true);
         result.stats = all.stats;
-        ranked.reserve(all.all_sensitivities.size());
+        brute_ranked.reserve(all.all_sensitivities.size());
         for (const auto& [gate, sens] : all.all_sensitivities)
-            if (sens > 0.0) ranked.push_back({gate, sens});
+            if (sens > 0.0) brute_ranked.push_back({gate, sens});
     }
+    std::vector<RankedPick>& ranked = *ranked_ptr;
 
     // Rank, truncate to the deterministic scan head, then walk it in rank
     // order through the conflict filter until k picks are accepted. The
@@ -579,7 +651,7 @@ TopKSelection select_top_k(Context& ctx, const SelectorConfig& config, std::size
 Selection select_brute_force(Context& ctx, const SelectorConfig& config,
                              bool cone_only, bool record_all) {
     Timer timer;
-    const std::vector<GateId> gates = eligible_gates(ctx, config);
+    const std::vector<GateId>& gates = eligible_gates(ctx, config);
     const std::size_t shards = shard_count(config, gates.size());
     if (shards > 1) {
         Selection result =
@@ -638,17 +710,17 @@ Selection select_heuristic(Context& ctx, const SelectorConfig& config,
     if (beam == 0) throw ConfigError("select_heuristic: beam must be >= 1");
     Timer timer;
     Selection result;
-    const std::vector<GateId> gates = eligible_gates(ctx, config);
+    const std::vector<GateId>& gates = eligible_gates(ctx, config);
     result.stats.candidates = gates.size();
 
     // Initialize all fronts, keep their initial bounds.
-    std::vector<std::unique_ptr<PerturbationFront>> fronts =
-        init_fronts(ctx, config, gates);
+    std::vector<PerturbationFront>& fronts = pass_scratch().fronts;
+    init_fronts(ctx, config, gates, fronts);
     std::vector<std::pair<double, std::size_t>> ranked;  // (bound, index)
     for (std::size_t i = 0; i < gates.size(); ++i) {
-        if (!fronts[i]->completed())
-            ranked.emplace_back(fronts[i]->bound_sensitivity(), i);
-        else if (fronts[i]->sink_pdf().valid())
+        if (!fronts[i].completed())
+            ranked.emplace_back(fronts[i].bound_sensitivity(), i);
+        else if (fronts[i].sink_pdf().valid())
             ++result.stats.completed;
         else
             ++result.stats.died;
@@ -669,13 +741,13 @@ Selection select_heuristic(Context& ctx, const SelectorConfig& config,
         std::max<std::size_t>(shard_count(config, ranked.size()), 1);
     global_pool().parallel_for(shards, [&](std::size_t s) {
         for (std::size_t r = s; r < ranked.size(); r += shards) {
-            PerturbationFront& front = *fronts[ranked[r].second];
+            PerturbationFront& front = fronts[ranked[r].second];
             while (!front.completed()) front.propagate_one_level(ctx);
         }
     });
 
     for (const auto& [bound, idx] : ranked) {
-        PerturbationFront& front = *fronts[idx];
+        PerturbationFront& front = fronts[idx];
         if (front.sink_pdf().valid()) ++result.stats.completed;
         else ++result.stats.died;
         result.stats.nodes_computed += front.stats().nodes_computed;

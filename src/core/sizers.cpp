@@ -10,7 +10,9 @@
 
 namespace statim::core {
 
-SizingResult run_statistical_sizing(Context& ctx, const StatisticalSizerConfig& config) {
+StatisticalSizerLoop::StatisticalSizerLoop(Context& ctx,
+                                           const StatisticalSizerConfig& config)
+    : ctx_(&ctx), config_(config) {
     if (config.max_iterations < 0)
         throw ConfigError("StatisticalSizerConfig: max_iterations must be >= 0");
     if (!(config.delta_w > 0.0))
@@ -19,119 +21,148 @@ SizingResult run_statistical_sizing(Context& ctx, const StatisticalSizerConfig& 
         throw ConfigError(
             "StatisticalSizerConfig: gates_per_iteration must be >= 1 "
             "(or 0 to resolve from STATIM_BATCH)");
-    const int batch = config.gates_per_iteration > 0 ? config.gates_per_iteration
-                                                     : env_batch();
-    const SelectorConfig sel{config.objective, config.delta_w, config.max_width,
-                             config.threads};
+    batch_ = config.gates_per_iteration > 0 ? config.gates_per_iteration : env_batch();
+    selector_config_ = SelectorConfig{config.objective, config.delta_w,
+                                      config.max_width, config.threads};
 
-    SizingResult result;
     ctx.set_incremental_ssta(config.incremental_ssta);
     ctx.set_ssta_threads(config.threads);
-    // Timed refresh of the arrivals after a committed batch: incremental
-    // merged-cone re-propagation when enabled, full SSTA otherwise.
-    const auto refresh = [&ctx, &result] {
-        Timer refresh_timer;
-        ctx.refresh_ssta();
-        result.ssta_refresh_seconds += refresh_timer.seconds();
-        result.ssta_nodes_recomputed +=
-            ctx.engine().last_update_stats().nodes_recomputed;
-    };
     ctx.run_ssta();
-    result.initial_objective_ns =
+    result_.initial_objective_ns =
         config.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
-    result.initial_area = ctx.nl().total_area(ctx.lib());
-    result.final_objective_ns = result.initial_objective_ns;
-    result.final_area = result.initial_area;
-    result.stop_reason = "iteration budget";
+    result_.initial_area = ctx.nl().total_area(ctx.lib());
+    result_.final_objective_ns = result_.initial_objective_ns;
+    result_.final_area = result_.initial_area;
+    result_.stop_reason = "iteration budget";
 
-    if (result.initial_objective_ns <= config.target_objective_ns) {
-        result.stop_reason = "target met";
-        return result;
+    if (result_.initial_objective_ns <= config.target_objective_ns) {
+        result_.stop_reason = "target met";
+        finished_ = true;
+    }
+    if (config.max_iterations == 0) finished_ = true;
+
+    running_area_ = result_.initial_area;
+    running_width_ = ctx.nl().total_width();
+}
+
+// Timed refresh of the arrivals after a committed batch: incremental
+// merged-cone re-propagation when enabled, full SSTA otherwise.
+void StatisticalSizerLoop::refresh() {
+    Timer refresh_timer;
+    ctx_->refresh_ssta();
+    result_.ssta_refresh_seconds += refresh_timer.seconds();
+    result_.ssta_nodes_recomputed +=
+        ctx_->engine().last_update_stats().nodes_recomputed;
+}
+
+bool StatisticalSizerLoop::step() {
+    if (finished_) return false;
+    Context& ctx = *ctx_;
+    const int iter = ++iteration_;
+
+    // One iteration commits up to `batch_` gates. Each selector pass
+    // returns the best cone-disjoint picks on the current arrivals; they
+    // are all applied and the merged fanout cone is refreshed exactly
+    // once per pass. Conflicts shorten a pass, never the iteration: the
+    // loop re-selects on the refreshed state until the batch is full or
+    // no positive-sensitivity gate remains. The refresh after the final
+    // commit of a pass is the only one — a converged top-up pass leaves
+    // the engine clean and triggers none.
+    int applied = 0;
+    bool converged = false;
+    while (applied < batch_) {
+        const TopKSelection top =
+            select_top_k(ctx, selector_config_,
+                         static_cast<std::size_t>(batch_ - applied), config_.selector);
+        ++result_.selector_passes;
+        result_.conflicts_skipped += top.conflicts_skipped;
+        if (top.picks.empty()) {
+            converged = true;
+            break;
+        }
+
+        ops_.clear();
+        for (const RankedPick& pick : top.picks)
+            ops_.push_back({pick.gate, config_.delta_w});
+        (void)ctx.apply_resizes(ops_);
+        refresh();
+
+        const double objective_after =
+            config_.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
+        for (std::size_t i = 0; i < top.picks.size(); ++i) {
+            const RankedPick& pick = top.picks[i];
+            const auto& gate = ctx.nl().gate(pick.gate);
+            // Exact per-gate attribution: area and width scale linearly
+            // in the width step (cell_area = area * w).
+            running_area_ +=
+                cells::cell_area(ctx.lib().cell(gate.cell), config_.delta_w);
+            running_width_ += config_.delta_w;
+
+            IterationRecord record;
+            record.iteration = iter;
+            record.gate = pick.gate;
+            record.sensitivity = pick.sensitivity;
+            record.objective_after_ns = objective_after;
+            record.area_after = running_area_;
+            record.width_after = running_width_;
+            if (i == 0) record.stats = top.stats;
+            result_.history.push_back(record);
+
+            STATIM_DEBUG() << "stat iter " << iter << " gate " << gate.name
+                           << " sens " << record.sensitivity << " obj "
+                           << record.objective_after_ns;
+        }
+        applied += static_cast<int>(top.picks.size());
+    }
+    if (applied == 0) {
+        result_.stop_reason = "converged";
+        finished_ = true;
+        return false;
     }
 
-    double running_area = result.initial_area;
-    double running_width = ctx.nl().total_width();
-    std::vector<ResizeOp> ops;
+    result_.iterations = iter;
+    result_.final_objective_ns =
+        config_.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
+    result_.final_area = ctx.nl().total_area(ctx.lib());
 
-    for (int iter = 1; iter <= config.max_iterations; ++iter) {
-        // One iteration commits up to `batch` gates. Each selector pass
-        // returns the best cone-disjoint picks on the current arrivals;
-        // they are all applied and the merged fanout cone is refreshed
-        // exactly once per pass. Conflicts shorten a pass, never the
-        // iteration: the loop re-selects on the refreshed state until the
-        // batch is full or no positive-sensitivity gate remains. The
-        // refresh after the final commit of a pass is the only one — a
-        // converged top-up pass leaves the engine clean and triggers none.
-        int applied = 0;
-        bool converged = false;
-        while (applied < batch) {
-            const TopKSelection top = select_top_k(
-                ctx, sel, static_cast<std::size_t>(batch - applied), config.selector);
-            ++result.selector_passes;
-            result.conflicts_skipped += top.conflicts_skipped;
-            if (top.picks.empty()) {
-                converged = true;
-                break;
-            }
-
-            ops.clear();
-            for (const RankedPick& pick : top.picks)
-                ops.push_back({pick.gate, config.delta_w});
-            (void)ctx.apply_resizes(ops);
-            refresh();
-
-            const double objective_after =
-                config.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
-            for (std::size_t i = 0; i < top.picks.size(); ++i) {
-                const RankedPick& pick = top.picks[i];
-                const auto& gate = ctx.nl().gate(pick.gate);
-                // Exact per-gate attribution: area and width scale
-                // linearly in the width step (cell_area = area * w).
-                running_area += cells::cell_area(ctx.lib().cell(gate.cell),
-                                                 config.delta_w);
-                running_width += config.delta_w;
-
-                IterationRecord record;
-                record.iteration = iter;
-                record.gate = pick.gate;
-                record.sensitivity = pick.sensitivity;
-                record.objective_after_ns = objective_after;
-                record.area_after = running_area;
-                record.width_after = running_width;
-                if (i == 0) record.stats = top.stats;
-                result.history.push_back(record);
-
-                STATIM_DEBUG() << "stat iter " << iter << " gate " << gate.name
-                               << " sens " << record.sensitivity << " obj "
-                               << record.objective_after_ns;
-            }
-            applied += static_cast<int>(top.picks.size());
-        }
-        if (applied == 0) {
-            result.stop_reason = "converged";
-            break;
-        }
-
-        result.iterations = iter;
-        result.final_objective_ns =
-            config.objective.eval_ns(ctx.grid(), ctx.engine().sink_arrival());
-        result.final_area = ctx.nl().total_area(ctx.lib());
-
-        if (result.final_objective_ns <= config.target_objective_ns) {
-            result.stop_reason = "target met";
-            break;
-        }
-        if (result.final_area - result.initial_area >= config.area_budget) {
-            result.stop_reason = "area budget";
-            break;
-        }
-        if (converged) {
-            result.stop_reason = "converged";
-            break;
-        }
+    if (result_.final_objective_ns <= config_.target_objective_ns) {
+        result_.stop_reason = "target met";
+        finished_ = true;
+    } else if (result_.final_area - result_.initial_area >= config_.area_budget) {
+        result_.stop_reason = "area budget";
+        finished_ = true;
+    } else if (converged) {
+        result_.stop_reason = "converged";
+        finished_ = true;
+    } else if (iter >= config_.max_iterations) {
+        finished_ = true;  // stop_reason stays "iteration budget"
     }
-    if (config.max_iterations == 0) result.stop_reason = "iteration budget";
-    return result;
+    return !finished_;
+}
+
+StatisticalSizerLoop::ResumeState StatisticalSizerLoop::save_state() const {
+    ResumeState state;
+    state.result = result_;
+    state.iteration = iteration_;
+    state.finished = finished_;
+    state.running_area = running_area_;
+    state.running_width = running_width_;
+    return state;
+}
+
+void StatisticalSizerLoop::restore_state(ResumeState state) {
+    result_ = std::move(state.result);
+    iteration_ = state.iteration;
+    finished_ = state.finished;
+    running_area_ = state.running_area;
+    running_width_ = state.running_width;
+}
+
+SizingResult run_statistical_sizing(Context& ctx, const StatisticalSizerConfig& config) {
+    StatisticalSizerLoop loop(ctx, config);
+    while (loop.step()) {
+    }
+    return loop.result();
 }
 
 DetSizingResult run_deterministic_sizing(netlist::Netlist& nl,

@@ -99,6 +99,74 @@ struct SizingResult {
 [[nodiscard]] SizingResult run_statistical_sizing(Context& ctx,
                                                   const StatisticalSizerConfig& config);
 
+/// Stepwise driver behind run_statistical_sizing. One step() runs one
+/// outer iteration (committing up to `gates_per_iteration` gates under a
+/// single merged-cone refresh); the trajectory is identical to
+/// run_statistical_sizing, which is implemented as `while (loop.step());`.
+/// Exposed so callers (api::SizingRun, the CLI) can observe per-iteration
+/// state and checkpoint between iterations.
+class StatisticalSizerLoop {
+  public:
+    /// Validates `config`, runs the initial SSTA and records the starting
+    /// objective/area. `ctx` must outlive the loop; its netlist is
+    /// modified in place by step().
+    StatisticalSizerLoop(Context& ctx, const StatisticalSizerConfig& config);
+
+    StatisticalSizerLoop(const StatisticalSizerLoop&) = delete;
+    StatisticalSizerLoop& operator=(const StatisticalSizerLoop&) = delete;
+
+    /// Runs one outer iteration; no-op once finished. Returns
+    /// !finished(), so `while (loop.step());` runs to the stop condition.
+    bool step();
+
+    [[nodiscard]] bool finished() const noexcept { return finished_; }
+    /// Outer iterations executed so far (the next step() runs
+    /// iteration() + 1).
+    [[nodiscard]] int iteration() const noexcept { return iteration_; }
+    /// Gates committed per iteration, with gates_per_iteration == 0
+    /// resolved from STATIM_BATCH at construction. Checkpoints persist
+    /// this resolved value so a resume under a different environment
+    /// cannot diverge from the uninterrupted trajectory.
+    [[nodiscard]] int batch() const noexcept { return batch_; }
+    [[nodiscard]] const SizingResult& result() const noexcept { return result_; }
+    [[nodiscard]] const StatisticalSizerConfig& config() const noexcept {
+        return config_;
+    }
+
+    /// Bookkeeping a resumed loop cannot recompute from the circuit: the
+    /// exact running accumulators (area/width are *accumulated* with
+    /// per-gate attribution, so recomputing them from the netlist would
+    /// not be bitwise identical) plus the result so far.
+    struct ResumeState {
+        SizingResult result;
+        int iteration{0};
+        bool finished{false};
+        double running_area{0.0};
+        double running_width{0.0};
+    };
+    [[nodiscard]] ResumeState save_state() const;
+    /// Overwrites the loop bookkeeping with `state`. The context must
+    /// already hold the checkpoint's gate widths with a completed SSTA
+    /// (a fresh full run is bit-identical to the incremental state the
+    /// original loop carried). The continuation replays the uninterrupted
+    /// trajectory exactly.
+    void restore_state(ResumeState state);
+
+  private:
+    void refresh();
+
+    Context* ctx_;
+    StatisticalSizerConfig config_;
+    SelectorConfig selector_config_;
+    int batch_{1};
+    SizingResult result_;
+    int iteration_{0};
+    bool finished_{false};
+    double running_area_{0.0};
+    double running_width_{0.0};
+    std::vector<ResizeOp> ops_;
+};
+
 struct DeterministicSizerConfig {
     double delta_w{0.25};
     double max_width{16.0};

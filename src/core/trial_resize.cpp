@@ -2,25 +2,57 @@
 
 namespace statim::core {
 
+/// One buffer set per thread: trials on a thread never overlap (fronts
+/// are seeded while the trial is live, then it is destroyed before the
+/// next candidate), so the pool is an exclusive checkout with a private
+/// fallback for the nested case. The set is leaked on purpose —
+/// thread_local destruction order across TUs is unspecified.
+TrialResize::Buffers& TrialResize::thread_pool_buffers() {
+    static thread_local Buffers* buffers = new Buffers();
+    return *buffers;
+}
+
 TrialResize::TrialResize(Context& ctx, GateId gate, double delta_w)
     : ctx_(&ctx), gate_(gate), delta_w_(delta_w) {
-    // The trial restores every touched delay bit-for-bit, so it must not
-    // pollute the incremental-SSTA dirty list.
-    const sta::DelayCalc::SuppressDirty guard(ctx_->delay_calc());
-    changed_ = ctx_->delay_calc().affected_edges(gate);
-    saved_pdfs_ = ctx_->edge_delays().snapshot(changed_);
-    ctx_->nl().gate(gate).width += delta_w_;
-    (void)ctx_->delay_calc().update_for_resize(gate);
-    ctx_->edge_delays().update_edges(changed_, ctx_->delay_calc());
+    Buffers& pooled = thread_pool_buffers();
+    if (pooled.in_use) {
+        owned_ = std::make_unique<Buffers>();
+        buffers_ = owned_.get();
+    } else {
+        buffers_ = &pooled;
+        buffers_->in_use = true;
+    }
+
+    try {
+        // The trial restores every touched delay bit-for-bit, so it must
+        // not pollute the incremental-SSTA dirty list.
+        const sta::DelayCalc::SuppressDirty guard(ctx_->delay_calc());
+        ctx_->delay_calc().affected_edges_into(gate, buffers_->changed);
+        ctx_->edge_delays().snapshot_into(buffers_->changed, buffers_->saved);
+        ctx_->nl().gate(gate).width += delta_w_;
+        ctx_->delay_calc().recompute_for_resize(gate);
+        ctx_->edge_delays().update_edges(buffers_->changed, ctx_->delay_calc());
+    } catch (...) {
+        // The destructor will not run: return the pooled checkout so the
+        // thread's later trials keep their zero-alloc path. (No state
+        // rollback is attempted — a throwing trial leaves the context
+        // unusable anyway; the pool flag must not leak regardless.)
+        if (owned_ == nullptr) buffers_->in_use = false;
+        throw;
+    }
 }
 
 TrialResize::~TrialResize() {
     const sta::DelayCalc::SuppressDirty guard(ctx_->delay_calc());
     ctx_->nl().gate(gate_).width -= delta_w_;
     // Nominal delays recompute deterministically from the restored width;
-    // the PDFs are restored from the snapshot (bitwise identical).
-    (void)ctx_->delay_calc().update_for_resize(gate_);
-    ctx_->edge_delays().restore(changed_, std::move(saved_pdfs_));
+    // the PDFs are restored from the snapshot (bitwise identical). The
+    // snapshot is copied back, not moved, so the pool keeps its buffers.
+    ctx_->delay_calc().recompute_for_resize(gate_);
+    ctx_->edge_delays().restore_copy(
+        buffers_->changed,
+        std::span<const prob::Pdf>(buffers_->saved).first(buffers_->changed.size()));
+    if (owned_ == nullptr) buffers_->in_use = false;
 }
 
 }  // namespace statim::core

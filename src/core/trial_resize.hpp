@@ -2,8 +2,15 @@
 // steps 1 and 7): applies width += Δw to one gate, refreshes the nominal
 // delays and edge PDFs of the affected edges, and restores everything
 // bit-for-bit when destroyed.
+//
+// The edge list and the PDF snapshot live in a pooled, thread-local
+// buffer set (the selector constructs trials strictly sequentially per
+// thread), so a warm trial performs zero heap allocations — previously
+// ~30-50 per candidate, the dominant selector-pass allocation source.
+// A nested trial on the same thread falls back to private buffers.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/context.hpp"
@@ -24,17 +31,30 @@ class TrialResize {
     /// The edges whose delay PDFs are perturbed while this trial is live:
     /// the gate's own edges followed by its fanin drivers' edges.
     [[nodiscard]] const std::vector<EdgeId>& changed_edges() const noexcept {
-        return changed_;
+        return buffers_->changed;
     }
     [[nodiscard]] GateId gate() const noexcept { return gate_; }
     [[nodiscard]] double delta_w() const noexcept { return delta_w_; }
 
   private:
+    /// Pooled per-thread buffers: the changed-edge list plus a grow-only
+    /// PDF snapshot pool whose slots keep their mass buffers across
+    /// trials.
+    struct Buffers {
+        std::vector<EdgeId> changed;
+        std::vector<prob::Pdf> saved;
+        bool in_use{false};
+    };
+
+    /// The calling thread's pooled buffer set (leaked, like the
+    /// front-state pool, so thread_local teardown order cannot bite).
+    [[nodiscard]] static Buffers& thread_pool_buffers();
+
     Context* ctx_;
     GateId gate_;
     double delta_w_;
-    std::vector<EdgeId> changed_;
-    std::vector<prob::Pdf> saved_pdfs_;
+    Buffers* buffers_;
+    std::unique_ptr<Buffers> owned_;  ///< nested-trial fallback only
 };
 
 }  // namespace statim::core

@@ -10,18 +10,24 @@ double normal_cdf(double z) noexcept {
     return 0.5 * std::erfc(-z / std::sqrt(2.0));
 }
 
-Pdf truncated_gaussian(const TimeGrid& grid, double mean_ns, double sigma_ns,
-                       double trunc_k) {
+void truncated_gaussian_into(const TimeGrid& grid, double mean_ns, double sigma_ns,
+                             double trunc_k, std::vector<double>& scratch, Pdf& out) {
     if (!std::isfinite(mean_ns) || !std::isfinite(sigma_ns) || !std::isfinite(trunc_k))
         throw ConfigError("truncated_gaussian: non-finite parameter");
-    if (sigma_ns <= 0.0 || trunc_k <= 0.0) return Pdf::point(grid.bin_of(mean_ns));
+    if (sigma_ns <= 0.0 || trunc_k <= 0.0) {
+        out.assign_point(grid.bin_of(mean_ns));
+        return;
+    }
 
     const double dt = grid.dt_ns();
     const double lo = mean_ns - trunc_k * sigma_ns;
     const double hi = mean_ns + trunc_k * sigma_ns;
     const std::int64_t lo_bin = grid.bin_of(lo);
     const std::int64_t hi_bin = grid.bin_of(hi);
-    if (hi_bin <= lo_bin) return Pdf::point(grid.bin_of(mean_ns));
+    if (hi_bin <= lo_bin) {
+        out.assign_point(grid.bin_of(mean_ns));
+        return;
+    }
 
     const double z_norm = normal_cdf(trunc_k) - normal_cdf(-trunc_k);
     auto cdf_clamped = [&](double t) {
@@ -29,14 +35,22 @@ Pdf truncated_gaussian(const TimeGrid& grid, double mean_ns, double sigma_ns,
         return normal_cdf((tc - mean_ns) / sigma_ns);
     };
 
-    std::vector<double> mass(static_cast<std::size_t>(hi_bin - lo_bin + 1));
+    scratch.assign(static_cast<std::size_t>(hi_bin - lo_bin + 1), 0.0);
     for (std::int64_t b = lo_bin; b <= hi_bin; ++b) {
         const double left = (static_cast<double>(b) - 0.5) * dt;
         const double right = (static_cast<double>(b) + 0.5) * dt;
-        mass[static_cast<std::size_t>(b - lo_bin)] =
+        scratch[static_cast<std::size_t>(b - lo_bin)] =
             (cdf_clamped(right) - cdf_clamped(left)) / z_norm;
     }
-    return Pdf::from_mass(lo_bin, std::move(mass));
+    out.assign_mass(lo_bin, scratch);
+}
+
+Pdf truncated_gaussian(const TimeGrid& grid, double mean_ns, double sigma_ns,
+                       double trunc_k) {
+    Pdf out;
+    std::vector<double> scratch;
+    truncated_gaussian_into(grid, mean_ns, sigma_ns, trunc_k, scratch, out);
+    return out;
 }
 
 }  // namespace statim::prob

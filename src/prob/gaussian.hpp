@@ -21,4 +21,10 @@ namespace statim::prob {
 [[nodiscard]] Pdf truncated_gaussian(const TimeGrid& grid, double mean_ns,
                                      double sigma_ns, double trunc_k = 3.0);
 
+/// In-place variant: derives into `out` through `scratch`, reusing both
+/// buffers (zero allocations once they are warm — the pooled edge-delay
+/// rederivation path). Bit-identical to truncated_gaussian.
+void truncated_gaussian_into(const TimeGrid& grid, double mean_ns, double sigma_ns,
+                             double trunc_k, std::vector<double>& scratch, Pdf& out);
+
 }  // namespace statim::prob

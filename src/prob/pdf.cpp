@@ -118,6 +118,20 @@ Pdf Pdf::from_mass(std::int64_t first, std::vector<double> mass) {
     return p;
 }
 
+void Pdf::assign_mass(std::int64_t first, std::span<const double> mass) {
+    mass_.assign(mass.begin(), mass.end());
+    const auto [lo, hi] = detail::finalize_mass(mass_);
+    // erase() never reallocates, so the buffer's capacity survives.
+    mass_.erase(mass_.begin() + static_cast<std::ptrdiff_t>(hi), mass_.end());
+    mass_.erase(mass_.begin(), mass_.begin() + static_cast<std::ptrdiff_t>(lo));
+    first_ = first + static_cast<std::int64_t>(lo);
+}
+
+void Pdf::assign_point(std::int64_t bin) {
+    mass_.assign(1, 1.0);
+    first_ = bin;
+}
+
 double Pdf::mass_at(std::int64_t bin) const noexcept {
     if (bin < first_ || bin > last_bin()) return 0.0;
     return mass_[static_cast<std::size_t>(bin - first_)];

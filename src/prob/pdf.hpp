@@ -123,6 +123,14 @@ class Pdf {
     /// operators, so its masses are trimmed and sum to 1.
     [[nodiscard]] static Pdf from_view(const PdfView& view);
 
+    /// In-place rebuild from raw masses: identical semantics (and
+    /// bit-identical results) to from_mass, but reuses this PDF's buffer
+    /// when its capacity suffices — the pooled trial-resize hot path.
+    void assign_mass(std::int64_t first, std::span<const double> mass);
+    /// In-place point mass (see point()); never allocates once the buffer
+    /// holds at least one bin.
+    void assign_point(std::int64_t bin);
+
     [[nodiscard]] bool valid() const noexcept { return !mass_.empty(); }
     [[nodiscard]] std::int64_t first_bin() const noexcept { return first_; }
     [[nodiscard]] std::int64_t last_bin() const noexcept {

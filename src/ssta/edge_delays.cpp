@@ -32,7 +32,16 @@ void EdgeDelays::rebuild(const sta::DelayCalc& delays, std::size_t threads) {
 
 void EdgeDelays::update_edges(std::span<const EdgeId> edges,
                               const sta::DelayCalc& delays) {
-    for (EdgeId e : edges) pdfs_.at(e.index()) = derive(e, delays);
+    // In-place rederivation (bit-identical to derive()): this runs twice
+    // per trial resize, so it must not allocate once the slots are warm.
+    for (EdgeId e : edges) {
+        const double nominal = delays.edge_delay_ns(e);
+        prob::Pdf& slot = pdfs_.at(e.index());
+        if (nominal == 0.0) slot.assign_point(0);  // virtual edge
+        else
+            prob::truncated_gaussian_into(grid_, nominal, sigma_fraction_ * nominal,
+                                          trunc_k_, derive_scratch_, slot);
+    }
 }
 
 std::vector<prob::Pdf> EdgeDelays::snapshot(std::span<const EdgeId> edges) const {
@@ -47,6 +56,23 @@ void EdgeDelays::restore(std::span<const EdgeId> edges, std::vector<prob::Pdf> s
         throw ConfigError("EdgeDelays::restore: snapshot size mismatch");
     for (std::size_t i = 0; i < edges.size(); ++i)
         pdfs_[edges[i].index()] = std::move(saved[i]);
+}
+
+void EdgeDelays::snapshot_into(std::span<const EdgeId> edges,
+                               std::vector<prob::Pdf>& out) const {
+    // Grow-only: shrinking would free the surplus slots' buffers and
+    // re-pay the allocation on the next, larger snapshot.
+    if (out.size() < edges.size()) out.resize(edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i)
+        out[i] = pdfs_.at(edges[i].index());
+}
+
+void EdgeDelays::restore_copy(std::span<const EdgeId> edges,
+                              std::span<const prob::Pdf> saved) {
+    if (saved.size() < edges.size())
+        throw ConfigError("EdgeDelays::restore_copy: snapshot size mismatch");
+    for (std::size_t i = 0; i < edges.size(); ++i)
+        pdfs_[edges[i].index()] = saved[i];
 }
 
 }  // namespace statim::ssta

@@ -46,6 +46,16 @@ class EdgeDelays {
     [[nodiscard]] std::vector<prob::Pdf> snapshot(std::span<const EdgeId> edges) const;
     void restore(std::span<const EdgeId> edges, std::vector<prob::Pdf> saved);
 
+    /// Pooled snapshot: copies the PDFs of `edges` into out[0..n), growing
+    /// `out` only past its high-water mark and reusing each slot's buffer
+    /// — zero allocations once the pool is warm (the TrialResize path).
+    void snapshot_into(std::span<const EdgeId> edges,
+                       std::vector<prob::Pdf>& out) const;
+    /// Restores from a pooled snapshot by copy (the snapshot stays intact
+    /// for reuse); reuses each slot's buffer.
+    void restore_copy(std::span<const EdgeId> edges,
+                      std::span<const prob::Pdf> saved);
+
   private:
     [[nodiscard]] prob::Pdf derive(EdgeId e, const sta::DelayCalc& delays) const;
 
@@ -53,6 +63,8 @@ class EdgeDelays {
     double sigma_fraction_;
     double trunc_k_;
     std::vector<prob::Pdf> pdfs_;
+    /// Raw-mass scratch of the serial rederivation path (update_edges).
+    std::vector<double> derive_scratch_;
 };
 
 }  // namespace statim::ssta

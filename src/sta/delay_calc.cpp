@@ -66,40 +66,50 @@ void DelayCalc::recompute_gate_delays(GateId g) {
     }
 }
 
-std::vector<EdgeId> DelayCalc::affected_edges(GateId x) const {
-    const netlist::Netlist& nl = graph_->netlist();
-    std::vector<EdgeId> edges;
-    for (EdgeId e : graph_->gate_edges(x)) edges.push_back(e);
+namespace {
 
-    // Each distinct driver of one of x's input nets.
-    std::vector<GateId> drivers;
+/// The distinct drivers of x's input nets, in first-appearance order.
+/// Thread-local so the trial-resize hot path stays allocation-free; the
+/// caller consumes the result before any other gate's query on the same
+/// thread.
+std::vector<GateId>& fanin_drivers_of(const netlist::Netlist& nl, GateId x) {
+    static thread_local std::vector<GateId> drivers;
+    drivers.clear();
     for (NetId in : nl.gate(x).fanin) {
         const GateId d = nl.net(in).driver;
         if (!d.is_valid()) continue;  // primary input
         if (std::find(drivers.begin(), drivers.end(), d) == drivers.end())
             drivers.push_back(d);
     }
-    for (GateId d : drivers)
-        for (EdgeId e : graph_->gate_edges(d)) edges.push_back(e);
+    return drivers;
+}
+
+}  // namespace
+
+void DelayCalc::affected_edges_into(GateId x, std::vector<EdgeId>& out) const {
+    out.clear();
+    for (EdgeId e : graph_->gate_edges(x)) out.push_back(e);
+    for (GateId d : fanin_drivers_of(graph_->netlist(), x))
+        for (EdgeId e : graph_->gate_edges(d)) out.push_back(e);
+}
+
+std::vector<EdgeId> DelayCalc::affected_edges(GateId x) const {
+    std::vector<EdgeId> edges;
+    affected_edges_into(x, edges);
     return edges;
 }
 
-std::vector<EdgeId> DelayCalc::update_for_resize(GateId x) {
-    const netlist::Netlist& nl = graph_->netlist();
+void DelayCalc::recompute_for_resize(GateId x) {
     recompute_gate_load(x);  // load unchanged by own width, but cheap and safe
     recompute_gate_delays(x);
-
-    std::vector<GateId> drivers;
-    for (NetId in : nl.gate(x).fanin) {
-        const GateId d = nl.net(in).driver;
-        if (!d.is_valid()) continue;
-        if (std::find(drivers.begin(), drivers.end(), d) == drivers.end())
-            drivers.push_back(d);
-    }
-    for (GateId d : drivers) {
+    for (GateId d : fanin_drivers_of(graph_->netlist(), x)) {
         recompute_gate_load(d);
         recompute_gate_delays(d);
     }
+}
+
+std::vector<EdgeId> DelayCalc::update_for_resize(GateId x) {
+    recompute_for_resize(x);
     std::vector<EdgeId> edges = affected_edges(x);
     record_dirty(edges);
     return edges;

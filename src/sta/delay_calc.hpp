@@ -76,6 +76,15 @@ class DelayCalc {
 
     /// Edges whose delay update_for_resize(x) *would* touch (same order).
     [[nodiscard]] std::vector<EdgeId> affected_edges(GateId x) const;
+    /// Pooled variant: fills `out` (cleared first) instead of returning a
+    /// fresh vector — zero allocations once `out`'s capacity is warm.
+    void affected_edges_into(GateId x, std::vector<EdgeId>& out) const;
+
+    /// The recomputation half of update_for_resize (loads + nominal
+    /// delays of x and its fanin drivers) without building the affected
+    /// edge list or touching the dirty list — the trial-resize hot path,
+    /// allocation-free.
+    void recompute_for_resize(GateId x);
 
     /// Capacitive load (fF) currently driven by gate g.
     [[nodiscard]] double load_ff(GateId g) const { return load_ff_.at(g.index()); }

@@ -76,8 +76,14 @@ bool CliArgs::get_bool(std::string_view name, bool fallback) const {
 
 void CliArgs::validate(const std::vector<std::string>& known) const {
     for (const auto& [name, value] : options_) {
-        if (std::find(known.begin(), known.end(), name) == known.end())
-            throw ConfigError("unknown option --" + name);
+        if (std::find(known.begin(), known.end(), name) != known.end()) continue;
+        std::string message = "unknown option --" + name;
+        if (!known.empty()) {
+            message += " (valid options:";
+            for (const std::string& k : known) message += " --" + k;
+            message += ")";
+        }
+        throw ConfigError(message);
     }
 }
 

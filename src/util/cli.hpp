@@ -35,7 +35,9 @@ class CliArgs {
     }
     [[nodiscard]] const std::string& program() const noexcept { return program_; }
 
-    /// Throws ConfigError if any parsed flag is not in `known`.
+    /// Throws ConfigError if any parsed flag is not in `known`; the
+    /// message lists the valid options so a typo ("--thread") shows the
+    /// flag the caller meant ("--threads").
     void validate(const std::vector<std::string>& known) const;
 
   private:

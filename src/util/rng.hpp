@@ -49,6 +49,22 @@ class Rng {
     /// A new generator whose stream is independent of this one.
     [[nodiscard]] Rng split() noexcept;
 
+    /// Full serializable state: the four xoshiro words plus the cached
+    /// normal() spare. Restoring it via set_state() continues the stream
+    /// (uniform, int and normal draws alike) bit-identically — the hook
+    /// the sizing-run checkpoints use.
+    struct State {
+        std::array<std::uint64_t, 4> s{};
+        double spare{0.0};
+        bool has_spare{false};
+    };
+    [[nodiscard]] State state() const noexcept { return {s_, spare_, has_spare_}; }
+    void set_state(const State& state) noexcept {
+        s_ = state.s;
+        spare_ = state.spare;
+        has_spare_ = state.has_spare;
+    }
+
   private:
     std::array<std::uint64_t, 4> s_{};
     double spare_{0.0};

@@ -1,0 +1,269 @@
+// Public-API surface properties: Design construction, Scenario
+// validation, the analyze/monte_carlo facades, run_scenarios determinism
+// (scenario-ordered, thread-count independent results), and the
+// include-purity rule (examples and the CLI touch only api/ and util/
+// headers).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/statim.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace statim::api {
+namespace {
+
+TEST(Design, RegistryTextAndNetlistConstruction) {
+    Design c17 = Design::from_registry("c17");
+    EXPECT_EQ(c17.name(), "c17");
+    EXPECT_EQ(c17.gate_count(), 6u);
+    EXPECT_GT(c17.total_area(), 0.0);
+
+    // Round-trip through .bench text.
+    std::ostringstream bench;
+    c17.write_bench(bench);
+    Design copy = Design::from_bench_text(bench.str(), "c17");
+    EXPECT_EQ(copy.gate_count(), c17.gate_count());
+    EXPECT_EQ(copy.net_count(), c17.net_count());
+
+    Design adopted =
+        Design::from_netlist(c17.netlist(), cells::Library::standard_180nm());
+    EXPECT_EQ(adopted.gate_count(), c17.gate_count());
+
+    netlist::GeneratorSpec spec;
+    spec.name = "tiny";
+    spec.num_inputs = 8;
+    spec.num_outputs = 4;
+    spec.num_gates = 50;
+    spec.fanin_sum = 100;
+    spec.depth = 6;
+    spec.seed = 3;
+    Design synth = Design::from_generator(spec);
+    EXPECT_EQ(synth.gate_count(), 50u);
+}
+
+TEST(Design, MalformedInputsThrowCleanErrors) {
+    EXPECT_THROW((void)Design::from_registry("c404"), Error);
+    EXPECT_THROW((void)Design::from_bench_text("INPUT(\n", "bad"), Error);
+    EXPECT_THROW((void)Design::from_bench_file("/nonexistent/x.bench"), Error);
+}
+
+TEST(Scenario, ValidateRejectsOutOfRangeValues) {
+    const auto expect_invalid = [](auto&& mutate) {
+        Scenario s;
+        mutate(s);
+        EXPECT_THROW(s.validate(), ConfigError);
+    };
+    expect_invalid([](Scenario& s) { s.percentile = 0.0; });
+    expect_invalid([](Scenario& s) { s.percentile = 1.5; });
+    expect_invalid([](Scenario& s) { s.grid_bins = -1; });
+    expect_invalid([](Scenario& s) { s.delta_w = 0.0; });
+    expect_invalid([](Scenario& s) { s.max_width = -2.0; });
+    expect_invalid([](Scenario& s) { s.max_iterations = -1; });
+    expect_invalid([](Scenario& s) { s.area_budget = -1.0; });
+    expect_invalid([](Scenario& s) { s.gates_per_iteration = -3; });
+    EXPECT_NO_THROW(Scenario{}.validate());
+    Scenario mean;
+    mean.objective = Scenario::Objective::Mean;
+    mean.percentile = -1.0;  // ignored for the mean objective
+    EXPECT_NO_THROW(mean.validate());
+}
+
+TEST(Analysis, AnalyzeReportsConsistentStatistics) {
+    const Design design = Design::from_registry("c432");
+    const double width_before = design.total_width();
+    const AnalysisResult r = analyze(design);
+    EXPECT_EQ(r.design, "c432");
+    EXPECT_GT(r.gates, 0u);
+    EXPECT_GT(r.dt_ns, 0.0);
+    EXPECT_GT(r.nominal_delay_ns, 0.0);
+    // The SSTA bound's landmarks are ordered and bracket the nominal.
+    EXPECT_LT(r.mean_ns(), r.percentile_ns(0.99));
+    EXPECT_LE(r.nominal_delay_ns, r.percentile_ns(0.999) + 1e-9);
+    EXPECT_EQ(r.objective_ns, r.percentile_ns(0.99));  // default scenario
+    EXPECT_NEAR(r.yield_at(r.percentile_ns(0.99)), 0.99, 0.02);
+    EXPECT_EQ(r.po_slack_ns.size(), design.netlist().primary_outputs().size());
+
+    // analyze() promised a const design: widths untouched.
+    EXPECT_EQ(design.total_width(), width_before);
+
+    const auto cdf = r.cdf_points();
+    ASSERT_FALSE(cdf.empty());
+    EXPECT_NEAR(cdf.back().second, 1.0, 1e-9);
+}
+
+TEST(Analysis, MonteCarloIsDeterministicPerSeed) {
+    const Design design = Design::from_registry("c17");
+    Scenario scenario;
+    scenario.seed = 11;
+    const McSummary a = monte_carlo(design, scenario, 500);
+    const McSummary b = monte_carlo(design, scenario, 500);
+    ASSERT_EQ(a.samples, 500u);
+    EXPECT_EQ(a.sorted_ns, b.sorted_ns);
+    scenario.seed = 12;
+    const McSummary c = monte_carlo(design, scenario, 500);
+    EXPECT_NE(a.sorted_ns, c.sorted_ns);
+    EXPECT_NEAR(c.yield_at(c.max_ns), 1.0, 1e-12);
+}
+
+TEST(Analysis, CriticalityReportRanksGates) {
+    const Design design = Design::from_registry("c432");
+    const CriticalityReport report = criticality_report(design, {}, 5, 3);
+    ASSERT_EQ(report.ranked.size(), 5u);
+    for (std::size_t i = 1; i < report.ranked.size(); ++i)
+        EXPECT_GE(report.ranked[i - 1].criticality, report.ranked[i].criticality);
+    ASSERT_EQ(report.nominal_paths.size(), 3u);
+    EXPECT_GT(report.nominal_paths[0].delay_ns, 0.0);
+    EXPECT_EQ(report.gate_scores.size(), design.gate_count());
+
+    std::ostringstream dot;
+    write_dot(dot, design, report.gate_scores);
+    EXPECT_NE(dot.str().find("digraph"), std::string::npos);
+}
+
+std::vector<Scenario> mixed_scenarios() {
+    std::vector<Scenario> scenarios(4);
+    scenarios[0].name = "p99";
+    scenarios[0].max_iterations = 4;
+    scenarios[1].name = "mean-batch2";
+    scenarios[1].objective = Scenario::Objective::Mean;
+    scenarios[1].max_iterations = 3;
+    scenarios[1].gates_per_iteration = 2;
+    scenarios[2].name = "p90-mc";
+    scenarios[2].percentile = 0.90;
+    scenarios[2].max_iterations = 2;
+    scenarios[2].mc_samples = 200;
+    scenarios[2].seed = 5;
+    scenarios[3].name = "cone";
+    scenarios[3].selector = Scenario::Selector::BruteCone;
+    scenarios[3].max_iterations = 2;
+    for (Scenario& s : scenarios) s.threads = 2;  // configured, not pool-sized
+    return scenarios;
+}
+
+void expect_results_equal(const std::vector<ScenarioResult>& a,
+                          const std::vector<ScenarioResult>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].scenario.name, b[i].scenario.name) << i;
+        EXPECT_EQ(a[i].objective_ns(), b[i].objective_ns()) << i;
+        EXPECT_EQ(a[i].area(), b[i].area()) << i;
+        ASSERT_EQ(a[i].sizing.history.size(), b[i].sizing.history.size()) << i;
+        for (std::size_t j = 0; j < a[i].sizing.history.size(); ++j) {
+            EXPECT_EQ(a[i].sizing.history[j].gate, b[i].sizing.history[j].gate);
+            EXPECT_EQ(a[i].sizing.history[j].objective_after_ns,
+                      b[i].sizing.history[j].objective_after_ns);
+        }
+        EXPECT_EQ(a[i].mc.sorted_ns, b[i].mc.sorted_ns) << i;
+        for (std::size_t g = 0; g < a[i].design.gate_count(); ++g) {
+            const GateId gate{static_cast<std::uint32_t>(g)};
+            EXPECT_EQ(a[i].design.netlist().gate(gate).width,
+                      b[i].design.netlist().gate(gate).width)
+                << i << " gate " << g;
+        }
+    }
+}
+
+// The acceptance property: run_scenarios returns deterministic,
+// scenario-ordered results independent of the pool's thread count.
+TEST(Scenarios, RunScenariosDeterministicAcrossThreadCounts) {
+    const std::size_t pool_before = default_thread_count();
+    const Design design = Design::from_registry("c432");
+    const double width_before = design.total_width();
+    const std::vector<Scenario> scenarios = mixed_scenarios();
+
+    set_default_thread_count(1);
+    const std::vector<ScenarioResult> reference = run_scenarios(design, scenarios);
+    ASSERT_EQ(reference.size(), scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        EXPECT_EQ(reference[i].scenario.name, scenarios[i].name) << i;
+    // The input design is untouched; each result owns a sized copy.
+    EXPECT_EQ(design.total_width(), width_before);
+    EXPECT_EQ(reference[2].mc.samples, 200u);
+    EXPECT_EQ(reference[0].mc.samples, 0u);
+
+    for (const std::size_t threads : {2u, 7u}) {
+        set_default_thread_count(threads);
+        expect_results_equal(reference, run_scenarios(design, scenarios));
+    }
+    set_default_thread_count(pool_before);
+}
+
+TEST(Scenarios, MatchesStandaloneSizingRuns) {
+    const Design design = Design::from_registry("c432");
+    const std::vector<Scenario> scenarios = mixed_scenarios();
+    const std::vector<ScenarioResult> batch = run_scenarios(design, scenarios);
+
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        Design solo = design;
+        SizingRun run(solo, scenarios[i]);
+        run.run_to_convergence();
+        EXPECT_EQ(run.result().final_objective_ns, batch[i].objective_ns()) << i;
+        EXPECT_EQ(run.result().history.size(), batch[i].sizing.history.size()) << i;
+    }
+}
+
+TEST(Scenarios, InvalidScenarioFailsFastBeforeAnyWork) {
+    const Design design = Design::from_registry("c17");
+    std::vector<Scenario> scenarios(2);
+    scenarios[1].percentile = 2.0;
+    EXPECT_THROW((void)run_scenarios(design, scenarios), ConfigError);
+}
+
+TEST(SizingRun, StepwiseTrajectoryIsObservable) {
+    Design design = Design::from_registry("c17");
+    Scenario scenario;
+    scenario.max_iterations = 3;
+    SizingRun run(design, scenario);
+    EXPECT_FALSE(run.finished());
+    EXPECT_EQ(run.iteration(), 0);
+
+    double prev = run.objective_ns();
+    int steps = 0;
+    while (run.step()) {
+        ++steps;
+        EXPECT_EQ(run.iteration(), steps);
+        EXPECT_LE(run.objective_ns(), prev);
+        prev = run.objective_ns();
+    }
+    EXPECT_TRUE(run.finished());
+    EXPECT_EQ(run.result().iterations, run.iteration());
+    EXPECT_FALSE(run.step());  // finished runs are inert
+    EXPECT_EQ(run.scenario().max_iterations, 3);
+}
+
+// The API-boundary rule the redesign exists for: examples and the CLI
+// compile against the public surface only. Quoted includes outside api/
+// and util/ are a build-layering regression, caught here (and by the CI
+// grep) rather than at the next refactor.
+TEST(ApiSurface, ExamplesAndCliIncludeOnlyPublicHeaders) {
+    namespace fs = std::filesystem;
+    const fs::path repo_root = fs::path(__FILE__).parent_path().parent_path();
+    std::size_t files_checked = 0;
+    for (const char* dir : {"examples", "tools"}) {
+        for (const auto& entry : fs::directory_iterator(repo_root / dir)) {
+            if (entry.path().extension() != ".cpp") continue;
+            ++files_checked;
+            std::ifstream in(entry.path());
+            ASSERT_TRUE(in.is_open()) << entry.path();
+            std::string line;
+            while (std::getline(in, line)) {
+                const auto start = line.find("#include \"");
+                if (start == std::string::npos) continue;
+                const std::string header = line.substr(start + 10);
+                EXPECT_TRUE(header.rfind("api/", 0) == 0 ||
+                            header.rfind("util/", 0) == 0)
+                    << entry.path().filename() << " includes " << header;
+            }
+        }
+    }
+    EXPECT_GE(files_checked, 6u);  // five examples + the CLI
+}
+
+}  // namespace
+}  // namespace statim::api

@@ -138,6 +138,38 @@ TEST_F(BenchIo, MalformedLinesRejected) {
     EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(y)\ny = NAND()\n"), ParseError);
 }
 
+TEST_F(BenchIo, TruncatedLinesRejected) {
+    // Truncation anywhere in a line is a clean ParseError, never a crash
+    // or a silently shortened circuit.
+    EXPECT_THROW((void)parse("INPUT(a\n"), ParseError);  // unclosed paren
+    EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(y)\ny = NAND(a"), ParseError);
+    EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(y)\ny = NAND(a, b\n"), ParseError);
+    EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(y)\ny =\n"), ParseError);
+    EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(y)\ny = \n"), ParseError);
+    EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(y)\ny = NAND\n"), ParseError);
+    EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(y)\ny = )a(\n"), ParseError);
+}
+
+TEST_F(BenchIo, UnknownGateTypeNamesTheOffender) {
+    try {
+        (void)parse("INPUT(a)\nOUTPUT(y)\ny = XNAND3(a)\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("XNAND3"), std::string::npos) << what;
+        EXPECT_EQ(e.line(), 3);
+    }
+    EXPECT_THROW((void)parse("FROB(a)\n"), ParseError);  // unknown directive
+}
+
+TEST_F(BenchIo, DanglingNetsRejected) {
+    // b is read but neither driven nor declared INPUT.
+    EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(y)\ny = NAND(a, b)\n"),
+                 NetlistError);
+    // z is declared OUTPUT but never driven.
+    EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(z)\ny = NOT(a)\n"), NetlistError);
+}
+
 TEST_F(BenchIo, StructuralErrorsSurfaceFromValidate) {
     // x is driven twice.
     EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(x)\nx = NOT(a)\nx = BUFF(a)\n"),

@@ -1,0 +1,382 @@
+// Checkpoint round-trip properties (api/checkpoint.hpp format contract):
+// a SizingRun saved at iteration k and resumed must continue the
+// *uninterrupted* trajectory bitwise — final widths, the full sizing
+// history, the post-sizing arrivals and the downstream RNG stream — for
+// any thread and batch count. The matrix runs in full on c432 and c7552;
+// a synth10k selector pass costs ~30 s on a small container, so that leg
+// runs one configuration by default and the full matrix under
+// STATIM_HEAVY_TESTS=1 (the same scaling rule the parallel-SSTA benches
+// use).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/statim.hpp"
+#include "core/context.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace statim::api {
+namespace {
+
+bool heavy_tests() {
+    const char* env = std::getenv("STATIM_HEAVY_TESTS");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Debug (assert-laden) builds run the sizer ~5-10x slower; the big
+/// matrices trim themselves there so the Debug CI job stays fast, and
+/// STATIM_HEAVY_TESTS=1 forces the full matrix anywhere.
+constexpr bool kOptimizedBuild =
+#ifdef NDEBUG
+    true;
+#else
+    false;
+#endif
+
+Scenario make_scenario(int iterations, int batch, std::size_t threads) {
+    Scenario s;
+    s.name = "ckpt-matrix";
+    s.max_iterations = iterations;
+    s.gates_per_iteration = batch;
+    s.threads = threads;
+    s.seed = 99;
+    return s;
+}
+
+std::vector<double> widths_of(const Design& design) {
+    std::vector<double> widths;
+    widths.reserve(design.gate_count());
+    for (const auto& gate : design.netlist().gates()) widths.push_back(gate.width);
+    return widths;
+}
+
+/// Bitwise history comparison: every field of every IterationRecord.
+void expect_history_equal(const core::SizingResult& a, const core::SizingResult& b,
+                          const std::string& label) {
+    EXPECT_EQ(a.initial_objective_ns, b.initial_objective_ns) << label;
+    EXPECT_EQ(a.final_objective_ns, b.final_objective_ns) << label;
+    EXPECT_EQ(a.initial_area, b.initial_area) << label;
+    EXPECT_EQ(a.final_area, b.final_area) << label;
+    EXPECT_EQ(a.iterations, b.iterations) << label;
+    EXPECT_EQ(a.stop_reason, b.stop_reason) << label;
+    EXPECT_EQ(a.selector_passes, b.selector_passes) << label;
+    EXPECT_EQ(a.conflicts_skipped, b.conflicts_skipped) << label;
+    ASSERT_EQ(a.history.size(), b.history.size()) << label;
+    for (std::size_t i = 0; i < a.history.size(); ++i) {
+        const core::IterationRecord& ra = a.history[i];
+        const core::IterationRecord& rb = b.history[i];
+        EXPECT_EQ(ra.iteration, rb.iteration) << label << " record " << i;
+        EXPECT_EQ(ra.gate, rb.gate) << label << " record " << i;
+        EXPECT_EQ(ra.sensitivity, rb.sensitivity) << label << " record " << i;
+        EXPECT_EQ(ra.objective_after_ns, rb.objective_after_ns)
+            << label << " record " << i;
+        EXPECT_EQ(ra.area_after, rb.area_after) << label << " record " << i;
+        EXPECT_EQ(ra.width_after, rb.width_after) << label << " record " << i;
+    }
+}
+
+/// Post-sizing arrivals of every node, from a fresh full SSTA on the
+/// sized widths (the same reconstruction resume itself relies on).
+void expect_arrivals_equal(Design& a, Design& b, const std::string& label) {
+    core::Context ctx_a(a.netlist(), a.library());
+    core::Context ctx_b(b.netlist(), b.library());
+    ctx_a.run_ssta();
+    ctx_b.run_ssta();
+    ASSERT_EQ(ctx_a.graph().node_count(), ctx_b.graph().node_count()) << label;
+    for (std::size_t n = 0; n < ctx_a.graph().node_count(); ++n) {
+        const NodeId node{static_cast<std::uint32_t>(n)};
+        ASSERT_TRUE(ctx_a.engine().arrival(node) == ctx_b.engine().arrival(node))
+            << label << " node " << n;
+    }
+}
+
+/// The acceptance property on one (circuit, iterations, save-at) choice:
+/// interrupted-and-resumed == uninterrupted, for the full thread × batch
+/// matrix (or a single configuration when `light` trims the expensive
+/// circuits).
+void run_matrix(const char* circuit, int iterations, int save_at, bool light) {
+    const std::size_t pool_before = default_thread_count();
+    const std::vector<int> batches = light ? std::vector<int>{1} : std::vector<int>{1, 4};
+    const std::vector<std::size_t> thread_counts =
+        light ? std::vector<std::size_t>{7} : std::vector<std::size_t>{1, 2, 7};
+    for (const int batch : batches) {
+        for (const std::size_t threads : thread_counts) {
+            const std::string label = std::string(circuit) + " batch=" +
+                                      std::to_string(batch) +
+                                      " threads=" + std::to_string(threads);
+            set_default_thread_count(threads);
+            const Scenario scenario = make_scenario(iterations, batch, threads);
+
+            // Uninterrupted reference.
+            Design ref = Design::from_registry(circuit);
+            SizingRun ref_run(ref, scenario);
+            ref_run.run_to_convergence();
+
+            // Interrupted at iteration `save_at`, checkpointed, resumed
+            // onto a *fresh* design (min-size widths: resume must install
+            // the checkpoint's).
+            Design cut = Design::from_registry(circuit);
+            SizingRun cut_run(cut, scenario);
+            for (int i = 0; i < save_at; ++i) cut_run.step();
+            // Exercise the RNG spare-caching path across the checkpoint.
+            (void)cut_run.rng().normal();
+            std::stringstream stream;
+            cut_run.save(stream);
+
+            Design resumed = Design::from_registry(circuit);
+            SizingRun res_run = SizingRun::resume(resumed, stream);
+            EXPECT_EQ(res_run.iteration(), save_at) << label;
+            res_run.run_to_convergence();
+
+            expect_history_equal(ref_run.result(), res_run.result(), label);
+            const std::vector<double> ref_widths = widths_of(ref);
+            EXPECT_EQ(ref_widths, widths_of(resumed)) << label;
+            expect_arrivals_equal(ref, resumed, label);
+
+            // The downstream stream continues bit-identically too (the
+            // reference consumes the same pre-checkpoint draw).
+            (void)ref_run.rng().normal();
+            for (int i = 0; i < 8; ++i)
+                EXPECT_EQ(ref_run.rng().normal(), res_run.rng().normal())
+                    << label << " draw " << i;
+        }
+    }
+    set_default_thread_count(pool_before);
+}
+
+TEST(Checkpoint, ResumeBitIdenticalC432) { run_matrix("c432", 6, 3, false); }
+
+TEST(Checkpoint, ResumeBitIdenticalC7552) {
+    run_matrix("c7552", 4, 2, !kOptimizedBuild && !heavy_tests());
+}
+
+TEST(Checkpoint, ResumeBitIdenticalSynth10k) {
+    if (!kOptimizedBuild && !heavy_tests())
+        GTEST_SKIP() << "synth10k sizing needs an optimized build "
+                        "(STATIM_HEAVY_TESTS=1 forces it)";
+    run_matrix("synth10k", 2, 1, !heavy_tests());
+}
+
+TEST(Checkpoint, SaveAtEveryIterationResumesIdentically) {
+    // Sweep the save point through the whole run, including iteration 0
+    // (nothing stepped yet) and the finished state.
+    const Scenario scenario = make_scenario(5, 1, 2);
+    Design ref = Design::from_registry("c432");
+    SizingRun ref_run(ref, scenario);
+    ref_run.run_to_convergence();
+
+    for (int save_at = 0; save_at <= 5; ++save_at) {
+        Design cut = Design::from_registry("c432");
+        SizingRun cut_run(cut, scenario);
+        for (int i = 0; i < save_at; ++i) cut_run.step();
+        std::stringstream stream;
+        cut_run.save(stream);
+
+        Design resumed = Design::from_registry("c432");
+        SizingRun res_run = SizingRun::resume(resumed, stream);
+        res_run.run_to_convergence();
+        expect_history_equal(ref_run.result(), res_run.result(),
+                             "save_at=" + std::to_string(save_at));
+        EXPECT_EQ(widths_of(ref), widths_of(resumed)) << save_at;
+    }
+}
+
+TEST(Checkpoint, ResumeCrossesThreadAndBatchCounts) {
+    // A checkpoint taken under one (threads, batch) configuration and
+    // resumed under another still reproduces the uninterrupted history:
+    // both knobs are performance-only. The resumed run keeps its own
+    // scenario copy, so the checkpoint's values are what continue.
+    const std::size_t pool_before = default_thread_count();
+    const Scenario scenario = make_scenario(6, 1, 1);
+    Design ref = Design::from_registry("c432");
+    SizingRun ref_run(ref, scenario);
+    ref_run.run_to_convergence();
+
+    set_default_thread_count(1);
+    Design cut = Design::from_registry("c432");
+    SizingRun cut_run(cut, scenario);
+    for (int i = 0; i < 3; ++i) cut_run.step();
+    std::stringstream stream;
+    cut_run.save(stream);
+
+    // Resume on a 7-thread pool: the scenario's configured threads (1)
+    // still shard the work, so the trajectory cannot change.
+    set_default_thread_count(7);
+    Design resumed = Design::from_registry("c432");
+    SizingRun res_run = SizingRun::resume(resumed, stream);
+    res_run.run_to_convergence();
+    expect_history_equal(ref_run.result(), res_run.result(), "cross-thread");
+    EXPECT_EQ(widths_of(ref), widths_of(resumed));
+    set_default_thread_count(pool_before);
+}
+
+TEST(Checkpoint, ResolvedBatchIsPinnedInCheckpoint) {
+    // gates_per_iteration == 0 resolves from STATIM_BATCH at run start;
+    // the checkpoint must carry the *resolved* value so resuming under a
+    // different environment still continues the uninterrupted trajectory.
+    const char* ambient = std::getenv("STATIM_BATCH");
+    const std::string saved_env = ambient ? ambient : "";
+    ::setenv("STATIM_BATCH", "2", 1);
+
+    const Scenario scenario = make_scenario(4, 0, 1);  // 0 = from env
+    Design ref = Design::from_registry("c432");
+    SizingRun ref_run(ref, scenario);
+    ref_run.run_to_convergence();
+
+    Design cut = Design::from_registry("c432");
+    SizingRun cut_run(cut, scenario);
+    cut_run.step();
+    cut_run.step();
+    std::stringstream stream;
+    cut_run.save(stream);
+
+    ::setenv("STATIM_BATCH", "5", 1);  // hostile resume environment
+    Design resumed = Design::from_registry("c432");
+    SizingRun res_run = SizingRun::resume(resumed, stream);
+    EXPECT_EQ(res_run.scenario().gates_per_iteration, 2);
+    res_run.run_to_convergence();
+    expect_history_equal(ref_run.result(), res_run.result(), "env-pinned batch");
+    EXPECT_EQ(widths_of(ref), widths_of(resumed));
+
+    if (ambient) ::setenv("STATIM_BATCH", saved_env.c_str(), 1);
+    else ::unsetenv("STATIM_BATCH");
+}
+
+TEST(Checkpoint, HeaderPeekAndVersionGate) {
+    const Scenario scenario = make_scenario(2, 1, 1);
+    Design design = Design::from_registry("c17");
+    SizingRun run(design, scenario);
+    run.step();
+    std::stringstream stream;
+    run.save(stream);
+
+    const CheckpointInfo info = checkpoint_info(stream);
+    EXPECT_EQ(info.version, kCheckpointFormatVersion);
+    EXPECT_EQ(info.design, "c17");
+    EXPECT_EQ(info.scenario, "ckpt-matrix");
+    EXPECT_EQ(info.iteration, 1);
+    EXPECT_FALSE(info.finished);
+
+    // A bumped version must be rejected outright (no migration).
+    std::string text = stream.str();
+    const std::string tag = "statim-checkpoint v";
+    text.replace(text.find(tag) + tag.size(), 1,
+                 std::to_string(kCheckpointFormatVersion + 1));
+    std::istringstream bumped(text);
+    EXPECT_THROW((void)checkpoint_info(bumped), ParseError);
+    std::istringstream bumped2(text);
+    EXPECT_THROW((void)SizingRun::resume(design, bumped2), ParseError);
+
+    std::istringstream not_a_checkpoint("totally not a checkpoint\n");
+    EXPECT_THROW((void)checkpoint_info(not_a_checkpoint), ParseError);
+}
+
+TEST(Checkpoint, MalformedStreamsThrowCleanErrors) {
+    const Scenario scenario = make_scenario(2, 1, 1);
+    Design design = Design::from_registry("c17");
+    SizingRun run(design, scenario);
+    run.step();
+    std::stringstream stream;
+    run.save(stream);
+    const std::string text = stream.str();
+
+    // Truncation at any line boundary is a ParseError, never a crash.
+    std::size_t pos = 0;
+    while ((pos = text.find('\n', pos + 1)) != std::string::npos) {
+        if (pos + 1 >= text.size()) break;  // full stream parses fine
+        std::istringstream truncated(text.substr(0, pos + 1));
+        EXPECT_THROW((void)SizingRun::resume(design, truncated), ParseError)
+            << "truncated at byte " << pos;
+    }
+
+    // Corrupt a numeric field.
+    std::string corrupt = text;
+    corrupt.replace(corrupt.find("grid_dt_ns ") + 11, 3, "zzz");
+    std::istringstream bad(corrupt);
+    EXPECT_THROW((void)SizingRun::resume(design, bad), ParseError);
+
+    // Implausible or overflowing element counts are a ParseError, not a
+    // std::length_error/bad_alloc out of reserve().
+    for (const char* count : {"18446744073709551615", "99999999999999999999999",
+                              "4294967296"}) {
+        std::string huge = text;
+        const std::size_t pos = huge.find("widths ") + 7;
+        huge.replace(pos, huge.find('\n', pos) - pos, count);
+        std::istringstream in(huge);
+        EXPECT_THROW((void)SizingRun::resume(design, in), ParseError) << count;
+    }
+}
+
+TEST(Checkpoint, SaveRejectsNamesTheFormatCannotRoundTrip) {
+    // The format is line-oriented: an empty scenario name would produce
+    // a stream load_checkpoint cannot parse, so save() must refuse it
+    // up front (newline-containing names are already rejected by
+    // Scenario::validate at run construction).
+    Scenario anonymous = make_scenario(1, 1, 1);
+    anonymous.name = "";
+    Design design = Design::from_registry("c17");
+    SizingRun run(design, anonymous);
+    std::stringstream out;
+    EXPECT_THROW(run.save(out), ConfigError);
+    EXPECT_TRUE(out.str().empty());  // nothing partial written
+
+    Scenario multiline = make_scenario(1, 1, 1);
+    multiline.name = "a\nb";
+    Design design2 = Design::from_registry("c17");
+    EXPECT_THROW((void)SizingRun(design2, multiline), ConfigError);
+
+    // The reader re-joins tokenized names with single spaces, so tabs
+    // and consecutive/edge spaces would be mangled on load — rejected.
+    for (const char* bad : {"a\tb", "a  b", " a", "a "}) {
+        Scenario s = make_scenario(1, 1, 1);
+        s.name = bad;
+        Design d = Design::from_registry("c17");
+        SizingRun r(d, s);
+        std::stringstream sink;
+        EXPECT_THROW(r.save(sink), ConfigError) << "name '" << bad << "'";
+    }
+    // A single interior space is fine and round-trips.
+    Scenario spaced = make_scenario(1, 1, 1);
+    spaced.name = "two words";
+    Design d3 = Design::from_registry("c17");
+    SizingRun r3(d3, spaced);
+    std::stringstream stream;
+    r3.save(stream);
+    EXPECT_EQ(checkpoint_info(stream).scenario, "two words");
+}
+
+TEST(Checkpoint, ResumeRejectsMismatchedDesign) {
+    const Scenario scenario = make_scenario(1, 1, 1);
+    Design c17 = Design::from_registry("c17");
+    SizingRun run(c17, scenario);
+    run.step();
+    std::stringstream stream;
+    run.save(stream);
+
+    Design c432 = Design::from_registry("c432");
+    EXPECT_THROW((void)SizingRun::resume(c432, stream), ConfigError);
+}
+
+TEST(Checkpoint, ResumeRejectsMismatchedLibrary) {
+    // Same circuit, different delay model: name and gate count match,
+    // but the continuation would diverge — the library fingerprint in
+    // the checkpoint catches it.
+    const Scenario scenario = make_scenario(1, 1, 1);
+    Design design = Design::from_registry("c17");
+    SizingRun run(design, scenario);
+    run.step();
+    std::stringstream stream;
+    run.save(stream);
+
+    cells::Library tweaked = cells::Library::standard_180nm();
+    tweaked.set_sigma_fraction(0.2);
+    Design other = Design::from_registry("c17", std::move(tweaked));
+    EXPECT_THROW((void)SizingRun::resume(other, stream), ConfigError);
+}
+
+}  // namespace
+}  // namespace statim::api

@@ -161,6 +161,51 @@ TEST(FlatDrainSteadyState, WarmDrainIsNearlyAllocationFree) {
     EXPECT_GT(front.sensitivity(), 0.0);
 }
 
+TEST(FlatDrainSteadyState, WarmSelectorPassIsNearlyAllocationFree) {
+    // The PR-5 satellite: with trial-resize buffers, front states and the
+    // pass containers pooled, a whole warm select_pruned pass over every
+    // eligible gate allocates a flat constant — not per candidate
+    // (previously ~30-50 allocations each).
+    const cells::Library lib = cells::Library::standard_180nm();
+    netlist::Netlist nl = netlist::make_iscas("c432", lib);
+    core::Context ctx(nl, lib);
+    ctx.run_ssta();
+    const SelectorConfig cfg{Objective::percentile(0.99), 0.25, 16.0};
+
+    // Warm-up passes grow every pool to the circuit's footprint.
+    (void)select_pruned(ctx, cfg);
+    (void)select_pruned(ctx, cfg);
+
+    const util::AllocationSpan span;
+    const Selection sel = select_pruned(ctx, cfg);
+    EXPECT_GT(sel.stats.candidates, 100u);  // every eligible gate raced
+    EXPECT_LE(span.count(), 64u) << "steady-state selector pass allocated";
+    EXPECT_TRUE(sel.gate.is_valid());
+}
+
+TEST(TrialResizeBuffers, NestedTrialsFallBackSafely) {
+    // Nested trials on one thread must not share the pooled buffer set;
+    // both restore bit-for-bit on destruction.
+    const cells::Library lib = cells::Library::standard_180nm();
+    netlist::Netlist nl = netlist::make_iscas("c17", lib);
+    core::Context ctx(nl, lib);
+    ctx.run_ssta();
+    const auto before = ctx.edge_delays().snapshot(
+        ctx.delay_calc().affected_edges(GateId{2}));
+    {
+        TrialResize outer(ctx, GateId{2}, 0.25);
+        TrialResize inner(ctx, GateId{4}, 0.25);
+        EXPECT_FALSE(outer.changed_edges().empty());
+        EXPECT_FALSE(inner.changed_edges().empty());
+        EXPECT_NE(&outer.changed_edges(), &inner.changed_edges());
+    }
+    const auto after = ctx.edge_delays().snapshot(
+        ctx.delay_calc().affected_edges(GateId{2}));
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i)
+        EXPECT_TRUE(before[i] == after[i]) << i;
+}
+
 TEST(FrontStatePool, StatesAreRecycled) {
     FrontState* a = acquire_front_state();
     a->entries.push_back(FrontEntry{});

@@ -210,6 +210,22 @@ TEST(Cli, ValidateRejectsUnknown) {
     EXPECT_NO_THROW(args.validate({"known", "oops"}));
 }
 
+TEST(Cli, ValidateErrorListsValidOptions) {
+    // The typo case the CLI hits: --thread instead of --threads. The
+    // error must name the offender and every valid flag.
+    const char* argv[] = {"prog", "--thread", "4"};
+    CliArgs args(3, argv);
+    try {
+        args.validate({"threads", "iterations"});
+        FAIL() << "validate() accepted an unknown flag";
+    } catch (const ConfigError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("--thread"), std::string::npos) << what;
+        EXPECT_NE(what.find("--threads"), std::string::npos) << what;
+        EXPECT_NE(what.find("--iterations"), std::string::npos) << what;
+    }
+}
+
 TEST(Env, ReadsAndDefaults) {
     ::setenv("STATIM_TEST_INT", "41", 1);
     ::setenv("STATIM_TEST_BAD", "xyz", 1);

@@ -1,0 +1,320 @@
+// statim — the unified CLI over the public API.
+//
+//   statim analyze --circuit c432 [--percentile 0.99] [--bins N]
+//   statim size    --circuit c7552 --iterations 50 [--batch 4]
+//                  [--checkpoint run.ckpt [--checkpoint-every 10]] [--resume]
+//   statim compare --circuit c880 --det-iterations 300
+//   statim mc      --circuit c432 --samples 20000 [--seed 7]
+//
+// Every subcommand reads a design (--circuit from the registry, or
+// --bench FILE [--lib FILE]) and a scenario from shared flags, and emits
+// one JSON object on stdout in the bench binaries' conventions (stderr
+// carries human-readable progress). This binary is the documented entry
+// point; it includes only api/ and util/ headers — the check CI enforces
+// for everything outside src/.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/statim.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace statim;
+
+int usage(std::FILE* out) {
+    std::fprintf(out,
+                 "usage: statim <analyze|size|compare|mc> [options]\n"
+                 "\n"
+                 "design options (all subcommands):\n"
+                 "  --circuit NAME     registry circuit (c17, the ten ISCAS-85\n"
+                 "                     paper circuits, synth10k...) [c432]\n"
+                 "  --bench FILE       load an ISCAS .bench file instead\n"
+                 "  --lib FILE         liberty-lite cell library [builtin 180nm]\n"
+                 "\n"
+                 "scenario options:\n"
+                 "  --percentile P     objective percentile in (0,1] [0.99]\n"
+                 "  --mean             optimize the mean instead of a percentile\n"
+                 "  --bins N           grid bins over the nominal delay [library default]\n"
+                 "  --selector KIND    pruned | brute | cone [pruned]\n"
+                 "  --delta-w W        width step per upsize [0.25]\n"
+                 "  --max-width W      per-gate width cap [16]\n"
+                 "  --iterations N     outer-iteration budget [50]\n"
+                 "  --area-budget A    stop once added area reaches A [unbounded]\n"
+                 "  --target T         stop once the objective reaches T ns [0]\n"
+                 "  --batch K          gates per iteration [STATIM_BATCH, else 1]\n"
+                 "  --threads N        worker threads [STATIM_THREADS, else cores]\n"
+                 "  --full-ssta        disable the incremental refresh (A/B reference)\n"
+                 "  --seed S           RNG stream seed [1]\n"
+                 "\n"
+                 "size:    --checkpoint FILE [--checkpoint-every N] [--resume]\n"
+                 "         [--stop-after N] [--mc N] [--trace]\n"
+                 "compare: --det-iterations N [300]\n"
+                 "mc:      --samples N [10000]\n"
+                 "analyze: [--cdf]\n");
+    return out == stdout ? 0 : 2;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+const std::vector<std::string> kDesignFlags = {"circuit", "bench", "lib"};
+const std::vector<std::string> kScenarioFlags = {
+    "percentile", "mean",        "bins",   "selector", "delta-w", "max-width",
+    "iterations", "area-budget", "target", "batch",    "threads", "full-ssta",
+    "seed"};
+
+std::vector<std::string> known_flags(std::vector<std::string> extra) {
+    std::vector<std::string> flags = kDesignFlags;
+    flags.insert(flags.end(), kScenarioFlags.begin(), kScenarioFlags.end());
+    flags.insert(flags.end(), extra.begin(), extra.end());
+    return flags;
+}
+
+api::Design design_from_flags(const CliArgs& args) {
+    if (args.has("bench")) {
+        if (args.has("lib"))
+            return api::Design::from_bench_file(
+                args.get("bench"), api::Design::load_library(args.get("lib")));
+        return api::Design::from_bench_file(args.get("bench"));
+    }
+    const std::string circuit = args.get("circuit", "c432");
+    if (args.has("lib"))
+        return api::Design::from_registry(circuit,
+                                          api::Design::load_library(args.get("lib")));
+    return api::Design::from_registry(circuit);
+}
+
+api::Scenario scenario_from_flags(const CliArgs& args) {
+    api::Scenario s;
+    s.name = "cli";
+    if (args.get_bool("mean", false)) s.objective = api::Scenario::Objective::Mean;
+    s.percentile = args.get_double("percentile", 0.99);
+    s.grid_bins = static_cast<int>(args.get_int("bins", 0));
+    s.selector = api::Scenario::parse_selector(args.get("selector", "pruned"));
+    s.delta_w = args.get_double("delta-w", 0.25);
+    s.max_width = args.get_double("max-width", 16.0);
+    s.max_iterations = static_cast<int>(args.get_int("iterations", 50));
+    if (args.has("area-budget")) s.area_budget = args.get_double("area-budget", 0.0);
+    s.target_objective_ns = args.get_double("target", 0.0);
+    s.gates_per_iteration = static_cast<int>(args.get_int("batch", 0));
+    s.threads = apply_threads_flag(args);
+    s.incremental_ssta = !args.get_bool("full-ssta", false);
+    s.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    s.validate();
+    return s;
+}
+
+int cmd_analyze(const CliArgs& args) {
+    args.validate(known_flags({"cdf"}));
+    const api::Design design = design_from_flags(args);
+    const api::Scenario scenario = scenario_from_flags(args);
+    const api::AnalysisResult r = api::analyze(design, scenario);
+
+    std::printf("{\"tool\":\"statim\",\"cmd\":\"analyze\",\"circuit\":\"%s\","
+                "\"gates\":%zu,\"nodes\":%zu,\"edges\":%zu,\"dt_ns\":%.17g,"
+                "\"nominal_ns\":%.17g,\"mean_ns\":%.17g,\"sigma_ns\":%.17g,"
+                "\"p99_ns\":%.17g,\"objective_ns\":%.17g,\"seconds\":%.3f",
+                json_escape(r.design).c_str(), r.gates, r.nodes, r.edges, r.dt_ns,
+                r.nominal_delay_ns, r.mean_ns(), r.stddev_ns(), r.percentile_ns(0.99),
+                r.objective_ns, r.seconds);
+    if (args.has("cdf")) {
+        std::printf(",\"cdf\":[");
+        bool first = true;
+        for (const auto& [t_ns, p] : r.cdf_points()) {
+            std::printf("%s[%.17g,%.17g]", first ? "" : ",", t_ns, p);
+            first = false;
+        }
+        std::printf("]");
+    }
+    std::printf("}\n");
+    return 0;
+}
+
+int cmd_size(const CliArgs& args) {
+    args.validate(known_flags(
+        {"checkpoint", "checkpoint-every", "resume", "stop-after", "mc", "trace"}));
+    api::Design design = design_from_flags(args);
+    const std::string checkpoint_path = args.get("checkpoint");
+    const auto checkpoint_every = args.get_int("checkpoint-every", 0);
+    if (args.has("checkpoint") && checkpoint_path.empty())
+        throw ConfigError("--checkpoint needs a FILE value");
+    if ((args.has("resume") || args.has("checkpoint-every") ||
+         args.has("stop-after")) &&
+        checkpoint_path.empty())
+        throw ConfigError(
+            "--resume/--checkpoint-every/--stop-after need --checkpoint FILE");
+    if (args.get_bool("resume", false)) {
+        // The scenario is restored wholly from the checkpoint; accepting
+        // scenario flags here would silently drop them.
+        for (const std::string& flag : kScenarioFlags)
+            if (args.has(flag))
+                throw ConfigError("--" + flag +
+                                  " cannot be combined with --resume: the scenario "
+                                  "(budgets, selector, threads, seed) is restored "
+                                  "from the checkpoint");
+    }
+
+    const auto save = [&](const api::SizingRun& run) {
+        if (checkpoint_path.empty()) return;
+        // Atomic replace: a failed or interrupted save must not destroy
+        // the previous checkpoint — it is the only recovery artifact.
+        const std::string tmp_path = checkpoint_path + ".tmp";
+        {
+            std::ofstream out(tmp_path, std::ios::trunc);
+            if (!out) throw Error("cannot write checkpoint '" + tmp_path + "'");
+            run.save(out);
+        }
+        if (std::rename(tmp_path.c_str(), checkpoint_path.c_str()) != 0)
+            throw Error("cannot move checkpoint into place at '" + checkpoint_path +
+                        "'");
+        std::fprintf(stderr, "checkpoint: saved iteration %d to %s\n",
+                     run.iteration(), checkpoint_path.c_str());
+    };
+
+    auto make_run = [&]() -> api::SizingRun {
+        if (args.get_bool("resume", false)) {
+            std::ifstream in(checkpoint_path);
+            if (!in) throw Error("cannot read checkpoint '" + checkpoint_path + "'");
+            const api::CheckpointInfo info = api::checkpoint_info(in);
+            in.seekg(0);
+            std::fprintf(stderr,
+                         "checkpoint: resuming '%s' scenario '%s' at iteration %d%s\n",
+                         info.design.c_str(), info.scenario.c_str(), info.iteration,
+                         info.finished ? " (already finished)" : "");
+            return api::SizingRun::resume(design, in);
+        }
+        return api::SizingRun(design, scenario_from_flags(args));
+    };
+    api::SizingRun run = make_run();
+
+    // --stop-after simulates an interruption: stop stepping mid-run
+    // (before the scenario's budgets are reached), save, and exit; a
+    // later --resume continues the trajectory bit-identically.
+    const auto stop_after = args.get_int("stop-after", 0);
+    while ((stop_after <= 0 || run.iteration() < stop_after) && run.step()) {
+        if (checkpoint_every > 0 && run.iteration() % checkpoint_every == 0) save(run);
+    }
+    save(run);
+    if (stop_after > 0 && !run.finished()) {
+        std::fprintf(stderr, "stopped after iteration %d (resume with --resume)\n",
+                     run.iteration());
+        return 0;
+    }
+
+    const core::SizingResult& r = run.result();
+    std::printf("{\"tool\":\"statim\",\"cmd\":\"size\",\"circuit\":\"%s\","
+                "\"gates\":%zu,\"iterations\":%d,\"commits\":%zu,"
+                "\"initial_objective_ns\":%.17g,\"final_objective_ns\":%.17g,"
+                "\"initial_area\":%.17g,\"final_area\":%.17g,"
+                "\"selector_passes\":%zu,\"conflicts_skipped\":%zu,"
+                "\"ssta_nodes_recomputed\":%zu,\"stop_reason\":\"%s\"",
+                json_escape(design.name()).c_str(), design.gate_count(), r.iterations,
+                r.history.size(), r.initial_objective_ns, r.final_objective_ns,
+                r.initial_area, r.final_area, r.selector_passes, r.conflicts_skipped,
+                r.ssta_nodes_recomputed, json_escape(r.stop_reason).c_str());
+    if (args.has("trace")) {
+        std::printf(",\"history\":[");
+        for (std::size_t i = 0; i < r.history.size(); ++i) {
+            const core::IterationRecord& rec = r.history[i];
+            std::printf("%s{\"iteration\":%d,\"gate\":\"%s\",\"sensitivity\":%.17g,"
+                        "\"objective_ns\":%.17g,\"area\":%.17g}",
+                        i ? "," : "", rec.iteration,
+                        json_escape(design.gate_name(rec.gate)).c_str(),
+                        rec.sensitivity, rec.objective_after_ns, rec.area_after);
+        }
+        std::printf("]");
+    }
+    if (const auto mc_samples = args.get_int("mc", 0); mc_samples > 0) {
+        const api::McSummary mc =
+            run.validate_mc(static_cast<std::size_t>(mc_samples));
+        std::printf(",\"mc\":{\"samples\":%zu,\"mean_ns\":%.17g,\"sigma_ns\":%.17g,"
+                    "\"p99_ns\":%.17g}",
+                    mc.samples, mc.mean_ns, mc.stddev_ns, mc.percentile_ns(0.99));
+    }
+    std::printf("}\n");
+    return 0;
+}
+
+int cmd_compare(const CliArgs& args) {
+    args.validate(known_flags({"det-iterations"}));
+    const api::Design design = design_from_flags(args);
+    api::Scenario scenario = scenario_from_flags(args);
+    if (!args.has("iterations")) scenario.max_iterations = 4000;  // chase the budget
+    const int det_iterations = static_cast<int>(args.get_int("det-iterations", 300));
+
+    const api::CompareOutcome outcome =
+        api::compare_sizings(design, scenario, det_iterations);
+    const core::ComparisonResult& c = outcome.comparison;
+    std::printf("{\"tool\":\"statim\",\"cmd\":\"compare\",\"circuit\":\"%s\","
+                "\"nodes\":%zu,\"edges\":%zu,\"initial_objective_ns\":%.17g,"
+                "\"det_objective_ns\":%.17g,\"stat_objective_ns\":%.17g,"
+                "\"det_area_increase_pct\":%.17g,\"stat_area_increase_pct\":%.17g,"
+                "\"improvement_pct\":%.17g}\n",
+                json_escape(c.circuit).c_str(), c.nodes, c.edges,
+                c.initial_objective_ns, c.det_objective_ns, c.stat_objective_ns,
+                c.det_area_increase_pct, c.stat_area_increase_pct, c.improvement_pct);
+    return 0;
+}
+
+int cmd_mc(const CliArgs& args) {
+    args.validate(known_flags({"samples"}));
+    const api::Design design = design_from_flags(args);
+    const api::Scenario scenario = scenario_from_flags(args);
+    const auto samples = static_cast<std::size_t>(args.get_int("samples", 10000));
+    const api::McSummary mc = api::monte_carlo(design, scenario, samples);
+
+    std::printf("{\"tool\":\"statim\",\"cmd\":\"mc\",\"circuit\":\"%s\","
+                "\"samples\":%zu,\"seed\":%llu,\"mean_ns\":%.17g,\"sigma_ns\":%.17g,"
+                "\"min_ns\":%.17g,\"max_ns\":%.17g,\"p50_ns\":%.17g,\"p90_ns\":%.17g,"
+                "\"p99_ns\":%.17g,\"seconds\":%.3f}\n",
+                json_escape(design.name()).c_str(), mc.samples,
+                static_cast<unsigned long long>(scenario.seed), mc.mean_ns,
+                mc.stddev_ns, mc.min_ns, mc.max_ns, mc.percentile_ns(0.5),
+                mc.percentile_ns(0.9), mc.percentile_ns(0.99), mc.seconds);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace statim;
+    try {
+        const CliArgs args(argc, argv);
+        if (args.positional().empty())
+            return args.has("help") ? usage(stdout) : usage(stderr);
+        if (args.positional().size() > 1)
+            throw ConfigError("expected one subcommand, got '" +
+                              args.positional()[1] + "' too");
+        const std::string& cmd = args.positional()[0];
+        if (cmd == "analyze") return cmd_analyze(args);
+        if (cmd == "size") return cmd_size(args);
+        if (cmd == "compare") return cmd_compare(args);
+        if (cmd == "mc") return cmd_mc(args);
+        if (cmd == "help") return usage(stdout);
+        std::fprintf(stderr, "error: unknown subcommand '%s'\n", cmd.c_str());
+        return usage(stderr);
+    } catch (const Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
