@@ -1,60 +1,263 @@
-// Micro benchmarks of the probability kernels (google-benchmark): the
-// inner loops every SSTA pass and every perturbation front is made of.
-#include <benchmark/benchmark.h>
+// Kernel-level micro benchmark of the probability operators, per SIMD
+// dispatch level. Standalone (no Google Benchmark) so CI can always run
+// it — especially its `--smoke` mode, the bit-exactness gate of the
+// kernel dispatch layer.
+//
+// Default mode: a JSON sweep on stdout. For every available dispatch
+// level (kernels::available_levels(), plus the fast-math convolve
+// variant on SIMD levels) and every routed operator — convolve_into,
+// stat_max_into, copy_into, max_percentile_shift_bins, ks_distance —
+// across representative operand sizes, it reports ns/op and an effective
+// GB/s (doubles streamed per op / time; the per-op byte model is
+// documented in bench/BENCH.md). Speedup ratios between levels come
+// from dividing rows, e.g. convolve avx2-vs-scalar at 4096×64.
+//
+// `--smoke` (or STATIM_BENCH_SMOKE=1): skips the timing sweep and runs
+// the equality gate only — 10,000 seeded random shape pairs (mixed
+// sizes, interior zero masses, point operands, partial/disjoint
+// overlaps) through all five routed operators under every available
+// non-fast-math dispatch level, asserting the results are *bitwise*
+// identical to the scalar reference. Any mismatch prints the offending
+// seed/op/level and exits 1.
+//
+// Knobs: STATIM_SMOKE_PAIRS overrides the pair count.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include "prob/gaussian.hpp"
+#include "prob/arena.hpp"
+#include "prob/kernels/kernels.hpp"
 #include "prob/ops.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using namespace statim;
 using namespace statim::prob;
 
-Pdf make_pdf(std::size_t bins, std::uint64_t seed) {
+volatile double g_sink = 0.0;  // keeps measured results live
+
+Pdf make_pdf(std::size_t bins, std::int64_t first, std::uint64_t seed) {
     Rng rng(seed);
     std::vector<double> mass(bins);
     for (double& m : mass) m = rng.uniform(0.01, 1.0);
-    return Pdf::from_mass(0, std::move(mass));
+    return Pdf::from_mass(first, std::move(mass));
 }
 
-void BM_Convolve(benchmark::State& state) {
-    const Pdf arrival = make_pdf(static_cast<std::size_t>(state.range(0)), 1);
-    const Pdf edge = make_pdf(static_cast<std::size_t>(state.range(1)), 2);
-    for (auto _ : state) benchmark::DoNotOptimize(convolve(arrival, edge));
-    state.SetComplexityN(state.range(0));
+/// Adaptive timing: grows the iteration count until one batch takes
+/// ~20 ms, then reports seconds per op of the final batch.
+template <typename F>
+double time_op(F&& f) {
+    f();  // warm the arenas and the branch predictors
+    std::size_t iters = 1;
+    for (;;) {
+        Timer t;
+        for (std::size_t i = 0; i < iters; ++i) f();
+        const double s = t.seconds();
+        if (s > 0.02 || iters >= (std::size_t{1} << 24))
+            return s / static_cast<double>(iters);
+        iters *= (s <= 0.001) ? 16 : 2;
+    }
 }
-BENCHMARK(BM_Convolve)->Args({64, 16})->Args({256, 32})->Args({1024, 64})->Args({4096, 64});
 
-void BM_StatMax(benchmark::State& state) {
-    const Pdf a = make_pdf(static_cast<std::size_t>(state.range(0)), 3);
-    Pdf b = make_pdf(static_cast<std::size_t>(state.range(0)), 4);
-    b.shift(state.range(0) / 4);  // realistic partial overlap
-    for (auto _ : state) benchmark::DoNotOptimize(stat_max(a, b));
-}
-BENCHMARK(BM_StatMax)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+struct SweepRow {
+    const char* op;
+    std::string table;   // kernel table name ("scalar", "avx2", "avx2+fma", ...)
+    std::size_t na, nb;
+    double ns_per_op;
+    double gbps;  // doubles streamed * 8 / time; model in bench/BENCH.md
+};
 
-void BM_TruncatedGaussian(benchmark::State& state) {
-    const TimeGrid grid(0.5 / static_cast<double>(state.range(0)));
-    for (auto _ : state)
-        benchmark::DoNotOptimize(truncated_gaussian(grid, 0.5, 0.05, 3.0));
-}
-BENCHMARK(BM_TruncatedGaussian)->Arg(128)->Arg(512)->Arg(2048);
+void sweep_level(kernels::Level level, bool fast_math, std::vector<SweepRow>& rows) {
+    kernels::force(level, fast_math);
+    const std::string table = kernels::active().name;
+    PdfArena& arena = thread_arena();
 
-void BM_MaxPercentileShift(benchmark::State& state) {
-    const Pdf a = make_pdf(static_cast<std::size_t>(state.range(0)), 5);
-    Pdf b = a;
-    b.shift(-3);
-    for (auto _ : state) benchmark::DoNotOptimize(max_percentile_shift(a, b));
-}
-BENCHMARK(BM_MaxPercentileShift)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+    const std::size_t conv_sizes[][2] = {{64, 16}, {256, 32}, {1024, 64},
+                                         {4096, 64}, {512, 512}, {4096, 4096}};
+    for (const auto& [na, nb] : conv_sizes) {
+        const Pdf a = make_pdf(na, 0, 1);
+        const Pdf b = make_pdf(nb, 0, 2);
+        const double s = time_op([&] {
+            const ScopedRewind scope(arena);
+            g_sink = g_sink + convolve_into(arena, a, b).mass()[0];
+        });
+        // Byte model: the inner axpy reads the long operand and
+        // read-modify-writes the output once per short-operand row.
+        const double bytes =
+            8.0 * 3.0 * static_cast<double>(na) * static_cast<double>(nb);
+        rows.push_back({"convolve", table, na, nb, s * 1e9, bytes / s * 1e-9});
+    }
+    if (fast_math) return;  // only the convolve kernel differs under fast-math
 
-void BM_Percentile(benchmark::State& state) {
-    const Pdf a = make_pdf(static_cast<std::size_t>(state.range(0)), 6);
-    for (auto _ : state) benchmark::DoNotOptimize(a.percentile_bin(0.99));
+    for (const std::size_t n : {std::size_t{64}, std::size_t{256},
+                                std::size_t{1024}, std::size_t{4096}}) {
+        const Pdf a = make_pdf(n, 0, 3);
+        const Pdf b = make_pdf(n, static_cast<std::int64_t>(n / 4), 4);
+        {
+            const double s = time_op([&] {
+                const ScopedRewind scope(arena);
+                g_sink = g_sink + stat_max_into(arena, a, b).mass()[0];
+            });
+            // prefix fills write fa/fb, the combine reads both (twice,
+            // offset by one) and writes out: ~5 streamed doubles per
+            // result bin; the result spans ~1.25n bins at n/4 overlap.
+            const double bytes = 8.0 * 5.0 * 1.25 * static_cast<double>(n);
+            rows.push_back({"stat_max", table, n, n, s * 1e9, bytes / s * 1e-9});
+        }
+        {
+            const double s = time_op([&] { g_sink = g_sink + ks_distance(a, b); });
+            const double bytes = 8.0 * 4.0 * 1.25 * static_cast<double>(n);
+            rows.push_back({"ks_distance", table, n, n, s * 1e9, bytes / s * 1e-9});
+        }
+        {
+            const double s = time_op(
+                [&] { g_sink = g_sink + static_cast<double>(max_percentile_shift_bins(a, b)); });
+            const double bytes = 8.0 * 2.0 * static_cast<double>(n);
+            rows.push_back({"shift_bins", table, n, n, s * 1e9, bytes / s * 1e-9});
+        }
+        {
+            const double s = time_op([&] {
+                const ScopedRewind scope(arena);
+                g_sink = g_sink + copy_into(arena, a).mass()[0];
+            });
+            const double bytes = 8.0 * 2.0 * static_cast<double>(n);
+            rows.push_back({"copy", table, n, n, s * 1e9, bytes / s * 1e-9});
+        }
+    }
 }
-BENCHMARK(BM_Percentile)->Arg(256)->Arg(4096);
+
+// ---- smoke mode: forced-dispatch bit-exactness gate -------------------------
+
+/// Bitwise PDF comparison — representation bits, not value equality.
+bool bits_equal(PdfView a, PdfView b) {
+    if (a.first_bin() != b.first_bin() || a.size() != b.size()) return false;
+    return std::memcmp(a.mass().data(), b.mass().data(),
+                       a.size() * sizeof(double)) == 0;
+}
+
+/// Random operand with adversarial shapes: point masses, interior zero
+/// runs, occasional long tails — everything the trimming/finalize path
+/// and the kernels' remainder loops must agree on.
+Pdf random_pdf(Rng& rng) {
+    const auto kind = rng.uniform_int(0, 9);
+    std::size_t bins;
+    if (kind == 0) bins = 1;  // point mass
+    else if (kind <= 6) bins = static_cast<std::size_t>(rng.uniform_int(2, 96));
+    else bins = static_cast<std::size_t>(rng.uniform_int(97, 700));  // vector bodies
+    std::vector<double> mass(bins, 0.0);
+    bool any = false;
+    for (double& m : mass) {
+        if (rng.uniform() < 0.35) continue;  // interior zeros
+        m = rng.uniform(1e-6, 1.0);
+        any = true;
+    }
+    if (!any) mass[bins / 2] = 1.0;
+    // Large shifts make partial and fully disjoint supports common.
+    const std::int64_t first = rng.uniform_int(-200, 200);
+    return Pdf::from_mass(first, std::move(mass));
+}
+
+struct OpResults {
+    Pdf conv, smax, copied;
+    std::int64_t shift{0};
+    double ks{0.0};
+};
+
+OpResults run_ops(const Pdf& a, const Pdf& b) {
+    OpResults r;
+    PdfArena& arena = thread_arena();
+    const ScopedRewind scope(arena);
+    r.conv = convolve_into(arena, a, b).to_pdf();
+    const std::vector<PdfView> views{a, b};
+    r.smax = stat_max_into(arena, views).to_pdf();
+    r.copied = copy_into(arena, a).to_pdf();
+    r.shift = max_percentile_shift_bins(a, b);
+    r.ks = ks_distance(a, b);
+    return r;
+}
+
+int run_smoke() {
+    const auto levels = kernels::available_levels();
+    const long pairs = env_int("STATIM_SMOKE_PAIRS", 10000);
+    std::fprintf(stderr,
+                 "bench_micro_prob --smoke: %ld random shape pairs, "
+                 "%zu dispatch level(s)\n",
+                 pairs, levels.size());
+    long mismatches = 0;
+    for (long p = 0; p < pairs; ++p) {
+        Rng rng(0x5eed0000 + static_cast<std::uint64_t>(p));
+        const Pdf a = random_pdf(rng);
+        const Pdf b = random_pdf(rng);
+
+        kernels::force(kernels::Level::Scalar, false);
+        const OpResults ref = run_ops(a, b);
+
+        for (const kernels::Level level : levels) {
+            if (level == kernels::Level::Scalar) continue;
+            kernels::force(level, false);
+            const OpResults got = run_ops(a, b);
+            const char* bad = nullptr;
+            if (!bits_equal(got.conv, ref.conv)) bad = "convolve_into";
+            else if (!bits_equal(got.smax, ref.smax)) bad = "stat_max_into";
+            else if (!bits_equal(got.copied, ref.copied)) bad = "copy_into";
+            else if (got.shift != ref.shift) bad = "max_percentile_shift_bins";
+            else if (std::memcmp(&got.ks, &ref.ks, sizeof(double)) != 0)
+                bad = "ks_distance";
+            if (bad != nullptr) {
+                std::fprintf(stderr,
+                             "SMOKE FAIL: pair %ld (|a|=%zu@%lld, |b|=%zu@%lld): "
+                             "%s differs between %s and scalar\n",
+                             p, a.size(), static_cast<long long>(a.first_bin()),
+                             b.size(), static_cast<long long>(b.first_bin()), bad,
+                             kernels::level_name(level));
+                ++mismatches;
+            }
+        }
+    }
+    std::printf("{\"bench\":\"micro_prob\",\"smoke\":true,\"pairs\":%ld,"
+                "\"mismatches\":%ld}\n",
+                pairs, mismatches);
+    if (mismatches != 0) return 1;
+    std::fprintf(stderr, "smoke OK: all levels bitwise identical to scalar\n");
+    return 0;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (env_int("STATIM_BENCH_SMOKE", 0) != 0) smoke = true;
+    if (smoke) return run_smoke();
+
+    const auto levels = kernels::available_levels();
+    std::fprintf(stderr,
+                 "bench_micro_prob: kernel sweep over %zu dispatch level(s)\n",
+                 levels.size());
+    std::vector<SweepRow> rows;
+    for (const kernels::Level level : levels) {
+        sweep_level(level, false, rows);
+        if (level != kernels::Level::Scalar)
+            sweep_level(level, true, rows);  // fast-math convolve rider
+    }
+
+    std::printf("{\"bench\":\"micro_prob\",\"smoke\":false,\"levels\":[");
+    for (std::size_t i = 0; i < levels.size(); ++i)
+        std::printf("%s\"%s\"", i != 0 ? "," : "", kernels::level_name(levels[i]));
+    std::printf("],\"results\":[");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow& r = rows[i];
+        std::printf("%s{\"op\":\"%s\",\"table\":\"%s\",\"na\":%zu,\"nb\":%zu,"
+                    "\"ns_per_op\":%.1f,\"gbps\":%.3f}",
+                    i != 0 ? "," : "", r.op, r.table.c_str(), r.na, r.nb,
+                    r.ns_per_op, r.gbps);
+    }
+    std::printf("]}\n");
+    return 0;
+}

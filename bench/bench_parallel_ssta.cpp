@@ -34,6 +34,7 @@
 
 #include "bench_common.hpp"
 #include "core/context.hpp"
+#include "prob/kernels/kernels.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -207,7 +208,8 @@ int main() {
         rows.push_back(row);
     }
 
-    std::printf("{\"bench\":\"parallel_ssta\",\"circuits\":[");
+    std::printf("{\"bench\":\"parallel_ssta\",\"simd\":\"%s\",\"circuits\":[",
+                prob::kernels::active().name);
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row& r = rows[i];
         std::printf("%s{\"circuit\":\"%s\",\"nodes\":%zu,\"edges\":%zu,"

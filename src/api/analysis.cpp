@@ -45,6 +45,7 @@ std::vector<std::pair<double, double>> AnalysisResult::cdf_points() const {
 
 AnalysisResult analyze(const Design& design, const Scenario& scenario) {
     scenario.validate();
+    detail::apply_simd(scenario);
     // The context mutates nothing here, but binds a mutable netlist;
     // analyze() promises a const design, so it runs on a copy.
     netlist::Netlist nl = design.netlist();
@@ -117,6 +118,7 @@ McSummary monte_carlo(const Design& design, const Scenario& scenario,
 CriticalityReport criticality_report(const Design& design, const Scenario& scenario,
                                      std::size_t top_n, std::size_t n_paths) {
     scenario.validate();
+    detail::apply_simd(scenario);
     netlist::Netlist nl = design.netlist();
     core::Context ctx(nl, design.library(), detail::to_grid_policy(scenario));
     ctx.set_ssta_threads(scenario.resolved_threads());
@@ -169,6 +171,7 @@ void write_dot(std::ostream& out, const Design& design,
 CompareOutcome compare_sizings(const Design& design, const Scenario& scenario,
                                int det_iterations) {
     scenario.validate();
+    detail::apply_simd(scenario);
     core::ComparisonConfig cfg;
     cfg.objective = detail::to_objective(scenario);
     cfg.delta_w = scenario.delta_w;

@@ -20,6 +20,14 @@ namespace statim::api::detail {
 [[nodiscard]] core::SelectorKind to_selector_kind(Scenario::Selector s);
 [[nodiscard]] core::StatisticalSizerConfig to_sizer_config(const Scenario& s);
 
+/// Applies the scenario's SIMD dispatch request to the process-global
+/// kernel table (see Scenario::simd). Called at every API entry point
+/// that runs SSTA. Because all dispatch levels are bitwise identical,
+/// concurrent scenarios forcing different levels (run_scenarios) race
+/// only on *speed*, never on results. Throws ConfigError when the
+/// requested level is unsupported on this host.
+void apply_simd(const Scenario& s);
+
 /// Stable digest of everything the delay/area model reads from a
 /// library (cell parameters, pin weights, sigma fraction, truncation).
 /// Checkpoints carry it so a resume under a different library — which

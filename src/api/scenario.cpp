@@ -1,6 +1,7 @@
 #include "api/scenario.hpp"
 
 #include "api/detail.hpp"
+#include "prob/kernels/kernels.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -41,6 +42,8 @@ void Scenario::validate() const {
     if (gates_per_iteration < 0)
         throw ConfigError("Scenario '" + name +
                           "': gates_per_iteration must be >= 1 (or 0 for STATIM_BATCH)");
+    if (!simd.empty())
+        (void)prob::kernels::parse_level(simd);  // throws on an unknown name
 }
 
 std::size_t Scenario::resolved_threads() const {
@@ -71,6 +74,17 @@ core::SelectorKind to_selector_kind(Scenario::Selector s) {
         case Scenario::Selector::BruteCone: return core::SelectorKind::BruteCone;
     }
     throw ConfigError("Scenario: unknown selector kind");
+}
+
+void apply_simd(const Scenario& s) {
+    // "auto"/empty defers to STATIM_SIMD + CPUID — including *undoing* a
+    // force a previously applied scenario left behind in this process.
+    if (s.simd.empty() || s.simd == "auto") {
+        (void)prob::kernels::reset_from_env();
+        return;
+    }
+    // Explicit level; fast-math stays whatever the environment resolved.
+    prob::kernels::force(prob::kernels::parse_level(s.simd));
 }
 
 core::StatisticalSizerConfig to_sizer_config(const Scenario& s) {

@@ -67,6 +67,14 @@ struct Scenario {
     /// Incremental arrival refresh between commits (bit-identical; off
     /// is the reference full-rerun path kept for A/B benching).
     bool incremental_ssta{true};
+    /// SIMD dispatch level for the PDF kernels: "auto" (environment /
+    /// CPUID resolution, honoring STATIM_SIMD), "scalar", "avx2" or
+    /// "neon". Every level is bitwise identical to scalar — this is a
+    /// speed knob, never a results knob — so it is deliberately NOT part
+    /// of the checkpoint format: a run checkpointed under one level
+    /// resumes identically under any other. Unsupported levels are
+    /// rejected at run entry.
+    std::string simd{"auto"};
 
     // ---- validation ----------------------------------------------------
     /// Monte Carlo samples for the post-sizing validation run (0 = skip).

@@ -39,7 +39,8 @@ struct SizingRun::Impl {
 };
 
 SizingRun::SizingRun(Design& design, Scenario scenario)
-    : impl_(std::make_unique<Impl>(design, std::move(scenario))) {}
+    : impl_((detail::apply_simd(scenario),
+             std::make_unique<Impl>(design, std::move(scenario)))) {}
 
 SizingRun::SizingRun(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
 
@@ -114,6 +115,9 @@ SizingRun SizingRun::resume(Design& design, std::istream& in) {
     for (std::size_t gi = 0; gi < payload.widths.size(); ++gi)
         nl.gate(GateId{static_cast<std::uint32_t>(gi)}).width = payload.widths[gi];
 
+    // The checkpoint carries no SIMD level (dispatch is bitwise-neutral);
+    // the resumed process resolves its own via the scenario/environment.
+    detail::apply_simd(payload.scenario);
     auto impl = std::make_unique<Impl>(design, std::move(payload.scenario),
                                        prob::TimeGrid(payload.grid_dt_ns));
     impl->loop.restore_state(std::move(payload.loop));

@@ -1,0 +1,114 @@
+// Dispatch resolution: CPUID/architecture detection, the STATIM_SIMD /
+// STATIM_FAST_MATH knobs, and the process-global active table.
+#include "prob/kernels/kernels.hpp"
+
+#include <atomic>
+
+#include "prob/kernels/tables.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace statim::prob::kernels {
+
+namespace {
+
+/// The active table. Lazily resolved from the environment on first
+/// active() call; force() overwrites it. A racing first resolution is
+/// benign — both threads compute the same table from the same
+/// environment — and subsequent loads are a single acquire.
+std::atomic<const KernelTable*> g_active{nullptr};
+
+bool fast_math_env() { return env_int("STATIM_FAST_MATH", 0) != 0; }
+
+Level best_supported_level() noexcept {
+    if (detail::avx2_table(false) != nullptr && detail::avx2_runtime_supported())
+        return Level::Avx2;
+    if (detail::neon_table(false) != nullptr && detail::neon_runtime_supported())
+        return Level::Neon;
+    return Level::Scalar;
+}
+
+const KernelTable* resolve_from_env() {
+    const bool fast = fast_math_env();
+    const auto spec = env_string("STATIM_SIMD");
+    if (!spec || spec->empty() || *spec == "auto")
+        return &table_for(best_supported_level(), fast);
+    return &table_for(parse_level(*spec), fast);
+}
+
+}  // namespace
+
+const KernelTable& active() {
+    const KernelTable* t = g_active.load(std::memory_order_acquire);
+    if (t == nullptr) {
+        t = resolve_from_env();
+        g_active.store(t, std::memory_order_release);
+    }
+    return *t;
+}
+
+const KernelTable& reset_from_env() {
+    const KernelTable* t = resolve_from_env();
+    g_active.store(t, std::memory_order_release);
+    return *t;
+}
+
+void force(Level level, bool fast_math) {
+    g_active.store(&table_for(level, fast_math), std::memory_order_release);
+}
+
+void force(Level level) { force(level, active().fast_math); }
+
+bool supported(Level level) noexcept {
+    switch (level) {
+        case Level::Scalar: return true;
+        case Level::Avx2:
+            return detail::avx2_table(false) != nullptr &&
+                   detail::avx2_runtime_supported();
+        case Level::Neon:
+            return detail::neon_table(false) != nullptr &&
+                   detail::neon_runtime_supported();
+    }
+    return false;
+}
+
+std::vector<Level> available_levels() {
+    std::vector<Level> levels{Level::Scalar};
+    if (supported(Level::Avx2)) levels.push_back(Level::Avx2);
+    if (supported(Level::Neon)) levels.push_back(Level::Neon);
+    return levels;
+}
+
+const char* level_name(Level level) noexcept {
+    switch (level) {
+        case Level::Scalar: return "scalar";
+        case Level::Avx2: return "avx2";
+        case Level::Neon: return "neon";
+    }
+    return "?";
+}
+
+Level parse_level(std::string_view name) {
+    if (name == "auto") return best_supported_level();
+    if (name == "scalar") return Level::Scalar;
+    if (name == "avx2") return Level::Avx2;
+    if (name == "neon") return Level::Neon;
+    throw ConfigError("unknown SIMD level '" + std::string(name) +
+                      "' (expected auto, scalar, avx2 or neon)");
+}
+
+const KernelTable& table_for(Level level, bool fast_math) {
+    if (!supported(level))
+        throw ConfigError(std::string("SIMD level '") + level_name(level) +
+                          "' is not supported on this host");
+    switch (level) {
+        case Level::Scalar:
+            // Scalar has no contractible operations; fast-math is a no-op.
+            return detail::scalar_table();
+        case Level::Avx2: return *detail::avx2_table(fast_math);
+        case Level::Neon: return *detail::neon_table(fast_math);
+    }
+    throw ConfigError("unreachable SIMD level");
+}
+
+}  // namespace statim::prob::kernels

@@ -1,0 +1,131 @@
+// Runtime-dispatched SIMD kernels for the dense PDF bin arithmetic.
+//
+// Every SSTA propagation step — full runs, incremental refreshes,
+// perturbation-front drains, trial resizes — bottoms out in the bin loops
+// of prob/ops.cpp. Those loops are allocation-free (PRs 2/4/5), so the
+// remaining cycles are pure kernel arithmetic: the O(bins) cost the
+// histogram SSTA formulation pays per edge. This layer routes them
+// through a function-pointer table resolved once at startup:
+//
+//  * `Level` — scalar (the portable reference), AVX2 (x86-64 with CPUID
+//    confirmation), NEON (aarch64). The best supported level is chosen
+//    automatically; `STATIM_SIMD=scalar|avx2|neon|auto` forces any level
+//    for testing and benchmarking, and api::Scenario / `statim --simd`
+//    plumb the same knob through the public API.
+//  * Bit-exactness contract: every non-fast-math table produces results
+//    bitwise identical to the scalar reference. The vector kernels only
+//    touch elementwise passes (one rounding per output element, in the
+//    same per-element operation order); the loop-carried prefix-CDF
+//    accumulations stay in shared scalar code (prob/ops.cpp), so there
+//    is nothing to reassociate. CI gates on this via forced-dispatch
+//    property tests and `bench_micro_prob --smoke`.
+//  * `STATIM_FAST_MATH=1` opts into FMA-contracted convolution
+//    (fmadd instead of mul+add — one rounding instead of two). Faster
+//    and *more* accurate per element, but not bitwise identical to the
+//    reference, so fast-math tables are excluded from every bit-identity
+//    gate. Off by default.
+//
+// The kernels operate on raw double arrays so the ISA-specific
+// translation units (compiled with per-file -mavx2/-mfma flags, see
+// CMakeLists.txt) need no PDF types; prob/ops.cpp owns the PdfView
+// plumbing, operand orientation and the prefix-sum passes and is the
+// only caller.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace statim::prob::kernels {
+
+/// Instruction-set level of one kernel table.
+enum class Level : std::uint8_t { Scalar = 0, Avx2 = 1, Neon = 2 };
+
+/// One resolved set of kernel entry points. All pointers are non-null.
+struct KernelTable {
+    const char* name;  ///< "scalar", "avx2", "avx2+fma", "neon", "neon+fma"
+    Level level;
+    bool fast_math;  ///< FMA contraction allowed (excluded from bit gates)
+
+    /// Dense convolution accumulate: out[i + j] += s[i] * l[j] for all
+    /// i < ns, j < nl, with `out` pre-zeroed and sized ns + nl - 1. The
+    /// caller passes the *shorter* operand as `s` (outer loop) so the
+    /// inner axpy streams the longer one. Zero-weight rows are skipped
+    /// (bitwise neutral: the masses are non-negative, so out[k] is never
+    /// -0.0 and adding +0.0 is the identity). Each output element
+    /// receives exactly one add per outer row, in ascending row order —
+    /// per-output-bin accumulation order is preserved, which is what
+    /// makes the vectorized inner loop bit-exact.
+    void (*convolve_accum)(const double* s, std::size_t ns, const double* l,
+                           std::size_t nl, double* out);
+
+    /// The elementwise tail of the statistical max: given the running
+    /// CDFs fa/fb of both operands along the result support (computed by
+    /// the shared prefix pass) and the unclamped CDF product `g_prev`
+    /// just before the support,
+    ///   out[i] = max(min(fa[i],1)·min(fb[i],1)
+    ///                − min(fa[i-1],1)·min(fb[i-1],1), 0)
+    /// with the i = 0 predecessor product replaced by `g_prev`. No
+    /// loop-carried dependence — out[i] reads only lanes i-1 and i — so
+    /// it vectorizes bit-exactly.
+    void (*stat_max_combine)(const double* fa, const double* fb, std::size_t n,
+                             double g_prev, double* out);
+
+    /// dst[0..n) = src[0..n) (copy_into's bulk move).
+    void (*copy)(const double* src, std::size_t n, double* dst);
+
+    /// max over i of |fa[i] − fb[i]| — the Kolmogorov–Smirnov reduction
+    /// over two prefix-CDF arrays. max is exact (no rounding), so the
+    /// lane-parallel reduction is bitwise identical to the scalar walk.
+    double (*max_abs_diff)(const double* fa, const double* fb, std::size_t n);
+
+    /// The step-inverse percentile-shift knot walk (see
+    /// prob::max_percentile_shift_bins). Loop-carried two-pointer scan;
+    /// every table routes it through the same scalar implementation —
+    /// dispatched for uniformity, not vectorized.
+    std::int64_t (*shift_bins)(const double* am, std::size_t na,
+                               std::int64_t a_first, const double* bm,
+                               std::size_t nb, std::int64_t b_first);
+};
+
+/// The table every prob/ops.cpp operator runs on. Resolved once, on
+/// first use: STATIM_SIMD picks the level ("auto"/unset = best level the
+/// host CPU supports, confirmed via CPUID on x86-64), STATIM_FAST_MATH=1
+/// selects the FMA-contracted variant. Throws util ConfigError when
+/// STATIM_SIMD names an unknown or unsupported level — failing fast
+/// beats silently falling back when a forced level was requested.
+[[nodiscard]] const KernelTable& active();
+
+/// Forces the active table at runtime (tests, benches, api::Scenario).
+/// Throws ConfigError when `level` is not supported on this host. The
+/// single-argument overload keeps the current fast-math selection
+/// (STATIM_FAST_MATH on first use).
+void force(Level level, bool fast_math);
+void force(Level level);
+
+/// Re-resolves the table from the environment (STATIM_SIMD /
+/// STATIM_FAST_MATH) exactly as the lazy first-use resolution would,
+/// discarding any earlier force(). How Scenario.simd == "auto" restores
+/// environment semantics after a forced scenario ran in-process.
+const KernelTable& reset_from_env();
+
+/// True when this build + CPU can run `level` (CPUID-checked for AVX2).
+[[nodiscard]] bool supported(Level level) noexcept;
+
+/// Every level supported on this host, scalar first — the sweep axis of
+/// the forced-dispatch tests and bench_micro_prob.
+[[nodiscard]] std::vector<Level> available_levels();
+
+/// Canonical level names ("scalar", "avx2", "neon") — the STATIM_SIMD /
+/// --simd vocabulary. parse_level additionally accepts "auto" and
+/// returns the auto-detected best level; throws ConfigError otherwise.
+[[nodiscard]] const char* level_name(Level level) noexcept;
+[[nodiscard]] Level parse_level(std::string_view name);
+
+/// Direct table lookup without touching the process-global dispatch —
+/// how bench_micro_prob A/Bs levels side by side. Throws ConfigError
+/// when the level (or its fast-math variant) is unsupported here.
+[[nodiscard]] const KernelTable& table_for(Level level, bool fast_math);
+
+}  // namespace statim::prob::kernels

@@ -1,0 +1,269 @@
+// AVX2 kernels. This translation unit is the only one compiled with
+// -mavx2 -mfma (x86-64 hosts; see the per-file flags in CMakeLists.txt),
+// so the rest of the library keeps the baseline ISA and these entry
+// points are reached exclusively through the dispatch table after a
+// CPUID check. -ffp-contract=off keeps the compiler from fusing the
+// explicit mul/add intrinsic pairs of the default kernels; the fast-math
+// variants spell their FMAs out instead.
+//
+// Bit-exactness notes (the contract tests/test_kernels.cpp enforces):
+//  * vminpd(x, 1.0) returns the second operand on ties — the same bits
+//    std::min(x, 1.0) produces for x == 1.0;
+//  * vmaxpd(x, +0.0) differs from std::max(x, 0.0) only at x == -0.0,
+//    which cannot occur here (products and differences of non-negative
+//    CDF values);
+//  * max/|x| involve no rounding, so lane-parallel KS reduction equals
+//    the sequential walk;
+//  * the convolve kernels block four short-operand rows per sweep so the
+//    output stream is loaded/stored once per block instead of once per
+//    row, but every output element still receives exactly one add per
+//    row in ascending row order — the same sequence of roundings as the
+//    scalar reference (w == 0.0 rows contribute +0.0, the identity on
+//    the non-negative accumulator, which is why the scalar kernel may
+//    skip them entirely).
+#include "prob/kernels/tables.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace statim::prob::kernels::detail {
+namespace {
+
+/// One row of the accumulation: out[i + 0..nl) += s[i] * l[0..nl).
+void convolve_row_avx2(double w, const double* l, std::size_t nl, double* o) {
+    if (w == 0.0) return;
+    const __m256d wv = _mm256_set1_pd(w);
+    std::size_t j = 0;
+    for (; j + 4 <= nl; j += 4) {
+        const __m256d lv = _mm256_loadu_pd(l + j);
+        const __m256d ov = _mm256_loadu_pd(o + j);
+        _mm256_storeu_pd(o + j, _mm256_add_pd(ov, _mm256_mul_pd(wv, lv)));
+    }
+    for (; j < nl; ++j) o[j] += w * l[j];
+}
+
+void convolve_accum_avx2(const double* s, std::size_t ns, const double* l,
+                         std::size_t nl, double* out) {
+    std::size_t i = 0;
+    // Four rows per sweep: o[k] += w0·l[k] + w1·l[k-1] + w2·l[k-2] +
+    // w3·l[k-3], accumulated in that (ascending-row) order so each
+    // element sees the scalar reference's exact rounding sequence while
+    // the output stream moves through the cache once per block. The
+    // first/last three elements of a block's span miss some rows; the
+    // `edge` walk applies exactly the valid ones, still row-ascending.
+    for (; i + 4 <= ns; i += 4) {
+        const double w0 = s[i], w1 = s[i + 1], w2 = s[i + 2], w3 = s[i + 3];
+        if (w0 == 0.0 && w1 == 0.0 && w2 == 0.0 && w3 == 0.0) continue;
+        double* o = out + i;
+        const std::size_t ntot = nl + 3;
+        const auto edge = [&](std::size_t k) {
+            const std::size_t rlo = k >= nl ? k - (nl - 1) : 0;
+            const std::size_t rhi = std::min<std::size_t>(k, 3);
+            for (std::size_t r = rlo; r <= rhi; ++r) o[k] += s[i + r] * l[k - r];
+        };
+        for (std::size_t k = 0; k < std::min<std::size_t>(3, ntot); ++k) edge(k);
+        if (nl >= 4) {
+            const __m256d wv0 = _mm256_set1_pd(w0);
+            const __m256d wv1 = _mm256_set1_pd(w1);
+            const __m256d wv2 = _mm256_set1_pd(w2);
+            const __m256d wv3 = _mm256_set1_pd(w3);
+            std::size_t k = 3;
+            // Two independent accumulator chains in flight to hide the
+            // four-deep serial add latency per vector.
+            for (; k + 8 <= nl; k += 8) {
+                __m256d oa = _mm256_loadu_pd(o + k);
+                __m256d ob = _mm256_loadu_pd(o + k + 4);
+                oa = _mm256_add_pd(oa, _mm256_mul_pd(wv0, _mm256_loadu_pd(l + k)));
+                ob = _mm256_add_pd(ob, _mm256_mul_pd(wv0, _mm256_loadu_pd(l + k + 4)));
+                oa = _mm256_add_pd(oa, _mm256_mul_pd(wv1, _mm256_loadu_pd(l + k - 1)));
+                ob = _mm256_add_pd(ob, _mm256_mul_pd(wv1, _mm256_loadu_pd(l + k + 3)));
+                oa = _mm256_add_pd(oa, _mm256_mul_pd(wv2, _mm256_loadu_pd(l + k - 2)));
+                ob = _mm256_add_pd(ob, _mm256_mul_pd(wv2, _mm256_loadu_pd(l + k + 2)));
+                oa = _mm256_add_pd(oa, _mm256_mul_pd(wv3, _mm256_loadu_pd(l + k - 3)));
+                ob = _mm256_add_pd(ob, _mm256_mul_pd(wv3, _mm256_loadu_pd(l + k + 1)));
+                _mm256_storeu_pd(o + k, oa);
+                _mm256_storeu_pd(o + k + 4, ob);
+            }
+            for (; k + 4 <= nl; k += 4) {
+                __m256d ov = _mm256_loadu_pd(o + k);
+                ov = _mm256_add_pd(ov, _mm256_mul_pd(wv0, _mm256_loadu_pd(l + k)));
+                ov = _mm256_add_pd(ov, _mm256_mul_pd(wv1, _mm256_loadu_pd(l + k - 1)));
+                ov = _mm256_add_pd(ov, _mm256_mul_pd(wv2, _mm256_loadu_pd(l + k - 2)));
+                ov = _mm256_add_pd(ov, _mm256_mul_pd(wv3, _mm256_loadu_pd(l + k - 3)));
+                _mm256_storeu_pd(o + k, ov);
+            }
+            for (; k < nl; ++k) {
+                double v = o[k];
+                v += w0 * l[k];
+                v += w1 * l[k - 1];
+                v += w2 * l[k - 2];
+                v += w3 * l[k - 3];
+                o[k] = v;
+            }
+        }
+        for (std::size_t k = std::max<std::size_t>(3, nl); k < ntot; ++k) edge(k);
+    }
+    for (; i < ns; ++i) convolve_row_avx2(s[i], l, nl, out + i);
+}
+
+void convolve_accum_avx2_fma(const double* s, std::size_t ns, const double* l,
+                             std::size_t nl, double* out) {
+    // Same four-row blocking as the default kernel, with the mul/add
+    // pairs contracted. Not bit-identical to scalar by design — this
+    // variant only runs under the STATIM_FAST_MATH=1 opt-in.
+    std::size_t i = 0;
+    for (; i + 4 <= ns; i += 4) {
+        const double w0 = s[i], w1 = s[i + 1], w2 = s[i + 2], w3 = s[i + 3];
+        if (w0 == 0.0 && w1 == 0.0 && w2 == 0.0 && w3 == 0.0) continue;
+        double* o = out + i;
+        const std::size_t ntot = nl + 3;
+        const auto edge = [&](std::size_t k) {
+            const std::size_t rlo = k >= nl ? k - (nl - 1) : 0;
+            const std::size_t rhi = std::min<std::size_t>(k, 3);
+            for (std::size_t r = rlo; r <= rhi; ++r)
+                o[k] = std::fma(s[i + r], l[k - r], o[k]);
+        };
+        for (std::size_t k = 0; k < std::min<std::size_t>(3, ntot); ++k) edge(k);
+        if (nl >= 4) {
+            const __m256d wv0 = _mm256_set1_pd(w0);
+            const __m256d wv1 = _mm256_set1_pd(w1);
+            const __m256d wv2 = _mm256_set1_pd(w2);
+            const __m256d wv3 = _mm256_set1_pd(w3);
+            std::size_t k = 3;
+            for (; k + 8 <= nl; k += 8) {
+                __m256d oa = _mm256_loadu_pd(o + k);
+                __m256d ob = _mm256_loadu_pd(o + k + 4);
+                oa = _mm256_fmadd_pd(wv0, _mm256_loadu_pd(l + k), oa);
+                ob = _mm256_fmadd_pd(wv0, _mm256_loadu_pd(l + k + 4), ob);
+                oa = _mm256_fmadd_pd(wv1, _mm256_loadu_pd(l + k - 1), oa);
+                ob = _mm256_fmadd_pd(wv1, _mm256_loadu_pd(l + k + 3), ob);
+                oa = _mm256_fmadd_pd(wv2, _mm256_loadu_pd(l + k - 2), oa);
+                ob = _mm256_fmadd_pd(wv2, _mm256_loadu_pd(l + k + 2), ob);
+                oa = _mm256_fmadd_pd(wv3, _mm256_loadu_pd(l + k - 3), oa);
+                ob = _mm256_fmadd_pd(wv3, _mm256_loadu_pd(l + k + 1), ob);
+                _mm256_storeu_pd(o + k, oa);
+                _mm256_storeu_pd(o + k + 4, ob);
+            }
+            for (; k + 4 <= nl; k += 4) {
+                __m256d ov = _mm256_loadu_pd(o + k);
+                ov = _mm256_fmadd_pd(wv0, _mm256_loadu_pd(l + k), ov);
+                ov = _mm256_fmadd_pd(wv1, _mm256_loadu_pd(l + k - 1), ov);
+                ov = _mm256_fmadd_pd(wv2, _mm256_loadu_pd(l + k - 2), ov);
+                ov = _mm256_fmadd_pd(wv3, _mm256_loadu_pd(l + k - 3), ov);
+                _mm256_storeu_pd(o + k, ov);
+            }
+            for (; k < nl; ++k) {
+                double v = o[k];
+                v = std::fma(w0, l[k], v);
+                v = std::fma(w1, l[k - 1], v);
+                v = std::fma(w2, l[k - 2], v);
+                v = std::fma(w3, l[k - 3], v);
+                o[k] = v;
+            }
+        }
+        for (std::size_t k = std::max<std::size_t>(3, nl); k < ntot; ++k) edge(k);
+    }
+    for (; i < ns; ++i) {
+        const double w = s[i];
+        if (w == 0.0) continue;
+        const __m256d wv = _mm256_set1_pd(w);
+        double* o = out + i;
+        std::size_t j = 0;
+        for (; j + 4 <= nl; j += 4) {
+            const __m256d lv = _mm256_loadu_pd(l + j);
+            const __m256d ov = _mm256_loadu_pd(o + j);
+            _mm256_storeu_pd(o + j, _mm256_fmadd_pd(wv, lv, ov));
+        }
+        for (; j < nl; ++j) o[j] = std::fma(w, l[j], o[j]);
+    }
+}
+
+void stat_max_combine_avx2(const double* fa, const double* fb, std::size_t n,
+                           double g_prev, double* out) {
+    out[0] = std::max(std::min(fa[0], 1.0) * std::min(fb[0], 1.0) - g_prev, 0.0);
+    const __m256d one = _mm256_set1_pd(1.0);
+    const __m256d zero = _mm256_setzero_pd();
+    std::size_t i = 1;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d a = _mm256_min_pd(_mm256_loadu_pd(fa + i), one);
+        const __m256d b = _mm256_min_pd(_mm256_loadu_pd(fb + i), one);
+        const __m256d ap = _mm256_min_pd(_mm256_loadu_pd(fa + i - 1), one);
+        const __m256d bp = _mm256_min_pd(_mm256_loadu_pd(fb + i - 1), one);
+        const __m256d diff = _mm256_sub_pd(_mm256_mul_pd(a, b), _mm256_mul_pd(ap, bp));
+        _mm256_storeu_pd(out + i, _mm256_max_pd(diff, zero));
+    }
+    for (; i < n; ++i) {
+        const double g = std::min(fa[i], 1.0) * std::min(fb[i], 1.0);
+        const double gp = std::min(fa[i - 1], 1.0) * std::min(fb[i - 1], 1.0);
+        out[i] = std::max(g - gp, 0.0);
+    }
+}
+
+void copy_avx2(const double* src, std::size_t n, double* dst) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(dst + i, _mm256_loadu_pd(src + i));
+    for (; i < n; ++i) dst[i] = src[i];
+}
+
+double max_abs_diff_avx2(const double* fa, const double* fb, std::size_t n) {
+    const __m256d abs_mask =
+        _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+    __m256d best4 = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d d =
+            _mm256_sub_pd(_mm256_loadu_pd(fa + i), _mm256_loadu_pd(fb + i));
+        best4 = _mm256_max_pd(best4, _mm256_and_pd(d, abs_mask));
+    }
+    // Horizontal max: max over a set carries no rounding, so any
+    // reduction order gives the sequential walk's exact value.
+    const __m128d hi = _mm256_extractf128_pd(best4, 1);
+    const __m128d lo = _mm256_castpd256_pd128(best4);
+    const __m128d m2 = _mm_max_pd(hi, lo);
+    double best = std::max(_mm_cvtsd_f64(m2),
+                           _mm_cvtsd_f64(_mm_unpackhi_pd(m2, m2)));
+    for (; i < n; ++i) best = std::max(best, std::abs(fa[i] - fb[i]));
+    return best;
+}
+
+constexpr KernelTable kAvx2{
+    "avx2",             Level::Avx2,           false,
+    convolve_accum_avx2, stat_max_combine_avx2, copy_avx2,
+    max_abs_diff_avx2,   shift_bins_scalar,
+};
+
+constexpr KernelTable kAvx2Fma{
+    "avx2+fma",             Level::Avx2,           true,
+    convolve_accum_avx2_fma, stat_max_combine_avx2, copy_avx2,
+    max_abs_diff_avx2,       shift_bins_scalar,
+};
+
+}  // namespace
+
+const KernelTable* avx2_table(bool fast_math) noexcept {
+    return fast_math ? &kAvx2Fma : &kAvx2;
+}
+
+bool avx2_runtime_supported() noexcept {
+    // The fast-math table needs FMA as well; every AVX2 CPU since
+    // Haswell has it, but a CPUID lie would be a SIGILL, so check both.
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+}  // namespace statim::prob::kernels::detail
+
+#else  // non-x86 build: no AVX2 kernels in this binary
+
+namespace statim::prob::kernels::detail {
+
+const KernelTable* avx2_table(bool) noexcept { return nullptr; }
+bool avx2_runtime_supported() noexcept { return false; }
+
+}  // namespace statim::prob::kernels::detail
+
+#endif

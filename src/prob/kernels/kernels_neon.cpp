@@ -1,0 +1,125 @@
+// NEON kernels (aarch64, where Advanced SIMD is baseline — no per-file
+// ISA flags and no runtime CPUID gate needed, only an architecture
+// check). Two f64 lanes instead of AVX2's four; the bit-exactness
+// reasoning is identical to kernels_avx2.cpp: vminq/vmaxq of clean
+// (non-NaN, non-negative) operands return the same bits as std::min /
+// std::max in the orders used here, and |x| / max reductions carry no
+// rounding. -ffp-contract=off keeps the default kernels free of
+// compiler-fused multiply-adds; the fast-math variant spells vfmaq out.
+#include "prob/kernels/tables.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace statim::prob::kernels::detail {
+namespace {
+
+void convolve_accum_neon(const double* s, std::size_t ns, const double* l,
+                         std::size_t nl, double* out) {
+    for (std::size_t i = 0; i < ns; ++i) {
+        const double w = s[i];
+        if (w == 0.0) continue;
+        const float64x2_t wv = vdupq_n_f64(w);
+        double* o = out + i;
+        std::size_t j = 0;
+        for (; j + 2 <= nl; j += 2) {
+            const float64x2_t lv = vld1q_f64(l + j);
+            const float64x2_t ov = vld1q_f64(o + j);
+            vst1q_f64(o + j, vaddq_f64(ov, vmulq_f64(wv, lv)));
+        }
+        for (; j < nl; ++j) o[j] += w * l[j];
+    }
+}
+
+void convolve_accum_neon_fma(const double* s, std::size_t ns, const double* l,
+                             std::size_t nl, double* out) {
+    for (std::size_t i = 0; i < ns; ++i) {
+        const double w = s[i];
+        if (w == 0.0) continue;
+        const float64x2_t wv = vdupq_n_f64(w);
+        double* o = out + i;
+        std::size_t j = 0;
+        for (; j + 2 <= nl; j += 2) {
+            const float64x2_t lv = vld1q_f64(l + j);
+            const float64x2_t ov = vld1q_f64(o + j);
+            vst1q_f64(o + j, vfmaq_f64(ov, wv, lv));
+        }
+        for (; j < nl; ++j) o[j] = std::fma(w, l[j], o[j]);
+    }
+}
+
+void stat_max_combine_neon(const double* fa, const double* fb, std::size_t n,
+                           double g_prev, double* out) {
+    out[0] = std::max(std::min(fa[0], 1.0) * std::min(fb[0], 1.0) - g_prev, 0.0);
+    const float64x2_t one = vdupq_n_f64(1.0);
+    const float64x2_t zero = vdupq_n_f64(0.0);
+    std::size_t i = 1;
+    for (; i + 2 <= n; i += 2) {
+        const float64x2_t a = vminq_f64(vld1q_f64(fa + i), one);
+        const float64x2_t b = vminq_f64(vld1q_f64(fb + i), one);
+        const float64x2_t ap = vminq_f64(vld1q_f64(fa + i - 1), one);
+        const float64x2_t bp = vminq_f64(vld1q_f64(fb + i - 1), one);
+        const float64x2_t diff = vsubq_f64(vmulq_f64(a, b), vmulq_f64(ap, bp));
+        vst1q_f64(out + i, vmaxq_f64(diff, zero));
+    }
+    for (; i < n; ++i) {
+        const double g = std::min(fa[i], 1.0) * std::min(fb[i], 1.0);
+        const double gp = std::min(fa[i - 1], 1.0) * std::min(fb[i - 1], 1.0);
+        out[i] = std::max(g - gp, 0.0);
+    }
+}
+
+void copy_neon(const double* src, std::size_t n, double* dst) {
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) vst1q_f64(dst + i, vld1q_f64(src + i));
+    for (; i < n; ++i) dst[i] = src[i];
+}
+
+double max_abs_diff_neon(const double* fa, const double* fb, std::size_t n) {
+    float64x2_t best2 = vdupq_n_f64(0.0);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const float64x2_t d = vsubq_f64(vld1q_f64(fa + i), vld1q_f64(fb + i));
+        best2 = vmaxq_f64(best2, vabsq_f64(d));
+    }
+    double best = std::max(vgetq_lane_f64(best2, 0), vgetq_lane_f64(best2, 1));
+    for (; i < n; ++i) best = std::max(best, std::abs(fa[i] - fb[i]));
+    return best;
+}
+
+constexpr KernelTable kNeon{
+    "neon",             Level::Neon,           false,
+    convolve_accum_neon, stat_max_combine_neon, copy_neon,
+    max_abs_diff_neon,   shift_bins_scalar,
+};
+
+constexpr KernelTable kNeonFma{
+    "neon+fma",             Level::Neon,           true,
+    convolve_accum_neon_fma, stat_max_combine_neon, copy_neon,
+    max_abs_diff_neon,       shift_bins_scalar,
+};
+
+}  // namespace
+
+const KernelTable* neon_table(bool fast_math) noexcept {
+    return fast_math ? &kNeonFma : &kNeon;
+}
+
+bool neon_runtime_supported() noexcept { return true; }
+
+}  // namespace statim::prob::kernels::detail
+
+#else  // non-aarch64 build: no NEON kernels in this binary
+
+namespace statim::prob::kernels::detail {
+
+const KernelTable* neon_table(bool) noexcept { return nullptr; }
+bool neon_runtime_supported() noexcept { return false; }
+
+}  // namespace statim::prob::kernels::detail
+
+#endif

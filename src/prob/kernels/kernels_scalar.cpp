@@ -1,0 +1,77 @@
+// Scalar reference kernels — the bit-exactness baseline every SIMD table
+// is gated against. Compiled with -ffp-contract=off (see CMakeLists.txt)
+// so the compiler cannot contract w*l[j] + out[k] into an FMA even when a
+// target's baseline ISA would allow it; contraction is the documented
+// STATIM_FAST_MATH opt-in, never the default.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "prob/kernels/tables.hpp"
+
+namespace statim::prob::kernels::detail {
+
+void convolve_accum_scalar(const double* s, std::size_t ns, const double* l,
+                           std::size_t nl, double* out) {
+    for (std::size_t i = 0; i < ns; ++i) {
+        const double w = s[i];
+        if (w == 0.0) continue;
+        double* o = out + i;
+        for (std::size_t j = 0; j < nl; ++j) o[j] += w * l[j];
+    }
+}
+
+void stat_max_combine_scalar(const double* fa, const double* fb, std::size_t n,
+                             double g_prev, double* out) {
+    // The clamp/product/difference sequence mirrors the historical fused
+    // CDF walk operation for operation: same min, same mul, same sub,
+    // same max against 0 — recomputing lane i-1's product instead of
+    // carrying it changes no bits, only removes the loop dependence.
+    out[0] = std::max(std::min(fa[0], 1.0) * std::min(fb[0], 1.0) - g_prev, 0.0);
+    for (std::size_t i = 1; i < n; ++i) {
+        const double g = std::min(fa[i], 1.0) * std::min(fb[i], 1.0);
+        const double gp = std::min(fa[i - 1], 1.0) * std::min(fb[i - 1], 1.0);
+        out[i] = std::max(g - gp, 0.0);
+    }
+}
+
+void copy_scalar(const double* src, std::size_t n, double* dst) {
+    std::copy(src, src + n, dst);
+}
+
+double max_abs_diff_scalar(const double* fa, const double* fb, std::size_t n) {
+    double best = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        best = std::max(best, std::abs(fa[i] - fb[i]));
+    return best;
+}
+
+std::int64_t shift_bins_scalar(const double* am, std::size_t na,
+                               std::int64_t a_first, const double* bm,
+                               std::size_t nb, std::int64_t b_first) {
+    // For p in (C_b(t-1), C_b(t)], T_step(b,p) = t and T_step(a,p) peaks
+    // at p = C_b(t), so the maximum over p is attained on b's knots.
+    std::int64_t best = std::numeric_limits<std::int64_t>::min();
+    std::size_t ai = 0;
+    double ca = am[0];
+    double cb = 0.0;
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+        cb += bm[bi];
+        while (ca < cb && ai + 1 < na) ca += am[++ai];
+        const std::int64_t ta = a_first + static_cast<std::int64_t>(ai);
+        const std::int64_t tb = b_first + static_cast<std::int64_t>(bi);
+        best = std::max(best, ta - tb);
+    }
+    return best;
+}
+
+const KernelTable& scalar_table() noexcept {
+    static constexpr KernelTable table{
+        "scalar",          Level::Scalar,        false,
+        convolve_accum_scalar, stat_max_combine_scalar, copy_scalar,
+        max_abs_diff_scalar,   shift_bins_scalar,
+    };
+    return table;
+}
+
+}  // namespace statim::prob::kernels::detail

@@ -1,0 +1,34 @@
+// Internal seam between the dispatch resolver (kernels.cpp) and the
+// per-ISA translation units. Not installed with the public headers'
+// semantics in mind — nothing outside src/prob/kernels includes it.
+#pragma once
+
+#include "prob/kernels/kernels.hpp"
+
+namespace statim::prob::kernels::detail {
+
+// Scalar reference kernels. These are *the* bit-exactness baseline:
+// every other table must reproduce them bitwise (fast-math variants
+// excepted, and those only differ in convolve_accum).
+void convolve_accum_scalar(const double* s, std::size_t ns, const double* l,
+                           std::size_t nl, double* out);
+void stat_max_combine_scalar(const double* fa, const double* fb, std::size_t n,
+                             double g_prev, double* out);
+void copy_scalar(const double* src, std::size_t n, double* dst);
+double max_abs_diff_scalar(const double* fa, const double* fb, std::size_t n);
+std::int64_t shift_bins_scalar(const double* am, std::size_t na,
+                               std::int64_t a_first, const double* bm,
+                               std::size_t nb, std::int64_t b_first);
+
+[[nodiscard]] const KernelTable& scalar_table() noexcept;
+
+// ISA tables. Each getter returns nullptr when the kernels were not
+// compiled into this binary (wrong architecture); the *runtime* CPU
+// check lives beside the kernels so the CPUID intrinsics stay in the
+// one TU built with the matching -m flags.
+[[nodiscard]] const KernelTable* avx2_table(bool fast_math) noexcept;
+[[nodiscard]] bool avx2_runtime_supported() noexcept;
+[[nodiscard]] const KernelTable* neon_table(bool fast_math) noexcept;
+[[nodiscard]] bool neon_runtime_supported() noexcept;
+
+}  // namespace statim::prob::kernels::detail

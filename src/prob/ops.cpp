@@ -4,48 +4,76 @@
 #include <cmath>
 #include <limits>
 
+#include "prob/kernels/kernels.hpp"
 #include "util/error.hpp"
 
 namespace statim::prob {
 
 namespace {
 
-/// Dense convolution into a zeroed `out` of size |a| + |b| - 1. The one
-/// arithmetic path of every convolve overload (vector- or arena-backed).
+/// Dense convolution into a zeroed `out` of size |a| + |b| - 1, routed
+/// through the active kernel table. The shorter operand goes outermost
+/// so the inner axpy streams the longer one (the arrival ⊛ edge-delay
+/// orientation); multiplication is commutative bit for bit, so the
+/// swap never changes a result.
 void convolve_kernel(std::span<const double> am, std::span<const double> bm,
                      double* out) {
-    // Iterate the shorter operand outermost so the inner loop streams the
-    // longer one (better vectorization for arrival ⊛ edge-delay shapes).
-    if (am.size() <= bm.size()) {
-        for (std::size_t i = 0; i < am.size(); ++i) {
-            const double w = am[i];
-            if (w == 0.0) continue;
-            for (std::size_t j = 0; j < bm.size(); ++j) out[i + j] += w * bm[j];
-        }
-    } else {
-        for (std::size_t j = 0; j < bm.size(); ++j) {
-            const double w = bm[j];
-            if (w == 0.0) continue;
-            for (std::size_t i = 0; i < am.size(); ++i) out[i + j] += w * am[i];
-        }
-    }
+    const kernels::KernelTable& kt = kernels::active();
+    if (am.size() <= bm.size())
+        kt.convolve_accum(am.data(), am.size(), bm.data(), bm.size(), out);
+    else
+        kt.convolve_accum(bm.data(), bm.size(), am.data(), am.size(), out);
 }
 
-/// CDF-product max into `out` spanning [first, last]. The one arithmetic
-/// path of every stat_max overload.
-void stat_max_kernel(const PdfView& a, const PdfView& b, std::int64_t first,
-                     std::int64_t last, double* out) {
-    // Running CDFs F_a(t), F_b(t) as t walks the result support.
-    double fa = a.cdf_at(first - 1);
-    double fb = b.cdf_at(first - 1);
-    double fmax_prev = fa * fb;  // == 0: at least one operand starts at `first`
-    for (std::int64_t t = first; t <= last; ++t) {
-        fa += a.mass_at(t);
-        fb += b.mass_at(t);
-        const double fmax = std::min(fa, 1.0) * std::min(fb, 1.0);
-        out[static_cast<std::size_t>(t - first)] = std::max(fmax - fmax_prev, 0.0);
-        fmax_prev = fmax;
+/// Fills out[k] = F_v(first + k) for k in [0, n): the running CDF of `v`
+/// along the result support, continuing the accumulation that produced
+/// v.cdf_at(first - 1) (whose value is returned, including cdf_at's
+/// exact 1.0 pin at/above the last supported bin). This loop-carried
+/// pass is shared scalar code for every dispatch level — prefix values
+/// are bit-identical across levels by construction, and the SIMD
+/// kernels only consume the arrays elementwise.
+double fill_prefix_cdf(PdfView v, std::int64_t first, std::size_t n, double* out) {
+    const auto m = v.mass();
+    double f = 0.0;
+    std::size_t i = 0;  // next mass index to fold into the running sum
+    if (first - 1 >= v.last_bin()) {
+        f = 1.0;  // cdf_at pins the top against rounding drift
+        i = m.size();
+    } else if (first - 1 >= v.first_bin()) {
+        const auto upto = static_cast<std::size_t>(first - 1 - v.first_bin());
+        for (std::size_t k = 0; k <= upto; ++k) f += m[k];
+        i = upto + 1;
     }
+    const double carry = f;
+    std::int64_t t = first;
+    for (std::size_t k = 0; k < n; ++k, ++t) {
+        if (i < m.size() && t == v.first_bin() + static_cast<std::int64_t>(i))
+            f += m[i++];
+        out[k] = f;
+    }
+    return carry;
+}
+
+/// CDF-product max into `out` spanning [first, last] — the one
+/// arithmetic path of every stat_max overload, restructured for the
+/// kernel layer: a shared (scalar, loop-carried) prefix-CDF pass over
+/// scratch from `scratch_arena`, then the elementwise
+/// min/mul/adjacent-difference kernel, which has no loop-carried
+/// dependence and vectorizes bit-exactly. Bitwise identical to the
+/// historical fused walk (same accumulation order, same per-element
+/// operation sequence); steady-state 0-alloc — the scratch lives under
+/// an arena mark and is rewound before returning.
+void stat_max_kernel(PdfView a, PdfView b, std::int64_t first, std::int64_t last,
+                     double* out, PdfArena& scratch_arena) {
+    const auto n = static_cast<std::size_t>(last - first + 1);
+    const ScopedRewind scope(scratch_arena);
+    double* fa = scratch_arena.alloc(n);
+    double* fb = scratch_arena.alloc(n);
+    const double ca = fill_prefix_cdf(a, first, n, fa);
+    const double cb = fill_prefix_cdf(b, first, n, fb);
+    // ca * cb == 0 in the two-operand case (at least one operand starts
+    // at `first`), matching the reference's unclamped initial product.
+    kernels::active().stat_max_combine(fa, fb, n, ca * cb, out);
 }
 
 }  // namespace
@@ -73,7 +101,7 @@ Pdf stat_max(const Pdf& a, const Pdf& b) {
     const std::int64_t first = std::max(a.first_bin(), b.first_bin());
     const std::int64_t last = std::max(a.last_bin(), b.last_bin());
     std::vector<double> out(static_cast<std::size_t>(last - first + 1), 0.0);
-    stat_max_kernel(a, b, first, last, out.data());
+    stat_max_kernel(a, b, first, last, out.data(), thread_arena());
     return Pdf::from_mass(first, std::move(out));
 }
 
@@ -83,7 +111,10 @@ PdfView stat_max_into(PdfArena& arena, PdfView a, PdfView b) {
     const std::int64_t last = std::max(a.last_bin(), b.last_bin());
     const auto n = static_cast<std::size_t>(last - first + 1);
     double* out = arena.alloc(n);
-    stat_max_kernel(a, b, first, last, out);
+    // Scratch goes into the same arena, past `out`, under a mark that is
+    // rewound inside the kernel — nesting is safe even when `arena` is
+    // the caller's thread scratch arena.
+    stat_max_kernel(a, b, first, last, out, arena);
     const auto [lo, hi] = detail::finalize_mass({out, n});
     return {first + static_cast<std::int64_t>(lo), out + lo, hi - lo};
 }
@@ -91,15 +122,30 @@ PdfView stat_max_into(PdfArena& arena, PdfView a, PdfView b) {
 PdfView copy_into(PdfArena& arena, PdfView v) {
     if (!v.valid()) throw ConfigError("copy_into: invalid view");
     double* out = arena.alloc(v.size());
-    std::copy(v.mass().begin(), v.mass().end(), out);
+    kernels::active().copy(v.mass().data(), v.size(), out);
     return {v.first_bin(), out, v.size()};
+}
+
+PdfView stat_max_into(PdfArena& arena, std::span<const PdfView> views) {
+    if (views.empty()) throw ConfigError("stat_max: empty input");
+    PdfView acc = views[0];
+    for (std::size_t i = 1; i < views.size(); ++i)
+        acc = stat_max_into(arena, acc, views[i]);
+    return acc;
 }
 
 Pdf stat_max(std::span<const Pdf> pdfs) {
     if (pdfs.empty()) throw ConfigError("stat_max: empty input");
-    Pdf acc = pdfs[0];
-    for (std::size_t i = 1; i < pdfs.size(); ++i) acc = stat_max(acc, pdfs[i]);
-    return acc;
+    if (pdfs.size() == 1) return pdfs[0];
+    // One view per operand instead of one owning Pdf copy per fold step;
+    // every intermediate lives in the thread scratch arena and dies at
+    // the rewind. Bitwise identical to the historical pairwise Pdf fold
+    // (the arena operators share kernels and finalize with the vector
+    // backend).
+    PdfArena& arena = thread_arena();
+    const ScopedRewind scope(arena);
+    std::vector<PdfView> views(pdfs.begin(), pdfs.end());
+    return stat_max_into(arena, views).to_pdf();
 }
 
 namespace {
@@ -108,8 +154,7 @@ namespace {
 /// non-decreasing p and reproduces Pdf::percentile_bin exactly.
 class InverseCdfWalker {
   public:
-    explicit InverseCdfWalker(const Pdf& pdf)
-        : pdf_(pdf), cum_(pdf.mass()[0]) {}
+    explicit InverseCdfWalker(PdfView pdf) : pdf_(pdf), cum_(pdf.mass()[0]) {}
 
     [[nodiscard]] double value_at(double p) {
         const auto m = pdf_.mass();
@@ -129,19 +174,36 @@ class InverseCdfWalker {
     }
 
   private:
-    const Pdf& pdf_;
+    PdfView pdf_;
     std::size_t k_{0};
     double prev_cum_{0.0};
     double cum_;
 };
 
+/// Prefix CDF of `v` over its own support, into arena scratch — the
+/// view-backed equivalent of Pdf::prefix_cdf(), including the exact 1.0
+/// pin of the top knot.
+std::span<const double> prefix_cdf_into(PdfArena& arena, PdfView v) {
+    double* out = arena.alloc(v.size());
+    const auto m = v.mass();
+    double cum = 0.0;
+    for (std::size_t k = 0; k < m.size(); ++k) {
+        cum += m[k];
+        out[k] = cum;
+    }
+    out[m.size() - 1] = 1.0;  // pin the top against rounding drift
+    return {out, m.size()};
+}
+
 }  // namespace
 
-double max_percentile_shift(const Pdf& a, const Pdf& b) {
+double max_percentile_shift(PdfView a, PdfView b) {
     if (!a.valid() || !b.valid())
         throw ConfigError("max_percentile_shift: invalid operand");
-    const std::vector<double> ca = a.prefix_cdf();
-    const std::vector<double> cb = b.prefix_cdf();
+    PdfArena& arena = thread_arena();
+    const ScopedRewind scope(arena);
+    const std::span<const double> ca = prefix_cdf_into(arena, a);
+    const std::span<const double> cb = prefix_cdf_into(arena, b);
 
     InverseCdfWalker ta(a);
     InverseCdfWalker tb(b);
@@ -166,36 +228,27 @@ double max_percentile_shift(const Pdf& a, const Pdf& b) {
 std::int64_t max_percentile_shift_bins(PdfView a, PdfView b) {
     if (!a.valid() || !b.valid())
         throw ConfigError("max_percentile_shift_bins: invalid operand");
-    // For p in (C_b(t-1), C_b(t)], T_step(b,p) = t and T_step(a,p) peaks at
-    // p = C_b(t), so the maximum over p is attained on b's knots.
     const auto am = a.mass();
     const auto bm = b.mass();
-    std::int64_t best = std::numeric_limits<std::int64_t>::min();
-    std::size_t ai = 0;
-    double ca = am[0];
-    double cb = 0.0;
-    for (std::size_t bi = 0; bi < bm.size(); ++bi) {
-        cb += bm[bi];
-        while (ca < cb && ai + 1 < am.size()) ca += am[++ai];
-        const std::int64_t ta = a.first_bin() + static_cast<std::int64_t>(ai);
-        const std::int64_t tb = b.first_bin() + static_cast<std::int64_t>(bi);
-        best = std::max(best, ta - tb);
-    }
-    return best;
+    return kernels::active().shift_bins(am.data(), am.size(), a.first_bin(),
+                                        bm.data(), bm.size(), b.first_bin());
 }
 
-double ks_distance(const Pdf& a, const Pdf& b) {
+double ks_distance(PdfView a, PdfView b) {
+    if (!a.valid() || !b.valid()) throw ConfigError("ks_distance: invalid operand");
     const std::int64_t first = std::min(a.first_bin(), b.first_bin());
     const std::int64_t last = std::max(a.last_bin(), b.last_bin());
-    double fa = 0.0;
-    double fb = 0.0;
-    double best = 0.0;
-    for (std::int64_t t = first; t <= last; ++t) {
-        fa += a.mass_at(t);
-        fb += b.mass_at(t);
-        best = std::max(best, std::abs(fa - fb));
-    }
-    return best;
+    const auto n = static_cast<std::size_t>(last - first + 1);
+    // Shared prefix pass (carries are exactly 0 at the union's start),
+    // then the lane-parallel |F_a - F_b| max reduction — max and |x|
+    // round nothing, so any reduction order equals the sequential walk.
+    PdfArena& arena = thread_arena();
+    const ScopedRewind scope(arena);
+    double* fa = arena.alloc(n);
+    double* fb = arena.alloc(n);
+    (void)fill_prefix_cdf(a, first, n, fa);
+    (void)fill_prefix_cdf(b, first, n, fb);
+    return kernels::active().max_abs_diff(fa, fb, n);
 }
 
 }  // namespace statim::prob

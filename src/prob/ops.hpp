@@ -41,7 +41,15 @@ namespace statim::prob {
 /// heap allocation.
 [[nodiscard]] PdfView copy_into(PdfArena& arena, PdfView v);
 
-/// Fold of stat_max over one or more PDFs. Throws ConfigError on empty input.
+/// Arena-backed fold of stat_max over one or more views. Throws
+/// ConfigError on empty input. Intermediates (and the result) live in
+/// `arena`; no heap-owning Pdf is materialized per fold step.
+[[nodiscard]] PdfView stat_max_into(PdfArena& arena,
+                                    std::span<const PdfView> views);
+
+/// Fold of stat_max over one or more PDFs. Throws ConfigError on empty
+/// input. Routed through the arena fold above (intermediates die at a
+/// thread-arena rewind); bitwise identical to a pairwise Pdf fold.
 [[nodiscard]] Pdf stat_max(std::span<const Pdf> pdfs);
 
 /// Maximum signed horizontal CDF distance in fractional bin units:
@@ -52,8 +60,10 @@ namespace statim::prob {
 /// either input. NOTE: because interpolation is a smoothing fiction the
 /// underlying discrete RVs do not obey, this value can grow by up to one
 /// bin through a convolution; use the step variant below when a bound that
-/// is exactly monotone under propagation is required.
-[[nodiscard]] double max_percentile_shift(const Pdf& a, const Pdf& b);
+/// is exactly monotone under propagation is required. Takes views so
+/// arena-resident operands need no copies (Pdf arguments convert
+/// implicitly).
+[[nodiscard]] double max_percentile_shift(PdfView a, PdfView b);
 
 /// Step-inverse variant, in whole bins:
 ///   Δ_step = max over p in (0,1] of [T_step(a,p) − T_step(b,p)],
@@ -67,6 +77,7 @@ namespace statim::prob {
 [[nodiscard]] std::int64_t max_percentile_shift_bins(PdfView a, PdfView b);
 
 /// Kolmogorov–Smirnov distance max_t |A(t) − B(t)| (vertical distance).
-[[nodiscard]] double ks_distance(const Pdf& a, const Pdf& b);
+/// View-typed for the same reason as the shift metrics above.
+[[nodiscard]] double ks_distance(PdfView a, PdfView b);
 
 }  // namespace statim::prob

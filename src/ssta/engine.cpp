@@ -91,6 +91,7 @@ void SstaEngine::evaluate_wave(std::span<const NodeId> nodes,
 }
 
 void SstaEngine::run(const EdgeDelays& delays) {
+    kernels_ = &prob::kernels::active();
     store_.begin_run(graph_->node_count());
     {
         const double unit_mass = 1.0;
@@ -154,6 +155,7 @@ void SstaEngine::update(const EdgeDelays& delays, std::span<const EdgeId> change
         run(delays);
         return;
     }
+    kernels_ = &prob::kernels::active();
     stats_ = UpdateStats{};
     ++revision_;
     changed_nodes_.clear();

@@ -38,6 +38,7 @@
 
 #include "netlist/timing_graph.hpp"
 #include "prob/arrival_store.hpp"
+#include "prob/kernels/kernels.hpp"
 #include "prob/ops.hpp"
 #include "ssta/edge_delays.hpp"
 #include "util/function_ref.hpp"
@@ -189,6 +190,17 @@ class SstaEngine {
     };
     [[nodiscard]] MemoryStats memory_stats() const noexcept;
 
+    /// The kernel dispatch table the last run()/update() went through.
+    /// Pinned at refresh entry — this resolves the STATIM_SIMD /
+    /// STATIM_FAST_MATH environment once, on the calling thread, before
+    /// any wave fans out to the pool, and records which table produced
+    /// the stored arrivals (the bench JSON and the dispatch property
+    /// tests read it back). Before the first refresh it reports the
+    /// table a refresh would use right now.
+    [[nodiscard]] const prob::kernels::KernelTable& kernel_table() const {
+        return kernels_ != nullptr ? *kernels_ : prob::kernels::active();
+    }
+
   private:
     /// Evaluates `nodes` into `out[i]` across the wave shards; the views
     /// live in the per-shard wave arenas until the next wave.
@@ -197,6 +209,7 @@ class SstaEngine {
 
     const netlist::TimingGraph* graph_;
     prob::ArrivalStore store_;
+    const prob::kernels::KernelTable* kernels_{nullptr};
     bool has_run_{false};
     UpdateStats stats_;
     std::size_t threads_{1};

@@ -1,0 +1,239 @@
+// Unit tests of the SIMD kernel dispatch layer (prob/kernels): every
+// available dispatch level must produce results *bitwise* identical to
+// the scalar reference across the five routed operators, including the
+// shapes that exercise the vector kernels' edge paths — single-bin and
+// point operands, interior zero masses, disjoint supports, and sizes
+// straddling the 2/4-lane remainder boundaries. Also covers the
+// STATIM_SIMD parsing/forcing error surface.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "prob/arena.hpp"
+#include "prob/kernels/kernels.hpp"
+#include "prob/ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace statim::prob {
+namespace {
+
+/// Restores the dispatch level active at construction — tests that force
+/// levels must not leak the forced table into the rest of the suite.
+class ForceGuard {
+  public:
+    ForceGuard()
+        : level_(kernels::active().level), fast_math_(kernels::active().fast_math) {}
+    ~ForceGuard() { kernels::force(level_, fast_math_); }
+    ForceGuard(const ForceGuard&) = delete;
+    ForceGuard& operator=(const ForceGuard&) = delete;
+
+  private:
+    kernels::Level level_;
+    bool fast_math_;
+};
+
+/// Non-scalar levels available in this build+host (often just {} or
+/// {Avx2} — the suite is still meaningful: the scalar restructure is
+/// A/B-tested against history by the rest of the suite).
+std::vector<kernels::Level> simd_levels() {
+    std::vector<kernels::Level> out;
+    for (const kernels::Level l : kernels::available_levels())
+        if (l != kernels::Level::Scalar) out.push_back(l);
+    return out;
+}
+
+bool bits_equal(const Pdf& a, const Pdf& b) {
+    if (a.first_bin() != b.first_bin() || a.size() != b.size()) return false;
+    return std::memcmp(a.mass().data(), b.mass().data(),
+                       a.size() * sizeof(double)) == 0;
+}
+
+bool bits_equal(double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Mass vector with interior zeros — zero-weight rows take the convolve
+/// kernels' skip path, zero bins stress the trimming in from_mass.
+Pdf sparse_pdf(Rng& rng, std::size_t bins, std::int64_t first) {
+    std::vector<double> mass(bins, 0.0);
+    bool any = false;
+    for (double& m : mass) {
+        if (rng.uniform() < 0.4) continue;
+        m = rng.uniform(0.001, 1.0);
+        any = true;
+    }
+    if (!any) mass[bins / 2] = 1.0;
+    return Pdf::from_mass(first, std::move(mass));
+}
+
+struct OpResults {
+    Pdf conv, smax, copied;
+    std::int64_t shift{0};
+    double ks{0.0};
+};
+
+OpResults run_all_ops(const Pdf& a, const Pdf& b) {
+    OpResults r;
+    PdfArena& arena = thread_arena();
+    const ScopedRewind scope(arena);
+    r.conv = convolve_into(arena, a, b).to_pdf();
+    r.smax = stat_max_into(arena, a, b).to_pdf();
+    r.copied = copy_into(arena, a).to_pdf();
+    r.shift = max_percentile_shift_bins(a, b);
+    r.ks = ks_distance(a, b);
+    return r;
+}
+
+void expect_level_matches_scalar(const Pdf& a, const Pdf& b, const char* what) {
+    ForceGuard guard;
+    kernels::force(kernels::Level::Scalar, false);
+    const OpResults ref = run_all_ops(a, b);
+    for (const kernels::Level level : simd_levels()) {
+        kernels::force(level, false);
+        const OpResults got = run_all_ops(a, b);
+        const char* name = kernels::level_name(level);
+        EXPECT_TRUE(bits_equal(got.conv, ref.conv))
+            << what << ": convolve differs on " << name;
+        EXPECT_TRUE(bits_equal(got.smax, ref.smax))
+            << what << ": stat_max differs on " << name;
+        EXPECT_TRUE(bits_equal(got.copied, ref.copied))
+            << what << ": copy differs on " << name;
+        EXPECT_EQ(got.shift, ref.shift)
+            << what << ": shift_bins differs on " << name;
+        EXPECT_TRUE(bits_equal(got.ks, ref.ks))
+            << what << ": ks_distance differs on " << name;
+    }
+}
+
+TEST(Kernels, RemainderSizesMatchScalarBitwise) {
+    // Every size in 1..17 plus the lane-boundary straddles: covers 0..4+
+    // leftover lanes for both the 4-wide AVX2 and 2-wide NEON loops, and
+    // the stat_max combine's off-by-one (i starts at 1) windows.
+    Rng rng(4242);
+    for (const std::size_t na : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u,
+                                 12u, 13u, 14u, 15u, 16u, 17u, 31u, 32u, 33u,
+                                 63u, 64u, 65u, 100u}) {
+        const Pdf a = sparse_pdf(rng, na, rng.uniform_int(-20, 20));
+        const Pdf b =
+            sparse_pdf(rng, static_cast<std::size_t>(rng.uniform_int(1, 33)),
+                       rng.uniform_int(-20, 20));
+        expect_level_matches_scalar(a, b, "remainder sweep");
+    }
+}
+
+TEST(Kernels, PointAndSingleBinOperands) {
+    const Pdf point = Pdf::point(7);
+    const Pdf one_bin = Pdf::from_mass(-3, {2.5});
+    Rng rng(7);
+    const Pdf body = sparse_pdf(rng, 37, -5);
+    expect_level_matches_scalar(point, one_bin, "point vs single-bin");
+    expect_level_matches_scalar(point, body, "point vs body");
+    expect_level_matches_scalar(body, one_bin, "body vs single-bin");
+    expect_level_matches_scalar(point, point, "point vs itself");
+}
+
+TEST(Kernels, DisjointAndPartialOverlaps) {
+    Rng rng(99);
+    const Pdf a = sparse_pdf(rng, 40, 0);
+    const Pdf far_right = sparse_pdf(rng, 24, 1000);   // fully disjoint
+    const Pdf overlap = sparse_pdf(rng, 24, 30);       // partial overlap
+    const Pdf inside = sparse_pdf(rng, 8, 10);         // contained support
+    expect_level_matches_scalar(a, far_right, "disjoint");
+    expect_level_matches_scalar(far_right, a, "disjoint flipped");
+    expect_level_matches_scalar(a, overlap, "partial overlap");
+    expect_level_matches_scalar(a, inside, "contained");
+}
+
+TEST(Kernels, IdenticalOperands) {
+    Rng rng(1234);
+    const Pdf a = sparse_pdf(rng, 64, 5);
+    expect_level_matches_scalar(a, a, "identical operands");
+}
+
+TEST(Kernels, ScalarFirstInAvailableLevels) {
+    const auto levels = kernels::available_levels();
+    ASSERT_FALSE(levels.empty());
+    EXPECT_EQ(levels.front(), kernels::Level::Scalar);
+    for (const kernels::Level l : levels) EXPECT_TRUE(kernels::supported(l));
+}
+
+TEST(Kernels, ParseLevelVocabulary) {
+    EXPECT_EQ(kernels::parse_level("scalar"), kernels::Level::Scalar);
+    EXPECT_TRUE(kernels::supported(kernels::parse_level("auto")));
+    EXPECT_THROW((void)kernels::parse_level("sse9"), ConfigError);
+    EXPECT_THROW((void)kernels::parse_level(""), ConfigError);
+    EXPECT_THROW((void)kernels::parse_level("AVX2"), ConfigError);  // case-sensitive
+}
+
+TEST(Kernels, ForceUnsupportedLevelThrows) {
+    ForceGuard guard;
+    for (const kernels::Level l :
+         {kernels::Level::Scalar, kernels::Level::Avx2, kernels::Level::Neon}) {
+        if (kernels::supported(l)) {
+            kernels::force(l);
+            EXPECT_EQ(kernels::active().level, l);
+        } else {
+            EXPECT_THROW(kernels::force(l), ConfigError);
+            EXPECT_THROW((void)kernels::table_for(l, false), ConfigError);
+        }
+    }
+}
+
+TEST(Kernels, TableNamesAndFastMathFlags) {
+    for (const kernels::Level l : kernels::available_levels()) {
+        const kernels::KernelTable& plain = kernels::table_for(l, false);
+        EXPECT_FALSE(plain.fast_math);
+        EXPECT_EQ(plain.level, l);
+        EXPECT_STREQ(plain.name, l == kernels::Level::Scalar
+                                     ? "scalar"
+                                     : kernels::level_name(l));
+        if (l != kernels::Level::Scalar) {
+            // Fast-math variants exist for SIMD levels, carry the flag,
+            // and only the convolve entry point differs.
+            const kernels::KernelTable& fm = kernels::table_for(l, true);
+            EXPECT_TRUE(fm.fast_math);
+            EXPECT_EQ(fm.stat_max_combine, plain.stat_max_combine);
+            EXPECT_EQ(fm.max_abs_diff, plain.max_abs_diff);
+            EXPECT_NE(fm.convolve_accum, plain.convolve_accum);
+        } else {
+            // Scalar ignores the fast-math request entirely.
+            EXPECT_FALSE(kernels::table_for(l, true).fast_math);
+        }
+    }
+}
+
+TEST(Kernels, ArenaFoldMatchesPairwisePdfFold) {
+    // The span overloads (the O(k)-copy fix) against the classic fold.
+    Rng rng(555);
+    std::vector<Pdf> pdfs;
+    for (int i = 0; i < 7; ++i)
+        pdfs.push_back(sparse_pdf(
+            rng, static_cast<std::size_t>(rng.uniform_int(1, 50)),
+            rng.uniform_int(-30, 30)));
+    Pdf pairwise = pdfs[0];
+    for (std::size_t i = 1; i < pdfs.size(); ++i)
+        pairwise = stat_max(pairwise, pdfs[i]);
+
+    EXPECT_TRUE(bits_equal(stat_max(std::span<const Pdf>(pdfs)), pairwise));
+
+    PdfArena& arena = thread_arena();
+    const ScopedRewind scope(arena);
+    const std::vector<PdfView> views(pdfs.begin(), pdfs.end());
+    EXPECT_TRUE(bits_equal(stat_max_into(arena, views).to_pdf(), pairwise));
+    EXPECT_THROW((void)stat_max_into(arena, std::span<const PdfView>{}),
+                 ConfigError);
+}
+
+TEST(Kernels, ForcedLevelSurvivesUntilNextForce) {
+    ForceGuard guard;
+    kernels::force(kernels::Level::Scalar, false);
+    EXPECT_EQ(kernels::active().level, kernels::Level::Scalar);
+    EXPECT_STREQ(kernels::active().name, "scalar");
+    const kernels::KernelTable& again = kernels::active();
+    EXPECT_EQ(&again, &kernels::active());  // stable pointer between forces
+}
+
+}  // namespace
+}  // namespace statim::prob

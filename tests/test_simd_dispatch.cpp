@@ -1,0 +1,180 @@
+// Forced-dispatch property suite: full SSTA under every available
+// STATIM_SIMD level must be indistinguishable — arrivals, criticalities
+// and selector picks bitwise identical to the scalar reference on the
+// real circuits (c432, c7552, synth10k). This is the end-to-end teeth of
+// the kernel layer's bit-exactness contract; the kernel-granular cases
+// live in test_kernels.cpp. Also covers the api::Scenario / CLI `simd`
+// knob surface.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/statim.hpp"
+#include "core/context.hpp"
+#include "core/selector.hpp"
+#include "netlist/iscas.hpp"
+#include "prob/kernels/kernels.hpp"
+#include "ssta/criticality.hpp"
+#include "util/error.hpp"
+
+namespace statim {
+namespace {
+
+using netlist::Netlist;
+
+class ForceGuard {
+  public:
+    ForceGuard()
+        : level_(prob::kernels::active().level),
+          fast_math_(prob::kernels::active().fast_math) {}
+    ~ForceGuard() { prob::kernels::force(level_, fast_math_); }
+    ForceGuard(const ForceGuard&) = delete;
+    ForceGuard& operator=(const ForceGuard&) = delete;
+
+  private:
+    prob::kernels::Level level_;
+    bool fast_math_;
+};
+
+std::vector<prob::kernels::Level> simd_levels() {
+    std::vector<prob::kernels::Level> out;
+    for (const prob::kernels::Level l : prob::kernels::available_levels())
+        if (l != prob::kernels::Level::Scalar) out.push_back(l);
+    return out;
+}
+
+bool heavy_tests() { return std::getenv("STATIM_HEAVY_TESTS") != nullptr; }
+
+/// Everything one SSTA pass produces that the optimizer consumes.
+struct CircuitSnapshot {
+    std::vector<prob::Pdf> arrivals;
+    std::vector<double> edge_crit, node_crit;
+};
+
+CircuitSnapshot snapshot(const std::string& circuit, const cells::Library& lib) {
+    Netlist nl = netlist::make_iscas(circuit, lib);
+    core::Context ctx(nl, lib);
+    ctx.run_ssta();
+    CircuitSnapshot snap;
+    snap.arrivals.reserve(ctx.graph().node_count());
+    for (std::size_t n = 0; n < ctx.graph().node_count(); ++n)
+        snap.arrivals.push_back(
+            ctx.engine().arrival(NodeId{static_cast<std::uint32_t>(n)}).to_pdf());
+    const ssta::CriticalityResult crit =
+        ssta::compute_criticality(ctx.engine(), ctx.edge_delays());
+    snap.edge_crit = crit.edge;
+    snap.node_crit = crit.node;
+    return snap;
+}
+
+bool bits_equal(const prob::Pdf& a, const prob::Pdf& b) {
+    if (a.first_bin() != b.first_bin() || a.size() != b.size()) return false;
+    return std::memcmp(a.mass().data(), b.mass().data(),
+                       a.size() * sizeof(double)) == 0;
+}
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+TEST(SimdDispatch, ArrivalsAndCriticalityBitIdenticalAcrossLevels) {
+    const auto levels = simd_levels();
+    if (levels.empty()) GTEST_SKIP() << "scalar-only host: nothing to cross-check";
+    ForceGuard guard;
+    const cells::Library lib = cells::Library::standard_180nm();
+    for (const char* circuit : {"c432", "c7552", "synth10k"}) {
+        prob::kernels::force(prob::kernels::Level::Scalar, false);
+        const CircuitSnapshot ref = snapshot(circuit, lib);
+        for (const prob::kernels::Level level : levels) {
+            prob::kernels::force(level, false);
+            const CircuitSnapshot got = snapshot(circuit, lib);
+            ASSERT_EQ(got.arrivals.size(), ref.arrivals.size());
+            for (std::size_t n = 0; n < ref.arrivals.size(); ++n)
+                ASSERT_TRUE(bits_equal(got.arrivals[n], ref.arrivals[n]))
+                    << circuit << " node " << n << " arrival differs under "
+                    << prob::kernels::level_name(level);
+            EXPECT_TRUE(bits_equal(got.edge_crit, ref.edge_crit))
+                << circuit << " edge criticality differs under "
+                << prob::kernels::level_name(level);
+            EXPECT_TRUE(bits_equal(got.node_crit, ref.node_crit))
+                << circuit << " node criticality differs under "
+                << prob::kernels::level_name(level);
+        }
+    }
+}
+
+TEST(SimdDispatch, SelectorPicksBitIdenticalAcrossLevels) {
+    const auto levels = simd_levels();
+    if (levels.empty()) GTEST_SKIP() << "scalar-only host: nothing to cross-check";
+    ForceGuard guard;
+    const cells::Library lib = cells::Library::standard_180nm();
+    // synth10k costs ~30 s per selector pass on one core; the two ISCAS
+    // circuits cover the property by default, the registry circuit runs
+    // under STATIM_HEAVY_TESTS=1 (same rule as the checkpoint matrix).
+    std::vector<std::string> circuits{"c432", "c7552"};
+    if (heavy_tests()) circuits.emplace_back("synth10k");
+    for (const std::string& circuit : circuits) {
+        const auto select_under = [&](prob::kernels::Level level) {
+            prob::kernels::force(level, false);
+            Netlist nl = netlist::make_iscas(circuit, lib);
+            core::Context ctx(nl, lib);
+            ctx.run_ssta();
+            const core::SelectorConfig cfg{core::Objective::percentile(0.99),
+                                           0.25, 16.0};
+            return core::select_pruned(ctx, cfg);
+        };
+        const core::Selection ref = select_under(prob::kernels::Level::Scalar);
+        for (const prob::kernels::Level level : levels) {
+            const core::Selection got = select_under(level);
+            EXPECT_EQ(got.gate, ref.gate)
+                << circuit << ": pick differs under "
+                << prob::kernels::level_name(level);
+            EXPECT_TRUE(std::memcmp(&got.sensitivity, &ref.sensitivity,
+                                    sizeof(double)) == 0)
+                << circuit << ": sensitivity differs under "
+                << prob::kernels::level_name(level);
+        }
+    }
+}
+
+TEST(SimdDispatch, ScenarioSimdKnobIsBitwiseNeutral) {
+    ForceGuard guard;
+    const api::Design design = api::Design::from_registry("c432");
+    api::Scenario scalar_scn;
+    scalar_scn.simd = "scalar";
+    const api::AnalysisResult ref = api::analyze(design, scalar_scn);
+    EXPECT_EQ(prob::kernels::active().level, prob::kernels::Level::Scalar);
+
+    for (const prob::kernels::Level level : simd_levels()) {
+        api::Scenario scn;
+        scn.simd = prob::kernels::level_name(level);
+        const api::AnalysisResult got = api::analyze(design, scn);
+        EXPECT_EQ(prob::kernels::active().level, level);
+        EXPECT_TRUE(bits_equal(got.sink, ref.sink));
+        EXPECT_TRUE(std::memcmp(&got.objective_ns, &ref.objective_ns,
+                                sizeof(double)) == 0);
+    }
+
+    // "auto" restores environment/CPUID resolution even after a forced
+    // scenario ran in this process.
+    api::Scenario auto_scn;
+    const api::AnalysisResult got = api::analyze(design, auto_scn);
+    EXPECT_TRUE(bits_equal(got.sink, ref.sink));
+}
+
+TEST(SimdDispatch, ScenarioRejectsUnknownSimdName) {
+    api::Scenario s;
+    s.simd = "sse9";
+    EXPECT_THROW(s.validate(), ConfigError);
+    s.simd = "auto";
+    EXPECT_NO_THROW(s.validate());
+    s.simd = "scalar";
+    EXPECT_NO_THROW(s.validate());
+}
+
+}  // namespace
+}  // namespace statim

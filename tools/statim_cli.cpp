@@ -47,6 +47,8 @@ int usage(std::FILE* out) {
                  "  --target T         stop once the objective reaches T ns [0]\n"
                  "  --batch K          gates per iteration [STATIM_BATCH, else 1]\n"
                  "  --threads N        worker threads [STATIM_THREADS, else cores]\n"
+                 "  --simd LEVEL       PDF kernel dispatch: auto | scalar | avx2 | neon\n"
+                 "                     (bitwise-identical speed knob) [STATIM_SIMD, else auto]\n"
                  "  --full-ssta        disable the incremental refresh (A/B reference)\n"
                  "  --seed S           RNG stream seed [1]\n"
                  "\n"
@@ -81,7 +83,7 @@ const std::vector<std::string> kDesignFlags = {"circuit", "bench", "lib"};
 const std::vector<std::string> kScenarioFlags = {
     "percentile", "mean",        "bins",   "selector", "delta-w", "max-width",
     "iterations", "area-budget", "target", "batch",    "threads", "full-ssta",
-    "seed"};
+    "simd",       "seed"};
 
 std::vector<std::string> known_flags(std::vector<std::string> extra) {
     std::vector<std::string> flags = kDesignFlags;
@@ -119,6 +121,7 @@ api::Scenario scenario_from_flags(const CliArgs& args) {
     s.gates_per_iteration = static_cast<int>(args.get_int("batch", 0));
     s.threads = apply_threads_flag(args);
     s.incremental_ssta = !args.get_bool("full-ssta", false);
+    s.simd = args.get("simd", "auto");
     s.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     s.validate();
     return s;
