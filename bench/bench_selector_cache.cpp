@@ -1,0 +1,231 @@
+// Selector work-avoidance benchmark: the criticality-floor pre-filter
+// and the cross-pass sensitivity cache (PR 7), measured as a 2x2
+// ablation over repeated select-commit-refresh passes.
+//
+// Each variant — {floor off/on} x {cache off/on} — runs on its own fresh
+// netlist and commits its *own* picks, so a selection divergence would
+// compound into a visibly different trajectory; the bench cross-checks
+// every pass's pick and sensitivity bitwise across all four variants
+// (the layers are speed knobs, never results knobs). Per pass it records
+// wall-clock, nodes_computed, cache hit count and the floor's deferred
+// tail, and per variant the steady-state average nodes_computed over the
+// warm passes (pass >= 1). The headline number is steady_nodes_ratio:
+// steady nodes of the plain race divided by the fully layered one — the
+// ISSUE's >= 2x acceptance criterion on synth10k.
+//
+// Usage: argument-free (bench env knobs apply), or `--smoke`: a quick
+// c432 ablation. Either mode *fails* (exit 1) when any variant's pick or
+// sensitivity diverges from the plain race on any pass — the smoke run
+// is the CI regression gate for the layers' exactness, complementing
+// the *SelectorCache* property suite.
+//
+// Knobs: STATIM_BENCH_CIRCUITS (default c7552,synth10k),
+//        STATIM_BENCH_SCALE, STATIM_LOG.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/context.hpp"
+#include "core/selector.hpp"
+#include "core/sensitivity_cache.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace statim;
+
+struct Variant {
+    const char* name;
+    double crit_floor;  // explicit: 0 disables, ignores STATIM_CRIT_FLOOR
+    bool cache;
+};
+
+constexpr Variant kVariants[] = {
+    {"plain", 0.0, false},
+    {"floor", 0.05, false},
+    {"cache", 0.0, true},
+    {"floor+cache", 0.05, true},
+};
+
+struct PassNumbers {
+    double seconds{0.0};
+    std::size_t candidates{0}, nodes_computed{0};
+    std::size_t cache_hits{0}, floor_deferred{0}, pruned{0};
+    GateId pick{GateId::invalid()};
+    double sensitivity{0.0};
+};
+
+struct VariantNumbers {
+    std::vector<PassNumbers> passes;
+    double total_s{0.0};
+    double steady_nodes{0.0};  ///< avg nodes_computed over passes >= 1
+    std::uint64_t cache_stores{0}, cache_invalidated{0};
+};
+
+/// One select-commit-refresh trajectory. Every variant runs this with
+/// identical pass count and width cap; only the layer knobs differ.
+VariantNumbers run_variant(const std::string& circuit, const cells::Library& lib,
+                           const Variant& v, int passes, std::size_t threads) {
+    VariantNumbers out;
+    netlist::Netlist nl = netlist::make_iscas(circuit, lib);
+    core::Context ctx(nl, lib);
+    ctx.run_ssta();
+    const core::SelectorConfig cfg{core::Objective::percentile(0.99), 0.25, 16.0,
+                                   threads, v.crit_floor, v.cache};
+
+    for (int p = 0; p < passes; ++p) {
+        PassNumbers pn;
+        Timer timer;
+        const core::Selection sel = core::select_pruned(ctx, cfg);
+        pn.seconds = timer.seconds();
+        pn.candidates = sel.stats.candidates;
+        pn.nodes_computed = sel.stats.nodes_computed;
+        pn.cache_hits = sel.stats.cache_hits;
+        pn.floor_deferred = sel.stats.floor_deferred;
+        pn.pruned = sel.stats.pruned;
+        pn.pick = sel.gate;
+        pn.sensitivity = sel.sensitivity;
+        out.total_s += pn.seconds;
+        out.passes.push_back(pn);
+
+        if (!sel.gate.is_valid()) break;  // converged under the cap
+        (void)ctx.apply_resize(sel.gate, cfg.delta_w);
+        ctx.refresh_ssta();
+    }
+
+    std::size_t steady_sum = 0, steady_n = 0;
+    for (std::size_t p = 1; p < out.passes.size(); ++p) {
+        steady_sum += out.passes[p].nodes_computed;
+        ++steady_n;
+    }
+    out.steady_nodes =
+        steady_n ? static_cast<double>(steady_sum) / static_cast<double>(steady_n)
+                 : 0.0;
+    out.cache_stores = ctx.sensitivity_cache().stats().stores;
+    out.cache_invalidated = ctx.sensitivity_cache().stats().invalidated;
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (env_int("STATIM_BENCH_SMOKE", 0) != 0) smoke = true;
+    apply_log_env();
+
+    std::fprintf(stderr,
+                 "bench_selector_cache — criticality-floor x sensitivity-cache "
+                 "ablation over select-commit-refresh passes%s\n",
+                 smoke ? " (smoke mode)" : "");
+
+    const cells::Library lib = cells::Library::standard_180nm();
+    std::vector<std::string> circuits;
+    if (env_string("STATIM_BENCH_CIRCUITS")) circuits = bench::circuits_from_env();
+    if (circuits.empty())
+        circuits = smoke ? std::vector<std::string>{"c432"}
+                         : std::vector<std::string>{"c7552", "synth10k"};
+    const int passes =
+        smoke ? 5 : std::max(4, static_cast<int>(8 * bench::bench_scale()));
+    const std::size_t threads = static_cast<std::size_t>(env_int("STATIM_THREADS", 4));
+
+    constexpr std::size_t kNumVariants = sizeof(kVariants) / sizeof(kVariants[0]);
+    bool picks_ok = true;
+
+    std::printf("{\"bench\":\"selector_cache\",\"smoke\":%s,\"passes\":%d,"
+                "\"threads\":%zu,\"circuits\":[",
+                smoke ? "true" : "false", passes, threads);
+    for (std::size_t c = 0; c < circuits.size(); ++c) {
+        const std::string& name = circuits[c];
+        VariantNumbers results[kNumVariants];
+        for (std::size_t v = 0; v < kNumVariants; ++v)
+            results[v] = run_variant(name, lib, kVariants[v], passes, threads);
+
+        // Exactness cross-check: all four trajectories pass for pass.
+        const VariantNumbers& ref = results[0];
+        for (std::size_t v = 1; v < kNumVariants; ++v) {
+            if (results[v].passes.size() != ref.passes.size()) {
+                std::fprintf(stderr,
+                             "MISMATCH %s/%s: %zu passes vs %zu in the plain race\n",
+                             name.c_str(), kVariants[v].name,
+                             results[v].passes.size(), ref.passes.size());
+                picks_ok = false;
+                continue;
+            }
+            for (std::size_t p = 0; p < ref.passes.size(); ++p) {
+                if (results[v].passes[p].pick == ref.passes[p].pick &&
+                    results[v].passes[p].sensitivity == ref.passes[p].sensitivity)
+                    continue;
+                std::fprintf(
+                    stderr,
+                    "MISMATCH %s/%s pass %zu: pick %u sens %.17g vs plain pick "
+                    "%u sens %.17g\n",
+                    name.c_str(), kVariants[v].name, p,
+                    results[v].passes[p].pick.value,
+                    results[v].passes[p].sensitivity, ref.passes[p].pick.value,
+                    ref.passes[p].sensitivity);
+                picks_ok = false;
+            }
+        }
+
+        const double layered_steady = results[kNumVariants - 1].steady_nodes;
+        const double ratio =
+            layered_steady > 0.0 ? ref.steady_nodes / layered_steady : 0.0;
+
+        std::fprintf(stderr, "%s: %d passes, %zu candidates\n", name.c_str(),
+                     passes, ref.passes.empty() ? 0 : ref.passes[0].candidates);
+        for (std::size_t v = 0; v < kNumVariants; ++v) {
+            const VariantNumbers& r = results[v];
+            const PassNumbers last =
+                r.passes.empty() ? PassNumbers{} : r.passes.back();
+            std::fprintf(stderr,
+                         "  %-11s total %7.3fs  steady nodes %12.0f  last pass: "
+                         "%7.3fs, hits %zu, deferred %zu, pruned %zu\n",
+                         kVariants[v].name, r.total_s, r.steady_nodes,
+                         last.seconds, last.cache_hits, last.floor_deferred,
+                         last.pruned);
+        }
+        std::fprintf(stderr, "  steady nodes_computed ratio (plain / floor+cache): %.2fx\n",
+                     ratio);
+
+        std::printf("%s{\"circuit\":\"%s\",\"steady_nodes_ratio\":%.4f,"
+                    "\"variants\":[",
+                    c == 0 ? "" : ",", name.c_str(), ratio);
+        for (std::size_t v = 0; v < kNumVariants; ++v) {
+            const VariantNumbers& r = results[v];
+            std::printf("%s{\"name\":\"%s\",\"crit_floor\":%.3f,\"cache\":%s,"
+                        "\"total_s\":%.6f,\"steady_nodes\":%.1f,"
+                        "\"cache_stores\":%llu,\"cache_invalidated\":%llu,"
+                        "\"passes\":[",
+                        v == 0 ? "" : ",", kVariants[v].name,
+                        kVariants[v].crit_floor, kVariants[v].cache ? "true" : "false",
+                        r.total_s, r.steady_nodes,
+                        static_cast<unsigned long long>(r.cache_stores),
+                        static_cast<unsigned long long>(r.cache_invalidated));
+            for (std::size_t p = 0; p < r.passes.size(); ++p) {
+                const PassNumbers& pn = r.passes[p];
+                std::printf("%s{\"seconds\":%.6f,\"candidates\":%zu,"
+                            "\"nodes_computed\":%zu,\"cache_hits\":%zu,"
+                            "\"floor_deferred\":%zu,\"pruned\":%zu,"
+                            "\"pick\":%d,\"sensitivity\":%.9g}",
+                            p == 0 ? "" : ",", pn.seconds, pn.candidates,
+                            pn.nodes_computed, pn.cache_hits, pn.floor_deferred,
+                            pn.pruned,
+                            pn.pick.is_valid() ? static_cast<int>(pn.pick.value) : -1,
+                            pn.sensitivity);
+            }
+            std::printf("]}");
+        }
+        std::printf("]}");
+    }
+    std::printf("],\"picks_identical\":%s}\n", picks_ok ? "true" : "false");
+
+    if (!picks_ok)
+        std::fprintf(stderr,
+                     "FAIL: layered selector picks diverged from the plain race\n");
+    return picks_ok ? 0 : 1;
+}

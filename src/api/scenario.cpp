@@ -42,6 +42,8 @@ void Scenario::validate() const {
     if (gates_per_iteration < 0)
         throw ConfigError("Scenario '" + name +
                           "': gates_per_iteration must be >= 1 (or 0 for STATIM_BATCH)");
+    if (!(crit_floor <= 1.0))  // rejects NaN and > 1 (fraction of max crit)
+        throw ConfigError("Scenario '" + name + "': crit_floor must be <= 1");
     if (!simd.empty())
         (void)prob::kernels::parse_level(simd);  // throws on an unknown name
 }
@@ -100,6 +102,8 @@ core::StatisticalSizerConfig to_sizer_config(const Scenario& s) {
     cfg.gates_per_iteration = s.gates_per_iteration;
     cfg.threads = s.resolved_threads();
     cfg.incremental_ssta = s.incremental_ssta;
+    cfg.crit_floor = s.crit_floor;
+    cfg.selector_cache = s.selector_cache;
     return cfg;
 }
 

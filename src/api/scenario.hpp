@@ -75,6 +75,18 @@ struct Scenario {
     /// resumes identically under any other. Unsupported levels are
     /// rejected at run entry.
     std::string simd{"auto"};
+    /// Criticality floor of the selector's two-phase bound race, as a
+    /// fraction in [0, 1] of the maximum candidate criticality (negative
+    /// = resolve STATIM_CRIT_FLOOR, default 0.05; 0 disables). Like
+    /// `simd` this is a pure speed knob — selections are bitwise
+    /// identical for any value (property-tested) — so it is deliberately
+    /// NOT part of the checkpoint format.
+    double crit_floor{-1.0};
+    /// Replay provably-unchanged candidate sensitivities across selector
+    /// passes (engine-journal-keyed cache; selections bitwise identical
+    /// either way — also NOT part of the checkpoint format).
+    /// STATIM_SELECTOR_CACHE=0 force-disables globally.
+    bool selector_cache{true};
 
     // ---- validation ----------------------------------------------------
     /// Monte Carlo samples for the post-sizing validation run (0 = skip).

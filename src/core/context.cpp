@@ -12,7 +12,8 @@ Context::Context(netlist::Netlist& nl, const cells::Library& lib,
       delay_calc_(graph_, lib),
       grid_(ssta::choose_grid(delay_calc_, policy)),
       edge_delays_(delay_calc_, grid_),
-      engine_(graph_) {}
+      engine_(graph_),
+      criticality_(graph_) {}
 
 Context::Context(netlist::Netlist& nl, const cells::Library& lib, prob::TimeGrid grid)
     : nl_(&nl),
@@ -21,7 +22,8 @@ Context::Context(netlist::Netlist& nl, const cells::Library& lib, prob::TimeGrid
       delay_calc_(graph_, lib),
       grid_(grid),
       edge_delays_(delay_calc_, grid_),
-      engine_(graph_) {}
+      engine_(graph_),
+      criticality_(graph_) {}
 
 std::vector<EdgeId> Context::apply_resize(GateId g, double delta_w) {
     nl_->gate(g).width += delta_w;
@@ -52,6 +54,12 @@ void Context::rebuild_timing(std::size_t threads) {
     edge_delays_.rebuild(delay_calc_, threads);
 }
 
+void Context::run_ssta() {
+    engine_.run(edge_delays_);
+    delay_calc_.mark_clean();
+    sensitivity_cache_.on_engine_update(engine_, graph_);
+}
+
 void Context::refresh_ssta() {
     if (!incremental_ssta_ || !engine_.has_run() || delay_calc_.fully_dirty()) {
         run_ssta();
@@ -59,6 +67,7 @@ void Context::refresh_ssta() {
     }
     engine_.update(edge_delays_, delay_calc_.dirty_edges());
     delay_calc_.mark_clean();
+    sensitivity_cache_.on_engine_update(engine_, graph_);
 }
 
 }  // namespace statim::core

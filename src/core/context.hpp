@@ -10,7 +10,9 @@
 #include <span>
 
 #include "cells/library.hpp"
+#include "core/sensitivity_cache.hpp"
 #include "netlist/timing_graph.hpp"
+#include "ssta/criticality.hpp"
 #include "ssta/edge_delays.hpp"
 #include "ssta/engine.hpp"
 #include "ssta/grid_policy.hpp"
@@ -50,10 +52,7 @@ class Context {
     [[nodiscard]] const ssta::SstaEngine& engine() const noexcept { return engine_; }
 
     /// Runs a full SSTA with the current widths.
-    void run_ssta() {
-        engine_.run(edge_delays_);
-        delay_calc_.mark_clean();
-    }
+    void run_ssta();
 
     /// Brings the SSTA arrivals up to date with the current widths. When
     /// incremental mode is on (default) and the engine has run before,
@@ -87,6 +86,20 @@ class Context {
     /// op. Returns the union of affected edges (ascending, deduplicated).
     std::vector<EdgeId> apply_resizes(std::span<const ResizeOp> ops);
 
+    /// Criticality engine bound to this context's graph, revision-keyed
+    /// against its SSTA engine (the selector's floor pre-filter refreshes
+    /// and queries it; reports may too — one shared instance means one
+    /// shared split cache).
+    [[nodiscard]] ssta::IncrementalCriticality& criticality() noexcept {
+        return criticality_;
+    }
+    /// Cross-pass sensitivity cache (see sensitivity_cache.hpp). Synced
+    /// with the engine journal by run_ssta()/refresh_ssta(); the selector
+    /// consults it when SelectorConfig.sensitivity_cache is on.
+    [[nodiscard]] SensitivityCache& sensitivity_cache() noexcept {
+        return sensitivity_cache_;
+    }
+
     /// Recomputes every nominal delay and edge PDF from the current
     /// widths, sharding both bulk passes across `threads` (0 = use
     /// ssta_threads()). For bulk width changes made directly on the
@@ -103,6 +116,8 @@ class Context {
     prob::TimeGrid grid_;
     ssta::EdgeDelays edge_delays_;
     ssta::SstaEngine engine_;
+    ssta::IncrementalCriticality criticality_;
+    SensitivityCache sensitivity_cache_;
     bool incremental_ssta_{true};
 };
 

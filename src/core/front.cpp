@@ -11,13 +11,15 @@
 namespace statim::core {
 
 PerturbationFront::PerturbationFront(Context& ctx, const Objective& objective,
-                                     const TrialResize& trial, bool record_footprint)
+                                     const TrialResize& trial, bool record_footprint,
+                                     std::uint32_t support_cap)
     : gate_(trial.gate()),
       delta_w_(trial.delta_w()),
       dt_ns_(ctx.grid().dt_ns()),
       objective_(objective),
       state_(acquire_front_state()),
       uid_(next_front_uid()),
+      support_cap_(support_cap),
       record_footprint_(record_footprint) {
     if (!ctx.engine().has_run()) {
         release_front_state(state_);  // the destructor will not run
@@ -53,8 +55,10 @@ PerturbationFront::PerturbationFront(PerturbationFront&& other) noexcept
       uid_(other.uid_),
       bound_sens_(other.bound_sens_),
       sensitivity_(other.sensitivity_),
+      support_cap_(other.support_cap_),
       completed_(other.completed_),
       record_footprint_(other.record_footprint_),
+      support_overflow_(other.support_overflow_),
       sink_view_(other.sink_view_),
       stats_(other.stats_),
       computed_nodes_(std::move(other.computed_nodes_)),
@@ -196,6 +200,12 @@ void PerturbationFront::commit_node(const Context& ctx, FrontWorkspace& ws, Node
     if (record_footprint_) {
         computed_nodes_.push_back(n);
         if (!res.dead) changed_nodes_.push_back(n);
+    }
+    if (support_cap_ != 0) {
+        if (state_->support.size() < support_cap_)
+            state_->support.push_back(n);
+        else
+            support_overflow_ = true;
     }
 
     const std::uint32_t idx = ws.entry_index(n);

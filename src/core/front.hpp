@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/context.hpp"
@@ -62,8 +63,12 @@ class PerturbationFront {
     /// `record_footprint` additionally collects computed_nodes() /
     /// changed_nodes() — off by default; used by the batch-commit
     /// property tests to pin the front/engine absorption equivalence.
+    /// `support_cap` > 0 captures up to that many computed nodes into the
+    /// pooled state (support_nodes(), for the SensitivityCache); unlike
+    /// footprint recording it allocates nothing at steady state.
     PerturbationFront(Context& ctx, const Objective& objective,
-                      const TrialResize& trial, bool record_footprint = false);
+                      const TrialResize& trial, bool record_footprint = false,
+                      std::uint32_t support_cap = 0);
     ~PerturbationFront();
 
     PerturbationFront(const PerturbationFront&) = delete;
@@ -112,6 +117,17 @@ class PerturbationFront {
         return changed_nodes_;
     }
 
+    /// The captured computed-node support (support_cap recording only;
+    /// empty otherwise). Points into the pooled state: read before
+    /// release()/destruction.
+    [[nodiscard]] std::span<const NodeId> support_nodes() const noexcept {
+        return state_ != nullptr ? std::span<const NodeId>(state_->support)
+                                 : std::span<const NodeId>{};
+    }
+    /// True when the front computed more nodes than support_cap — the
+    /// capture is incomplete and must not be cached.
+    [[nodiscard]] bool support_overflow() const noexcept { return support_overflow_; }
+
   private:
     void schedule(const Context& ctx, FrontWorkspace& ws, NodeId n);
     void process_level(const Context& ctx, FrontWorkspace& ws);
@@ -129,8 +145,10 @@ class PerturbationFront {
 
     double bound_sens_{0.0};
     double sensitivity_{0.0};
+    std::uint32_t support_cap_{0};
     bool completed_{false};
     bool record_footprint_{false};
+    bool support_overflow_{false};
     prob::PdfView sink_view_{};
     Stats stats_;
     std::vector<NodeId> computed_nodes_, changed_nodes_;

@@ -12,6 +12,7 @@ void FrontState::reset() noexcept {
     entries.clear();
     pending.clear();
     alive.clear();
+    support.clear();
     min_pending_level = kNoLevel;
     arenas_[0].reset();
     arenas_[1].reset();

@@ -86,6 +86,11 @@ class FrontState {
     /// bound refresh and workspace activation scan the live front — not
     /// every entry the drain ever created.
     std::vector<std::uint32_t> alive;
+    /// Capped computed-node capture for the cross-pass sensitivity cache
+    /// (PerturbationFront support_cap; empty when capture is off). Lives
+    /// here rather than on the front so the pool's grow-only reuse keeps
+    /// warm selector passes allocation-free.
+    std::vector<NodeId> support;
     std::uint32_t min_pending_level{kNoLevel};
 
     /// Alive/death bookkeeping around the alive index.

@@ -6,7 +6,9 @@
 #include <mutex>
 #include <queue>
 
+#include "core/sensitivity_cache.hpp"
 #include "ssta/criticality.hpp"
+#include "util/env.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -48,6 +50,8 @@ struct PassScratch {
     std::vector<RankedPick> completed;
     std::vector<HeapEntry> heap;
     std::vector<double> kth;
+    std::vector<GateId> race_gates, head_gates, tail_gates;
+    std::vector<std::pair<double, std::uint32_t>> crit_rank;
 };
 
 PassScratch& pass_scratch() {
@@ -86,15 +90,17 @@ std::size_t shard_count(const SelectorConfig& config, std::size_t candidates) {
 /// Builds one perturbation front per candidate into the pooled `fronts`
 /// vector (cleared first; capacity and the per-front state pool are
 /// reused across passes). Sequential by necessity: each TrialResize
-/// temporarily mutates the shared delay state.
+/// temporarily mutates the shared delay state. `support_cap` > 0 turns
+/// on the fronts' computed-node capture for the sensitivity cache.
 void init_fronts(Context& ctx, const SelectorConfig& config,
                  const std::vector<GateId>& gates,
-                 std::vector<PerturbationFront>& fronts) {
+                 std::vector<PerturbationFront>& fronts,
+                 std::uint32_t support_cap = 0) {
     fronts.clear();
     fronts.reserve(gates.size());
     for (GateId g : gates) {
         TrialResize trial(ctx, g, config.delta_w);
-        fronts.emplace_back(ctx, config.objective, trial);
+        fronts.emplace_back(ctx, config.objective, trial, false, support_cap);
     }
 }
 
@@ -216,122 +222,72 @@ void rank_picks(std::vector<RankedPick>& picks) {
     });
 }
 
-/// The paper's pruned bound race (Fig 6), generalized from "prune below
-/// the best completed sensitivity" to "prune below the k-th best". Returns
-/// every completed positive-gain candidate in gate-id order (unsorted);
-/// fills `stats` with the sequential accounting. k = 1 reproduces the
-/// original algorithm move for move.
-std::vector<RankedPick>& topk_pruned_sequential(Context& ctx,
-                                                const SelectorConfig& config,
-                                                const std::vector<GateId>& gates,
-                                                std::size_t k, SelectorStats& stats) {
-    PassScratch& scratch = pass_scratch();
-    // Initialize every candidate's front (paper Fig 6, steps 3-5).
-    std::vector<PerturbationFront>& fronts = scratch.fronts;
-    init_fronts(ctx, config, gates, fronts);
-
-    std::vector<RankedPick>& completed = scratch.completed;
-    completed.clear();
-    KthBestTracker best(k, scratch.kth);  // paper step 6, k-generalized
-    auto absorb_completion = [&](std::size_t idx) {
-        PerturbationFront& front = fronts[idx];
-        if (front.sink_pdf().valid()) ++stats.completed;
-        else ++stats.died;
-        const double sens = front.sensitivity();
-        if (sens > 0.0) {
-            completed.push_back({front.gate(), sens});
-            best.add(sens);
-        }
-        stats.nodes_computed += front.stats().nodes_computed;
-        stats.levels_stepped += front.stats().levels_stepped;
-        front.release();
-    };
-
-    // Pooled max-heap: push_heap/pop_heap under HeapCmp reproduce the old
-    // priority_queue's pop order exactly.
-    std::vector<HeapEntry>& heap = scratch.heap;
-    heap.clear();
-    const auto heap_push = [&heap](HeapEntry e) {
-        heap.push_back(e);
-        std::push_heap(heap.begin(), heap.end(), HeapCmp{});
-    };
-    const auto heap_pop = [&heap] {
-        std::pop_heap(heap.begin(), heap.end(), HeapCmp{});
-        const HeapEntry top = heap.back();
-        heap.pop_back();
-        return top;
-    };
-
-    std::size_t alive = 0;
-    for (std::size_t i = 0; i < fronts.size(); ++i) {
-        if (fronts[i].completed()) {
-            absorb_completion(i);
-        } else {
-            heap_push({fronts[i].bound_sensitivity(), static_cast<std::uint32_t>(i),
-                       fronts[i].gate().value});
-            ++alive;
-        }
-    }
-
-    while (!heap.empty()) {
-        const HeapEntry top = heap_pop();
-        if (fronts[top.idx].released()) continue;  // finished via a previous entry
-        PerturbationFront& front = fronts[top.idx];
-        if (top.bound != front.bound_sensitivity()) continue;  // stale bound
-
-        if (top.bound < best.threshold()) {
-            // The freshest bound on the heap is below the k-th best
-            // completed sensitivity: every remaining candidate is provably
-            // outside the top k (paper step 20).
-            stats.pruned += alive;
-            break;
-        }
-        front.propagate_one_level(ctx);
-        if (front.completed()) {
-            --alive;
-            absorb_completion(top.idx);
-        } else {
-            heap_push({front.bound_sensitivity(), top.idx, top.gate_id});
-        }
-    }
-    return completed;
+/// The effective criticality floor: an explicit non-negative config value
+/// wins, otherwise STATIM_CRIT_FLOOR (default 0.05). <= 0 disables the
+/// two-phase partition.
+double resolved_crit_floor(const SelectorConfig& config) {
+    if (config.crit_floor >= 0.0) return config.crit_floor;
+    return env_double("STATIM_CRIT_FLOOR", 0.05);
 }
 
-/// Sharded generalization of the bound race: shards drain their own
-/// fronts, racing the shared k-th-best threshold. A front pruned here has
-/// sensitivity strictly below the final k-th best, so every true top-k
-/// candidate completes in some shard for any race outcome.
-std::vector<RankedPick>& topk_pruned_parallel(Context& ctx,
-                                              const SelectorConfig& config,
-                                              const std::vector<GateId>& gates,
-                                              std::size_t k, std::size_t shards,
-                                              SelectorStats& stats) {
+/// The pass's sensitivity cache, or nullptr when the config or the
+/// STATIM_SELECTOR_CACHE=0 kill switch disables it.
+SensitivityCache* resolved_cache(Context& ctx, const SelectorConfig& config) {
+    if (!config.sensitivity_cache) return nullptr;
+    if (env_int("STATIM_SELECTOR_CACHE", 1) == 0) return nullptr;
+    return &ctx.sensitivity_cache();
+}
+
+/// One phase of the pruned bound race over `gates` (ascending gate id),
+/// sharing `best` — and its monotone threshold — with replays and earlier
+/// phases. Initializes one front per gate (paper Fig 6, steps 3-5),
+/// drains them across shard_count() shards racing the shared threshold
+/// (inline when single-sharded: no pool round-trip), then folds the
+/// outcomes serially in gate order: counters, cache stores, and positive
+/// completions into `completed`.
+///
+/// The pruning theorem holds per front regardless of phase boundaries: a
+/// front whose bound ever falls below the shared threshold has final
+/// sensitivity sens <= bound < threshold <= final k-th best, so splitting
+/// the race into phases cannot change which candidates survive — only how
+/// cheaply the losers lose (a later phase meets a near-final threshold at
+/// its loosest, first bound). With one phase, one shard and k = 1 this is
+/// exactly the paper's algorithm move for move.
+void race_phase(Context& ctx, const SelectorConfig& config,
+                const std::vector<GateId>& gates, SharedKthBest& best,
+                SensitivityCache* cache, std::uint64_t revision,
+                SelectorStats& stats, std::vector<RankedPick>& completed) {
+    if (gates.empty()) return;
     PassScratch& scratch = pass_scratch();
     std::vector<PerturbationFront>& fronts = scratch.fronts;
-    init_fronts(ctx, config, gates, fronts);
+    const std::uint32_t support_cap =
+        cache != nullptr ? SensitivityCache::kMaxSupportNodes : 0;
+    init_fronts(ctx, config, gates, fronts, support_cap);
     std::vector<FrontOutcome>& outcomes = scratch.outcomes;
     outcomes.assign(fronts.size(), FrontOutcome{});
 
-    // Shared monotone threshold, seeded from fronts that completed during
-    // initialization so every shard prunes against the k best known so far.
-    SharedKthBest best(k, scratch.kth);
+    const std::size_t shards =
+        std::max<std::size_t>(shard_count(config, gates.size()), 1);
     std::vector<std::vector<std::uint32_t>>& shard_fronts = scratch.shard_fronts;
     if (shard_fronts.size() < shards) shard_fronts.resize(shards);
     for (std::size_t s = 0; s < shards; ++s) shard_fronts[s].clear();
     for (std::size_t i = 0; i < fronts.size(); ++i) {
         if (fronts[i].completed()) {
+            // Completed during initialization (often: died at the gate's
+            // own level). Seeds the threshold now; released in the fold
+            // below, which still reads the front's support capture.
             record_outcome(outcomes[i], fronts[i]);
             best.add(fronts[i].sensitivity());
-            fronts[i].release();
         } else {
             shard_fronts[i % shards].push_back(static_cast<std::uint32_t>(i));
         }
     }
 
-    global_pool().parallel_for(shards, [&](std::size_t s) {
+    const auto drain_shard = [&](std::size_t s) {
         // Each worker drains its shard through its own thread's pooled
-        // heap (the caller's heap is idle on this path, so the inline
-        // shard reuses it too).
+        // heap (push_heap/pop_heap under HeapCmp reproduce the serial
+        // reference's pop order); the inline single-shard path reuses the
+        // caller's.
         std::vector<HeapEntry>& heap = pass_scratch().heap;
         heap.clear();
         const auto heap_push = [&heap](HeapEntry e) {
@@ -350,25 +306,30 @@ std::vector<RankedPick>& topk_pruned_parallel(Context& ctx,
             if (top.bound != front.bound_sensitivity()) continue;  // stale bound
 
             if (top.bound < best.threshold()) {
-                // Everything left in this shard is provably outside the
-                // top k; outcomes stay marked Pruned.
+                // The freshest bound in this shard is below the k-th best
+                // completed sensitivity: everything left here is provably
+                // outside the top k (paper step 20); outcomes stay Pruned.
                 break;
             }
             front.propagate_one_level(ctx);
             if (front.completed()) {
                 record_outcome(outcomes[top.idx], front);
                 best.add(front.sensitivity());
-            }
-            else {
+            } else {
                 heap_push({front.bound_sensitivity(), top.idx, top.gate_id});
             }
         }
-    });
+    };
+    if (shards <= 1) {
+        drain_shard(0);  // inline: no pool round-trip
+    } else {
+        global_pool().parallel_for(shards, drain_shard);
+    }
 
-    // Deterministic gate-id-ordered fold of the shard outcomes.
-    std::vector<RankedPick>& completed = scratch.completed;
-    completed.clear();
+    // Serial gate-id-ordered fold: deterministic counters, cache stores
+    // (the support span dies with release()), positive completions out.
     for (std::size_t i = 0; i < gates.size(); ++i) {
+        PerturbationFront& front = fronts[i];
         const FrontOutcome& out = outcomes[i];
         if (out.kind == FrontOutcome::Kind::Pruned) {
             ++stats.pruned;
@@ -378,20 +339,118 @@ std::vector<RankedPick>& topk_pruned_parallel(Context& ctx,
         else ++stats.died;
         stats.nodes_computed += out.nodes_computed;
         stats.levels_stepped += out.levels_stepped;
+        if (cache != nullptr && !front.support_overflow())
+            cache->store(gates[i], config.delta_w, ctx.nl().gate(gates[i]).width,
+                         config.objective, revision, out.sensitivity,
+                         out.kind == FrontOutcome::Kind::Completed,
+                         front.support_nodes());
         if (out.sensitivity > 0.0) completed.push_back({gates[i], out.sensitivity});
     }
-    return completed;
+    // Release in REVERSE checkout order so the LIFO state pool is restored
+    // to exactly its pre-phase stack: every gate then reuses the same
+    // pooled state on the next pass, and the grow-only per-state buffers
+    // stop migrating between differently-sized cones (with gate-ordered
+    // releases the state<->gate mapping permutes each pass and two-phase
+    // passes re-grow buffers indefinitely — census-tested in
+    // bench_front_drain --smoke / test_front_drain.cpp).
+    for (std::size_t i = fronts.size(); i-- > 0;) fronts[i].release();
 }
 
-/// Completed positive-gain candidates of one pruned pass (either path),
-/// in the calling thread's pooled pick list (valid until its next pass).
+/// Completed positive-gain candidates of one pruned pass, in the calling
+/// thread's pooled pick list (valid until its next pass). Orchestrates
+/// the three selection-identical work-avoidance layers in front of the
+/// race: cache replay (skip provably-unchanged candidates outright),
+/// threshold seeding (replayed sensitivities pre-tighten the bound), and
+/// the criticality-floor two-phase partition (likely winners race first,
+/// the low-criticality tail sweeps second against a near-final
+/// threshold). Picks are bitwise identical with all layers on or off.
 std::vector<RankedPick>& topk_pruned(Context& ctx, const SelectorConfig& config,
                                      const std::vector<GateId>& gates, std::size_t k,
                                      SelectorStats& stats) {
     stats.candidates = gates.size();
-    const std::size_t shards = shard_count(config, gates.size());
-    return shards > 1 ? topk_pruned_parallel(ctx, config, gates, k, shards, stats)
-                      : topk_pruned_sequential(ctx, config, gates, k, stats);
+    PassScratch& scratch = pass_scratch();
+    std::vector<RankedPick>& completed = scratch.completed;
+    completed.clear();
+    SharedKthBest best(k, scratch.kth);  // paper step 6, k-generalized
+
+    // Replay phase: absorb cached outcomes (exact — sensitivity_cache.hpp
+    // carries the argument) and seed the threshold with them, so the race
+    // starts as tight as the last pass left it.
+    SensitivityCache* cache = resolved_cache(ctx, config);
+    const std::uint64_t revision = ctx.engine().revision();
+    std::vector<GateId>& race_gates = scratch.race_gates;
+    race_gates.clear();
+    if (cache != nullptr) {
+        cache->bind(ctx.nl().gate_count(), ctx.graph().node_count());
+        SensitivityCache::Replay replay;
+        for (GateId g : gates) {
+            if (cache->lookup(g, config.delta_w, ctx.nl().gate(g).width,
+                              config.objective, revision, replay)) {
+                ++stats.cache_hits;
+                if (replay.completed_sink) ++stats.completed;
+                else ++stats.died;
+                if (replay.sensitivity > 0.0) {
+                    completed.push_back({g, replay.sensitivity});
+                    best.add(replay.sensitivity);
+                }
+            } else {
+                race_gates.push_back(g);
+            }
+        }
+    } else {
+        race_gates.assign(gates.begin(), gates.end());
+    }
+
+    // Criticality-floor partition (see SelectorConfig.crit_floor). A
+    // candidate's sensitivity mass tracks its output criticality — at the
+    // paper's Figure 1 "wall" most mass sits on few gates — so racing the
+    // over-floor head first completes the eventual winners early, and the
+    // tail phase prunes nearly everything at its first bound.
+    std::vector<GateId>& head = scratch.head_gates;
+    std::vector<GateId>& tail = scratch.tail_gates;
+    head.clear();
+    tail.clear();
+    const double floor = resolved_crit_floor(config);
+    const std::size_t min_head = std::max<std::size_t>(32, 2 * k);
+    if (floor > 0.0 && race_gates.size() > min_head) {
+        const ssta::CriticalityResult& crit = ctx.criticality().refresh(
+            ctx.engine(), ctx.edge_delays(), config.threads);
+        const auto& graph = ctx.graph();
+        const auto crit_of = [&crit, &graph](GateId g) {
+            return crit.node[graph.output_node(g).index()];
+        };
+        double max_crit = 0.0;
+        for (GateId g : race_gates) max_crit = std::max(max_crit, crit_of(g));
+        const double cut = floor * max_crit;
+        for (GateId g : race_gates) (crit_of(g) >= cut ? head : tail).push_back(g);
+        if (head.size() < min_head) {
+            // Degenerate split (criticality concentrated on very few
+            // gates): promote the most critical min_head candidates
+            // instead, so the head phase still establishes a meaningful
+            // threshold before the tail sweeps. (crit desc, id asc) is
+            // deterministic; both phases then restore gate-id order.
+            auto& rank = scratch.crit_rank;
+            rank.clear();
+            for (GateId g : race_gates) rank.emplace_back(crit_of(g), g.value);
+            std::sort(rank.begin(), rank.end(), [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+            });
+            head.clear();
+            tail.clear();
+            for (std::size_t i = 0; i < rank.size(); ++i)
+                (i < min_head ? head : tail).push_back(GateId{rank[i].second});
+            std::sort(head.begin(), head.end());
+            std::sort(tail.begin(), tail.end());
+        }
+        stats.floor_deferred = tail.size();
+    } else {
+        head.assign(race_gates.begin(), race_gates.end());
+    }
+
+    race_phase(ctx, config, head, best, cache, revision, stats, completed);
+    race_phase(ctx, config, tail, best, cache, revision, stats, completed);
+    return completed;
 }
 
 /// Per-candidate overlay of the edge PDFs its trial resize perturbs;
@@ -513,14 +572,23 @@ Selection select_cone_parallel(Context& ctx, const SelectorConfig& config,
 std::vector<GateId> sample_candidate_gates(Context& ctx, std::size_t count) {
     const auto crit = ssta::compute_criticality(ctx.engine(), ctx.edge_delays());
     const auto ranked = ssta::rank_gates_by_criticality(ctx.graph(), crit);
+    const std::size_t gate_count = ctx.nl().gate_count();
     std::vector<GateId> gates;
+    // The ranked head and the stride sweep overlap whenever a critical
+    // gate's id lands on the stride; take-once keeps the sample duplicate
+    // free (the sweep walks on to the next stride point).
+    std::vector<bool> taken(gate_count, false);
+    const auto take = [&gates, &taken](GateId g) {
+        if (taken[g.index()]) return;
+        taken[g.index()] = true;
+        gates.push_back(g);
+    };
     for (std::size_t i = 0; i < count / 2 && i < ranked.size(); ++i)
-        gates.push_back(ranked[i].first);
+        take(ranked[i].first);
     const std::size_t stride =
-        std::max<std::size_t>(1, ctx.nl().gate_count() / (count / 2 + 1));
-    for (std::size_t gi = 0; gi < ctx.nl().gate_count() && gates.size() < count;
-         gi += stride)
-        gates.push_back(GateId{static_cast<std::uint32_t>(gi)});
+        std::max<std::size_t>(1, gate_count / (count / 2 + 1));
+    for (std::size_t gi = 0; gi < gate_count && gates.size() < count; gi += stride)
+        take(GateId{static_cast<std::uint32_t>(gi)});
     return gates;
 }
 

@@ -35,6 +35,12 @@ struct SelectorStats {
     std::size_t died{0};             ///< perturbation absorbed before the sink
     std::size_t nodes_computed{0};   ///< perturbed-arrival evaluations
     std::size_t levels_stepped{0};   ///< front level advances
+    /// Candidates absorbed from the SensitivityCache without racing a
+    /// front (already counted under completed/died; 0 nodes_computed).
+    std::size_t cache_hits{0};
+    /// Candidates the criticality floor deferred to the tail sweep (they
+    /// still race — against the head phase's near-final threshold).
+    std::size_t floor_deferred{0};
     double seconds{0.0};             ///< wall-clock for the whole selection
 };
 
@@ -61,6 +67,24 @@ struct SelectorConfig {
     double delta_w{0.25};
     double max_width{16.0};
     std::size_t threads{1};
+    /// Criticality floor of the pruned race's two-phase partition, as a
+    /// fraction of the maximum candidate criticality: candidates at or
+    /// above `crit_floor * max_crit` race first, the rest race second
+    /// against the head phase's already-tight threshold (so they prune at
+    /// their loosest bound instead of draining). Both phases share one
+    /// monotone k-th-best tracker, so the picks are bitwise identical to
+    /// the unpartitioned race for ANY partition — the floor only moves
+    /// work counters. Negative (default) resolves STATIM_CRIT_FLOOR
+    /// (default 0.05); 0 disables the partition.
+    double crit_floor{-1.0};
+    /// Consult/maintain ctx.sensitivity_cache() across passes: candidates
+    /// whose last finished front provably still holds (engine journal)
+    /// replay their outcome instead of racing. Off by default at this
+    /// level so raw selector calls stay self-contained (A/B comparisons
+    /// on one context would otherwise compare a race against its own
+    /// replay); the sizing loops turn it on. STATIM_SELECTOR_CACHE=0
+    /// force-disables it globally.
+    bool sensitivity_cache{false};
 };
 
 /// The paper's pruned selection (requires ctx.run_ssta() beforehand).
@@ -83,7 +107,9 @@ struct RankedPick {
 /// an id-stride sweep across the whole netlist (covers low-sensitivity /
 /// dead-front behaviour on big circuits). Requires a completed SSTA run;
 /// the bench and test populations stay in sync by sharing this one
-/// definition. Deduplication is not attempted (a gate can appear twice).
+/// definition. Deduplicated: a gate the ranked head already took is
+/// skipped by the stride sweep (which walks on to the next id), so the
+/// result never evaluates one gate twice.
 [[nodiscard]] std::vector<GateId> sample_candidate_gates(Context& ctx,
                                                          std::size_t count);
 

@@ -1,0 +1,161 @@
+#include "core/sensitivity_cache.hpp"
+
+#include <cassert>
+
+#include "netlist/timing_graph.hpp"
+#include "ssta/engine.hpp"
+
+namespace statim::core {
+
+void SensitivityCache::bind(std::size_t gate_count, std::size_t node_count) {
+    if (entries_.size() < gate_count) entries_.resize(gate_count);
+    if (users_of_.size() < node_count) users_of_.resize(node_count);
+}
+
+bool SensitivityCache::lookup(GateId g, double delta_w, double width,
+                              const Objective& objective, std::uint64_t revision,
+                              Replay& out) noexcept {
+    // Until the first on_engine_update the cache cannot know which
+    // revision its entries were synced against; stay cold.
+    if (!revision_known_ || revision != synced_revision_ ||
+        g.index() >= entries_.size()) {
+        ++stats_.misses;
+        return false;
+    }
+    const Entry& e = entries_[g.index()];
+    // Bitwise double compares on purpose: the contract is "replays the
+    // exact evaluation", and any representational difference in the step
+    // or the current width means it is not the same evaluation.
+    if (!e.valid || e.delta_w != delta_w || e.width != width ||
+        e.objective_kind != static_cast<std::uint8_t>(objective.kind) ||
+        e.objective_p != objective.p) {
+        ++stats_.misses;
+        return false;
+    }
+    out.sensitivity = e.sensitivity;
+    out.completed_sink = e.completed_sink;
+    ++stats_.hits;
+    return true;
+}
+
+void SensitivityCache::store(GateId g, double delta_w, double width,
+                             const Objective& objective, std::uint64_t revision,
+                             double sensitivity, bool completed_sink,
+                             std::span<const NodeId> support) {
+    if (support.size() > kMaxSupportNodes) return;
+    if (g.index() >= entries_.size()) return;  // bind() not sized for this circuit
+    // An entry stored against a revision the cache has not synced to
+    // would dodge the journal sweep that should invalidate it. Normal
+    // selector passes never hit this (the selector runs strictly between
+    // engine refresh and the next commit); defend against misuse by
+    // wiping instead of going stale.
+    if (!revision_known_ || revision != synced_revision_) {
+        invalidate_all();
+        synced_revision_ = revision;
+        revision_known_ = true;
+    }
+
+    Entry& e = entries_[g.index()];
+    if (e.valid) {
+        --valid_count_;
+        users_live_ -= e.support_size;
+    }
+    e.delta_w = delta_w;
+    e.width = width;
+    e.sensitivity = sensitivity;
+    e.objective_p = objective.p;
+    e.objective_kind = static_cast<std::uint8_t>(objective.kind);
+    e.completed_sink = completed_sink;
+    e.support_size = static_cast<std::uint32_t>(support.size());
+    ++e.stamp;
+    e.valid = true;
+    ++valid_count_;
+    ++stats_.stores;
+
+    const auto gate32 = static_cast<std::uint32_t>(g.index());
+    for (const NodeId n : support) {
+        assert(n.index() < users_of_.size());
+        users_of_[n.index()].push_back(User{gate32, e.stamp});
+    }
+    users_live_ += support.size();
+    users_total_ += support.size();
+    // Stale pairs (stamp mismatch after re-stores) accumulate; sweep them
+    // once they dominate, keeping the sweep amortized O(1) per store.
+    if (users_total_ > 2 * users_live_ + 1024) compact_users();
+}
+
+void SensitivityCache::invalidate_entry(std::uint32_t gate_index) noexcept {
+    Entry& e = entries_[gate_index];
+    if (!e.valid) return;
+    e.valid = false;
+    --valid_count_;
+    users_live_ -= e.support_size;
+    ++stats_.invalidated;
+}
+
+void SensitivityCache::touch(NodeId n) noexcept {
+    if (n.index() >= users_of_.size()) return;
+    for (const User& u : users_of_[n.index()]) {
+        if (entries_[u.gate].valid && entries_[u.gate].stamp == u.stamp)
+            invalidate_entry(u.gate);
+    }
+}
+
+void SensitivityCache::on_engine_update(const ssta::SstaEngine& engine,
+                                        const netlist::TimingGraph& graph) {
+    const std::uint64_t revision = engine.revision();
+    if (revision_known_ && revision == synced_revision_) return;
+
+    const bool consecutive =
+        revision_known_ && revision == synced_revision_ + 1 &&
+        !engine.last_update_stats().full_run;
+    if (!consecutive || valid_count_ == 0) {
+        // Full run, missed revisions, or nothing cached: the journal
+        // either does not describe the whole delta or has nothing to
+        // invalidate against.
+        if (valid_count_ != 0) {
+            invalidate_all();
+            ++stats_.full_invalidations;
+        }
+        synced_revision_ = revision;
+        revision_known_ = true;
+        return;
+    }
+
+    // Incremental update: kill every entry whose support holds a touched
+    // node. Touched = changed nodes (their base arrivals moved — fronts
+    // read those through arrival_of), fanout heads of changed nodes
+    // (their *fanin* arrival moved — fronts read predecessor arrivals
+    // when recomputing a node), and heads of changed edges (their
+    // in-edge delay PDFs moved). See the header's exactness argument.
+    for (const NodeId n : engine.last_changed_nodes()) {
+        touch(n);
+        for (const EdgeId out : graph.out_edges(n)) touch(graph.edge(out).to);
+    }
+    for (const EdgeId e : engine.last_changed_edges()) touch(graph.edge(e).to);
+    synced_revision_ = revision;
+}
+
+void SensitivityCache::invalidate_all() noexcept {
+    if (valid_count_ != 0) {
+        for (Entry& e : entries_) e.valid = false;
+        stats_.invalidated += valid_count_;
+        valid_count_ = 0;
+    }
+    for (auto& users : users_of_) users.clear();
+    users_live_ = users_total_ = 0;
+}
+
+void SensitivityCache::compact_users() {
+    for (auto& users : users_of_) {
+        std::size_t keep = 0;
+        for (const User& u : users) {
+            if (entries_[u.gate].valid && entries_[u.gate].stamp == u.stamp)
+                users[keep++] = u;
+        }
+        users.resize(keep);
+    }
+    users_total_ = users_live_;
+}
+
+}  // namespace statim::core

@@ -1,0 +1,155 @@
+// Cross-pass sensitivity cache for the pruned selector.
+//
+// A selector pass evaluates one perturbation front per candidate gate; at
+// steady state most of those fronts are *unchanged* from the previous
+// pass — the committed picks moved arrivals in a narrow cone, and every
+// front whose evaluation support lies outside that cone would reproduce
+// the exact same doubles. This cache replays those outcomes instead of
+// re-racing them, keyed on the SSTA engine's revision counter and
+// invalidated through its changed-node/edge journal, so a replayed
+// sensitivity is *provably* bitwise identical to a fresh evaluation.
+//
+// The exactness argument. A front for gate g with width step Δw computes
+// a deterministic function of
+//   * the base arrivals of its computed nodes C and of their fanins,
+//   * the delay PDFs of every in-edge of a node in C,
+//   * the trial-perturbed edge PDFs (their heads are the front's seeds,
+//     and the seeds are always computed: seeds ⊆ C), and
+//   * for fronts that reach the sink, the base sink arrival (sink ∈ C).
+// An entry therefore stays valid across an engine update() iff no changed
+// arrival or changed edge can reach that set — conservatively: no touched
+// node (changed node, fanout head of a changed node, or head of a changed
+// edge) lies in C. A fanin whose arrival moved makes its consumer in C a
+// fanout head; an in-edge whose delay moved makes its head in C the head
+// of a changed edge; the trial's own perturbed PDFs are a function of g's
+// width (compared bitwise at lookup) and of the base delays of g's
+// affected edges, whose heads are seeds ⊆ C. Entries whose support
+// exceeded kMaxSupportNodes are never stored (their invalidation would be
+// imprecise), and a full run() or a missed revision invalidates
+// everything. tests/test_selector_cache.cpp property-tests the contract
+// across commit sequences, threads, batch sizes and SIMD levels.
+//
+// Who survives in practice: fronts that *died* (the perturbation was
+// absorbed before the sink — sensitivity exactly 0) have small supports
+// far from the action and make up the bulk of a converged netlist, which
+// is where the cross-pass savings come from. Completed fronts hold the
+// sink in their support, and commits almost always move the sink
+// arrival, so they re-race — correctly, since their sensitivity was
+// measured against the old base objective.
+//
+// Not thread-safe: lookups/stores happen on the selector pass's calling
+// thread (stores run serially after the shard race joins); one cache
+// belongs to one Context.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "util/types.hpp"
+
+namespace statim::ssta {
+class SstaEngine;
+}
+namespace statim::netlist {
+class TimingGraph;
+}
+
+namespace statim::core {
+
+class SensitivityCache {
+  public:
+    /// Supports larger than this are not cached: a front that flooded a
+    /// third of the circuit would be invalidated by nearly every commit
+    /// anyway, and storing its node list would cost more than the replay
+    /// saves. Dead fronts — the cache's payload — sit far below the cap.
+    static constexpr std::uint32_t kMaxSupportNodes = 128;
+
+    struct Stats {
+        std::uint64_t hits{0};
+        std::uint64_t misses{0};
+        std::uint64_t stores{0};
+        std::uint64_t invalidated{0};         ///< entries killed by journal overlap
+        std::uint64_t full_invalidations{0};  ///< full run / missed revision wipes
+    };
+
+    /// A replayed outcome: the finished front's exact sensitivity and
+    /// whether it reached the sink (Completed) or died (Died).
+    struct Replay {
+        double sensitivity{0.0};
+        bool completed_sink{false};
+    };
+
+    /// Sizes the per-gate entry table and the per-node inverted index
+    /// (idempotent; called by the selector before the first lookup).
+    void bind(std::size_t gate_count, std::size_t node_count);
+
+    /// Replays gate `g`'s outcome into `out` when its entry is valid for
+    /// the engine revision `revision`, the identical width step and
+    /// current width (bitwise), and the same objective. Returns false —
+    /// a miss — otherwise.
+    [[nodiscard]] bool lookup(GateId g, double delta_w, double width,
+                              const Objective& objective, std::uint64_t revision,
+                              Replay& out) noexcept;
+
+    /// Records a *finished* (completed or died, never pruned) front's
+    /// outcome with its computed-node support. Skips supports over
+    /// kMaxSupportNodes. `revision` must be the engine revision the front
+    /// was evaluated against.
+    void store(GateId g, double delta_w, double width, const Objective& objective,
+               std::uint64_t revision, double sensitivity, bool completed_sink,
+               std::span<const NodeId> support);
+
+    /// Syncs the cache with the engine after a run()/update():
+    /// incremental updates invalidate exactly the entries whose support
+    /// overlaps the touched set (changed nodes, their fanout heads, heads
+    /// of changed edges); full runs and revision gaps invalidate all.
+    /// Cheap (a few branches) while the cache is empty.
+    void on_engine_update(const ssta::SstaEngine& engine,
+                          const netlist::TimingGraph& graph);
+
+    /// Drops every entry (e.g. after rebuild_timing or a grid change).
+    void invalidate_all() noexcept;
+
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+    [[nodiscard]] std::size_t valid_entries() const noexcept { return valid_count_; }
+    [[nodiscard]] std::uint64_t synced_revision() const noexcept {
+        return synced_revision_;
+    }
+
+  private:
+    struct Entry {
+        double delta_w{0.0};
+        double width{0.0};
+        double sensitivity{0.0};
+        double objective_p{0.0};
+        std::uint32_t stamp{0};  ///< bumped per store; stale index pairs mismatch
+        std::uint32_t support_size{0};
+        std::uint8_t objective_kind{0};
+        bool completed_sink{false};
+        bool valid{false};
+    };
+    /// One inverted-index pair: gate `gate`'s entry depended on this node
+    /// when its stamp was `stamp`. Pairs are never eagerly removed; a
+    /// pair whose stamp no longer matches the entry's is stale and
+    /// skipped (and swept by compact_users once they outnumber the live).
+    struct User {
+        std::uint32_t gate{0};
+        std::uint32_t stamp{0};
+    };
+
+    void invalidate_entry(std::uint32_t gate_index) noexcept;
+    void touch(NodeId n) noexcept;
+    void compact_users();
+
+    std::vector<Entry> entries_;             // per gate
+    std::vector<std::vector<User>> users_of_;  // per node
+    std::size_t users_live_{0}, users_total_{0};
+    std::size_t valid_count_{0};
+    std::uint64_t synced_revision_{0};
+    bool revision_known_{false};
+    Stats stats_;
+};
+
+}  // namespace statim::core

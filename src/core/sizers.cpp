@@ -22,8 +22,9 @@ StatisticalSizerLoop::StatisticalSizerLoop(Context& ctx,
             "StatisticalSizerConfig: gates_per_iteration must be >= 1 "
             "(or 0 to resolve from STATIM_BATCH)");
     batch_ = config.gates_per_iteration > 0 ? config.gates_per_iteration : env_batch();
-    selector_config_ = SelectorConfig{config.objective, config.delta_w,
-                                      config.max_width, config.threads};
+    selector_config_ = SelectorConfig{config.objective,  config.delta_w,
+                                      config.max_width,  config.threads,
+                                      config.crit_floor, config.selector_cache};
 
     ctx.set_incremental_ssta(config.incremental_ssta);
     ctx.set_ssta_threads(config.threads);

@@ -54,6 +54,16 @@ struct StatisticalSizerConfig {
     /// re-running the full SSTA. Bit-identical either way; off is the
     /// reference path kept for A/B benching.
     bool incremental_ssta{true};
+    /// Criticality floor of the selector's two-phase race (see
+    /// SelectorConfig.crit_floor): picks are bitwise identical for any
+    /// value. Negative (default) resolves STATIM_CRIT_FLOOR; 0 disables.
+    double crit_floor{-1.0};
+    /// Replay provably-unchanged candidate outcomes across selector
+    /// passes from the context's SensitivityCache (on by default — the
+    /// sizing loop is the cross-pass workload the cache exists for;
+    /// selections are bitwise identical either way). STATIM_SELECTOR_CACHE=0
+    /// force-disables globally.
+    bool selector_cache{true};
 };
 
 /// One committed gate. Batched iterations append one record per applied

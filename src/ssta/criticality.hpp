@@ -68,6 +68,19 @@ class IncrementalCriticality {
     [[nodiscard]] bool has_result() const noexcept { return valid_; }
     [[nodiscard]] const CriticalityResult& result() const noexcept { return result_; }
 
+    /// Criticality of `g`'s output node — the probability the gate lies
+    /// on the statistically longest path. O(1); requires a completed
+    /// refresh() (the selector's criticality-floor pre-filter calls this
+    /// per candidate).
+    [[nodiscard]] double gate_criticality(GateId g) const {
+        return result_.node[graph_->output_node(g).index()];
+    }
+
+    /// The engine revision the cached result reflects (diagnostics).
+    [[nodiscard]] std::uint64_t seen_revision() const noexcept {
+        return seen_revision_;
+    }
+
     /// Local splits recomputed by the last refresh (diagnostics/tests).
     [[nodiscard]] std::size_t last_splits_recomputed() const noexcept {
         return last_splits_recomputed_;

@@ -1,0 +1,461 @@
+// Exactness of the selector's cross-pass work-avoidance layers (the
+// criticality-floor two-phase partition and the revision-keyed
+// sensitivity cache, src/core/sensitivity_cache.hpp): every selection
+// and every sizing trajectory must be bitwise identical with the layers
+// on or off, across commit sequences, thread counts, batch sizes and
+// forced SIMD levels. Also the regression test for
+// sample_candidate_gates' duplicate-free contract.
+//
+// Suite names all start with SelectorCache so the CI TSan leg's
+// --gtest_filter '*SelectorCache*' and the STATIM_CRIT_FLOOR=0 Release
+// leg's -R filter both catch them.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/selector.hpp"
+#include "core/sensitivity_cache.hpp"
+#include "core/sizers.hpp"
+#include "netlist/iscas.hpp"
+#include "prob/kernels/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace statim::core {
+namespace {
+
+using netlist::Netlist;
+
+bool heavy_tests() {
+    const char* env = std::getenv("STATIM_HEAVY_TESTS");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+#ifdef NDEBUG
+constexpr bool kOptimizedBuild = true;
+#else
+constexpr bool kOptimizedBuild = false;
+#endif
+
+/// Restores the process-wide SIMD dispatch and selector env knobs a test
+/// forces; selector tests must not leak state into the rest of the suite.
+class EnvGuard {
+  public:
+    EnvGuard()
+        : level_(prob::kernels::active().level),
+          fast_math_(prob::kernels::active().fast_math) {}
+    ~EnvGuard() {
+        prob::kernels::force(level_, fast_math_);
+        ::unsetenv("STATIM_CRIT_FLOOR");
+        ::unsetenv("STATIM_SELECTOR_CACHE");
+    }
+    EnvGuard(const EnvGuard&) = delete;
+    EnvGuard& operator=(const EnvGuard&) = delete;
+
+  private:
+    prob::kernels::Level level_;
+    bool fast_math_;
+};
+
+/// The layers under test: floor < 0 resolves STATIM_CRIT_FLOOR (default
+/// 0.05), floor == 0 disables the partition; the cache defaults off in
+/// raw SelectorConfig, so tests opt in explicitly.
+SelectorConfig make_config(std::size_t threads, double crit_floor, bool cache) {
+    return SelectorConfig{Objective::percentile(0.99), 0.25, 16.0,
+                          threads,                     crit_floor, cache};
+}
+
+void expect_selection_equal(const Selection& got, const Selection& ref,
+                            const std::string& label) {
+    EXPECT_EQ(got.gate, ref.gate) << label;
+    EXPECT_EQ(got.sensitivity, ref.sensitivity) << label;  // bitwise
+}
+
+/// The selector's accounting identity: every candidate is completed,
+/// pruned or died, and cache replays never invent or drop candidates.
+void expect_stats_consistent(const SelectorStats& s, const std::string& label) {
+    EXPECT_EQ(s.candidates, s.completed + s.pruned + s.died) << label;
+    EXPECT_LE(s.cache_hits, s.completed + s.died) << label;
+    EXPECT_LE(s.floor_deferred, s.candidates) << label;
+}
+
+// ---- satellite: sample_candidate_gates is duplicate free -----------------
+
+TEST(SelectorCacheSample, SampleCandidateGatesIsDuplicateFree) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    for (const char* circuit : {"c17", "c432", "c880"}) {
+        Netlist nl = netlist::make_iscas(circuit, lib);
+        Context ctx(nl, lib);
+        ctx.run_ssta();
+        // Small counts make the ranked head and the stride sweep overlap
+        // (a critical gate's id lands on a stride point) — exactly the
+        // case that used to emit duplicates.
+        for (const std::size_t count :
+             {std::size_t{4}, std::size_t{8}, std::size_t{24}, std::size_t{96},
+              nl.gate_count(), 4 * nl.gate_count()}) {
+            const std::vector<GateId> gates = sample_candidate_gates(ctx, count);
+            std::set<std::uint32_t> seen;
+            for (GateId g : gates) {
+                EXPECT_LT(g.index(), nl.gate_count()) << circuit;
+                EXPECT_TRUE(seen.insert(g.value).second)
+                    << circuit << ": duplicate gate " << g.value << " in a "
+                    << count << "-gate sample";
+            }
+            EXPECT_LE(gates.size(), std::min(count, nl.gate_count())) << circuit;
+        }
+    }
+}
+
+// ---- SensitivityCache unit invariants ------------------------------------
+
+TEST(SelectorCacheUnit, LookupKeysOnRevisionWidthStepAndObjective) {
+    SensitivityCache cache;
+    cache.bind(8, 16);
+    const GateId g{3};
+    const std::vector<NodeId> support{NodeId{4}, NodeId{5}};
+    const Objective p99 = Objective::percentile(0.99);
+    cache.store(g, 0.25, 1.0, p99, 7, 0.125, false, support);
+
+    SensitivityCache::Replay replay;
+    ASSERT_TRUE(cache.lookup(g, 0.25, 1.0, p99, 7, replay));
+    EXPECT_EQ(replay.sensitivity, 0.125);
+    EXPECT_FALSE(replay.completed_sink);
+
+    // Any key component moving is a miss: revision, width step, current
+    // width (bitwise), objective kind or percentile point.
+    EXPECT_FALSE(cache.lookup(g, 0.25, 1.0, p99, 8, replay));
+    EXPECT_FALSE(cache.lookup(g, 0.5, 1.0, p99, 7, replay));
+    EXPECT_FALSE(cache.lookup(g, 0.25, 1.25, p99, 7, replay));
+    EXPECT_FALSE(cache.lookup(g, 0.25, 1.0, Objective::percentile(0.95), 7, replay));
+    EXPECT_FALSE(cache.lookup(g, 0.25, 1.0, Objective::mean(), 7, replay));
+    EXPECT_FALSE(cache.lookup(GateId{4}, 0.25, 1.0, p99, 7, replay));
+
+    EXPECT_EQ(cache.valid_entries(), 1u);
+    cache.invalidate_all();
+    EXPECT_EQ(cache.valid_entries(), 0u);
+    EXPECT_FALSE(cache.lookup(g, 0.25, 1.0, p99, 7, replay));
+}
+
+TEST(SelectorCacheUnit, OversizedSupportsAreNeverStored) {
+    SensitivityCache cache;
+    cache.bind(4, 4096);
+    std::vector<NodeId> support;
+    for (std::uint32_t n = 0; n <= SensitivityCache::kMaxSupportNodes; ++n)
+        support.push_back(NodeId{n});
+    const Objective p99 = Objective::percentile(0.99);
+    cache.store(GateId{0}, 0.25, 1.0, p99, 1, 0.5, true, support);
+    SensitivityCache::Replay replay;
+    EXPECT_FALSE(cache.lookup(GateId{0}, 0.25, 1.0, p99, 1, replay));
+    EXPECT_EQ(cache.valid_entries(), 0u);
+
+    // Exactly at the cap the entry is kept.
+    support.pop_back();
+    cache.store(GateId{0}, 0.25, 1.0, p99, 1, 0.5, true, support);
+    EXPECT_TRUE(cache.lookup(GateId{0}, 0.25, 1.0, p99, 1, replay));
+    EXPECT_EQ(replay.sensitivity, 0.5);
+    EXPECT_TRUE(replay.completed_sink);
+}
+
+TEST(SelectorCacheUnit, RevisionMismatchOnStoreDropsStaleEntries) {
+    SensitivityCache cache;
+    cache.bind(4, 16);
+    const Objective p99 = Objective::percentile(0.99);
+    const std::vector<NodeId> support{NodeId{1}};
+    cache.store(GateId{0}, 0.25, 1.0, p99, 3, 0.1, false, support);
+    ASSERT_EQ(cache.valid_entries(), 1u);
+    // A store against a different revision proves the cache missed an
+    // engine update — everything cached before it is untrusted.
+    cache.store(GateId{1}, 0.25, 1.0, p99, 4, 0.2, false, support);
+    SensitivityCache::Replay replay;
+    EXPECT_FALSE(cache.lookup(GateId{0}, 0.25, 1.0, p99, 3, replay));
+    EXPECT_FALSE(cache.lookup(GateId{0}, 0.25, 1.0, p99, 4, replay));
+    EXPECT_TRUE(cache.lookup(GateId{1}, 0.25, 1.0, p99, 4, replay));
+    EXPECT_EQ(cache.synced_revision(), 4u);
+}
+
+// ---- criticality floor: partition exactness + stats ----------------------
+
+TEST(SelectorCacheFloor, FloorPartitionMatchesPlainRace) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    for (const char* circuit : {"c432", "c880", "c1355"}) {
+        Netlist nl = netlist::make_iscas(circuit, lib);
+        Context ctx(nl, lib);
+        ctx.run_ssta();
+        const Selection ref = select_pruned(ctx, make_config(1, 0.0, false));
+        EXPECT_EQ(ref.stats.floor_deferred, 0u) << circuit;
+        for (const double floor : {0.01, 0.05, 0.5, 0.99}) {
+            for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+                const Selection got =
+                    select_pruned(ctx, make_config(threads, floor, false));
+                const std::string label = std::string(circuit) + " floor " +
+                                          std::to_string(floor) + " threads " +
+                                          std::to_string(threads);
+                expect_selection_equal(got, ref, label);
+                expect_stats_consistent(got.stats, label);
+            }
+        }
+        // A mid floor on a real criticality profile must actually defer
+        // work to the tail phase — otherwise the layer is dead code.
+        const Selection mid = select_pruned(ctx, make_config(1, 0.5, false));
+        EXPECT_GT(mid.stats.floor_deferred, 0u) << circuit;
+    }
+}
+
+TEST(SelectorCacheFloor, EnvFloorResolutionAndKillSwitch) {
+    EnvGuard guard;
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c880", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    const Selection ref = select_pruned(ctx, make_config(1, 0.0, false));
+
+    // crit_floor < 0 resolves STATIM_CRIT_FLOOR; 0 forces the partition
+    // off regardless of the default.
+    ::setenv("STATIM_CRIT_FLOOR", "0.5", 1);
+    const Selection env_on = select_pruned(ctx, make_config(1, -1.0, false));
+    expect_selection_equal(env_on, ref, "STATIM_CRIT_FLOOR=0.5");
+    EXPECT_GT(env_on.stats.floor_deferred, 0u);
+
+    ::setenv("STATIM_CRIT_FLOOR", "0", 1);
+    const Selection env_off = select_pruned(ctx, make_config(1, -1.0, false));
+    expect_selection_equal(env_off, ref, "STATIM_CRIT_FLOOR=0");
+    EXPECT_EQ(env_off.stats.floor_deferred, 0u);
+
+    // An explicit config floor wins over the environment.
+    ::setenv("STATIM_CRIT_FLOOR", "0.9", 1);
+    const Selection cfg_off = select_pruned(ctx, make_config(1, 0.0, false));
+    expect_selection_equal(cfg_off, ref, "explicit 0 overrides env");
+    EXPECT_EQ(cfg_off.stats.floor_deferred, 0u);
+}
+
+// ---- cache replay: hit accounting + bitwise identity ---------------------
+
+TEST(SelectorCacheReplay, SteadyStatePassReplaysAndMatchesFresh) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl_cached = netlist::make_iscas("c880", lib);
+    Netlist nl_plain = netlist::make_iscas("c880", lib);
+    Context cached(nl_cached, lib);
+    Context plain(nl_plain, lib);
+    cached.run_ssta();
+    plain.run_ssta();
+    const SelectorConfig cfg_cached = make_config(2, 0.05, true);
+    const SelectorConfig cfg_plain = make_config(1, 0.0, false);
+
+    const Selection first = select_pruned(cached, cfg_cached);
+    EXPECT_EQ(first.stats.cache_hits, 0u);
+    expect_selection_equal(first, select_pruned(plain, cfg_plain), "cold pass");
+
+    // Unchanged engine: every stored (completed or died, support under
+    // the cap) candidate replays; only the pruned remainder re-races.
+    const Selection second = select_pruned(cached, cfg_cached);
+    expect_selection_equal(second, first, "warm pass");
+    expect_stats_consistent(second.stats, "warm pass");
+    EXPECT_GT(second.stats.cache_hits, 0u);
+    EXPECT_LT(second.stats.nodes_computed, first.stats.nodes_computed);
+    EXPECT_GT(cached.sensitivity_cache().stats().hits, 0u);
+
+    // After a commit the journal invalidates the commit's cone; the pass
+    // on the refreshed state still matches the cache-free selector.
+    ASSERT_TRUE(first.gate.is_valid());
+    (void)cached.apply_resize(first.gate, cfg_cached.delta_w);
+    (void)plain.apply_resize(first.gate, cfg_plain.delta_w);
+    cached.refresh_ssta();
+    plain.refresh_ssta();
+    const Selection after = select_pruned(cached, cfg_cached);
+    expect_selection_equal(after, select_pruned(plain, cfg_plain), "post-commit");
+    expect_stats_consistent(after.stats, "post-commit");
+}
+
+TEST(SelectorCacheReplay, KillSwitchDisablesTheCache) {
+    EnvGuard guard;
+    ::setenv("STATIM_SELECTOR_CACHE", "0", 1);
+    const cells::Library lib = cells::Library::standard_180nm();
+    Netlist nl = netlist::make_iscas("c432", lib);
+    Context ctx(nl, lib);
+    ctx.run_ssta();
+    const SelectorConfig cfg = make_config(1, 0.0, true);
+    const Selection first = select_pruned(ctx, cfg);
+    const Selection second = select_pruned(ctx, cfg);
+    expect_selection_equal(second, first, "kill switch");
+    EXPECT_EQ(second.stats.cache_hits, 0u);
+    EXPECT_EQ(ctx.sensitivity_cache().stats().stores, 0u);
+}
+
+// ---- adversarial commit sequences ----------------------------------------
+
+/// Random commit sequences — upsizes of the pick itself (a commit inside
+/// the cached winner's own cone), random off-path commits, downsizes,
+/// and a tight width cap that moves gates on and off the eligible list —
+/// with a cached+floored context checked against a plain one each step.
+TEST(SelectorCacheAdversarial, RandomCommitSequencesMatchPlainSelector) {
+    const cells::Library lib = cells::Library::standard_180nm();
+    for (const char* circuit : {"c432", "c880"}) {
+        Netlist nl_cached = netlist::make_iscas(circuit, lib);
+        Netlist nl_plain = netlist::make_iscas(circuit, lib);
+        Context cached(nl_cached, lib);
+        Context plain(nl_plain, lib);
+        cached.run_ssta();
+        plain.run_ssta();
+
+        // Tight cap: after a few upsizes gates start saturating, so the
+        // candidate set itself changes between passes (the width-grid
+        // edge case — a cached gate leaving or re-entering eligibility).
+        SelectorConfig cfg_cached = make_config(2, 0.05, true);
+        SelectorConfig cfg_plain = make_config(1, 0.0, false);
+        cfg_cached.max_width = cfg_plain.max_width = 2.0;
+
+        Rng rng(hash_name(circuit));
+        const auto gate_count = static_cast<std::uint32_t>(nl_cached.gate_count());
+        for (int step = 0; step < 24; ++step) {
+            const std::string label =
+                std::string(circuit) + " step " + std::to_string(step);
+            const Selection got = select_pruned(cached, cfg_cached);
+            const Selection ref = select_pruned(plain, cfg_plain);
+            expect_selection_equal(got, ref, label);
+            expect_stats_consistent(got.stats, label);
+
+            if (step % 5 == 1) {
+                // The batched path shares the cache too: top-k picks and
+                // their ranking must agree as well.
+                const TopKSelection topk_got =
+                    select_top_k(cached, cfg_cached, 3, SelectorKind::Pruned);
+                const TopKSelection topk_ref =
+                    select_top_k(plain, cfg_plain, 3, SelectorKind::Pruned);
+                ASSERT_EQ(topk_got.picks.size(), topk_ref.picks.size()) << label;
+                for (std::size_t i = 0; i < topk_ref.picks.size(); ++i) {
+                    EXPECT_EQ(topk_got.picks[i].gate, topk_ref.picks[i].gate)
+                        << label << " pick " << i;
+                    EXPECT_EQ(topk_got.picks[i].sensitivity,
+                              topk_ref.picks[i].sensitivity)
+                        << label << " pick " << i;
+                }
+            }
+
+            // Commit: the pick itself (inside its cached cone), a random
+            // gate, or a downsize (the journal must catch all three).
+            GateId g = ref.gate;
+            double delta = cfg_plain.delta_w;
+            const auto roll = rng() % 4;
+            if (!g.is_valid() || roll == 1) {
+                g = GateId{static_cast<std::uint32_t>(rng() % gate_count)};
+            } else if (roll == 2) {
+                g = GateId{static_cast<std::uint32_t>(rng() % gate_count)};
+                if (nl_plain.gate(g).width >= 1.25) delta = -0.25;
+            }
+            (void)cached.apply_resize(g, delta);
+            (void)plain.apply_resize(g, delta);
+            cached.refresh_ssta();
+            plain.refresh_ssta();
+        }
+    }
+}
+
+// ---- full trajectories: threads x batch x layers -------------------------
+
+struct StepRecord {
+    GateId gate;
+    double sensitivity;
+    double objective;
+};
+
+std::vector<StepRecord> run_trajectory(const std::string& circuit,
+                                       const cells::Library& lib, int iterations,
+                                       std::size_t threads, int batch,
+                                       double crit_floor, bool cache) {
+    Netlist nl = netlist::make_iscas(circuit, lib);
+    Context ctx(nl, lib);
+    StatisticalSizerConfig cfg;
+    cfg.max_iterations = iterations;
+    cfg.threads = threads;
+    cfg.gates_per_iteration = batch;
+    cfg.crit_floor = crit_floor;
+    cfg.selector_cache = cache;
+    const SizingResult r = run_statistical_sizing(ctx, cfg);
+    std::vector<StepRecord> out;
+    out.reserve(r.history.size());
+    for (const auto& rec : r.history)
+        out.push_back({rec.gate, rec.sensitivity, rec.objective_after_ns});
+    return out;
+}
+
+void expect_trajectories_equal(const std::vector<StepRecord>& got,
+                               const std::vector<StepRecord>& ref,
+                               const std::string& label) {
+    ASSERT_EQ(got.size(), ref.size()) << label;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(got[i].gate, ref[i].gate) << label << " iter " << i;
+        EXPECT_EQ(got[i].sensitivity, ref[i].sensitivity) << label << " iter " << i;
+        EXPECT_EQ(got[i].objective, ref[i].objective) << label << " iter " << i;
+    }
+}
+
+class SelectorCacheTrajectory : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SelectorCacheTrajectory, LayeredSizingBitIdenticalAcrossThreadsAndBatch) {
+    const std::string circuit = GetParam();
+    const bool big = circuit != "c432";
+    if (big && circuit == "synth10k" && !heavy_tests())
+        GTEST_SKIP() << "synth10k matrix runs under STATIM_HEAVY_TESTS=1";
+    if (big && circuit == "c7552" && !kOptimizedBuild && !heavy_tests())
+        GTEST_SKIP() << "c7552 matrix needs an optimized build "
+                        "(STATIM_HEAVY_TESTS=1 forces it)";
+    const int iterations = big ? 4 : 12;
+    const cells::Library lib = cells::Library::standard_180nm();
+    // The full batch axis runs on c432; the big circuits keep the two
+    // interesting extremes so their default-suite cost stays bounded.
+    const std::vector<int> batches = big ? std::vector<int>{1, 8}
+                                         : std::vector<int>{1, 4, 8};
+    for (const int batch : batches) {
+        // Reference: both layers off, one thread.
+        const std::vector<StepRecord> ref =
+            run_trajectory(circuit, lib, iterations, 1, batch, 0.0, false);
+        for (const std::size_t threads :
+             {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+            const std::vector<StepRecord> got = run_trajectory(
+                circuit, lib, iterations, threads, batch, 0.05, true);
+            expect_trajectories_equal(
+                got, ref,
+                circuit + " batch " + std::to_string(batch) + " threads " +
+                    std::to_string(threads));
+        }
+        // Each layer alone, too — a bug masked by the other layer's
+        // interplay would hide from the combined run.
+        expect_trajectories_equal(
+            run_trajectory(circuit, lib, iterations, 2, batch, 0.0, true), ref,
+            circuit + " batch " + std::to_string(batch) + " cache-only");
+        expect_trajectories_equal(
+            run_trajectory(circuit, lib, iterations, 2, batch, 0.05, false), ref,
+            circuit + " batch " + std::to_string(batch) + " floor-only");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, SelectorCacheTrajectory,
+                         ::testing::Values("c432", "c7552", "synth10k"));
+
+// ---- forced SIMD levels ---------------------------------------------------
+
+TEST(SelectorCacheSimd, LayeredTrajectoryBitIdenticalAcrossForcedLevels) {
+    std::vector<prob::kernels::Level> levels;
+    for (const prob::kernels::Level l : prob::kernels::available_levels())
+        if (l != prob::kernels::Level::Scalar) levels.push_back(l);
+    if (levels.empty()) GTEST_SKIP() << "scalar-only host: nothing to cross-check";
+    EnvGuard guard;
+    const cells::Library lib = cells::Library::standard_180nm();
+    prob::kernels::force(prob::kernels::Level::Scalar, false);
+    const std::vector<StepRecord> ref =
+        run_trajectory("c432", lib, 10, 1, 2, 0.0, false);
+    for (const prob::kernels::Level level : levels) {
+        prob::kernels::force(level, false);
+        const std::vector<StepRecord> got =
+            run_trajectory("c432", lib, 10, 2, 2, 0.05, true);
+        expect_trajectories_equal(
+            got, ref,
+            std::string("level ") + prob::kernels::level_name(level));
+    }
+}
+
+}  // namespace
+}  // namespace statim::core

@@ -49,6 +49,11 @@ int usage(std::FILE* out) {
                  "  --threads N        worker threads [STATIM_THREADS, else cores]\n"
                  "  --simd LEVEL       PDF kernel dispatch: auto | scalar | avx2 | neon\n"
                  "                     (bitwise-identical speed knob) [STATIM_SIMD, else auto]\n"
+                 "  --crit-floor F     selector criticality floor in [0,1]; 0 disables\n"
+                 "                     (bitwise-identical speed knob)\n"
+                 "                     [STATIM_CRIT_FLOOR, else 0.05]\n"
+                 "  --selector-cache B replay unchanged candidate sensitivities across\n"
+                 "                     passes (bitwise-identical speed knob) [1]\n"
                  "  --full-ssta        disable the incremental refresh (A/B reference)\n"
                  "  --seed S           RNG stream seed [1]\n"
                  "\n"
@@ -81,9 +86,9 @@ std::string json_escape(const std::string& s) {
 
 const std::vector<std::string> kDesignFlags = {"circuit", "bench", "lib"};
 const std::vector<std::string> kScenarioFlags = {
-    "percentile", "mean",        "bins",   "selector", "delta-w", "max-width",
-    "iterations", "area-budget", "target", "batch",    "threads", "full-ssta",
-    "simd",       "seed"};
+    "percentile", "mean",        "bins",   "selector",   "delta-w", "max-width",
+    "iterations", "area-budget", "target", "batch",      "threads", "full-ssta",
+    "simd",       "seed",        "crit-floor", "selector-cache"};
 
 std::vector<std::string> known_flags(std::vector<std::string> extra) {
     std::vector<std::string> flags = kDesignFlags;
@@ -122,6 +127,8 @@ api::Scenario scenario_from_flags(const CliArgs& args) {
     s.threads = apply_threads_flag(args);
     s.incremental_ssta = !args.get_bool("full-ssta", false);
     s.simd = args.get("simd", "auto");
+    s.crit_floor = args.get_double("crit-floor", -1.0);
+    s.selector_cache = args.get_bool("selector-cache", true);
     s.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     s.validate();
     return s;
