@@ -1,0 +1,58 @@
+# Static-analysis helpers: a `lint` target that runs statim-lint (always)
+# and clang-tidy (when found) from one command, plus the Python interpreter
+# lookup shared with the lint ctest entries.
+#
+#   cmake --build build --target lint        # or: make -C build lint
+#
+# statim-lint is stdlib-only Python; clang-tidy consumes the
+# compile_commands.json that CMAKE_EXPORT_COMPILE_COMMANDS exports on every
+# configure. Neither is required to build — the target degrades to whatever
+# tooling the host has.
+
+find_package(Python3 COMPONENTS Interpreter QUIET)
+find_program(CLANG_TIDY_EXE NAMES clang-tidy clang-tidy-18 clang-tidy-17
+                                  clang-tidy-16 clang-tidy-15 clang-tidy-14)
+
+set(_lint_commands)
+if(Python3_FOUND)
+  list(APPEND _lint_commands
+       COMMAND ${Python3_EXECUTABLE} ${CMAKE_CURRENT_SOURCE_DIR}/tools/statim_lint
+               --root ${CMAKE_CURRENT_SOURCE_DIR})
+else()
+  message(STATUS "Python3 not found; `lint` target will skip statim-lint")
+endif()
+
+if(CLANG_TIDY_EXE)
+  # run-clang-tidy parallelizes across TUs when available; fall back to a
+  # plain serial invocation otherwise.
+  find_program(RUN_CLANG_TIDY_EXE NAMES run-clang-tidy run-clang-tidy-18
+                                        run-clang-tidy-17 run-clang-tidy-16
+                                        run-clang-tidy-15 run-clang-tidy-14)
+  if(RUN_CLANG_TIDY_EXE)
+    list(APPEND _lint_commands
+         COMMAND ${RUN_CLANG_TIDY_EXE} -clang-tidy-binary ${CLANG_TIDY_EXE}
+                 -p ${CMAKE_BINARY_DIR} -quiet
+                 ${CMAKE_CURRENT_SOURCE_DIR}/src/.*)
+  else()
+    file(GLOB_RECURSE _tidy_sources CONFIGURE_DEPENDS
+         ${CMAKE_CURRENT_SOURCE_DIR}/src/*.cpp)
+    list(APPEND _lint_commands
+         COMMAND ${CLANG_TIDY_EXE} -p ${CMAKE_BINARY_DIR} --quiet
+                 ${_tidy_sources})
+  endif()
+else()
+  message(STATUS "clang-tidy not found; `lint` target will run statim-lint only")
+endif()
+
+if(_lint_commands)
+  add_custom_target(lint
+    ${_lint_commands}
+    WORKING_DIRECTORY ${CMAKE_CURRENT_SOURCE_DIR}
+    COMMENT "Running statim-lint and clang-tidy (if available)"
+    VERBATIM)
+else()
+  add_custom_target(lint
+    COMMAND ${CMAKE_COMMAND} -E echo
+            "lint: neither Python3 nor clang-tidy found; nothing to run"
+    VERBATIM)
+endif()

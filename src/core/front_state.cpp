@@ -1,9 +1,10 @@
 #include "core/front_state.hpp"
 
 #include <atomic>
-#include <mutex>
 
 #include "prob/ops.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace statim::core {
 
@@ -43,14 +44,23 @@ namespace {
 // The pool is tiny state (a mutex and a vector of pointers); fronts check
 // out on construction and check in on destruction/completion. Raw new is
 // used over unique_ptr purely to keep the freelist a flat vector.
-std::mutex g_pool_mutex;
-std::vector<FrontState*> g_pool;  // guarded by g_pool_mutex
+//
+// Both the mutex and the freelist are *immortal* (bound to leaked heap
+// objects): worker threads release fronts from their TLS destructors
+// during static teardown, whose cross-TU order is unspecified, so the
+// pool must outlive every such release. Immortality also keeps pooled
+// FrontStates reachable at exit — the ASan/LSan leg then sees
+// "pooled forever", not a leak (a value global's destructor would free
+// the freelist buffer and orphan the states right before the leak check).
+util::Mutex& g_pool_mutex = *new util::Mutex();
+std::vector<FrontState*>& g_pool STATIM_GUARDED_BY(g_pool_mutex) =
+    *new std::vector<FrontState*>();
 
 }  // namespace
 
 FrontState* acquire_front_state() {
     {
-        const std::lock_guard<std::mutex> lock(g_pool_mutex);
+        const util::MutexLock lock(g_pool_mutex);
         if (!g_pool.empty()) {
             FrontState* state = g_pool.back();
             g_pool.pop_back();
@@ -63,12 +73,12 @@ FrontState* acquire_front_state() {
 void release_front_state(FrontState* state) noexcept {
     if (state == nullptr) return;
     state->reset();
-    const std::lock_guard<std::mutex> lock(g_pool_mutex);
+    const util::MutexLock lock(g_pool_mutex);
     g_pool.push_back(state);
 }
 
 void trim_front_state_pool(std::size_t keep) noexcept {
-    const std::lock_guard<std::mutex> lock(g_pool_mutex);
+    const util::MutexLock lock(g_pool_mutex);
     while (g_pool.size() > keep) {
         delete g_pool.back();
         g_pool.pop_back();

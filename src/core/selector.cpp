@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <queue>
 
 #include "core/sensitivity_cache.hpp"
 #include "ssta/criticality.hpp"
 #include "util/env.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -40,8 +41,10 @@ struct FrontOutcome {
 /// — makes a warm steady-state pass allocation-free apart from the
 /// returned picks (census: bench_front_drain --smoke). One scratch per
 /// thread: a pass runs on one thread, and concurrent passes (e.g.
-/// api::run_scenarios) live on distinct pool threads. The set leaks like
-/// the other pools so thread_local teardown order cannot bite.
+/// api::run_scenarios) live on distinct pool threads. A value
+/// thread_local: the destructor only touches the immortal front-state
+/// pool (released fronts are no-ops), so teardown order cannot bite, and
+/// a dying pool thread frees its scratch instead of leaking it.
 struct PassScratch {
     std::vector<GateId> gates;
     std::vector<PerturbationFront> fronts;
@@ -55,8 +58,8 @@ struct PassScratch {
 };
 
 PassScratch& pass_scratch() {
-    static thread_local PassScratch* scratch = new PassScratch();
-    return *scratch;
+    static thread_local PassScratch scratch;
+    return scratch;
 }
 
 /// Gates that may still grow by delta_w under the width cap, into the
@@ -198,7 +201,7 @@ class SharedKthBest {
 
     void add(double sens) {
         if (!(sens > 0.0)) return;
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         tracker_.add(sens);
         threshold_.store(tracker_.threshold(), std::memory_order_release);
     }
@@ -208,9 +211,9 @@ class SharedKthBest {
     }
 
   private:
-    std::mutex mutex_;
-    KthBestTracker tracker_;
-    std::atomic<double> threshold_{0.0};
+    util::Mutex mutex_;
+    KthBestTracker tracker_ STATIM_GUARDED_BY(mutex_);
+    std::atomic<double> threshold_{0.0};  // monotone snapshot, lock-free reads
 };
 
 /// Ranks completed candidates: sensitivity descending, gate id ascending

@@ -5,11 +5,19 @@ namespace statim::core {
 /// One buffer set per thread: trials on a thread never overlap (fronts
 /// are seeded while the trial is live, then it is destroyed before the
 /// next candidate), so the pool is an exclusive checkout with a private
-/// fallback for the nested case. The set is leaked on purpose —
-/// thread_local destruction order across TUs is unspecified.
+/// fallback for the nested case. A value thread_local: the destructor
+/// only frees plain containers, so teardown order cannot bite, and a
+/// dying pool thread frees its buffers instead of leaking them (the
+/// ASan/LSan leg checks exactly this).
+///
+/// Concurrency contract: the buffer set is thread-confined by
+/// construction (thread_local, never handed across threads), so no
+/// mutex guards it and clang's capability annotations do not apply —
+/// the `in_use` flag is a same-thread reentrancy latch, not a lock.
+/// The TSan CI leg enforces the confinement.
 TrialResize::Buffers& TrialResize::thread_pool_buffers() {
-    static thread_local Buffers* buffers = new Buffers();
-    return *buffers;
+    static thread_local Buffers buffers;
+    return buffers;
 }
 
 TrialResize::TrialResize(Context& ctx, GateId gate, double delta_w)

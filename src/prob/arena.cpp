@@ -58,6 +58,9 @@ void PdfArena::shrink_to_fit(std::size_t max_doubles) noexcept {
 }
 
 PdfArena& thread_arena() {
+    // Thread-confined by construction: a capability annotation cannot
+    // express "only the owning thread", so this invariant is enforced by
+    // the TSan CI leg instead (see util/thread_annotations.hpp).
     thread_local PdfArena arena;
     return arena;
 }

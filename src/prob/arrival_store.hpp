@@ -25,6 +25,12 @@
 // consumer-facing rule is simply "arrival views die at the next
 // run()/update()" — the same contract the heap-backed engine already
 // imposed by overwriting its Pdf slots.
+//
+// Concurrency contract: the store is single-writer — multi-shard waves
+// park per-shard results in wave arenas and the engine commits them
+// serially, so no mutex (and no capability annotation, see
+// util/thread_annotations.hpp) applies here; the TSan CI leg checks the
+// discipline end to end.
 #pragma once
 
 #include <cassert>

@@ -17,6 +17,8 @@ namespace {
 /// benign — both threads compute the same table from the same
 /// environment — and subsequent loads are a single acquire.
 std::atomic<const KernelTable*> g_active{nullptr};
+static_assert(std::atomic<const KernelTable*>::is_always_lock_free,
+              "kernel dispatch is read per operation and must stay lock-free");
 
 bool fast_math_env() { return env_int("STATIM_FAST_MATH", 0) != 0; }
 

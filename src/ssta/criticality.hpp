@@ -26,6 +26,7 @@
 // criticality_report example and the wall analysis tests.
 #pragma once
 
+#include <cassert>
 #include <vector>
 
 #include "ssta/engine.hpp"
@@ -39,8 +40,16 @@ struct CriticalityResult {
     /// Per node: probability the node lies on the longest path.
     std::vector<double> node;
 
-    [[nodiscard]] double of_edge(EdgeId e) const { return edge.at(e.index()); }
-    [[nodiscard]] double of_node(NodeId n) const { return node.at(n.index()); }
+    /// Unchecked in Release (debug-asserted): the selector's criticality
+    /// floor reads one of these per candidate gate per pass.
+    [[nodiscard]] double of_edge(EdgeId e) const noexcept {
+        assert(e.index() < edge.size());
+        return edge[e.index()];
+    }
+    [[nodiscard]] double of_node(NodeId n) const noexcept {
+        assert(n.index() < node.size());
+        return node[n.index()];
+    }
 };
 
 /// Computes criticalities from a completed SSTA run. O(E · bins).

@@ -1,5 +1,7 @@
 #include "ssta/edge_delays.hpp"
 
+#include <cassert>
+
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -36,7 +38,8 @@ void EdgeDelays::update_edges(std::span<const EdgeId> edges,
     // per trial resize, so it must not allocate once the slots are warm.
     for (EdgeId e : edges) {
         const double nominal = delays.edge_delay_ns(e);
-        prob::Pdf& slot = pdfs_.at(e.index());
+        assert(e.index() < pdfs_.size());
+        prob::Pdf& slot = pdfs_[e.index()];
         if (nominal == 0.0) slot.assign_point(0);  // virtual edge
         else
             prob::truncated_gaussian_into(grid_, nominal, sigma_fraction_ * nominal,
@@ -47,7 +50,10 @@ void EdgeDelays::update_edges(std::span<const EdgeId> edges,
 std::vector<prob::Pdf> EdgeDelays::snapshot(std::span<const EdgeId> edges) const {
     std::vector<prob::Pdf> saved;
     saved.reserve(edges.size());
-    for (EdgeId e : edges) saved.push_back(pdfs_.at(e.index()));
+    for (EdgeId e : edges) {
+        assert(e.index() < pdfs_.size());
+        saved.push_back(pdfs_[e.index()]);
+    }
     return saved;
 }
 
@@ -63,8 +69,10 @@ void EdgeDelays::snapshot_into(std::span<const EdgeId> edges,
     // Grow-only: shrinking would free the surplus slots' buffers and
     // re-pay the allocation on the next, larger snapshot.
     if (out.size() < edges.size()) out.resize(edges.size());
-    for (std::size_t i = 0; i < edges.size(); ++i)
-        out[i] = pdfs_.at(edges[i].index());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        assert(edges[i].index() < pdfs_.size());
+        out[i] = pdfs_[edges[i].index()];
+    }
 }
 
 void EdgeDelays::restore_copy(std::span<const EdgeId> edges,

@@ -28,6 +28,14 @@
 // arena and parks each arrival in the shard's dedicated wave arena, so
 // the result is bit-identical to the serial reference for any thread
 // count.
+//
+// Concurrency contract: the engine itself is externally synchronized —
+// one run()/update() at a time, from one thread (the wave shards it
+// spawns write disjoint, pre-sized slots and join before the serial
+// commit). No member is mutex-guarded, so clang's capability analysis
+// has nothing to annotate here; the cross-shard discipline (frozen
+// inputs, dedicated result slots, serial node-id-ordered commit) is
+// enforced by the TSan CI leg and the bit-identity property tests.
 #pragma once
 
 #include <cassert>

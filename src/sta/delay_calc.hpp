@@ -10,6 +10,7 @@
 // edges — the same set the paper's Initialize routine perturbs (Fig 7).
 #pragma once
 
+#include <cassert>
 #include <span>
 #include <vector>
 
@@ -86,12 +87,19 @@ class DelayCalc {
     /// allocation-free.
     void recompute_for_resize(GateId x);
 
-    /// Capacitive load (fF) currently driven by gate g.
-    [[nodiscard]] double load_ff(GateId g) const { return load_ff_.at(g.index()); }
+    /// Capacitive load (fF) currently driven by gate g. Unchecked in
+    /// Release (debug-asserted): read per fanin inside trial resizes.
+    [[nodiscard]] double load_ff(GateId g) const noexcept {
+        assert(g.index() < load_ff_.size());
+        return load_ff_[g.index()];
+    }
 
     /// Nominal delay (ns) of a timing edge; virtual edges are 0.
-    [[nodiscard]] double edge_delay_ns(EdgeId e) const {
-        return edge_delay_ns_.at(e.index());
+    /// Unchecked in Release (debug-asserted): the edge-delay rederivation
+    /// of every trial resize reads it per affected edge.
+    [[nodiscard]] double edge_delay_ns(EdgeId e) const noexcept {
+        assert(e.index() < edge_delay_ns_.size());
+        return edge_delay_ns_[e.index()];
     }
 
     /// All nominal edge delays, indexed by edge id.

@@ -15,9 +15,14 @@
 namespace {
 
 // Relaxed is enough: the counters are statistics, not synchronization.
+// Lock-freedom is load-bearing, not incidental: a locking fallback would
+// recurse (the census wraps the allocator a mutex implementation may use)
+// and would show up as phantom contention inside every measured region.
 std::atomic<std::uint64_t> g_alloc_count{0};
 std::atomic<std::uint64_t> g_alloc_bytes{0};
 std::atomic<std::uint64_t> g_free_count{0};
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "the allocation census must not itself take locks");
 
 inline void* count_alloc(std::size_t size) noexcept {
     g_alloc_count.fetch_add(1, std::memory_order_relaxed);

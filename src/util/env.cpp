@@ -9,7 +9,9 @@
 namespace statim {
 
 std::optional<std::string> env_string(std::string_view name) {
-    const char* value = std::getenv(std::string(name).c_str());
+    // All env reads funnel through here; callers read knobs once at startup
+    // or per-run setup, never concurrently with setenv.
+    const char* value = std::getenv(std::string(name).c_str());  // NOLINT(concurrency-mt-unsafe) sanctioned single funnel, read-only at startup
     if (value == nullptr) return std::nullopt;
     return std::string(value);
 }

@@ -7,7 +7,11 @@
 namespace statim {
 
 namespace {
+// The level gate sits on every STATIM_LOG call site, including ones inside
+// parallel waves; it must stay a single lock-free load.
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+static_assert(std::atomic<LogLevel>::is_always_lock_free,
+              "log-level checks run inside parallel hot paths");
 
 [[nodiscard]] const char* level_name(LogLevel level) noexcept {
     switch (level) {

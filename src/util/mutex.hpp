@@ -1,0 +1,49 @@
+// Annotated mutex primitives for the clang thread-safety analysis.
+//
+// `std::mutex` carries no capability attributes in libstdc++, so data
+// guarded by one is invisible to `-Wthread-safety`. `util::Mutex` is a
+// zero-overhead wrapper that *is* a capability: members annotated
+// `STATIM_GUARDED_BY(mutex_)` become compiler-checked, and the CI clang
+// leg turns any unguarded access into a build error. `util::MutexLock` is
+// the scoped holder (the analysis tracks its lifetime), and waiting uses
+// `std::condition_variable_any` directly on the Mutex — it satisfies
+// Lockable, and the wait's internal unlock/relock lives in system-header
+// code the analysis does not diagnose.
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace statim::util {
+
+/// A std::mutex that the thread-safety analysis understands.
+class STATIM_CAPABILITY("mutex") Mutex {
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() STATIM_ACQUIRE() { m_.lock(); }
+    void unlock() STATIM_RELEASE() { m_.unlock(); }
+    [[nodiscard]] bool try_lock() STATIM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  private:
+    std::mutex m_;
+};
+
+/// RAII lock whose hold the analysis tracks (the std::lock_guard shape,
+/// minus template noise the capability attributes cannot see through).
+class STATIM_SCOPED_CAPABILITY MutexLock {
+  public:
+    explicit MutexLock(Mutex& mu) STATIM_ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+    ~MutexLock() STATIM_RELEASE() { mu_->unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+  private:
+    Mutex* const mu_;
+};
+
+}  // namespace statim::util

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <exception>
 #include <memory>
 
@@ -13,15 +14,17 @@ namespace statim {
 /// One parallel_for invocation: an atomic index the executing threads
 /// race on, plus completion/exception bookkeeping. Shared ownership keeps
 /// the batch alive until the last straggler worker lets go of it.
+/// `n` and `fn` are set once before the batch is published and immutable
+/// afterwards, so they need no capability.
 struct ThreadPool::Batch {
     std::size_t n{0};
     const std::function<void(std::size_t)>* fn{nullptr};
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::mutex error_mutex;
-    std::exception_ptr error;  // guarded by error_mutex (first wins)
-    std::condition_variable finished;
-    std::mutex finished_mutex;
+    util::Mutex error_mutex;
+    std::exception_ptr error STATIM_GUARDED_BY(error_mutex);  // first wins
+    std::condition_variable_any finished;
+    util::Mutex finished_mutex;
 };
 
 namespace {
@@ -40,16 +43,19 @@ void ThreadPool::worker_loop() {
     for (;;) {
         std::shared_ptr<Batch> batch;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_ready_.wait(lock, [this] { return stopping_ || batch_ != nullptr; });
+            util::MutexLock lock(mutex_);
+            // Hand-rolled predicate loops keep the guarded reads visible to
+            // the thread-safety analysis (a wait-with-predicate lambda is a
+            // separate function the capability state does not flow into).
+            while (!stopping_ && batch_ == nullptr) work_ready_.wait(mutex_);
             if (stopping_) return;
             batch = batch_;
         }
         run_batch(*batch);
         // Park until this batch retires so run_batch is not re-entered on
         // indices that are already exhausted.
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_ready_.wait(lock, [this, &batch] { return stopping_ || batch_ != batch; });
+        util::MutexLock lock(mutex_);
+        while (!stopping_ && batch_ == batch) work_ready_.wait(mutex_);
     }
 }
 
@@ -62,11 +68,11 @@ void ThreadPool::run_batch(Batch& batch) {
         try {
             (*batch.fn)(i);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(batch.error_mutex);
+            util::MutexLock lock(batch.error_mutex);
             if (!batch.error) batch.error = std::current_exception();
         }
         if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.n) {
-            std::lock_guard<std::mutex> lock(batch.finished_mutex);
+            util::MutexLock lock(batch.finished_mutex);
             batch.finished.notify_all();
         }
     }
@@ -87,10 +93,10 @@ void ThreadPool::parallel_for(std::size_t n,
     batch->n = n;
     batch->fn = &fn;
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         // Another (non-pool) thread is mid-batch: wait our turn rather
         // than racing two batches through one set of workers.
-        work_ready_.wait(lock, [this] { return batch_ == nullptr; });
+        while (batch_ != nullptr) work_ready_.wait(mutex_);
         batch_ = batch;
     }
     work_ready_.notify_all();
@@ -98,18 +104,24 @@ void ThreadPool::parallel_for(std::size_t n,
     run_batch(*batch);  // the caller works too
 
     {
-        std::unique_lock<std::mutex> lock(batch->finished_mutex);
-        batch->finished.wait(lock, [&batch] {
-            return batch->done.load(std::memory_order_acquire) == batch->n;
-        });
+        util::MutexLock lock(batch->finished_mutex);
+        while (batch->done.load(std::memory_order_acquire) != batch->n)
+            batch->finished.wait(batch->finished_mutex);
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         batch_ = nullptr;
     }
     work_ready_.notify_all();  // release workers parked on `batch_ != batch`
 
-    if (batch->error) std::rethrow_exception(batch->error);
+    // All tasks retired (the done-count wait above), but the analysis only
+    // sees that `error` is guarded — read it under its mutex.
+    std::exception_ptr error;
+    {
+        util::MutexLock lock(batch->error_mutex);
+        error = batch->error;
+    }
+    if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_chunks(std::size_t n, std::size_t shards,
@@ -127,14 +139,14 @@ void ThreadPool::parallel_chunks(std::size_t n, std::size_t shards,
 
 void ThreadPool::resize(std::size_t workers) {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         stopping_ = true;
     }
     work_ready_.notify_all();
     for (std::thread& t : threads_) t.join();
     threads_.clear();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         stopping_ = false;
     }
     threads_.reserve(workers);

@@ -16,9 +16,11 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace statim {
 
@@ -63,11 +65,16 @@ class ThreadPool {
     void worker_loop();
     void run_batch(Batch& batch);
 
+    // threads_ is structural state: only touched by resize() (construction,
+    // destruction, explicit resizes), never while workers execute a batch —
+    // a discipline the analysis cannot express, so it stays unannotated.
     std::vector<std::thread> threads_;
-    std::mutex mutex_;
-    std::condition_variable work_ready_;
-    std::shared_ptr<Batch> batch_;  // guarded by mutex_
-    bool stopping_{false};          // guarded by mutex_
+    util::Mutex mutex_;
+    // condition_variable_any waits directly on util::Mutex (it satisfies
+    // Lockable), keeping the capability annotations intact across waits.
+    std::condition_variable_any work_ready_;
+    std::shared_ptr<Batch> batch_ STATIM_GUARDED_BY(mutex_);
+    bool stopping_ STATIM_GUARDED_BY(mutex_){false};
 };
 
 /// Threads to use by default: STATIM_THREADS when set (>= 1), otherwise

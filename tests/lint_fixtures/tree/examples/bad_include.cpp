@@ -1,0 +1,3 @@
+// Fixture: include-purity (line 2 breaks the boundary; line 3 is fine).
+#include "core/context.hpp"
+#include "api/statim.hpp"

@@ -1,0 +1,5 @@
+// Fixture: one hot-path violation per line (lines 3-5); the path shadows
+// a declared hot-path stem, so the hot-* rules apply here.
+std::function<void()> fixture_callback;
+double fixture_value = fixture_values.at(3);
+std::unordered_map<int, int> fixture_lookup;

@@ -1,0 +1,4 @@
+// Fixture: env-registry enforcement (line 2 unregistered; 3-4 registered).
+auto fixture_a = env_string("STATIM_NOT_REGISTERED");
+auto fixture_b = env_string("STATIM_DOCUMENTED");
+auto fixture_c = env_string("STATIM_UNDOCUMENTED");

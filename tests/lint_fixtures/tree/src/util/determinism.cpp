@@ -1,0 +1,5 @@
+// Fixture: one determinism violation per line (lines 2-5).
+const char* fixture_env = getenv("PATH");
+int fixture_rand = rand();
+auto fixture_now = std::chrono::steady_clock::now();
+std::map<int*, int> fixture_by_address;

@@ -1,0 +1,8 @@
+// Fixture: suppression semantics. The first getenv is justified
+// (silenced); the second is bare (bare-suppression); the third names the
+// wrong rule (getenv still fires); then a bare NOLINT and a justified one.
+const char* fixture_ok = getenv("HOME");  // statim-lint: allow(getenv) fixture: sanctioned one-off read
+const char* fixture_bare = getenv("HOME");  // statim-lint: allow(getenv)
+const char* fixture_wrong = getenv("HOME");  // statim-lint: allow(clock-now) names a different rule
+int fixture_bare_nolint = 0;  // NOLINT
+int fixture_good_nolint = 0;  // NOLINT(bugprone-fixture) fixture: justified

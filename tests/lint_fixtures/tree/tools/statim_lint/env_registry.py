@@ -1,0 +1,10 @@
+# Miniature env registry for the golden tests (shape-compatible with the
+# real tools/statim_lint/env_registry.py).
+ENV_REGISTRY = {
+    # appears in src/prob/env_read.cpp and in README.md: fully clean
+    "STATIM_DOCUMENTED": {"scope": "core", "desc": "clean fixture knob"},
+    # appears in src/prob/env_read.cpp but not in README.md: env-readme
+    "STATIM_UNDOCUMENTED": {"scope": "core", "desc": "undocumented knob"},
+    # appears nowhere in the tree (but is in README): env-registry-stale
+    "STATIM_STALE": {"scope": "core", "desc": "stale knob"},
+}

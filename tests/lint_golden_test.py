@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Golden tests for statim-lint.
+
+Runs the real linter over the fixture mini-repo in tests/lint_fixtures/tree
+and asserts exact set equality between the emitted diagnostics and
+tests/lint_fixtures/expected.json.  Exact equality cuts both ways: a rule
+that stops firing on its seeded violation fails the test, and so does a
+rule that starts firing somewhere it should not (e.g. a justified
+suppression that stops silencing its rule).
+"""
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+DIAG_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): error: \[(?P<rule>[a-z0-9-]+)\] ")
+
+
+def main() -> int:
+    tests_dir = Path(__file__).resolve().parent
+    repo_root = tests_dir.parent
+    fixture_root = tests_dir / "lint_fixtures" / "tree"
+    expected_path = tests_dir / "lint_fixtures" / "expected.json"
+
+    expected = {
+        (path, line, rule)
+        for path, line, rule in json.loads(expected_path.read_text())["violations"]
+    }
+
+    proc = subprocess.run(
+        [sys.executable, str(repo_root / "tools" / "statim_lint"), "--root", str(fixture_root)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+    actual = set()
+    unparsed = []
+    for raw in proc.stdout.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        m = DIAG_RE.match(line)
+        if m is None:
+            unparsed.append(line)
+            continue
+        rel = Path(m.group("path"))
+        if rel.is_absolute():
+            rel = rel.relative_to(fixture_root)
+        actual.add((rel.as_posix(), int(m.group("line")), m.group("rule")))
+
+    failures = []
+    if unparsed:
+        failures.append("unparseable diagnostic lines:\n  " + "\n  ".join(unparsed))
+    missing = expected - actual
+    if missing:
+        failures.append(
+            "expected diagnostics that did not fire:\n  "
+            + "\n  ".join(f"{p}:{l} [{r}]" for p, l, r in sorted(missing))
+        )
+    surplus = actual - expected
+    if surplus:
+        failures.append(
+            "unexpected diagnostics (should be silenced or absent):\n  "
+            + "\n  ".join(f"{p}:{l} [{r}]" for p, l, r in sorted(surplus))
+        )
+    if proc.returncode != 1:
+        failures.append(f"expected exit code 1 (violations found), got {proc.returncode}")
+        if proc.stderr:
+            failures.append("stderr:\n" + proc.stderr)
+
+    if failures:
+        print("lint_golden_test FAILED")
+        for f in failures:
+            print(f)
+        return 1
+
+    print(f"lint_golden_test PASSED ({len(expected)} diagnostics matched exactly)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Entry point: `python3 tools/statim_lint [--root DIR]`."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lint  # noqa: E402  (path set up above)
+
+if __name__ == "__main__":
+    sys.exit(lint.main(sys.argv))

@@ -1,0 +1,90 @@
+# The single source of truth for every STATIM_* environment knob.
+#
+# statim-lint's `env-registry` rule scans all C++ sources under src/,
+# tools/ and bench/ for "STATIM_*" string literals and fails when one is
+# not declared here; `env-registry-stale` fails when a declared knob no
+# longer appears anywhere (src/tools/bench/tests); `env-readme` fails
+# when a declared knob is missing from README.md. Adding an env read is
+# therefore a three-line change: the C++ read, this entry, and one README
+# table row — and CI diffs all three together.
+#
+# Names prefixed STATIM_TEST_ are exempt fixture names used by the env
+# parsing unit tests (they only ever appear under tests/).
+
+ENV_REGISTRY = {
+    # -- core runtime knobs (library behaviour) ---------------------------
+    "STATIM_THREADS": {
+        "scope": "core",
+        "desc": "default worker count for the parallel hot paths (>= 1)",
+    },
+    "STATIM_BATCH": {
+        "scope": "core",
+        "desc": "gates committed per sizing iteration between refreshes",
+    },
+    "STATIM_CRIT_FLOOR": {
+        "scope": "core",
+        "desc": "criticality floor for two-phase selector races (0 disables)",
+    },
+    "STATIM_SELECTOR_CACHE": {
+        "scope": "core",
+        "desc": "cross-pass sensitivity cache kill switch (0 disables)",
+    },
+    "STATIM_SIMD": {
+        "scope": "core",
+        "desc": "forced kernel dispatch level: auto|scalar|avx2|neon",
+    },
+    "STATIM_FAST_MATH": {
+        "scope": "core",
+        "desc": "FMA-fused convolution opt-in (leaves the bit-exactness contract)",
+    },
+    "STATIM_LOG": {
+        "scope": "core",
+        "desc": "log threshold: debug|info|warn|error|off",
+    },
+    # -- test-suite knobs -------------------------------------------------
+    "STATIM_HEAVY_TESTS": {
+        "scope": "tests",
+        "desc": "enables the heavy property-test matrices (synth10k sweeps)",
+    },
+    # -- bench harness knobs ----------------------------------------------
+    "STATIM_BENCH_CIRCUITS": {
+        "scope": "bench",
+        "desc": "comma-separated circuit list for the bench binaries",
+    },
+    "STATIM_BENCH_SCALE": {
+        "scope": "bench",
+        "desc": "work-scale factor for bench iteration counts",
+    },
+    "STATIM_BENCH_THREADS": {
+        "scope": "bench",
+        "desc": "thread counts swept by bench_parallel_ssta",
+    },
+    "STATIM_BENCH_KS": {
+        "scope": "bench",
+        "desc": "batch sizes (k) swept by bench_batch_commit",
+    },
+    "STATIM_BENCH_SMOKE": {
+        "scope": "bench",
+        "desc": "bench smoke mode (equivalent to the --smoke flag)",
+    },
+    "STATIM_BENCH_MC_SAMPLES": {
+        "scope": "bench",
+        "desc": "Monte Carlo sample count for the accuracy benches",
+    },
+    "STATIM_BENCH_GRID_CIRCUIT": {
+        "scope": "bench",
+        "desc": "circuit used by the grid-ablation bench",
+    },
+    "STATIM_BENCH_FIG10_CIRCUIT": {
+        "scope": "bench",
+        "desc": "circuit used by the fig10 bench",
+    },
+    "STATIM_BENCH_BINS": {
+        "scope": "bench",
+        "desc": "histogram bin counts swept by the micro benches",
+    },
+    "STATIM_SMOKE_PAIRS": {
+        "scope": "bench",
+        "desc": "random shape-pair count for bench_micro_prob --smoke",
+    },
+}

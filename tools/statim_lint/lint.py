@@ -1,0 +1,507 @@
+"""statim-lint: machine-checks the repo invariants generic tools cannot.
+
+Stdlib-only (no pip deps). Rules:
+
+  determinism   getenv / raw-rand / clock-now / ptr-key-order — results must
+                be bitwise reproducible across threads x SIMD x batch, so no
+                source of nondeterminism may enter src/ or tools/ outside
+                the sanctioned allowlist (util/env.cpp, util/timer.hpp).
+  hot paths     hot-std-function / hot-at / hot-unordered — the declared
+                hot-path file set (HOT_PATH_STEMS) must stay free of type-
+                erased dispatch, throwing bounds checks, and address-ordered
+                containers (alloc + iteration-order hygiene).
+  env hygiene   env-registry / env-registry-stale / env-readme — every
+                "STATIM_*" string literal in src/ + tools/ + bench/ must be
+                declared in tools/statim_lint/env_registry.py, every
+                declared knob must still occur somewhere, and every declared
+                knob must be documented in README.md.
+  layering      include-purity — examples/ and tools/ compile against the
+                public surface only (quoted includes limited to api/, util/).
+  meta          bare-suppression / bare-nolint — every statim-lint allow()
+                and every clang-tidy NOLINT must carry a justification;
+                suppressions without one are themselves violations.
+
+Suppression syntax (same line as the violation):
+
+    do_questionable_thing();  // statim-lint: allow(rule-name) one-line reason
+
+A suppression silences exactly the named rule(s) on exactly that line.
+Output is one diagnostic per line: `path:line: error: [rule] message`.
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Configuration
+# --------------------------------------------------------------------------
+
+CXX_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".cxx")
+
+# Directories scanned for C++ sources, relative to the root.
+SCAN_DIRS = ("src", "tools", "examples", "bench", "tests")
+
+# The declared hot-path file set: path stems relative to the root, matched
+# against the scanned file's path with its extension removed. These files
+# carry the zero-allocation / deterministic-order contract (see README
+# "Correctness tooling"), so the hot-* rules apply to them.
+HOT_PATH_STEMS = (
+    "src/core/selector",
+    "src/core/front",
+    "src/core/front_state",
+    "src/core/trial_resize",
+    "src/core/sensitivity_cache",
+    "src/prob/arena",
+    "src/prob/arrival_store",
+    "src/prob/ops",
+    "src/prob/pdf",
+    "src/prob/kernels/",  # trailing slash: the whole kernel layer
+    "src/ssta/engine",
+    "src/ssta/criticality",
+    "src/ssta/edge_delays",
+    "src/sta/delay_calc",
+)
+
+# Sanctioned per-rule allowlists (rule -> relative paths). These are the
+# *designed* exceptions; one-off exceptions use inline allow() with a
+# reason instead.
+ALLOWLIST = {
+    "getenv": {"src/util/env.cpp"},     # the single env-read funnel
+    "clock-now": {"src/util/timer.hpp"},  # the single wall-clock funnel
+}
+
+ENV_REGISTRY_RELPATH = os.path.join("tools", "statim_lint", "env_registry.py")
+
+# Env literals are *enforced* (must be registered) in these dirs; tests may
+# invent fixture names (STATIM_TEST_*) for the env-parsing unit tests.
+ENV_ENFORCED_DIRS = ("src", "tools", "bench")
+
+SUPPRESS_RE = re.compile(
+    r"//\s*statim-lint:\s*allow\(\s*([A-Za-z0-9_,\s-]*?)\s*\)\s*(.*)$")
+NOLINT_RE = re.compile(r"//\s*NOLINT(NEXTLINE)?(\(([^)]*)\))?\s*(.*)$")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+ENV_LITERAL_RE = re.compile(r"STATIM_[A-Z0-9_]+")
+
+
+class Violation:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path        # root-relative, forward slashes
+        self.line = line        # 1-based
+        self.rule = rule
+        self.message = message
+
+    def render(self):
+        return "%s:%d: error: [%s] %s" % (self.path, self.line, self.rule,
+                                          self.message)
+
+
+# --------------------------------------------------------------------------
+# C++ lexical pre-pass: comments and strings
+# --------------------------------------------------------------------------
+
+def lex_cpp(text):
+    """Splits C++ source into views the rules match against.
+
+    Returns (code, pure, strings):
+      code    - text with comments blanked (strings kept): include scans.
+      pure    - text with comments AND string/char literals blanked:
+                identifier-level rules (no hits inside quoted text).
+      strings - list of (line_no, literal_text) for every string literal
+                outside comments: the env-registry scan.
+    Blanked characters become spaces; newlines are preserved, so line
+    numbers and column positions survive.
+    """
+    code = []
+    pure = []
+    strings = []
+    i, n = 0, len(text)
+    line = 1
+    state = "normal"
+    str_delim = ""
+    raw_terminator = None
+    current_literal = []
+    literal_line = 0
+
+    def emit(ch, in_comment, in_string):
+        code.append(" " if in_comment and ch != "\n" else ch)
+        blank = (in_comment or in_string) and ch != "\n"
+        pure.append(" " if blank else ch)
+
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "normal":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                emit(ch, True, False)
+            elif ch == "/" and nxt == "*":
+                state = "block_comment"
+                emit(ch, True, False)
+            elif ch == '"':
+                # Raw string?  R"delim( ... )delim"
+                m = re.match(r'R"([^()\\ \t\n]{0,16})\(',
+                             text[max(0, i - 1):i + 18])
+                if i > 0 and text[i - 1] == "R" and m and m.start() == 0:
+                    state = "raw_string"
+                    raw_terminator = ")" + m.group(1) + '"'
+                    current_literal = []
+                    literal_line = line
+                    emit(ch, False, False)  # the opening quote itself
+                    # skip the delim + ( as part of the literal opener
+                    opener_len = len(m.group(1)) + 1
+                    for k in range(opener_len):
+                        i += 1
+                        line += text[i] == "\n" and 1 or 0
+                        emit(text[i], False, True)
+                    i += 1
+                    continue
+                state = "string"
+                str_delim = '"'
+                current_literal = []
+                literal_line = line
+                emit(ch, False, False)
+            elif ch == "'":
+                state = "char"
+                str_delim = "'"
+                emit(ch, False, False)
+            else:
+                emit(ch, False, False)
+        elif state == "line_comment":
+            if ch == "\n":
+                state = "normal"
+            emit(ch, True, False)
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                emit(ch, True, False)
+                i += 1
+                emit("/", True, False)
+                state = "normal"
+                if ch == "\n":
+                    line += 1
+                i += 1
+                continue
+            emit(ch, True, False)
+        elif state in ("string", "char"):
+            if ch == "\\" and nxt:
+                emit(ch, False, True)
+                i += 1
+                if text[i] == "\n":
+                    line += 1
+                emit(text[i], False, True)
+                i += 1
+                continue
+            if ch == str_delim:
+                if state == "string":
+                    strings.append((literal_line, "".join(current_literal)))
+                state = "normal"
+                emit(ch, False, False)
+            else:
+                if state == "string":
+                    current_literal.append(ch)
+                emit(ch, False, True)
+        elif state == "raw_string":
+            if text.startswith(raw_terminator, i):
+                strings.append((literal_line, "".join(current_literal)))
+                for k in range(len(raw_terminator)):
+                    emit(text[i + k], False, k != len(raw_terminator) - 1)
+                i += len(raw_terminator)
+                state = "normal"
+                continue
+            current_literal.append(ch)
+            emit(ch, False, True)
+        if ch == "\n":
+            line += 1
+        i += 1
+
+    return "".join(code), "".join(pure), strings
+
+
+# --------------------------------------------------------------------------
+# Per-file scanning
+# --------------------------------------------------------------------------
+
+class SourceFile:
+    def __init__(self, root, relpath):
+        self.relpath = relpath.replace(os.sep, "/")
+        with open(os.path.join(root, relpath), "r", encoding="utf-8",
+                  errors="replace") as fh:
+            self.text = fh.read()
+        self.raw_lines = self.text.split("\n")
+        code, pure, self.strings = lex_cpp(self.text)
+        self.code_lines = code.split("\n")
+        self.pure_lines = pure.split("\n")
+        # line -> (set of suppressed rule names, reason text)
+        self.suppressions = {}
+        for idx, raw in enumerate(self.raw_lines, start=1):
+            m = SUPPRESS_RE.search(raw)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                self.suppressions[idx] = (rules, m.group(2).strip())
+
+    def is_hot(self):
+        stem = self.relpath
+        for ext in CXX_EXTENSIONS:
+            if stem.endswith(ext):
+                stem = stem[: -len(ext)]
+                break
+        for hot in HOT_PATH_STEMS:
+            if hot.endswith("/"):
+                if self.relpath.startswith(hot):
+                    return True
+            elif stem == hot:
+                return True
+        return False
+
+    def top_dir(self):
+        return self.relpath.split("/", 1)[0]
+
+
+def pattern_rule(violations, src, rule, pattern, message, allow_paths=()):
+    if src.relpath in allow_paths:
+        return
+    for idx, line_text in enumerate(src.pure_lines, start=1):
+        if pattern.search(line_text):
+            add_violation(violations, src, idx, rule, message)
+
+
+def add_violation(violations, src, line, rule, message):
+    sup = src.suppressions.get(line)
+    if sup is not None:
+        rules, reason = sup
+        if rule in rules:
+            if reason:
+                return  # justified, silenced
+            violations.append(Violation(
+                src.relpath, line, "bare-suppression",
+                "allow(%s) without a justification; append a one-line reason"
+                % rule))
+            return
+    violations.append(Violation(src.relpath, line, rule, message))
+
+
+# Determinism rules -- sources of run-to-run or address-dependent behaviour.
+GETENV_RE = re.compile(r"\bgetenv\s*\(")
+RAND_RE = re.compile(r"\b(srand|rand|rand_r|random|drand48)\s*\(")
+CLOCK_RE = re.compile(
+    r"\b(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b"
+    r"|\b(clock_gettime|gettimeofday)\s*\(")
+PTR_KEY_RE = re.compile(
+    r"\bstd\s*::\s*(map|set|multimap|multiset)\s*<[^<>,;]*\*")
+
+# Hot-path rules -- alloc + ordering hygiene in the declared hot set.
+STD_FUNCTION_RE = re.compile(r"\bstd\s*::\s*function\b")
+DOT_AT_RE = re.compile(r"\.\s*at\s*\(")
+UNORDERED_RE = re.compile(r"\bunordered_(map|set|multimap|multiset)\b")
+
+
+def check_file(src, violations):
+    top = src.top_dir()
+
+    if top in ("src", "tools"):
+        pattern_rule(violations, src, "getenv", GETENV_RE,
+                     "raw getenv() call; route env reads through util/env.hpp "
+                     "so knobs stay in the registry",
+                     ALLOWLIST.get("getenv", ()))
+        pattern_rule(violations, src, "raw-rand", RAND_RE,
+                     "C PRNG call; use util::Rng so streams are seeded and "
+                     "checkpointable")
+        pattern_rule(violations, src, "clock-now", CLOCK_RE,
+                     "direct clock read; results must not depend on wall "
+                     "time — use util/timer.hpp (bench-only) or drop it",
+                     ALLOWLIST.get("clock-now", ()))
+        pattern_rule(violations, src, "ptr-key-order", PTR_KEY_RE,
+                     "pointer-keyed ordered container iterates in address "
+                     "order, which varies run to run; key on stable ids")
+
+    if src.is_hot():
+        pattern_rule(violations, src, "hot-std-function", STD_FUNCTION_RE,
+                     "std::function in a hot-path file allocates and "
+                     "type-erases; use util::FunctionRef or a template")
+        pattern_rule(violations, src, "hot-at", DOT_AT_RE,
+                     ".at() in a hot-path file bounds-checks and can throw; "
+                     "use debug-asserted operator[]")
+        pattern_rule(violations, src, "hot-unordered", UNORDERED_RE,
+                     "unordered container in a hot-path file: iteration "
+                     "order is hash/address dependent and rehashing "
+                     "allocates; use a flat vector keyed by id")
+
+    if top in ("examples", "tools") and src.relpath.endswith(CXX_EXTENSIONS):
+        for idx, line_text in enumerate(src.code_lines, start=1):
+            m = INCLUDE_RE.match(line_text)
+            if not m:
+                continue
+            header = m.group(1)
+            if not (header.startswith("api/") or header.startswith("util/")):
+                add_violation(
+                    violations, src, idx, "include-purity",
+                    'quoted include "%s" breaks the public API boundary; '
+                    "examples and tools may include api/ and util/ only"
+                    % header)
+
+    # Meta rules: every suppression mechanism needs a justification.
+    for idx, raw in enumerate(src.raw_lines, start=1):
+        sup = src.suppressions.get(idx)
+        if sup is not None and not sup[0]:
+            violations.append(Violation(
+                src.relpath, idx, "bare-suppression",
+                "allow() names no rule; write allow(<rule>) <reason>"))
+        m = NOLINT_RE.search(raw)
+        if m is not None:
+            checks, reason = m.group(3), m.group(4)
+            if not checks or not checks.strip() or not reason.strip():
+                add_violation(
+                    violations, src, idx, "bare-nolint",
+                    "NOLINT must name the check and carry a reason: "
+                    "// NOLINT(<check>) <why this is safe>")
+
+
+# --------------------------------------------------------------------------
+# Repo-level rules: env registry drift
+# --------------------------------------------------------------------------
+
+def load_env_registry(root):
+    path = os.path.join(root, ENV_REGISTRY_RELPATH)
+    if not os.path.exists(path):
+        return None
+    namespace = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        exec(compile(fh.read(), path, "exec"), namespace)  # stdlib-only config-as-code
+    registry = namespace.get("ENV_REGISTRY")
+    if not isinstance(registry, dict):
+        raise RuntimeError("%s does not define an ENV_REGISTRY dict" % path)
+    return registry
+
+
+def check_env_registry(root, sources, registry, violations):
+    if registry is None:
+        return
+    occurrences = {}  # name -> (relpath, line) of first occurrence anywhere
+    for src in sources:
+        for line_no, literal in src.strings:
+            for m in ENV_LITERAL_RE.finditer(literal):
+                name = m.group(0)
+                occurrences.setdefault(name, []).append(
+                    (src.relpath, line_no, src))
+
+    for name, sites in sorted(occurrences.items()):
+        if name in registry or name.startswith("STATIM_TEST_"):
+            continue
+        for relpath, line_no, src in sites:
+            if src.top_dir() not in ENV_ENFORCED_DIRS:
+                continue
+            add_violation(
+                violations, src, line_no, "env-registry",
+                "env knob %s is not declared in %s; register it (and "
+                "document it in README.md)" % (name, ENV_REGISTRY_RELPATH))
+
+    readme_path = os.path.join(root, "README.md")
+    readme = ""
+    if os.path.exists(readme_path):
+        with open(readme_path, "r", encoding="utf-8", errors="replace") as fh:
+            readme = fh.read()
+
+    for name in sorted(registry):
+        if name not in occurrences:
+            violations.append(Violation(
+                ENV_REGISTRY_RELPATH.replace(os.sep, "/"), 1,
+                "env-registry-stale",
+                "registered env knob %s no longer occurs in any scanned "
+                "source; delete the entry" % name))
+        if name not in readme:
+            violations.append(Violation(
+                ENV_REGISTRY_RELPATH.replace(os.sep, "/"), 1, "env-readme",
+                "registered env knob %s is not documented in README.md"
+                % name))
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+RULES = {
+    "getenv": "raw getenv() outside util/env.cpp",
+    "raw-rand": "C PRNG (rand/srand/random/...) anywhere in src/ or tools/",
+    "clock-now": "direct clock reads outside util/timer.hpp",
+    "ptr-key-order": "pointer-keyed std::map/std::set (address-ordered)",
+    "hot-std-function": "std::function inside the declared hot-path file set",
+    "hot-at": ".at() inside the declared hot-path file set",
+    "hot-unordered": "unordered containers inside the hot-path file set",
+    "env-registry": "STATIM_* literal not declared in the env registry",
+    "env-registry-stale": "registered env knob with no remaining occurrence",
+    "env-readme": "registered env knob missing from README.md",
+    "include-purity": "examples/tools quoted include outside api/ and util/",
+    "bare-suppression": "statim-lint allow() without a justification",
+    "bare-nolint": "clang-tidy NOLINT without named check + justification",
+}
+
+
+def iter_source_files(root):
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            # Fixture trees contain deliberate violations; only the golden
+            # test scans them (with that tree as its own root).
+            if "lint_fixtures" in dirnames:
+                dirnames.remove("lint_fixtures")
+            for filename in sorted(filenames):
+                if filename.endswith(CXX_EXTENSIONS):
+                    yield os.path.relpath(os.path.join(dirpath, filename),
+                                          root)
+
+
+def run(root):
+    """Lints the tree at `root`; returns the list of violations."""
+    sources = [SourceFile(root, rel) for rel in iter_source_files(root)]
+    violations = []
+    for src in sources:
+        check_file(src, violations)
+    check_env_registry(root, sources, load_env_registry(root), violations)
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations, len(sources)
+
+
+def main(argv):
+    root = "."
+    args = list(argv[1:])
+    while args:
+        arg = args.pop(0)
+        if arg == "--root":
+            if not args:
+                print("statim-lint: --root needs a directory", file=sys.stderr)
+                return 2
+            root = args.pop(0)
+        elif arg == "--list-rules":
+            for name in sorted(RULES):
+                print("%-20s %s" % (name, RULES[name]))
+            return 0
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            print("statim-lint: unknown argument %r (try --help)" % arg,
+                  file=sys.stderr)
+            return 2
+
+    if not os.path.isdir(root):
+        print("statim-lint: root %r is not a directory" % root,
+              file=sys.stderr)
+        return 2
+
+    try:
+        violations, scanned = run(root)
+    except RuntimeError as err:
+        print("statim-lint: %s" % err, file=sys.stderr)
+        return 2
+
+    for v in violations:
+        print(v.render())
+    print("statim-lint: %d file(s) scanned, %d violation(s)"
+          % (scanned, len(violations)), file=sys.stderr)
+    return 1 if violations else 0
