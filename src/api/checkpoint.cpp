@@ -19,13 +19,7 @@ namespace {
 
 constexpr const char* kMagic = "statim-checkpoint";
 
-/// Exact double serialization: C99 hexfloat round-trips every finite
-/// value bit for bit, and "inf"/"-inf"/"nan" cover the rest.
-std::string fmt_double(double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%a", v);
-    return buf;
-}
+std::string fmt_double(double v) { return detail::fmt_hexdouble(v); }
 
 class Reader {
   public:
@@ -135,28 +129,6 @@ Scenario::Selector parse_selector(Reader& r, const std::string& tok) {
     }
 }
 
-/// The format is line-oriented and the reader splits on whitespace and
-/// re-joins with single spaces, so a name survives the round trip only
-/// if that mapping is the identity: non-empty, no whitespace other than
-/// single interior spaces. Anything else must be rejected at *save*
-/// time — a checkpoint that cannot be loaded back is unrecoverable.
-void require_writable_name(const char* what, const std::string& name) {
-    const auto reject = [&](const char* why) {
-        throw ConfigError(std::string("checkpoint: ") + what + " name " + why +
-                          " ('" + name + "' cannot round-trip the line format)");
-    };
-    if (name.empty()) reject("is empty");
-    if (name.front() == ' ' || name.back() == ' ')
-        reject("has leading/trailing whitespace");
-    for (std::size_t i = 0; i < name.size(); ++i) {
-        const char c = name[i];
-        if (std::isspace(static_cast<unsigned char>(c)) && c != ' ')
-            reject("contains non-space whitespace");
-        if (c == ' ' && i > 0 && name[i - 1] == ' ')
-            reject("contains consecutive spaces");
-    }
-}
-
 /// Shared by checkpoint_info and load_checkpoint: the header is the part
 /// of the format a peek may read without the full payload.
 CheckpointInfo read_header(Reader& r) {
@@ -187,6 +159,34 @@ CheckpointInfo checkpoint_info(std::istream& in) {
 }
 
 namespace detail {
+
+std::string fmt_hexdouble(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+/// The line formats split on whitespace and re-join with single spaces,
+/// so a name survives the round trip only if that mapping is the
+/// identity: non-empty, no whitespace other than single interior spaces.
+/// Anything else must be rejected at *write* time — a checkpoint or
+/// scenario set that cannot be loaded back is unrecoverable.
+void require_line_writable_name(const char* what, const std::string& name) {
+    const auto reject = [&](const char* why) {
+        throw ConfigError(std::string(what) + " name " + why + " ('" + name +
+                          "' cannot round-trip the line format)");
+    };
+    if (name.empty()) reject("is empty");
+    if (name.front() == ' ' || name.back() == ' ')
+        reject("has leading/trailing whitespace");
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        const char c = name[i];
+        if (std::isspace(static_cast<unsigned char>(c)) && c != ' ')
+            reject("contains non-space whitespace");
+        if (c == ' ' && i > 0 && name[i - 1] == ' ')
+            reject("contains consecutive spaces");
+    }
+}
 
 std::uint64_t library_fingerprint(const cells::Library& lib) {
     // FNV-1a over every model parameter (doubles by bit pattern), so two
@@ -226,8 +226,8 @@ std::uint64_t library_fingerprint(const cells::Library& lib) {
 void save_checkpoint(std::ostream& out, const CheckpointPayload& payload) {
     const Scenario& s = payload.scenario;
     const core::StatisticalSizerLoop::ResumeState& loop = payload.loop;
-    require_writable_name("design", payload.design_name);
-    require_writable_name("scenario", s.name);
+    require_line_writable_name("checkpoint: design", payload.design_name);
+    require_line_writable_name("checkpoint: scenario", s.name);
 
     out << kMagic << " v" << kCheckpointFormatVersion << '\n';
     out << "design " << payload.design_name << '\n';

@@ -50,4 +50,14 @@ void save_checkpoint(std::ostream& out, const CheckpointPayload& payload);
 /// Throws util ParseError on malformed input or a version mismatch.
 [[nodiscard]] CheckpointPayload load_checkpoint(std::istream& in);
 
+/// Exact double serialization shared by the line-oriented formats
+/// (checkpoints, scenario sets): C99 hexfloat round-trips every finite
+/// value bit for bit, "inf"/"-inf"/"nan" cover the rest.
+[[nodiscard]] std::string fmt_hexdouble(double v);
+
+/// Rejects names the whitespace-tokenizing line formats cannot round-trip
+/// (empty, tabs, leading/trailing/consecutive spaces). Throws ConfigError;
+/// `what` names the field in the message.
+void require_line_writable_name(const char* what, const std::string& name);
+
 }  // namespace statim::api::detail

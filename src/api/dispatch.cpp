@@ -1,0 +1,270 @@
+#include "api/dispatch.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+
+#include "api/design.hpp"
+#include "api/detail.hpp"
+#include "api/scenarios.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/protocol.hpp"
+#include "dist/transport.hpp"
+#include "dist/worker.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace statim::api {
+
+static_assert(kDispatchProtocolVersion == dist::kProtocolVersion,
+              "api/dispatch.hpp and dist/protocol.hpp disagree on the wire "
+              "protocol version — bump both together");
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/// Shortest round-trip decimal; both report paths format through this,
+/// and the values themselves are bit-identical, so the bytes match.
+std::string fmt_g(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/// FNV-1a over the width vector's bit patterns: a compact stand-in for
+/// the full per-gate width list in the report (the widths themselves are
+/// still byte-compared in tests via the checkpoint path).
+std::string widths_digest(const std::vector<double>& widths) {
+    std::uint64_t h = 14695981039346656037ull;
+    for (double w : widths) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &w, sizeof(bits));
+        for (int i = 0; i < 8; ++i) {
+            h ^= (bits >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, h);
+    return buf;
+}
+
+void write_outcome_json(std::ostream& out, const DispatchReport& report,
+                        const DispatchOutcome& o) {
+    out << "{\"scenario\":\"" << json_escape(o.scenario.name) << "\"";
+    if (!o.ok) {
+        out << ",\"ok\":false,\"error\":\"" << json_escape(o.error) << "\"}";
+        return;
+    }
+    const core::SizingResult& s = o.sizing;
+    out << ",\"ok\":true";
+    out << ",\"iterations\":" << s.iterations;
+    out << ",\"commits\":" << s.history.size();
+    out << ",\"initial_objective_ns\":" << fmt_g(s.initial_objective_ns);
+    out << ",\"final_objective_ns\":" << fmt_g(s.final_objective_ns);
+    out << ",\"initial_area\":" << fmt_g(s.initial_area);
+    out << ",\"final_area\":" << fmt_g(s.final_area);
+    out << ",\"selector_passes\":" << s.selector_passes;
+    out << ",\"conflicts_skipped\":" << s.conflicts_skipped;
+    out << ",\"stop_reason\":\"" << json_escape(s.stop_reason) << "\"";
+    out << ",\"widths_fnv\":\"" << widths_digest(o.widths) << "\"";
+    out << ",\"history\":[";
+    for (std::size_t i = 0; i < s.history.size(); ++i) {
+        const core::IterationRecord& r = s.history[i];
+        const std::string gate =
+            r.gate.is_valid() && r.gate.index() < report.gate_names.size()
+                ? report.gate_names[r.gate.index()]
+                : std::string();
+        if (i > 0) out << ',';
+        out << "{\"iteration\":" << r.iteration;
+        out << ",\"gate\":\"" << json_escape(gate) << "\"";
+        out << ",\"sensitivity\":" << fmt_g(r.sensitivity);
+        out << ",\"objective_ns\":" << fmt_g(r.objective_after_ns);
+        out << ",\"area\":" << fmt_g(r.area_after);
+        out << ",\"width\":" << fmt_g(r.width_after) << "}";
+    }
+    out << "]";
+    if (o.mc.samples > 0) {
+        out << ",\"mc\":{\"samples\":" << o.mc.samples;
+        out << ",\"mean_ns\":" << fmt_g(o.mc.mean_ns);
+        out << ",\"stddev_ns\":" << fmt_g(o.mc.stddev_ns);
+        out << ",\"min_ns\":" << fmt_g(o.mc.min_ns);
+        out << ",\"max_ns\":" << fmt_g(o.mc.max_ns);
+        out << ",\"p50_ns\":" << fmt_g(o.mc.p50_ns);
+        out << ",\"p90_ns\":" << fmt_g(o.mc.p90_ns);
+        out << ",\"p99_ns\":" << fmt_g(o.mc.p99_ns) << "}";
+    }
+    out << "}";
+}
+
+DispatchReport report_header(const Design& design) {
+    DispatchReport report;
+    report.design = design.name();
+    report.gates = design.gate_count();
+    report.gate_names.reserve(report.gates);
+    for (std::size_t g = 0; g < report.gates; ++g)
+        report.gate_names.push_back(
+            design.gate_name(GateId(static_cast<std::uint32_t>(g))));
+    return report;
+}
+
+void validate_all(std::span<const Scenario> scenarios) {
+    if (scenarios.empty())
+        throw ConfigError("dispatch: empty scenario set");
+    for (const Scenario& s : scenarios) {
+        s.validate();
+        // The wire protocol and scenario-set format must round-trip the
+        // name; reject up front instead of mid-dispatch.
+        detail::require_line_writable_name("dispatch: scenario", s.name);
+    }
+}
+
+}  // namespace
+
+Design DesignSource::load() const {
+    switch (kind) {
+        case Kind::BenchFile:
+            return lib_path.empty()
+                       ? Design::from_bench_file(name)
+                       : Design::from_bench_file(name, Design::load_library(lib_path));
+        case Kind::Registry:
+            break;
+    }
+    return lib_path.empty()
+               ? Design::from_registry(name)
+               : Design::from_registry(name, Design::load_library(lib_path));
+}
+
+McDigest McDigest::of(const McSummary& mc) {
+    McDigest d;
+    d.samples = mc.samples;
+    if (mc.samples == 0) return d;
+    d.mean_ns = mc.mean_ns;
+    d.stddev_ns = mc.stddev_ns;
+    d.min_ns = mc.min_ns;
+    d.max_ns = mc.max_ns;
+    d.p50_ns = mc.percentile_ns(0.5);
+    d.p90_ns = mc.percentile_ns(0.9);
+    d.p99_ns = mc.percentile_ns(0.99);
+    return d;
+}
+
+DispatchReport dispatch_scenarios(const DesignSource& source,
+                                  std::span<const Scenario> scenarios,
+                                  const DispatchOptions& options) {
+    validate_all(scenarios);
+
+    int workers = options.workers;
+    if (workers <= 0)
+        workers = static_cast<int>(env_int("STATIM_DISPATCH_WORKERS", 2));
+    if (workers < 0)
+        throw ConfigError("dispatch: STATIM_DISPATCH_WORKERS must be >= 0");
+    if (workers == 0) return run_scenarios_report(source, scenarios);
+
+    int heartbeat_ms = options.heartbeat_timeout_ms;
+    if (heartbeat_ms <= 0)
+        heartbeat_ms =
+            static_cast<int>(env_int("STATIM_DISPATCH_HEARTBEAT_MS", 60000));
+    if (heartbeat_ms <= 0)
+        throw ConfigError("dispatch: STATIM_DISPATCH_HEARTBEAT_MS must be > 0");
+
+    int retries = options.retries;
+    if (retries < 0)
+        retries = static_cast<int>(env_int("STATIM_DISPATCH_RETRIES", 2));
+    if (retries < 0)
+        throw ConfigError("dispatch: STATIM_DISPATCH_RETRIES must be >= 0");
+
+    if (options.checkpoint_every < 0)
+        throw ConfigError("dispatch: checkpoint_every must be >= 0");
+    if (options.serve_command.empty())
+        throw ConfigError("dispatch: serve_command is required (the CLI passes "
+                          "its own path plus 'serve')");
+    if (options.fault.kind != FaultInjection::Kind::None &&
+        (options.fault.scenario < 0 ||
+         options.fault.scenario >= static_cast<int>(scenarios.size())))
+        throw ConfigError("dispatch: fault scenario index out of range");
+
+    const Design design = source.load();
+
+    dist::CoordinatorConfig config;
+    config.source = source;
+    config.design_name = design.name();
+    config.fingerprint = detail::library_fingerprint(design.library());
+    config.scenarios.assign(scenarios.begin(), scenarios.end());
+    config.workers = workers;
+    config.checkpoint_every = options.checkpoint_every;
+    config.heartbeat_timeout_ms = heartbeat_ms;
+    config.retries = retries;
+    config.serve_command = options.serve_command;
+    config.fault = options.fault;
+
+    DispatchReport report = report_header(design);
+    dist::CoordinationResult result = dist::coordinate(config);
+    report.complete = result.complete;
+    report.outcomes = std::move(result.outcomes);
+    return report;
+}
+
+DispatchReport run_scenarios_report(const DesignSource& source,
+                                    std::span<const Scenario> scenarios) {
+    validate_all(scenarios);
+    const Design design = source.load();
+    DispatchReport report = report_header(design);
+    std::vector<ScenarioResult> results = run_scenarios(design, scenarios);
+    report.outcomes.reserve(results.size());
+    for (ScenarioResult& r : results) {
+        DispatchOutcome outcome;
+        outcome.ok = true;
+        outcome.scenario = r.scenario;
+        outcome.widths.reserve(r.design.gate_count());
+        for (const auto& gate : r.design.netlist().gates())
+            outcome.widths.push_back(gate.width);
+        outcome.sizing = std::move(r.sizing);
+        outcome.mc = McDigest::of(r.mc);
+        report.outcomes.push_back(std::move(outcome));
+    }
+    return report;
+}
+
+void write_dispatch_json(std::ostream& out, const DispatchReport& report) {
+    out << "{\"tool\":\"statim\",\"cmd\":\"dispatch\"";
+    out << ",\"design\":\"" << json_escape(report.design) << "\"";
+    out << ",\"gates\":" << report.gates;
+    out << ",\"scenarios\":" << report.outcomes.size();
+    out << ",\"incomplete\":" << (report.complete ? "false" : "true");
+    out << ",\"results\":[";
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+        if (i > 0) out << ',';
+        out << '\n';
+        write_outcome_json(out, report, report.outcomes[i]);
+    }
+    out << "\n]}\n";
+}
+
+std::vector<std::string> self_serve_command(const std::string& argv0) {
+    std::string exe = dist::self_exe_path();
+    if (exe.empty()) exe = argv0;
+    return {std::move(exe), "serve"};
+}
+
+int serve(int in_fd, int out_fd) { return dist::worker_loop(in_fd, out_fd); }
+
+}  // namespace statim::api

@@ -1,0 +1,173 @@
+// api::dispatch_scenarios — multi-process scenario sharding with
+// fault-tolerant checkpoint migration (the `statim dispatch` mode).
+//
+// A coordinator farms the scenario set out to N worker processes
+// (`statim serve` children over stdin/stdout pipe pairs, speaking a
+// length-prefixed frame protocol), load-balances by estimated work,
+// streams heartbeats, and aggregates per-scenario results into one
+// deterministic scenario-ordered report. Workers checkpoint every
+// `checkpoint_every` iterations through the SizingRun save path; when a
+// worker dies (SIGKILL, crash — EOF on its pipe) or hangs (heartbeat
+// timeout, then SIGKILL + waitpid), the coordinator migrates the
+// interrupted run to another worker by shipping the latest checkpoint
+// stream. Because checkpoints resume bit-exactly, the report — and its
+// JSON rendering, which carries no wall-clock fields — is bitwise
+// identical to an uninterrupted in-process api::run_scenarios call, for
+// any worker count and under any mid-run kill (tests/test_dispatch.cpp;
+// CI byte-compares the two JSONs with a worker killed mid-run).
+//
+// Failure semantics: a scenario whose worker dies is retried (resumed
+// from its last checkpoint when one arrived, from scratch otherwise) up
+// to `retries` extra attempts; exhausting the budget marks the report
+// incomplete — partial results are kept, the failed scenario carries an
+// error, and the CLI exits nonzero with `"incomplete": true` in the
+// JSON. Worker-reported errors (library-fingerprint mismatch, invalid
+// scenario) are deterministic and fail the scenario immediately.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/analysis.hpp"
+#include "api/scenario.hpp"
+#include "core/sizers.hpp"
+
+namespace statim::api {
+
+/// Version of the serve/dispatch frame protocol; both sides of the
+/// hello handshake must agree (bumped with any wire-format change).
+inline constexpr int kDispatchProtocolVersion = 1;
+
+/// How workers obtain the design. Workers are separate processes, so the
+/// coordinator ships the design's *source* (registry name or .bench
+/// path, resolved against the shared working directory) plus the
+/// coordinator's library fingerprint; each worker reloads the design and
+/// refuses the run if its fingerprint differs (version/library skew
+/// would silently diverge from the coordinator's reference).
+struct DesignSource {
+    enum class Kind { Registry, BenchFile };
+    Kind kind{Kind::Registry};
+    /// Registry circuit name, or .bench file path.
+    std::string name{"c432"};
+    /// Optional liberty-lite library file ("" = builtin 180 nm).
+    std::string lib_path;
+
+    /// Loads the design this source describes (what every worker does).
+    [[nodiscard]] Design load() const;
+};
+
+/// Deterministic fault injection for tests and the CI smoke leg: make
+/// the worker running scenario `scenario` kill (SIGKILL) or hang
+/// (stop heartbeating) itself once that run's iteration count reaches
+/// `after_iteration`. Injected on the first attempt only, unless
+/// `persistent` (which exhausts the retry budget deterministically).
+struct FaultInjection {
+    enum class Kind { None, Kill, Hang };
+    Kind kind{Kind::None};
+    int scenario{-1};
+    int after_iteration{1};
+    bool persistent{false};
+};
+
+struct DispatchOptions {
+    /// Worker process count; <= 0 resolves STATIM_DISPATCH_WORKERS
+    /// (default 2).
+    int workers{0};
+    /// Iterations between worker checkpoint streams (the migration
+    /// granularity); 0 disables mid-run checkpoints (a killed run
+    /// restarts from scratch — still bitwise identical, just slower).
+    int checkpoint_every{1};
+    /// Declare a worker hung after this many ms without a frame; <= 0
+    /// resolves STATIM_DISPATCH_HEARTBEAT_MS (default 60000). Workers
+    /// heartbeat once per sizing iteration, so set this above the
+    /// slowest expected iteration.
+    int heartbeat_timeout_ms{0};
+    /// Extra attempts per scenario after its first failure; < 0 resolves
+    /// STATIM_DISPATCH_RETRIES (default 2).
+    int retries{-1};
+    /// argv of the worker command (the CLI passes {<self>, "serve"}).
+    /// Must speak the serve protocol on stdin/stdout. Required.
+    std::vector<std::string> serve_command;
+    FaultInjection fault;
+};
+
+/// Deterministic digest of a Monte Carlo validation (the fields the
+/// report prints; the full sample vector never crosses the wire).
+struct McDigest {
+    std::size_t samples{0};
+    double mean_ns{0.0};
+    double stddev_ns{0.0};
+    double min_ns{0.0};
+    double max_ns{0.0};
+    double p50_ns{0.0};
+    double p90_ns{0.0};
+    double p99_ns{0.0};
+
+    [[nodiscard]] static McDigest of(const McSummary& mc);
+};
+
+/// Outcome of one scenario of a dispatch (or of the in-process
+/// reference). All fields except attempts/migrations are deterministic.
+struct DispatchOutcome {
+    bool ok{false};
+    /// Stable failure description when !ok ("retry budget exhausted…",
+    /// or the worker's error message).
+    std::string error;
+    Scenario scenario;
+    /// Final gate widths, GateId order (empty when !ok).
+    std::vector<double> widths;
+    core::SizingResult sizing;
+    McDigest mc;
+    /// Executions that failed before this outcome (0 when undisturbed).
+    int attempts{0};
+    /// Times the run was resumed from a shipped checkpoint.
+    int migrations{0};
+};
+
+struct DispatchReport {
+    std::string design;
+    std::size_t gates{0};
+    /// Gate names in GateId order (for history rendering).
+    std::vector<std::string> gate_names;
+    /// False when any scenario exhausted its retry budget or failed
+    /// deterministically; partial results are kept either way.
+    bool complete{true};
+    /// One outcome per input scenario, in input order.
+    std::vector<DispatchOutcome> outcomes;
+};
+
+/// Coordinates `options.workers` worker processes over the scenario set.
+/// Returns per-scenario results in input order, bitwise identical to
+/// run_scenarios_report for every completed scenario. Throws ConfigError
+/// on invalid options/scenarios, Error when the worker command itself is
+/// unusable (exec failure, protocol/version mismatch).
+[[nodiscard]] DispatchReport dispatch_scenarios(const DesignSource& source,
+                                                std::span<const Scenario> scenarios,
+                                                const DispatchOptions& options);
+
+/// The in-process reference: the same report built from
+/// api::run_scenarios (what `statim dispatch --workers 0` runs and the
+/// byte-compare gates dispatch against).
+[[nodiscard]] DispatchReport run_scenarios_report(
+    const DesignSource& source, std::span<const Scenario> scenarios);
+
+/// Renders the report as one deterministic JSON object: scenario-ordered
+/// results, no wall-clock or schedule-dependent fields — byte-identical
+/// across worker counts, kills and the in-process path.
+void write_dispatch_json(std::ostream& out, const DispatchReport& report);
+
+/// The serve command of the running executable: {/proc/self/exe, "serve"},
+/// falling back to `argv0` when /proc is unavailable. The CLI's dispatch
+/// default — library consumers embedding dispatch must point
+/// DispatchOptions::serve_command at a statim CLI build instead.
+[[nodiscard]] std::vector<std::string> self_serve_command(const std::string& argv0);
+
+/// Runs the worker loop of `statim serve` over a stdin/stdout fd pair:
+/// handshakes, then executes run frames (fresh or checkpoint-resumed)
+/// until a shutdown frame or EOF. Returns the process exit code.
+int serve(int in_fd, int out_fd);
+
+}  // namespace statim::api

@@ -1,0 +1,218 @@
+#include "api/scenario_io.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "api/detail.hpp"
+#include "util/error.hpp"
+
+namespace statim::api {
+
+namespace {
+
+constexpr const char* kFile = "<scenarios>";
+
+/// Whitespace-tokenizing line reader with '#' comment support (the
+/// scenario-set format is hand-editable, unlike checkpoints).
+class Reader {
+  public:
+    explicit Reader(std::istream& in) : in_(in) {}
+
+    [[nodiscard]] int line_number() const noexcept { return line_; }
+
+    /// Next non-empty, non-comment line as whitespace tokens; empty
+    /// vector at end of stream.
+    std::vector<std::string> next_line() {
+        std::string line;
+        while (std::getline(in_, line)) {
+            ++line_;
+            if (const std::size_t hash = line.find('#'); hash != std::string::npos)
+                line.erase(hash);
+            std::istringstream ss(line);
+            std::vector<std::string> tokens;
+            std::string tok;
+            while (ss >> tok) tokens.push_back(std::move(tok));
+            if (!tokens.empty()) return tokens;
+        }
+        return {};
+    }
+
+    double as_double(const std::string& tok) const {
+        const char* s = tok.c_str();
+        char* end = nullptr;
+        const double v = std::strtod(s, &end);
+        if (end == s || *end != '\0')
+            throw ParseError(kFile, line_, "malformed number '" + tok + "'");
+        return v;
+    }
+
+    std::int64_t as_int(const std::string& tok) const {
+        const char* s = tok.c_str();
+        char* end = nullptr;
+        const std::int64_t v = std::strtoll(s, &end, 10);
+        if (end == s || *end != '\0')
+            throw ParseError(kFile, line_, "malformed integer '" + tok + "'");
+        return v;
+    }
+
+    std::uint64_t as_uint(const std::string& tok) const {
+        const char* s = tok.c_str();
+        char* end = nullptr;
+        errno = 0;
+        const std::uint64_t v = std::strtoull(s, &end, 10);
+        if (end == s || *end != '\0' || tok.front() == '-' || errno == ERANGE)
+            throw ParseError(kFile, line_, "malformed integer '" + tok + "'");
+        return v;
+    }
+
+    bool as_bool(const std::string& tok) const { return as_int(tok) != 0; }
+
+  private:
+    std::istream& in_;
+    int line_{0};
+};
+
+std::string join(const std::vector<std::string>& tokens, std::size_t from) {
+    std::string out;
+    for (std::size_t i = from; i < tokens.size(); ++i) {
+        if (!out.empty()) out += ' ';
+        out += tokens[i];
+    }
+    return out;
+}
+
+/// One block, "scenario" header already consumed (tokens = that line).
+Scenario read_block(Reader& r, const std::vector<std::string>& header) {
+    Scenario s;
+    if (header.size() < 2)
+        throw ParseError(kFile, r.line_number(), "'scenario' needs a name");
+    s.name = join(header, 1);
+
+    for (;;) {
+        const std::vector<std::string> tokens = r.next_line();
+        if (tokens.empty())
+            throw ParseError(kFile, r.line_number(),
+                             "scenario '" + s.name + "' is missing its 'end'");
+        const std::string& key = tokens[0];
+        if (key == "end") {
+            if (tokens.size() != 1)
+                throw ParseError(kFile, r.line_number(), "'end' takes no value");
+            break;
+        }
+        const auto value = [&](std::size_t i = 1) -> const std::string& {
+            if (tokens.size() <= i)
+                throw ParseError(kFile, r.line_number(),
+                                 "'" + key + "' is missing its value");
+            return tokens[i];
+        };
+        if (key == "objective") {
+            const std::string& kind = value(1);
+            if (kind == "percentile")
+                s.objective = Scenario::Objective::Percentile;
+            else if (kind == "mean")
+                s.objective = Scenario::Objective::Mean;
+            else
+                throw ParseError(kFile, r.line_number(),
+                                 "unknown objective '" + kind + "'");
+            if (tokens.size() > 2) s.percentile = r.as_double(value(2));
+        } else if (key == "percentile") {
+            s.percentile = r.as_double(value());
+        } else if (key == "grid_bins") {
+            s.grid_bins = static_cast<int>(r.as_int(value()));
+        } else if (key == "selector") {
+            try {
+                s.selector = Scenario::parse_selector(value());
+            } catch (const ConfigError& e) {
+                throw ParseError(kFile, r.line_number(), e.what());
+            }
+        } else if (key == "delta_w") {
+            s.delta_w = r.as_double(value());
+        } else if (key == "max_width") {
+            s.max_width = r.as_double(value());
+        } else if (key == "max_iterations") {
+            s.max_iterations = static_cast<int>(r.as_int(value()));
+        } else if (key == "area_budget") {
+            s.area_budget = r.as_double(value());
+        } else if (key == "target_objective_ns") {
+            s.target_objective_ns = r.as_double(value());
+        } else if (key == "gates_per_iteration") {
+            s.gates_per_iteration = static_cast<int>(r.as_int(value()));
+        } else if (key == "threads") {
+            s.threads = static_cast<std::size_t>(r.as_uint(value()));
+        } else if (key == "incremental_ssta") {
+            s.incremental_ssta = r.as_bool(value());
+        } else if (key == "simd") {
+            s.simd = value();
+        } else if (key == "crit_floor") {
+            s.crit_floor = r.as_double(value());
+        } else if (key == "selector_cache") {
+            s.selector_cache = r.as_bool(value());
+        } else if (key == "mc_samples") {
+            s.mc_samples = static_cast<std::size_t>(r.as_uint(value()));
+        } else if (key == "seed") {
+            s.seed = r.as_uint(value());
+        } else {
+            throw ParseError(kFile, r.line_number(),
+                             "unknown scenario key '" + key + "'");
+        }
+    }
+    s.validate();
+    return s;
+}
+
+}  // namespace
+
+std::vector<Scenario> read_scenario_set(std::istream& in) {
+    Reader r(in);
+    std::vector<Scenario> scenarios;
+    for (;;) {
+        const std::vector<std::string> tokens = r.next_line();
+        if (tokens.empty()) break;
+        if (tokens[0] != "scenario")
+            throw ParseError(kFile, r.line_number(),
+                             "expected 'scenario <name>', got '" + tokens[0] + "'");
+        scenarios.push_back(read_block(r, tokens));
+    }
+    if (scenarios.empty())
+        throw ParseError(kFile, r.line_number(),
+                         "no scenario blocks found (expected 'scenario <name>')");
+    return scenarios;
+}
+
+void write_scenario(std::ostream& out, const Scenario& s) {
+    detail::require_line_writable_name("scenario set: scenario", s.name);
+    if (s.name.find('#') != std::string::npos)
+        throw ConfigError("scenario set: scenario name '" + s.name +
+                          "' contains '#' (the format's comment marker)");
+    const auto d = [](double v) { return detail::fmt_hexdouble(v); };
+    out << "scenario " << s.name << '\n';
+    out << "objective "
+        << (s.objective == Scenario::Objective::Mean ? "mean" : "percentile") << ' '
+        << d(s.percentile) << '\n';
+    out << "grid_bins " << s.grid_bins << '\n';
+    out << "selector " << Scenario::selector_name(s.selector) << '\n';
+    out << "delta_w " << d(s.delta_w) << '\n';
+    out << "max_width " << d(s.max_width) << '\n';
+    out << "max_iterations " << s.max_iterations << '\n';
+    out << "area_budget " << d(s.area_budget) << '\n';
+    out << "target_objective_ns " << d(s.target_objective_ns) << '\n';
+    out << "gates_per_iteration " << s.gates_per_iteration << '\n';
+    out << "threads " << s.threads << '\n';
+    out << "incremental_ssta " << (s.incremental_ssta ? 1 : 0) << '\n';
+    out << "simd " << s.simd << '\n';
+    out << "crit_floor " << d(s.crit_floor) << '\n';
+    out << "selector_cache " << (s.selector_cache ? 1 : 0) << '\n';
+    out << "mc_samples " << s.mc_samples << '\n';
+    out << "seed " << s.seed << '\n';
+    out << "end\n";
+}
+
+void write_scenario_set(std::ostream& out, std::span<const Scenario> scenarios) {
+    for (const Scenario& s : scenarios) write_scenario(out, s);
+}
+
+}  // namespace statim::api

@@ -1,0 +1,42 @@
+// Scenario-set serialization — the file format `statim dispatch
+// --scenarios FILE` reads and the dispatch wire protocol embeds.
+//
+// Line-oriented text, one block per scenario:
+//
+//     # comment
+//     scenario p99-batch4
+//     objective percentile 0.99
+//     max_iterations 20
+//     gates_per_iteration 4
+//     end
+//
+// Every key inside a block is optional and defaults to the Scenario
+// default; keys mirror the api::Scenario fields (the same names the
+// checkpoint format uses). Doubles accept decimal or C99 hexfloat;
+// write_scenario_set emits hexfloat so a round trip is bit-exact — which
+// is what keeps a dispatched worker's run bitwise identical to the
+// coordinator's in-process reference.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "api/scenario.hpp"
+
+namespace statim::api {
+
+/// Parses every scenario block in the stream (at least one required).
+/// Each parsed scenario is validated. Throws util ParseError on malformed
+/// input or an unknown key, ConfigError on invalid values.
+[[nodiscard]] std::vector<Scenario> read_scenario_set(std::istream& in);
+
+/// Writes one block per scenario, bit-exact round trip through
+/// read_scenario_set. Throws ConfigError on a name the line format
+/// cannot round-trip.
+void write_scenario_set(std::ostream& out, std::span<const Scenario> scenarios);
+
+/// One block (the wire-protocol building block).
+void write_scenario(std::ostream& out, const Scenario& scenario);
+
+}  // namespace statim::api

@@ -19,6 +19,9 @@
 #include "api/analysis.hpp"
 #include "api/checkpoint.hpp"
 #include "api/design.hpp"
+#include "api/dispatch.hpp"
 #include "api/scenario.hpp"
+#include "api/scenario_io.hpp"
 #include "api/scenarios.hpp"
 #include "api/sizing_run.hpp"
+#include "api/version.hpp"

@@ -1,0 +1,25 @@
+#include "api/version.hpp"
+
+#include "api/design.hpp"
+#include "api/detail.hpp"
+#include "cells/library.hpp"
+
+namespace statim::api {
+
+const char* version() noexcept {
+#ifdef STATIM_VERSION
+    return STATIM_VERSION;
+#else
+    return "0.0.0-unknown";
+#endif
+}
+
+std::uint64_t builtin_library_fingerprint() {
+    return detail::library_fingerprint(cells::Library::standard_180nm());
+}
+
+std::uint64_t library_file_fingerprint(const std::string& path) {
+    return detail::library_fingerprint(Design::load_library(path));
+}
+
+}  // namespace statim::api

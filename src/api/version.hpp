@@ -1,0 +1,25 @@
+// Build identity of this statim library: the project version string and
+// the cell-library fingerprint — the same digest checkpoints embed and
+// the dispatch protocol's per-run handshake verifies. `statim --version`
+// prints both so a coordinator/worker mismatch is diagnosable from the
+// shell before any work is farmed out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace statim::api {
+
+/// Project version ("0.5.0"), from the build system.
+[[nodiscard]] const char* version() noexcept;
+
+/// Fingerprint of the builtin 180 nm-class cell library (see
+/// api/checkpoint.hpp: checkpoints embed it; dispatch workers verify it
+/// per run). Two builds agree iff their builtin delay/area models are
+/// bit-identical.
+[[nodiscard]] std::uint64_t builtin_library_fingerprint();
+
+/// Fingerprint of a liberty-lite library file (the CLI's `--lib`).
+[[nodiscard]] std::uint64_t library_file_fingerprint(const std::string& path);
+
+}  // namespace statim::api

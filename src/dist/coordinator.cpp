@@ -1,0 +1,422 @@
+#include "dist/coordinator.hpp"
+
+#include <poll.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/checkpoint.hpp"
+#include "api/detail.hpp"
+#include "dist/protocol.hpp"
+#include "dist/transport.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace statim::dist {
+
+namespace {
+
+/// Coordinator pipes outlive workers, so a write can hit a dead reader;
+/// EPIPE must come back as an errno (the dead-worker path), not a
+/// process-killing signal. Scoped so library callers keep their handler.
+class SigpipeGuard {
+  public:
+    SigpipeGuard() {
+        struct sigaction ignore = {};
+        ignore.sa_handler = SIG_IGN;
+        ::sigaction(SIGPIPE, &ignore, &old_);
+    }
+    ~SigpipeGuard() { ::sigaction(SIGPIPE, &old_, nullptr); }
+    SigpipeGuard(const SigpipeGuard&) = delete;
+    SigpipeGuard& operator=(const SigpipeGuard&) = delete;
+
+  private:
+    struct sigaction old_ = {};
+};
+
+enum class JobStatus { Pending, Running, Done, Failed };
+
+struct JobState {
+    JobStatus status{JobStatus::Pending};
+    int attempts{0};    ///< worker failures so far
+    int migrations{0};  ///< checkpoint-resumed restarts so far
+    std::string checkpoint;  ///< latest stream shipped by a worker
+};
+
+struct WorkerSlot {
+    WorkerProcess proc;
+    FrameParser parser;
+    bool alive{false};
+    bool hello_ok{false};
+    int job{-1};  ///< scenario index being run, -1 when idle
+    Timer since_frame;
+};
+
+class Coordinator {
+  public:
+    explicit Coordinator(const CoordinatorConfig& config) : config_(config) {
+        jobs_.resize(config.scenarios.size());
+        outcomes_.resize(config.scenarios.size());
+        for (std::size_t i = 0; i < outcomes_.size(); ++i)
+            outcomes_[i].scenario = config.scenarios[i];
+    }
+
+    CoordinationResult run() {
+        SigpipeGuard sigpipe;
+        // Every retry consumes a worker death, so the spawn budget is a
+        // hard backstop against respawn loops, never the limiting factor
+        // for a healthy run.
+        spawn_budget_ = config_.workers +
+                        static_cast<int>(jobs_.size()) * (config_.retries + 1) + 2;
+        try {
+            while (unfinished() > 0) {
+                maintain_fleet();
+                assign_work();
+                pump_events();
+                enforce_heartbeats();
+            }
+        } catch (...) {
+            shutdown();
+            throw;
+        }
+        shutdown();
+        CoordinationResult result;
+        result.outcomes = std::move(outcomes_);
+        result.complete =
+            std::all_of(result.outcomes.begin(), result.outcomes.end(),
+                        [](const api::DispatchOutcome& o) { return o.ok; });
+        return result;
+    }
+
+  private:
+    [[nodiscard]] int unfinished() const {
+        int n = 0;
+        for (const JobState& job : jobs_)
+            if (job.status == JobStatus::Pending || job.status == JobStatus::Running)
+                ++n;
+        return n;
+    }
+
+    [[nodiscard]] int alive_workers() const {
+        int n = 0;
+        for (const WorkerSlot& w : workers_)
+            if (w.alive) ++n;
+        return n;
+    }
+
+    /// Keeps min(workers, remaining jobs) workers alive while work
+    /// remains, within the spawn budget.
+    void maintain_fleet() {
+        const int want = std::min(config_.workers, unfinished());
+        while (alive_workers() < want) {
+            if (spawn_budget_ <= 0)
+                throw Error("dispatch: worker respawn budget exhausted — the "
+                            "serve command keeps dying (" +
+                            config_.serve_command.front() + ")");
+            if (startup_failures_ > config_.workers + 1)
+                throw Error("dispatch: workers exit before completing the "
+                            "protocol handshake — is '" +
+                            config_.serve_command.front() +
+                            "' a statim build with a working 'serve' mode?");
+            --spawn_budget_;
+            WorkerSlot slot;
+            slot.proc = spawn_worker(config_.serve_command);
+            set_nonblocking(slot.proc.in_fd);
+            slot.alive = true;
+            slot.since_frame.reset();
+            // Reuse a dead slot if any, else append.
+            auto dead = std::find_if(workers_.begin(), workers_.end(),
+                                     [](const WorkerSlot& w) { return !w.alive; });
+            if (dead != workers_.end())
+                *dead = std::move(slot);
+            else
+                workers_.push_back(std::move(slot));
+        }
+    }
+
+    /// Heaviest-first (LPT) assignment: estimated cost is the iteration
+    /// cap — with one design shared by every scenario, iterations are the
+    /// work unit — ties broken by input order for determinism.
+    [[nodiscard]] int pick_pending() const {
+        int best = -1;
+        for (std::size_t i = 0; i < jobs_.size(); ++i) {
+            if (jobs_[i].status != JobStatus::Pending) continue;
+            if (best < 0 || config_.scenarios[i].max_iterations >
+                                config_.scenarios[best].max_iterations)
+                best = static_cast<int>(i);
+        }
+        return best;
+    }
+
+    void assign_work() {
+        for (WorkerSlot& worker : workers_) {
+            if (!worker.alive || !worker.hello_ok || worker.job >= 0) continue;
+            const int job = pick_pending();
+            if (job < 0) break;
+            RunRequest request;
+            request.job = job;
+            request.attempt = jobs_[job].attempts;
+            request.source = config_.source;
+            request.fingerprint = config_.fingerprint;
+            request.checkpoint_every = config_.checkpoint_every;
+            if (config_.fault.kind != api::FaultInjection::Kind::None &&
+                config_.fault.scenario == job &&
+                (config_.fault.persistent || jobs_[job].attempts == 0)) {
+                request.fault_kind = config_.fault.kind;
+                request.fault_after = config_.fault.after_iteration;
+            }
+            request.scenario = config_.scenarios[job];
+            request.resume_checkpoint = jobs_[job].checkpoint;
+            if (!request.resume_checkpoint.empty()) ++jobs_[job].migrations;
+            jobs_[job].status = JobStatus::Running;
+            worker.job = job;
+            worker.since_frame.reset();
+            if (!write_all(worker.proc.out_fd,
+                           encode_frame(FrameType::Run, encode_run(request))))
+                worker_died(worker);
+        }
+    }
+
+    /// Polls all live workers, drains readable pipes, handles frames and
+    /// EOFs. Timeout tracks the nearest heartbeat deadline.
+    void pump_events() {
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> index;
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+            if (!workers_[i].alive) continue;
+            fds.push_back({workers_[i].proc.in_fd, POLLIN, 0});
+            index.push_back(i);
+        }
+        if (fds.empty()) return;
+
+        int timeout_ms = 1000;
+        for (const WorkerSlot& w : workers_) {
+            if (!w.alive) continue;
+            if (w.job < 0 && w.hello_ok) continue;  // idle: nothing expected
+            const int left = config_.heartbeat_timeout_ms -
+                             static_cast<int>(w.since_frame.millis());
+            timeout_ms = std::min(timeout_ms, left);
+        }
+        timeout_ms = std::max(timeout_ms, 10);
+
+        const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+        if (ready < 0) {
+            if (errno == EINTR) return;
+            throw Error(std::string("dispatch: poll: ") + std::strerror(errno));
+        }
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+            if (fds[k].revents == 0) continue;
+            drain_worker(workers_[index[k]]);
+        }
+    }
+
+    /// Nonblocking read until EAGAIN/EOF; frames are processed before an
+    /// EOF is acted on, so a result that raced the worker's death lands.
+    void drain_worker(WorkerSlot& worker) {
+        char buf[1 << 16];
+        bool saw_eof = false;
+        for (;;) {
+            const ssize_t n = ::read(worker.proc.in_fd, buf, sizeof(buf));
+            if (n > 0) {
+                worker.parser.feed(buf, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n == 0) {
+                saw_eof = true;
+                break;
+            }
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            saw_eof = true;  // treat a broken pipe read as death
+            break;
+        }
+        while (worker.alive) {
+            const std::optional<Frame> frame = worker.parser.next();
+            if (!frame) break;
+            worker.since_frame.reset();
+            handle_frame(worker, *frame);
+        }
+        if (saw_eof && worker.alive) worker_died(worker);
+    }
+
+    void handle_frame(WorkerSlot& worker, const Frame& frame) {
+        switch (frame.type) {
+            case FrameType::Hello: {
+                const Hello hello = parse_hello(frame.payload);
+                if (hello.protocol != kProtocolVersion ||
+                    hello.checkpoint_version != api::kCheckpointFormatVersion)
+                    throw Error(
+                        "dispatch: worker version skew — worker speaks protocol " +
+                        std::to_string(hello.protocol) + "/checkpoint " +
+                        std::to_string(hello.checkpoint_version) +
+                        ", coordinator needs " + std::to_string(kProtocolVersion) +
+                        "/" + std::to_string(api::kCheckpointFormatVersion) +
+                        " (worker build: " + hello.version + ")");
+                worker.hello_ok = true;
+                break;
+            }
+            case FrameType::Heartbeat:
+                parse_heartbeat(frame.payload);  // liveness is the payload
+                break;
+            case FrameType::Checkpoint: {
+                const CheckpointMsg msg = parse_checkpoint(frame.payload);
+                expect_current_job(worker, msg.job, "ckpt");
+                jobs_[msg.job].checkpoint = msg.checkpoint;
+                break;
+            }
+            case FrameType::Result: {
+                ResultMsg msg = parse_result(frame.payload);
+                expect_current_job(worker, msg.job, "result");
+                finish_job(msg);
+                worker.job = -1;
+                break;
+            }
+            case FrameType::Error: {
+                const ErrorMsg msg = parse_error(frame.payload);
+                if (msg.job < 0)
+                    throw Error("dispatch: worker rejected a run request: " +
+                                msg.message);
+                expect_current_job(worker, msg.job, "err");
+                fail_job(msg.job, msg.message);
+                worker.job = -1;
+                break;
+            }
+            default:
+                throw Error(std::string("dispatch: unexpected ") +
+                            frame_type_name(frame.type) + " frame from worker");
+        }
+    }
+
+    void expect_current_job(const WorkerSlot& worker, int job, const char* what) {
+        if (job != worker.job)
+            throw Error(std::string("dispatch: ") + what + " frame for job " +
+                        std::to_string(job) + " from the worker running job " +
+                        std::to_string(worker.job));
+    }
+
+    /// Builds the outcome from the final-state checkpoint the result
+    /// frame carries: widths, full sizing history, exact accumulators —
+    /// the same state an in-process run ends with.
+    void finish_job(const ResultMsg& msg) {
+        std::istringstream in(msg.checkpoint);
+        api::detail::CheckpointPayload payload = api::detail::load_checkpoint(in);
+        if (payload.design_name != config_.design_name ||
+            payload.library_fingerprint != config_.fingerprint)
+            throw Error("dispatch: result checkpoint is from design '" +
+                        payload.design_name + "', expected '" +
+                        config_.design_name + "'");
+        api::DispatchOutcome& outcome = outcomes_[msg.job];
+        outcome.ok = true;
+        outcome.error.clear();
+        outcome.widths = std::move(payload.widths);
+        outcome.sizing = std::move(payload.loop.result);
+        if (msg.has_mc) outcome.mc = msg.mc;
+        outcome.attempts = jobs_[msg.job].attempts;
+        outcome.migrations = jobs_[msg.job].migrations;
+        jobs_[msg.job].status = JobStatus::Done;
+        jobs_[msg.job].checkpoint.clear();
+    }
+
+    /// Deterministic failure (worker err frame or exhausted retries).
+    void fail_job(int job, const std::string& message) {
+        api::DispatchOutcome& outcome = outcomes_[job];
+        outcome.ok = false;
+        outcome.error = message;
+        outcome.attempts = jobs_[job].attempts;
+        outcome.migrations = jobs_[job].migrations;
+        jobs_[job].status = JobStatus::Failed;
+        jobs_[job].checkpoint.clear();
+    }
+
+    /// EOF/EPIPE on a worker: reap it and recover its job. The run is
+    /// requeued to resume from the latest shipped checkpoint (migration)
+    /// until the scenario's retry budget runs out.
+    void worker_died(WorkerSlot& worker) {
+        worker.alive = false;
+        if (worker.proc.pid > 0) {
+            int status = 0;
+            while (::waitpid(worker.proc.pid, &status, 0) < 0 && errno == EINTR) {}
+        }
+        worker.proc.close_fds();
+        if (!worker.hello_ok && worker.job < 0) ++startup_failures_;
+        if (worker.job < 0) return;
+        const int job = worker.job;
+        worker.job = -1;
+        JobState& state = jobs_[job];
+        ++state.attempts;
+        if (state.attempts > config_.retries) {
+            fail_job(job, "retry budget exhausted (" +
+                              std::to_string(state.attempts) + " worker failures)");
+            return;
+        }
+        state.status = JobStatus::Pending;
+        std::fprintf(stderr,
+                     "statim dispatch: worker died running scenario %d "
+                     "(attempt %d)%s\n",
+                     job, state.attempts,
+                     state.checkpoint.empty() ? ", restarting from scratch"
+                                              : ", migrating from checkpoint");
+    }
+
+    /// SIGKILLs workers that stopped producing frames (hung runs, or a
+    /// worker that never completed the handshake).
+    void enforce_heartbeats() {
+        for (WorkerSlot& worker : workers_) {
+            if (!worker.alive) continue;
+            if (worker.job < 0 && worker.hello_ok) continue;
+            if (worker.since_frame.millis() <
+                static_cast<double>(config_.heartbeat_timeout_ms))
+                continue;
+            std::fprintf(stderr,
+                         "statim dispatch: no frames from worker pid %d for "
+                         "%d ms — killing it\n",
+                         static_cast<int>(worker.proc.pid),
+                         config_.heartbeat_timeout_ms);
+            ::kill(worker.proc.pid, SIGKILL);
+            worker_died(worker);
+        }
+    }
+
+    void shutdown() noexcept {
+        for (WorkerSlot& worker : workers_) {
+            if (!worker.alive) continue;
+            try {
+                write_all(worker.proc.out_fd, encode_frame(FrameType::Quit, ""));
+            } catch (...) {}
+            worker.proc.close_fds();
+            int status = 0;
+            while (::waitpid(worker.proc.pid, &status, 0) < 0 && errno == EINTR) {}
+            worker.alive = false;
+        }
+    }
+
+    const CoordinatorConfig& config_;
+    std::vector<JobState> jobs_;
+    std::vector<api::DispatchOutcome> outcomes_;
+    std::vector<WorkerSlot> workers_;
+    int spawn_budget_{0};
+    int startup_failures_{0};
+};
+
+}  // namespace
+
+CoordinationResult coordinate(const CoordinatorConfig& config) {
+    if (config.serve_command.empty())
+        throw ConfigError("dispatch: no serve command configured");
+    if (config.workers < 1)
+        throw ConfigError("dispatch: worker count must be >= 1 (use the "
+                          "in-process path for workers == 0)");
+    if (config.scenarios.empty())
+        throw ConfigError("dispatch: empty scenario set");
+    Coordinator coordinator(config);
+    return coordinator.run();
+}
+
+}  // namespace statim::dist

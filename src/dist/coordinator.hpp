@@ -1,0 +1,44 @@
+// The dispatch coordinator: spawns serve workers, shards the scenario
+// set across them, watches heartbeats, and migrates interrupted runs by
+// shipping checkpoint streams. Single-threaded poll() event loop —
+// workers provide all the parallelism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/dispatch.hpp"
+
+namespace statim::dist {
+
+struct CoordinatorConfig {
+    api::DesignSource source;
+    /// Netlist name of the coordinator's design (result sanity check).
+    std::string design_name;
+    /// Coordinator-side library fingerprint; every run frame carries it
+    /// and workers refuse runs under a mismatched library.
+    std::uint64_t fingerprint{0};
+    std::vector<api::Scenario> scenarios;
+    int workers{2};
+    int checkpoint_every{1};
+    int heartbeat_timeout_ms{60000};
+    int retries{2};
+    std::vector<std::string> serve_command;
+    api::FaultInjection fault;
+};
+
+struct CoordinationResult {
+    /// False when any scenario failed (budget exhausted or worker error).
+    bool complete{true};
+    /// One outcome per scenario, input order.
+    std::vector<api::DispatchOutcome> outcomes;
+};
+
+/// Runs the whole scenario set to completion (every scenario Done or
+/// Failed). Throws util Error when the worker command itself is broken
+/// (exec failure, protocol mismatch) — per-scenario failures land in the
+/// outcomes instead.
+[[nodiscard]] CoordinationResult coordinate(const CoordinatorConfig& config);
+
+}  // namespace statim::dist

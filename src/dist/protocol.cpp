@@ -1,0 +1,396 @@
+#include "dist/protocol.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "api/checkpoint.hpp"
+#include "api/detail.hpp"
+#include "api/scenario_io.hpp"
+#include "api/version.hpp"
+#include "util/error.hpp"
+
+namespace statim::dist {
+
+namespace {
+
+constexpr const char* kFrameMagic = "statim-frame";
+
+struct TypeName {
+    FrameType type;
+    const char* name;
+};
+
+constexpr std::array<TypeName, 7> kTypeNames{{
+    {FrameType::Hello, "hello"},
+    {FrameType::Run, "run"},
+    {FrameType::Heartbeat, "beat"},
+    {FrameType::Checkpoint, "ckpt"},
+    {FrameType::Result, "result"},
+    {FrameType::Error, "err"},
+    {FrameType::Quit, "quit"},
+}};
+
+std::optional<FrameType> type_of(std::string_view name) {
+    for (const TypeName& t : kTypeNames)
+        if (name == t.name) return t.type;
+    return std::nullopt;
+}
+
+[[noreturn]] void protocol_error(const std::string& what) {
+    throw Error("dispatch protocol: " + what);
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+    std::istringstream ss(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ss >> tok) tokens.push_back(std::move(tok));
+    return tokens;
+}
+
+std::int64_t to_int(const std::string& tok) {
+    const char* s = tok.c_str();
+    char* end = nullptr;
+    const std::int64_t v = std::strtoll(s, &end, 10);
+    if (end == s || *end != '\0')
+        protocol_error("malformed integer '" + tok + "'");
+    return v;
+}
+
+std::uint64_t to_uint(const std::string& tok) {
+    const char* s = tok.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const std::uint64_t v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || tok.front() == '-' || errno == ERANGE)
+        protocol_error("malformed integer '" + tok + "'");
+    return v;
+}
+
+double to_double(const std::string& tok) {
+    const char* s = tok.c_str();
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0') protocol_error("malformed number '" + tok + "'");
+    return v;
+}
+
+/// Line-at-a-time view over a payload string; tracks the byte offset so
+/// the remainder after a marker line can be taken verbatim (checkpoint
+/// streams embedded in run/result payloads).
+class PayloadReader {
+  public:
+    explicit PayloadReader(const std::string& payload) : payload_(payload) {}
+
+    /// Next line (without '\n'), or nullopt at end of payload.
+    std::optional<std::string> next_line() {
+        if (pos_ >= payload_.size()) return std::nullopt;
+        const std::size_t nl = payload_.find('\n', pos_);
+        const std::size_t end = nl == std::string::npos ? payload_.size() : nl;
+        std::string line = payload_.substr(pos_, end - pos_);
+        pos_ = nl == std::string::npos ? payload_.size() : nl + 1;
+        return line;
+    }
+
+    /// Everything after the last consumed line, verbatim.
+    [[nodiscard]] std::string rest() const { return payload_.substr(pos_); }
+
+  private:
+    const std::string& payload_;
+    std::size_t pos_{0};
+};
+
+std::string join_from(const std::vector<std::string>& tokens, std::size_t from) {
+    std::string out;
+    for (std::size_t i = from; i < tokens.size(); ++i) {
+        if (!out.empty()) out += ' ';
+        out += tokens[i];
+    }
+    return out;
+}
+
+const char* fault_name(api::FaultInjection::Kind kind) {
+    switch (kind) {
+        case api::FaultInjection::Kind::Kill: return "kill";
+        case api::FaultInjection::Kind::Hang: return "hang";
+        case api::FaultInjection::Kind::None: break;
+    }
+    return "none";
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType type) noexcept {
+    for (const TypeName& t : kTypeNames)
+        if (t.type == type) return t.name;
+    return "?";
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+    std::string out;
+    out.reserve(payload.size() + 32);
+    out += kFrameMagic;
+    out += ' ';
+    out += frame_type_name(type);
+    out += ' ';
+    out += std::to_string(payload.size());
+    out += '\n';
+    out += payload;
+    out += '\n';
+    return out;
+}
+
+std::optional<Frame> FrameParser::next() {
+    // Reclaim consumed prefix lazily so a long session doesn't grow the
+    // buffer without bound.
+    if (consumed_ > 0 && (consumed_ >= buffer_.size() || consumed_ > 4096)) {
+        buffer_.erase(0, consumed_);
+        consumed_ = 0;
+    }
+    const std::size_t nl = buffer_.find('\n', consumed_);
+    if (nl == std::string::npos) return std::nullopt;
+    const std::string header = buffer_.substr(consumed_, nl - consumed_);
+    const std::vector<std::string> tokens = split_tokens(header);
+    if (tokens.size() != 3 || tokens[0] != kFrameMagic)
+        protocol_error("malformed frame header '" + header + "'");
+    const std::optional<FrameType> type = type_of(tokens[1]);
+    if (!type) protocol_error("unknown frame type '" + tokens[1] + "'");
+    const std::uint64_t length = to_uint(tokens[2]);
+    if (length > kMaxFramePayload)
+        protocol_error("frame payload of " + tokens[2] + " bytes exceeds the " +
+                       std::to_string(kMaxFramePayload) + "-byte bound");
+    // header + '\n' + payload + '\n'
+    const std::size_t need = nl + 1 + static_cast<std::size_t>(length) + 1;
+    if (buffer_.size() - consumed_ < need - consumed_ ||
+        buffer_.size() < need)
+        return std::nullopt;
+    Frame frame;
+    frame.type = *type;
+    frame.payload = buffer_.substr(nl + 1, static_cast<std::size_t>(length));
+    if (buffer_[need - 1] != '\n')
+        protocol_error("frame payload is not newline-terminated");
+    consumed_ = need;
+    return frame;
+}
+
+// ---- hello ------------------------------------------------------------
+
+std::string encode_hello() {
+    std::ostringstream out;
+    out << "statim-dist " << kProtocolVersion << '\n';
+    out << "checkpoint " << api::kCheckpointFormatVersion << '\n';
+    out << "version " << api::version() << '\n';
+    return out.str();
+}
+
+Hello parse_hello(const std::string& payload) {
+    PayloadReader r(payload);
+    Hello hello;
+    bool saw_magic = false;
+    while (const auto line = r.next_line()) {
+        const std::vector<std::string> tokens = split_tokens(*line);
+        if (tokens.empty()) continue;
+        if (tokens[0] == "statim-dist" && tokens.size() == 2) {
+            hello.protocol = static_cast<int>(to_int(tokens[1]));
+            saw_magic = true;
+        } else if (tokens[0] == "checkpoint" && tokens.size() == 2) {
+            hello.checkpoint_version = static_cast<int>(to_int(tokens[1]));
+        } else if (tokens[0] == "version") {
+            hello.version = join_from(tokens, 1);
+        } else {
+            protocol_error("malformed hello line '" + *line + "'");
+        }
+    }
+    if (!saw_magic) protocol_error("hello without a statim-dist line");
+    return hello;
+}
+
+// ---- run --------------------------------------------------------------
+
+std::string encode_run(const RunRequest& run) {
+    std::ostringstream out;
+    out << "job " << run.job << ' ' << run.attempt << '\n';
+    out << "design "
+        << (run.source.kind == api::DesignSource::Kind::Registry ? "registry"
+                                                                 : "bench")
+        << ' ' << run.source.name << '\n';
+    if (!run.source.lib_path.empty()) out << "lib " << run.source.lib_path << '\n';
+    out << "fingerprint " << run.fingerprint << '\n';
+    out << "checkpoint_every " << run.checkpoint_every << '\n';
+    if (run.fault_kind != api::FaultInjection::Kind::None)
+        out << "fault " << fault_name(run.fault_kind) << ' ' << run.fault_after
+            << '\n';
+    out << "resume " << run.resume_checkpoint.size() << '\n';
+    api::write_scenario(out, run.scenario);
+    out << run.resume_checkpoint;
+    return out.str();
+}
+
+RunRequest parse_run(const std::string& payload) {
+    PayloadReader r(payload);
+    RunRequest run;
+    std::size_t resume_bytes = 0;
+    std::string scenario_text;
+    for (;;) {
+        const auto line = r.next_line();
+        if (!line) protocol_error("run payload without a scenario block");
+        const std::vector<std::string> tokens = split_tokens(*line);
+        if (tokens.empty()) continue;
+        const std::string& key = tokens[0];
+        if (key == "job" && tokens.size() == 3) {
+            run.job = static_cast<int>(to_int(tokens[1]));
+            run.attempt = static_cast<int>(to_int(tokens[2]));
+        } else if (key == "design" && tokens.size() >= 3) {
+            if (tokens[1] == "registry")
+                run.source.kind = api::DesignSource::Kind::Registry;
+            else if (tokens[1] == "bench")
+                run.source.kind = api::DesignSource::Kind::BenchFile;
+            else
+                protocol_error("unknown design source '" + tokens[1] + "'");
+            run.source.name = join_from(tokens, 2);
+        } else if (key == "lib" && tokens.size() >= 2) {
+            run.source.lib_path = join_from(tokens, 1);
+        } else if (key == "fingerprint" && tokens.size() == 2) {
+            run.fingerprint = to_uint(tokens[1]);
+        } else if (key == "checkpoint_every" && tokens.size() == 2) {
+            run.checkpoint_every = static_cast<int>(to_int(tokens[1]));
+        } else if (key == "fault" && tokens.size() == 3) {
+            if (tokens[1] == "kill")
+                run.fault_kind = api::FaultInjection::Kind::Kill;
+            else if (tokens[1] == "hang")
+                run.fault_kind = api::FaultInjection::Kind::Hang;
+            else
+                protocol_error("unknown fault kind '" + tokens[1] + "'");
+            run.fault_after = static_cast<int>(to_int(tokens[2]));
+        } else if (key == "resume" && tokens.size() == 2) {
+            resume_bytes = static_cast<std::size_t>(to_uint(tokens[1]));
+        } else if (key == "scenario") {
+            // The scenario block runs through its own 'end' line; re-read
+            // it with the scenario-set parser.
+            scenario_text = *line;
+            scenario_text += '\n';
+            for (;;) {
+                const auto body = r.next_line();
+                if (!body) protocol_error("run scenario block missing 'end'");
+                scenario_text += *body;
+                scenario_text += '\n';
+                if (split_tokens(*body).size() == 1 && *body == "end") break;
+            }
+            break;
+        } else {
+            protocol_error("malformed run line '" + *line + "'");
+        }
+    }
+    std::istringstream scenario_in(scenario_text);
+    run.scenario = api::read_scenario_set(scenario_in).front();
+    run.resume_checkpoint = r.rest();
+    if (run.resume_checkpoint.size() != resume_bytes)
+        protocol_error("run resume stream is " +
+                       std::to_string(run.resume_checkpoint.size()) +
+                       " bytes, header declared " + std::to_string(resume_bytes));
+    if (run.job < 0) protocol_error("run payload without a job line");
+    return run;
+}
+
+// ---- heartbeat --------------------------------------------------------
+
+std::string encode_heartbeat(const HeartbeatMsg& beat) {
+    return std::to_string(beat.job) + ' ' + std::to_string(beat.iteration);
+}
+
+HeartbeatMsg parse_heartbeat(const std::string& payload) {
+    const std::vector<std::string> tokens = split_tokens(payload);
+    if (tokens.size() != 2) protocol_error("malformed beat payload");
+    return {static_cast<int>(to_int(tokens[0])),
+            static_cast<int>(to_int(tokens[1]))};
+}
+
+// ---- checkpoint -------------------------------------------------------
+
+std::string encode_checkpoint(const CheckpointMsg& msg) {
+    return "job " + std::to_string(msg.job) + '\n' + msg.checkpoint;
+}
+
+CheckpointMsg parse_checkpoint(const std::string& payload) {
+    PayloadReader r(payload);
+    const auto line = r.next_line();
+    if (!line) protocol_error("empty ckpt payload");
+    const std::vector<std::string> tokens = split_tokens(*line);
+    if (tokens.size() != 2 || tokens[0] != "job")
+        protocol_error("ckpt payload without a job line");
+    CheckpointMsg msg;
+    msg.job = static_cast<int>(to_int(tokens[1]));
+    msg.checkpoint = r.rest();
+    return msg;
+}
+
+// ---- result -----------------------------------------------------------
+
+std::string encode_result(const ResultMsg& msg) {
+    std::ostringstream out;
+    const auto d = [](double v) { return api::detail::fmt_hexdouble(v); };
+    out << "job " << msg.job << '\n';
+    if (msg.has_mc)
+        out << "mc " << msg.mc.samples << ' ' << d(msg.mc.mean_ns) << ' '
+            << d(msg.mc.stddev_ns) << ' ' << d(msg.mc.min_ns) << ' '
+            << d(msg.mc.max_ns) << ' ' << d(msg.mc.p50_ns) << ' '
+            << d(msg.mc.p90_ns) << ' ' << d(msg.mc.p99_ns) << '\n';
+    out << "checkpoint\n";
+    out << msg.checkpoint;
+    return out.str();
+}
+
+ResultMsg parse_result(const std::string& payload) {
+    PayloadReader r(payload);
+    ResultMsg msg;
+    for (;;) {
+        const auto line = r.next_line();
+        if (!line) protocol_error("result payload without a checkpoint section");
+        const std::vector<std::string> tokens = split_tokens(*line);
+        if (tokens.empty()) continue;
+        if (tokens[0] == "job" && tokens.size() == 2) {
+            msg.job = static_cast<int>(to_int(tokens[1]));
+        } else if (tokens[0] == "mc" && tokens.size() == 9) {
+            msg.has_mc = true;
+            msg.mc.samples = static_cast<std::size_t>(to_uint(tokens[1]));
+            msg.mc.mean_ns = to_double(tokens[2]);
+            msg.mc.stddev_ns = to_double(tokens[3]);
+            msg.mc.min_ns = to_double(tokens[4]);
+            msg.mc.max_ns = to_double(tokens[5]);
+            msg.mc.p50_ns = to_double(tokens[6]);
+            msg.mc.p90_ns = to_double(tokens[7]);
+            msg.mc.p99_ns = to_double(tokens[8]);
+        } else if (tokens[0] == "checkpoint" && tokens.size() == 1) {
+            break;
+        } else {
+            protocol_error("malformed result line '" + *line + "'");
+        }
+    }
+    msg.checkpoint = r.rest();
+    if (msg.job < 0) protocol_error("result payload without a job line");
+    return msg;
+}
+
+// ---- error ------------------------------------------------------------
+
+std::string encode_error(const ErrorMsg& msg) {
+    return "job " + std::to_string(msg.job) + '\n' + msg.message;
+}
+
+ErrorMsg parse_error(const std::string& payload) {
+    PayloadReader r(payload);
+    const auto line = r.next_line();
+    if (!line) protocol_error("empty err payload");
+    const std::vector<std::string> tokens = split_tokens(*line);
+    if (tokens.size() != 2 || tokens[0] != "job")
+        protocol_error("err payload without a job line");
+    ErrorMsg msg;
+    msg.job = static_cast<int>(to_int(tokens[1]));
+    msg.message = r.rest();
+    return msg;
+}
+
+}  // namespace statim::dist

@@ -1,0 +1,135 @@
+// dist wire protocol: length-prefixed frames over a byte stream.
+//
+// Every message is one frame:
+//
+//     statim-frame <type> <payload-bytes>\n
+//     <payload-bytes bytes of payload>\n
+//
+// The header is a plain text line, the payload length is explicit, so
+// payloads may carry anything line-oriented (scenario blocks, whole
+// checkpoint streams) without escaping. Frame types:
+//
+//   hello   worker -> coordinator, once at startup: protocol version,
+//           checkpoint format version, library version string. The
+//           coordinator refuses mismatched workers up front.
+//   run     coordinator -> worker: one scenario execution — design
+//           source + library fingerprint + options + scenario block,
+//           optionally followed by a checkpoint stream to resume from
+//           (the migration path).
+//   beat    worker -> coordinator after every sizing iteration: the
+//           liveness signal the heartbeat timeout watches.
+//   ckpt    worker -> coordinator every checkpoint_every iterations:
+//           the full checkpoint stream migration resumes from.
+//   result  worker -> coordinator: final checkpoint stream (widths +
+//           history + accumulators) plus the MC digest.
+//   err     worker -> coordinator: deterministic per-run failure
+//           (fingerprint mismatch, invalid scenario); the worker stays
+//           alive and serves the next run.
+//   quit    coordinator -> worker: drain and exit cleanly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "api/dispatch.hpp"
+#include "api/scenario.hpp"
+
+namespace statim::dist {
+
+inline constexpr int kProtocolVersion = 1;
+
+/// Upper bound on one frame's payload; a corrupt header length surfaces
+/// as a protocol error instead of a giant allocation. Far above the
+/// largest real payload (a 250k-gate checkpoint stream is ~8 MB).
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 28;
+
+enum class FrameType { Hello, Run, Heartbeat, Checkpoint, Result, Error, Quit };
+
+[[nodiscard]] const char* frame_type_name(FrameType type) noexcept;
+
+struct Frame {
+    FrameType type{FrameType::Hello};
+    std::string payload;
+};
+
+/// Serializes header + payload + trailing newline.
+[[nodiscard]] std::string encode_frame(FrameType type, std::string_view payload);
+
+/// Incremental frame decoder for a nonblocking byte stream: feed()
+/// whatever arrived, next() yields complete frames. Throws util Error on
+/// a malformed header, unknown type or oversized payload.
+class FrameParser {
+  public:
+    void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+    /// The next complete frame, or nullopt until more bytes arrive.
+    [[nodiscard]] std::optional<Frame> next();
+
+  private:
+    std::string buffer_;
+    std::size_t consumed_{0};
+};
+
+// ---- frame payloads ---------------------------------------------------
+
+struct Hello {
+    int protocol{kProtocolVersion};
+    int checkpoint_version{0};
+    std::string version;  ///< api::version() of the worker build
+};
+
+[[nodiscard]] std::string encode_hello();
+[[nodiscard]] Hello parse_hello(const std::string& payload);
+
+struct RunRequest {
+    int job{-1};      ///< scenario index in the coordinator's set
+    int attempt{0};   ///< prior failures of this scenario
+    api::DesignSource source;
+    std::uint64_t fingerprint{0};  ///< coordinator's library fingerprint
+    int checkpoint_every{0};
+    api::FaultInjection::Kind fault_kind{api::FaultInjection::Kind::None};
+    int fault_after{0};
+    api::Scenario scenario;
+    std::string resume_checkpoint;  ///< empty = fresh run
+};
+
+[[nodiscard]] std::string encode_run(const RunRequest& run);
+[[nodiscard]] RunRequest parse_run(const std::string& payload);
+
+struct HeartbeatMsg {
+    int job{-1};
+    int iteration{0};
+};
+
+[[nodiscard]] std::string encode_heartbeat(const HeartbeatMsg& beat);
+[[nodiscard]] HeartbeatMsg parse_heartbeat(const std::string& payload);
+
+struct CheckpointMsg {
+    int job{-1};
+    std::string checkpoint;
+};
+
+[[nodiscard]] std::string encode_checkpoint(const CheckpointMsg& msg);
+[[nodiscard]] CheckpointMsg parse_checkpoint(const std::string& payload);
+
+struct ResultMsg {
+    int job{-1};
+    bool has_mc{false};
+    api::McDigest mc;
+    std::string checkpoint;  ///< final-state checkpoint stream
+};
+
+[[nodiscard]] std::string encode_result(const ResultMsg& msg);
+[[nodiscard]] ResultMsg parse_result(const std::string& payload);
+
+struct ErrorMsg {
+    int job{-1};
+    std::string message;
+};
+
+[[nodiscard]] std::string encode_error(const ErrorMsg& msg);
+[[nodiscard]] ErrorMsg parse_error(const std::string& payload);
+
+}  // namespace statim::dist

@@ -1,0 +1,131 @@
+#include "dist/transport.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace statim::dist {
+
+namespace {
+
+[[noreturn]] void sys_error(const char* what) {
+    throw Error(std::string(what) + ": " + std::strerror(errno));
+}
+
+void close_quiet(int& fd) noexcept {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+}
+
+}  // namespace
+
+WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept
+    : pid(std::exchange(other.pid, -1)),
+      in_fd(std::exchange(other.in_fd, -1)),
+      out_fd(std::exchange(other.out_fd, -1)) {}
+
+WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
+    if (this != &other) {
+        close_fds();
+        pid = std::exchange(other.pid, -1);
+        in_fd = std::exchange(other.in_fd, -1);
+        out_fd = std::exchange(other.out_fd, -1);
+    }
+    return *this;
+}
+
+WorkerProcess::~WorkerProcess() { close_fds(); }
+
+void WorkerProcess::close_fds() noexcept {
+    close_quiet(in_fd);
+    close_quiet(out_fd);
+}
+
+WorkerProcess spawn_worker(const std::vector<std::string>& command) {
+    if (command.empty()) throw Error("spawn_worker: empty command");
+
+    // [0] = read end, [1] = write end. O_CLOEXEC on both so a worker
+    // never inherits a sibling's pipe ends; the child's dup2 onto fds
+    // 0/1 clears the flag on exactly the two ends it needs.
+    int to_child[2] = {-1, -1};    // coordinator -> worker stdin
+    int from_child[2] = {-1, -1};  // worker stdout -> coordinator
+    if (::pipe2(to_child, O_CLOEXEC) != 0) sys_error("pipe2");
+    if (::pipe2(from_child, O_CLOEXEC) != 0) {
+        close_quiet(to_child[0]);
+        close_quiet(to_child[1]);
+        sys_error("pipe2");
+    }
+
+    std::vector<char*> argv;
+    argv.reserve(command.size() + 1);
+    for (const std::string& arg : command)
+        argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        close_quiet(to_child[0]);
+        close_quiet(to_child[1]);
+        close_quiet(from_child[0]);
+        close_quiet(from_child[1]);
+        sys_error("fork");
+    }
+    if (pid == 0) {
+        // Child: only async-signal-safe calls until exec.
+        if (::dup2(to_child[0], STDIN_FILENO) < 0 ||
+            ::dup2(from_child[1], STDOUT_FILENO) < 0)
+            ::_exit(127);
+        ::execvp(argv[0], argv.data());
+        ::_exit(127);
+    }
+
+    close_quiet(to_child[0]);
+    close_quiet(from_child[1]);
+    WorkerProcess worker;
+    worker.pid = pid;
+    worker.in_fd = from_child[0];
+    worker.out_fd = to_child[1];
+    return worker;
+}
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        sys_error("fcntl(O_NONBLOCK)");
+}
+
+bool write_all(int fd, const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EPIPE) return false;
+            sys_error("write");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::size_t read_some(int fd, char* buf, std::size_t cap) {
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, cap);
+        if (n >= 0) return static_cast<std::size_t>(n);
+        if (errno != EINTR) sys_error("read");
+    }
+}
+
+std::string self_exe_path() {
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0) return {};
+    return std::string(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace statim::dist

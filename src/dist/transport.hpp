@@ -1,0 +1,64 @@
+// Process + pipe plumbing for the dispatch coordinator and serve worker.
+//
+// The coordinator spawns each worker as a child process with a pipe pair
+// (coordinator writes the child's stdin, reads its stdout) and talks the
+// frame protocol over it. Spawning is fork+exec only — fork without exec
+// is unsafe here because the parent may hold live thread-pool threads
+// whose locks would be cloned mid-acquisition; between fork and exec the
+// child makes only async-signal-safe calls.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace statim::dist {
+
+/// A spawned worker child: its pid and the coordinator's ends of the two
+/// pipes. Move-only; close() is idempotent and the destructor closes the
+/// fds (but never reaps the pid — the coordinator owns waitpid).
+struct WorkerProcess {
+    pid_t pid{-1};
+    int in_fd{-1};   ///< coordinator reads worker stdout from here
+    int out_fd{-1};  ///< coordinator writes worker stdin here
+
+    WorkerProcess() = default;
+    WorkerProcess(const WorkerProcess&) = delete;
+    WorkerProcess& operator=(const WorkerProcess&) = delete;
+    WorkerProcess(WorkerProcess&& other) noexcept;
+    WorkerProcess& operator=(WorkerProcess&& other) noexcept;
+    ~WorkerProcess();
+
+    [[nodiscard]] bool valid() const noexcept { return pid > 0; }
+
+    /// Closes both fds (signals EOF to the child's stdin).
+    void close_fds() noexcept;
+};
+
+/// Spawns `command` (argv, PATH-searched) with stdin/stdout wired to
+/// fresh pipes; stderr is inherited so worker diagnostics reach the
+/// terminal. Throws util Error when the pipes or fork fail. An exec
+/// failure surfaces as the child exiting 127 (EOF on its pipe), which the
+/// coordinator's dead-worker path reports.
+[[nodiscard]] WorkerProcess spawn_worker(const std::vector<std::string>& command);
+
+/// Marks the fd nonblocking (coordinator read side). Throws util Error.
+void set_nonblocking(int fd);
+
+/// Writes the whole buffer, retrying on EINTR / short writes. Returns
+/// false on EPIPE (receiver died — the caller's dead-worker path), throws
+/// util Error on any other failure.
+bool write_all(int fd, const std::string& data);
+
+/// Blocking read of up to `cap` bytes; retries EINTR. Returns 0 at EOF,
+/// throws util Error on failure. (Worker side; the coordinator uses
+/// nonblocking reads in its poll loop.)
+std::size_t read_some(int fd, char* buf, std::size_t cap);
+
+/// Absolute path of the running executable (/proc/self/exe), or "" when
+/// unavailable; the CLI uses it to respawn itself as `serve` workers.
+[[nodiscard]] std::string self_exe_path();
+
+}  // namespace statim::dist

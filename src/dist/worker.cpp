@@ -1,0 +1,145 @@
+#include "dist/worker.hpp"
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "api/checkpoint.hpp"
+#include "api/design.hpp"
+#include "api/detail.hpp"
+#include "api/dispatch.hpp"
+#include "api/sizing_run.hpp"
+#include "dist/protocol.hpp"
+#include "dist/transport.hpp"
+#include "util/error.hpp"
+
+namespace statim::dist {
+
+namespace {
+
+/// One frame out; EPIPE (coordinator gone) ends the worker cleanly.
+bool send_frame(int out_fd, FrameType type, const std::string& payload) {
+    return write_all(out_fd, encode_frame(type, payload));
+}
+
+[[noreturn]] void inject_fault(api::FaultInjection::Kind kind) {
+    if (kind == api::FaultInjection::Kind::Kill) std::raise(SIGKILL);
+    // Hang: stay alive but go silent — the coordinator's heartbeat
+    // timeout must detect and kill us.
+    for (;;) ::pause();
+}
+
+/// Executes one run request end to end, streaming beat/ckpt frames.
+/// Throws util Error on deterministic per-run failures (the caller turns
+/// those into err frames); returns false when the coordinator vanished.
+bool execute_run(int out_fd, const RunRequest& request, api::Design design) {
+    if (api::detail::library_fingerprint(design.library()) != request.fingerprint)
+        throw Error("library fingerprint mismatch: worker library does not "
+                    "match the coordinator's (checkpoint streams would not "
+                    "transfer)");
+
+    auto run = [&] {
+        if (request.resume_checkpoint.empty())
+            return api::SizingRun(design, request.scenario);
+        std::istringstream in(request.resume_checkpoint);
+        return api::SizingRun::resume(design, in);
+    }();
+
+    const auto fault_due = [&] {
+        return request.fault_kind != api::FaultInjection::Kind::None &&
+               run.iteration() >= request.fault_after;
+    };
+
+    while (run.step()) {
+        if (!send_frame(out_fd, FrameType::Heartbeat,
+                        encode_heartbeat({request.job, run.iteration()})))
+            return false;
+        if (request.checkpoint_every > 0 &&
+            run.iteration() % request.checkpoint_every == 0) {
+            std::ostringstream ckpt;
+            run.save(ckpt);
+            if (!send_frame(out_fd, FrameType::Checkpoint,
+                            encode_checkpoint({request.job, ckpt.str()})))
+                return false;
+        }
+        if (fault_due()) inject_fault(request.fault_kind);
+    }
+    // A resumed already-finished run (or max_iterations 0) never enters
+    // the loop; the fault must still fire or a persistent-fault scenario
+    // would sneak through on resume.
+    if (fault_due()) inject_fault(request.fault_kind);
+
+    ResultMsg result;
+    result.job = request.job;
+    if (request.scenario.mc_samples > 0) {
+        result.has_mc = true;
+        result.mc = api::McDigest::of(run.validate_mc(request.scenario.mc_samples));
+    }
+    std::ostringstream final_state;
+    run.save(final_state);
+    result.checkpoint = final_state.str();
+    return send_frame(out_fd, FrameType::Result, encode_result(result));
+}
+
+}  // namespace
+
+int worker_loop(int in_fd, int out_fd) {
+    if (!send_frame(out_fd, FrameType::Hello, encode_hello())) return 0;
+
+    // Pristine designs by source, so repeated runs on the same circuit
+    // skip the netlist parse; every run sizes a fresh copy.
+    std::map<std::string, api::Design> designs;
+
+    FrameParser parser;
+    char buf[1 << 16];
+    for (;;) {
+        std::optional<Frame> frame;
+        try {
+            while (!(frame = parser.next())) {
+                const std::size_t n = read_some(in_fd, buf, sizeof(buf));
+                if (n == 0) return 0;  // coordinator closed our stdin
+                parser.feed(buf, n);
+            }
+        } catch (const Error& e) {
+            std::fprintf(stderr, "statim serve: %s\n", e.what());
+            return 1;
+        }
+
+        switch (frame->type) {
+            case FrameType::Quit:
+                return 0;
+            case FrameType::Run: {
+                int job = -1;
+                try {
+                    const RunRequest request = parse_run(frame->payload);
+                    job = request.job;
+                    const std::string key =
+                        (request.source.kind == api::DesignSource::Kind::Registry
+                             ? "registry\n"
+                             : "bench\n") +
+                        request.source.name + '\n' + request.source.lib_path;
+                    auto it = designs.find(key);
+                    if (it == designs.end())
+                        it = designs.emplace(key, request.source.load()).first;
+                    if (!execute_run(out_fd, request, it->second)) return 0;
+                } catch (const Error& e) {
+                    if (!send_frame(out_fd, FrameType::Error,
+                                    encode_error({job, e.what()})))
+                        return 0;
+                }
+                break;
+            }
+            default:
+                std::fprintf(stderr,
+                             "statim serve: unexpected %s frame from coordinator\n",
+                             frame_type_name(frame->type));
+                return 1;
+        }
+    }
+}
+
+}  // namespace statim::dist

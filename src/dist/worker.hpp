@@ -1,0 +1,12 @@
+// The `statim serve` worker loop: speaks the frame protocol on an fd
+// pair, executing one sizing run per run frame.
+#pragma once
+
+namespace statim::dist {
+
+/// Blocks serving frames from in_fd, writing frames to out_fd, until a
+/// quit frame or EOF. Returns the process exit code (0 on clean
+/// shutdown, 1 on a transport/protocol failure).
+int worker_loop(int in_fd, int out_fd);
+
+}  // namespace statim::dist

@@ -1,0 +1,368 @@
+// Dispatch determinism properties (api/dispatch.hpp contract): the
+// report a multi-process dispatch aggregates — and its JSON rendering —
+// must be bitwise identical to the in-process api::run_scenarios
+// reference, invariant to worker count AND to SIGKILL/hang-induced
+// checkpoint migration (randomized kill points). Plus protocol-level
+// units: frame parsing byte-at-a-time, oversized-payload rejection, and
+// the worker's library-fingerprint refusal.
+//
+// The process-spawning tests exec the real `statim serve` binary
+// (STATIM_SERVE_BIN, wired by CMake when the CLI is built) and skip when
+// it is unavailable.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/detail.hpp"
+#include "api/statim.hpp"
+#include "core/context.hpp"
+#include "dist/protocol.hpp"
+#include "dist/transport.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace statim::api {
+namespace {
+
+const char* serve_bin() {
+#ifdef STATIM_SERVE_BIN
+    return STATIM_SERVE_BIN;
+#else
+    return nullptr;
+#endif
+}
+
+#define REQUIRE_SERVE_BIN()                                       \
+    do {                                                          \
+        if (serve_bin() == nullptr)                               \
+            GTEST_SKIP() << "statim CLI not built; no serve binary"; \
+    } while (0)
+
+DispatchOptions base_options() {
+    DispatchOptions options;
+    options.serve_command = {serve_bin(), "serve"};
+    options.checkpoint_every = 1;
+    options.heartbeat_timeout_ms = 60000;
+    options.retries = 2;
+    return options;
+}
+
+/// Three heterogenous scenarios on one design: different budgets and
+/// batches (exercises LPT ordering), one with MC validation (exercises
+/// the digest path and the RNG-carrying checkpoint contract).
+std::vector<Scenario> make_scenarios() {
+    std::vector<Scenario> scenarios(3);
+    scenarios[0].name = "k1-short";
+    scenarios[0].max_iterations = 5;
+    scenarios[0].seed = 7;
+    scenarios[1].name = "k2-long";
+    scenarios[1].max_iterations = 8;
+    scenarios[1].gates_per_iteration = 2;
+    scenarios[1].seed = 7;
+    scenarios[2].name = "k1-mc";
+    scenarios[2].max_iterations = 6;
+    scenarios[2].mc_samples = 500;
+    scenarios[2].seed = 11;
+    return scenarios;
+}
+
+std::string json_of(const DispatchReport& report) {
+    std::ostringstream out;
+    write_dispatch_json(out, report);
+    return out.str();
+}
+
+/// Fresh design with the outcome's widths installed, for arrival
+/// comparison (the same reconstruction checkpoint resume relies on).
+Design design_with_widths(const DispatchReport& report,
+                          const std::vector<double>& widths) {
+    Design design = Design::from_registry(report.design);
+    EXPECT_EQ(design.gate_count(), widths.size());
+    for (std::size_t g = 0; g < widths.size(); ++g)
+        design.netlist().gate(GateId(static_cast<std::uint32_t>(g))).width =
+            widths[g];
+    return design;
+}
+
+void expect_arrivals_equal(Design& a, Design& b, const std::string& label) {
+    core::Context ctx_a(a.netlist(), a.library());
+    core::Context ctx_b(b.netlist(), b.library());
+    ctx_a.run_ssta();
+    ctx_b.run_ssta();
+    ASSERT_EQ(ctx_a.graph().node_count(), ctx_b.graph().node_count()) << label;
+    for (std::size_t n = 0; n < ctx_a.graph().node_count(); ++n) {
+        const NodeId node{static_cast<std::uint32_t>(n)};
+        ASSERT_TRUE(ctx_a.engine().arrival(node) == ctx_b.engine().arrival(node))
+            << label << " node " << n;
+    }
+}
+
+/// The acceptance property: byte-identical JSON, and per scenario
+/// bitwise-equal widths, full history, and post-sizing arrivals.
+void expect_reports_identical(const DispatchReport& ref,
+                              const DispatchReport& got,
+                              const std::string& label) {
+    EXPECT_EQ(json_of(ref), json_of(got)) << label;
+    ASSERT_EQ(ref.outcomes.size(), got.outcomes.size()) << label;
+    for (std::size_t i = 0; i < ref.outcomes.size(); ++i) {
+        const DispatchOutcome& a = ref.outcomes[i];
+        const DispatchOutcome& b = got.outcomes[i];
+        const std::string tag = label + " scenario " + std::to_string(i);
+        ASSERT_EQ(a.ok, b.ok) << tag;
+        if (!a.ok) continue;
+        EXPECT_EQ(a.widths, b.widths) << tag;
+        ASSERT_EQ(a.sizing.history.size(), b.sizing.history.size()) << tag;
+        for (std::size_t k = 0; k < a.sizing.history.size(); ++k) {
+            EXPECT_EQ(a.sizing.history[k].gate, b.sizing.history[k].gate) << tag;
+            EXPECT_EQ(a.sizing.history[k].objective_after_ns,
+                      b.sizing.history[k].objective_after_ns)
+                << tag << " record " << k;
+            EXPECT_EQ(a.sizing.history[k].width_after,
+                      b.sizing.history[k].width_after)
+                << tag << " record " << k;
+        }
+        EXPECT_EQ(a.mc.samples, b.mc.samples) << tag;
+        EXPECT_EQ(a.mc.mean_ns, b.mc.mean_ns) << tag;
+        EXPECT_EQ(a.mc.p99_ns, b.mc.p99_ns) << tag;
+        Design da = design_with_widths(ref, a.widths);
+        Design db = design_with_widths(got, b.widths);
+        expect_arrivals_equal(da, db, tag);
+    }
+}
+
+TEST(Dispatch, MatchesInProcessAcrossWorkerCounts) {
+    REQUIRE_SERVE_BIN();
+    const DesignSource source;  // registry c432
+    const std::vector<Scenario> scenarios = make_scenarios();
+    const DispatchReport ref = run_scenarios_report(source, scenarios);
+    ASSERT_TRUE(ref.complete);
+
+    for (const int workers : {1, 3}) {
+        DispatchOptions options = base_options();
+        options.workers = workers;
+        options.checkpoint_every = 2;
+        const DispatchReport got = dispatch_scenarios(source, scenarios, options);
+        EXPECT_TRUE(got.complete);
+        expect_reports_identical(ref, got,
+                                 "workers=" + std::to_string(workers));
+        for (const DispatchOutcome& o : got.outcomes) {
+            EXPECT_EQ(o.attempts, 0);
+            EXPECT_EQ(o.migrations, 0);
+        }
+    }
+}
+
+TEST(Dispatch, SigkillMigrationBitwise) {
+    REQUIRE_SERVE_BIN();
+    const DesignSource source;
+    const std::vector<Scenario> scenarios = make_scenarios();
+    const DispatchReport ref = run_scenarios_report(source, scenarios);
+
+    // Randomized (but seeded) kill points: any victim scenario, any
+    // iteration within its budget, both checkpoint cadences.
+    Rng rng(20260808);
+    for (int trial = 0; trial < 3; ++trial) {
+        DispatchOptions options = base_options();
+        options.workers = 2;
+        options.checkpoint_every = static_cast<int>(rng.uniform_int(1, 2));
+        options.fault.kind = FaultInjection::Kind::Kill;
+        options.fault.scenario = static_cast<int>(
+            rng.uniform_int(0, static_cast<std::int64_t>(scenarios.size()) - 1));
+        options.fault.after_iteration = static_cast<int>(rng.uniform_int(1, 4));
+        const std::string label =
+            "trial=" + std::to_string(trial) +
+            " victim=" + std::to_string(options.fault.scenario) +
+            " after=" + std::to_string(options.fault.after_iteration) +
+            " ckpt_every=" + std::to_string(options.checkpoint_every);
+
+        const DispatchReport got = dispatch_scenarios(source, scenarios, options);
+        EXPECT_TRUE(got.complete) << label;
+        expect_reports_identical(ref, got, label);
+        EXPECT_EQ(got.outcomes[options.fault.scenario].attempts, 1) << label;
+    }
+}
+
+TEST(Dispatch, HangDetectionAndMigrationBitwise) {
+    REQUIRE_SERVE_BIN();
+    const DesignSource source;
+    const std::vector<Scenario> scenarios = make_scenarios();
+    const DispatchReport ref = run_scenarios_report(source, scenarios);
+
+    DispatchOptions options = base_options();
+    options.workers = 2;
+    options.heartbeat_timeout_ms = 300;
+    options.fault.kind = FaultInjection::Kind::Hang;
+    options.fault.scenario = 1;
+    options.fault.after_iteration = 2;
+    const DispatchReport got = dispatch_scenarios(source, scenarios, options);
+    EXPECT_TRUE(got.complete);
+    expect_reports_identical(ref, got, "hang");
+    EXPECT_EQ(got.outcomes[1].attempts, 1);
+    EXPECT_EQ(got.outcomes[1].migrations, 1);
+}
+
+TEST(Dispatch, RetryBudgetExhaustionFailsLoudly) {
+    REQUIRE_SERVE_BIN();
+    const DesignSource source;
+    const std::vector<Scenario> scenarios = make_scenarios();
+
+    DispatchOptions options = base_options();
+    options.workers = 2;
+    options.checkpoint_every = 0;  // no migration: every attempt restarts
+    options.retries = 1;
+    options.fault.kind = FaultInjection::Kind::Kill;
+    options.fault.scenario = 1;
+    options.fault.after_iteration = 1;
+    options.fault.persistent = true;
+    const DispatchReport got = dispatch_scenarios(source, scenarios, options);
+
+    EXPECT_FALSE(got.complete);
+    ASSERT_EQ(got.outcomes.size(), scenarios.size());
+    EXPECT_FALSE(got.outcomes[1].ok);
+    EXPECT_NE(got.outcomes[1].error.find("retry budget exhausted"),
+              std::string::npos)
+        << got.outcomes[1].error;
+    EXPECT_EQ(got.outcomes[1].attempts, 2);  // retries + 1, deterministic
+    // The other scenarios still complete and match the reference.
+    EXPECT_TRUE(got.outcomes[0].ok);
+    EXPECT_TRUE(got.outcomes[2].ok);
+    const std::string json = json_of(got);
+    EXPECT_NE(json.find("\"incomplete\":true"), std::string::npos);
+    EXPECT_NE(json.find("retry budget exhausted"), std::string::npos);
+}
+
+TEST(Dispatch, WorkerRefusesFingerprintMismatch) {
+    REQUIRE_SERVE_BIN();
+    // Talk to a real serve worker directly and hand it a run frame whose
+    // library fingerprint cannot match: the worker must answer with a
+    // deterministic err frame (and stay alive), never run the scenario.
+    dist::WorkerProcess worker = dist::spawn_worker({serve_bin(), "serve"});
+    dist::RunRequest request;
+    request.job = 0;
+    request.fingerprint = 0xdeadbeef;  // not any real library's FNV digest
+    request.scenario.name = "mismatch";
+    request.scenario.max_iterations = 1;
+    ASSERT_TRUE(dist::write_all(
+        worker.out_fd,
+        dist::encode_frame(dist::FrameType::Run, dist::encode_run(request))));
+
+    dist::FrameParser parser;
+    char buf[4096];
+    bool saw_hello = false;
+    bool saw_err = false;
+    while (!saw_err) {
+        const std::size_t n = dist::read_some(worker.in_fd, buf, sizeof(buf));
+        ASSERT_GT(n, 0u) << "worker exited before answering";
+        parser.feed(buf, n);
+        while (const auto frame = parser.next()) {
+            if (frame->type == dist::FrameType::Hello) {
+                saw_hello = true;
+            } else if (frame->type == dist::FrameType::Error) {
+                const dist::ErrorMsg msg = dist::parse_error(frame->payload);
+                EXPECT_EQ(msg.job, 0);
+                EXPECT_NE(msg.message.find("fingerprint"), std::string::npos)
+                    << msg.message;
+                saw_err = true;
+            } else {
+                FAIL() << "unexpected frame "
+                       << dist::frame_type_name(frame->type);
+            }
+        }
+    }
+    EXPECT_TRUE(saw_hello);
+    dist::write_all(worker.out_fd,
+                    dist::encode_frame(dist::FrameType::Quit, ""));
+}
+
+TEST(FrameParser, ReassemblesByteAtATime) {
+    const std::string stream =
+        dist::encode_frame(dist::FrameType::Hello, dist::encode_hello()) +
+        dist::encode_frame(dist::FrameType::Heartbeat,
+                           dist::encode_heartbeat({3, 17})) +
+        dist::encode_frame(dist::FrameType::Quit, "") +
+        dist::encode_frame(dist::FrameType::Checkpoint,
+                           dist::encode_checkpoint({1, "line one\nline two\n"}));
+    dist::FrameParser parser;
+    std::vector<dist::Frame> frames;
+    for (const char byte : stream) {
+        parser.feed(&byte, 1);
+        while (const auto frame = parser.next()) frames.push_back(*frame);
+    }
+    ASSERT_EQ(frames.size(), 4u);
+    EXPECT_EQ(frames[0].type, dist::FrameType::Hello);
+    const dist::HeartbeatMsg beat = dist::parse_heartbeat(frames[1].payload);
+    EXPECT_EQ(beat.job, 3);
+    EXPECT_EQ(beat.iteration, 17);
+    EXPECT_EQ(frames[2].type, dist::FrameType::Quit);
+    const dist::CheckpointMsg ckpt = dist::parse_checkpoint(frames[3].payload);
+    EXPECT_EQ(ckpt.job, 1);
+    EXPECT_EQ(ckpt.checkpoint, "line one\nline two\n");
+}
+
+TEST(FrameParser, RejectsOversizedAndMalformedHeaders) {
+    {
+        dist::FrameParser parser;
+        const std::string oversized = "statim-frame run 999999999999\n";
+        parser.feed(oversized.data(), oversized.size());
+        EXPECT_THROW((void)parser.next(), Error);
+    }
+    {
+        dist::FrameParser parser;
+        const std::string unknown = "statim-frame bogus 3\nabc\n";
+        parser.feed(unknown.data(), unknown.size());
+        EXPECT_THROW((void)parser.next(), Error);
+    }
+    {
+        dist::FrameParser parser;
+        const std::string garbage = "GET / HTTP/1.1\n";
+        parser.feed(garbage.data(), garbage.size());
+        EXPECT_THROW((void)parser.next(), Error);
+    }
+}
+
+TEST(Dispatch, RunRequestRoundTripsCheckpointBytes) {
+    dist::RunRequest request;
+    request.job = 5;
+    request.attempt = 2;
+    request.source.kind = DesignSource::Kind::BenchFile;
+    request.source.name = "designs/my circuit.bench";
+    request.source.lib_path = "libs/fast.lib";
+    request.fingerprint = 0x1234abcd5678ef01ull;
+    request.checkpoint_every = 3;
+    request.fault_kind = FaultInjection::Kind::Hang;
+    request.fault_after = 4;
+    request.scenario.name = "round trip";
+    request.scenario.mc_samples = 42;
+    // A resume stream is opaque bytes to the protocol — including lines
+    // that look like run-request keys.
+    request.resume_checkpoint = "statim-checkpoint 1\nscenario evil\nend\n";
+
+    const dist::RunRequest parsed = dist::parse_run(dist::encode_run(request));
+    EXPECT_EQ(parsed.job, request.job);
+    EXPECT_EQ(parsed.attempt, request.attempt);
+    EXPECT_EQ(parsed.source.kind, request.source.kind);
+    EXPECT_EQ(parsed.source.name, request.source.name);
+    EXPECT_EQ(parsed.source.lib_path, request.source.lib_path);
+    EXPECT_EQ(parsed.fingerprint, request.fingerprint);
+    EXPECT_EQ(parsed.checkpoint_every, request.checkpoint_every);
+    EXPECT_EQ(parsed.fault_kind, request.fault_kind);
+    EXPECT_EQ(parsed.fault_after, request.fault_after);
+    EXPECT_EQ(parsed.scenario.name, request.scenario.name);
+    EXPECT_EQ(parsed.scenario.mc_samples, request.scenario.mc_samples);
+    EXPECT_EQ(parsed.resume_checkpoint, request.resume_checkpoint);
+}
+
+TEST(Version, ReportsVersionAndFingerprint) {
+    EXPECT_STRNE(version(), "");
+    EXPECT_NE(builtin_library_fingerprint(), 0u);
+    // The builtin fingerprint must agree with the one checkpoints embed
+    // for registry designs (the dispatch handshake relies on this).
+    const Design design = Design::from_registry("c17");
+    EXPECT_EQ(builtin_library_fingerprint(),
+              detail::library_fingerprint(design.library()));
+}
+
+}  // namespace
+}  // namespace statim::api

@@ -1,0 +1,136 @@
+// Scenario-set format properties (api/scenario_io.hpp): a write → read
+// round trip must reproduce every field bit for bit (the dispatch wire
+// protocol embeds scenario blocks and relies on this for its determinism
+// contract), defaults must match a default-constructed Scenario, and
+// malformed input must fail with located ParseErrors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/statim.hpp"
+#include "util/error.hpp"
+
+namespace statim::api {
+namespace {
+
+void expect_scenarios_equal(const Scenario& a, const Scenario& b,
+                            const std::string& label) {
+    EXPECT_EQ(a.name, b.name) << label;
+    EXPECT_EQ(a.objective, b.objective) << label;
+    EXPECT_EQ(a.percentile, b.percentile) << label;
+    EXPECT_EQ(a.grid_bins, b.grid_bins) << label;
+    EXPECT_EQ(a.selector, b.selector) << label;
+    EXPECT_EQ(a.delta_w, b.delta_w) << label;
+    EXPECT_EQ(a.max_width, b.max_width) << label;
+    EXPECT_EQ(a.max_iterations, b.max_iterations) << label;
+    EXPECT_EQ(a.area_budget, b.area_budget) << label;
+    EXPECT_EQ(a.target_objective_ns, b.target_objective_ns) << label;
+    EXPECT_EQ(a.gates_per_iteration, b.gates_per_iteration) << label;
+    EXPECT_EQ(a.threads, b.threads) << label;
+    EXPECT_EQ(a.incremental_ssta, b.incremental_ssta) << label;
+    EXPECT_EQ(a.simd, b.simd) << label;
+    EXPECT_EQ(a.crit_floor, b.crit_floor) << label;
+    EXPECT_EQ(a.selector_cache, b.selector_cache) << label;
+    EXPECT_EQ(a.mc_samples, b.mc_samples) << label;
+    EXPECT_EQ(a.seed, b.seed) << label;
+}
+
+TEST(ScenarioIo, RoundTripIsBitExact) {
+    std::vector<Scenario> set(3);
+    set[0].name = "p99 with spaces";  // single spaces round-trip
+    set[0].percentile = 0.99;
+    set[0].delta_w = 0.1;  // not exactly representable in binary
+    set[0].max_iterations = 17;
+    set[0].mc_samples = 12345;
+    set[1].name = "mean-obj";
+    set[1].objective = Scenario::Objective::Mean;
+    set[1].area_budget = 1.0 / 3.0;
+    set[1].target_objective_ns = 2.7182818284590452;
+    set[1].gates_per_iteration = 4;
+    set[1].seed = 0xfeedface;
+    set[2].name = "selector-variant";
+    set[2].selector = Scenario::parse_selector("cone");
+    set[2].crit_floor = 0.05;
+    set[2].selector_cache = false;
+    set[2].incremental_ssta = false;
+    set[2].threads = 3;
+    set[2].grid_bins = 256;
+
+    std::ostringstream first;
+    write_scenario_set(first, set);
+    std::istringstream in(first.str());
+    const std::vector<Scenario> parsed = read_scenario_set(in);
+    ASSERT_EQ(parsed.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i)
+        expect_scenarios_equal(set[i], parsed[i], "scenario " + std::to_string(i));
+
+    // Fixed point: writing the parsed set reproduces the bytes.
+    std::ostringstream second;
+    write_scenario_set(second, parsed);
+    EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(ScenarioIo, InfiniteAreaBudgetRoundTrips) {
+    Scenario s;
+    s.name = "unbounded";
+    s.area_budget = std::numeric_limits<double>::infinity();
+    std::ostringstream out;
+    write_scenario(out, s);
+    std::istringstream in(out.str());
+    const std::vector<Scenario> parsed = read_scenario_set(in);
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_TRUE(std::isinf(parsed[0].area_budget));
+    EXPECT_GT(parsed[0].area_budget, 0.0);
+}
+
+TEST(ScenarioIo, MinimalBlockYieldsDefaults) {
+    std::istringstream in("# a comment\nscenario bare\nend\n");
+    const std::vector<Scenario> parsed = read_scenario_set(in);
+    ASSERT_EQ(parsed.size(), 1u);
+    Scenario defaults;
+    defaults.name = "bare";
+    expect_scenarios_equal(defaults, parsed[0], "defaults");
+}
+
+TEST(ScenarioIo, ParseErrorsAreLocated) {
+    const auto expect_throw = [](const std::string& text, const char* needle) {
+        std::istringstream in(text);
+        try {
+            (void)read_scenario_set(in);
+            FAIL() << "expected ParseError for: " << text;
+        } catch (const ParseError& e) {
+            EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+                << e.what();
+        }
+    };
+    expect_throw("", "no scenario blocks");
+    expect_throw("scenario a\nfrobnicate 3\nend\n", "unknown scenario key");
+    expect_throw("scenario a\nmax_iterations 5\n", "missing its 'end'");
+    expect_throw("scenario a\ndelta_w banana\nend\n", "malformed number");
+    expect_throw("scenario\nend\n", "needs a name");
+    expect_throw("bogus-line\n", "expected 'scenario <name>'");
+    expect_throw("scenario a\nobjective median\nend\n", "unknown objective");
+}
+
+TEST(ScenarioIo, InvalidScenarioValuesAreRejected) {
+    // Structurally valid but semantically invalid: Scenario::validate()
+    // must reject it during parsing, not at run time.
+    std::istringstream in("scenario bad\npercentile 1.5\nend\n");
+    EXPECT_THROW((void)read_scenario_set(in), Error);
+}
+
+TEST(ScenarioIo, WriterRejectsNonRoundTrippableNames) {
+    Scenario s;
+    s.name = "two  spaces";  // tokenizer would collapse them
+    std::ostringstream out;
+    EXPECT_THROW(write_scenario(out, s), ConfigError);
+    s.name = "hash#mark";  // '#' starts a comment in the format
+    EXPECT_THROW(write_scenario(out, s), ConfigError);
+}
+
+}  // namespace
+}  // namespace statim::api

@@ -1,10 +1,14 @@
 // statim — the unified CLI over the public API.
 //
-//   statim analyze --circuit c432 [--percentile 0.99] [--bins N]
-//   statim size    --circuit c7552 --iterations 50 [--batch 4]
-//                  [--checkpoint run.ckpt [--checkpoint-every 10]] [--resume]
-//   statim compare --circuit c880 --det-iterations 300
-//   statim mc      --circuit c432 --samples 20000 [--seed 7]
+//   statim analyze  --circuit c432 [--percentile 0.99] [--bins N]
+//   statim size     --circuit c7552 --iterations 50 [--batch 4]
+//                   [--checkpoint run.ckpt [--checkpoint-every 10]] [--resume]
+//   statim compare  --circuit c880 --det-iterations 300
+//   statim mc       --circuit c432 --samples 20000 [--seed 7]
+//   statim dispatch --circuit c7552 --scenarios FILE [--workers N]
+//   statim serve    (worker mode: speaks the dispatch frame protocol on
+//                   stdin/stdout; spawned by dispatch, not run by hand)
+//   statim --version
 //
 // Every subcommand reads a design (--circuit from the registry, or
 // --bench FILE [--lib FILE]) and a scenario from shared flags, and emits
@@ -14,6 +18,7 @@
 // for everything outside src/.
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -27,7 +32,8 @@ using namespace statim;
 
 int usage(std::FILE* out) {
     std::fprintf(out,
-                 "usage: statim <analyze|size|compare|mc> [options]\n"
+                 "usage: statim <analyze|size|compare|mc|dispatch|serve> [options]\n"
+                 "       statim --version\n"
                  "\n"
                  "design options (all subcommands):\n"
                  "  --circuit NAME     registry circuit (c17, the ten ISCAS-85\n"
@@ -61,7 +67,23 @@ int usage(std::FILE* out) {
                  "         [--stop-after N] [--mc N] [--trace]\n"
                  "compare: --det-iterations N [300]\n"
                  "mc:      --samples N [10000]\n"
-                 "analyze: [--cdf]\n");
+                 "analyze: [--cdf]\n"
+                 "\n"
+                 "dispatch (multi-process scenario sharding; design flags only,\n"
+                 "scenarios come from the file):\n"
+                 "  --scenarios FILE     scenario-set file (required; see README)\n"
+                 "  --workers N          worker processes; 0 runs in-process\n"
+                 "                       [STATIM_DISPATCH_WORKERS, else 2]\n"
+                 "  --checkpoint-every N iterations between migration checkpoints;\n"
+                 "                       0 disables mid-run checkpoints [1]\n"
+                 "  --heartbeat-ms MS    declare a silent worker hung after MS\n"
+                 "                       [STATIM_DISPATCH_HEARTBEAT_MS, else 60000]\n"
+                 "  --retries N          extra attempts per failed scenario\n"
+                 "                       [STATIM_DISPATCH_RETRIES, else 2]\n"
+                 "  fault injection (tests/CI): --fault kill|hang\n"
+                 "  [--fault-scenario I] [--fault-after N] [--fault-persistent]\n"
+                 "exit status: 0 complete, 3 incomplete (JSON carries\n"
+                 "\"incomplete\":true and per-scenario errors), 1 usage/setup\n");
     return out == stdout ? 0 : 2;
 }
 
@@ -304,12 +326,104 @@ int cmd_mc(const CliArgs& args) {
     return 0;
 }
 
+int cmd_version(const CliArgs& args) {
+    args.validate({"version", "lib"});
+    std::printf("statim %s\n", api::version());
+    std::printf("checkpoint-format %d\n", api::kCheckpointFormatVersion);
+    std::printf("dispatch-protocol %d\n", api::kDispatchProtocolVersion);
+    // The same fingerprint checkpoints embed and dispatch workers verify;
+    // two builds agree on it iff their checkpoints are interchangeable.
+    std::printf("library-fingerprint 0x%016llx (builtin 180nm)\n",
+                static_cast<unsigned long long>(api::builtin_library_fingerprint()));
+    if (args.has("lib"))
+        std::printf("library-fingerprint 0x%016llx (%s)\n",
+                    static_cast<unsigned long long>(
+                        api::library_file_fingerprint(args.get("lib"))),
+                    args.get("lib").c_str());
+    return 0;
+}
+
+int cmd_serve(const CliArgs& args) {
+    args.validate({});
+    // Everything (design, scenario, options) arrives in run frames on
+    // stdin; stdout carries only protocol frames back to the coordinator.
+    return api::serve(0, 1);
+}
+
+int cmd_dispatch(const CliArgs& args) {
+    args.validate({"circuit", "bench", "lib", "scenarios", "workers",
+                   "checkpoint-every", "heartbeat-ms", "retries", "fault",
+                   "fault-scenario", "fault-after", "fault-persistent"});
+    const std::string scenarios_path = args.get("scenarios");
+    if (scenarios_path.empty())
+        throw ConfigError("dispatch needs --scenarios FILE");
+    std::ifstream in(scenarios_path);
+    if (!in) throw Error("cannot read scenario set '" + scenarios_path + "'");
+    const std::vector<api::Scenario> scenarios = api::read_scenario_set(in);
+
+    api::DesignSource source;
+    if (args.has("bench")) {
+        source.kind = api::DesignSource::Kind::BenchFile;
+        source.name = args.get("bench");
+    } else {
+        source.kind = api::DesignSource::Kind::Registry;
+        source.name = args.get("circuit", "c432");
+    }
+    source.lib_path = args.get("lib");
+
+    api::DispatchOptions options;
+    // --workers 0 is an explicit request for the in-process reference
+    // path; absent, dispatch_scenarios resolves STATIM_DISPATCH_WORKERS.
+    options.workers = static_cast<int>(args.get_int("workers", 0));
+    const bool in_process = args.has("workers") && options.workers == 0;
+    options.checkpoint_every = static_cast<int>(args.get_int("checkpoint-every", 1));
+    options.heartbeat_timeout_ms = static_cast<int>(args.get_int("heartbeat-ms", 0));
+    options.retries = static_cast<int>(args.get_int("retries", -1));
+    options.serve_command = api::self_serve_command(args.program());
+    if (args.has("fault")) {
+        const std::string kind = args.get("fault");
+        if (kind == "kill")
+            options.fault.kind = api::FaultInjection::Kind::Kill;
+        else if (kind == "hang")
+            options.fault.kind = api::FaultInjection::Kind::Hang;
+        else
+            throw ConfigError("--fault must be kill or hang, got '" + kind + "'");
+        options.fault.scenario = static_cast<int>(args.get_int("fault-scenario", 0));
+        options.fault.after_iteration =
+            static_cast<int>(args.get_int("fault-after", 1));
+        options.fault.persistent = args.get_bool("fault-persistent", false);
+    }
+
+    const api::DispatchReport report =
+        in_process ? api::run_scenarios_report(source, scenarios)
+                   : api::dispatch_scenarios(source, scenarios, options);
+
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+        const api::DispatchOutcome& o = report.outcomes[i];
+        if (o.attempts > 0 || !o.ok)
+            std::fprintf(stderr,
+                         "dispatch: scenario %zu '%s': %s after %d worker "
+                         "failure(s), %d migration(s)\n",
+                         i, o.scenario.name.c_str(), o.ok ? "recovered" : "FAILED",
+                         o.attempts, o.migrations);
+    }
+    api::write_dispatch_json(std::cout, report);
+    std::cout.flush();
+    if (!report.complete) {
+        std::fprintf(stderr, "dispatch: incomplete — a scenario exhausted its "
+                             "retry budget or failed\n");
+        return 3;
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     using namespace statim;
     try {
         const CliArgs args(argc, argv);
+        if (args.has("version")) return cmd_version(args);
         if (args.positional().empty())
             return args.has("help") ? usage(stdout) : usage(stderr);
         if (args.positional().size() > 1)
@@ -320,6 +434,9 @@ int main(int argc, char** argv) {
         if (cmd == "size") return cmd_size(args);
         if (cmd == "compare") return cmd_compare(args);
         if (cmd == "mc") return cmd_mc(args);
+        if (cmd == "dispatch") return cmd_dispatch(args);
+        if (cmd == "serve") return cmd_serve(args);
+        if (cmd == "version") return cmd_version(args);
         if (cmd == "help") return usage(stdout);
         std::fprintf(stderr, "error: unknown subcommand '%s'\n", cmd.c_str());
         return usage(stderr);

@@ -41,6 +41,19 @@ ENV_REGISTRY = {
         "scope": "core",
         "desc": "log threshold: debug|info|warn|error|off",
     },
+    # -- dispatch coordinator knobs (statim dispatch) ---------------------
+    "STATIM_DISPATCH_WORKERS": {
+        "scope": "dist",
+        "desc": "worker process count for statim dispatch (0 = in-process)",
+    },
+    "STATIM_DISPATCH_HEARTBEAT_MS": {
+        "scope": "dist",
+        "desc": "ms of worker silence before the coordinator declares it hung",
+    },
+    "STATIM_DISPATCH_RETRIES": {
+        "scope": "dist",
+        "desc": "extra attempts per scenario after a worker failure",
+    },
     # -- test-suite knobs -------------------------------------------------
     "STATIM_HEAVY_TESTS": {
         "scope": "tests",
